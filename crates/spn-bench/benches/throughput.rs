@@ -1,0 +1,103 @@
+//! Criterion benchmarks backing the paper's figures.
+//!
+//! * `fig2c_gpu_thread_scaling` — the CPU/GPU models of Fig. 2(c),
+//! * `fig4_throughput` — CPU, GPU, Pvect and Ptree on a representative subset
+//!   of the Fig. 4 benchmarks (the full sweep lives in the `fig4` binary),
+//! * `compile` — compiler cost itself (not in the paper, useful for us),
+//! * `evaluate` — reference evaluation as the software upper bound.
+//!
+//! Criterion measures wall-clock time of the *models*; the figures proper are
+//! produced by the binaries, which report modelled cycles.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spn_compiler::Compiler;
+use spn_core::flatten::OpList;
+use spn_core::Evidence;
+use spn_learn::Benchmark;
+use spn_platforms::{CpuModel, GpuConfig, GpuModel, Platform};
+use spn_processor::{Processor, ProcessorConfig};
+
+fn workloads() -> Vec<(String, spn_core::Spn)> {
+    [Benchmark::Banknote, Benchmark::EegEye, Benchmark::Msnbc]
+        .into_iter()
+        .map(|b| (b.name().to_string(), b.spn()))
+        .collect()
+}
+
+fn bench_fig2c(c: &mut Criterion) {
+    let (_, spn) = workloads().remove(2);
+    let ops = OpList::from_spn(&spn);
+    let mut group = c.benchmark_group("fig2c_gpu_thread_scaling");
+    group.bench_function("cpu_model", |b| {
+        b.iter(|| CpuModel::new().model_cycles(&ops))
+    });
+    for threads in [1usize, 64, 256] {
+        group.bench_with_input(
+            BenchmarkId::new("gpu_model", threads),
+            &threads,
+            |b, &threads| {
+                let model = GpuModel::with_config(GpuConfig::with_threads(threads));
+                b.iter(|| model.model_cycles(&ops))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_throughput");
+    group.sample_size(10);
+    for (name, spn) in workloads() {
+        let ops = OpList::from_spn(&spn);
+        let evidence = Evidence::marginal(spn.num_vars());
+
+        group.bench_with_input(BenchmarkId::new("cpu", &name), &ops, |b, ops| {
+            let model = CpuModel::new();
+            b.iter(|| model.execute(ops, &evidence).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("gpu", &name), &ops, |b, ops| {
+            let model = GpuModel::new();
+            b.iter(|| model.execute(ops, &evidence).unwrap())
+        });
+        for config in [ProcessorConfig::pvect(), ProcessorConfig::ptree()] {
+            let compiled = Compiler::new(config.clone())
+                .compile_op_list(ops.clone())
+                .expect("compile");
+            let inputs = compiled.input_values(&evidence).expect("inputs");
+            let processor = Processor::new(config.clone()).expect("processor");
+            group.bench_with_input(
+                BenchmarkId::new(config.name.to_lowercase(), &name),
+                &compiled.program,
+                |b, program| b.iter(|| processor.run(program, &inputs).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(10);
+    for (name, spn) in workloads() {
+        let ops = OpList::from_spn(&spn);
+        group.bench_with_input(BenchmarkId::new("ptree", &name), &ops, |b, ops| {
+            let compiler = Compiler::new(ProcessorConfig::ptree());
+            b.iter(|| compiler.compile_op_list(ops.clone()).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate");
+    for (name, spn) in workloads() {
+        let evidence = Evidence::marginal(spn.num_vars());
+        group.bench_with_input(BenchmarkId::new("reference", &name), &spn, |b, spn| {
+            b.iter(|| spn.evaluate(&evidence).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2c, bench_fig4, bench_compile, bench_evaluate);
+criterion_main!(benches);

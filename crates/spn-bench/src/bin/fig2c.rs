@@ -1,0 +1,58 @@
+//! Reproduces Fig. 2(c): CPU vs GPU throughput as the GPU thread count grows.
+//!
+//! The paper measures one SPN trained on a benchmark from Lowd & Davis (we
+//! use the MSNBC-class circuit) and reports effective operations per cycle
+//! for the CPU and for the CUDA kernel with 1, 32, 64, 128 and 256 threads.
+//! The headline observation is that 256 threads give only ~4x the single
+//! thread throughput, landing the GPU in the same class as the CPU.
+
+use spn_bench::{run_cpu, run_gpu};
+use spn_core::flatten::OpList;
+use spn_core::Evidence;
+use spn_learn::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let benchmark = Benchmark::Msnbc;
+    let spn = benchmark.spn();
+    let ops = OpList::from_spn(&spn);
+    let evidence = Evidence::marginal(spn.num_vars());
+
+    println!("# Fig. 2(c): CPU vs GPU thread scaling");
+    println!(
+        "workload: {} ({} vars, {} ops, {} inputs)\n",
+        benchmark.name(),
+        spn.num_vars(),
+        ops.num_ops(),
+        ops.num_inputs()
+    );
+    println!("| platform | ops/cycle |");
+    println!("|---|---|");
+
+    let cpu = run_cpu(benchmark.name(), &ops, &evidence)?;
+    println!("| CPU | {:.3} |", cpu.ops_per_cycle);
+
+    let mut single_thread = None;
+    let mut full_block = None;
+    for threads in [1usize, 32, 64, 128, 256] {
+        let gpu = run_gpu(benchmark.name(), &ops, &evidence, threads)?;
+        println!("| GPU {threads} thread(s) | {:.3} |", gpu.ops_per_cycle);
+        if threads == 1 {
+            single_thread = Some(gpu.ops_per_cycle);
+        }
+        if threads == 256 {
+            full_block = Some(gpu.ops_per_cycle);
+        }
+    }
+    if let (Some(one), Some(full)) = (single_thread, full_block) {
+        println!();
+        println!(
+            "scaling 1 -> 256 threads: {:.1}x (paper reports 4.1x, i.e. strongly sublinear)",
+            full / one
+        );
+        println!(
+            "GPU(256) vs CPU: {:.2}x (paper: comparable, 0.95 vs 0.55 ops/cycle)",
+            full / cpu.ops_per_cycle
+        );
+    }
+    Ok(())
+}

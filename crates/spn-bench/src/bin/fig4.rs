@@ -1,0 +1,64 @@
+//! Reproduces Fig. 4: throughput of CPU, GPU, Pvect and Ptree on the nine
+//! benchmark circuits, plus the paper's headline claims (Ptree >= 12x CPU/GPU
+//! and ~2x Pvect).
+//!
+//! Pass `--json <path>` to also dump the raw results for EXPERIMENTS.md.
+
+use std::env;
+use std::fs;
+
+use spn_bench::{markdown_table, run_all_platforms, to_json, PlatformResult};
+use spn_core::Evidence;
+use spn_learn::Benchmark;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = env::args().collect();
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let mut all: Vec<PlatformResult> = Vec::new();
+    println!("# Fig. 4: ops/cycle per platform and benchmark\n");
+    for benchmark in Benchmark::all() {
+        let spn = benchmark.spn();
+        let evidence = Evidence::marginal(spn.num_vars());
+        eprintln!(
+            "running {} ({} vars, {} nodes)...",
+            benchmark.name(),
+            spn.num_vars(),
+            spn.num_nodes()
+        );
+        let results = run_all_platforms(benchmark.name(), &spn, &evidence)?;
+        all.extend(results);
+    }
+    println!("{}", markdown_table(&all));
+
+    // Headline summary (geometric means and per-benchmark speed-ups).
+    let mean = |platform: &str| -> f64 {
+        let values: Vec<f64> = all
+            .iter()
+            .filter(|r| r.platform == platform)
+            .map(|r| r.ops_per_cycle.max(1e-12).ln())
+            .collect();
+        (values.iter().sum::<f64>() / values.len() as f64).exp()
+    };
+    let (cpu, gpu, pvect, ptree) = (mean("CPU"), mean("GPU"), mean("Pvect"), mean("Ptree"));
+    let peak = all
+        .iter()
+        .filter(|r| r.platform == "Ptree")
+        .map(|r| r.ops_per_cycle)
+        .fold(0.0f64, f64::max);
+    println!("geometric means: CPU {cpu:.2}, GPU {gpu:.2}, Pvect {pvect:.2}, Ptree {ptree:.2}");
+    println!("Ptree peak: {peak:.1} ops/cycle (paper: 11.6)");
+    println!("Ptree vs CPU: {:.1}x (paper: >= 12x)", ptree / cpu);
+    println!("Ptree vs GPU: {:.1}x (paper: >= 12x)", ptree / gpu);
+    println!("Ptree vs Pvect: {:.1}x (paper: ~2x)", ptree / pvect);
+
+    if let Some(path) = json_path {
+        fs::write(&path, to_json(&all)?)?;
+        eprintln!("raw results written to {path}");
+    }
+    Ok(())
+}

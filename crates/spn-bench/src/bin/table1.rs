@@ -1,0 +1,28 @@
+//! Reproduces Table I: compute and memory resources of the platforms.
+
+use spn_processor::ProcessorConfig;
+
+fn main() {
+    println!("# Table I: compute and memory details of the processing platforms\n");
+    println!("| Platform | Compute units | Immediate memory | Memory banks |");
+    println!("|---|---|---|---|");
+    println!("| CPU | 2 arith. units in a superscalar core | 168 80b registers + 32 KB L1 cache | 16 |");
+    println!("| GPU | 128 CUDA cores | 64K 32b registers + 64 KB shared mem. | 32 |");
+    for config in [ProcessorConfig::pvect(), ProcessorConfig::ptree()] {
+        let (regs, _bits, mem_bytes) = config.storage_summary();
+        println!(
+            "| Ours ({}) | {} PEs | {}K 32b registers + {} KB data mem. | {} |",
+            config.name,
+            config.num_pes(),
+            regs / 1024,
+            mem_bytes / 1024,
+            config.total_banks(),
+        );
+    }
+    println!();
+    println!(
+        "Ptree: {} trees x {} levels; Pvect: lowest PE level only.",
+        ProcessorConfig::ptree().num_trees,
+        ProcessorConfig::ptree().tree_levels
+    );
+}

@@ -1,0 +1,231 @@
+//! Benchmark harness for the SPN processor reproduction.
+//!
+//! The binaries in `src/bin` regenerate the paper's evaluation artifacts:
+//!
+//! * `fig2c` — CPU vs GPU throughput while sweeping the GPU thread count,
+//! * `table1` — the compute/memory resource table of the four platforms,
+//! * `fig4`  — operations/cycle of CPU, GPU, Pvect and Ptree on the nine
+//!   benchmark circuits, plus the headline speed-up summary,
+//! * `ablation` — sweeps over the design choices (tree depth, register
+//!   banks, bank-allocation policy).
+//!
+//! The library part holds the shared plumbing: running one circuit on every
+//! platform, checking that every platform computes the same root value, and
+//! formatting result tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use spn_compiler::Compiler;
+use spn_core::flatten::OpList;
+use spn_core::{Evidence, Spn};
+use spn_platforms::{CpuModel, GpuConfig, GpuModel, Platform};
+use spn_processor::{PerfReport, Processor, ProcessorConfig};
+
+/// Throughput of one platform on one workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformResult {
+    /// Platform name (`CPU`, `GPU`, `Pvect`, `Ptree`, ...).
+    pub platform: String,
+    /// Workload name.
+    pub workload: String,
+    /// SPN arithmetic operations in the workload.
+    pub ops: u64,
+    /// Modelled cycles for one inference pass.
+    pub cycles: u64,
+    /// Effective throughput in operations per cycle.
+    pub ops_per_cycle: f64,
+    /// Root value computed by the platform (for cross-checking).
+    pub value: f64,
+}
+
+impl PlatformResult {
+    fn from_report(workload: &str, value: f64, report: &PerfReport) -> Self {
+        PlatformResult {
+            platform: report.platform.clone(),
+            workload: workload.to_string(),
+            ops: report.source_ops,
+            cycles: report.cycles,
+            ops_per_cycle: report.ops_per_cycle(),
+            value,
+        }
+    }
+}
+
+/// Runs the CPU baseline model.
+///
+/// # Errors
+///
+/// Returns an error when the evidence does not match the workload.
+pub fn run_cpu(
+    workload: &str,
+    ops: &OpList,
+    evidence: &Evidence,
+) -> Result<PlatformResult, Box<dyn std::error::Error>> {
+    let (value, report) = CpuModel::new().execute(ops, evidence)?;
+    Ok(PlatformResult::from_report(workload, value, &report))
+}
+
+/// Runs the GPU baseline model with `threads` threads per block.
+///
+/// # Errors
+///
+/// Returns an error when the evidence does not match the workload.
+pub fn run_gpu(
+    workload: &str,
+    ops: &OpList,
+    evidence: &Evidence,
+    threads: usize,
+) -> Result<PlatformResult, Box<dyn std::error::Error>> {
+    let model = GpuModel::with_config(GpuConfig {
+        name: if threads == 256 {
+            "GPU".to_string()
+        } else {
+            format!("GPU-{threads}")
+        },
+        ..GpuConfig::with_threads(threads)
+    });
+    let (value, report) = model.execute(ops, evidence)?;
+    Ok(PlatformResult::from_report(workload, value, &report))
+}
+
+/// Compiles the workload for `config` and runs it on the cycle-accurate
+/// processor simulator.
+///
+/// # Errors
+///
+/// Returns an error when compilation or simulation fails.
+pub fn run_processor(
+    workload: &str,
+    ops: &OpList,
+    evidence: &Evidence,
+    config: &ProcessorConfig,
+) -> Result<PlatformResult, Box<dyn std::error::Error>> {
+    let compiler = Compiler::new(config.clone());
+    let compiled = compiler.compile_op_list(ops.clone())?;
+    let inputs = compiled.input_values(evidence)?;
+    let processor = Processor::new(config.clone())?;
+    let run = processor.run(&compiled.program, &inputs)?;
+    Ok(PlatformResult::from_report(workload, run.output, &run.perf))
+}
+
+/// Runs one workload on all four platforms of Fig. 4 (CPU, GPU, Pvect,
+/// Ptree) and cross-checks that every platform computes the same root value.
+///
+/// # Errors
+///
+/// Returns an error when any platform fails or disagrees on the value.
+pub fn run_all_platforms(
+    workload: &str,
+    spn: &Spn,
+    evidence: &Evidence,
+) -> Result<Vec<PlatformResult>, Box<dyn std::error::Error>> {
+    let ops = OpList::from_spn(spn);
+    let results = vec![
+        run_cpu(workload, &ops, evidence)?,
+        run_gpu(workload, &ops, evidence, 256)?,
+        run_processor(workload, &ops, evidence, &ProcessorConfig::pvect())?,
+        run_processor(workload, &ops, evidence, &ProcessorConfig::ptree())?,
+    ];
+    let reference = results[0].value;
+    for r in &results {
+        let tolerance = 1e-9 * reference.abs().max(1e-30);
+        if (r.value - reference).abs() > tolerance {
+            return Err(format!(
+                "platform {} disagrees on {}: {} vs {}",
+                r.platform, workload, r.value, reference
+            )
+            .into());
+        }
+    }
+    Ok(results)
+}
+
+/// Formats results as a GitHub-flavoured markdown table with one row per
+/// workload and one column per platform (operations per cycle).
+pub fn markdown_table(results: &[PlatformResult]) -> String {
+    let mut workloads: Vec<String> = Vec::new();
+    let mut platforms: Vec<String> = Vec::new();
+    for r in results {
+        if !workloads.contains(&r.workload) {
+            workloads.push(r.workload.clone());
+        }
+        if !platforms.contains(&r.platform) {
+            platforms.push(r.platform.clone());
+        }
+    }
+    let mut out = String::new();
+    out.push_str("| workload | ");
+    out.push_str(&platforms.join(" | "));
+    out.push_str(" |\n|---|");
+    out.push_str(&"---|".repeat(platforms.len()));
+    out.push('\n');
+    for w in &workloads {
+        out.push_str(&format!("| {w} |"));
+        for p in &platforms {
+            let cell = results
+                .iter()
+                .find(|r| &r.workload == w && &r.platform == p)
+                .map(|r| format!(" {:.2} |", r.ops_per_cycle))
+                .unwrap_or_else(|| " - |".to_string());
+            out.push_str(&cell);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialises results to pretty JSON (consumed when updating EXPERIMENTS.md).
+///
+/// # Errors
+///
+/// Returns an error when serialisation fails (never in practice).
+pub fn to_json(results: &[PlatformResult]) -> Result<String, Box<dyn std::error::Error>> {
+    Ok(serde_json::to_string_pretty(results)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spn_learn::Benchmark;
+
+    #[test]
+    fn all_platforms_agree_on_a_small_benchmark() {
+        let spn = Benchmark::Banknote.spn();
+        let evidence = Evidence::marginal(spn.num_vars());
+        let results = run_all_platforms("Banknote", &spn, &evidence).unwrap();
+        assert_eq!(results.len(), 4);
+        let names: Vec<&str> = results.iter().map(|r| r.platform.as_str()).collect();
+        assert_eq!(names, vec!["CPU", "GPU", "Pvect", "Ptree"]);
+    }
+
+    #[test]
+    fn ptree_outperforms_the_baselines_on_a_medium_benchmark() {
+        let spn = Benchmark::EegEye.spn();
+        let evidence = Evidence::marginal(spn.num_vars());
+        let results = run_all_platforms("EEG-eye", &spn, &evidence).unwrap();
+        let get = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.platform == name)
+                .unwrap()
+                .ops_per_cycle
+        };
+        assert!(get("Ptree") > get("CPU"));
+        assert!(get("Ptree") > get("GPU"));
+        assert!(get("Ptree") > get("Pvect"));
+    }
+
+    #[test]
+    fn markdown_table_mentions_every_platform() {
+        let spn = Benchmark::Banknote.spn();
+        let evidence = Evidence::marginal(spn.num_vars());
+        let results = run_all_platforms("Banknote", &spn, &evidence).unwrap();
+        let table = markdown_table(&results);
+        for p in ["CPU", "GPU", "Pvect", "Ptree", "Banknote"] {
+            assert!(table.contains(p), "missing {p} in\n{table}");
+        }
+        assert!(to_json(&results).unwrap().contains("Ptree"));
+    }
+}

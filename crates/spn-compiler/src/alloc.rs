@@ -1,0 +1,488 @@
+//! Register-file and data-memory allocation.
+//!
+//! The register file is addressed as `bank × offset`.  The allocator manages
+//! the offsets of the whole file and distinguishes two uses:
+//!
+//! * **row offsets** hold one data-memory row after a vector load (the same
+//!   offset in every bank), used for program inputs and reloaded spills;
+//! * **scalar offsets** hold individual PE write-backs, one value per bank
+//!   lane, so independent values can share an offset across banks.
+//!
+//! Because the schedule books reads at future cycles, a freed lane may only
+//! be reused by a write that commits strictly after the last scheduled read
+//! of the previous occupant (tracked per `(offset, bank)` lane), otherwise
+//! the new value would clobber an operand that is still going to be read.
+
+use spn_core::flatten::OperandRef;
+
+/// State of one register offset across all banks.
+#[derive(Debug, Clone, PartialEq)]
+enum OffsetState {
+    /// No live value uses this offset.
+    Free,
+    /// The offset holds a loaded data-memory row; `live` values are still
+    /// going to be read.
+    Row {
+        /// Number of live values in the row.
+        live: usize,
+        /// Data-memory row currently resident at this offset.
+        row: usize,
+    },
+    /// The offset holds scalar write-backs; one bit per occupied bank lane.
+    Scalar {
+        /// Occupancy bitmask (bit `b` = bank `b` holds a live value).
+        occupied: u64,
+    },
+}
+
+/// Allocation decision for a scalar write-back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalarSlot {
+    /// Destination bank.
+    pub bank: usize,
+    /// Destination register offset.
+    pub reg: usize,
+}
+
+/// Register-offset allocator with lane-granular reuse-safety tracking.
+#[derive(Debug, Clone)]
+pub struct RegAllocator {
+    states: Vec<OffsetState>,
+    /// `lane_free_after[offset * banks + bank]`: the earliest commit cycle at
+    /// which a new value may safely occupy this lane.
+    lane_free_after: Vec<u64>,
+    total_banks: usize,
+}
+
+impl RegAllocator {
+    /// Creates an allocator for `regs_per_bank` offsets over `total_banks`
+    /// banks.
+    pub fn new(regs_per_bank: usize, total_banks: usize) -> Self {
+        assert!(total_banks <= 64, "occupancy mask limited to 64 banks");
+        RegAllocator {
+            states: vec![OffsetState::Free; regs_per_bank],
+            lane_free_after: vec![0; regs_per_bank * total_banks],
+            total_banks,
+        }
+    }
+
+    fn lane(&self, offset: usize, bank: usize) -> usize {
+        offset * self.total_banks + bank
+    }
+
+    /// Number of offsets currently completely free.
+    pub fn free_offsets(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| matches!(s, OffsetState::Free))
+            .count()
+    }
+
+    /// Number of offsets in the register file.
+    pub fn num_offsets(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` when the offset holds no live values.
+    pub fn is_free(&self, offset: usize) -> bool {
+        matches!(self.states[offset], OffsetState::Free)
+    }
+
+    /// Records that a value at `(offset, bank)` is read at `cycle`, delaying
+    /// any reuse of that lane until after the read.
+    pub fn note_read(&mut self, offset: usize, bank: usize, cycle: u64) {
+        let lane = self.lane(offset, bank);
+        self.lane_free_after[lane] = self.lane_free_after[lane].max(cycle + 1);
+    }
+
+    /// Records that a write committing at `cycle` has been booked to
+    /// `(offset, bank)`.  The lane may only be re-occupied by values whose
+    /// writes are issued after that commit, so a booked-but-future write can
+    /// never clobber a later tenant.
+    pub fn note_write(&mut self, offset: usize, bank: usize, cycle: u64) {
+        let lane = self.lane(offset, bank);
+        self.lane_free_after[lane] = self.lane_free_after[lane].max(cycle + 1);
+    }
+
+    /// Row-wide variant of [`RegAllocator::note_write`] for vector loads.
+    pub fn note_write_row(&mut self, offset: usize, cycle: u64) {
+        for bank in 0..self.total_banks {
+            self.note_write(offset, bank, cycle);
+        }
+    }
+
+    fn offset_free_after(&self, offset: usize) -> u64 {
+        (0..self.total_banks)
+            .map(|b| self.lane_free_after[self.lane(offset, b)])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Allocates an offset for a row load committing at `cycle`.
+    ///
+    /// Returns `None` when no offset can safely be reused at that cycle.
+    pub fn alloc_row(&mut self, row: usize, live: usize, cycle: u64) -> Option<usize> {
+        let idx = (0..self.states.len()).find(|&i| {
+            matches!(self.states[i], OffsetState::Free) && self.offset_free_after(i) <= cycle
+        })?;
+        self.states[idx] = OffsetState::Row { live, row };
+        Some(idx)
+    }
+
+    /// Earliest cycle at which some completely free offset can be re-occupied
+    /// (useful when every free offset still has reads booked in the future).
+    pub fn earliest_row_reuse(&self) -> Option<u64> {
+        (0..self.states.len())
+            .filter(|&i| matches!(self.states[i], OffsetState::Free))
+            .map(|i| self.offset_free_after(i))
+            .min()
+    }
+
+    /// Records that one value of the row at `offset` will never be read again;
+    /// frees the offset when the row becomes empty.
+    pub fn row_value_dead(&mut self, offset: usize) {
+        if let OffsetState::Row { live, .. } = &mut self.states[offset] {
+            *live = live.saturating_sub(1);
+            if *live == 0 {
+                self.states[offset] = OffsetState::Free;
+            }
+        }
+    }
+
+    /// Drops a resident row regardless of its live count (used when the row is
+    /// still backed by memory and can simply be reloaded later).
+    ///
+    /// Returns the row that was resident, if the offset held one.
+    pub fn drop_row(&mut self, offset: usize) -> Option<usize> {
+        if let OffsetState::Row { row, .. } = self.states[offset] {
+            self.states[offset] = OffsetState::Free;
+            Some(row)
+        } else {
+            None
+        }
+    }
+
+    /// Data-memory row resident at `offset`, if any.
+    pub fn resident_row(&self, offset: usize) -> Option<usize> {
+        match self.states[offset] {
+            OffsetState::Row { row, .. } => Some(row),
+            _ => None,
+        }
+    }
+
+    /// Allocates a `(bank, offset)` slot for a scalar write-back committing at
+    /// `cycle`.  Banks are tried in the order given by `candidate_banks`;
+    /// partially used scalar offsets are preferred over opening fresh ones.
+    pub fn alloc_scalar(
+        &mut self,
+        candidate_banks: impl IntoIterator<Item = usize>,
+        cycle: u64,
+    ) -> Option<ScalarSlot> {
+        for bank in candidate_banks {
+            debug_assert!(bank < self.total_banks);
+            let lane_ok =
+                |this: &Self, idx: usize| this.lane_free_after[this.lane(idx, bank)] <= cycle;
+            let mut chosen: Option<usize> = None;
+            let mut fallback_free: Option<usize> = None;
+            for idx in 0..self.states.len() {
+                match self.states[idx] {
+                    OffsetState::Scalar { occupied }
+                        if occupied & (1 << bank) == 0 && lane_ok(self, idx) =>
+                    {
+                        chosen = Some(idx);
+                        break;
+                    }
+                    OffsetState::Free if fallback_free.is_none() && lane_ok(self, idx) => {
+                        fallback_free = Some(idx);
+                    }
+                    _ => {}
+                }
+            }
+            if let Some(idx) = chosen.or(fallback_free) {
+                if matches!(self.states[idx], OffsetState::Free) {
+                    self.states[idx] = OffsetState::Scalar { occupied: 0 };
+                }
+                if let OffsetState::Scalar { occupied } = &mut self.states[idx] {
+                    *occupied |= 1 << bank;
+                }
+                return Some(ScalarSlot { bank, reg: idx });
+            }
+        }
+        None
+    }
+
+    /// Records that the scalar at `(offset, bank)` will never be read again.
+    pub fn scalar_dead(&mut self, offset: usize, bank: usize) {
+        if let OffsetState::Scalar { occupied } = &mut self.states[offset] {
+            *occupied &= !(1 << bank);
+            if *occupied == 0 {
+                self.states[offset] = OffsetState::Free;
+            }
+        }
+    }
+
+    /// Releases the value stored at `(offset, bank)` whichever kind of offset
+    /// it belongs to, after its final read at `cycle`.
+    pub fn value_dead(&mut self, offset: usize, bank: usize, cycle: u64) {
+        self.note_read(offset, bank, cycle);
+        match self.states[offset] {
+            OffsetState::Row { .. } => self.row_value_dead(offset),
+            OffsetState::Scalar { .. } => self.scalar_dead(offset, bank),
+            OffsetState::Free => {}
+        }
+    }
+
+    /// Picks a spill victim that is not in `protected`: prefers resident rows
+    /// (free to drop because the backing memory still holds them), otherwise
+    /// the scalar offset with the most occupied lanes.  Returns
+    /// `(offset, is_row)`.
+    pub fn pick_victim(&self, protected: &[usize]) -> Option<(usize, bool)> {
+        let allowed = |i: &usize| !protected.contains(i);
+        if let Some((idx, _)) = (0..self.states.len())
+            .filter(allowed)
+            .filter_map(|i| match self.states[i] {
+                OffsetState::Row { live, .. } => Some((i, live)),
+                _ => None,
+            })
+            .min_by_key(|&(_, live)| live)
+        {
+            return Some((idx, true));
+        }
+        (0..self.states.len())
+            .filter(allowed)
+            .filter_map(|i| match self.states[i] {
+                OffsetState::Scalar { occupied } => Some((i, occupied.count_ones())),
+                _ => None,
+            })
+            .max_by_key(|&(_, n)| n)
+            .map(|(i, _)| (i, false))
+    }
+
+    /// Returns the bank lanes currently occupied in a scalar offset.
+    pub fn scalar_lanes(&self, offset: usize) -> Vec<usize> {
+        match self.states[offset] {
+            OffsetState::Scalar { occupied } => (0..self.total_banks)
+                .filter(|b| occupied & (1 << b) != 0)
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Clears a scalar offset after it has been spilled to memory; its lanes
+    /// may be reused by writes committing after `cycle` (the store cycle).
+    pub fn clear_scalar(&mut self, offset: usize, cycle: u64) {
+        for bank in 0..self.total_banks {
+            self.note_read(offset, bank, cycle);
+        }
+        self.states[offset] = OffsetState::Free;
+    }
+}
+
+/// Where a value currently lives, from the scheduler's point of view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Loc {
+    /// The value has not been computed yet.
+    Unready,
+    /// The value sits in data memory.
+    Mem {
+        /// Data-memory row.
+        row: usize,
+        /// Lane (bank column) within the row.
+        lane: usize,
+    },
+    /// The value sits in the register file.
+    Reg {
+        /// Global bank index.
+        bank: usize,
+        /// Register offset.
+        reg: usize,
+        /// Cycle at which the value's write commits (readable afterwards).
+        ready: u64,
+    },
+    /// The value is the constant zero (never stored anywhere).
+    ConstZero,
+    /// The value is the constant one (never stored anywhere).
+    ConstOne,
+}
+
+/// Tracks the location and the remaining uses of every value of the program
+/// (inputs and operation results).
+#[derive(Debug, Clone)]
+pub struct ValueMap {
+    inputs: Vec<Loc>,
+    ops: Vec<Loc>,
+    input_uses: Vec<usize>,
+    op_uses: Vec<usize>,
+}
+
+impl ValueMap {
+    /// Creates a map for `num_inputs` inputs and `num_ops` operation results.
+    pub fn new(num_inputs: usize, num_ops: usize) -> Self {
+        ValueMap {
+            inputs: vec![Loc::Unready; num_inputs],
+            ops: vec![Loc::Unready; num_ops],
+            input_uses: vec![0; num_inputs],
+            op_uses: vec![0; num_ops],
+        }
+    }
+
+    /// Current location of `value`.
+    pub fn loc(&self, value: OperandRef) -> Loc {
+        match value {
+            OperandRef::Input(i) => self.inputs[i as usize],
+            OperandRef::Op(i) => self.ops[i as usize],
+        }
+    }
+
+    /// Updates the location of `value`.
+    pub fn set_loc(&mut self, value: OperandRef, loc: Loc) {
+        match value {
+            OperandRef::Input(i) => self.inputs[i as usize] = loc,
+            OperandRef::Op(i) => self.ops[i as usize] = loc,
+        }
+    }
+
+    /// Remaining number of not-yet-scheduled uses of `value`.
+    pub fn uses(&self, value: OperandRef) -> usize {
+        match value {
+            OperandRef::Input(i) => self.input_uses[i as usize],
+            OperandRef::Op(i) => self.op_uses[i as usize],
+        }
+    }
+
+    /// Adds `n` expected uses of `value`.
+    pub fn add_uses(&mut self, value: OperandRef, n: usize) {
+        match value {
+            OperandRef::Input(i) => self.input_uses[i as usize] += n,
+            OperandRef::Op(i) => self.op_uses[i as usize] += n,
+        }
+    }
+
+    /// Consumes one use of `value`; returns `true` when it was the last one.
+    pub fn consume_use(&mut self, value: OperandRef) -> bool {
+        let uses = match value {
+            OperandRef::Input(i) => &mut self.input_uses[i as usize],
+            OperandRef::Op(i) => &mut self.op_uses[i as usize],
+        };
+        debug_assert!(*uses > 0, "value consumed more often than counted");
+        *uses -= 1;
+        *uses == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_allocation_and_release() {
+        let mut a = RegAllocator::new(4, 32);
+        let o = a.alloc_row(3, 2, 1).unwrap();
+        assert_eq!(a.free_offsets(), 3);
+        assert_eq!(a.resident_row(o), Some(3));
+        a.note_read(o, 0, 5);
+        a.row_value_dead(o);
+        assert_eq!(a.free_offsets(), 3);
+        a.note_read(o, 1, 9);
+        a.row_value_dead(o);
+        assert_eq!(a.free_offsets(), 4);
+        // Reuse of that offset is only allowed after the last read (cycle 9);
+        // other offsets remain usable.
+        assert_ne!(a.alloc_row(7, 1, 8), Some(o));
+        assert!(a.alloc_row(8, 1, 10).is_some());
+    }
+
+    #[test]
+    fn scalar_slots_share_offsets_across_banks() {
+        let mut a = RegAllocator::new(2, 32);
+        let s0 = a.alloc_scalar([0], 1).unwrap();
+        let s1 = a.alloc_scalar([1], 1).unwrap();
+        // Both scalars fit the same offset because they sit in different banks.
+        assert_eq!(s0.reg, s1.reg);
+        let s2 = a.alloc_scalar([0], 1).unwrap();
+        assert_ne!(s2.reg, s0.reg);
+        // Bank 0 now has no free offsets left.
+        assert!(a.alloc_scalar([0], 1).is_none());
+        // Freeing lane 0 of the first offset makes room again, but only for
+        // writes that commit after the last read of the old value.
+        a.note_read(s0.reg, 0, 10);
+        a.scalar_dead(s0.reg, 0);
+        assert!(a.alloc_scalar([0], 5).is_none());
+        let s3 = a.alloc_scalar([0], 11).unwrap();
+        assert_eq!(s3.reg, s0.reg);
+    }
+
+    #[test]
+    fn lane_reuse_respects_pending_reads() {
+        let mut a = RegAllocator::new(1, 4);
+        let s = a.alloc_scalar([2], 1).unwrap();
+        a.value_dead(s.reg, 2, 50);
+        // The lane is dead but was read at cycle 50: a write committing at 20
+        // must not land there.
+        assert!(a.alloc_scalar([2], 20).is_none());
+        assert!(a.alloc_scalar([2], 51).is_some());
+    }
+
+    #[test]
+    fn candidate_bank_order_is_respected() {
+        let mut a = RegAllocator::new(1, 32);
+        let s = a.alloc_scalar([5, 6], 1).unwrap();
+        assert_eq!(s.bank, 5);
+        // Lane 5 of the single offset is now taken, so the second candidate
+        // bank gets used.
+        let s = a.alloc_scalar([5, 6], 1).unwrap();
+        assert_eq!(s.bank, 6);
+        assert_eq!(s.reg, 0);
+        // With both candidate lanes taken, allocation fails.
+        assert!(a.alloc_scalar([5, 6], 1).is_none());
+    }
+
+    #[test]
+    fn victim_prefers_rows_and_respects_protection() {
+        let mut a = RegAllocator::new(3, 32);
+        let s = a.alloc_scalar([0], 1).unwrap();
+        let row_offset = a.alloc_row(9, 4, 1).unwrap();
+        let (victim, is_row) = a.pick_victim(&[]).unwrap();
+        assert_eq!(victim, row_offset);
+        assert!(is_row);
+        // Protecting the row forces the scalar to be chosen.
+        let (victim, is_row) = a.pick_victim(&[row_offset]).unwrap();
+        assert!(!is_row);
+        assert_eq!(victim, s.reg);
+        assert_eq!(a.drop_row(row_offset), Some(9));
+        assert_eq!(a.scalar_lanes(s.reg), vec![0]);
+        a.clear_scalar(s.reg, 5);
+        assert_eq!(a.free_offsets(), 3);
+        assert!(a.pick_victim(&[]).is_none());
+    }
+
+    #[test]
+    fn value_map_tracks_uses_and_locations() {
+        let mut vm = ValueMap::new(2, 2);
+        let input = OperandRef::Input(0);
+        let op = OperandRef::Op(1);
+        vm.add_uses(input, 2);
+        vm.add_uses(op, 1);
+        assert_eq!(vm.uses(input), 2);
+        assert!(!vm.consume_use(input));
+        assert!(vm.consume_use(input));
+        assert!(vm.consume_use(op));
+        vm.set_loc(op, Loc::Reg { bank: 3, reg: 7, ready: 11 });
+        match vm.loc(op) {
+            Loc::Reg { bank, reg, ready } => {
+                assert_eq!((bank, reg, ready), (3, 7, 11));
+            }
+            other => panic!("unexpected location {other:?}"),
+        }
+        assert_eq!(vm.loc(input), Loc::Unready);
+    }
+
+    #[test]
+    fn is_free_and_num_offsets() {
+        let mut a = RegAllocator::new(2, 8);
+        assert_eq!(a.num_offsets(), 2);
+        assert!(a.is_free(0));
+        let s = a.alloc_scalar([1], 1).unwrap();
+        assert!(!a.is_free(s.reg));
+    }
+}

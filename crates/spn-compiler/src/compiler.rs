@@ -1,0 +1,165 @@
+//! Public compiler driver.
+
+use spn_core::flatten::{FlattenOptions, OpList};
+use spn_core::{Evidence, Spn};
+use spn_processor::config::ProcessorConfig;
+use spn_processor::isa::Program;
+
+use crate::report::CompileReport;
+use crate::schedule::{schedule, ScheduleOptions};
+use crate::tile::extract_tiles;
+use crate::Result;
+
+/// Options controlling the whole compilation pipeline.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CompilerOptions {
+    /// Options passed to the flattening step.
+    pub flatten: FlattenOptions,
+    /// Options passed to the scheduler.
+    pub schedule: ScheduleOptions,
+    /// Maximum tile depth; `None` uses the full tree depth of the target.
+    pub max_tile_depth: Option<usize>,
+}
+
+/// The result of compiling one SPN.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The executable VLIW program.
+    pub program: Program,
+    /// Statistics about the compilation.
+    pub report: CompileReport,
+    /// The flattened operation list the program was compiled from (needed to
+    /// materialise input vectors for new evidence).
+    pub op_list: OpList,
+}
+
+impl Compiled {
+    /// Materialises the program's input vector for `evidence`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the evidence covers a different number of
+    /// variables than the SPN the program was compiled from.
+    pub fn input_values(&self, evidence: &Evidence) -> Result<Vec<f64>> {
+        Ok(self.op_list.input_values(evidence)?)
+    }
+}
+
+/// Compiler from SPNs to processor programs.
+///
+/// See the crate-level documentation for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Compiler {
+    config: ProcessorConfig,
+    options: CompilerOptions,
+}
+
+impl Compiler {
+    /// Creates a compiler targeting `config` with default options.
+    pub fn new(config: ProcessorConfig) -> Self {
+        Compiler {
+            config,
+            options: CompilerOptions::default(),
+        }
+    }
+
+    /// Creates a compiler with explicit options.
+    pub fn with_options(config: ProcessorConfig, options: CompilerOptions) -> Self {
+        Compiler { config, options }
+    }
+
+    /// The processor configuration this compiler targets.
+    pub fn config(&self) -> &ProcessorConfig {
+        &self.config
+    }
+
+    /// Compiles an SPN into an executable program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::CompileError`] when the target configuration is
+    /// invalid or the program cannot be made to fit it.
+    pub fn compile(&self, spn: &Spn) -> Result<Compiled> {
+        let op_list = OpList::from_spn_with(spn, self.options.flatten);
+        self.compile_op_list(op_list)
+    }
+
+    /// Compiles an already-flattened operation list.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::CompileError`] when the target configuration is
+    /// invalid or the program cannot be made to fit it.
+    pub fn compile_op_list(&self, op_list: OpList) -> Result<Compiled> {
+        let depth = self
+            .options
+            .max_tile_depth
+            .unwrap_or(self.config.tree_levels)
+            .min(self.config.tree_levels)
+            .max(1);
+        let tiles = extract_tiles(&op_list, depth);
+        let (program, report) = schedule(&self.config, &op_list, &tiles, &self.options.schedule)?;
+        Ok(Compiled {
+            program,
+            report,
+            op_list,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spn_core::random::{random_spn, RandomSpnConfig};
+    use spn_processor::Processor;
+
+    #[test]
+    fn compile_and_execute_round_trip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let spn = random_spn(&RandomSpnConfig::with_vars(14), &mut rng);
+        let compiler = Compiler::new(ProcessorConfig::ptree());
+        let compiled = compiler.compile(&spn).unwrap();
+        assert_eq!(compiled.report.source_ops, compiled.op_list.num_ops());
+
+        let evidence = Evidence::marginal(14);
+        let inputs = compiled.input_values(&evidence).unwrap();
+        let processor = Processor::new(ProcessorConfig::ptree()).unwrap();
+        let run = processor.run(&compiled.program, &inputs).unwrap();
+        let expected = spn.evaluate(&evidence).unwrap();
+        assert!((run.output - expected).abs() < 1e-9 * expected.abs().max(1.0));
+    }
+
+    #[test]
+    fn max_tile_depth_caps_packing() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let spn = random_spn(&RandomSpnConfig::with_vars(16), &mut rng);
+        let deep = Compiler::new(ProcessorConfig::ptree()).compile(&spn).unwrap();
+        let shallow = Compiler::with_options(
+            ProcessorConfig::ptree(),
+            CompilerOptions {
+                max_tile_depth: Some(1),
+                ..Default::default()
+            },
+        )
+        .compile(&spn)
+        .unwrap();
+        assert!(shallow.report.tiles >= deep.report.tiles);
+        assert_eq!(shallow.report.tiles, shallow.op_list.num_ops());
+    }
+
+    #[test]
+    fn evidence_mismatch_is_reported() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let spn = random_spn(&RandomSpnConfig::with_vars(4), &mut rng);
+        let compiled = Compiler::new(ProcessorConfig::pvect()).compile(&spn).unwrap();
+        assert!(compiled.input_values(&Evidence::marginal(9)).is_err());
+    }
+
+    #[test]
+    fn config_accessor_returns_target() {
+        let compiler = Compiler::new(ProcessorConfig::pvect());
+        assert_eq!(compiler.config().name, "Pvect");
+    }
+}

@@ -1,0 +1,90 @@
+use std::fmt;
+
+use spn_core::SpnError;
+use spn_processor::ProcessorError;
+
+/// Errors produced while compiling an SPN for the custom processor.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// The register file and spill memory together cannot hold the live set.
+    ResourceExhausted {
+        /// Human readable description of what ran out.
+        reason: String,
+    },
+    /// The scheduler could not place an operation within its search window.
+    Unschedulable {
+        /// Operation index in the flattened program.
+        op: usize,
+        /// Human readable description.
+        reason: String,
+    },
+    /// The processor configuration is unsuitable (e.g. fails validation).
+    InvalidTarget {
+        /// Human readable description.
+        reason: String,
+    },
+    /// An error bubbled up from `spn-core` while flattening or evaluating.
+    Spn(SpnError),
+    /// An error bubbled up from the processor model.
+    Processor(ProcessorError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::ResourceExhausted { reason } => {
+                write!(f, "out of processor resources: {reason}")
+            }
+            CompileError::Unschedulable { op, reason } => {
+                write!(f, "operation {op} could not be scheduled: {reason}")
+            }
+            CompileError::InvalidTarget { reason } => {
+                write!(f, "invalid target configuration: {reason}")
+            }
+            CompileError::Spn(e) => write!(f, "sum-product network error: {e}"),
+            CompileError::Processor(e) => write!(f, "processor model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Spn(e) => Some(e),
+            CompileError::Processor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpnError> for CompileError {
+    fn from(e: SpnError) -> Self {
+        CompileError::Spn(e)
+    }
+}
+
+impl From<ProcessorError> for CompileError {
+    fn from(e: ProcessorError) -> Self {
+        CompileError::Processor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CompileError::ResourceExhausted {
+            reason: "no free register offsets".into(),
+        };
+        assert!(e.to_string().contains("resources"));
+        let e = CompileError::from(SpnError::EmptyNode);
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CompileError::from(ProcessorError::InvalidConfig {
+            reason: "x".into(),
+        });
+        assert!(e.to_string().contains("processor"));
+    }
+}

@@ -1,0 +1,1053 @@
+//! Cycle-by-cycle list scheduling of tiles onto the processor datapath.
+//!
+//! The scheduler walks the tiles in topological order and, for each tile,
+//! finds the earliest cycle at which it can issue on one of the PE trees.
+//! A placement has to satisfy every structural rule of the architecture:
+//!
+//! * its leaf-PE footprint must be free on the chosen tree in that cycle,
+//! * every register operand must be readable (its producing write committed
+//!   in an earlier cycle) and its bank must not be read by anyone else that
+//!   cycle (the crossbar serves one read per bank per cycle),
+//! * the root's write-back needs a destination bank that the root PE can
+//!   reach, whose write port is free in the commit cycle, and that has a
+//!   register lane the allocator can hand out safely.
+//!
+//! Program inputs live in the data memory and are loaded row by row before
+//! first use; when two operands of one tile live in the same bank, the
+//! scheduler inserts a forwarding *move* (a pass-through PE writing a copy to
+//! a different bank); when the register file runs out, resident rows are
+//! dropped or scalar offsets are spilled back to the data memory.
+
+use std::collections::HashMap;
+
+use spn_core::flatten::{LeafSource, OpList, OperandRef};
+use spn_processor::config::{PePosition, ProcessorConfig};
+use spn_processor::isa::{
+    InputSlot, Instruction, MemOp, PeOp, Program, ReadSel, TreeInstr, ValueLocation, WriteCmd,
+};
+
+use crate::alloc::{Loc, RegAllocator, ValueMap};
+use crate::error::CompileError;
+use crate::report::CompileReport;
+use crate::tile::Tile;
+use crate::Result;
+
+/// Tunable knobs of the scheduler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleOptions {
+    /// How many cycles past the operands' ready time to search for a dense
+    /// placement before simply appending a new cycle to the schedule.
+    pub search_window: u64,
+}
+
+impl Default for ScheduleOptions {
+    fn default() -> Self {
+        ScheduleOptions { search_window: 48 }
+    }
+}
+
+/// Per-cycle resource bookings.
+#[derive(Debug, Clone, Default)]
+struct CycleInfo {
+    /// Bitmask of banks read this cycle (crossbar + store traffic).
+    read_banks: u64,
+    /// Bitmask of banks with a write committing this cycle.
+    write_banks: u64,
+    /// Bitmask of occupied leaf PEs, one entry per tree.
+    leaf_used: Vec<u16>,
+    /// Whether the single data-memory port is taken.
+    mem_used: bool,
+}
+
+/// How one leaf slot of a tile gets its value.
+#[derive(Debug, Clone, Copy)]
+enum SlotSource {
+    /// Constant zero from the crossbar.
+    Zero(OperandRef),
+    /// Constant one from the crossbar.
+    One(OperandRef),
+    /// Read the operand from its canonical register location.
+    Original {
+        operand: OperandRef,
+        bank: usize,
+        reg: usize,
+    },
+    /// Read a temporary copy created by a forwarding move.
+    Copy {
+        bank: usize,
+        reg: usize,
+        /// Cycle at which the copy commits (readable afterwards).
+        ready: u64,
+    },
+}
+
+impl SlotSource {
+    fn bank(&self) -> Option<usize> {
+        match self {
+            SlotSource::Original { bank, .. } | SlotSource::Copy { bank, .. } => Some(*bank),
+            _ => None,
+        }
+    }
+
+    fn ready_cycle(&self, values: &ValueMap) -> u64 {
+        match self {
+            SlotSource::Original { operand, .. } => match values.loc(*operand) {
+                Loc::Reg { ready, .. } => ready + 1,
+                _ => 0,
+            },
+            SlotSource::Copy { ready, .. } => ready + 1,
+            _ => 0,
+        }
+    }
+}
+
+/// A chosen placement for one tile.
+#[derive(Debug, Clone, Copy)]
+struct Placement {
+    cycle: u64,
+    tree: usize,
+    block: usize,
+    dest_bank: usize,
+    dest_reg: usize,
+}
+
+/// Schedules `tiles` (extracted from `ops`) onto `config`, producing the VLIW
+/// program and a compilation report.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] when the configuration is invalid or the working
+/// set cannot be made to fit the register file and data memory.
+pub fn schedule(
+    config: &ProcessorConfig,
+    ops: &OpList,
+    tiles: &[Tile],
+    options: &ScheduleOptions,
+) -> Result<(Program, CompileReport)> {
+    config.validate()?;
+    let mut scheduler = Scheduler::new(config, ops, options);
+    scheduler.init_values(tiles);
+    for tile in tiles {
+        scheduler.schedule_tile(tile)?;
+    }
+    scheduler.finish(tiles)
+}
+
+struct Scheduler<'a> {
+    config: &'a ProcessorConfig,
+    ops: &'a OpList,
+    options: &'a ScheduleOptions,
+    values: ValueMap,
+    alloc: RegAllocator,
+    cycles: Vec<CycleInfo>,
+    instructions: Vec<Instruction>,
+    /// For every data-memory row: the values stored there and their lanes.
+    mem_rows: Vec<Vec<(OperandRef, usize)>>,
+    /// Earliest cycle at which each data-memory row holds valid data
+    /// (0 for input rows, the store cycle + 1 for spill rows).
+    row_available_from: Vec<u64>,
+    /// Latest commit cycle booked so far (pipeline drain horizon).
+    last_commit_booked: u64,
+    /// Data-memory rows currently resident in the register file.
+    resident: HashMap<usize, usize>,
+    /// Reverse map of scalar allocations, for spilling.
+    scalar_values: HashMap<(usize, usize), OperandRef>,
+    /// How many values have been written to each bank (allocation heuristic).
+    bank_pressure: Vec<u64>,
+    input_slots: Vec<InputSlot>,
+    /// Scan hint for finding a free data-memory cycle.
+    mem_hint: u64,
+    report: CompileReport,
+}
+
+impl<'a> Scheduler<'a> {
+    fn new(config: &'a ProcessorConfig, ops: &'a OpList, options: &'a ScheduleOptions) -> Self {
+        Scheduler {
+            config,
+            ops,
+            options,
+            values: ValueMap::new(ops.num_inputs(), ops.num_ops()),
+            alloc: RegAllocator::new(config.regs_per_bank, config.total_banks()),
+            cycles: Vec::new(),
+            instructions: Vec::new(),
+            mem_rows: Vec::new(),
+            row_available_from: Vec::new(),
+            last_commit_booked: 0,
+            resident: HashMap::new(),
+            scalar_values: HashMap::new(),
+            bank_pressure: vec![0; config.total_banks()],
+            input_slots: Vec::new(),
+            mem_hint: 0,
+            report: CompileReport::default(),
+        }
+    }
+
+    fn init_values(&mut self, tiles: &[Tile]) {
+        for tile in tiles {
+            for read in &tile.reads {
+                self.values.add_uses(read.operand, 1);
+            }
+        }
+        self.values.add_uses(self.ops.output(), 1);
+
+        // Lay out every program input in the data memory, row major.
+        let banks = self.config.total_banks();
+        for (i, leaf) in self.ops.inputs().iter().enumerate() {
+            let row = i / banks;
+            let lane = i % banks;
+            if lane == 0 {
+                self.mem_rows.push(Vec::new());
+                self.row_available_from.push(0);
+            }
+            let operand = OperandRef::Input(i as u32);
+            self.mem_rows[row].push((operand, lane));
+            self.input_slots.push(InputSlot {
+                row: row as u32,
+                lane: lane as u16,
+            });
+            let loc = match leaf {
+                LeafSource::Param(p) if *p == 0.0 => Loc::ConstZero,
+                LeafSource::Param(p) if *p == 1.0 => Loc::ConstOne,
+                _ => Loc::Mem { row, lane },
+            };
+            self.values.set_loc(operand, loc);
+        }
+        self.report.source_ops = self.ops.num_ops();
+        self.report.tiles = tiles.len();
+    }
+
+    fn ensure_cycle(&mut self, cycle: u64) {
+        while self.cycles.len() <= cycle as usize {
+            self.cycles.push(CycleInfo {
+                leaf_used: vec![0; self.config.num_trees],
+                ..Default::default()
+            });
+            self.instructions.push(Instruction::nop(self.config));
+        }
+    }
+
+    fn fresh_cycle(&self) -> u64 {
+        self.cycles.len() as u64
+    }
+
+    /// Offsets that currently hold operands of `tile` (must not be evicted).
+    fn protected_offsets(&self, tile: &Tile) -> Vec<usize> {
+        let mut protected = Vec::new();
+        for read in &tile.reads {
+            if let Loc::Reg { reg, .. } = self.values.loc(read.operand) {
+                protected.push(reg);
+            }
+        }
+        protected.sort_unstable();
+        protected.dedup();
+        protected
+    }
+
+    // ------------------------------------------------------------------
+    // Memory traffic
+    // ------------------------------------------------------------------
+
+    /// Finds a cycle no earlier than `not_before` with a free memory port and
+    /// no committing writes, where a row load can be placed.  Starts scanning
+    /// at `self.mem_hint`.
+    fn find_load_cycle(&mut self, not_before: u64) -> u64 {
+        let mut c = self.mem_hint.max(not_before);
+        loop {
+            if (c as usize) >= self.cycles.len() {
+                return c;
+            }
+            let info = &self.cycles[c as usize];
+            if !info.mem_used && info.write_banks == 0 {
+                return c;
+            }
+            c += 1;
+        }
+    }
+
+    /// Loads data-memory row `row` into the register file, spilling other
+    /// offsets when necessary.  Updates the locations of the row's live
+    /// values.
+    fn ensure_loaded(&mut self, row: usize, protected: &[usize]) -> Result<()> {
+        if self.resident.contains_key(&row) {
+            return Ok(());
+        }
+        let live = self.mem_rows[row]
+            .iter()
+            .filter(|(v, _)| {
+                self.values.uses(*v) > 0
+                    && matches!(self.values.loc(*v), Loc::Mem { row: r, .. } if r == row)
+            })
+            .count();
+        loop {
+            let cycle = self.find_load_cycle(self.row_available_from[row]);
+            if let Some(offset) = self.alloc.alloc_row(row, live, cycle) {
+                self.book_load(row, offset, cycle);
+                return Ok(());
+            }
+            // Every free offset may still have reads booked in the future;
+            // loading later (once such an offset becomes reusable) avoids an
+            // unnecessary spill.
+            if let Some(reuse_at) = self.alloc.earliest_row_reuse() {
+                let later = self.find_load_cycle(reuse_at.max(self.row_available_from[row]));
+                if let Some(offset) = self.alloc.alloc_row(row, live, later) {
+                    self.book_load(row, offset, later);
+                    return Ok(());
+                }
+            }
+            if !self.spill_something(protected)? {
+                return Err(CompileError::ResourceExhausted {
+                    reason: format!(
+                        "cannot load input row {row}: register file full and nothing left to spill"
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Books a vector load of `row` into register offset `offset` at `cycle`
+    /// and updates the locations of the row's live values.
+    fn book_load(&mut self, row: usize, offset: usize, cycle: u64) {
+        self.ensure_cycle(cycle);
+        let info = &mut self.cycles[cycle as usize];
+        info.mem_used = true;
+        info.write_banks = bank_mask(self.config.total_banks());
+        self.instructions[cycle as usize].mem = MemOp::Load {
+            row: row as u32,
+            reg: offset as u16,
+        };
+        self.mem_hint = cycle + 1;
+        self.last_commit_booked = self.last_commit_booked.max(cycle);
+        self.alloc.note_write_row(offset, cycle);
+        self.report.memory_loads += 1;
+        self.resident.insert(row, offset);
+        let row_values = self.mem_rows[row].clone();
+        for (value, lane) in row_values {
+            if self.values.uses(value) > 0 {
+                if let Loc::Mem { row: r, .. } = self.values.loc(value) {
+                    if r == row {
+                        self.values.set_loc(
+                            value,
+                            Loc::Reg {
+                                bank: lane,
+                                reg: offset,
+                                ready: cycle,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Frees one register offset, either by dropping a resident row (still
+    /// backed by memory) or by storing a scalar offset to a fresh spill row.
+    /// Returns `false` when nothing can be evicted.
+    fn spill_something(&mut self, protected: &[usize]) -> Result<bool> {
+        let Some((offset, is_row)) = self.alloc.pick_victim(protected) else {
+            return Ok(false);
+        };
+        if is_row {
+            let row = self.alloc.drop_row(offset).expect("victim was a row");
+            self.resident.remove(&row);
+            let row_values = self.mem_rows[row].clone();
+            for (value, lane) in row_values {
+                if let Loc::Reg { reg, .. } = self.values.loc(value) {
+                    if reg == offset {
+                        self.values.set_loc(value, Loc::Mem { row, lane });
+                    }
+                }
+            }
+            return Ok(true);
+        }
+
+        // Scalar spill: store the whole offset row to a new data-memory row.
+        let lanes = self.alloc.scalar_lanes(offset);
+        let mut stored: Vec<(OperandRef, usize)> = Vec::new();
+        for bank in &lanes {
+            if let Some(&value) = self.scalar_values.get(&(*bank, offset)) {
+                stored.push((value, *bank));
+            }
+        }
+        // Find a cycle with a free memory port and no register reads at all
+        // (the store occupies every bank's read port), after every write
+        // booked so far has committed so no lane of the offset is in flight.
+        let mut cycle = self.fresh_cycle().max(self.last_commit_booked + 1);
+        loop {
+            if (cycle as usize) >= self.cycles.len() {
+                break;
+            }
+            let info = &self.cycles[cycle as usize];
+            if !info.mem_used && info.read_banks == 0 {
+                break;
+            }
+            cycle += 1;
+        }
+        self.ensure_cycle(cycle);
+        let spill_row = self.mem_rows.len();
+        self.mem_rows.push(stored.clone());
+        // The spilled data only exists in memory after the store has executed.
+        self.row_available_from.push(cycle + 1);
+        let info = &mut self.cycles[cycle as usize];
+        info.mem_used = true;
+        info.read_banks = bank_mask(self.config.total_banks());
+        self.instructions[cycle as usize].mem = MemOp::Store {
+            row: spill_row as u32,
+            reg: offset as u16,
+        };
+        self.report.memory_stores += 1;
+        for (value, bank) in stored {
+            self.values.set_loc(value, Loc::Mem {
+                row: spill_row,
+                lane: bank,
+            });
+            self.scalar_values.remove(&(bank, offset));
+        }
+        self.alloc.clear_scalar(offset, cycle);
+        Ok(true)
+    }
+
+    // ------------------------------------------------------------------
+    // Forwarding moves (bank-conflict resolution)
+    // ------------------------------------------------------------------
+
+    /// Creates a register copy of `operand` in a bank outside `avoid_banks`,
+    /// using a pass-through PE.  Returns the copy's location and commit cycle
+    /// and consumes one use of the original.
+    fn make_copy(
+        &mut self,
+        operand: OperandRef,
+        avoid_banks: u64,
+        protected: &[usize],
+    ) -> Result<(usize, usize, u64)> {
+        let Loc::Reg {
+            bank: src_bank,
+            reg: src_reg,
+            ready,
+        } = self.values.loc(operand)
+        else {
+            return Err(CompileError::ResourceExhausted {
+                reason: "copy source is not register resident".to_string(),
+            });
+        };
+        let leaf_count = self.config.leaf_pes_per_tree;
+        let mut cycle = ready + 1;
+        loop {
+            // Beyond every existing booking the only possible blocker is the
+            // register allocator; remember this before extending the schedule.
+            let beyond_bookings = cycle as usize >= self.cycles.len();
+            self.ensure_cycle(cycle);
+            let feasible = {
+                let info = &self.cycles[cycle as usize];
+                info.read_banks & (1 << src_bank) == 0
+            };
+            if feasible {
+                // Try every leaf PE; its two writable banks are candidates.
+                for tree in 0..self.config.num_trees {
+                    let leaf_used = self.cycles[cycle as usize].leaf_used[tree];
+                    for leaf in 0..leaf_count {
+                        if leaf_used & (1 << leaf) != 0 {
+                            continue;
+                        }
+                        let position = PePosition {
+                            tree,
+                            level: 0,
+                            index: leaf,
+                        };
+                        for bank in self.config.writable_banks(position) {
+                            if avoid_banks & (1 << bank) != 0 {
+                                continue;
+                            }
+                            if self.cycles[cycle as usize].write_banks & (1 << bank) != 0 {
+                                continue;
+                            }
+                            let Some(slot) = self.alloc.alloc_scalar([bank], cycle) else {
+                                continue;
+                            };
+                            self.last_commit_booked = self.last_commit_booked.max(cycle);
+                            self.alloc.note_write(slot.reg, bank, cycle);
+                            // Book the move.
+                            let info = &mut self.cycles[cycle as usize];
+                            info.read_banks |= 1 << src_bank;
+                            info.write_banks |= 1 << bank;
+                            info.leaf_used[tree] |= 1 << leaf;
+                            let tree_instr = &mut self.instructions[cycle as usize].trees[tree];
+                            tree_instr.reads[2 * leaf] = ReadSel::Reg {
+                                bank: src_bank as u16,
+                                reg: src_reg as u16,
+                            };
+                            let flat = TreeInstr::pe_flat_index(self.config, 0, leaf);
+                            tree_instr.pe_ops[flat] = PeOp::PassA;
+                            tree_instr.writes.push(WriteCmd {
+                                level: 0,
+                                pe: leaf as u8,
+                                bank: bank as u16,
+                                reg: slot.reg as u16,
+                            });
+                            self.alloc.note_read(src_reg, src_bank, cycle);
+                            if self.values.consume_use(operand) {
+                                self.release_storage(operand, src_bank, src_reg, cycle);
+                            }
+                            self.report.copy_moves += 1;
+                            self.bank_pressure[bank] += 1;
+                            return Ok((bank, slot.reg, cycle));
+                        }
+                    }
+                }
+            }
+            if beyond_bookings {
+                // Only the register allocator can be blocking out here; make
+                // room and keep scanning forward (freed lanes become usable
+                // once the schedule passes their last booked read).
+                let mut protected = protected.to_vec();
+                protected.push(src_reg);
+                if !self.spill_something(&protected)? {
+                    return Err(CompileError::ResourceExhausted {
+                        reason: "no register lane available for a forwarding copy".to_string(),
+                    });
+                }
+            }
+            cycle += 1;
+        }
+    }
+
+    /// Frees the storage behind `operand` after its last read at `cycle`.
+    fn release_storage(&mut self, _operand: OperandRef, bank: usize, reg: usize, cycle: u64) {
+        self.alloc.value_dead(reg, bank, cycle);
+        self.scalar_values.remove(&(bank, reg));
+        if self.alloc.is_free(reg) {
+            if let Some(row) = self
+                .resident
+                .iter()
+                .find(|(_, &offset)| offset == reg)
+                .map(|(&row, _)| row)
+            {
+                self.resident.remove(&row);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tile scheduling
+    // ------------------------------------------------------------------
+
+    fn schedule_tile(&mut self, tile: &Tile) -> Result<()> {
+        // 1. Bring every memory-resident operand into the register file,
+        //    protecting rows already brought in for this tile from eviction.
+        let mut protected = self.protected_offsets(tile);
+        loop {
+            let mut needed_rows: Vec<usize> = tile
+                .reads
+                .iter()
+                .filter_map(|r| match self.values.loc(r.operand) {
+                    Loc::Mem { row, .. } => Some(row),
+                    _ => None,
+                })
+                .collect();
+            needed_rows.sort_unstable();
+            needed_rows.dedup();
+            if needed_rows.is_empty() {
+                break;
+            }
+            for row in needed_rows {
+                self.ensure_loaded(row, &protected)?;
+                if let Some(&offset) = self.resident.get(&row) {
+                    protected.push(offset);
+                }
+            }
+        }
+
+        // 2. Resolve operand sources and fix intra-tile bank conflicts.
+        let mut slot_sources: Vec<(usize, SlotSource)> = Vec::with_capacity(tile.reads.len());
+        let mut used_banks: u64 = 0;
+        let mut all_original_banks: u64 = 0;
+        for read in &tile.reads {
+            if let Loc::Reg { bank, .. } = self.values.loc(read.operand) {
+                all_original_banks |= 1 << bank;
+            }
+        }
+        for read in &tile.reads {
+            let source = match self.values.loc(read.operand) {
+                Loc::ConstZero => SlotSource::Zero(read.operand),
+                Loc::ConstOne => SlotSource::One(read.operand),
+                Loc::Reg { bank, reg, .. } => {
+                    if used_banks & (1 << bank) != 0 {
+                        // Conflict with an earlier operand of this tile: route
+                        // a copy through a different bank.
+                        let (copy_bank, copy_reg, copy_cycle) = self.make_copy(
+                            read.operand,
+                            all_original_banks | used_banks,
+                            &protected,
+                        )?;
+                        used_banks |= 1 << copy_bank;
+                        protected.push(copy_reg);
+                        SlotSource::Copy {
+                            bank: copy_bank,
+                            reg: copy_reg,
+                            ready: copy_cycle,
+                        }
+                    } else {
+                        used_banks |= 1 << bank;
+                        SlotSource::Original {
+                            operand: read.operand,
+                            bank,
+                            reg,
+                        }
+                    }
+                }
+                Loc::Mem { .. } | Loc::Unready => {
+                    return Err(CompileError::Unschedulable {
+                        op: tile.root,
+                        reason: "operand not resident when scheduling tile".to_string(),
+                    })
+                }
+            };
+            slot_sources.push((read.slot, source));
+        }
+
+        // 3. Earliest issue cycle: every register operand must have committed.
+        let earliest = slot_sources
+            .iter()
+            .map(|(_, s)| s.ready_cycle(&self.values))
+            .max()
+            .unwrap_or(0);
+
+        // 4. Find and commit a placement.
+        let placement = self.find_placement(tile, &slot_sources, earliest, &protected)?;
+        self.commit_placement(tile, &slot_sources, placement);
+        Ok(())
+    }
+
+    fn find_placement(
+        &mut self,
+        tile: &Tile,
+        slot_sources: &[(usize, SlotSource)],
+        earliest: u64,
+        protected: &[usize],
+    ) -> Result<Placement> {
+        let window_end = earliest + self.options.search_window;
+        let mut cycle = earliest;
+        while cycle <= window_end {
+            if let Some(p) = self.try_place_at(cycle, tile, slot_sources) {
+                return Ok(p);
+            }
+            cycle += 1;
+        }
+        // Dense placement failed: append at the end of the schedule, spilling
+        // if the register file is the limiting factor.
+        loop {
+            let cycle = self.fresh_cycle().max(earliest);
+            if let Some(p) = self.try_place_at(cycle, tile, slot_sources) {
+                return Ok(p);
+            }
+            if !self.spill_something(protected)? {
+                return Err(CompileError::Unschedulable {
+                    op: tile.root,
+                    reason: "no destination register available even after spilling".to_string(),
+                });
+            }
+        }
+    }
+
+    fn try_place_at(
+        &mut self,
+        cycle: u64,
+        tile: &Tile,
+        slot_sources: &[(usize, SlotSource)],
+    ) -> Option<Placement> {
+        self.ensure_cycle(cycle);
+        let root_level = tile.depth - 1;
+        let commit = cycle + self.config.commit_latency(root_level);
+        self.ensure_cycle(commit);
+        let footprint = tile.leaf_footprint();
+        let blocks = self.config.leaf_pes_per_tree / footprint;
+        let footprint_mask: u16 = (((1u32 << footprint) - 1) & 0xffff) as u16;
+
+        // Reads must not clash with anything already booked this cycle.
+        let info_reads = self.cycles[cycle as usize].read_banks;
+        let mut needed_reads: u64 = 0;
+        for (_, source) in slot_sources {
+            if let Some(bank) = source.bank() {
+                needed_reads |= 1 << bank;
+            }
+        }
+        if needed_reads & info_reads != 0 {
+            return None;
+        }
+
+        // Prefer the tree with more free leaf PEs this cycle.
+        let mut tree_order: Vec<usize> = (0..self.config.num_trees).collect();
+        tree_order.sort_by_key(|&t| self.cycles[cycle as usize].leaf_used[t].count_ones());
+
+        for tree in tree_order {
+            let leaf_used = self.cycles[cycle as usize].leaf_used[tree];
+            for block in 0..blocks {
+                let mask = footprint_mask << (block * footprint);
+                if leaf_used & mask != 0 {
+                    continue;
+                }
+                // Destination bank for the root's write-back.
+                let position = PePosition {
+                    tree,
+                    level: root_level,
+                    index: block,
+                };
+                let mut candidates: Vec<usize> = self.config.writable_banks(position).collect();
+                candidates.sort_by_key(|&b| self.bank_pressure[b]);
+                let write_banks = self.cycles[commit as usize].write_banks;
+                for bank in candidates {
+                    if write_banks & (1 << bank) != 0 {
+                        continue;
+                    }
+                    // Allocation is keyed on the issue cycle so the lane's
+                    // previous value is not even in flight while it is still
+                    // being read (keeps the processor's hazard oracle happy).
+                    if let Some(slot) = self.alloc.alloc_scalar([bank], cycle) {
+                        return Some(Placement {
+                            cycle,
+                            tree,
+                            block,
+                            dest_bank: slot.bank,
+                            dest_reg: slot.reg,
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn commit_placement(
+        &mut self,
+        tile: &Tile,
+        slot_sources: &[(usize, SlotSource)],
+        placement: Placement,
+    ) {
+        let Placement {
+            cycle,
+            tree,
+            block,
+            dest_bank,
+            dest_reg,
+        } = placement;
+        let root_level = tile.depth - 1;
+        let commit = cycle + self.config.commit_latency(root_level);
+        let footprint = tile.leaf_footprint();
+        let leaf_base = block * footprint;
+
+        self.ensure_cycle(commit);
+        // Book leaf occupancy and the destination write.
+        {
+            let footprint_mask: u16 = (((1u32 << footprint) - 1) & 0xffff) as u16;
+            let info = &mut self.cycles[cycle as usize];
+            info.leaf_used[tree] |= footprint_mask << leaf_base;
+        }
+        self.cycles[commit as usize].write_banks |= 1 << dest_bank;
+        self.bank_pressure[dest_bank] += 1;
+        self.last_commit_booked = self.last_commit_booked.max(commit);
+        self.alloc.note_write(dest_reg, dest_bank, commit);
+
+        // Emit reads.
+        for (slot, source) in slot_sources {
+            let global_slot = leaf_base * 2 + slot;
+            let sel = match source {
+                SlotSource::Zero(_) => ReadSel::Zero,
+                SlotSource::One(_) => ReadSel::One,
+                SlotSource::Original { bank, reg, .. } | SlotSource::Copy { bank, reg, .. } => {
+                    self.cycles[cycle as usize].read_banks |= 1 << *bank;
+                    ReadSel::Reg {
+                        bank: *bank as u16,
+                        reg: *reg as u16,
+                    }
+                }
+            };
+            self.instructions[cycle as usize].trees[tree].reads[global_slot] = sel;
+        }
+
+        // Emit PE opcodes for the tile's operations and pass-throughs.
+        for placed in &tile.ops {
+            let global_index = (leaf_base >> placed.level) + placed.pos;
+            let flat = TreeInstr::pe_flat_index(self.config, placed.level, global_index);
+            self.instructions[cycle as usize].trees[tree].pe_ops[flat] =
+                match placed.kind {
+                    spn_core::flatten::OpKind::Add => PeOp::Add,
+                    spn_core::flatten::OpKind::Mul => PeOp::Mul,
+                };
+        }
+        for pass in &tile.passes {
+            let global_index = (leaf_base >> pass.level) + pass.pos;
+            let flat = TreeInstr::pe_flat_index(self.config, pass.level, global_index);
+            self.instructions[cycle as usize].trees[tree].pe_ops[flat] = PeOp::PassA;
+        }
+
+        // Emit the root's write-back.
+        self.instructions[cycle as usize].trees[tree]
+            .writes
+            .push(WriteCmd {
+                level: root_level as u8,
+                pe: block as u8,
+                bank: dest_bank as u16,
+                reg: dest_reg as u16,
+            });
+
+        // Record the result location.
+        let result = OperandRef::Op(tile.root as u32);
+        self.values.set_loc(
+            result,
+            Loc::Reg {
+                bank: dest_bank,
+                reg: dest_reg,
+                ready: commit,
+            },
+        );
+        self.scalar_values.insert((dest_bank, dest_reg), result);
+
+        // Consume operand uses and free dead storage.
+        for (_, source) in slot_sources {
+            match source {
+                SlotSource::Zero(operand) | SlotSource::One(operand) => {
+                    self.values.consume_use(*operand);
+                }
+                SlotSource::Original { operand, bank, reg } => {
+                    self.alloc.note_read(*reg, *bank, cycle);
+                    if self.values.consume_use(*operand) {
+                        self.release_storage(*operand, *bank, *reg, cycle);
+                    }
+                }
+                SlotSource::Copy { bank, reg, .. } => {
+                    // Temporary copies die immediately after their single read.
+                    self.alloc.value_dead(*reg, *bank, cycle);
+                }
+            }
+        }
+
+        let live = self.alloc.num_offsets() - self.alloc.free_offsets();
+        self.report.peak_live_offsets = self.report.peak_live_offsets.max(live);
+    }
+
+    fn finish(mut self, _tiles: &[Tile]) -> Result<(Program, CompileReport)> {
+        let output = match self.ops.output() {
+            // Inputs always keep their copy in the data memory image.
+            OperandRef::Input(i) => {
+                let slot = self.input_slots[i as usize];
+                ValueLocation::Memory {
+                    row: slot.row,
+                    lane: slot.lane,
+                }
+            }
+            OperandRef::Op(_) => match self.values.loc(self.ops.output()) {
+                Loc::Reg { bank, reg, .. } => ValueLocation::Register {
+                    bank: bank as u16,
+                    reg: reg as u16,
+                },
+                Loc::Mem { row, lane } => ValueLocation::Memory {
+                    row: row as u32,
+                    lane: lane as u16,
+                },
+                Loc::Unready | Loc::ConstZero | Loc::ConstOne => {
+                    return Err(CompileError::Unschedulable {
+                        op: 0,
+                        reason: "program output was never materialised".to_string(),
+                    })
+                }
+            },
+        };
+
+        self.report.instructions = self.instructions.len();
+        self.report.estimated_cycles = self.instructions.len() as u64;
+        self.report.nop_instructions = self
+            .instructions
+            .iter()
+            .filter(|i| i.is_nop())
+            .count();
+
+        let program = Program {
+            config: self.config.clone(),
+            instructions: self.instructions,
+            input_layout: self.input_slots,
+            memory_rows_used: self.mem_rows.len(),
+            output,
+            num_source_ops: self.ops.num_ops(),
+        };
+        Ok((program, self.report))
+    }
+}
+
+fn bank_mask(banks: usize) -> u64 {
+    if banks >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << banks) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tile::extract_tiles;
+    use spn_core::random::{random_spn, RandomSpnConfig};
+    use spn_core::{Evidence, SpnBuilder, VarId};
+    use spn_processor::Processor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn compile_and_run(
+        config: &ProcessorConfig,
+        spn: &spn_core::Spn,
+        evidence: &Evidence,
+    ) -> (f64, f64, CompileReport) {
+        let ops = OpList::from_spn(spn);
+        let tiles = extract_tiles(&ops, config.tree_levels);
+        let (program, report) =
+            schedule(config, &ops, &tiles, &ScheduleOptions::default()).expect("schedule");
+        let inputs = ops.input_values(evidence).expect("inputs");
+        let processor = Processor::new(config.clone()).expect("processor");
+        let run = processor.run(&program, &inputs).expect("run");
+        let reference = spn.evaluate(evidence).expect("reference");
+        (run.output, reference, report)
+    }
+
+    fn small_mixture() -> spn_core::Spn {
+        let mut b = SpnBuilder::new(2);
+        let x0 = b.indicator(VarId(0), true);
+        let nx0 = b.indicator(VarId(0), false);
+        let x1 = b.indicator(VarId(1), true);
+        let nx1 = b.indicator(VarId(1), false);
+        let p0 = b.product(vec![x0, x1]).unwrap();
+        let p1 = b.product(vec![nx0, nx1]).unwrap();
+        let root = b.sum(vec![(p0, 0.3), (p1, 0.7)]).unwrap();
+        b.finish(root).unwrap()
+    }
+
+    #[test]
+    fn small_mixture_runs_correctly_on_ptree() {
+        let spn = small_mixture();
+        for assignment in [[true, true], [true, false], [false, false]] {
+            let (got, expected, _) = compile_and_run(
+                &ProcessorConfig::ptree(),
+                &spn,
+                &Evidence::from_assignment(&assignment),
+            );
+            assert!((got - expected).abs() < 1e-12, "{assignment:?}");
+        }
+    }
+
+    #[test]
+    fn small_mixture_runs_correctly_on_pvect() {
+        let spn = small_mixture();
+        let (got, expected, _) = compile_and_run(
+            &ProcessorConfig::pvect(),
+            &spn,
+            &Evidence::marginal(2),
+        );
+        assert!((got - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_spns_run_correctly_on_both_configs() {
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..4u64 {
+            let spn = random_spn(&RandomSpnConfig::with_vars(10), &mut rng);
+            let evidence = Evidence::marginal(10);
+            for config in [ProcessorConfig::ptree(), ProcessorConfig::pvect()] {
+                let (got, expected, report) = compile_and_run(&config, &spn, &evidence);
+                assert!(
+                    (got - expected).abs() < 1e-9 * expected.abs().max(1.0),
+                    "trial {trial} on {}",
+                    config.name
+                );
+                assert_eq!(report.source_ops, OpList::from_spn(&spn).num_ops());
+            }
+        }
+    }
+
+    #[test]
+    fn ptree_packs_more_ops_per_instruction_than_pvect() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let spn = random_spn(&RandomSpnConfig::with_vars(24), &mut rng);
+        let evidence = Evidence::marginal(24);
+        let (_, _, tree_report) = compile_and_run(&ProcessorConfig::ptree(), &spn, &evidence);
+        let (_, _, vect_report) = compile_and_run(&ProcessorConfig::pvect(), &spn, &evidence);
+        assert!(
+            tree_report.ops_per_instruction() > vect_report.ops_per_instruction(),
+            "tree: {:.2}, vect: {:.2}",
+            tree_report.ops_per_instruction(),
+            vect_report.ops_per_instruction()
+        );
+    }
+
+    #[test]
+    fn tiny_register_file_forces_extra_memory_traffic_but_stays_correct() {
+        let mut config = ProcessorConfig::ptree();
+        config.regs_per_bank = 6;
+        config.name = "tiny".to_string();
+        let mut rng = StdRng::seed_from_u64(31);
+        let spn = random_spn(&RandomSpnConfig::with_vars(48), &mut rng);
+        let evidence = Evidence::marginal(48);
+
+        // Shallow tiles keep the per-tile operand footprint within the tiny
+        // register file; the working set still does not fit as a whole.
+        let ops = OpList::from_spn(&spn);
+        let tiles = extract_tiles(&ops, 2);
+        let (program, report) =
+            schedule(&config, &ops, &tiles, &ScheduleOptions::default()).expect("schedule");
+        let inputs = ops.input_values(&evidence).expect("inputs");
+        let processor = Processor::new(config).expect("processor");
+        let run = processor.run(&program, &inputs).expect("run");
+        let expected = spn.evaluate(&evidence).expect("reference");
+
+        assert!((run.output - expected).abs() < 1e-9 * expected.abs().max(1.0));
+        let minimum_rows = ops.num_inputs().div_ceil(32);
+        assert!(
+            report.memory_loads >= minimum_rows,
+            "input rows must still be loaded: {report}"
+        );
+        // With six registers per bank the working set does not fit: rows must
+        // be re-loaded or intermediates spilled.
+        assert!(
+            report.memory_loads > minimum_rows || report.memory_stores > 0,
+            "expected eviction traffic: {report}"
+        );
+    }
+
+    #[test]
+    fn single_leaf_program_needs_no_instructions() {
+        let mut b = SpnBuilder::new(1);
+        let x = b.indicator(VarId(0), true);
+        let spn = b.finish(x).unwrap();
+        let ops = OpList::from_spn(&spn);
+        let tiles = extract_tiles(&ops, 4);
+        assert!(tiles.is_empty());
+        let config = ProcessorConfig::ptree();
+        let (program, report) =
+            schedule(&config, &ops, &tiles, &ScheduleOptions::default()).unwrap();
+        assert!(program.is_empty());
+        assert_eq!(report.source_ops, 0);
+        let processor = Processor::new(config).unwrap();
+        let run = processor
+            .run(&program, &ops.input_values(&Evidence::from_assignment(&[true])).unwrap())
+            .unwrap();
+        assert_eq!(run.output, 1.0);
+    }
+
+    #[test]
+    fn schedule_report_counts_are_consistent() {
+        let mut rng = StdRng::seed_from_u64(37);
+        let spn = random_spn(&RandomSpnConfig::with_vars(16), &mut rng);
+        let ops = OpList::from_spn(&spn);
+        let config = ProcessorConfig::ptree();
+        let tiles = extract_tiles(&ops, config.tree_levels);
+        let (program, report) =
+            schedule(&config, &ops, &tiles, &ScheduleOptions::default()).unwrap();
+        assert_eq!(report.tiles, tiles.len());
+        assert_eq!(report.instructions, program.instructions.len());
+        assert!(report.memory_loads >= ops.num_inputs().div_ceil(config.total_banks()) / 2);
+        assert!(report.peak_live_offsets <= config.regs_per_bank);
+        let issued: usize = program
+            .instructions
+            .iter()
+            .map(Instruction::arithmetic_ops)
+            .sum();
+        assert_eq!(issued, ops.num_ops());
+    }
+}
+

@@ -1,0 +1,159 @@
+use std::fmt;
+
+/// Errors produced while building, validating, evaluating or parsing SPNs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpnError {
+    /// A node referenced a child id that does not exist (yet).
+    UnknownNode {
+        /// The offending node id.
+        id: u32,
+    },
+    /// A variable index was outside the declared variable count.
+    UnknownVariable {
+        /// The offending variable index.
+        var: u32,
+        /// Number of variables declared for the SPN.
+        num_vars: usize,
+    },
+    /// A sum or product node was created without children.
+    EmptyNode,
+    /// A sum node's child and weight vectors disagree in length.
+    WeightMismatch {
+        /// Number of children.
+        children: usize,
+        /// Number of weights.
+        weights: usize,
+    },
+    /// A sum weight was negative, NaN or infinite.
+    InvalidWeight {
+        /// The offending weight value.
+        weight: f64,
+    },
+    /// The SPN violates completeness (a sum node's children have different scopes).
+    NotComplete {
+        /// The offending sum node.
+        node: u32,
+    },
+    /// The SPN violates decomposability (a product node's children share variables).
+    NotDecomposable {
+        /// The offending product node.
+        node: u32,
+    },
+    /// A sum node's weights do not sum to one (within tolerance).
+    NotNormalized {
+        /// The offending sum node.
+        node: u32,
+        /// The actual weight sum.
+        sum: f64,
+    },
+    /// Evidence was supplied for a different number of variables than the SPN has.
+    EvidenceMismatch {
+        /// Variables covered by the evidence.
+        evidence_vars: usize,
+        /// Variables declared by the SPN.
+        spn_vars: usize,
+    },
+    /// A parse error in the text format.
+    Parse {
+        /// 1-based line number of the error.
+        line: usize,
+        /// Human readable description.
+        message: String,
+    },
+    /// A generic invariant violation with a description.
+    Invalid {
+        /// Human readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for SpnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpnError::UnknownNode { id } => write!(f, "unknown node id {id}"),
+            SpnError::UnknownVariable { var, num_vars } => {
+                write!(f, "variable {var} out of range for {num_vars} variables")
+            }
+            SpnError::EmptyNode => write!(f, "sum or product node has no children"),
+            SpnError::WeightMismatch { children, weights } => write!(
+                f,
+                "sum node has {children} children but {weights} weights"
+            ),
+            SpnError::InvalidWeight { weight } => {
+                write!(f, "sum weight {weight} is not a finite non-negative number")
+            }
+            SpnError::NotComplete { node } => {
+                write!(f, "sum node {node} has children with differing scopes")
+            }
+            SpnError::NotDecomposable { node } => {
+                write!(f, "product node {node} has children with overlapping scopes")
+            }
+            SpnError::NotNormalized { node, sum } => {
+                write!(f, "sum node {node} weights sum to {sum}, expected 1")
+            }
+            SpnError::EvidenceMismatch {
+                evidence_vars,
+                spn_vars,
+            } => write!(
+                f,
+                "evidence covers {evidence_vars} variables but the SPN has {spn_vars}"
+            ),
+            SpnError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            SpnError::Invalid { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for SpnError {}
+
+impl SpnError {
+    /// Builds a generic invariant-violation error from a message.
+    pub fn invalid(message: impl Into<String>) -> Self {
+        SpnError::Invalid {
+            message: message.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            SpnError::UnknownNode { id: 3 },
+            SpnError::UnknownVariable { var: 9, num_vars: 2 },
+            SpnError::EmptyNode,
+            SpnError::WeightMismatch {
+                children: 2,
+                weights: 3,
+            },
+            SpnError::InvalidWeight { weight: -1.0 },
+            SpnError::NotComplete { node: 1 },
+            SpnError::NotDecomposable { node: 1 },
+            SpnError::NotNormalized { node: 1, sum: 0.5 },
+            SpnError::EvidenceMismatch {
+                evidence_vars: 1,
+                spn_vars: 2,
+            },
+            SpnError::Parse {
+                line: 4,
+                message: "bad token".into(),
+            },
+            SpnError::invalid("custom"),
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SpnError>();
+    }
+}

@@ -1,0 +1,327 @@
+//! Exact inference on sum-product networks.
+//!
+//! Evaluation is a single bottom-up pass in topological order: leaves take
+//! their value from the [`Evidence`], products multiply, sums take the
+//! weighted sum of their children.  The log-domain variant replaces those
+//! with log-sum-exp and addition, which avoids underflow on large circuits.
+//!
+//! The module also provides max-product (MPE) evaluation with backtracking of
+//! the maximising assignment.
+
+use crate::evidence::Evidence;
+use crate::graph::{Node, NodeId, Spn};
+use crate::value::LogProb;
+use crate::{Result, SpnError};
+
+impl Spn {
+    /// Evaluates the SPN in the linear domain under `evidence`.
+    ///
+    /// For a normalised, complete and decomposable SPN this is the probability
+    /// of the observed values with unobserved variables marginalised out.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
+    /// different number of variables than the SPN.
+    pub fn evaluate(&self, evidence: &Evidence) -> Result<f64> {
+        let values = self.evaluate_all(evidence)?;
+        Ok(values[self.root().index()])
+    }
+
+    /// Evaluates the SPN and returns the value of every node (arena-indexed).
+    ///
+    /// Unreachable nodes keep the value `0.0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
+    /// different number of variables than the SPN.
+    pub fn evaluate_all(&self, evidence: &Evidence) -> Result<Vec<f64>> {
+        self.check_evidence(evidence)?;
+        let mut values = vec![0.0f64; self.num_nodes()];
+        for id in self.topological_order() {
+            values[id.index()] = match self.node(id) {
+                Node::Indicator { var, value } => evidence.indicator(var.index(), *value),
+                Node::Constant(c) => *c,
+                Node::Product { children } => {
+                    children.iter().map(|c| values[c.index()]).product()
+                }
+                Node::Sum { children, weights } => children
+                    .iter()
+                    .zip(weights)
+                    .map(|(c, w)| w * values[c.index()])
+                    .sum(),
+            };
+        }
+        Ok(values)
+    }
+
+    /// Evaluates the SPN in the log domain under `evidence`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
+    /// different number of variables than the SPN.
+    pub fn evaluate_log(&self, evidence: &Evidence) -> Result<LogProb> {
+        self.check_evidence(evidence)?;
+        let mut values = vec![LogProb::ZERO; self.num_nodes()];
+        for id in self.topological_order() {
+            values[id.index()] = match self.node(id) {
+                Node::Indicator { var, value } => {
+                    LogProb::from_linear(evidence.indicator(var.index(), *value))
+                }
+                Node::Constant(c) => LogProb::from_linear(c.max(0.0)),
+                Node::Product { children } => children
+                    .iter()
+                    .fold(LogProb::ONE, |acc, c| acc * values[c.index()]),
+                Node::Sum { children, weights } => children
+                    .iter()
+                    .zip(weights)
+                    .fold(LogProb::ZERO, |acc, (c, w)| {
+                        acc + (LogProb::from_linear(*w) * values[c.index()])
+                    }),
+            };
+        }
+        Ok(values[self.root().index()])
+    }
+
+    /// Computes the conditional probability `P(query | evidence)`.
+    ///
+    /// `query` and `evidence` are merged (query observations take precedence);
+    /// the result is `P(query, evidence) / P(evidence)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when either evidence has the wrong variable count, or
+    /// [`SpnError::Invalid`] when `P(evidence)` is zero.
+    pub fn conditional(&self, query: &Evidence, evidence: &Evidence) -> Result<f64> {
+        self.check_evidence(query)?;
+        self.check_evidence(evidence)?;
+        let mut joint = evidence.clone();
+        for (var, value) in query.iter_observed() {
+            joint.observe(var, value);
+        }
+        let denom = self.evaluate(evidence)?;
+        if denom == 0.0 {
+            return Err(SpnError::invalid(
+                "conditional probability undefined: evidence has probability zero",
+            ));
+        }
+        Ok(self.evaluate(&joint)? / denom)
+    }
+
+    /// Most probable explanation: the maximising complete assignment under
+    /// `evidence`, together with its (max-product) circuit value.
+    ///
+    /// Sums are replaced by weighted maximisation, products stay products; the
+    /// assignment is recovered by backtracking the argmax branches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
+    /// different number of variables than the SPN.
+    pub fn mpe(&self, evidence: &Evidence) -> Result<MpeResult> {
+        self.check_evidence(evidence)?;
+        let order = self.topological_order();
+        let mut values = vec![0.0f64; self.num_nodes()];
+        // For each sum node, the index of the chosen (argmax) child.
+        let mut choices = vec![usize::MAX; self.num_nodes()];
+        for &id in &order {
+            values[id.index()] = match self.node(id) {
+                Node::Indicator { var, value } => evidence.indicator(var.index(), *value),
+                Node::Constant(c) => *c,
+                Node::Product { children } => {
+                    children.iter().map(|c| values[c.index()]).product()
+                }
+                Node::Sum { children, weights } => {
+                    let mut best = f64::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for (i, (c, w)) in children.iter().zip(weights).enumerate() {
+                        let v = w * values[c.index()];
+                        if v > best {
+                            best = v;
+                            best_idx = i;
+                        }
+                    }
+                    choices[id.index()] = best_idx;
+                    best
+                }
+            };
+        }
+
+        // Backtrack from the root following argmax branches; indicators pick
+        // their variable's value.
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars()];
+        let mut stack: Vec<NodeId> = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            match self.node(id) {
+                Node::Indicator { var, value } => {
+                    // Respect hard evidence over the indicator's preference.
+                    let v = evidence.value(var.index()).unwrap_or(*value);
+                    assignment[var.index()] = Some(v);
+                }
+                Node::Constant(_) => {}
+                Node::Product { children } => stack.extend(children.iter().copied()),
+                Node::Sum { children, .. } => {
+                    let choice = choices[id.index()];
+                    if choice != usize::MAX {
+                        stack.push(children[choice]);
+                    }
+                }
+            }
+        }
+        // Variables not mentioned by the selected sub-circuit default to the
+        // evidence value or `false`.
+        let assignment: Vec<bool> = assignment
+            .iter()
+            .enumerate()
+            .map(|(var, v)| v.or(evidence.value(var)).unwrap_or(false))
+            .collect();
+
+        Ok(MpeResult {
+            value: values[self.root().index()],
+            assignment,
+        })
+    }
+
+    fn check_evidence(&self, evidence: &Evidence) -> Result<()> {
+        if evidence.num_vars() != self.num_vars() {
+            return Err(SpnError::EvidenceMismatch {
+                evidence_vars: evidence.num_vars(),
+                spn_vars: self.num_vars(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of a most-probable-explanation query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpeResult {
+    /// The max-product value of the root for the returned assignment.
+    pub value: f64,
+    /// The maximising complete assignment (one boolean per variable).
+    pub assignment: Vec<bool>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpnBuilder, VarId};
+
+    /// P(X0, X1) as a product of independent Bernoullis:
+    /// P(X0=1) = 0.2, P(X1=1) = 0.9.
+    fn independent_pair() -> Spn {
+        let mut b = SpnBuilder::new(2);
+        let x0 = b.indicator(VarId(0), true);
+        let nx0 = b.indicator(VarId(0), false);
+        let x1 = b.indicator(VarId(1), true);
+        let nx1 = b.indicator(VarId(1), false);
+        let s0 = b.sum(vec![(x0, 0.2), (nx0, 0.8)]).unwrap();
+        let s1 = b.sum(vec![(x1, 0.9), (nx1, 0.1)]).unwrap();
+        let root = b.product(vec![s0, s1]).unwrap();
+        b.finish(root).unwrap()
+    }
+
+    #[test]
+    fn joint_probabilities_match_factorization() {
+        let spn = independent_pair();
+        let cases = [
+            ([true, true], 0.2 * 0.9),
+            ([true, false], 0.2 * 0.1),
+            ([false, true], 0.8 * 0.9),
+            ([false, false], 0.8 * 0.1),
+        ];
+        for (assignment, expected) in cases {
+            let p = spn.evaluate(&Evidence::from_assignment(&assignment)).unwrap();
+            assert!((p - expected).abs() < 1e-12, "{assignment:?}");
+        }
+    }
+
+    #[test]
+    fn marginal_is_one_for_normalized_spn() {
+        let spn = independent_pair();
+        let z = spn.evaluate(&Evidence::marginal(2)).unwrap();
+        assert!((z - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_evidence_marginalizes() {
+        let spn = independent_pair();
+        let mut e = Evidence::marginal(2);
+        e.observe(0, true);
+        let p = spn.evaluate(&e).unwrap();
+        assert!((p - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_domain_matches_linear() {
+        let spn = independent_pair();
+        for assignment in [[true, true], [false, true], [true, false]] {
+            let e = Evidence::from_assignment(&assignment);
+            let lin = spn.evaluate(&e).unwrap();
+            let log = spn.evaluate_log(&e).unwrap();
+            assert!((log.to_linear() - lin).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conditional_matches_bayes_rule() {
+        let spn = independent_pair();
+        let mut query = Evidence::marginal(2);
+        query.observe(0, true);
+        let mut evidence = Evidence::marginal(2);
+        evidence.observe(1, true);
+        // X0 and X1 independent, so P(X0 | X1) = P(X0) = 0.2.
+        let p = spn.conditional(&query, &evidence).unwrap();
+        assert!((p - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conditional_on_zero_probability_evidence_errors() {
+        let mut b = SpnBuilder::new(1);
+        let x = b.indicator(VarId(0), true);
+        let nx = b.indicator(VarId(0), false);
+        let root = b.sum(vec![(x, 1.0), (nx, 0.0)]).unwrap();
+        let spn = b.finish(root).unwrap();
+        let mut evidence = Evidence::marginal(1);
+        evidence.observe(0, false);
+        let query = Evidence::marginal(1);
+        assert!(spn.conditional(&query, &evidence).is_err());
+    }
+
+    #[test]
+    fn mpe_selects_most_probable_assignment() {
+        let spn = independent_pair();
+        let result = spn.mpe(&Evidence::marginal(2)).unwrap();
+        assert_eq!(result.assignment, vec![false, true]);
+        assert!((result.value - 0.8 * 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpe_respects_evidence() {
+        let spn = independent_pair();
+        let mut e = Evidence::marginal(2);
+        e.observe(0, true);
+        let result = spn.mpe(&e).unwrap();
+        assert_eq!(result.assignment, vec![true, true]);
+        assert!((result.value - 0.2 * 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evidence_size_mismatch_is_rejected() {
+        let spn = independent_pair();
+        let err = spn.evaluate(&Evidence::marginal(3)).unwrap_err();
+        assert!(matches!(err, SpnError::EvidenceMismatch { .. }));
+        assert!(spn.evaluate_log(&Evidence::marginal(1)).is_err());
+        assert!(spn.mpe(&Evidence::marginal(1)).is_err());
+    }
+
+    #[test]
+    fn evaluate_all_exposes_intermediate_values() {
+        let spn = independent_pair();
+        let values = spn.evaluate_all(&Evidence::from_assignment(&[true, true])).unwrap();
+        assert_eq!(values.len(), spn.num_nodes());
+        assert!((values[spn.root().index()] - 0.18).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,533 @@
+//! Flattening of SPN DAGs into the scalar program forms used by the paper.
+//!
+//! * [`OpList`] is Algorithm 1: a straight-line list of binary `+`/`×`
+//!   operations over an input vector (leaf indicators and parameters).  This
+//!   is the form handed to the C compiler for the CPU baseline and the form
+//!   our processor compiler consumes.
+//! * [`LoopProgram`] is Algorithm 2: the same computation expressed as index
+//!   vectors `O` (operation select), `B` and `C` (operand pointers) driving a
+//!   single for loop over a working array `A` — the layout the CUDA kernel
+//!   (Algorithm 3) distributes across threads.
+//!
+//! Flattening binarises n-ary sums and products and turns sum weights into
+//! parameter inputs multiplied into their child, exactly like the arithmetic
+//! circuits emitted by PSDD/AC learning tools.
+
+use serde::{Deserialize, Serialize};
+
+use crate::evidence::Evidence;
+use crate::graph::{Node, Spn, VarId};
+use crate::{Result, SpnError};
+
+/// The source feeding one input slot of a flattened program.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LeafSource {
+    /// A data input: the indicator `[var = value]` evaluated from evidence.
+    Indicator {
+        /// Variable tested by the indicator.
+        var: VarId,
+        /// Value the indicator fires on.
+        value: bool,
+    },
+    /// A numeric parameter baked into the program (sum weight or constant).
+    Param(f64),
+}
+
+/// Reference to an operand of a flattened operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OperandRef {
+    /// Input slot `i` of the program.
+    Input(u32),
+    /// Result of operation `i` (an earlier entry in the op list).
+    Op(u32),
+}
+
+/// The arithmetic performed by a flattened operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Addition (sum node contribution).
+    Add,
+    /// Multiplication (product node or weight application).
+    Mul,
+}
+
+/// One binary operation of an [`OpList`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Op {
+    /// The arithmetic operation.
+    pub kind: OpKind,
+    /// Left operand.
+    pub lhs: OperandRef,
+    /// Right operand.
+    pub rhs: OperandRef,
+}
+
+/// Options controlling [`OpList::from_spn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlattenOptions {
+    /// When `true`, sum children weighted exactly `1.0` skip the parameter
+    /// multiplication (smaller program, same value).
+    pub skip_unit_weights: bool,
+}
+
+/// Combines `terms` pairwise into a balanced reduction tree.
+///
+/// A balanced tree keeps the dependency depth logarithmic in the arity, which
+/// both exposes more parallelism to the baseline platforms and maps naturally
+/// onto the processor's PE trees.
+fn reduce_balanced(
+    ops: &mut Vec<Op>,
+    kind: OpKind,
+    mut terms: Vec<OperandRef>,
+    push_op: &impl Fn(&mut Vec<Op>, OpKind, OperandRef, OperandRef) -> OperandRef,
+) -> OperandRef {
+    assert!(!terms.is_empty(), "cannot reduce zero terms");
+    while terms.len() > 1 {
+        let mut next = Vec::with_capacity(terms.len().div_ceil(2));
+        for pair in terms.chunks(2) {
+            if pair.len() == 2 {
+                next.push(push_op(ops, kind, pair[0], pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        terms = next;
+    }
+    terms[0]
+}
+
+/// Algorithm 1: the SPN as a list of binary scalar operations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpList {
+    inputs: Vec<LeafSource>,
+    ops: Vec<Op>,
+    output: OperandRef,
+    num_vars: usize,
+}
+
+impl OpList {
+    /// Flattens `spn` with default options.
+    pub fn from_spn(spn: &Spn) -> OpList {
+        OpList::from_spn_with(spn, FlattenOptions::default())
+    }
+
+    /// Flattens `spn`, binarising n-ary nodes and materialising sum weights as
+    /// parameter inputs.
+    pub fn from_spn_with(spn: &Spn, options: FlattenOptions) -> OpList {
+        let mut inputs: Vec<LeafSource> = Vec::new();
+        let mut ops: Vec<Op> = Vec::new();
+        // Value reference for every SPN node (arena indexed).
+        let mut refs: Vec<Option<OperandRef>> = vec![None; spn.num_nodes()];
+
+        let push_input = |inputs: &mut Vec<LeafSource>, source: LeafSource| -> OperandRef {
+            let idx = inputs.len() as u32;
+            inputs.push(source);
+            OperandRef::Input(idx)
+        };
+        let push_op =
+            |ops: &mut Vec<Op>, kind: OpKind, lhs: OperandRef, rhs: OperandRef| -> OperandRef {
+                let idx = ops.len() as u32;
+                ops.push(Op { kind, lhs, rhs });
+                OperandRef::Op(idx)
+            };
+
+        for id in spn.topological_order() {
+            let value_ref = match spn.node(id) {
+                Node::Indicator { var, value } => push_input(
+                    &mut inputs,
+                    LeafSource::Indicator {
+                        var: *var,
+                        value: *value,
+                    },
+                ),
+                Node::Constant(c) => push_input(&mut inputs, LeafSource::Param(*c)),
+                Node::Product { children } => {
+                    let terms: Vec<OperandRef> = children
+                        .iter()
+                        .map(|c| refs[c.index()].expect("child flattened before parent"))
+                        .collect();
+                    reduce_balanced(&mut ops, OpKind::Mul, terms, &push_op)
+                }
+                Node::Sum { children, weights } => {
+                    let mut terms: Vec<OperandRef> = Vec::with_capacity(children.len());
+                    for (c, &w) in children.iter().zip(weights) {
+                        let child_ref = refs[c.index()].expect("child flattened before parent");
+                        let term = if options.skip_unit_weights && w == 1.0 {
+                            child_ref
+                        } else {
+                            let param = push_input(&mut inputs, LeafSource::Param(w));
+                            push_op(&mut ops, OpKind::Mul, param, child_ref)
+                        };
+                        terms.push(term);
+                    }
+                    reduce_balanced(&mut ops, OpKind::Add, terms, &push_op)
+                }
+            };
+            refs[id.index()] = Some(value_ref);
+        }
+
+        let output = refs[spn.root().index()].expect("root flattened");
+        OpList {
+            inputs,
+            ops,
+            output,
+            num_vars: spn.num_vars(),
+        }
+    }
+
+    /// The input slot descriptors (indicators and parameters).
+    pub fn inputs(&self) -> &[LeafSource] {
+        &self.inputs
+    }
+
+    /// The operations in execution order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// The reference producing the program's output value.
+    pub fn output(&self) -> OperandRef {
+        self.output
+    }
+
+    /// Number of input slots.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of binary operations.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of SPN variables the program was flattened from.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Materialises the input vector for the given evidence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
+    /// different number of variables.
+    pub fn input_values(&self, evidence: &Evidence) -> Result<Vec<f64>> {
+        if evidence.num_vars() != self.num_vars {
+            return Err(SpnError::EvidenceMismatch {
+                evidence_vars: evidence.num_vars(),
+                spn_vars: self.num_vars,
+            });
+        }
+        Ok(self
+            .inputs
+            .iter()
+            .map(|leaf| match leaf {
+                LeafSource::Indicator { var, value } => evidence.indicator(var.index(), *value),
+                LeafSource::Param(p) => *p,
+            })
+            .collect())
+    }
+
+    /// Executes the program on a pre-materialised input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is shorter than [`OpList::num_inputs`].
+    pub fn run(&self, inputs: &[f64]) -> f64 {
+        assert!(inputs.len() >= self.inputs.len(), "input vector too short");
+        let mut results = vec![0.0f64; self.ops.len()];
+        let value = |r: OperandRef, results: &[f64]| -> f64 {
+            match r {
+                OperandRef::Input(i) => inputs[i as usize],
+                OperandRef::Op(i) => results[i as usize],
+            }
+        };
+        for (i, op) in self.ops.iter().enumerate() {
+            let a = value(op.lhs, &results);
+            let b = value(op.rhs, &results);
+            results[i] = match op.kind {
+                OpKind::Add => a + b,
+                OpKind::Mul => a * b,
+            };
+        }
+        value(self.output, &results)
+    }
+
+    /// Evaluates the flattened program under `evidence`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
+    /// different number of variables.
+    pub fn evaluate(&self, evidence: &Evidence) -> Result<f64> {
+        Ok(self.run(&self.input_values(evidence)?))
+    }
+
+    /// Converts to the Algorithm 2 loop form.
+    pub fn to_loop_program(&self) -> LoopProgram {
+        let m = self.inputs.len();
+        let index = |r: OperandRef| -> usize {
+            match r {
+                OperandRef::Input(i) => i as usize,
+                OperandRef::Op(i) => m + i as usize,
+            }
+        };
+        let ops = self
+            .ops
+            .iter()
+            .map(|op| LoopOp {
+                is_sum: op.kind == OpKind::Add,
+                b: index(op.lhs),
+                c: index(op.rhs),
+            })
+            .collect();
+        LoopProgram {
+            inputs: self.inputs.clone(),
+            ops,
+            output: index(self.output),
+            num_vars: self.num_vars,
+        }
+    }
+}
+
+/// One iteration of the Algorithm 2 loop: `A[m+i] = A[b] (+|×) A[c]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopOp {
+    /// `true` selects addition, `false` multiplication (the `O` vector).
+    pub is_sum: bool,
+    /// Index of the first operand in the working array `A` (the `B` vector).
+    pub b: usize,
+    /// Index of the second operand in the working array `A` (the `C` vector).
+    pub c: usize,
+}
+
+/// Algorithm 2: the SPN as a for loop over operand-index vectors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopProgram {
+    inputs: Vec<LeafSource>,
+    ops: Vec<LoopOp>,
+    output: usize,
+    num_vars: usize,
+}
+
+impl LoopProgram {
+    /// Builds the loop program directly from an SPN (via [`OpList`]).
+    pub fn from_spn(spn: &Spn) -> LoopProgram {
+        OpList::from_spn(spn).to_loop_program()
+    }
+
+    /// The input slot descriptors (the first `m` entries of `A`).
+    pub fn inputs(&self) -> &[LeafSource] {
+        &self.inputs
+    }
+
+    /// The loop body descriptors (`O`, `B`, `C` fused per element).
+    pub fn ops(&self) -> &[LoopOp] {
+        &self.ops
+    }
+
+    /// Index (into `A`) of the program output.
+    pub fn output(&self) -> usize {
+        self.output
+    }
+
+    /// Number of input slots (`m`).
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of loop iterations (`n`).
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of SPN variables the program was flattened from.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Materialises the input portion of the working array for `evidence`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
+    /// different number of variables.
+    pub fn input_values(&self, evidence: &Evidence) -> Result<Vec<f64>> {
+        if evidence.num_vars() != self.num_vars {
+            return Err(SpnError::EvidenceMismatch {
+                evidence_vars: evidence.num_vars(),
+                spn_vars: self.num_vars,
+            });
+        }
+        Ok(self
+            .inputs
+            .iter()
+            .map(|leaf| match leaf {
+                LeafSource::Indicator { var, value } => evidence.indicator(var.index(), *value),
+                LeafSource::Param(p) => *p,
+            })
+            .collect())
+    }
+
+    /// Runs the loop on a pre-materialised input vector and returns the output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is shorter than [`LoopProgram::num_inputs`].
+    pub fn run(&self, inputs: &[f64]) -> f64 {
+        assert!(inputs.len() >= self.inputs.len(), "input vector too short");
+        let m = self.inputs.len();
+        let mut a = vec![0.0f64; m + self.ops.len()];
+        a[..m].copy_from_slice(&inputs[..m]);
+        for (i, op) in self.ops.iter().enumerate() {
+            a[m + i] = if op.is_sum {
+                a[op.b] + a[op.c]
+            } else {
+                a[op.b] * a[op.c]
+            };
+        }
+        a[self.output]
+    }
+
+    /// Evaluates the loop program under `evidence`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
+    /// different number of variables.
+    pub fn evaluate(&self, evidence: &Evidence) -> Result<f64> {
+        Ok(self.run(&self.input_values(evidence)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{RandomSpnConfig, random_spn};
+    use crate::SpnBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mixture() -> Spn {
+        let mut b = SpnBuilder::new(2);
+        let x0 = b.indicator(VarId(0), true);
+        let nx0 = b.indicator(VarId(0), false);
+        let x1 = b.indicator(VarId(1), true);
+        let nx1 = b.indicator(VarId(1), false);
+        let p0 = b.product(vec![x0, x1]).unwrap();
+        let p1 = b.product(vec![nx0, nx1]).unwrap();
+        let p2 = b.product(vec![x0, nx1]).unwrap();
+        let root = b.sum(vec![(p0, 0.3), (p1, 0.5), (p2, 0.2)]).unwrap();
+        b.finish(root).unwrap()
+    }
+
+    #[test]
+    fn oplist_matches_reference_evaluation() {
+        let spn = mixture();
+        let ops = OpList::from_spn(&spn);
+        for assignment in [[true, true], [true, false], [false, true], [false, false]] {
+            let e = Evidence::from_assignment(&assignment);
+            let expected = spn.evaluate(&e).unwrap();
+            assert!((ops.evaluate(&e).unwrap() - expected).abs() < 1e-12);
+        }
+        let e = Evidence::marginal(2);
+        assert!((ops.evaluate(&e).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loop_program_matches_oplist() {
+        let spn = mixture();
+        let ops = OpList::from_spn(&spn);
+        let lp = ops.to_loop_program();
+        assert_eq!(lp.num_ops(), ops.num_ops());
+        assert_eq!(lp.num_inputs(), ops.num_inputs());
+        for assignment in [[true, true], [false, false]] {
+            let e = Evidence::from_assignment(&assignment);
+            assert!((lp.evaluate(&e).unwrap() - ops.evaluate(&e).unwrap()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn operand_indices_respect_dependency_order() {
+        let spn = mixture();
+        let lp = LoopProgram::from_spn(&spn);
+        let m = lp.num_inputs();
+        for (i, op) in lp.ops().iter().enumerate() {
+            assert!(op.b < m + i, "operand B of op {i} reads a later value");
+            assert!(op.c < m + i, "operand C of op {i} reads a later value");
+        }
+    }
+
+    #[test]
+    fn skip_unit_weights_shrinks_program() {
+        let mut b = SpnBuilder::new(1);
+        let x = b.indicator(VarId(0), true);
+        let nx = b.indicator(VarId(0), false);
+        let s = b.sum(vec![(x, 1.0), (nx, 0.0)]).unwrap();
+        let spn = b.finish(s).unwrap();
+        let full = OpList::from_spn(&spn);
+        let slim = OpList::from_spn_with(
+            &spn,
+            FlattenOptions {
+                skip_unit_weights: true,
+            },
+        );
+        assert!(slim.num_ops() < full.num_ops());
+        let e = Evidence::from_assignment(&[true]);
+        assert!((slim.evaluate(&e).unwrap() - full.evaluate(&e).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binarization_counts_are_as_expected() {
+        // A 3-way sum over products of 2: each sum term costs one weight mul,
+        // plus 2 adds; each product costs 1 mul => 3 + 2 + 3 = 8 ops.
+        let spn = mixture();
+        let ops = OpList::from_spn(&spn);
+        assert_eq!(ops.num_ops(), 8);
+        // Inputs: 4 indicators (deduplicated per node, reused by DAG edges) + 3 weights.
+        assert_eq!(ops.num_inputs(), 7);
+    }
+
+    #[test]
+    fn leaf_root_spn_flattens_to_zero_ops() {
+        let mut b = SpnBuilder::new(1);
+        let x = b.indicator(VarId(0), true);
+        let spn = b.finish(x).unwrap();
+        let ops = OpList::from_spn(&spn);
+        assert_eq!(ops.num_ops(), 0);
+        let e = Evidence::from_assignment(&[true]);
+        assert_eq!(ops.evaluate(&e).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn random_spns_flatten_consistently() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for seed in 0..5u64 {
+            let cfg = RandomSpnConfig {
+                num_vars: 6,
+                ..RandomSpnConfig::default()
+            };
+            let spn = random_spn(&cfg, &mut rng);
+            let ops = OpList::from_spn(&spn);
+            let lp = ops.to_loop_program();
+            let e = Evidence::marginal(6);
+            let reference = spn.evaluate(&e).unwrap();
+            assert!(
+                (ops.evaluate(&e).unwrap() - reference).abs() < 1e-9,
+                "seed {seed}"
+            );
+            assert!(
+                (lp.evaluate(&e).unwrap() - reference).abs() < 1e-9,
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn evidence_mismatch_is_rejected() {
+        let spn = mixture();
+        let ops = OpList::from_spn(&spn);
+        assert!(ops.evaluate(&Evidence::marginal(5)).is_err());
+        assert!(ops.to_loop_program().evaluate(&Evidence::marginal(5)).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! Plain-text serialisation of SPNs.
+//!
+//! The format is line-oriented and mirrors the arithmetic-circuit files
+//! emitted by PSDD/AC learning tools closely enough to be hand-editable:
+//!
+//! ```text
+//! spn 1
+//! vars 2
+//! node 0 indicator 0 1
+//! node 1 indicator 0 0
+//! node 2 indicator 1 1
+//! node 3 indicator 1 0
+//! node 4 product 0 2
+//! node 5 product 1 3
+//! node 6 sum 4:0.3 5:0.7
+//! root 6
+//! ```
+//!
+//! Node ids must be declared before use (children precede parents), which is
+//! the natural order produced by [`write_text`].  [`Spn`] also derives serde
+//! `Serialize`/`Deserialize`, so JSON or any other serde format works too.
+
+use std::fmt::Write as _;
+
+use crate::graph::{Node, NodeId, Spn, SpnBuilder, VarId};
+use crate::{Result, SpnError};
+
+/// Serialises `spn` to the plain-text format.
+///
+/// Nodes are written in topological order and re-numbered densely, so the
+/// output only contains nodes reachable from the root.
+pub fn write_text(spn: &Spn) -> String {
+    let order = spn.topological_order();
+    let mut new_id = vec![u32::MAX; spn.num_nodes()];
+    for (i, id) in order.iter().enumerate() {
+        new_id[id.index()] = i as u32;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "spn 1");
+    let _ = writeln!(out, "vars {}", spn.num_vars());
+    for (i, id) in order.iter().enumerate() {
+        match spn.node(*id) {
+            Node::Indicator { var, value } => {
+                let _ = writeln!(out, "node {i} indicator {} {}", var.0, u8::from(*value));
+            }
+            Node::Constant(c) => {
+                let _ = writeln!(out, "node {i} const {c}");
+            }
+            Node::Product { children } => {
+                let refs: Vec<String> = children
+                    .iter()
+                    .map(|c| new_id[c.index()].to_string())
+                    .collect();
+                let _ = writeln!(out, "node {i} product {}", refs.join(" "));
+            }
+            Node::Sum { children, weights } => {
+                let refs: Vec<String> = children
+                    .iter()
+                    .zip(weights)
+                    .map(|(c, w)| format!("{}:{}", new_id[c.index()], w))
+                    .collect();
+                let _ = writeln!(out, "node {i} sum {}", refs.join(" "));
+            }
+        }
+    }
+    let _ = writeln!(out, "root {}", new_id[spn.root().index()]);
+    out
+}
+
+/// Parses an SPN from the plain-text format.
+///
+/// # Errors
+///
+/// Returns [`SpnError::Parse`] describing the offending line for any syntax or
+/// reference error, and the usual builder errors for semantic problems.
+pub fn parse_text(text: &str) -> Result<Spn> {
+    let mut num_vars: Option<usize> = None;
+    let mut builder: Option<SpnBuilder> = None;
+    // Maps file-local node ids to builder node ids.
+    let mut id_map: Vec<Option<NodeId>> = Vec::new();
+    let mut root: Option<NodeId> = None;
+
+    let parse_err = |line: usize, message: &str| SpnError::Parse {
+        line,
+        message: message.to_string(),
+    };
+
+    for (line_no, raw_line) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("spn") => {
+                let version = tokens.next().ok_or_else(|| parse_err(line_no, "missing version"))?;
+                if version != "1" {
+                    return Err(parse_err(line_no, "unsupported format version"));
+                }
+            }
+            Some("vars") => {
+                let n: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| parse_err(line_no, "invalid variable count"))?;
+                num_vars = Some(n);
+                builder = Some(SpnBuilder::new(n));
+            }
+            Some("node") => {
+                let builder = builder
+                    .as_mut()
+                    .ok_or_else(|| parse_err(line_no, "node before vars declaration"))?;
+                let file_id: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| parse_err(line_no, "invalid node id"))?;
+                if file_id != id_map.len() {
+                    return Err(parse_err(line_no, "node ids must be dense and in order"));
+                }
+                let kind = tokens
+                    .next()
+                    .ok_or_else(|| parse_err(line_no, "missing node kind"))?;
+                let resolve = |t: &str, id_map: &[Option<NodeId>]| -> Result<NodeId> {
+                    let idx: usize = t
+                        .parse()
+                        .map_err(|_| parse_err(line_no, "invalid child reference"))?;
+                    id_map
+                        .get(idx)
+                        .copied()
+                        .flatten()
+                        .ok_or_else(|| parse_err(line_no, "child references undeclared node"))
+                };
+                let new_node = match kind {
+                    "indicator" => {
+                        let var: u32 = tokens
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| parse_err(line_no, "invalid indicator variable"))?;
+                        let value: u8 = tokens
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| parse_err(line_no, "invalid indicator value"))?;
+                        builder.try_indicator(VarId(var), value != 0)?
+                    }
+                    "const" => {
+                        let c: f64 = tokens
+                            .next()
+                            .and_then(|t| t.parse().ok())
+                            .ok_or_else(|| parse_err(line_no, "invalid constant"))?;
+                        builder.constant(c)
+                    }
+                    "product" => {
+                        let mut children = Vec::new();
+                        for t in tokens.by_ref() {
+                            children.push(resolve(t, &id_map)?);
+                        }
+                        builder.product(children)?
+                    }
+                    "sum" => {
+                        let mut pairs = Vec::new();
+                        for t in tokens.by_ref() {
+                            let (child, weight) = t
+                                .split_once(':')
+                                .ok_or_else(|| parse_err(line_no, "sum child must be child:weight"))?;
+                            let child = resolve(child, &id_map)?;
+                            let weight: f64 = weight
+                                .parse()
+                                .map_err(|_| parse_err(line_no, "invalid sum weight"))?;
+                            pairs.push((child, weight));
+                        }
+                        builder.sum(pairs)?
+                    }
+                    other => {
+                        return Err(parse_err(line_no, &format!("unknown node kind `{other}`")))
+                    }
+                };
+                id_map.push(Some(new_node));
+            }
+            Some("root") => {
+                let idx: usize = tokens
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| parse_err(line_no, "invalid root id"))?;
+                root = Some(
+                    id_map
+                        .get(idx)
+                        .copied()
+                        .flatten()
+                        .ok_or_else(|| parse_err(line_no, "root references undeclared node"))?,
+                );
+            }
+            Some(other) => {
+                return Err(parse_err(line_no, &format!("unknown directive `{other}`")));
+            }
+            None => {}
+        }
+    }
+
+    let builder = builder.ok_or_else(|| parse_err(0, "missing vars declaration"))?;
+    if num_vars.is_none() {
+        return Err(parse_err(0, "missing vars declaration"));
+    }
+    let root = root.ok_or_else(|| parse_err(0, "missing root declaration"))?;
+    builder.finish(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{random_spn, RandomSpnConfig};
+    use crate::Evidence;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn example() -> Spn {
+        let mut b = SpnBuilder::new(2);
+        let x0 = b.indicator(VarId(0), true);
+        let nx0 = b.indicator(VarId(0), false);
+        let x1 = b.indicator(VarId(1), true);
+        let nx1 = b.indicator(VarId(1), false);
+        let p0 = b.product(vec![x0, x1]).unwrap();
+        let p1 = b.product(vec![nx0, nx1]).unwrap();
+        let root = b.sum(vec![(p0, 0.3), (p1, 0.7)]).unwrap();
+        b.finish(root).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_semantics() {
+        let spn = example();
+        let text = write_text(&spn);
+        let parsed = parse_text(&text).unwrap();
+        assert_eq!(parsed.num_vars(), spn.num_vars());
+        for assignment in [[true, true], [true, false], [false, true], [false, false]] {
+            let e = Evidence::from_assignment(&assignment);
+            assert!(
+                (parsed.evaluate(&e).unwrap() - spn.evaluate(&e).unwrap()).abs() < 1e-12,
+                "{assignment:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_trip_on_random_spns() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let spn = random_spn(&RandomSpnConfig::with_vars(12), &mut rng);
+        let parsed = parse_text(&write_text(&spn)).unwrap();
+        let e = Evidence::marginal(12);
+        assert!((parsed.evaluate(&e).unwrap() - spn.evaluate(&e).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# a comment\nspn 1\n\nvars 1\nnode 0 indicator 0 1\nroot 0\n";
+        let spn = parse_text(text).unwrap();
+        assert_eq!(spn.num_vars(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "spn 1\nvars 1\nnode 0 wibble 0 1\nroot 0\n";
+        match parse_text(text) {
+            Err(SpnError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_references_are_rejected() {
+        let text = "spn 1\nvars 1\nnode 0 product 1\nnode 1 indicator 0 1\nroot 0\n";
+        assert!(matches!(parse_text(text), Err(SpnError::Parse { .. })));
+    }
+
+    #[test]
+    fn missing_sections_are_rejected() {
+        assert!(parse_text("spn 1\nvars 1\n").is_err());
+        assert!(parse_text("node 0 indicator 0 1\n").is_err());
+        assert!(parse_text("spn 2\nvars 1\nnode 0 indicator 0 1\nroot 0\n").is_err());
+    }
+
+    #[test]
+    fn serde_json_round_trip() {
+        let spn = example();
+        let json = serde_json::to_string(&spn).unwrap();
+        let parsed: Spn = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, spn);
+    }
+
+    #[test]
+    fn non_dense_ids_are_rejected() {
+        let text = "spn 1\nvars 1\nnode 5 indicator 0 1\nroot 5\n";
+        assert!(matches!(parse_text(text), Err(SpnError::Parse { .. })));
+    }
+}

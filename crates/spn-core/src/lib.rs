@@ -1,0 +1,73 @@
+//! Sum-product network (SPN) core library.
+//!
+//! An SPN — also called an arithmetic circuit — is a rooted directed acyclic
+//! graph whose internal nodes are sums or products and whose leaves are
+//! indicator variables or numeric parameters.  SPNs allow exact probabilistic
+//! inference in time linear in the circuit size, which is why hybrid
+//! neuro-symbolic systems lower their probabilistic models to SPNs before
+//! deployment.
+//!
+//! This crate provides:
+//!
+//! * [`Spn`] — an arena-based DAG representation with a safe [`SpnBuilder`],
+//! * structural validation (completeness, smoothness, decomposability),
+//! * exact inference in the linear and log domains ([`Spn::evaluate`],
+//!   [`Spn::evaluate_log`]), evidence handling and MPE queries,
+//! * flattening to the two scalar program forms used by the paper:
+//!   [`flatten::OpList`] (Algorithm 1, a list of binary operations) and
+//!   [`flatten::LoopProgram`] (Algorithm 2, index vectors `O`/`B`/`C`),
+//! * dependency-group decomposition ([`levelize`]) used by the GPU execution
+//!   model,
+//! * random SPN generators for tests and benchmarks ([`random`]),
+//! * a plain-text serialisation format and serde support ([`io`]),
+//! * graph statistics ([`stats`]).
+//!
+//! # Quick example
+//!
+//! ```
+//! use spn_core::{SpnBuilder, VarId, Evidence};
+//!
+//! # fn main() -> Result<(), spn_core::SpnError> {
+//! let mut b = SpnBuilder::new(2);
+//! let x0 = b.indicator(VarId(0), true);
+//! let nx0 = b.indicator(VarId(0), false);
+//! let x1 = b.indicator(VarId(1), true);
+//! let nx1 = b.indicator(VarId(1), false);
+//! let p0 = b.product(vec![x0, x1])?;
+//! let p1 = b.product(vec![nx0, nx1])?;
+//! let root = b.sum(vec![(p0, 0.3), (p1, 0.7)])?;
+//! let spn = b.finish(root)?;
+//!
+//! // Joint probability of (X0 = true, X1 = true).
+//! let p = spn.evaluate(&Evidence::from_assignment(&[true, true]))?;
+//! assert!((p - 0.3).abs() < 1e-12);
+//! // Fully marginalised query sums to one for a normalised SPN.
+//! let z = spn.evaluate(&Evidence::marginal(2))?;
+//! assert!((z - 1.0).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod evidence;
+mod graph;
+mod value;
+
+pub mod eval;
+pub mod flatten;
+pub mod io;
+pub mod levelize;
+pub mod random;
+pub mod stats;
+pub mod validate;
+
+pub use error::SpnError;
+pub use evidence::Evidence;
+pub use graph::{Node, NodeId, Spn, SpnBuilder, VarId};
+pub use value::LogProb;
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T, E = SpnError> = std::result::Result<T, E>;

@@ -1,0 +1,231 @@
+//! Structural validation of sum-product networks.
+//!
+//! A syntactically well-formed SPN (as produced by [`crate::SpnBuilder`]) is
+//! only guaranteed to be an acyclic graph with sane weights.  For the circuit
+//! to compute a valid probability distribution it must additionally be
+//! *complete* (all children of a sum node have the same scope) and
+//! *decomposable* (children of a product node have pairwise disjoint scopes).
+//! Normalisation of sum weights makes the root value a proper probability.
+//!
+//! ```
+//! use spn_core::{SpnBuilder, VarId, validate};
+//!
+//! # fn main() -> Result<(), spn_core::SpnError> {
+//! let mut b = SpnBuilder::new(1);
+//! let t = b.indicator(VarId(0), true);
+//! let f = b.indicator(VarId(0), false);
+//! let root = b.sum(vec![(t, 0.4), (f, 0.6)])?;
+//! let spn = b.finish(root)?;
+//! let report = validate::check(&spn);
+//! assert!(report.is_valid());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::BTreeSet;
+
+use crate::graph::{Node, Spn};
+use crate::{Result, SpnError};
+
+/// Tolerance used when checking that sum weights add up to one.
+pub const NORMALIZATION_TOLERANCE: f64 = 1e-6;
+
+/// Outcome of validating an SPN's structural properties.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ValidationReport {
+    /// Violations of completeness (sum node ids).
+    pub incomplete_sums: Vec<u32>,
+    /// Violations of decomposability (product node ids).
+    pub non_decomposable_products: Vec<u32>,
+    /// Sum nodes whose weights do not add up to one, with the actual sum.
+    pub unnormalized_sums: Vec<(u32, f64)>,
+}
+
+impl ValidationReport {
+    /// Returns `true` when the SPN is complete, decomposable and normalised.
+    pub fn is_valid(&self) -> bool {
+        self.incomplete_sums.is_empty()
+            && self.non_decomposable_products.is_empty()
+            && self.unnormalized_sums.is_empty()
+    }
+
+    /// Returns `true` when the SPN is complete and decomposable (weights may
+    /// be unnormalised, i.e. the circuit computes an unnormalised measure).
+    pub fn is_structurally_valid(&self) -> bool {
+        self.incomplete_sums.is_empty() && self.non_decomposable_products.is_empty()
+    }
+
+    /// Converts the report into a `Result`, surfacing the first violation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found, in the order completeness,
+    /// decomposability, normalisation.
+    pub fn into_result(self) -> Result<()> {
+        if let Some(&node) = self.incomplete_sums.first() {
+            return Err(SpnError::NotComplete { node });
+        }
+        if let Some(&node) = self.non_decomposable_products.first() {
+            return Err(SpnError::NotDecomposable { node });
+        }
+        if let Some(&(node, sum)) = self.unnormalized_sums.first() {
+            return Err(SpnError::NotNormalized { node, sum });
+        }
+        Ok(())
+    }
+}
+
+/// Checks completeness, decomposability and weight normalisation of `spn`.
+pub fn check(spn: &Spn) -> ValidationReport {
+    let scopes = spn.scopes();
+    let mut report = ValidationReport::default();
+
+    for id in spn.topological_order() {
+        match spn.node(id) {
+            Node::Sum { children, weights } => {
+                let first_scope: Option<&BTreeSet<_>> = children.first().map(|c| &scopes[c.index()]);
+                if let Some(first) = first_scope {
+                    if children.iter().any(|c| &scopes[c.index()] != first) {
+                        report.incomplete_sums.push(id.0);
+                    }
+                }
+                let total: f64 = weights.iter().sum();
+                if (total - 1.0).abs() > NORMALIZATION_TOLERANCE {
+                    report.unnormalized_sums.push((id.0, total));
+                }
+            }
+            Node::Product { children } => {
+                let mut seen: BTreeSet<crate::VarId> = BTreeSet::new();
+                let mut overlap = false;
+                for c in children {
+                    for &v in &scopes[c.index()] {
+                        if !seen.insert(v) {
+                            overlap = true;
+                        }
+                    }
+                }
+                if overlap {
+                    report.non_decomposable_products.push(id.0);
+                }
+            }
+            _ => {}
+        }
+    }
+    report
+}
+
+/// Validates `spn` and returns an error on the first violation.
+///
+/// # Errors
+///
+/// See [`ValidationReport::into_result`].
+pub fn check_strict(spn: &Spn) -> Result<()> {
+    check(spn).into_result()
+}
+
+/// Normalises every sum node's weights in place so each sums to one.
+///
+/// Sum nodes whose weights are all zero are left untouched (they always
+/// evaluate to zero anyway).
+pub fn normalize_weights(spn: &mut Spn) {
+    let ids: Vec<_> = spn.topological_order();
+    for id in ids {
+        if let Node::Sum { weights, .. } = spn.node(id) {
+            let total: f64 = weights.iter().sum();
+            if total > 0.0 && (total - 1.0).abs() > f64::EPSILON {
+                let normalized: Vec<f64> = weights.iter().map(|w| w / total).collect();
+                spn.set_sum_weights(id, normalized)
+                    .expect("sum node disappeared during normalisation");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SpnBuilder, VarId};
+
+    #[test]
+    fn valid_spn_passes() {
+        let mut b = SpnBuilder::new(2);
+        let x0 = b.indicator(VarId(0), true);
+        let nx0 = b.indicator(VarId(0), false);
+        let x1 = b.indicator(VarId(1), true);
+        let nx1 = b.indicator(VarId(1), false);
+        let s0 = b.sum(vec![(x0, 0.2), (nx0, 0.8)]).unwrap();
+        let s1 = b.sum(vec![(x1, 0.9), (nx1, 0.1)]).unwrap();
+        let root = b.product(vec![s0, s1]).unwrap();
+        let spn = b.finish(root).unwrap();
+        let report = check(&spn);
+        assert!(report.is_valid());
+        assert!(check_strict(&spn).is_ok());
+    }
+
+    #[test]
+    fn incomplete_sum_is_detected() {
+        let mut b = SpnBuilder::new(2);
+        let x0 = b.indicator(VarId(0), true);
+        let x1 = b.indicator(VarId(1), true);
+        let root = b.sum(vec![(x0, 0.5), (x1, 0.5)]).unwrap();
+        let spn = b.finish(root).unwrap();
+        let report = check(&spn);
+        assert!(!report.is_valid());
+        assert_eq!(report.incomplete_sums, vec![root.0]);
+        assert!(matches!(
+            check_strict(&spn),
+            Err(SpnError::NotComplete { .. })
+        ));
+    }
+
+    #[test]
+    fn non_decomposable_product_is_detected() {
+        let mut b = SpnBuilder::new(1);
+        let x = b.indicator(VarId(0), true);
+        let nx = b.indicator(VarId(0), false);
+        let root = b.product(vec![x, nx]).unwrap();
+        let spn = b.finish(root).unwrap();
+        let report = check(&spn);
+        assert_eq!(report.non_decomposable_products, vec![root.0]);
+        assert!(matches!(
+            check_strict(&spn),
+            Err(SpnError::NotDecomposable { .. })
+        ));
+    }
+
+    #[test]
+    fn unnormalized_sum_is_detected_and_fixed() {
+        let mut b = SpnBuilder::new(1);
+        let x = b.indicator(VarId(0), true);
+        let nx = b.indicator(VarId(0), false);
+        let root = b.sum(vec![(x, 2.0), (nx, 6.0)]).unwrap();
+        let mut spn = b.finish(root).unwrap();
+        let report = check(&spn);
+        assert!(report.is_structurally_valid());
+        assert!(!report.is_valid());
+        assert_eq!(report.unnormalized_sums.len(), 1);
+
+        normalize_weights(&mut spn);
+        assert!(check(&spn).is_valid());
+        match spn.node(root) {
+            Node::Sum { weights, .. } => {
+                assert!((weights[0] - 0.25).abs() < 1e-12);
+                assert!((weights[1] - 0.75).abs() < 1e-12);
+            }
+            _ => panic!("expected sum root"),
+        }
+    }
+
+    #[test]
+    fn all_zero_weights_survive_normalization() {
+        let mut b = SpnBuilder::new(1);
+        let x = b.indicator(VarId(0), true);
+        let root = b.sum(vec![(x, 0.0)]).unwrap();
+        let mut spn = b.finish(root).unwrap();
+        normalize_weights(&mut spn);
+        match spn.node(root) {
+            Node::Sum { weights, .. } => assert_eq!(weights, &vec![0.0]),
+            _ => unreachable!(),
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Baseline execution models for SPN inference: CPU and GPU.
+//!
+//! The paper compares its processor against an Intel Core i5-7200U running
+//! the SPN as a flat list of scalar operations (Algorithm 1) and against a
+//! hand-optimised CUDA kernel on the Nvidia Jetson TX2 (Algorithm 3).  Those
+//! physical platforms are not available here, so this crate models them
+//! mechanistically: both models execute the *actual* flattened circuit and
+//! count cycles from the microarchitectural bottlenecks the paper identifies
+//! (scalar dependency chains and memory traffic on the CPU; thread
+//! synchronisation, shared-memory bank conflicts and divergence on the GPU).
+//!
+//! The models report the same [`PerfReport`] as the processor simulator, so
+//! the benchmark harness can tabulate all platforms side by side.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod gpu;
+pub mod platform;
+
+pub use cpu::{CpuConfig, CpuModel};
+pub use gpu::{GpuConfig, GpuModel};
+pub use platform::Platform;
+pub use spn_processor::PerfReport;

@@ -1,0 +1,27 @@
+//! Common interface of all execution platforms.
+
+use spn_core::flatten::OpList;
+use spn_core::Evidence;
+use spn_processor::PerfReport;
+
+/// An execution platform that can run a flattened SPN and report throughput.
+///
+/// Implementations both *execute* the program (so results can be checked
+/// against the reference evaluator) and *model* its cost in cycles.
+pub trait Platform {
+    /// Short name used in tables and figures (e.g. `"CPU"`).
+    fn name(&self) -> String;
+
+    /// Executes `ops` under `evidence`, returning the root value and the
+    /// performance counters of one inference pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the evidence does not match the program or the
+    /// platform cannot execute it.
+    fn execute(
+        &self,
+        ops: &OpList,
+        evidence: &Evidence,
+    ) -> Result<(f64, PerfReport), Box<dyn std::error::Error>>;
+}

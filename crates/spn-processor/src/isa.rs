@@ -1,0 +1,335 @@
+//! The custom VLIW instruction set of the SPN processor.
+//!
+//! One [`Instruction`] configures the whole datapath for one clock cycle:
+//! the crossbar read selections and PE opcodes of every tree, the register
+//! write-backs of PE outputs, optional intra-bank register copies, and at
+//! most one vectorised data-memory operation.
+//!
+//! A [`Program`] couples the instruction stream with the data-memory layout
+//! of the program inputs (indicator values and parameters of the flattened
+//! SPN) and the location where the result can be found after the final
+//! cycle, so the same program can be re-run for different evidence by
+//! rebuilding the input image only.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::ProcessorConfig;
+
+/// Source selection for one crossbar-fed input of a PE tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ReadSel {
+    /// The input is unused this cycle (drives zero).
+    #[default]
+    None,
+    /// Read register `reg` of global bank `bank`.
+    Reg {
+        /// Global bank index.
+        bank: u16,
+        /// Register index within the bank.
+        reg: u16,
+    },
+    /// Drive the constant `0.0` (does not use a read port).
+    Zero,
+    /// Drive the constant `1.0` (does not use a read port).
+    One,
+}
+
+/// Operation performed by one processing element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PeOp {
+    /// The PE is idle; its output is zero.
+    #[default]
+    Nop,
+    /// Output = left input + right input.
+    Add,
+    /// Output = left input × right input.
+    Mul,
+    /// Output = left input (forwarding).
+    PassA,
+    /// Output = right input (forwarding).
+    PassB,
+}
+
+impl PeOp {
+    /// Returns `true` for `Add`/`Mul`, the operations counted as SPN work.
+    pub fn is_arithmetic(self) -> bool {
+        matches!(self, PeOp::Add | PeOp::Mul)
+    }
+}
+
+/// Write-back of one PE output to the register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteCmd {
+    /// Level of the producing PE (0 = crossbar-fed level).
+    pub level: u8,
+    /// Index of the producing PE within its level.
+    pub pe: u8,
+    /// Destination global bank.
+    pub bank: u16,
+    /// Destination register within the bank.
+    pub reg: u16,
+}
+
+/// Per-cycle configuration of one PE tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TreeInstr {
+    /// Crossbar selections, one per tree input (`2 × leaf PEs` entries).
+    pub reads: Vec<ReadSel>,
+    /// PE opcodes, level-major: all level-0 PEs, then level 1, and so on.
+    pub pe_ops: Vec<PeOp>,
+    /// Register write-backs of PE outputs issued this cycle.
+    pub writes: Vec<WriteCmd>,
+}
+
+impl TreeInstr {
+    /// An all-idle tree instruction sized for `config`.
+    pub fn nop(config: &ProcessorConfig) -> Self {
+        let num_pes: usize = (0..config.tree_levels).map(|l| config.pes_at_level(l)).sum();
+        TreeInstr {
+            reads: vec![ReadSel::None; config.tree_inputs_per_tree()],
+            pe_ops: vec![PeOp::Nop; num_pes],
+            writes: Vec::new(),
+        }
+    }
+
+    /// Returns `true` when the tree does nothing this cycle.
+    pub fn is_nop(&self) -> bool {
+        self.writes.is_empty() && self.pe_ops.iter().all(|&op| op == PeOp::Nop)
+    }
+
+    /// Number of arithmetic (add/mul) operations issued on this tree.
+    pub fn arithmetic_ops(&self) -> usize {
+        self.pe_ops.iter().filter(|op| op.is_arithmetic()).count()
+    }
+
+    /// Flat index of the PE at `(level, index)` in [`TreeInstr::pe_ops`].
+    pub fn pe_flat_index(config: &ProcessorConfig, level: usize, index: usize) -> usize {
+        (0..level).map(|l| config.pes_at_level(l)).sum::<usize>() + index
+    }
+}
+
+/// Copy of a register to another register of the same bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CopyCmd {
+    /// Bank the copy happens in.
+    pub bank: u16,
+    /// Source register.
+    pub src: u16,
+    /// Destination register.
+    pub dst: u16,
+}
+
+/// Vectorised data-memory operation (at most one per cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum MemOp {
+    /// No memory traffic this cycle.
+    #[default]
+    None,
+    /// Load data-memory row `row` into register `reg` of every bank.
+    Load {
+        /// Source row address.
+        row: u32,
+        /// Destination register index (same in every bank).
+        reg: u16,
+    },
+    /// Store register `reg` of every bank into data-memory row `row`.
+    Store {
+        /// Destination row address.
+        row: u32,
+        /// Source register index (same in every bank).
+        reg: u16,
+    },
+}
+
+/// One VLIW instruction: the datapath configuration for one clock cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Instruction {
+    /// Per-tree configuration (one entry per PE tree).
+    pub trees: Vec<TreeInstr>,
+    /// Intra-bank register copies.
+    pub copies: Vec<CopyCmd>,
+    /// The cycle's data-memory operation.
+    pub mem: MemOp,
+}
+
+impl Instruction {
+    /// An instruction that does nothing, sized for `config`.
+    pub fn nop(config: &ProcessorConfig) -> Self {
+        Instruction {
+            trees: (0..config.num_trees).map(|_| TreeInstr::nop(config)).collect(),
+            copies: Vec::new(),
+            mem: MemOp::None,
+        }
+    }
+
+    /// Returns `true` when the whole instruction is a no-op (a stall cycle).
+    pub fn is_nop(&self) -> bool {
+        self.trees.iter().all(TreeInstr::is_nop)
+            && self.copies.is_empty()
+            && self.mem == MemOp::None
+    }
+
+    /// Total arithmetic operations issued by this instruction.
+    pub fn arithmetic_ops(&self) -> usize {
+        self.trees.iter().map(TreeInstr::arithmetic_ops).sum()
+    }
+}
+
+/// Where a value lives after the program has finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValueLocation {
+    /// In register `reg` of global bank `bank`.
+    Register {
+        /// Global bank index.
+        bank: u16,
+        /// Register index.
+        reg: u16,
+    },
+    /// In lane `lane` of data-memory row `row`.
+    Memory {
+        /// Data-memory row.
+        row: u32,
+        /// Lane (bank column) within the row.
+        lane: u16,
+    },
+}
+
+/// Placement of one program input inside the data memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InputSlot {
+    /// Data-memory row holding the input.
+    pub row: u32,
+    /// Lane (bank column) within the row.
+    pub lane: u16,
+}
+
+/// A compiled program for the SPN processor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// The configuration the program was compiled for.
+    pub config: ProcessorConfig,
+    /// Instruction stream, one instruction per cycle.
+    pub instructions: Vec<Instruction>,
+    /// Data-memory placement of each flattened-program input, indexed by the
+    /// input's position in the originating `OpList`.
+    pub input_layout: Vec<InputSlot>,
+    /// Number of data-memory rows the program uses (inputs + spill space).
+    pub memory_rows_used: usize,
+    /// Where the SPN root value can be read after the last cycle.
+    pub output: ValueLocation,
+    /// Number of SPN arithmetic operations the program computes (for
+    /// throughput reporting; equals the flattened op count).
+    pub num_source_ops: usize,
+}
+
+impl Program {
+    /// Builds the initial data-memory image for the given input values.
+    ///
+    /// The returned vector has one `f64` per data-memory word
+    /// (`memory_rows_used × total banks`), with uninitialised words set to
+    /// zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ProcessorError::InputMismatch`] when `inputs` does not
+    /// have exactly one value per program input.
+    pub fn build_memory_image(&self, inputs: &[f64]) -> crate::Result<Vec<f64>> {
+        if inputs.len() != self.input_layout.len() {
+            return Err(crate::ProcessorError::InputMismatch {
+                expected: self.input_layout.len(),
+                got: inputs.len(),
+            });
+        }
+        let width = self.config.total_banks();
+        let mut image = vec![0.0; self.memory_rows_used * width];
+        for (value, slot) in inputs.iter().zip(&self.input_layout) {
+            image[slot.row as usize * width + slot.lane as usize] = *value;
+        }
+        Ok(image)
+    }
+
+    /// Number of instructions (= cycles of issue; the pipeline drain adds a
+    /// few more cycles at run time).
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Returns `true` when the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Number of stall (fully idle) instructions in the program.
+    pub fn stall_instructions(&self) -> usize {
+        self.instructions.iter().filter(|i| i.is_nop()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nop_instruction_is_detected() {
+        let cfg = ProcessorConfig::ptree();
+        let instr = Instruction::nop(&cfg);
+        assert!(instr.is_nop());
+        assert_eq!(instr.arithmetic_ops(), 0);
+        assert_eq!(instr.trees.len(), 2);
+        assert_eq!(instr.trees[0].reads.len(), 16);
+        assert_eq!(instr.trees[0].pe_ops.len(), 15);
+    }
+
+    #[test]
+    fn pe_flat_index_is_level_major() {
+        let cfg = ProcessorConfig::ptree();
+        assert_eq!(TreeInstr::pe_flat_index(&cfg, 0, 0), 0);
+        assert_eq!(TreeInstr::pe_flat_index(&cfg, 0, 7), 7);
+        assert_eq!(TreeInstr::pe_flat_index(&cfg, 1, 0), 8);
+        assert_eq!(TreeInstr::pe_flat_index(&cfg, 2, 1), 13);
+        assert_eq!(TreeInstr::pe_flat_index(&cfg, 3, 0), 14);
+    }
+
+    #[test]
+    fn arithmetic_ops_counts_add_and_mul_only() {
+        let cfg = ProcessorConfig::pvect();
+        let mut instr = Instruction::nop(&cfg);
+        instr.trees[0].pe_ops[0] = PeOp::Add;
+        instr.trees[0].pe_ops[1] = PeOp::Mul;
+        instr.trees[0].pe_ops[2] = PeOp::PassA;
+        instr.trees[1].pe_ops[0] = PeOp::Mul;
+        assert_eq!(instr.arithmetic_ops(), 3);
+        assert!(!instr.is_nop());
+    }
+
+    #[test]
+    fn memory_image_places_inputs() {
+        let program = Program {
+            config: ProcessorConfig::ptree(),
+            instructions: vec![],
+            input_layout: vec![
+                InputSlot { row: 0, lane: 0 },
+                InputSlot { row: 0, lane: 31 },
+                InputSlot { row: 2, lane: 5 },
+            ],
+            memory_rows_used: 3,
+            output: ValueLocation::Register { bank: 0, reg: 0 },
+            num_source_ops: 0,
+        };
+        let image = program.build_memory_image(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(image.len(), 3 * 32);
+        assert_eq!(image[0], 1.0);
+        assert_eq!(image[31], 2.0);
+        assert_eq!(image[2 * 32 + 5], 3.0);
+        assert!(program.build_memory_image(&[1.0]).is_err());
+        assert!(program.is_empty());
+        assert_eq!(program.stall_instructions(), 0);
+    }
+
+    #[test]
+    fn default_read_sel_is_none() {
+        assert_eq!(ReadSel::default(), ReadSel::None);
+        assert_eq!(PeOp::default(), PeOp::Nop);
+        assert_eq!(MemOp::default(), MemOp::None);
+    }
+}

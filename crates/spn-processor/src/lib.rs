@@ -1,0 +1,47 @@
+//! Cycle-accurate simulator of the custom SPN processor.
+//!
+//! The processor accelerates sum-product network inference with three ideas
+//! (sec. IV of the paper):
+//!
+//! 1. **Trees of processing elements** keep intermediate values inside the
+//!    datapath instead of bouncing them through the register file.  A PE can
+//!    add, multiply or forward one of its inputs, and its output is
+//!    registered, so a tree of depth `L` is an `L`-stage pipeline.
+//! 2. **A banked register file with a crossbar** feeds the tree inputs: any
+//!    input can read any bank, but a bank serves at most one read per cycle.
+//!    PEs write back to a private register file of their tree, and a PE at
+//!    level `l` can only reach `2^(l+1)` specific banks.
+//! 3. **A vector-only data memory** holds program inputs and spilled values:
+//!    one address loads or stores a whole row (one word per bank) at once.
+//!
+//! The simulator executes the VLIW [`isa::Program`] produced by
+//! `spn-compiler`, enforcing every structural rule (read/write port limits,
+//! write connectivity, pipeline latencies, memory exclusivity) as hard
+//! errors, and reports throughput in the paper's metric: SPN operations per
+//! cycle ([`perf::PerfReport`]).
+//!
+//! The two configurations evaluated in the paper are available as presets:
+//! [`ProcessorConfig::ptree`] (2 trees × 4 levels = 30 PEs) and
+//! [`ProcessorConfig::pvect`] (the lowest PE level only, 16 PEs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod config;
+pub mod datamem;
+pub mod isa;
+pub mod perf;
+pub mod processor;
+pub mod regfile;
+pub mod tree;
+
+pub use config::{PePosition, ProcessorConfig};
+pub use error::ProcessorError;
+pub use isa::{Instruction, MemOp, PeOp, Program, ReadSel, TreeInstr, WriteCmd};
+pub use perf::PerfReport;
+pub use processor::{ExecutionResult, Processor};
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T, E = ProcessorError> = std::result::Result<T, E>;

@@ -1,0 +1,126 @@
+//! Performance counters reported by the execution models.
+//!
+//! The paper's headline metric is *effective SPN operations per cycle*: the
+//! number of arithmetic operations of the flattened SPN divided by the cycles
+//! a platform needs to execute one inference pass.  The same report struct is
+//! shared by the custom-processor simulator and the CPU/GPU baseline models
+//! so benchmark harnesses can tabulate them side by side.
+
+use serde::{Deserialize, Serialize};
+
+/// Performance summary of executing one SPN inference pass on a platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct PerfReport {
+    /// Name of the platform/configuration that produced the numbers.
+    pub platform: String,
+    /// Cycles needed for one inference pass.
+    pub cycles: u64,
+    /// SPN arithmetic operations (adds + multiplies) in the workload.
+    pub source_ops: u64,
+    /// Arithmetic operations actually issued on the hardware (may exceed
+    /// `source_ops` on platforms that replicate work, or equal it).
+    pub issued_ops: u64,
+    /// Instructions (or instruction bundles) executed.
+    pub instructions: u64,
+    /// Fully idle issue slots or stall cycles.
+    pub stall_cycles: u64,
+    /// Data-memory (or DRAM/shared-memory) load transactions.
+    pub memory_loads: u64,
+    /// Data-memory store transactions.
+    pub memory_stores: u64,
+    /// Register-file or shared-memory writebacks of intermediate values.
+    pub writebacks: u64,
+    /// Register-file or shared-memory reads of operands.
+    pub operand_reads: u64,
+}
+
+impl PerfReport {
+    /// Effective throughput: SPN operations per cycle.
+    pub fn ops_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.source_ops as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of issued operations that were useful SPN work.
+    pub fn issue_efficiency(&self) -> f64 {
+        if self.issued_ops == 0 {
+            0.0
+        } else {
+            self.source_ops as f64 / self.issued_ops as f64
+        }
+    }
+
+    /// Speed-up of this report relative to `baseline` (ratio of ops/cycle).
+    pub fn speedup_over(&self, baseline: &PerfReport) -> f64 {
+        let base = baseline.ops_per_cycle();
+        if base == 0.0 {
+            f64::INFINITY
+        } else {
+            self.ops_per_cycle() / base
+        }
+    }
+}
+
+impl std::fmt::Display for PerfReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.3} ops/cycle ({} ops in {} cycles, {} loads, {} stores, {} stalls)",
+            self.platform,
+            self.ops_per_cycle(),
+            self.source_ops,
+            self.cycles,
+            self.memory_loads,
+            self.memory_stores,
+            self.stall_cycles,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(ops: u64, cycles: u64) -> PerfReport {
+        PerfReport {
+            platform: "test".into(),
+            cycles,
+            source_ops: ops,
+            issued_ops: ops,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ops_per_cycle_division() {
+        assert_eq!(report(100, 10).ops_per_cycle(), 10.0);
+        assert_eq!(report(100, 0).ops_per_cycle(), 0.0);
+    }
+
+    #[test]
+    fn speedup_is_a_ratio_of_throughputs() {
+        let fast = report(100, 10);
+        let slow = report(100, 100);
+        assert_eq!(fast.speedup_over(&slow), 10.0);
+        assert_eq!(slow.speedup_over(&fast), 0.1);
+        assert!(fast.speedup_over(&report(0, 0)).is_infinite());
+    }
+
+    #[test]
+    fn issue_efficiency_accounts_for_overhead_work() {
+        let mut r = report(80, 10);
+        r.issued_ops = 100;
+        assert!((r.issue_efficiency() - 0.8).abs() < 1e-12);
+        assert_eq!(report(0, 1).issue_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_platform_and_throughput() {
+        let s = report(100, 10).to_string();
+        assert!(s.contains("test"));
+        assert!(s.contains("10.000"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Banked register file with per-cycle port accounting.
+//!
+//! Each PE tree owns a private register file of `banks_per_tree` banks; the
+//! simulator stores all of them in one [`RegisterFile`] addressed by global
+//! bank index.  Reads and writes are tracked per cycle so the processor can
+//! flag port conflicts (more than one access of a bank in a cycle), which the
+//! paper's crossbar and bank design forbid.
+
+use crate::config::ProcessorConfig;
+use crate::error::ProcessorError;
+use crate::Result;
+
+/// The processor's register storage: `total_banks × regs_per_bank` words.
+#[derive(Debug, Clone)]
+pub struct RegisterFile {
+    banks: usize,
+    regs_per_bank: usize,
+    data: Vec<f64>,
+    /// Cycle of the last read of each bank (for port conflict checks).
+    read_cycle: Vec<Option<u64>>,
+    /// Cycle of the last committed write of each bank.
+    write_cycle: Vec<Option<u64>>,
+}
+
+impl RegisterFile {
+    /// Creates a zero-initialised register file for `config`.
+    pub fn new(config: &ProcessorConfig) -> Self {
+        let banks = config.total_banks();
+        RegisterFile {
+            banks,
+            regs_per_bank: config.regs_per_bank,
+            data: vec![0.0; banks * config.regs_per_bank],
+            read_cycle: vec![None; banks],
+            write_cycle: vec![None; banks],
+        }
+    }
+
+    /// Number of banks.
+    pub fn banks(&self) -> usize {
+        self.banks
+    }
+
+    /// Registers per bank.
+    pub fn regs_per_bank(&self) -> usize {
+        self.regs_per_bank
+    }
+
+    fn check_address(&self, bank: usize, reg: usize, cycle: u64) -> Result<()> {
+        if bank >= self.banks || reg >= self.regs_per_bank {
+            return Err(ProcessorError::MalformedInstruction {
+                cycle,
+                reason: format!("register address bank {bank} reg {reg} out of range"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads `reg` of `bank` at `cycle`, consuming the bank's read port.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessorError::ReadPortConflict`] when the bank was already
+    /// read this cycle, or a malformed-instruction error for bad addresses.
+    pub fn read(&mut self, bank: usize, reg: usize, cycle: u64) -> Result<f64> {
+        self.check_address(bank, reg, cycle)?;
+        if self.read_cycle[bank] == Some(cycle) {
+            return Err(ProcessorError::ReadPortConflict { cycle, bank });
+        }
+        self.read_cycle[bank] = Some(cycle);
+        Ok(self.data[bank * self.regs_per_bank + reg])
+    }
+
+    /// Reads without consuming a port (used by the simulator to fetch the
+    /// final output value after execution).
+    pub fn peek(&self, bank: usize, reg: usize) -> f64 {
+        self.data[bank * self.regs_per_bank + reg]
+    }
+
+    /// Commits a write of `value` to `reg` of `bank` at `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessorError::WritePortConflict`] when the bank already
+    /// committed a write this cycle, or a malformed-instruction error for bad
+    /// addresses.
+    pub fn write(&mut self, bank: usize, reg: usize, value: f64, cycle: u64) -> Result<()> {
+        self.check_address(bank, reg, cycle)?;
+        if self.write_cycle[bank] == Some(cycle) {
+            return Err(ProcessorError::WritePortConflict { cycle, bank });
+        }
+        self.write_cycle[bank] = Some(cycle);
+        self.data[bank * self.regs_per_bank + reg] = value;
+        Ok(())
+    }
+
+    /// Writes a full row (register `reg` of every bank), e.g. for a memory
+    /// load.  Consumes the write port of every bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessorError::WritePortConflict`] if any bank already
+    /// committed a write this cycle.
+    pub fn write_row(&mut self, reg: usize, values: &[f64], cycle: u64) -> Result<()> {
+        for (bank, &value) in values.iter().enumerate().take(self.banks) {
+            self.write(bank, reg, value, cycle)?;
+        }
+        Ok(())
+    }
+
+    /// Reads a full row (register `reg` of every bank), e.g. for a memory
+    /// store.  Consumes the read port of every bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessorError::ReadPortConflict`] if any bank was already
+    /// read this cycle.
+    pub fn read_row(&mut self, reg: usize, cycle: u64) -> Result<Vec<f64>> {
+        (0..self.banks).map(|b| self.read(b, reg, cycle)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regfile() -> RegisterFile {
+        RegisterFile::new(&ProcessorConfig::ptree())
+    }
+
+    #[test]
+    fn read_back_written_value() {
+        let mut rf = regfile();
+        rf.write(3, 10, 2.5, 0).unwrap();
+        assert_eq!(rf.read(3, 10, 1).unwrap(), 2.5);
+        assert_eq!(rf.peek(3, 10), 2.5);
+    }
+
+    #[test]
+    fn double_read_of_bank_in_one_cycle_is_a_conflict() {
+        let mut rf = regfile();
+        rf.read(5, 0, 7).unwrap();
+        // A second read of the *same bank* conflicts even at another register.
+        assert!(matches!(
+            rf.read(5, 1, 7),
+            Err(ProcessorError::ReadPortConflict { cycle: 7, bank: 5 })
+        ));
+        // The next cycle is fine again.
+        assert!(rf.read(5, 1, 8).is_ok());
+    }
+
+    #[test]
+    fn double_write_of_bank_in_one_cycle_is_a_conflict() {
+        let mut rf = regfile();
+        rf.write(2, 0, 1.0, 4).unwrap();
+        assert!(matches!(
+            rf.write(2, 9, 2.0, 4),
+            Err(ProcessorError::WritePortConflict { cycle: 4, bank: 2 })
+        ));
+        assert!(rf.write(2, 9, 2.0, 5).is_ok());
+    }
+
+    #[test]
+    fn different_banks_do_not_conflict() {
+        let mut rf = regfile();
+        rf.read(0, 0, 1).unwrap();
+        rf.read(1, 0, 1).unwrap();
+        rf.write(0, 0, 1.0, 1).unwrap();
+        rf.write(1, 0, 1.0, 1).unwrap();
+    }
+
+    #[test]
+    fn row_access_uses_every_port() {
+        let mut rf = regfile();
+        let values: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        rf.write_row(4, &values, 0).unwrap();
+        assert_eq!(rf.peek(31, 4), 31.0);
+        let row = rf.read_row(4, 1).unwrap();
+        assert_eq!(row, values);
+        // After a row write, a scalar write the same cycle conflicts.
+        let mut rf = regfile();
+        rf.write_row(0, &values, 0).unwrap();
+        assert!(rf.write(7, 1, 9.0, 0).is_err());
+    }
+
+    #[test]
+    fn out_of_range_addresses_are_malformed() {
+        let mut rf = regfile();
+        assert!(matches!(
+            rf.read(99, 0, 0),
+            Err(ProcessorError::MalformedInstruction { .. })
+        ));
+        assert!(matches!(
+            rf.write(0, 1000, 1.0, 0),
+            Err(ProcessorError::MalformedInstruction { .. })
+        ));
+    }
+}

@@ -1,0 +1,182 @@
+//! Combinational evaluation of one PE tree configuration.
+//!
+//! The tree is a complete binary reduction tree: level-0 PEs take two
+//! crossbar inputs each, a PE at level `l > 0` takes the outputs of the two
+//! PEs directly below it.  Each PE either adds, multiplies, forwards one of
+//! its inputs, or idles.  The simulator evaluates the whole tree for one
+//! instruction and lets the processor core attach the per-level pipeline
+//! latency when committing write-backs.
+
+use crate::config::ProcessorConfig;
+use crate::error::ProcessorError;
+use crate::isa::{PeOp, TreeInstr};
+use crate::Result;
+
+/// Outputs of every PE of a tree for one instruction, level-major
+/// (`outputs[level][index]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeOutputs {
+    /// PE outputs per level; `outputs[0]` has one entry per leaf PE.
+    pub levels: Vec<Vec<f64>>,
+}
+
+impl TreeOutputs {
+    /// Returns the output of the PE at `(level, index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the position does not exist.
+    pub fn value(&self, level: usize, index: usize) -> f64 {
+        self.levels[level][index]
+    }
+}
+
+/// Applies one PE operation to its two inputs.
+pub fn apply_pe(op: PeOp, a: f64, b: f64) -> f64 {
+    match op {
+        PeOp::Nop => 0.0,
+        PeOp::Add => a + b,
+        PeOp::Mul => a * b,
+        PeOp::PassA => a,
+        PeOp::PassB => b,
+    }
+}
+
+/// Evaluates the PE tree described by `instr` on the resolved crossbar input
+/// values `inputs` (one per tree input, `2 × leaf PEs` entries).
+///
+/// # Errors
+///
+/// Returns a malformed-instruction error when the instruction's vectors do
+/// not match the configuration geometry.
+pub fn evaluate_tree(
+    config: &ProcessorConfig,
+    instr: &TreeInstr,
+    inputs: &[f64],
+    cycle: u64,
+) -> Result<TreeOutputs> {
+    let expected_inputs = config.tree_inputs_per_tree();
+    if inputs.len() != expected_inputs {
+        return Err(ProcessorError::MalformedInstruction {
+            cycle,
+            reason: format!(
+                "tree received {} inputs, expected {expected_inputs}",
+                inputs.len()
+            ),
+        });
+    }
+    let expected_pes: usize = (0..config.tree_levels).map(|l| config.pes_at_level(l)).sum();
+    if instr.pe_ops.len() != expected_pes {
+        return Err(ProcessorError::MalformedInstruction {
+            cycle,
+            reason: format!(
+                "tree instruction has {} PE opcodes, expected {expected_pes}",
+                instr.pe_ops.len()
+            ),
+        });
+    }
+
+    let mut levels: Vec<Vec<f64>> = Vec::with_capacity(config.tree_levels);
+    for level in 0..config.tree_levels {
+        let count = config.pes_at_level(level);
+        let mut outputs = Vec::with_capacity(count);
+        for index in 0..count {
+            let (a, b) = if level == 0 {
+                (inputs[2 * index], inputs[2 * index + 1])
+            } else {
+                let below = &levels[level - 1];
+                (below[2 * index], below[2 * index + 1])
+            };
+            let flat = TreeInstr::pe_flat_index(config, level, index);
+            outputs.push(apply_pe(instr.pe_ops[flat], a, b));
+        }
+        levels.push(outputs);
+    }
+    Ok(TreeOutputs { levels })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::ReadSel;
+
+    fn tree_instr(config: &ProcessorConfig) -> TreeInstr {
+        TreeInstr {
+            reads: vec![ReadSel::None; config.tree_inputs_per_tree()],
+            pe_ops: vec![
+                PeOp::Nop;
+                (0..config.tree_levels)
+                    .map(|l| config.pes_at_level(l))
+                    .sum()
+            ],
+            writes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn pe_semantics() {
+        assert_eq!(apply_pe(PeOp::Add, 2.0, 3.0), 5.0);
+        assert_eq!(apply_pe(PeOp::Mul, 2.0, 3.0), 6.0);
+        assert_eq!(apply_pe(PeOp::PassA, 2.0, 3.0), 2.0);
+        assert_eq!(apply_pe(PeOp::PassB, 2.0, 3.0), 3.0);
+        assert_eq!(apply_pe(PeOp::Nop, 2.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn full_tree_reduction() {
+        // Sum of 16 inputs through a 4-level adder tree.
+        let cfg = ProcessorConfig::ptree();
+        let mut instr = tree_instr(&cfg);
+        for op in instr.pe_ops.iter_mut() {
+            *op = PeOp::Add;
+        }
+        let inputs: Vec<f64> = (1..=16).map(f64::from).collect();
+        let out = evaluate_tree(&cfg, &instr, &inputs, 0).unwrap();
+        assert_eq!(out.value(3, 0), 136.0);
+        assert_eq!(out.value(0, 0), 3.0);
+        assert_eq!(out.value(1, 0), 10.0);
+    }
+
+    #[test]
+    fn mixed_tree_with_pass_through() {
+        // Compute (a*b) propagated up through passes: root = a*b.
+        let cfg = ProcessorConfig::ptree();
+        let mut instr = tree_instr(&cfg);
+        instr.pe_ops[TreeInstr::pe_flat_index(&cfg, 0, 0)] = PeOp::Mul;
+        instr.pe_ops[TreeInstr::pe_flat_index(&cfg, 1, 0)] = PeOp::PassA;
+        instr.pe_ops[TreeInstr::pe_flat_index(&cfg, 2, 0)] = PeOp::PassA;
+        instr.pe_ops[TreeInstr::pe_flat_index(&cfg, 3, 0)] = PeOp::PassA;
+        let mut inputs = vec![0.0; 16];
+        inputs[0] = 3.0;
+        inputs[1] = 4.0;
+        let out = evaluate_tree(&cfg, &instr, &inputs, 0).unwrap();
+        assert_eq!(out.value(3, 0), 12.0);
+    }
+
+    #[test]
+    fn pvect_tree_is_single_level() {
+        let cfg = ProcessorConfig::pvect();
+        let mut instr = tree_instr(&cfg);
+        instr.pe_ops[0] = PeOp::Mul;
+        instr.pe_ops[7] = PeOp::Add;
+        let mut inputs = vec![0.0; 16];
+        inputs[0] = 2.0;
+        inputs[1] = 5.0;
+        inputs[14] = 1.0;
+        inputs[15] = 7.0;
+        let out = evaluate_tree(&cfg, &instr, &inputs, 0).unwrap();
+        assert_eq!(out.levels.len(), 1);
+        assert_eq!(out.value(0, 0), 10.0);
+        assert_eq!(out.value(0, 7), 8.0);
+    }
+
+    #[test]
+    fn geometry_mismatches_are_rejected() {
+        let cfg = ProcessorConfig::ptree();
+        let instr = tree_instr(&cfg);
+        assert!(evaluate_tree(&cfg, &instr, &[0.0; 4], 0).is_err());
+        let mut bad = instr;
+        bad.pe_ops.pop();
+        assert!(evaluate_tree(&cfg, &bad, &[0.0; 16], 0).is_err());
+    }
+}

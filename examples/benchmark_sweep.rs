@@ -1,0 +1,55 @@
+//! Sweeps a subset of the paper's benchmark circuits across all four
+//! platforms (CPU model, GPU model, Pvect, Ptree) and prints a Fig.-4-style
+//! table.  The full nine-benchmark sweep lives in the `fig4` binary of the
+//! `spn-bench` crate; this example keeps to the small circuits so it runs in
+//! seconds even in debug builds.
+//!
+//! Run with `cargo run --release --example benchmark_sweep`.
+
+use spn_accel::compiler::Compiler;
+use spn_accel::core::flatten::OpList;
+use spn_accel::core::stats::SpnStats;
+use spn_accel::core::Evidence;
+use spn_accel::learn::Benchmark;
+use spn_accel::platforms::{CpuModel, GpuModel, Platform};
+use spn_accel::processor::{Processor, ProcessorConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("| benchmark | ops | groups | CPU | GPU | Pvect | Ptree | Ptree/CPU |");
+    println!("|---|---|---|---|---|---|---|---|");
+    for benchmark in [
+        Benchmark::Banknote,
+        Benchmark::EegEye,
+        Benchmark::Msnbc,
+        Benchmark::Cpu,
+    ] {
+        let spn = benchmark.spn();
+        let stats = SpnStats::from_spn(&spn);
+        let ops = OpList::from_spn(&spn);
+        let evidence = Evidence::marginal(spn.num_vars());
+
+        let (_, cpu) = CpuModel::new().execute(&ops, &evidence)?;
+        let (_, gpu) = GpuModel::new().execute(&ops, &evidence)?;
+
+        let mut custom = Vec::new();
+        for config in [ProcessorConfig::pvect(), ProcessorConfig::ptree()] {
+            let compiled = Compiler::new(config.clone()).compile_op_list(ops.clone())?;
+            let processor = Processor::new(config)?;
+            let run = processor.run(&compiled.program, &compiled.input_values(&evidence)?)?;
+            custom.push(run.perf.ops_per_cycle());
+        }
+
+        println!(
+            "| {} | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {:.1}x |",
+            benchmark.name(),
+            stats.num_ops,
+            stats.num_groups,
+            cpu.ops_per_cycle(),
+            gpu.ops_per_cycle(),
+            custom[0],
+            custom[1],
+            custom[1] / cpu.ops_per_cycle(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,83 @@
+//! The paper's motivating scenario: a hybrid system where a neural network
+//! handles perception and a probabilistic model reasons about what to do.
+//!
+//! A small rover fuses three noisy obstacle detectors (front camera, lidar,
+//! bumper) with a prior over terrain difficulty.  The probabilistic model is
+//! learned from (synthetic) experience as a Chow-Liu tree, compiled to an
+//! SPN, and the safety query "is the path blocked given the sensors?" is
+//! executed both in software and on the simulated SPN processor.
+//!
+//! Run with `cargo run --example robot_reasoning`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spn_accel::compiler::Compiler;
+use spn_accel::core::Evidence;
+use spn_accel::learn::chow_liu::ChowLiuTree;
+use spn_accel::learn::dataset::Dataset;
+use spn_accel::processor::{Processor, ProcessorConfig};
+
+// Variable indices of the model.
+const BLOCKED: usize = 0;
+const ROUGH_TERRAIN: usize = 1;
+const CAMERA: usize = 2;
+const LIDAR: usize = 3;
+const BUMPER: usize = 4;
+
+/// Simulates field experience: the ground truth (blocked, rough terrain) and
+/// the noisy sensor readings derived from it.
+fn collect_experience(rows: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let rough = rng.gen_bool(0.3);
+        let blocked = rng.gen_bool(if rough { 0.5 } else { 0.15 });
+        let camera = rng.gen_bool(if blocked { 0.85 } else { 0.10 });
+        let lidar = rng.gen_bool(if blocked { 0.92 } else { 0.05 });
+        let bumper = rng.gen_bool(if blocked { 0.30 } else { 0.01 });
+        data.push(vec![blocked, rough, camera, lidar, bumper]);
+    }
+    Dataset::new(5, data)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let experience = collect_experience(4000, 7);
+    let tree = ChowLiuTree::learn(&experience);
+    let spn = tree.to_spn();
+    println!(
+        "learned reasoning model: {} nodes over {} variables",
+        spn.num_nodes(),
+        spn.num_vars()
+    );
+
+    // Deployment-time query: camera and lidar fire, bumper silent.
+    let mut sensors = Evidence::marginal(5);
+    sensors.observe(CAMERA, true);
+    sensors.observe(LIDAR, true);
+    sensors.observe(BUMPER, false);
+    let mut blocked_and_sensors = sensors.clone();
+    blocked_and_sensors.observe(BLOCKED, true);
+    let p_blocked = spn.evaluate(&blocked_and_sensors)? / spn.evaluate(&sensors)?;
+    println!("P(path blocked | sensors) = {p_blocked:.3}");
+
+    let mpe = spn.mpe(&sensors)?;
+    println!(
+        "most probable explanation: blocked={} rough_terrain={}",
+        mpe.assignment[BLOCKED], mpe.assignment[ROUGH_TERRAIN]
+    );
+
+    // The same query on the accelerator (this is what would run on-board).
+    let config = ProcessorConfig::ptree();
+    let compiled = Compiler::new(config.clone()).compile(&spn)?;
+    let processor = Processor::new(config)?;
+    let joint = processor.run(&compiled.program, &compiled.input_values(&blocked_and_sensors)?)?;
+    let marginal = processor.run(&compiled.program, &compiled.input_values(&sensors)?)?;
+    println!(
+        "on the SPN processor:      = {:.3}  ({:.2} ops/cycle, {} cycles per pass)",
+        joint.output / marginal.output,
+        joint.perf.ops_per_cycle(),
+        joint.perf.cycles
+    );
+    assert!((joint.output / marginal.output - p_blocked).abs() < 1e-9);
+    Ok(())
+}

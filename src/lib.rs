@@ -1,0 +1,16 @@
+//! Umbrella crate for the SPN custom-processor reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and downstream
+//! users can depend on a single crate:
+//!
+//! * [`core`](spn_core) — SPN representation, inference, flattening.
+//! * [`learn`](spn_learn) — datasets, structure learning, the benchmark suite.
+//! * [`compiler`](spn_compiler) — compilation of SPNs to the custom VLIW ISA.
+//! * [`processor`](spn_processor) — cycle-accurate simulator of the SPN processor.
+//! * [`platforms`](spn_platforms) — CPU and GPU baseline execution models.
+
+pub use spn_compiler as compiler;
+pub use spn_core as core;
+pub use spn_learn as learn;
+pub use spn_platforms as platforms;
+pub use spn_processor as processor;

@@ -1,0 +1,115 @@
+//! Cross-crate integration tests: model → flatten → compile → simulate,
+//! checked against the reference evaluator and the baseline platform models.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spn_accel::compiler::Compiler;
+use spn_accel::core::flatten::OpList;
+use spn_accel::core::random::{random_spn, RandomSpnConfig};
+use spn_accel::core::{validate, Evidence, Spn};
+use spn_accel::learn::Benchmark;
+use spn_accel::platforms::{CpuModel, GpuModel, Platform};
+use spn_accel::processor::{Processor, ProcessorConfig};
+
+/// Compiles `spn` for `config`, runs it, and returns (hardware value, cycles).
+fn run_on(config: &ProcessorConfig, spn: &Spn, evidence: &Evidence) -> (f64, u64) {
+    let compiled = Compiler::new(config.clone()).compile(spn).expect("compile");
+    let processor = Processor::new(config.clone()).expect("processor");
+    let run = processor
+        .run(
+            &compiled.program,
+            &compiled.input_values(evidence).expect("inputs"),
+        )
+        .expect("run");
+    (run.output, run.perf.cycles)
+}
+
+#[test]
+fn random_spns_agree_across_every_execution_path() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for vars in [3usize, 9, 17, 33] {
+        let spn = random_spn(&RandomSpnConfig::with_vars(vars), &mut rng);
+        assert!(validate::check(&spn).is_valid());
+        let ops = OpList::from_spn(&spn);
+
+        for evidence in [
+            Evidence::marginal(vars),
+            Evidence::from_assignment(&vec![true; vars]),
+            {
+                let mut e = Evidence::marginal(vars);
+                e.observe(0, false);
+                e
+            },
+        ] {
+            let reference = spn.evaluate(&evidence).unwrap();
+            let tolerance = 1e-9 * reference.abs().max(1e-12);
+
+            assert!((ops.evaluate(&evidence).unwrap() - reference).abs() <= tolerance);
+            let (cpu_value, _) = CpuModel::new().execute(&ops, &evidence).unwrap();
+            assert!((cpu_value - reference).abs() <= tolerance);
+            let (gpu_value, _) = GpuModel::new().execute(&ops, &evidence).unwrap();
+            assert!((gpu_value - reference).abs() <= tolerance);
+            for config in [ProcessorConfig::ptree(), ProcessorConfig::pvect()] {
+                let (hw_value, _) = run_on(&config, &spn, &evidence);
+                assert!(
+                    (hw_value - reference).abs() <= tolerance,
+                    "{} disagrees on {vars} vars",
+                    config.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn learned_benchmark_circuits_run_on_the_processor() {
+    for benchmark in [Benchmark::Banknote, Benchmark::EegEye, Benchmark::Cpu] {
+        let spn = benchmark.spn();
+        let evidence = Evidence::marginal(spn.num_vars());
+        let reference = spn.evaluate(&evidence).unwrap();
+        let (value, cycles) = run_on(&ProcessorConfig::ptree(), &spn, &evidence);
+        assert!(
+            (value - reference).abs() <= 1e-9 * reference.abs().max(1e-12),
+            "{}",
+            benchmark.name()
+        );
+        assert!(cycles > 0);
+    }
+}
+
+#[test]
+fn conditional_queries_match_between_software_and_hardware() {
+    let spn = Benchmark::Banknote.spn();
+    let n = spn.num_vars();
+    let config = ProcessorConfig::ptree();
+    let compiled = Compiler::new(config.clone()).compile(&spn).unwrap();
+    let processor = Processor::new(config).unwrap();
+
+    let mut evidence = Evidence::marginal(n);
+    evidence.observe(1, true);
+    let mut joint = evidence.clone();
+    joint.observe(0, true);
+
+    let software = spn.evaluate(&joint).unwrap() / spn.evaluate(&evidence).unwrap();
+    let hw_joint = processor
+        .run(&compiled.program, &compiled.input_values(&joint).unwrap())
+        .unwrap()
+        .output;
+    let hw_evidence = processor
+        .run(&compiled.program, &compiled.input_values(&evidence).unwrap())
+        .unwrap()
+        .output;
+    assert!((hw_joint / hw_evidence - software).abs() < 1e-9);
+}
+
+#[test]
+fn ptree_is_faster_than_pvect_on_a_learned_circuit() {
+    let spn = Benchmark::Msnbc.spn();
+    let evidence = Evidence::marginal(spn.num_vars());
+    let (_, ptree_cycles) = run_on(&ProcessorConfig::ptree(), &spn, &evidence);
+    let (_, pvect_cycles) = run_on(&ProcessorConfig::pvect(), &spn, &evidence);
+    assert!(
+        ptree_cycles < pvect_cycles,
+        "Ptree {ptree_cycles} cycles vs Pvect {pvect_cycles} cycles"
+    );
+}

@@ -1,0 +1,98 @@
+//! Property-based tests over randomly generated SPNs.
+//!
+//! These check the global invariants that every layer of the stack must
+//! preserve: structural validity of generated circuits, equivalence of all
+//! program representations, and the compiler/simulator pair reproducing the
+//! reference semantics under arbitrary evidence.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spn_accel::compiler::Compiler;
+use spn_accel::core::flatten::{LoopProgram, OpList};
+use spn_accel::core::random::{random_spn, RandomSpnConfig};
+use spn_accel::core::{io, validate, Evidence};
+use spn_accel::processor::{Processor, ProcessorConfig};
+
+/// Strategy: a seed, a variable count and a per-variable observation pattern.
+fn spn_case() -> impl Strategy<Value = (u64, usize, Vec<Option<bool>>)> {
+    (0u64..1000, 1usize..14).prop_flat_map(|(seed, vars)| {
+        (
+            Just(seed),
+            Just(vars),
+            proptest::collection::vec(proptest::option::of(any::<bool>()), vars),
+        )
+    })
+}
+
+fn build(seed: u64, vars: usize) -> spn_accel::core::Spn {
+    let mut rng = StdRng::seed_from_u64(seed);
+    random_spn(&RandomSpnConfig::with_vars(vars), &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Generated SPNs are always complete, decomposable and normalised, and
+    /// their fully marginalised value is one.
+    #[test]
+    fn generated_spns_are_valid((seed, vars, _) in spn_case()) {
+        let spn = build(seed, vars);
+        prop_assert!(validate::check(&spn).is_valid());
+        let z = spn.evaluate(&Evidence::marginal(vars)).unwrap();
+        prop_assert!((z - 1.0).abs() < 1e-6);
+    }
+
+    /// Algorithm 1, Algorithm 2 and the graph evaluator agree under any
+    /// evidence, and probabilities are monotone under observation.
+    #[test]
+    fn program_forms_agree((seed, vars, pattern) in spn_case()) {
+        let spn = build(seed, vars);
+        let evidence = Evidence::from_options(pattern);
+        let reference = spn.evaluate(&evidence).unwrap();
+        let ops = OpList::from_spn(&spn);
+        let loop_program = LoopProgram::from_spn(&spn);
+        prop_assert!((ops.evaluate(&evidence).unwrap() - reference).abs() < 1e-9);
+        prop_assert!((loop_program.evaluate(&evidence).unwrap() - reference).abs() < 1e-9);
+        // Observing variables can only lower (or keep) the probability mass.
+        let marginal = spn.evaluate(&Evidence::marginal(vars)).unwrap();
+        prop_assert!(reference <= marginal + 1e-9);
+    }
+
+    /// The text format round-trips semantics.
+    #[test]
+    fn text_round_trip((seed, vars, pattern) in spn_case()) {
+        let spn = build(seed, vars);
+        let evidence = Evidence::from_options(pattern);
+        let parsed = io::parse_text(&io::write_text(&spn)).unwrap();
+        prop_assert!(
+            (parsed.evaluate(&evidence).unwrap() - spn.evaluate(&evidence).unwrap()).abs() < 1e-9
+        );
+    }
+}
+
+proptest! {
+    // Compilation plus cycle-accurate simulation is slower, so fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The compiled program running on the structurally-checked simulator
+    /// reproduces the reference value on both processor configurations.
+    #[test]
+    fn compiled_programs_match_reference((seed, vars, pattern) in spn_case()) {
+        let spn = build(seed, vars);
+        let evidence = Evidence::from_options(pattern);
+        let reference = spn.evaluate(&evidence).unwrap();
+        for config in [ProcessorConfig::ptree(), ProcessorConfig::pvect()] {
+            let compiled = Compiler::new(config.clone()).compile(&spn).unwrap();
+            let processor = Processor::new(config).unwrap();
+            let run = processor
+                .run(&compiled.program, &compiled.input_values(&evidence).unwrap())
+                .unwrap();
+            prop_assert!(
+                (run.output - reference).abs() <= 1e-9 * reference.abs().max(1e-12),
+                "got {} expected {}", run.output, reference
+            );
+            prop_assert_eq!(run.perf.source_ops as usize, compiled.op_list.num_ops());
+        }
+    }
+}
