@@ -1,103 +1,84 @@
-//! Criterion benchmarks backing the paper's figures.
+//! Wall-clock micro-benchmarks of the execution stack (criterion-free: the
+//! offline build has no access to crates.io, so this is a plain
+//! `harness = false` binary timed with `std::time::Instant`).
 //!
-//! * `fig2c_gpu_thread_scaling` — the CPU/GPU models of Fig. 2(c),
-//! * `fig4_throughput` — CPU, GPU, Pvect and Ptree on a representative subset
-//!   of the Fig. 4 benchmarks (the full sweep lives in the `fig4` binary),
-//! * `compile` — compiler cost itself (not in the paper, useful for us),
-//! * `evaluate` — reference evaluation as the software upper bound.
+//! * `compile` — one-time cost of the compile phase per backend,
+//! * `execute` — amortised per-query cost of the execute-many phase at batch
+//!   size 256,
+//! * `evaluate` — the reference [`Evaluator`] as the software upper bound.
 //!
-//! Criterion measures wall-clock time of the *models*; the figures proper are
-//! produced by the binaries, which report modelled cycles.
+//! Run with `cargo bench -p spn-bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use spn_compiler::Compiler;
+use std::time::Instant;
+
+use spn_core::batch::EvidenceBatch;
+use spn_core::eval::Evaluator;
 use spn_core::flatten::OpList;
-use spn_core::Evidence;
 use spn_learn::Benchmark;
-use spn_platforms::{CpuModel, GpuConfig, GpuModel, Platform};
-use spn_processor::{Processor, ProcessorConfig};
+use spn_platforms::{Backend, CpuModel, Engine, GpuModel, ProcessorBackend};
 
-fn workloads() -> Vec<(String, spn_core::Spn)> {
-    [Benchmark::Banknote, Benchmark::EegEye, Benchmark::Msnbc]
-        .into_iter()
-        .map(|b| (b.name().to_string(), b.spn()))
-        .collect()
+const BATCH: usize = 256;
+
+fn time<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let r = f();
+    (start.elapsed().as_secs_f64(), r)
 }
 
-fn bench_fig2c(c: &mut Criterion) {
-    let (_, spn) = workloads().remove(2);
-    let ops = OpList::from_spn(&spn);
-    let mut group = c.benchmark_group("fig2c_gpu_thread_scaling");
-    group.bench_function("cpu_model", |b| {
-        b.iter(|| CpuModel::new().model_cycles(&ops))
-    });
-    for threads in [1usize, 64, 256] {
-        group.bench_with_input(
-            BenchmarkId::new("gpu_model", threads),
-            &threads,
-            |b, &threads| {
-                let model = GpuModel::with_config(GpuConfig::with_threads(threads));
-                b.iter(|| model.model_cycles(&ops))
-            },
+fn bench_backend<B: Backend>(name: &str, workload: &str, backend: B, ops: &OpList, vars: usize) {
+    let (compile_s, mut engine) = time(|| Engine::new(backend, ops).expect("compile"));
+    let batch = EvidenceBatch::marginals(vars, BATCH);
+    // Warm-up, then timed run.
+    engine.execute_batch(&batch).expect("warm-up");
+    let (execute_s, out) = time(|| engine.execute_batch(&batch).expect("execute"));
+    println!(
+        "{workload:>10} {name:>6}: compile {:>10.1} us, execute {:>8.3} us/query ({} queries, checksum {:.3})",
+        compile_s * 1e6,
+        execute_s * 1e6 / BATCH as f64,
+        out.perf.queries,
+        out.values.iter().sum::<f64>(),
+    );
+}
+
+fn main() {
+    for benchmark in [Benchmark::Banknote, Benchmark::EegEye, Benchmark::Msnbc] {
+        let spn = benchmark.spn();
+        let vars = spn.num_vars();
+        let ops = OpList::from_spn(&spn);
+
+        bench_backend("cpu", benchmark.name(), CpuModel::new(), &ops, vars);
+        bench_backend("gpu", benchmark.name(), GpuModel::new(), &ops, vars);
+        bench_backend(
+            "pvect",
+            benchmark.name(),
+            ProcessorBackend::pvect(),
+            &ops,
+            vars,
+        );
+        bench_backend(
+            "ptree",
+            benchmark.name(),
+            ProcessorBackend::ptree(),
+            &ops,
+            vars,
+        );
+
+        let mut evaluator = Evaluator::new(&spn);
+        let batch = EvidenceBatch::marginals(vars, BATCH);
+        let mut roots = Vec::new();
+        evaluator
+            .evaluate_batch(&batch, &mut roots)
+            .expect("warm-up");
+        let (eval_s, _) = time(|| {
+            evaluator
+                .evaluate_batch(&batch, &mut roots)
+                .expect("evaluate")
+        });
+        println!(
+            "{:>10} {:>6}: execute {:>8.3} us/query (reference evaluator)",
+            benchmark.name(),
+            "eval",
+            eval_s * 1e6 / BATCH as f64,
         );
     }
-    group.finish();
 }
-
-fn bench_fig4(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_throughput");
-    group.sample_size(10);
-    for (name, spn) in workloads() {
-        let ops = OpList::from_spn(&spn);
-        let evidence = Evidence::marginal(spn.num_vars());
-
-        group.bench_with_input(BenchmarkId::new("cpu", &name), &ops, |b, ops| {
-            let model = CpuModel::new();
-            b.iter(|| model.execute(ops, &evidence).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("gpu", &name), &ops, |b, ops| {
-            let model = GpuModel::new();
-            b.iter(|| model.execute(ops, &evidence).unwrap())
-        });
-        for config in [ProcessorConfig::pvect(), ProcessorConfig::ptree()] {
-            let compiled = Compiler::new(config.clone())
-                .compile_op_list(ops.clone())
-                .expect("compile");
-            let inputs = compiled.input_values(&evidence).expect("inputs");
-            let processor = Processor::new(config.clone()).expect("processor");
-            group.bench_with_input(
-                BenchmarkId::new(config.name.to_lowercase(), &name),
-                &compiled.program,
-                |b, program| b.iter(|| processor.run(program, &inputs).unwrap()),
-            );
-        }
-    }
-    group.finish();
-}
-
-fn bench_compile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile");
-    group.sample_size(10);
-    for (name, spn) in workloads() {
-        let ops = OpList::from_spn(&spn);
-        group.bench_with_input(BenchmarkId::new("ptree", &name), &ops, |b, ops| {
-            let compiler = Compiler::new(ProcessorConfig::ptree());
-            b.iter(|| compiler.compile_op_list(ops.clone()).unwrap())
-        });
-    }
-    group.finish();
-}
-
-fn bench_evaluate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("evaluate");
-    for (name, spn) in workloads() {
-        let evidence = Evidence::marginal(spn.num_vars());
-        group.bench_with_input(BenchmarkId::new("reference", &name), &spn, |b, spn| {
-            b.iter(|| spn.evaluate(&evidence).unwrap())
-        });
-    }
-    group.finish();
-}
-
-criterion_group!(benches, bench_fig2c, bench_fig4, bench_compile, bench_evaluate);
-criterion_main!(benches);

@@ -7,16 +7,16 @@
 //! benefit comes from.
 
 use spn_bench::run_processor;
+use spn_core::batch::EvidenceBatch;
 use spn_core::flatten::OpList;
-use spn_core::Evidence;
 use spn_learn::Benchmark;
 use spn_processor::ProcessorConfig;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let benchmark = Benchmark::KddCup2k;
     let spn = benchmark.spn();
     let ops = OpList::from_spn(&spn);
-    let evidence = Evidence::marginal(spn.num_vars());
+    let batch = EvidenceBatch::marginals(spn.num_vars(), 1);
     println!(
         "# Ablation sweeps on {} ({} ops)\n",
         benchmark.name(),
@@ -30,18 +30,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut config = ProcessorConfig::ptree();
         config.tree_levels = levels;
         config.name = format!("Ptree-L{levels}");
-        let result = run_processor(benchmark.name(), &ops, &evidence, &config)?;
-        println!("| {levels} | {} | {:.2} |", config.num_pes(), result.ops_per_cycle);
+        let result = run_processor(benchmark.name(), &ops, &batch, &config)?.result;
+        println!(
+            "| {levels} | {} | {:.2} |",
+            config.num_pes(),
+            result.ops_per_cycle
+        );
     }
 
     println!("\n## Register banks per tree (crossbar width)\n");
     println!("| banks/tree | total banks | ops/cycle |");
     println!("|---|---|---|");
-    for banks in [16usize, 32, 64] {
+    // 32 banks/tree is the widest representable sweep point: the compiler's
+    // occupancy masks cap the machine at 64 banks total (2 trees).
+    for banks in [8usize, 16, 32] {
         let mut config = ProcessorConfig::ptree();
         config.banks_per_tree = banks;
         config.name = format!("Ptree-B{banks}");
-        let result = run_processor(benchmark.name(), &ops, &evidence, &config)?;
+        let result = run_processor(benchmark.name(), &ops, &batch, &config)?.result;
         println!(
             "| {banks} | {} | {:.2} |",
             config.total_banks(),
@@ -56,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut config = ProcessorConfig::ptree();
         config.regs_per_bank = regs;
         config.name = format!("Ptree-R{regs}");
-        let result = run_processor(benchmark.name(), &ops, &evidence, &config)?;
+        let result = run_processor(benchmark.name(), &ops, &batch, &config)?.result;
         println!("| {regs} | {:.2} |", result.ops_per_cycle);
     }
     Ok(())

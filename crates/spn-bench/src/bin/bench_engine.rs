@@ -1,0 +1,229 @@
+//! Wall-clock throughput of the two-phase engine: single-query dispatch vs
+//! batched execution at batch sizes 1/32/256/1024.
+//!
+//! The engine compiles each workload once; the sweep then measures how many
+//! queries per second the execute-many half sustains when evidence arrives
+//! one query at a time (`Engine::execute`, which builds a one-element batch
+//! and allocates a result per call) versus in dense [`EvidenceBatch`]es
+//! (amortised dispatch, zero per-query allocation).  Results go to stdout as
+//! a markdown table and to `BENCH_engine.json` for the perf trajectory.
+//!
+//! Run with `cargo run --release -p spn-bench --bin bench_engine [out.json]`.
+
+use std::time::Instant;
+
+use spn_bench::{json_escape, json_number};
+use spn_core::batch::EvidenceBatch;
+use spn_core::eval::Evaluator;
+use spn_core::flatten::OpList;
+use spn_core::{Evidence, Spn};
+use spn_learn::Benchmark;
+use spn_platforms::{Backend, CpuModel, Engine, ProcessorBackend};
+
+/// One measured configuration.
+struct Measurement {
+    workload: String,
+    platform: String,
+    batch_size: usize,
+    queries: usize,
+    seconds: f64,
+    queries_per_sec: f64,
+}
+
+/// Builds a deterministic batch of `n` mixed queries (cycling through
+/// marginal, all-true, all-false and single-observation patterns).
+fn build_batch(num_vars: usize, n: usize) -> EvidenceBatch {
+    let mut batch = EvidenceBatch::with_capacity(num_vars, n);
+    for q in 0..n {
+        match q % 4 {
+            0 => batch.push_marginal(),
+            1 => batch.push_assignment(&vec![true; num_vars]).expect("arity"),
+            2 => batch
+                .push_assignment(&vec![false; num_vars])
+                .expect("arity"),
+            _ => {
+                let mut e = Evidence::marginal(num_vars);
+                e.observe(q % num_vars, q % 8 < 4);
+                batch.push(&e).expect("arity");
+            }
+        }
+    }
+    batch
+}
+
+/// Timing repeats per configuration; the minimum is reported (standard
+/// microbenchmark practice — the minimum is the run least disturbed by the
+/// scheduler, and both dispatch modes do strictly deterministic work).
+const REPEATS: usize = 5;
+
+/// Runs `chunks` batches through `engine` and returns (seconds, checksum).
+fn run_batched<B: Backend>(
+    engine: &mut Engine<B>,
+    batch: &EvidenceBatch,
+    chunks: usize,
+) -> (f64, f64) {
+    let mut checksum = 0.0;
+    let start = Instant::now();
+    for _ in 0..chunks {
+        let out = engine.execute_batch(batch).expect("execute_batch");
+        checksum += out.values.iter().sum::<f64>();
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+/// Runs every query one at a time through the true single-query dispatch
+/// path (`Engine::execute` over an `Evidence`) and returns (seconds,
+/// checksum).  This is what a serving loop without batching pays per query.
+fn run_single<B: Backend>(engine: &mut Engine<B>, evidences: &[Evidence]) -> (f64, f64) {
+    let mut checksum = 0.0;
+    let start = Instant::now();
+    for evidence in evidences {
+        let (value, _perf) = engine.execute(evidence).expect("execute");
+        checksum += value;
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+fn measure<B: Backend>(
+    workload: &str,
+    backend: B,
+    spn: &Spn,
+    ops: &OpList,
+    total_queries: usize,
+    results: &mut Vec<Measurement>,
+) {
+    let name = backend.name();
+    let mut engine = Engine::new(backend, ops).expect("compile");
+    let mut evaluator = Evaluator::new(spn);
+
+    for &batch_size in &[1usize, 32, 256, 1024] {
+        let chunks = (total_queries / batch_size).max(1);
+        let queries = chunks * batch_size;
+        let batch = build_batch(spn.num_vars(), batch_size);
+        // The checksum the timed loop must reproduce: guards the fast path
+        // against drifting from the reference evaluator.
+        let mut reference = Vec::new();
+        evaluator
+            .evaluate_batch(&batch, &mut reference)
+            .expect("reference");
+        let expected: f64 = reference.iter().sum::<f64>() * chunks as f64;
+        // Batch size 1 measures the true single-query dispatch path:
+        // `Engine::execute` over one `Evidence` per arriving query.
+        let evidences: Vec<Evidence> = (0..queries)
+            .map(|q| batch.to_evidence(q % batch.len()))
+            .collect();
+
+        let mut best = f64::INFINITY;
+        for repeat in 0..=REPEATS {
+            let (seconds, checksum) = if batch_size == 1 {
+                run_single(&mut engine, &evidences)
+            } else {
+                run_batched(&mut engine, &batch, chunks)
+            };
+            assert!(
+                (checksum - expected).abs() < 1e-6 * expected.abs().max(1e-12),
+                "{name} batch {batch_size}: checksum {checksum} vs reference {expected}"
+            );
+            // Iteration 0 is the warm-up: allocations and caches settle.
+            if repeat > 0 {
+                best = best.min(seconds);
+            }
+        }
+        results.push(Measurement {
+            workload: workload.to_string(),
+            platform: name.clone(),
+            batch_size,
+            queries,
+            seconds: best,
+            queries_per_sec: queries as f64 / best.max(1e-12),
+        });
+    }
+}
+
+fn to_json(results: &[Measurement]) -> String {
+    let mut out = String::from("[\n");
+    for (i, m) in results.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "  {{\"workload\": \"{}\", \"platform\": \"{}\", \"batch_size\": {}, ",
+                "\"queries\": {}, \"seconds\": {}, \"queries_per_sec\": {}}}{}\n",
+            ),
+            json_escape(&m.workload),
+            json_escape(&m.platform),
+            m.batch_size,
+            m.queries,
+            json_number(m.seconds),
+            json_number(m.queries_per_sec),
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let mut results: Vec<Measurement> = Vec::new();
+
+    // CPU backend: the software fast path, high query counts.  Small and
+    // medium circuits are the dispatch-sensitive regime where batching
+    // matters; the compute-dominated large circuits live in fig4.
+    for benchmark in [Benchmark::Banknote, Benchmark::Cpu] {
+        let spn = benchmark.spn();
+        let ops = OpList::from_spn(&spn);
+        measure(
+            benchmark.name(),
+            CpuModel::new(),
+            &spn,
+            &ops,
+            20_480,
+            &mut results,
+        );
+    }
+    // Cycle-accurate simulator: far slower per query, smaller total.
+    {
+        let spn = Benchmark::Banknote.spn();
+        let ops = OpList::from_spn(&spn);
+        measure(
+            "Banknote",
+            ProcessorBackend::ptree(),
+            &spn,
+            &ops,
+            2_048,
+            &mut results,
+        );
+    }
+
+    println!("# Engine throughput: single-query vs batched dispatch\n");
+    println!("| workload | platform | batch | queries | queries/sec |");
+    println!("|---|---|---|---|---|");
+    for m in &results {
+        println!(
+            "| {} | {} | {} | {} | {:.0} |",
+            m.workload, m.platform, m.batch_size, m.queries, m.queries_per_sec
+        );
+    }
+    for (workload, platform) in results
+        .iter()
+        .map(|m| (m.workload.clone(), m.platform.clone()))
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        let get = |size: usize| {
+            results
+                .iter()
+                .find(|m| m.workload == workload && m.platform == platform && m.batch_size == size)
+                .map(|m| m.queries_per_sec)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "\n{workload}/{platform}: batch 256 vs 1 = {:.2}x, batch 1024 vs 1 = {:.2}x",
+            get(256) / get(1).max(1e-12),
+            get(1024) / get(1).max(1e-12),
+        );
+    }
+
+    std::fs::write(&out_path, to_json(&results)).expect("write BENCH_engine.json");
+    eprintln!("results written to {out_path}");
+}

@@ -7,15 +7,15 @@
 //! thread throughput, landing the GPU in the same class as the CPU.
 
 use spn_bench::{run_cpu, run_gpu};
+use spn_core::batch::EvidenceBatch;
 use spn_core::flatten::OpList;
-use spn_core::Evidence;
 use spn_learn::Benchmark;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let benchmark = Benchmark::Msnbc;
     let spn = benchmark.spn();
     let ops = OpList::from_spn(&spn);
-    let evidence = Evidence::marginal(spn.num_vars());
+    let batch = EvidenceBatch::marginals(spn.num_vars(), 1);
 
     println!("# Fig. 2(c): CPU vs GPU thread scaling");
     println!(
@@ -28,13 +28,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("| platform | ops/cycle |");
     println!("|---|---|");
 
-    let cpu = run_cpu(benchmark.name(), &ops, &evidence)?;
+    let cpu = run_cpu(benchmark.name(), &ops, &batch)?.result;
     println!("| CPU | {:.3} |", cpu.ops_per_cycle);
 
     let mut single_thread = None;
     let mut full_block = None;
     for threads in [1usize, 32, 64, 128, 256] {
-        let gpu = run_gpu(benchmark.name(), &ops, &evidence, threads)?;
+        let gpu = run_gpu(benchmark.name(), &ops, &batch, threads)?.result;
         println!("| GPU {threads} thread(s) | {:.3} |", gpu.ops_per_cycle);
         if threads == 1 {
             single_thread = Some(gpu.ops_per_cycle);

@@ -8,10 +8,10 @@ use std::env;
 use std::fs;
 
 use spn_bench::{markdown_table, run_all_platforms, to_json, PlatformResult};
-use spn_core::Evidence;
+use spn_core::batch::EvidenceBatch;
 use spn_learn::Benchmark;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let args: Vec<String> = env::args().collect();
     let json_path = args
         .iter()
@@ -23,14 +23,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("# Fig. 4: ops/cycle per platform and benchmark\n");
     for benchmark in Benchmark::all() {
         let spn = benchmark.spn();
-        let evidence = Evidence::marginal(spn.num_vars());
+        let batch = EvidenceBatch::marginals(spn.num_vars(), 1);
         eprintln!(
             "running {} ({} vars, {} nodes)...",
             benchmark.name(),
             spn.num_vars(),
             spn.num_nodes()
         );
-        let results = run_all_platforms(benchmark.name(), &spn, &evidence)?;
+        let results = run_all_platforms(benchmark.name(), &spn, &batch)?;
         all.extend(results);
     }
     println!("{}", markdown_table(&all));
@@ -57,7 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Ptree vs Pvect: {:.1}x (paper: ~2x)", ptree / pvect);
 
     if let Some(path) = json_path {
-        fs::write(&path, to_json(&all)?)?;
+        fs::write(&path, to_json(&all))?;
         eprintln!("raw results written to {path}");
     }
     Ok(())

@@ -6,7 +6,9 @@ fn main() {
     println!("# Table I: compute and memory details of the processing platforms\n");
     println!("| Platform | Compute units | Immediate memory | Memory banks |");
     println!("|---|---|---|---|");
-    println!("| CPU | 2 arith. units in a superscalar core | 168 80b registers + 32 KB L1 cache | 16 |");
+    println!(
+        "| CPU | 2 arith. units in a superscalar core | 168 80b registers + 32 KB L1 cache | 16 |"
+    );
     println!("| GPU | 128 CUDA cores | 64K 32b registers + 64 KB shared mem. | 32 |");
     for config in [ProcessorConfig::pvect(), ProcessorConfig::ptree()] {
         let (regs, _bits, mem_bytes) = config.storage_summary();

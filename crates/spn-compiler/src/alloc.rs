@@ -467,7 +467,14 @@ mod tests {
         assert!(!vm.consume_use(input));
         assert!(vm.consume_use(input));
         assert!(vm.consume_use(op));
-        vm.set_loc(op, Loc::Reg { bank: 3, reg: 7, ready: 11 });
+        vm.set_loc(
+            op,
+            Loc::Reg {
+                bank: 3,
+                reg: 7,
+                ready: 11,
+            },
+        );
         match vm.loc(op) {
             Loc::Reg { bank, reg, ready } => {
                 assert_eq!((bank, reg, ready), (3, 7, 11));

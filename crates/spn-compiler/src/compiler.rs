@@ -1,5 +1,6 @@
 //! Public compiler driver.
 
+use spn_core::batch::{EvidenceBatch, InputRecipe};
 use spn_core::flatten::{FlattenOptions, OpList};
 use spn_core::{Evidence, Spn};
 use spn_processor::config::ProcessorConfig;
@@ -21,19 +22,27 @@ pub struct CompilerOptions {
     pub max_tile_depth: Option<usize>,
 }
 
-/// The result of compiling one SPN.
+/// The cacheable result of compiling one SPN: the handle an execution engine
+/// holds on to for the execute-many half of compile-once / execute-many.
+///
+/// Besides the executable program and the compile statistics, the artifact
+/// carries the pre-resolved [`InputRecipe`], so materialising input vectors
+/// for fresh evidence (single queries or whole [`EvidenceBatch`]es) costs a
+/// template copy plus one store per indicator slot — no per-query matching
+/// or allocation.
 #[derive(Debug, Clone)]
-pub struct Compiled {
+pub struct CompiledArtifact {
     /// The executable VLIW program.
     pub program: Program,
     /// Statistics about the compilation.
     pub report: CompileReport,
-    /// The flattened operation list the program was compiled from (needed to
-    /// materialise input vectors for new evidence).
+    /// The flattened operation list the program was compiled from.
     pub op_list: OpList,
+    /// Pre-resolved mapping from evidence to the program's input vector.
+    recipe: InputRecipe,
 }
 
-impl Compiled {
+impl CompiledArtifact {
     /// Materialises the program's input vector for `evidence`.
     ///
     /// # Errors
@@ -41,7 +50,26 @@ impl Compiled {
     /// Returns an error when the evidence covers a different number of
     /// variables than the SPN the program was compiled from.
     pub fn input_values(&self, evidence: &Evidence) -> Result<Vec<f64>> {
-        Ok(self.op_list.input_values(evidence)?)
+        let mut out = Vec::new();
+        self.recipe.fill_evidence(evidence, &mut out)?;
+        Ok(out)
+    }
+
+    /// The pre-resolved evidence-to-input-vector mapping.
+    pub fn input_recipe(&self) -> &InputRecipe {
+        &self.recipe
+    }
+
+    /// Fills `out` with the concatenated input vectors of every query in
+    /// `batch` (query-major, ready for `Processor::run_batch`), reusing the
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the batch covers a different number of
+    /// variables than the SPN the program was compiled from.
+    pub fn fill_batch_inputs(&self, batch: &EvidenceBatch, out: &mut Vec<f64>) -> Result<()> {
+        Ok(self.recipe.fill_batch(batch, out)?)
     }
 }
 
@@ -73,13 +101,13 @@ impl Compiler {
         &self.config
     }
 
-    /// Compiles an SPN into an executable program.
+    /// Compiles an SPN into a cacheable executable artifact.
     ///
     /// # Errors
     ///
     /// Returns a [`crate::CompileError`] when the target configuration is
     /// invalid or the program cannot be made to fit it.
-    pub fn compile(&self, spn: &Spn) -> Result<Compiled> {
+    pub fn compile(&self, spn: &Spn) -> Result<CompiledArtifact> {
         let op_list = OpList::from_spn_with(spn, self.options.flatten);
         self.compile_op_list(op_list)
     }
@@ -90,7 +118,7 @@ impl Compiler {
     ///
     /// Returns a [`crate::CompileError`] when the target configuration is
     /// invalid or the program cannot be made to fit it.
-    pub fn compile_op_list(&self, op_list: OpList) -> Result<Compiled> {
+    pub fn compile_op_list(&self, op_list: OpList) -> Result<CompiledArtifact> {
         let depth = self
             .options
             .max_tile_depth
@@ -99,10 +127,12 @@ impl Compiler {
             .max(1);
         let tiles = extract_tiles(&op_list, depth);
         let (program, report) = schedule(&self.config, &op_list, &tiles, &self.options.schedule)?;
-        Ok(Compiled {
+        let recipe = op_list.input_recipe();
+        Ok(CompiledArtifact {
             program,
             report,
             op_list,
+            recipe,
         })
     }
 }
@@ -135,7 +165,9 @@ mod tests {
     fn max_tile_depth_caps_packing() {
         let mut rng = StdRng::seed_from_u64(6);
         let spn = random_spn(&RandomSpnConfig::with_vars(16), &mut rng);
-        let deep = Compiler::new(ProcessorConfig::ptree()).compile(&spn).unwrap();
+        let deep = Compiler::new(ProcessorConfig::ptree())
+            .compile(&spn)
+            .unwrap();
         let shallow = Compiler::with_options(
             ProcessorConfig::ptree(),
             CompilerOptions {
@@ -153,7 +185,9 @@ mod tests {
     fn evidence_mismatch_is_reported() {
         let mut rng = StdRng::seed_from_u64(7);
         let spn = random_spn(&RandomSpnConfig::with_vars(4), &mut rng);
-        let compiled = Compiler::new(ProcessorConfig::pvect()).compile(&spn).unwrap();
+        let compiled = Compiler::new(ProcessorConfig::pvect())
+            .compile(&spn)
+            .unwrap();
         assert!(compiled.input_values(&Evidence::marginal(9)).is_err());
     }
 

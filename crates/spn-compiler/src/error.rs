@@ -82,9 +82,7 @@ mod tests {
         assert!(e.to_string().contains("resources"));
         let e = CompileError::from(SpnError::EmptyNode);
         assert!(std::error::Error::source(&e).is_some());
-        let e = CompileError::from(ProcessorError::InvalidConfig {
-            reason: "x".into(),
-        });
+        let e = CompileError::from(ProcessorError::InvalidConfig { reason: "x".into() });
         assert!(e.to_string().contains("processor"));
     }
 }

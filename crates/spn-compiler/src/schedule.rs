@@ -396,10 +396,13 @@ impl<'a> Scheduler<'a> {
         };
         self.report.memory_stores += 1;
         for (value, bank) in stored {
-            self.values.set_loc(value, Loc::Mem {
-                row: spill_row,
-                lane: bank,
-            });
+            self.values.set_loc(
+                value,
+                Loc::Mem {
+                    row: spill_row,
+                    lane: bank,
+                },
+            );
             self.scalar_values.remove(&(bank, offset));
         }
         self.alloc.clear_scalar(offset, cycle);
@@ -767,11 +770,10 @@ impl<'a> Scheduler<'a> {
         for placed in &tile.ops {
             let global_index = (leaf_base >> placed.level) + placed.pos;
             let flat = TreeInstr::pe_flat_index(self.config, placed.level, global_index);
-            self.instructions[cycle as usize].trees[tree].pe_ops[flat] =
-                match placed.kind {
-                    spn_core::flatten::OpKind::Add => PeOp::Add,
-                    spn_core::flatten::OpKind::Mul => PeOp::Mul,
-                };
+            self.instructions[cycle as usize].trees[tree].pe_ops[flat] = match placed.kind {
+                spn_core::flatten::OpKind::Add => PeOp::Add,
+                spn_core::flatten::OpKind::Mul => PeOp::Mul,
+            };
         }
         for pass in &tile.passes {
             let global_index = (leaf_base >> pass.level) + pass.pos;
@@ -854,11 +856,7 @@ impl<'a> Scheduler<'a> {
 
         self.report.instructions = self.instructions.len();
         self.report.estimated_cycles = self.instructions.len() as u64;
-        self.report.nop_instructions = self
-            .instructions
-            .iter()
-            .filter(|i| i.is_nop())
-            .count();
+        self.report.nop_instructions = self.instructions.iter().filter(|i| i.is_nop()).count();
 
         let program = Program {
             config: self.config.clone(),
@@ -884,11 +882,11 @@ fn bank_mask(banks: usize) -> u64 {
 mod tests {
     use super::*;
     use crate::tile::extract_tiles;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use spn_core::random::{random_spn, RandomSpnConfig};
     use spn_core::{Evidence, SpnBuilder, VarId};
     use spn_processor::Processor;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn compile_and_run(
         config: &ProcessorConfig,
@@ -934,11 +932,8 @@ mod tests {
     #[test]
     fn small_mixture_runs_correctly_on_pvect() {
         let spn = small_mixture();
-        let (got, expected, _) = compile_and_run(
-            &ProcessorConfig::pvect(),
-            &spn,
-            &Evidence::marginal(2),
-        );
+        let (got, expected, _) =
+            compile_and_run(&ProcessorConfig::pvect(), &spn, &Evidence::marginal(2));
         assert!((got - expected).abs() < 1e-12);
     }
 
@@ -1024,7 +1019,11 @@ mod tests {
         assert_eq!(report.source_ops, 0);
         let processor = Processor::new(config).unwrap();
         let run = processor
-            .run(&program, &ops.input_values(&Evidence::from_assignment(&[true])).unwrap())
+            .run(
+                &program,
+                &ops.input_values(&Evidence::from_assignment(&[true]))
+                    .unwrap(),
+            )
             .unwrap();
         assert_eq!(run.output, 1.0);
     }
@@ -1050,4 +1049,3 @@ mod tests {
         assert_eq!(issued, ops.num_ops());
     }
 }
-

@@ -195,10 +195,10 @@ pub fn extract_tiles(ops: &OpList, max_depth: usize) -> Vec<Tile> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use spn_core::random::{random_spn, RandomSpnConfig};
-    use spn_core::{SpnBuilder, VarId};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use spn_core::random::{random_spn, RandomSpnConfig};
+    use spn_core::{SpnBuilder, VarId};
 
     fn small_ops() -> OpList {
         // ((x0 * x1) + (nx0 * nx1)) weighted mixture: 3-level op DAG.

@@ -1,0 +1,492 @@
+//! Batched evidence for compile-once / execute-many inference.
+//!
+//! The paper's speedup story rests on separating *compilation* of an SPN into
+//! a platform program from *repeated inference* over streams of evidence.
+//! [`EvidenceBatch`] is the repeated-inference half of that split: a dense
+//! struct-of-arrays container holding many queries over the same variable
+//! set, laid out query-major so the per-query inner loops of every execution
+//! backend walk contiguous memory.
+//!
+//! [`InputRecipe`] is the bridge between a flattened program and a batch: it
+//! pre-resolves which input slots are constant parameters (filled once) and
+//! which are evidence-dependent indicators (filled per query), so the hot
+//! path copies a template and patches indicator slots instead of re-matching
+//! on [`LeafSource`] for every slot of every query.
+
+use crate::evidence::Evidence;
+use crate::flatten::{LeafSource, OpList};
+use crate::{Result, SpnError};
+
+/// Observation state of one variable in one query.
+///
+/// Stored as one byte so a batch of `Q` queries over `V` variables occupies
+/// exactly `Q × V` bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Obs {
+    /// Observed `false`.
+    False = 0,
+    /// Observed `true`.
+    True = 1,
+    /// Unobserved (marginalised out).
+    Marginal = 2,
+}
+
+impl Obs {
+    /// Converts from the `Option<bool>` representation used by [`Evidence`].
+    pub fn from_option(value: Option<bool>) -> Obs {
+        match value {
+            Some(false) => Obs::False,
+            Some(true) => Obs::True,
+            None => Obs::Marginal,
+        }
+    }
+
+    /// Converts to the `Option<bool>` representation used by [`Evidence`].
+    pub fn to_option(self) -> Option<bool> {
+        match self {
+            Obs::False => Some(false),
+            Obs::True => Some(true),
+            Obs::Marginal => None,
+        }
+    }
+
+    /// Value an indicator leaf `[var = value]` takes under this observation:
+    /// `1.0` when compatible or marginalised, `0.0` otherwise.
+    #[inline]
+    pub fn indicator(self, value: bool) -> f64 {
+        match self {
+            Obs::Marginal => 1.0,
+            Obs::True => {
+                if value {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Obs::False => {
+                if value {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+}
+
+/// A dense batch of evidence queries over a shared variable set.
+///
+/// Layout is query-major struct-of-arrays: query `q`'s observations occupy
+/// the contiguous byte range `[q * num_vars, (q + 1) * num_vars)`.
+///
+/// ```
+/// use spn_core::{Evidence, EvidenceBatch};
+///
+/// let mut batch = EvidenceBatch::new(3);
+/// batch.push_marginal();
+/// batch.push_assignment(&[true, false, true]).unwrap();
+/// let mut e = Evidence::marginal(3);
+/// e.observe(1, true);
+/// batch.push(&e).unwrap();
+/// assert_eq!(batch.len(), 3);
+/// assert_eq!(batch.indicator(1, 1, false), 1.0);
+/// assert_eq!(batch.indicator(2, 1, false), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EvidenceBatch {
+    num_vars: usize,
+    obs: Vec<Obs>,
+    /// Tracked explicitly rather than derived from `obs.len()` so batches
+    /// over zero-variable (constant-only) SPNs still count their queries.
+    queries: usize,
+}
+
+impl EvidenceBatch {
+    /// Creates an empty batch over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        EvidenceBatch {
+            num_vars,
+            obs: Vec::new(),
+            queries: 0,
+        }
+    }
+
+    /// Creates an empty batch with room for `queries` queries.
+    pub fn with_capacity(num_vars: usize, queries: usize) -> Self {
+        EvidenceBatch {
+            num_vars,
+            obs: Vec::with_capacity(num_vars * queries),
+            queries: 0,
+        }
+    }
+
+    /// Builds a batch from a slice of [`Evidence`] values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when any evidence covers a
+    /// different number of variables than `num_vars`.
+    pub fn from_evidences(num_vars: usize, evidences: &[Evidence]) -> Result<Self> {
+        let mut batch = EvidenceBatch::with_capacity(num_vars, evidences.len());
+        for e in evidences {
+            batch.push(e)?;
+        }
+        Ok(batch)
+    }
+
+    /// Builds a batch of `queries` fully marginalised queries (each computes
+    /// the partition function).
+    pub fn marginals(num_vars: usize, queries: usize) -> Self {
+        EvidenceBatch {
+            num_vars,
+            obs: vec![Obs::Marginal; num_vars * queries],
+            queries,
+        }
+    }
+
+    /// Number of variables every query in the batch covers.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of queries in the batch.
+    pub fn len(&self) -> usize {
+        self.queries
+    }
+
+    /// Returns `true` when the batch holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.queries == 0
+    }
+
+    /// Removes all queries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.obs.clear();
+        self.queries = 0;
+    }
+
+    /// Appends one query from an [`Evidence`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the variable counts differ.
+    pub fn push(&mut self, evidence: &Evidence) -> Result<()> {
+        if evidence.num_vars() != self.num_vars {
+            return Err(SpnError::EvidenceMismatch {
+                evidence_vars: evidence.num_vars(),
+                spn_vars: self.num_vars,
+            });
+        }
+        self.obs
+            .extend((0..self.num_vars).map(|var| Obs::from_option(evidence.value(var))));
+        self.queries += 1;
+        Ok(())
+    }
+
+    /// Appends one fully observed query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the assignment length
+    /// differs from the batch's variable count.
+    pub fn push_assignment(&mut self, assignment: &[bool]) -> Result<()> {
+        if assignment.len() != self.num_vars {
+            return Err(SpnError::EvidenceMismatch {
+                evidence_vars: assignment.len(),
+                spn_vars: self.num_vars,
+            });
+        }
+        self.obs.extend(
+            assignment
+                .iter()
+                .map(|&b| if b { Obs::True } else { Obs::False }),
+        );
+        self.queries += 1;
+        Ok(())
+    }
+
+    /// Appends one fully marginalised query.
+    pub fn push_marginal(&mut self) {
+        self.obs
+            .extend(std::iter::repeat_n(Obs::Marginal, self.num_vars));
+        self.queries += 1;
+    }
+
+    /// The observation row of query `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is out of range.
+    #[inline]
+    pub fn query(&self, q: usize) -> &[Obs] {
+        &self.obs[q * self.num_vars..(q + 1) * self.num_vars]
+    }
+
+    /// Indicator value of `[var = value]` under query `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` or `var` is out of range.
+    #[inline]
+    pub fn indicator(&self, q: usize, var: usize, value: bool) -> f64 {
+        debug_assert!(var < self.num_vars);
+        self.obs[q * self.num_vars + var].indicator(value)
+    }
+
+    /// Materialises query `q` back into an owned [`Evidence`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is out of range.
+    pub fn to_evidence(&self, q: usize) -> Evidence {
+        Evidence::from_options(self.query(q).iter().map(|o| o.to_option()).collect())
+    }
+
+    /// Iterates over the observation rows of all queries (empty rows for a
+    /// zero-variable batch).
+    pub fn iter(&self) -> impl Iterator<Item = &[Obs]> {
+        (0..self.queries).map(move |q| self.query(q))
+    }
+}
+
+/// Which input slots of a flattened program depend on evidence.
+///
+/// Built once per compiled program by [`OpList::input_recipe`]; the hot path
+/// then fills input vectors with a `memcpy` of the parameter template plus
+/// one store per indicator slot — no matching, no allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputRecipe {
+    /// Parameter values with indicator slots left at an arbitrary value.
+    template: Vec<f64>,
+    /// `(slot, var, value)` for every evidence-dependent input slot.
+    indicators: Vec<(u32, u32, bool)>,
+    num_vars: usize,
+}
+
+impl InputRecipe {
+    /// Builds the recipe for `ops`.
+    pub fn from_op_list(ops: &OpList) -> InputRecipe {
+        let mut template = Vec::with_capacity(ops.num_inputs());
+        let mut indicators = Vec::new();
+        for (slot, leaf) in ops.inputs().iter().enumerate() {
+            match *leaf {
+                LeafSource::Param(p) => template.push(p),
+                LeafSource::Indicator { var, value } => {
+                    indicators.push((slot as u32, var.0, value));
+                    template.push(1.0); // overwritten per query
+                }
+            }
+        }
+        InputRecipe {
+            template,
+            indicators,
+            num_vars: ops.num_vars(),
+        }
+    }
+
+    /// Number of input slots the recipe fills.
+    pub fn num_inputs(&self) -> usize {
+        self.template.len()
+    }
+
+    /// Number of SPN variables the program was flattened from.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of evidence-dependent input slots.
+    pub fn num_indicator_slots(&self) -> usize {
+        self.indicators.len()
+    }
+
+    fn check_batch(&self, batch: &EvidenceBatch) -> Result<()> {
+        if batch.num_vars() != self.num_vars {
+            return Err(SpnError::EvidenceMismatch {
+                evidence_vars: batch.num_vars(),
+                spn_vars: self.num_vars,
+            });
+        }
+        Ok(())
+    }
+
+    /// Fills `out` with the input vector of query `q` of `batch`.
+    ///
+    /// `out` must be exactly [`InputRecipe::num_inputs`] long.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out` has the wrong length or `q` is out of range
+    /// (callers are expected to have validated the batch via
+    /// [`InputRecipe::fill_batch`] or [`InputRecipe::check`] first).
+    #[inline]
+    pub fn fill_query(&self, batch: &EvidenceBatch, q: usize, out: &mut [f64]) {
+        out.copy_from_slice(&self.template);
+        let row = batch.query(q);
+        for &(slot, var, value) in &self.indicators {
+            out[slot as usize] = row[var as usize].indicator(value);
+        }
+    }
+
+    /// Validates that `batch` matches the program's variable count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] on a variable-count mismatch.
+    pub fn check(&self, batch: &EvidenceBatch) -> Result<()> {
+        self.check_batch(batch)
+    }
+
+    /// Fills `out` with the concatenated input vectors of every query in
+    /// `batch` (`batch.len() × num_inputs` values, query-major).
+    ///
+    /// Reuses `out`'s allocation; only grows it when the batch needs more.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] on a variable-count mismatch.
+    pub fn fill_batch(&self, batch: &EvidenceBatch, out: &mut Vec<f64>) -> Result<()> {
+        self.check_batch(batch)?;
+        out.clear();
+        out.reserve(batch.len() * self.num_inputs());
+        for q in 0..batch.len() {
+            let start = out.len();
+            out.extend_from_slice(&self.template);
+            let row = batch.query(q);
+            for &(slot, var, value) in &self.indicators {
+                out[start + slot as usize] = row[var as usize].indicator(value);
+            }
+        }
+        Ok(())
+    }
+
+    /// Fills `out` with the input vector of a single [`Evidence`] query,
+    /// reusing the allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] on a variable-count mismatch.
+    pub fn fill_evidence(&self, evidence: &Evidence, out: &mut Vec<f64>) -> Result<()> {
+        if evidence.num_vars() != self.num_vars {
+            return Err(SpnError::EvidenceMismatch {
+                evidence_vars: evidence.num_vars(),
+                spn_vars: self.num_vars,
+            });
+        }
+        out.clear();
+        out.extend_from_slice(&self.template);
+        for &(slot, var, value) in &self.indicators {
+            out[slot as usize] = evidence.indicator(var as usize, value);
+        }
+        Ok(())
+    }
+}
+
+impl OpList {
+    /// Builds the [`InputRecipe`] that fills this program's input vector from
+    /// evidence batches without per-query allocation.
+    pub fn input_recipe(&self) -> InputRecipe {
+        InputRecipe::from_op_list(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random::{random_spn, RandomSpnConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut batch = EvidenceBatch::new(2);
+        assert!(batch.is_empty());
+        batch.push_assignment(&[true, false]).unwrap();
+        batch.push_marginal();
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.query(0), &[Obs::True, Obs::False]);
+        assert_eq!(batch.query(1), &[Obs::Marginal, Obs::Marginal]);
+        assert_eq!(batch.indicator(0, 0, true), 1.0);
+        assert_eq!(batch.indicator(0, 1, true), 0.0);
+        assert_eq!(batch.indicator(1, 1, true), 1.0);
+    }
+
+    #[test]
+    fn round_trips_evidence() {
+        let mut e = Evidence::marginal(4);
+        e.observe(1, true);
+        e.observe(3, false);
+        let batch = EvidenceBatch::from_evidences(4, &[e.clone()]).unwrap();
+        assert_eq!(batch.to_evidence(0), e);
+    }
+
+    #[test]
+    fn mismatched_sizes_are_rejected() {
+        let mut batch = EvidenceBatch::new(3);
+        assert!(batch.push(&Evidence::marginal(2)).is_err());
+        assert!(batch.push_assignment(&[true]).is_err());
+        assert!(EvidenceBatch::from_evidences(3, &[Evidence::marginal(5)]).is_err());
+    }
+
+    #[test]
+    fn zero_variable_batches_count_queries() {
+        let mut batch = EvidenceBatch::new(0);
+        assert!(batch.is_empty());
+        batch.push_marginal();
+        batch.push(&Evidence::marginal(0)).unwrap();
+        batch.push_assignment(&[]).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert!(!batch.is_empty());
+        assert_eq!(batch.iter().count(), 3);
+        assert!(batch.query(2).is_empty());
+        batch.clear();
+        assert_eq!(batch.len(), 0);
+    }
+
+    #[test]
+    fn marginals_builds_full_batch() {
+        let batch = EvidenceBatch::marginals(5, 7);
+        assert_eq!(batch.len(), 7);
+        assert!(batch
+            .iter()
+            .all(|row| row.iter().all(|&o| o == Obs::Marginal)));
+    }
+
+    #[test]
+    fn recipe_matches_input_values() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let spn = random_spn(&RandomSpnConfig::with_vars(9), &mut rng);
+        let ops = crate::flatten::OpList::from_spn(&spn);
+        let recipe = ops.input_recipe();
+        assert_eq!(recipe.num_inputs(), ops.num_inputs());
+
+        let mut e = Evidence::marginal(9);
+        e.observe(2, false);
+        e.observe(5, true);
+        let expected = ops.input_values(&e).unwrap();
+
+        let mut out = Vec::new();
+        recipe.fill_evidence(&e, &mut out).unwrap();
+        assert_eq!(out, expected);
+
+        let batch = EvidenceBatch::from_evidences(9, &[Evidence::marginal(9), e]).unwrap();
+        let mut flat = Vec::new();
+        recipe.fill_batch(&batch, &mut flat).unwrap();
+        assert_eq!(flat.len(), 2 * recipe.num_inputs());
+        assert_eq!(&flat[recipe.num_inputs()..], expected.as_slice());
+    }
+
+    #[test]
+    fn recipe_rejects_wrong_variable_count() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let spn = random_spn(&RandomSpnConfig::with_vars(4), &mut rng);
+        let recipe = crate::flatten::OpList::from_spn(&spn).input_recipe();
+        let mut out = Vec::new();
+        assert!(recipe
+            .fill_batch(&EvidenceBatch::marginals(5, 1), &mut out)
+            .is_err());
+        assert!(recipe
+            .fill_evidence(&Evidence::marginal(3), &mut out)
+            .is_err());
+    }
+}

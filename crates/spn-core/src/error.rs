@@ -76,10 +76,9 @@ impl fmt::Display for SpnError {
                 write!(f, "variable {var} out of range for {num_vars} variables")
             }
             SpnError::EmptyNode => write!(f, "sum or product node has no children"),
-            SpnError::WeightMismatch { children, weights } => write!(
-                f,
-                "sum node has {children} children but {weights} weights"
-            ),
+            SpnError::WeightMismatch { children, weights } => {
+                write!(f, "sum node has {children} children but {weights} weights")
+            }
             SpnError::InvalidWeight { weight } => {
                 write!(f, "sum weight {weight} is not a finite non-negative number")
             }
@@ -87,7 +86,10 @@ impl fmt::Display for SpnError {
                 write!(f, "sum node {node} has children with differing scopes")
             }
             SpnError::NotDecomposable { node } => {
-                write!(f, "product node {node} has children with overlapping scopes")
+                write!(
+                    f,
+                    "product node {node} has children with overlapping scopes"
+                )
             }
             SpnError::NotNormalized { node, sum } => {
                 write!(f, "sum node {node} weights sum to {sum}, expected 1")
@@ -124,7 +126,10 @@ mod tests {
     fn display_is_nonempty_and_lowercase_start() {
         let errors = [
             SpnError::UnknownNode { id: 3 },
-            SpnError::UnknownVariable { var: 9, num_vars: 2 },
+            SpnError::UnknownVariable {
+                var: 9,
+                num_vars: 2,
+            },
             SpnError::EmptyNode,
             SpnError::WeightMismatch {
                 children: 2,

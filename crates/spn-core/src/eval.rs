@@ -5,47 +5,82 @@
 //! weighted sum of their children.  The log-domain variant replaces those
 //! with log-sum-exp and addition, which avoids underflow on large circuits.
 //!
+//! The workhorse is the reusable [`Evaluator`]: it computes the topological
+//! order once and keeps the per-node value buffer alive across queries, so
+//! streaming workloads pay zero allocation per query.  [`Spn::evaluate`] and
+//! friends are thin convenience wrappers that build a throwaway evaluator.
+//!
 //! The module also provides max-product (MPE) evaluation with backtracking of
 //! the maximising assignment.
 
+use crate::batch::EvidenceBatch;
 use crate::evidence::Evidence;
 use crate::graph::{Node, NodeId, Spn};
 use crate::value::LogProb;
 use crate::{Result, SpnError};
 
-impl Spn {
-    /// Evaluates the SPN in the linear domain under `evidence`.
-    ///
-    /// For a normalised, complete and decomposable SPN this is the probability
-    /// of the observed values with unobserved variables marginalised out.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
-    /// different number of variables than the SPN.
-    pub fn evaluate(&self, evidence: &Evidence) -> Result<f64> {
-        let values = self.evaluate_all(evidence)?;
-        Ok(values[self.root().index()])
+/// Reusable exact-inference engine over one SPN.
+///
+/// Construction does the one-time work (topological order, buffer
+/// allocation); every evaluation after that is a pure bottom-up sweep over
+/// preallocated memory.  This is the compile-once / execute-many split of the
+/// execution backends, applied to the reference evaluator itself.
+///
+/// ```
+/// use spn_core::{eval::Evaluator, Evidence, EvidenceBatch, SpnBuilder, VarId};
+///
+/// # fn main() -> Result<(), spn_core::SpnError> {
+/// let mut b = SpnBuilder::new(1);
+/// let t = b.indicator(VarId(0), true);
+/// let f = b.indicator(VarId(0), false);
+/// let root = b.sum(vec![(t, 0.6), (f, 0.4)])?;
+/// let spn = b.finish(root)?;
+///
+/// let mut evaluator = Evaluator::new(&spn);
+/// let mut batch = EvidenceBatch::new(1);
+/// batch.push_assignment(&[true])?;
+/// batch.push_assignment(&[false])?;
+/// let mut roots = Vec::new();
+/// evaluator.evaluate_batch(&batch, &mut roots)?;
+/// assert!((roots[0] - 0.6).abs() < 1e-12 && (roots[1] - 0.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Evaluator<'a> {
+    spn: &'a Spn,
+    order: Vec<NodeId>,
+    values: Vec<f64>,
+    log_values: Vec<LogProb>,
+}
+
+impl<'a> Evaluator<'a> {
+    /// Builds an evaluator for `spn`, computing the topological order once.
+    pub fn new(spn: &'a Spn) -> Self {
+        Evaluator {
+            spn,
+            order: spn.topological_order(),
+            values: vec![0.0; spn.num_nodes()],
+            log_values: Vec::new(),
+        }
     }
 
-    /// Evaluates the SPN and returns the value of every node (arena-indexed).
-    ///
-    /// Unreachable nodes keep the value `0.0`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
-    /// different number of variables than the SPN.
-    pub fn evaluate_all(&self, evidence: &Evidence) -> Result<Vec<f64>> {
-        self.check_evidence(evidence)?;
-        let mut values = vec![0.0f64; self.num_nodes()];
-        for id in self.topological_order() {
-            values[id.index()] = match self.node(id) {
-                Node::Indicator { var, value } => evidence.indicator(var.index(), *value),
+    /// The SPN this evaluator runs.
+    pub fn spn(&self) -> &'a Spn {
+        self.spn
+    }
+
+    /// One linear-domain bottom-up sweep; `indicator(var, value)` supplies
+    /// leaf values.  Returns the root value; all node values stay readable
+    /// through [`Evaluator::values`].
+    fn sweep_linear(&mut self, indicator: impl Fn(usize, bool) -> f64) -> f64 {
+        let spn = self.spn;
+        let values = &mut self.values;
+        for &id in &self.order {
+            values[id.index()] = match spn.node(id) {
+                Node::Indicator { var, value } => indicator(var.index(), *value),
                 Node::Constant(c) => *c,
-                Node::Product { children } => {
-                    children.iter().map(|c| values[c.index()]).product()
-                }
+                Node::Product { children } => children.iter().map(|c| values[c.index()]).product(),
                 Node::Sum { children, weights } => children
                     .iter()
                     .zip(weights)
@@ -53,22 +88,20 @@ impl Spn {
                     .sum(),
             };
         }
-        Ok(values)
+        values[spn.root().index()]
     }
 
-    /// Evaluates the SPN in the log domain under `evidence`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
-    /// different number of variables than the SPN.
-    pub fn evaluate_log(&self, evidence: &Evidence) -> Result<LogProb> {
-        self.check_evidence(evidence)?;
-        let mut values = vec![LogProb::ZERO; self.num_nodes()];
-        for id in self.topological_order() {
-            values[id.index()] = match self.node(id) {
+    /// One log-domain bottom-up sweep.
+    fn sweep_log(&mut self, indicator: impl Fn(usize, bool) -> f64) -> LogProb {
+        let spn = self.spn;
+        if self.log_values.len() != spn.num_nodes() {
+            self.log_values.resize(spn.num_nodes(), LogProb::ZERO);
+        }
+        let values = &mut self.log_values;
+        for &id in &self.order {
+            values[id.index()] = match spn.node(id) {
                 Node::Indicator { var, value } => {
-                    LogProb::from_linear(evidence.indicator(var.index(), *value))
+                    LogProb::from_linear(indicator(var.index(), *value))
                 }
                 Node::Constant(c) => LogProb::from_linear(c.max(0.0)),
                 Node::Product { children } => children
@@ -82,7 +115,155 @@ impl Spn {
                     }),
             };
         }
-        Ok(values[self.root().index()])
+        values[spn.root().index()]
+    }
+
+    /// Evaluates one query in the linear domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
+    /// different number of variables than the SPN.
+    pub fn evaluate(&mut self, evidence: &Evidence) -> Result<f64> {
+        self.spn.check_evidence(evidence)?;
+        Ok(self.sweep_linear(|var, value| evidence.indicator(var, value)))
+    }
+
+    /// Evaluates one query and exposes the value of every node
+    /// (arena-indexed; unreachable nodes keep their previous value).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
+    /// different number of variables than the SPN.
+    pub fn evaluate_all(&mut self, evidence: &Evidence) -> Result<&[f64]> {
+        self.evaluate(evidence)?;
+        Ok(&self.values)
+    }
+
+    /// Evaluates one query in the log domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
+    /// different number of variables than the SPN.
+    pub fn evaluate_log(&mut self, evidence: &Evidence) -> Result<LogProb> {
+        self.spn.check_evidence(evidence)?;
+        Ok(self.sweep_log(|var, value| evidence.indicator(var, value)))
+    }
+
+    /// Evaluates every query of `batch` in the linear domain, writing the
+    /// root values into `out` (cleared first, allocation reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the batch covers a
+    /// different number of variables than the SPN.
+    pub fn evaluate_batch(&mut self, batch: &EvidenceBatch, out: &mut Vec<f64>) -> Result<()> {
+        self.check_batch(batch)?;
+        out.clear();
+        out.reserve(batch.len());
+        for q in 0..batch.len() {
+            out.push(self.sweep_linear(|var, value| batch.indicator(q, var, value)));
+        }
+        Ok(())
+    }
+
+    /// Evaluates every query of `batch` in the log domain, writing the root
+    /// values into `out` (cleared first, allocation reused).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the batch covers a
+    /// different number of variables than the SPN.
+    pub fn evaluate_log_batch(
+        &mut self,
+        batch: &EvidenceBatch,
+        out: &mut Vec<LogProb>,
+    ) -> Result<()> {
+        self.check_batch(batch)?;
+        out.clear();
+        out.reserve(batch.len());
+        for q in 0..batch.len() {
+            out.push(self.sweep_log(|var, value| batch.indicator(q, var, value)));
+        }
+        Ok(())
+    }
+
+    /// The per-node values of the most recent linear-domain evaluation.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consumes the evaluator, returning the per-node value buffer.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    fn check_batch(&self, batch: &EvidenceBatch) -> Result<()> {
+        if batch.num_vars() != self.spn.num_vars() {
+            return Err(SpnError::EvidenceMismatch {
+                evidence_vars: batch.num_vars(),
+                spn_vars: self.spn.num_vars(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Spn {
+    /// Evaluates the SPN in the linear domain under `evidence`.
+    ///
+    /// For a normalised, complete and decomposable SPN this is the probability
+    /// of the observed values with unobserved variables marginalised out.
+    ///
+    /// Convenience wrapper building a throwaway [`Evaluator`]; hot loops
+    /// should hold an [`Evaluator`] (or use [`Spn::evaluate_batch`]) instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
+    /// different number of variables than the SPN.
+    pub fn evaluate(&self, evidence: &Evidence) -> Result<f64> {
+        Evaluator::new(self).evaluate(evidence)
+    }
+
+    /// Evaluates the SPN and returns the value of every node (arena-indexed).
+    ///
+    /// Unreachable nodes keep the value `0.0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
+    /// different number of variables than the SPN.
+    pub fn evaluate_all(&self, evidence: &Evidence) -> Result<Vec<f64>> {
+        let mut evaluator = Evaluator::new(self);
+        evaluator.evaluate(evidence)?;
+        Ok(evaluator.into_values())
+    }
+
+    /// Evaluates every query of `batch`, returning one root value per query.
+    ///
+    /// Convenience wrapper over [`Evaluator::evaluate_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the batch covers a
+    /// different number of variables than the SPN.
+    pub fn evaluate_batch(&self, batch: &EvidenceBatch) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        Evaluator::new(self).evaluate_batch(batch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Evaluates the SPN in the log domain under `evidence`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
+    /// different number of variables than the SPN.
+    pub fn evaluate_log(&self, evidence: &Evidence) -> Result<LogProb> {
+        Evaluator::new(self).evaluate_log(evidence)
     }
 
     /// Computes the conditional probability `P(query | evidence)`.
@@ -130,9 +311,7 @@ impl Spn {
             values[id.index()] = match self.node(id) {
                 Node::Indicator { var, value } => evidence.indicator(var.index(), *value),
                 Node::Constant(c) => *c,
-                Node::Product { children } => {
-                    children.iter().map(|c| values[c.index()]).product()
-                }
+                Node::Product { children } => children.iter().map(|c| values[c.index()]).product(),
                 Node::Sum { children, weights } => {
                     let mut best = f64::NEG_INFINITY;
                     let mut best_idx = 0;
@@ -233,7 +412,9 @@ mod tests {
             ([false, false], 0.8 * 0.1),
         ];
         for (assignment, expected) in cases {
-            let p = spn.evaluate(&Evidence::from_assignment(&assignment)).unwrap();
+            let p = spn
+                .evaluate(&Evidence::from_assignment(&assignment))
+                .unwrap();
             assert!((p - expected).abs() < 1e-12, "{assignment:?}");
         }
     }
@@ -320,7 +501,9 @@ mod tests {
     #[test]
     fn evaluate_all_exposes_intermediate_values() {
         let spn = independent_pair();
-        let values = spn.evaluate_all(&Evidence::from_assignment(&[true, true])).unwrap();
+        let values = spn
+            .evaluate_all(&Evidence::from_assignment(&[true, true]))
+            .unwrap();
         assert_eq!(values.len(), spn.num_nodes());
         assert!((values[spn.root().index()] - 0.18).abs() < 1e-12);
     }

@@ -230,12 +230,28 @@ impl OpList {
 
     /// Executes the program on a pre-materialised input vector.
     ///
+    /// Convenience wrapper over [`OpList::run_into`] that allocates a fresh
+    /// result buffer; hot loops should reuse a buffer via `run_into`.
+    ///
     /// # Panics
     ///
     /// Panics if `inputs` is shorter than [`OpList::num_inputs`].
     pub fn run(&self, inputs: &[f64]) -> f64 {
-        assert!(inputs.len() >= self.inputs.len(), "input vector too short");
         let mut results = vec![0.0f64; self.ops.len()];
+        self.run_into(inputs, &mut results)
+    }
+
+    /// Executes the program on a pre-materialised input vector, writing
+    /// intermediate results into the caller-provided `results` buffer (no
+    /// allocation — this is the execute-many hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is shorter than [`OpList::num_inputs`] or `results`
+    /// is shorter than [`OpList::num_ops`].
+    pub fn run_into(&self, inputs: &[f64], results: &mut [f64]) -> f64 {
+        assert!(inputs.len() >= self.inputs.len(), "input vector too short");
+        assert!(results.len() >= self.ops.len(), "result buffer too short");
         let value = |r: OperandRef, results: &[f64]| -> f64 {
             match r {
                 OperandRef::Input(i) => inputs[i as usize],
@@ -243,14 +259,14 @@ impl OpList {
             }
         };
         for (i, op) in self.ops.iter().enumerate() {
-            let a = value(op.lhs, &results);
-            let b = value(op.rhs, &results);
+            let a = value(op.lhs, results);
+            let b = value(op.rhs, results);
             results[i] = match op.kind {
                 OpKind::Add => a + b,
                 OpKind::Mul => a * b,
             };
         }
-        value(self.output, &results)
+        value(self.output, results)
     }
 
     /// Evaluates the flattened program under `evidence`.
@@ -403,7 +419,7 @@ impl LoopProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::random::{RandomSpnConfig, random_spn};
+    use crate::random::{random_spn, RandomSpnConfig};
     use crate::SpnBuilder;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -528,6 +544,9 @@ mod tests {
         let spn = mixture();
         let ops = OpList::from_spn(&spn);
         assert!(ops.evaluate(&Evidence::marginal(5)).is_err());
-        assert!(ops.to_loop_program().evaluate(&Evidence::marginal(5)).is_err());
+        assert!(ops
+            .to_loop_program()
+            .evaluate(&Evidence::marginal(5))
+            .is_err());
     }
 }

@@ -13,6 +13,11 @@
 //! * structural validation (completeness, smoothness, decomposability),
 //! * exact inference in the linear and log domains ([`Spn::evaluate`],
 //!   [`Spn::evaluate_log`]), evidence handling and MPE queries,
+//! * the compile-once / execute-many primitives shared by every execution
+//!   backend: the reusable [`eval::Evaluator`] (preallocated buffers, zero
+//!   allocation per query), the dense [`EvidenceBatch`] (struct-of-arrays
+//!   over queries) and the [`batch::InputRecipe`] that materialises program
+//!   input vectors from batches without per-query matching,
 //! * flattening to the two scalar program forms used by the paper:
 //!   [`flatten::OpList`] (Algorithm 1, a list of binary operations) and
 //!   [`flatten::LoopProgram`] (Algorithm 2, index vectors `O`/`B`/`C`),
@@ -56,6 +61,7 @@ mod evidence;
 mod graph;
 mod value;
 
+pub mod batch;
 pub mod eval;
 pub mod flatten;
 pub mod io;
@@ -64,7 +70,9 @@ pub mod random;
 pub mod stats;
 pub mod validate;
 
+pub use batch::{EvidenceBatch, InputRecipe, Obs};
 pub use error::SpnError;
+pub use eval::Evaluator;
 pub use evidence::Evidence;
 pub use graph::{Node, NodeId, Spn, SpnBuilder, VarId};
 pub use value::LogProb;

@@ -83,7 +83,10 @@ pub fn random_spn<R: Rng + ?Sized>(config: &RandomSpnConfig, rng: &mut R) -> Spn
         config.min_sum_children >= 1 && config.min_sum_children <= config.max_sum_children,
         "invalid sum child bounds"
     );
-    assert!(config.max_product_parts >= 2, "products need at least two parts");
+    assert!(
+        config.max_product_parts >= 2,
+        "products need at least two parts"
+    );
 
     let mut gen = Generator {
         builder: SpnBuilder::new(config.num_vars),
@@ -119,7 +122,8 @@ impl Generator<'_> {
             }
         }
 
-        let num_children = rng.gen_range(self.config.min_sum_children..=self.config.max_sum_children);
+        let num_children =
+            rng.gen_range(self.config.min_sum_children..=self.config.max_sum_children);
         let mut children = Vec::with_capacity(num_children);
         for _ in 0..num_children {
             children.push(self.factorization_over(scope, rng));
@@ -129,10 +133,7 @@ impl Generator<'_> {
             .builder
             .sum(children.into_iter().zip(weights).collect())
             .expect("children exist");
-        self.scope_pool
-            .entry(scope.to_vec())
-            .or_default()
-            .push(id);
+        self.scope_pool.entry(scope.to_vec()).or_default().push(id);
         id
     }
 

@@ -83,7 +83,8 @@ pub fn check(spn: &Spn) -> ValidationReport {
     for id in spn.topological_order() {
         match spn.node(id) {
             Node::Sum { children, weights } => {
-                let first_scope: Option<&BTreeSet<_>> = children.first().map(|c| &scopes[c.index()]);
+                let first_scope: Option<&BTreeSet<_>> =
+                    children.first().map(|c| &scopes[c.index()]);
                 if let Some(first) = first_scope {
                     if children.iter().any(|c| &scopes[c.index()] != first) {
                         report.incomplete_sums.push(id.0);

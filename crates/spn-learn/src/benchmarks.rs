@@ -76,15 +76,57 @@ impl Benchmark {
         // Variable counts follow the published datasets; generator choice
         // keeps circuit construction tractable while matching the size regime.
         match self {
-            Benchmark::Netflix => BenchmarkSpec::new(self, 100, 1500, Generator::ChowLiu, Structure::Clustered { clusters: 8 }),
-            Benchmark::Bbc => BenchmarkSpec::new(self, 1058, 400, Generator::ChowLiu, Structure::Clustered { clusters: 12 }),
-            Benchmark::BioResponse => BenchmarkSpec::new(self, 500, 400, Generator::ChowLiu, Structure::Chain),
-            Benchmark::Audio => BenchmarkSpec::new(self, 100, 1500, Generator::ChowLiu, Structure::Chain),
-            Benchmark::Cpu => BenchmarkSpec::new(self, 8, 1000, Generator::LearnSpn, Structure::Clustered { clusters: 3 }),
-            Benchmark::Msnbc => BenchmarkSpec::new(self, 17, 1500, Generator::LearnSpn, Structure::Clustered { clusters: 5 }),
-            Benchmark::EegEye => BenchmarkSpec::new(self, 14, 1500, Generator::LearnSpn, Structure::Chain),
-            Benchmark::KddCup2k => BenchmarkSpec::new(self, 64, 1200, Generator::LearnSpn, Structure::Clustered { clusters: 6 }),
-            Benchmark::Banknote => BenchmarkSpec::new(self, 4, 800, Generator::LearnSpn, Structure::Clustered { clusters: 2 }),
+            Benchmark::Netflix => BenchmarkSpec::new(
+                self,
+                100,
+                1500,
+                Generator::ChowLiu,
+                Structure::Clustered { clusters: 8 },
+            ),
+            Benchmark::Bbc => BenchmarkSpec::new(
+                self,
+                1058,
+                400,
+                Generator::ChowLiu,
+                Structure::Clustered { clusters: 12 },
+            ),
+            Benchmark::BioResponse => {
+                BenchmarkSpec::new(self, 500, 400, Generator::ChowLiu, Structure::Chain)
+            }
+            Benchmark::Audio => {
+                BenchmarkSpec::new(self, 100, 1500, Generator::ChowLiu, Structure::Chain)
+            }
+            Benchmark::Cpu => BenchmarkSpec::new(
+                self,
+                8,
+                1000,
+                Generator::LearnSpn,
+                Structure::Clustered { clusters: 3 },
+            ),
+            Benchmark::Msnbc => BenchmarkSpec::new(
+                self,
+                17,
+                1500,
+                Generator::LearnSpn,
+                Structure::Clustered { clusters: 5 },
+            ),
+            Benchmark::EegEye => {
+                BenchmarkSpec::new(self, 14, 1500, Generator::LearnSpn, Structure::Chain)
+            }
+            Benchmark::KddCup2k => BenchmarkSpec::new(
+                self,
+                64,
+                1200,
+                Generator::LearnSpn,
+                Structure::Clustered { clusters: 6 },
+            ),
+            Benchmark::Banknote => BenchmarkSpec::new(
+                self,
+                4,
+                800,
+                Generator::LearnSpn,
+                Structure::Clustered { clusters: 2 },
+            ),
         }
     }
 
@@ -124,6 +166,7 @@ pub struct BenchmarkSpec {
     pub structure: Structure,
 }
 
+#[allow(dead_code)] // referenced by the serde attribute above when serde is real
 fn default_structure() -> Structure {
     Structure::Independent
 }

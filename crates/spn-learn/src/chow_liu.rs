@@ -141,10 +141,9 @@ impl ChowLiuTree {
                 // Branch for v = true / false, each multiplied with the
                 // children conditioned on that value of v.
                 let mut branches = Vec::with_capacity(2);
-                for (value, indicator, weight) in [
-                    (true, ind_true, p_true),
-                    (false, ind_false, 1.0 - p_true),
-                ] {
+                for (value, indicator, weight) in
+                    [(true, ind_true, p_true), (false, ind_false, 1.0 - p_true)]
+                {
                     let mut factors = vec![indicator];
                     for &c in &children[v] {
                         factors.push(circuit[c][usize::from(value)].expect("child built first"));
@@ -238,7 +237,11 @@ mod tests {
                     .enumerate()
                     .map(|(v, &b)| {
                         let p = train.marginal(v);
-                        if b { p.ln() } else { (1.0 - p).ln() }
+                        if b {
+                            p.ln()
+                        } else {
+                            (1.0 - p).ln()
+                        }
                     })
                     .sum::<f64>()
             })

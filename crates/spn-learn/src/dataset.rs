@@ -71,8 +71,16 @@ impl Dataset {
         for a in [false, true] {
             for b in [false, true] {
                 let p_ab = self.joint(var_a, a, var_b, b);
-                let p_a = if a { self.marginal(var_a) } else { 1.0 - self.marginal(var_a) };
-                let p_b = if b { self.marginal(var_b) } else { 1.0 - self.marginal(var_b) };
+                let p_a = if a {
+                    self.marginal(var_a)
+                } else {
+                    1.0 - self.marginal(var_a)
+                };
+                let p_b = if b {
+                    self.marginal(var_b)
+                } else {
+                    1.0 - self.marginal(var_b)
+                };
                 if p_ab > 0.0 {
                     mi += p_ab * (p_ab / (p_a * p_b)).ln();
                 }

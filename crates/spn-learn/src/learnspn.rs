@@ -52,7 +52,10 @@ impl Default for LearnSpnOptions {
 ///
 /// Panics if the dataset has no variables.
 pub fn learn_spn(data: &Dataset, options: &LearnSpnOptions) -> Spn {
-    assert!(data.num_vars() > 0, "dataset must have at least one variable");
+    assert!(
+        data.num_vars() > 0,
+        "dataset must have at least one variable"
+    );
     let mut builder = SpnBuilder::new(data.num_vars());
     let mut rng = StdRng::seed_from_u64(options.seed);
     let vars: Vec<usize> = (0..data.num_vars()).collect();
@@ -153,9 +156,9 @@ fn independent_groups(slice: &Dataset, vars: &[usize], threshold: f64) -> Vec<Ve
         }
     }
     let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for i in 0..n {
+    for (i, &var) in vars.iter().enumerate().take(n) {
         let root = find(&mut component, i);
-        groups[root].push(vars[i]);
+        groups[root].push(var);
     }
     groups.retain(|g| !g.is_empty());
     groups
@@ -262,7 +265,10 @@ mod tests {
             })
             .sum::<f64>()
             / test.num_rows() as f64;
-        assert!(ll > uniform, "log-likelihood {ll} not better than uniform {uniform}");
+        assert!(
+            ll > uniform,
+            "log-likelihood {ll} not better than uniform {uniform}"
+        );
     }
 
     #[test]

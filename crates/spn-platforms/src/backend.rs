@@ -1,0 +1,136 @@
+//! The two-phase execution interface every platform implements.
+//!
+//! The paper's deployment model separates *compilation* of an SPN into a
+//! platform program from *repeated inference* over streams of evidence.  The
+//! [`Backend`] trait encodes exactly that split:
+//!
+//! 1. [`Backend::compile`] runs once per circuit and produces an arbitrary
+//!    platform-specific artifact (levelisations, bank assignments, VLIW
+//!    programs, pre-modelled cycle counts, input recipes — whatever the
+//!    platform wants to amortise),
+//! 2. [`Backend::execute_batch`] runs per evidence batch against that
+//!    artifact, using caller-owned [`ExecBuffers`] so the hot path performs
+//!    no per-query allocation.
+//!
+//! The [`crate::Engine`] wrapper owns a backend, its compiled artifact and
+//! the buffers, which is the API the benchmark harness and examples use.
+
+use spn_core::batch::{EvidenceBatch, InputRecipe};
+use spn_core::flatten::OpList;
+use spn_processor::PerfReport;
+
+/// Errors surfaced by backends (compile- or execute-time).
+pub type BackendError = Box<dyn std::error::Error + Send + Sync>;
+
+/// Reusable scratch memory for the execute-many hot path.
+///
+/// Owned by the caller (typically an [`crate::Engine`]) and handed to every
+/// [`Backend::execute_batch`] call; backends resize the vectors as needed and
+/// the allocations persist across batches.  Backend-specific reusable state
+/// (e.g. the processor simulator's register file and data memory) lives in
+/// the statically-typed [`Backend::Scratch`] instead.
+#[derive(Debug, Clone, Default)]
+pub struct ExecBuffers {
+    /// Input-vector arena: one input vector per query for platforms that
+    /// materialise the whole batch (query-major), or a single vector reused
+    /// across queries.
+    pub inputs: Vec<f64>,
+    /// Intermediate-result arena (one slot per flattened operation).
+    pub scratch: Vec<f64>,
+}
+
+impl ExecBuffers {
+    /// Creates empty buffers (they grow on first use and are then reused).
+    pub fn new() -> Self {
+        ExecBuffers::default()
+    }
+}
+
+/// Shared execute-many skeleton for backends whose per-query work is a pure
+/// kernel over (input vector, scratch buffer): validates the batch, sizes the
+/// buffers once, fills inputs per query through the recipe, runs `kernel`,
+/// and accumulates the evidence-independent per-query cost model.
+pub(crate) fn execute_recipe_batch(
+    recipe: &InputRecipe,
+    num_ops: usize,
+    perf_per_query: &PerfReport,
+    fallback_name: &str,
+    batch: &EvidenceBatch,
+    buffers: &mut ExecBuffers,
+    mut kernel: impl FnMut(&[f64], &mut [f64]) -> f64,
+) -> Result<BatchResult, BackendError> {
+    recipe.check(batch)?;
+    buffers.inputs.clear();
+    buffers.inputs.resize(recipe.num_inputs(), 0.0);
+    buffers.scratch.clear();
+    buffers.scratch.resize(num_ops, 0.0);
+
+    let mut values = Vec::with_capacity(batch.len());
+    let mut perf = PerfReport::default();
+    for q in 0..batch.len() {
+        recipe.fill_query(batch, q, &mut buffers.inputs);
+        values.push(kernel(&buffers.inputs, &mut buffers.scratch));
+        perf.merge(perf_per_query);
+    }
+    if perf.platform.is_empty() {
+        fallback_name.clone_into(&mut perf.platform);
+    }
+    Ok(BatchResult { values, perf })
+}
+
+/// Root values and accumulated counters of one batch execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchResult {
+    /// One SPN root value per query, in batch order.
+    pub values: Vec<f64>,
+    /// Accumulated performance counters ([`PerfReport::queries`] passes).
+    pub perf: PerfReport,
+}
+
+/// A two-phase execution platform: compile once, execute many.
+///
+/// Implementations both *execute* the program (so results can be checked
+/// against the reference evaluator) and *model* its cost in cycles; the
+/// modelled counters land in [`BatchResult::perf`].
+pub trait Backend {
+    /// The platform-specific compiled artifact (cacheable, reusable across
+    /// any number of batches).
+    type Compiled;
+
+    /// Platform-specific reusable execution state (e.g. the simulator's
+    /// register file and data memory); `()` for stateless backends.  Created
+    /// via `Default` by the caller and threaded through every
+    /// [`Backend::execute_batch`] call so its allocations survive across
+    /// batches.
+    type Scratch: Default + Send;
+
+    /// Short name used in tables and figures (e.g. `"CPU"`).
+    fn name(&self) -> String;
+
+    /// Compiles `ops` into this platform's executable artifact.
+    ///
+    /// This is the expensive, once-per-circuit phase; everything derivable
+    /// from the program alone (schedules, bank assignments, modelled cycle
+    /// counts) belongs here, not in the per-batch path.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the program cannot be compiled for this
+    /// platform.
+    fn compile(&self, ops: &OpList) -> Result<Self::Compiled, BackendError>;
+
+    /// Executes every query of `batch` against `compiled`, reusing
+    /// `buffers` and the platform-specific `scratch` for all storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the batch does not match the compiled program
+    /// or the platform fails structurally.
+    fn execute_batch(
+        &self,
+        compiled: &Self::Compiled,
+        batch: &EvidenceBatch,
+        buffers: &mut ExecBuffers,
+        scratch: &mut Self::Scratch,
+    ) -> Result<BatchResult, BackendError>;
+}

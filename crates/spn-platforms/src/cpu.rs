@@ -17,11 +17,11 @@
 //! near the paper's measured peak of ≈ 0.55 effective operations per cycle.
 
 use serde::{Deserialize, Serialize};
+use spn_core::batch::{EvidenceBatch, InputRecipe};
 use spn_core::flatten::{OpList, OperandRef};
-use spn_core::Evidence;
 use spn_processor::PerfReport;
 
-use crate::platform::Platform;
+use crate::backend::{Backend, BackendError, BatchResult, ExecBuffers};
 
 /// Microarchitectural parameters of the CPU model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -107,6 +107,7 @@ impl CpuModel {
         if n == 0 {
             return PerfReport {
                 platform: cfg.name.clone(),
+                queries: 1,
                 cycles: 1,
                 ..Default::default()
             };
@@ -190,6 +191,7 @@ impl CpuModel {
 
         PerfReport {
             platform: cfg.name.clone(),
+            queries: 1,
             cycles: cycles.ceil() as u64,
             source_ops: n as u64,
             issued_ops: n as u64,
@@ -203,18 +205,61 @@ impl CpuModel {
     }
 }
 
-impl Platform for CpuModel {
+/// The CPU model's compiled artifact: the program itself plus everything
+/// evidence-independent — the input recipe and the modelled per-query cost
+/// (straight-line code has the same cycle count for every query, so the
+/// whole microarchitectural model runs once at compile time).
+#[derive(Debug, Clone)]
+pub struct CpuCompiled {
+    ops: OpList,
+    recipe: InputRecipe,
+    perf_per_query: PerfReport,
+}
+
+impl CpuCompiled {
+    /// The flattened program this artifact executes.
+    pub fn ops(&self) -> &OpList {
+        &self.ops
+    }
+
+    /// The modelled cost of one inference pass.
+    pub fn perf_per_query(&self) -> &PerfReport {
+        &self.perf_per_query
+    }
+}
+
+impl Backend for CpuModel {
+    type Compiled = CpuCompiled;
+    type Scratch = ();
+
     fn name(&self) -> String {
         self.config.name.clone()
     }
 
-    fn execute(
+    fn compile(&self, ops: &OpList) -> Result<CpuCompiled, BackendError> {
+        Ok(CpuCompiled {
+            recipe: ops.input_recipe(),
+            perf_per_query: self.model_cycles(ops),
+            ops: ops.clone(),
+        })
+    }
+
+    fn execute_batch(
         &self,
-        ops: &OpList,
-        evidence: &Evidence,
-    ) -> Result<(f64, PerfReport), Box<dyn std::error::Error>> {
-        let value = ops.evaluate(evidence)?;
-        Ok((value, self.model_cycles(ops)))
+        compiled: &CpuCompiled,
+        batch: &EvidenceBatch,
+        buffers: &mut ExecBuffers,
+        _scratch: &mut (),
+    ) -> Result<BatchResult, BackendError> {
+        crate::backend::execute_recipe_batch(
+            &compiled.recipe,
+            compiled.ops.num_ops(),
+            &compiled.perf_per_query,
+            &self.config.name,
+            batch,
+            buffers,
+            |inputs, scratch| compiled.ops.run_into(inputs, scratch),
+        )
     }
 }
 
@@ -237,11 +282,50 @@ mod tests {
         let spn = random_spn(&RandomSpnConfig::with_vars(12), &mut rng);
         let ops = OpList::from_spn(&spn);
         let cpu = CpuModel::new();
-        let evidence = Evidence::marginal(12);
-        let (value, report) = cpu.execute(&ops, &evidence).unwrap();
-        assert!((value - spn.evaluate(&evidence).unwrap()).abs() < 1e-9);
-        assert_eq!(report.source_ops, ops.num_ops() as u64);
-        assert!(report.cycles > 0);
+        let compiled = cpu.compile(&ops).unwrap();
+        let evidence = spn_core::Evidence::marginal(12);
+        let batch = EvidenceBatch::from_evidences(12, std::slice::from_ref(&evidence)).unwrap();
+        let result = cpu
+            .execute_batch(&compiled, &batch, &mut ExecBuffers::new(), &mut ())
+            .unwrap();
+        assert!((result.values[0] - spn.evaluate(&evidence).unwrap()).abs() < 1e-9);
+        assert_eq!(result.perf.source_ops, ops.num_ops() as u64);
+        assert_eq!(result.perf.queries, 1);
+        assert!(result.perf.cycles > 0);
+    }
+
+    #[test]
+    fn batched_execution_reuses_buffers_and_accumulates() {
+        let mut rng = StdRng::seed_from_u64(45);
+        let spn = random_spn(&RandomSpnConfig::with_vars(10), &mut rng);
+        let ops = OpList::from_spn(&spn);
+        let cpu = CpuModel::new();
+        let compiled = cpu.compile(&ops).unwrap();
+        let mut buffers = ExecBuffers::new();
+
+        let mut batch = EvidenceBatch::new(10);
+        batch.push_marginal();
+        batch.push_assignment(&[true; 10]).unwrap();
+        batch.push_assignment(&[false; 10]).unwrap();
+        let result = cpu
+            .execute_batch(&compiled, &batch, &mut buffers, &mut ())
+            .unwrap();
+        assert_eq!(result.values.len(), 3);
+        assert_eq!(result.perf.queries, 3);
+        assert_eq!(result.perf.cycles, 3 * compiled.perf_per_query().cycles);
+        for (q, value) in result.values.iter().enumerate() {
+            let expected = spn.evaluate(&batch.to_evidence(q)).unwrap();
+            assert!((value - expected).abs() < 1e-9, "query {q}");
+        }
+        // Wrong-arity batches are rejected.
+        assert!(cpu
+            .execute_batch(
+                &compiled,
+                &EvidenceBatch::marginals(4, 1),
+                &mut buffers,
+                &mut ()
+            )
+            .is_err());
     }
 
     #[test]

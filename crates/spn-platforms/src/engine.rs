@@ -1,0 +1,118 @@
+//! The compile-once / execute-many inference engine.
+//!
+//! [`Engine`] binds a [`Backend`] to one compiled circuit and owns the
+//! reusable [`ExecBuffers`], so callers get the two-phase execution model
+//! through one handle: construct once (compilation happens here), then
+//! stream [`EvidenceBatch`]es through [`Engine::execute_batch`] with zero
+//! per-query allocation.  Single-query [`Engine::execute`] is a thin
+//! convenience wrapper over a one-element batch.
+
+use spn_core::batch::EvidenceBatch;
+use spn_core::flatten::OpList;
+use spn_core::{Evidence, Spn};
+use spn_processor::PerfReport;
+
+use crate::backend::{Backend, BackendError, BatchResult, ExecBuffers};
+
+/// A backend bound to one compiled circuit, ready to serve queries.
+///
+/// ```
+/// use spn_core::{random::{random_spn, RandomSpnConfig}, EvidenceBatch};
+/// use spn_platforms::{CpuModel, Engine};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// # fn main() -> Result<(), spn_platforms::BackendError> {
+/// let spn = random_spn(&RandomSpnConfig::with_vars(8), &mut StdRng::seed_from_u64(1));
+/// let mut engine = Engine::from_spn(CpuModel::new(), &spn)?;
+///
+/// let batch = EvidenceBatch::marginals(8, 64);
+/// let result = engine.execute_batch(&batch)?;
+/// assert_eq!(result.values.len(), 64);
+/// assert!(result.values.iter().all(|v| (v - 1.0).abs() < 1e-9));
+/// assert_eq!(result.perf.queries, 64);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Engine<B: Backend> {
+    backend: B,
+    compiled: B::Compiled,
+    buffers: ExecBuffers,
+    scratch: B::Scratch,
+    /// Scratch one-query batch backing [`Engine::execute`].
+    single: EvidenceBatch,
+}
+
+impl<B: Backend> Engine<B> {
+    /// Compiles `ops` for `backend` (the expensive, once-per-circuit phase).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the backend cannot compile the program.
+    pub fn new(backend: B, ops: &OpList) -> Result<Self, BackendError> {
+        let compiled = backend.compile(ops)?;
+        Ok(Engine {
+            backend,
+            compiled,
+            buffers: ExecBuffers::new(),
+            scratch: B::Scratch::default(),
+            single: EvidenceBatch::new(ops.num_vars()),
+        })
+    }
+
+    /// Flattens `spn` and compiles it for `backend`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the backend cannot compile the program.
+    pub fn from_spn(backend: B, spn: &Spn) -> Result<Self, BackendError> {
+        Engine::new(backend, &OpList::from_spn(spn))
+    }
+
+    /// The platform name of the underlying backend.
+    pub fn name(&self) -> String {
+        self.backend.name()
+    }
+
+    /// The underlying backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The compiled artifact this engine serves queries against.
+    pub fn compiled(&self) -> &B::Compiled {
+        &self.compiled
+    }
+
+    /// Executes every query of `batch` against the compiled circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the batch does not match the compiled program
+    /// or the platform fails structurally.
+    pub fn execute_batch(&mut self, batch: &EvidenceBatch) -> Result<BatchResult, BackendError> {
+        self.backend
+            .execute_batch(&self.compiled, batch, &mut self.buffers, &mut self.scratch)
+    }
+
+    /// Executes one query: a convenience wrapper over a one-element batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the evidence does not match the compiled
+    /// program or the platform fails structurally.
+    pub fn execute(&mut self, evidence: &Evidence) -> Result<(f64, PerfReport), BackendError> {
+        self.single.clear();
+        self.single.push(evidence)?;
+        let mut result = self.backend.execute_batch(
+            &self.compiled,
+            &self.single,
+            &mut self.buffers,
+            &mut self.scratch,
+        )?;
+        let value = result
+            .values
+            .pop()
+            .ok_or("backend returned no value for a one-query batch")?;
+        Ok((value, result.perf))
+    }
+}

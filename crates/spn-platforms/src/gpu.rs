@@ -17,12 +17,12 @@
 //! issue.
 
 use serde::{Deserialize, Serialize};
+use spn_core::batch::{EvidenceBatch, InputRecipe};
 use spn_core::flatten::{OpKind, OpList, OperandRef};
 use spn_core::levelize::Levelization;
-use spn_core::Evidence;
 use spn_processor::PerfReport;
 
-use crate::platform::Platform;
+use crate::backend::{Backend, BackendError, BatchResult, ExecBuffers};
 
 /// Parameters of the GPU model (defaults follow the Jetson TX2 block used in
 /// the paper: 128 CUDA cores, 32 shared-memory banks).
@@ -132,18 +132,34 @@ impl GpuModel {
     }
 
     /// Counts cycles for one inference pass over `ops`.
+    ///
+    /// Convenience wrapper that re-derives the dependency groups and bank
+    /// assignment; the [`Backend::compile`] path computes those once and
+    /// reuses them for the whole lifetime of the compiled artifact.
     pub fn model_cycles(&self, ops: &OpList) -> PerfReport {
+        let levels = Levelization::from_op_list(ops);
+        let bank_of = self.assign_banks(ops);
+        self.model_cycles_with(ops, &levels, &bank_of)
+    }
+
+    /// Counts cycles for one inference pass using precomputed dependency
+    /// groups and bank assignment.
+    fn model_cycles_with(
+        &self,
+        ops: &OpList,
+        levels: &Levelization,
+        bank_of: &[usize],
+    ) -> PerfReport {
         let cfg = &self.config;
         let n = ops.num_ops();
         if n == 0 {
             return PerfReport {
                 platform: cfg.name.clone(),
+                queries: 1,
                 cycles: 1,
                 ..Default::default()
             };
         }
-        let levels = Levelization::from_op_list(ops);
-        let bank_of = self.assign_banks(ops);
         let index_of = |r: OperandRef| match r {
             OperandRef::Input(i) => i as usize,
             OperandRef::Op(i) => ops.num_inputs() + i as usize,
@@ -162,13 +178,16 @@ impl GpuModel {
             for chunk in group.chunks(cfg.threads.max(1)) {
                 // Shared memory is a block-wide resource: 32 banks serve the
                 // whole chunk, so its bandwidth bounds the chunk from below.
-                let block_bandwidth_cycles =
-                    (3 * chunk.len()).div_ceil(cfg.shared_banks) as u64;
+                let block_bandwidth_cycles = (3 * chunk.len()).div_ceil(cfg.shared_banks) as u64;
                 let mut warp_costs: Vec<u64> = Vec::new();
                 for warp_ops in chunk.chunks(cfg.warp_size) {
                     // Shared-memory serialisation: reads of both operands and
                     // the write of the result, phase by phase.
-                    let mut phases = [vec![0u32; cfg.shared_banks], vec![0u32; cfg.shared_banks], vec![0u32; cfg.shared_banks]];
+                    let mut phases = [
+                        vec![0u32; cfg.shared_banks],
+                        vec![0u32; cfg.shared_banks],
+                        vec![0u32; cfg.shared_banks],
+                    ];
                     let mut has_sum = false;
                     let mut has_product = false;
                     for &op_idx in warp_ops {
@@ -202,6 +221,7 @@ impl GpuModel {
 
         PerfReport {
             platform: cfg.name.clone(),
+            queries: 1,
             cycles: cycles.max(1),
             source_ops: n as u64,
             issued_ops: n as u64,
@@ -215,38 +235,92 @@ impl GpuModel {
     }
 }
 
-impl Platform for GpuModel {
+/// The GPU model's compiled artifact: the kernel-launch preparation done
+/// once per circuit — dependency-group decomposition, shared-memory bank
+/// assignment, the input recipe, and the modelled per-query cost (the SIMT
+/// schedule is evidence-independent, so the whole cost model runs at compile
+/// time).
+#[derive(Debug, Clone)]
+pub struct GpuCompiled {
+    ops: OpList,
+    levels: Levelization,
+    recipe: InputRecipe,
+    perf_per_query: PerfReport,
+}
+
+impl GpuCompiled {
+    /// The flattened program this artifact executes.
+    pub fn ops(&self) -> &OpList {
+        &self.ops
+    }
+
+    /// The dependency groups the kernel synchronises between.
+    pub fn levels(&self) -> &Levelization {
+        &self.levels
+    }
+
+    /// The modelled cost of one inference pass.
+    pub fn perf_per_query(&self) -> &PerfReport {
+        &self.perf_per_query
+    }
+}
+
+impl Backend for GpuModel {
+    type Compiled = GpuCompiled;
+    type Scratch = ();
+
     fn name(&self) -> String {
         self.config.name.clone()
     }
 
-    fn execute(
-        &self,
-        ops: &OpList,
-        evidence: &Evidence,
-    ) -> Result<(f64, PerfReport), Box<dyn std::error::Error>> {
-        // Execute group by group exactly like the kernel would.
-        let inputs = ops.input_values(evidence)?;
+    fn compile(&self, ops: &OpList) -> Result<GpuCompiled, BackendError> {
         let levels = Levelization::from_op_list(ops);
-        let mut results = vec![0.0f64; ops.num_ops()];
-        for group in levels.iter() {
-            for &i in group {
-                let op = ops.ops()[i];
-                let value = |r: OperandRef| match r {
+        let bank_of = self.assign_banks(ops);
+        let perf_per_query = self.model_cycles_with(ops, &levels, &bank_of);
+        Ok(GpuCompiled {
+            recipe: ops.input_recipe(),
+            perf_per_query,
+            levels,
+            ops: ops.clone(),
+        })
+    }
+
+    fn execute_batch(
+        &self,
+        compiled: &GpuCompiled,
+        batch: &EvidenceBatch,
+        buffers: &mut ExecBuffers,
+        _scratch: &mut (),
+    ) -> Result<BatchResult, BackendError> {
+        let ops = &compiled.ops;
+        crate::backend::execute_recipe_batch(
+            &compiled.recipe,
+            ops.num_ops(),
+            &compiled.perf_per_query,
+            &self.config.name,
+            batch,
+            buffers,
+            |inputs, results| {
+                // Execute group by group exactly like the kernel would.
+                for group in compiled.levels.iter() {
+                    for &i in group {
+                        let op = ops.ops()[i];
+                        let value = |r: OperandRef, results: &[f64]| match r {
+                            OperandRef::Input(k) => inputs[k as usize],
+                            OperandRef::Op(k) => results[k as usize],
+                        };
+                        results[i] = match op.kind {
+                            OpKind::Add => value(op.lhs, results) + value(op.rhs, results),
+                            OpKind::Mul => value(op.lhs, results) * value(op.rhs, results),
+                        };
+                    }
+                }
+                match ops.output() {
                     OperandRef::Input(k) => inputs[k as usize],
                     OperandRef::Op(k) => results[k as usize],
-                };
-                results[i] = match op.kind {
-                    OpKind::Add => value(op.lhs) + value(op.rhs),
-                    OpKind::Mul => value(op.lhs) * value(op.rhs),
-                };
-            }
-        }
-        let value = match ops.output() {
-            OperandRef::Input(k) => inputs[k as usize],
-            OperandRef::Op(k) => results[k as usize],
-        };
-        Ok((value, self.model_cycles(ops)))
+                }
+            },
+        )
     }
 }
 
@@ -268,10 +342,20 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(44);
         let spn = random_spn(&RandomSpnConfig::with_vars(10), &mut rng);
         let ops = OpList::from_spn(&spn);
-        let evidence = Evidence::marginal(10);
-        let (value, report) = GpuModel::new().execute(&ops, &evidence).unwrap();
-        assert!((value - spn.evaluate(&evidence).unwrap()).abs() < 1e-9);
-        assert!(report.cycles > 0);
+        let gpu = GpuModel::new();
+        let compiled = gpu.compile(&ops).unwrap();
+        let mut batch = EvidenceBatch::marginals(10, 1);
+        batch.push_assignment(&[true; 10]).unwrap();
+        let result = gpu
+            .execute_batch(&compiled, &batch, &mut ExecBuffers::new(), &mut ())
+            .unwrap();
+        for (q, value) in result.values.iter().enumerate() {
+            let expected = spn.evaluate(&batch.to_evidence(q)).unwrap();
+            assert!((value - expected).abs() < 1e-9, "query {q}");
+        }
+        assert_eq!(result.perf.queries, 2);
+        assert_eq!(result.perf.cycles, 2 * compiled.perf_per_query().cycles);
+        assert!(result.perf.cycles > 0);
     }
 
     #[test]

@@ -1,4 +1,27 @@
-//! Baseline execution models for SPN inference: CPU and GPU.
+//! Execution backends for SPN inference: CPU model, GPU model, and the
+//! custom processor, all behind one two-phase interface.
+//!
+//! # The compile / execute split
+//!
+//! Every platform implements the [`Backend`] trait, which separates the two
+//! phases of the paper's deployment model:
+//!
+//! * **compile** (once per circuit): [`Backend::compile`] turns a flattened
+//!   [`spn_core::flatten::OpList`] into a platform-specific artifact.  For
+//!   the CPU and GPU models that means running the entire cycle model ahead
+//!   of time (straight-line and SIMT schedules are evidence-independent);
+//!   for the custom processor it is the full `spn-compiler` pipeline
+//!   producing a cached VLIW program.
+//! * **execute** (per evidence batch): [`Backend::execute_batch`] streams a
+//!   dense [`spn_core::EvidenceBatch`] through the artifact, reusing
+//!   caller-owned [`ExecBuffers`] so the hot path allocates nothing per
+//!   query and reports batch-aware counters in [`BatchResult`].
+//!
+//! The [`Engine`] handle owns a backend, its compiled artifact and the
+//! buffers — construct it once, then call [`Engine::execute_batch`] for each
+//! batch (or [`Engine::execute`] for the occasional single query).
+//!
+//! # The modelled platforms
 //!
 //! The paper compares its processor against an Intel Core i5-7200U running
 //! the SPN as a flat list of scalar operations (Algorithm 1) and against a
@@ -8,18 +31,22 @@
 //! count cycles from the microarchitectural bottlenecks the paper identifies
 //! (scalar dependency chains and memory traffic on the CPU; thread
 //! synchronisation, shared-memory bank conflicts and divergence on the GPU).
-//!
-//! The models report the same [`PerfReport`] as the processor simulator, so
-//! the benchmark harness can tabulate all platforms side by side.
+//! The custom processor is executed by the cycle-accurate simulator in
+//! `spn-processor`.  All three report the same batch-aware [`PerfReport`],
+//! so the benchmark harness can tabulate them side by side.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cpu;
+pub mod engine;
 pub mod gpu;
-pub mod platform;
+pub mod processor;
 
-pub use cpu::{CpuConfig, CpuModel};
-pub use gpu::{GpuConfig, GpuModel};
-pub use platform::Platform;
+pub use backend::{Backend, BackendError, BatchResult, ExecBuffers};
+pub use cpu::{CpuCompiled, CpuConfig, CpuModel};
+pub use engine::Engine;
+pub use gpu::{GpuCompiled, GpuConfig, GpuModel};
+pub use processor::ProcessorBackend;
 pub use spn_processor::PerfReport;

@@ -1,0 +1,182 @@
+//! The custom SPN processor as a two-phase execution backend.
+//!
+//! Compilation runs the full `spn-compiler` pipeline (tiling, list
+//! scheduling, bank allocation) once and caches the resulting
+//! [`CompiledArtifact`]; execution streams evidence batches through one
+//! cycle-accurate simulator instance via [`Processor::run_batch`], so the
+//! VLIW program, schedule and input recipe are all amortised across queries
+//! — the paper's deployment model.
+
+use spn_compiler::{CompiledArtifact, Compiler};
+use spn_core::batch::EvidenceBatch;
+use spn_core::flatten::OpList;
+use spn_processor::{Processor, ProcessorConfig, SimState};
+
+use crate::backend::{Backend, BackendError, BatchResult, ExecBuffers};
+
+/// Compiler plus cycle-accurate simulator for one processor configuration.
+#[derive(Debug, Clone)]
+pub struct ProcessorBackend {
+    compiler: Compiler,
+    processor: Processor,
+}
+
+impl ProcessorBackend {
+    /// Creates a backend targeting `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is structurally invalid.
+    pub fn new(config: ProcessorConfig) -> Result<Self, BackendError> {
+        let processor = Processor::new(config.clone())?;
+        Ok(ProcessorBackend {
+            compiler: Compiler::new(config),
+            processor,
+        })
+    }
+
+    /// Creates a backend with an explicit compiler (custom options).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the compiler's target configuration is invalid.
+    pub fn with_compiler(compiler: Compiler) -> Result<Self, BackendError> {
+        let processor = Processor::new(compiler.config().clone())?;
+        Ok(ProcessorBackend {
+            compiler,
+            processor,
+        })
+    }
+
+    /// The Ptree preset (2 trees × 4 levels, 30 PEs).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the preset configuration is valid by construction.
+    pub fn ptree() -> Self {
+        ProcessorBackend::new(ProcessorConfig::ptree()).expect("ptree preset is valid")
+    }
+
+    /// The Pvect preset (the lowest PE level only, 16 PEs).
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the preset configuration is valid by construction.
+    pub fn pvect() -> Self {
+        ProcessorBackend::new(ProcessorConfig::pvect()).expect("pvect preset is valid")
+    }
+
+    /// The processor configuration this backend targets.
+    pub fn config(&self) -> &ProcessorConfig {
+        self.compiler.config()
+    }
+}
+
+impl Backend for ProcessorBackend {
+    type Compiled = CompiledArtifact;
+    /// The simulator's reusable storage; `None` until the first batch runs.
+    type Scratch = Option<SimState>;
+
+    fn name(&self) -> String {
+        self.config().name.clone()
+    }
+
+    fn compile(&self, ops: &OpList) -> Result<CompiledArtifact, BackendError> {
+        Ok(self.compiler.compile_op_list(ops.clone())?)
+    }
+
+    fn execute_batch(
+        &self,
+        compiled: &CompiledArtifact,
+        batch: &EvidenceBatch,
+        buffers: &mut ExecBuffers,
+        scratch: &mut Option<SimState>,
+    ) -> Result<BatchResult, BackendError> {
+        compiled.fill_batch_inputs(batch, &mut buffers.inputs)?;
+        // Reuse the simulator storage (register file, data memory, image
+        // buffer) across batches; run_with transparently re-sizes it when
+        // this compiled program needs more than the cached state provides.
+        let state = scratch.get_or_insert_with(|| self.processor.state_for(&compiled.program));
+        let run = self.processor.run_batch_with(
+            &compiled.program,
+            &buffers.inputs,
+            batch.len(),
+            state,
+        )?;
+        Ok(BatchResult {
+            values: run.outputs,
+            perf: run.perf,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spn_core::random::{random_spn, RandomSpnConfig};
+    use spn_core::Evidence;
+
+    #[test]
+    fn compiles_once_and_serves_batches() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let spn = random_spn(&RandomSpnConfig::with_vars(11), &mut rng);
+        let ops = spn_core::flatten::OpList::from_spn(&spn);
+        let backend = ProcessorBackend::ptree();
+        let compiled = backend.compile(&ops).unwrap();
+        let mut buffers = ExecBuffers::new();
+        let mut scratch = None;
+
+        let mut batch = EvidenceBatch::new(11);
+        batch.push_marginal();
+        batch.push_assignment(&[true; 11]).unwrap();
+        let mut partial = Evidence::marginal(11);
+        partial.observe(3, false);
+        batch.push(&partial).unwrap();
+
+        let result = backend
+            .execute_batch(&compiled, &batch, &mut buffers, &mut scratch)
+            .unwrap();
+        assert_eq!(result.perf.queries, 3);
+        for (q, value) in result.values.iter().enumerate() {
+            let expected = spn.evaluate(&batch.to_evidence(q)).unwrap();
+            assert!(
+                (value - expected).abs() <= 1e-9 * expected.abs().max(1e-12),
+                "query {q}: {value} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_sim_state_survives_batches_and_resizes_for_bigger_programs() {
+        let backend = ProcessorBackend::ptree();
+        let mut buffers = ExecBuffers::new();
+        let mut scratch = None;
+        let mut rng = StdRng::seed_from_u64(47);
+        let small = random_spn(&RandomSpnConfig::with_vars(6), &mut rng);
+        let large = random_spn(&RandomSpnConfig::with_vars(40), &mut rng);
+        // Alternate between two differently-sized programs through the SAME
+        // buffers: the cached SimState must be reused when it fits and
+        // transparently re-sized when it does not, never corrupting values.
+        for spn in [&small, &large, &small, &large] {
+            let ops = spn_core::flatten::OpList::from_spn(spn);
+            let compiled = backend.compile(&ops).unwrap();
+            let batch = EvidenceBatch::marginals(spn.num_vars(), 2);
+            let result = backend
+                .execute_batch(&compiled, &batch, &mut buffers, &mut scratch)
+                .unwrap();
+            let expected = spn.evaluate(&Evidence::marginal(spn.num_vars())).unwrap();
+            for value in &result.values {
+                assert!((value - expected).abs() <= 1e-9 * expected.abs().max(1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn both_presets_expose_their_config() {
+        assert_eq!(ProcessorBackend::ptree().config().name, "Ptree");
+        assert_eq!(ProcessorBackend::pvect().config().name, "Pvect");
+        assert_eq!(Backend::name(&ProcessorBackend::ptree()), "Ptree");
+    }
+}

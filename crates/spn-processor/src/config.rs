@@ -162,7 +162,8 @@ impl ProcessorConfig {
     /// private file is reachable.
     pub fn writable_banks(&self, pe: PePosition) -> std::ops::Range<usize> {
         let span = (2usize << pe.level).min(self.banks_per_tree);
-        let base = pe.tree * self.banks_per_tree + (pe.index * span).min(self.banks_per_tree - span);
+        let base =
+            pe.tree * self.banks_per_tree + (pe.index * span).min(self.banks_per_tree - span);
         base..base + span
     }
 
@@ -231,25 +232,55 @@ mod tests {
         let cfg = ProcessorConfig::ptree();
         // Leaf PE 0 of tree 0 writes banks 0..2, leaf PE 7 writes 14..16.
         assert_eq!(
-            cfg.writable_banks(PePosition { tree: 0, level: 0, index: 0 }),
+            cfg.writable_banks(PePosition {
+                tree: 0,
+                level: 0,
+                index: 0
+            }),
             0..2
         );
         assert_eq!(
-            cfg.writable_banks(PePosition { tree: 0, level: 0, index: 7 }),
+            cfg.writable_banks(PePosition {
+                tree: 0,
+                level: 0,
+                index: 7
+            }),
             14..16
         );
         // Level-1 PE 1 writes banks 4..8.
         assert_eq!(
-            cfg.writable_banks(PePosition { tree: 0, level: 1, index: 1 }),
+            cfg.writable_banks(PePosition {
+                tree: 0,
+                level: 1,
+                index: 1
+            }),
             4..8
         );
         // The root reaches the whole private file of its tree.
         assert_eq!(
-            cfg.writable_banks(PePosition { tree: 1, level: 3, index: 0 }),
+            cfg.writable_banks(PePosition {
+                tree: 1,
+                level: 3,
+                index: 0
+            }),
             16..32
         );
-        assert!(cfg.can_write(PePosition { tree: 1, level: 3, index: 0 }, 31));
-        assert!(!cfg.can_write(PePosition { tree: 1, level: 0, index: 0 }, 0));
+        assert!(cfg.can_write(
+            PePosition {
+                tree: 1,
+                level: 3,
+                index: 0
+            },
+            31
+        ));
+        assert!(!cfg.can_write(
+            PePosition {
+                tree: 1,
+                level: 0,
+                index: 0
+            },
+            0
+        ));
     }
 
     #[test]
@@ -279,7 +310,10 @@ mod tests {
 
         let mut cfg = ProcessorConfig::ptree();
         cfg.banks_per_tree = 4;
-        assert!(cfg.validate().is_err(), "crossbar narrower than tree inputs");
+        assert!(
+            cfg.validate().is_err(),
+            "crossbar narrower than tree inputs"
+        );
     }
 
     #[test]

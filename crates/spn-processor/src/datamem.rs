@@ -60,6 +60,25 @@ impl DataMemory {
         self.stores
     }
 
+    /// Clears contents and transaction counters, keeping the allocation
+    /// (used between queries of a batched run).
+    pub fn reset(&mut self) {
+        self.data.fill(0.0);
+        self.reset_counters();
+    }
+
+    /// Clears only the transaction counters.
+    ///
+    /// Used by the batched execution path when a following
+    /// [`DataMemory::load_image`] overwrites the whole address range the
+    /// program can reach, making a data zero-fill redundant — this keeps the
+    /// per-query cost proportional to the program, not to the (possibly
+    /// larger, reused) backing memory.
+    pub fn reset_counters(&mut self) {
+        self.loads = 0;
+        self.stores = 0;
+    }
+
     /// Initialises the memory contents from a flat image (row-major).
     ///
     /// # Errors

@@ -154,7 +154,10 @@ mod tests {
                 cycle: 2,
                 reason: "bad bank".into(),
             },
-            ProcessorError::MemoryOutOfRange { row: 600, rows: 512 },
+            ProcessorError::MemoryOutOfRange {
+                row: 600,
+                rows: 512,
+            },
             ProcessorError::InvalidConfig {
                 reason: "zero trees".into(),
             },

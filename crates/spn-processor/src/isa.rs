@@ -84,7 +84,9 @@ pub struct TreeInstr {
 impl TreeInstr {
     /// An all-idle tree instruction sized for `config`.
     pub fn nop(config: &ProcessorConfig) -> Self {
-        let num_pes: usize = (0..config.tree_levels).map(|l| config.pes_at_level(l)).sum();
+        let num_pes: usize = (0..config.tree_levels)
+            .map(|l| config.pes_at_level(l))
+            .sum();
         TreeInstr {
             reads: vec![ReadSel::None; config.tree_inputs_per_tree()],
             pe_ops: vec![PeOp::Nop; num_pes],
@@ -156,7 +158,9 @@ impl Instruction {
     /// An instruction that does nothing, sized for `config`.
     pub fn nop(config: &ProcessorConfig) -> Self {
         Instruction {
-            trees: (0..config.num_trees).map(|_| TreeInstr::nop(config)).collect(),
+            trees: (0..config.num_trees)
+                .map(|_| TreeInstr::nop(config))
+                .collect(),
             copies: Vec::new(),
             mem: MemOp::None,
         }
@@ -234,6 +238,19 @@ impl Program {
     /// Returns [`crate::ProcessorError::InputMismatch`] when `inputs` does not
     /// have exactly one value per program input.
     pub fn build_memory_image(&self, inputs: &[f64]) -> crate::Result<Vec<f64>> {
+        let mut image = Vec::new();
+        self.write_memory_image(inputs, &mut image)?;
+        Ok(image)
+    }
+
+    /// Builds the initial data-memory image into `image`, reusing its
+    /// allocation (the batched execution path calls this once per query).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::ProcessorError::InputMismatch`] when `inputs` does not
+    /// have exactly one value per program input.
+    pub fn write_memory_image(&self, inputs: &[f64], image: &mut Vec<f64>) -> crate::Result<()> {
         if inputs.len() != self.input_layout.len() {
             return Err(crate::ProcessorError::InputMismatch {
                 expected: self.input_layout.len(),
@@ -241,11 +258,12 @@ impl Program {
             });
         }
         let width = self.config.total_banks();
-        let mut image = vec![0.0; self.memory_rows_used * width];
+        image.clear();
+        image.resize(self.memory_rows_used * width, 0.0);
         for (value, slot) in inputs.iter().zip(&self.input_layout) {
             image[slot.row as usize * width + slot.lane as usize] = *value;
         }
-        Ok(image)
+        Ok(())
     }
 
     /// Number of instructions (= cycles of issue; the pipeline drain adds a

@@ -20,6 +20,12 @@
 //! errors, and reports throughput in the paper's metric: SPN operations per
 //! cycle ([`perf::PerfReport`]).
 //!
+//! Execution follows the compile-once / execute-many split: a program is
+//! compiled once and then streamed over evidence.  [`Processor::run_batch`]
+//! runs a whole batch of input vectors through one simulator instance
+//! (reusable [`SimState`], no per-query allocation) and accumulates the
+//! per-query counters into one batch-aware [`PerfReport`].
+//!
 //! The two configurations evaluated in the paper are available as presets:
 //! [`ProcessorConfig::ptree`] (2 trees × 4 levels = 30 PEs) and
 //! [`ProcessorConfig::pvect`] (the lowest PE level only, 16 PEs).
@@ -41,7 +47,7 @@ pub use config::{PePosition, ProcessorConfig};
 pub use error::ProcessorError;
 pub use isa::{Instruction, MemOp, PeOp, Program, ReadSel, TreeInstr, WriteCmd};
 pub use perf::PerfReport;
-pub use processor::{ExecutionResult, Processor};
+pub use processor::{BatchExecution, ExecutionResult, Processor, SimState};
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T, E = ProcessorError> = std::result::Result<T, E>;

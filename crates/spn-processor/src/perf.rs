@@ -5,15 +5,23 @@
 //! a platform needs to execute one inference pass.  The same report struct is
 //! shared by the custom-processor simulator and the CPU/GPU baseline models
 //! so benchmark harnesses can tabulate them side by side.
+//!
+//! Reports are batch-aware: counters accumulate over the queries of an
+//! evidence batch via [`PerfReport::merge`], and the [`PerfReport::queries`]
+//! field turns the totals into amortised per-query metrics
+//! ([`PerfReport::cycles_per_query`], [`PerfReport::queries_per_second`]).
 
 use serde::{Deserialize, Serialize};
 
-/// Performance summary of executing one SPN inference pass on a platform.
+/// Performance summary of executing one or more SPN inference passes on a
+/// platform.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct PerfReport {
     /// Name of the platform/configuration that produced the numbers.
     pub platform: String,
-    /// Cycles needed for one inference pass.
+    /// Inference passes (evidence queries) the counters cover.
+    pub queries: u64,
+    /// Total cycles across all counted inference passes.
     pub cycles: u64,
     /// SPN arithmetic operations (adds + multiplies) in the workload.
     pub source_ops: u64,
@@ -62,6 +70,46 @@ impl PerfReport {
             self.ops_per_cycle() / base
         }
     }
+
+    /// Amortised cycles per query; zero when no queries were counted.
+    pub fn cycles_per_query(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.queries as f64
+        }
+    }
+
+    /// Modelled query throughput at `clock_hz` cycles per second; zero when
+    /// no cycles were counted.
+    pub fn queries_per_second(&self, clock_hz: f64) -> f64 {
+        let cpq = self.cycles_per_query();
+        if cpq == 0.0 {
+            0.0
+        } else {
+            clock_hz / cpq
+        }
+    }
+
+    /// Accumulates `other`'s counters into this report (batched execution).
+    ///
+    /// The platform name of `self` wins when already set; a report merged
+    /// into a fresh `Default` adopts `other`'s name.
+    pub fn merge(&mut self, other: &PerfReport) {
+        if self.platform.is_empty() {
+            self.platform.clone_from(&other.platform);
+        }
+        self.queries += other.queries;
+        self.cycles += other.cycles;
+        self.source_ops += other.source_ops;
+        self.issued_ops += other.issued_ops;
+        self.instructions += other.instructions;
+        self.stall_cycles += other.stall_cycles;
+        self.memory_loads += other.memory_loads;
+        self.memory_stores += other.memory_stores;
+        self.writebacks += other.writebacks;
+        self.operand_reads += other.operand_reads;
+    }
 }
 
 impl std::fmt::Display for PerfReport {
@@ -76,7 +124,16 @@ impl std::fmt::Display for PerfReport {
             self.memory_loads,
             self.memory_stores,
             self.stall_cycles,
-        )
+        )?;
+        if self.queries > 1 {
+            write!(
+                f,
+                " over {} queries ({:.1} cycles/query)",
+                self.queries,
+                self.cycles_per_query()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -87,11 +144,33 @@ mod tests {
     fn report(ops: u64, cycles: u64) -> PerfReport {
         PerfReport {
             platform: "test".into(),
+            queries: 1,
             cycles,
             source_ops: ops,
             issued_ops: ops,
             ..Default::default()
         }
+    }
+
+    #[test]
+    fn merge_accumulates_counters_and_queries() {
+        let mut total = PerfReport::default();
+        total.merge(&report(100, 10));
+        total.merge(&report(100, 30));
+        assert_eq!(total.platform, "test");
+        assert_eq!(total.queries, 2);
+        assert_eq!(total.cycles, 40);
+        assert_eq!(total.source_ops, 200);
+        assert_eq!(total.cycles_per_query(), 20.0);
+        assert_eq!(total.queries_per_second(40.0), 2.0);
+        assert!(total.to_string().contains("2 queries"));
+    }
+
+    #[test]
+    fn per_query_metrics_are_zero_without_queries() {
+        let empty = PerfReport::default();
+        assert_eq!(empty.cycles_per_query(), 0.0);
+        assert_eq!(empty.queries_per_second(1e9), 0.0);
     }
 
     #[test]

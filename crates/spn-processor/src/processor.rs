@@ -24,13 +24,37 @@ use crate::regfile::RegisterFile;
 use crate::tree::evaluate_tree;
 use crate::Result;
 
-/// The outcome of executing a program.
+/// The outcome of executing a program on one input vector.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionResult {
     /// The SPN root value computed by the program.
     pub output: f64,
     /// Performance counters of the run.
     pub perf: PerfReport,
+}
+
+/// The outcome of executing a program over a batch of input vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchExecution {
+    /// One SPN root value per query, in batch order.
+    pub outputs: Vec<f64>,
+    /// Accumulated performance counters ([`PerfReport::queries`] passes).
+    pub perf: PerfReport,
+}
+
+/// Reusable simulator storage for the execute-many half of the
+/// compile-once / execute-many split.
+///
+/// Holds the register file, data memory, pipeline bookkeeping and the
+/// data-memory image buffer, so repeated runs of one compiled [`Program`]
+/// (e.g. over an evidence batch) allocate nothing per query.  Build one with
+/// [`Processor::state_for`] and pass it to [`Processor::run_with`].
+#[derive(Debug, Clone)]
+pub struct SimState {
+    regfile: RegisterFile,
+    datamem: DataMemory,
+    pending: Vec<PendingWrite>,
+    image: Vec<f64>,
 }
 
 /// A write travelling through the PE pipeline, not yet visible to reads.
@@ -65,11 +89,34 @@ impl Processor {
         &self.config
     }
 
+    /// Builds reusable simulator storage sized for `program`.
+    ///
+    /// The data memory is sized to the rows the program actually uses (the
+    /// row-by-row interface and therefore the cycle counts are unchanged —
+    /// see [`DataMemory::with_rows`]): a compiled program never addresses
+    /// beyond `memory_rows_used`, and the tight sizing keeps the per-query
+    /// reset of a batched run proportional to the program instead of the
+    /// full on-chip capacity.  Oversized programs get a proportionally
+    /// larger backing memory the same way.
+    pub fn state_for(&self, program: &Program) -> SimState {
+        let rows = program.memory_rows_used.max(1);
+        SimState {
+            regfile: RegisterFile::new(&self.config),
+            datamem: DataMemory::with_rows(rows, self.config.total_banks()),
+            pending: Vec::new(),
+            image: Vec::new(),
+        }
+    }
+
     /// Executes `program` on the input values of one inference pass.
     ///
     /// `inputs` must contain one value per entry of the program's input
     /// layout (see [`Program::input_layout`]); they are placed into the data
     /// memory before the first cycle.
+    ///
+    /// Convenience wrapper that allocates fresh simulator storage; repeated
+    /// runs should reuse a [`SimState`] via [`Processor::run_with`] or go
+    /// through [`Processor::run_batch`].
     ///
     /// # Errors
     ///
@@ -77,6 +124,26 @@ impl Processor {
     /// rule of the architecture, reads a value still in flight, or does not
     /// match this processor's configuration.
     pub fn run(&self, program: &Program, inputs: &[f64]) -> Result<ExecutionResult> {
+        let mut state = self.state_for(program);
+        self.run_with(program, inputs, &mut state)
+    }
+
+    /// Executes `program` on one input vector, reusing `state`'s storage.
+    ///
+    /// `state` is replaced by a freshly sized one when its geometry does not
+    /// fit `program` (smaller data memory, or banks/registers from a
+    /// different configuration), so a cached state can be carried across
+    /// programs safely.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProcessorError`] as for [`Processor::run`].
+    pub fn run_with(
+        &self,
+        program: &Program,
+        inputs: &[f64],
+        state: &mut SimState,
+    ) -> Result<ExecutionResult> {
         if program.config != self.config {
             return Err(ProcessorError::InvalidConfig {
                 reason: format!(
@@ -85,37 +152,54 @@ impl Processor {
                 ),
             });
         }
-        let mut regfile = RegisterFile::new(&self.config);
-        // Oversized programs get a larger backing memory with the same
-        // row-by-row interface (see `DataMemory::with_rows`).
-        let rows = self.config.data_memory_rows.max(program.memory_rows_used);
-        let mut datamem = DataMemory::with_rows(rows, self.config.total_banks());
-        datamem.load_image(&program.build_memory_image(inputs)?)?;
+        if state.datamem.rows() < program.memory_rows_used.max(1)
+            || state.datamem.width() != self.config.total_banks()
+            || state.regfile.banks() != self.config.total_banks()
+            || state.regfile.regs_per_bank() != self.config.regs_per_bank
+        {
+            *state = self.state_for(program);
+        }
+        program.write_memory_image(inputs, &mut state.image)?;
+        state.regfile.reset();
+        // The image covers every row the program may address
+        // (`memory_rows_used` rows, zero-filled where unspecified), so
+        // loading it re-initialises the reachable address space without
+        // zeroing a possibly larger reused backing memory.  Memory
+        // operations beyond `memory_rows_used` are rejected per instruction
+        // below, so stale rows of a reused state are never observable.
+        state.datamem.reset_counters();
+        state.datamem.load_image(&state.image)?;
+        state.pending.clear();
+        let regfile = &mut state.regfile;
+        let datamem = &mut state.datamem;
+        let pending = &mut state.pending;
 
-        let mut pending: Vec<PendingWrite> = Vec::new();
         let mut perf = PerfReport {
             platform: self.config.name.clone(),
+            queries: 1,
             source_ops: program.num_source_ops as u64,
             instructions: program.len() as u64,
             ..Default::default()
         };
         let mut last_commit: u64 = 0;
 
+        let rows_used = program.memory_rows_used;
         for (cycle, instr) in program.instructions.iter().enumerate() {
             let cycle = cycle as u64;
-            Self::commit_ready(&mut pending, &mut regfile, cycle)?;
+            Self::commit_ready(pending, regfile, cycle)?;
             self.execute_instruction(
                 instr,
                 cycle,
-                &mut regfile,
-                &mut datamem,
-                &mut pending,
+                rows_used,
+                regfile,
+                datamem,
+                pending,
                 &mut perf,
                 &mut last_commit,
             )?;
         }
         // Drain the pipeline: commit everything that is still in flight.
-        Self::commit_ready(&mut pending, &mut regfile, u64::MAX)?;
+        Self::commit_ready(pending, regfile, u64::MAX)?;
 
         perf.cycles = (program.len() as u64).max(last_commit + 1);
         perf.stall_cycles = program.stall_instructions() as u64;
@@ -124,9 +208,74 @@ impl Processor {
 
         let output = match program.output {
             ValueLocation::Register { bank, reg } => regfile.peek(bank as usize, reg as usize),
-            ValueLocation::Memory { row, lane } => datamem.peek(row as usize, lane as usize),
+            ValueLocation::Memory { row, lane } => {
+                Self::check_program_row(row as usize, rows_used)?;
+                datamem.peek(row as usize, lane as usize)
+            }
         };
         Ok(ExecutionResult { output, perf })
+    }
+
+    /// Executes `program` over a dense batch of input vectors through one
+    /// simulator instance, accumulating the performance counters.
+    ///
+    /// `flat_inputs` holds `queries` consecutive input vectors (query-major,
+    /// each one input-layout entry long) — the layout produced by
+    /// `spn_core::batch::InputRecipe::fill_batch`.  The compiled program is
+    /// loaded once; only the data-memory image is rebuilt per query, which is
+    /// the paper's deployment model (compile at build time, stream evidence
+    /// at run time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessorError::InputMismatch`] when `flat_inputs` is not
+    /// exactly `queries` input vectors long, and any [`ProcessorError`] a
+    /// single run can produce.
+    pub fn run_batch(
+        &self,
+        program: &Program,
+        flat_inputs: &[f64],
+        queries: usize,
+    ) -> Result<BatchExecution> {
+        let mut state = self.state_for(program);
+        self.run_batch_with(program, flat_inputs, queries, &mut state)
+    }
+
+    /// [`Processor::run_batch`] with caller-owned simulator storage, so
+    /// repeated batches through one compiled program allocate nothing.
+    ///
+    /// `state` is replaced by a freshly sized one when it does not fit
+    /// `program` (smaller data memory or a different bank geometry).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Processor::run_batch`].
+    pub fn run_batch_with(
+        &self,
+        program: &Program,
+        flat_inputs: &[f64],
+        queries: usize,
+        state: &mut SimState,
+    ) -> Result<BatchExecution> {
+        let per_query = program.input_layout.len();
+        if flat_inputs.len() != queries * per_query {
+            return Err(ProcessorError::InputMismatch {
+                expected: queries * per_query,
+                got: flat_inputs.len(),
+            });
+        }
+        let mut outputs = Vec::with_capacity(queries);
+        let mut perf = PerfReport::default();
+        for q in 0..queries {
+            let inputs = &flat_inputs[q * per_query..(q + 1) * per_query];
+            let run = self.run_with(program, inputs, state)?;
+            outputs.push(run.output);
+            perf.merge(&run.perf);
+        }
+        if perf.platform.is_empty() {
+            perf.platform.clone_from(&self.config.name);
+        }
+        Ok(BatchExecution { outputs, perf })
     }
 
     /// Applies all pending writes whose commit cycle is strictly before
@@ -152,6 +301,19 @@ impl Processor {
         Ok(())
     }
 
+    /// Checks that a memory operation stays inside the program's declared
+    /// address space (`memory_rows_used`), so reused simulator storage can
+    /// never leak a previous program's rows.
+    fn check_program_row(row: usize, rows_used: usize) -> Result<()> {
+        if row >= rows_used {
+            return Err(ProcessorError::MemoryOutOfRange {
+                row,
+                rows: rows_used,
+            });
+        }
+        Ok(())
+    }
+
     /// Checks that `(bank, reg)` has no write still in flight at `cycle`.
     fn check_no_inflight(
         pending: &[PendingWrite],
@@ -173,6 +335,7 @@ impl Processor {
         &self,
         instr: &Instruction,
         cycle: u64,
+        rows_used: usize,
         regfile: &mut RegisterFile,
         datamem: &mut DataMemory,
         pending: &mut Vec<PendingWrite>,
@@ -192,6 +355,7 @@ impl Processor {
         // 1. A memory load enqueues its row write first so that reads of the
         //    destination register in the same cycle are flagged as hazards.
         if let MemOp::Load { row, reg } = instr.mem {
+            Self::check_program_row(row as usize, rows_used)?;
             let values = datamem.load_row(row as usize)?.to_vec();
             for (bank, value) in values.into_iter().enumerate() {
                 *last_commit = (*last_commit).max(cycle);
@@ -298,6 +462,7 @@ impl Processor {
         // 5. A store reads the register file after all other reads of the
         //    cycle have been accounted for.
         if let MemOp::Store { row, reg } = instr.mem {
+            Self::check_program_row(row as usize, rows_used)?;
             for bank in 0..self.config.total_banks() {
                 Self::check_no_inflight(pending, bank, reg as usize, cycle)?;
             }
@@ -369,6 +534,52 @@ mod tests {
         // Load cycle + compute cycle + one level of pipeline latency.
         assert_eq!(result.perf.cycles, 3);
         assert!(result.perf.ops_per_cycle() > 0.9);
+    }
+
+    #[test]
+    fn batched_run_reuses_state_and_accumulates_perf() {
+        let program = sum_of_products_program();
+        let proc = Processor::new(cfg()).unwrap();
+        // Three queries, flattened query-major.
+        let flat: Vec<f64> = [
+            [2.0, 3.0, 4.0, 5.0],
+            [1.0, 1.0, 1.0, 1.0],
+            [0.5, 0.5, 2.0, 2.0],
+        ]
+        .concat();
+        let batch = proc.run_batch(&program, &flat, 3).unwrap();
+        assert_eq!(batch.outputs, vec![45.0, 4.0, 4.0]);
+        assert_eq!(batch.perf.queries, 3);
+        let single = proc.run(&program, &flat[..4]).unwrap();
+        assert_eq!(batch.perf.cycles, 3 * single.perf.cycles);
+        assert_eq!(batch.perf.source_ops, 3 * single.perf.source_ops);
+        assert_eq!(batch.perf.memory_loads, 3 * single.perf.memory_loads);
+        // Mis-sized flat input is rejected.
+        assert!(matches!(
+            proc.run_batch(&program, &flat[..10], 3),
+            Err(ProcessorError::InputMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn state_reuse_is_equivalent_to_fresh_state() {
+        let program = sum_of_products_program();
+        let proc = Processor::new(cfg()).unwrap();
+        let mut state = proc.state_for(&program);
+        let a = proc
+            .run_with(&program, &[2.0, 3.0, 4.0, 5.0], &mut state)
+            .unwrap();
+        // A second, different query through the same state must not see any
+        // residue of the first.
+        let b = proc
+            .run_with(&program, &[1.0, 0.0, 1.0, 0.0], &mut state)
+            .unwrap();
+        assert_eq!(a.output, 45.0);
+        assert_eq!(b.output, 1.0);
+        assert_eq!(
+            b.perf,
+            proc.run(&program, &[1.0, 0.0, 1.0, 0.0]).unwrap().perf
+        );
     }
 
     #[test]

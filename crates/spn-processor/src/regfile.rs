@@ -45,6 +45,14 @@ impl RegisterFile {
         self.regs_per_bank
     }
 
+    /// Clears all contents and per-cycle port bookkeeping, keeping the
+    /// allocation (used between queries of a batched run).
+    pub fn reset(&mut self) {
+        self.data.fill(0.0);
+        self.read_cycle.fill(None);
+        self.write_cycle.fill(None);
+    }
+
     fn check_address(&self, bank: usize, reg: usize, cycle: u64) -> Result<()> {
         if bank >= self.banks || reg >= self.regs_per_bank {
             return Err(ProcessorError::MalformedInstruction {

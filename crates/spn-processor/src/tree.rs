@@ -65,7 +65,9 @@ pub fn evaluate_tree(
             ),
         });
     }
-    let expected_pes: usize = (0..config.tree_levels).map(|l| config.pes_at_level(l)).sum();
+    let expected_pes: usize = (0..config.tree_levels)
+        .map(|l| config.pes_at_level(l))
+        .sum();
     if instr.pe_ops.len() != expected_pes {
         return Err(ProcessorError::MalformedInstruction {
             cycle,

@@ -6,15 +6,23 @@
 //!
 //! Run with `cargo run --release --example benchmark_sweep`.
 
-use spn_accel::compiler::Compiler;
 use spn_accel::core::flatten::OpList;
 use spn_accel::core::stats::SpnStats;
-use spn_accel::core::Evidence;
+use spn_accel::core::EvidenceBatch;
 use spn_accel::learn::Benchmark;
-use spn_accel::platforms::{CpuModel, GpuModel, Platform};
-use spn_accel::processor::{Processor, ProcessorConfig};
+use spn_accel::platforms::{Backend, CpuModel, Engine, GpuModel, ProcessorBackend};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// Compiles `ops` for `backend` and returns ops/cycle over a small batch.
+fn throughput<B: Backend>(
+    backend: B,
+    ops: &OpList,
+    batch: &EvidenceBatch,
+) -> Result<f64, spn_accel::platforms::BackendError> {
+    let mut engine = Engine::new(backend, ops)?;
+    Ok(engine.execute_batch(batch)?.perf.ops_per_cycle())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     println!("| benchmark | ops | groups | CPU | GPU | Pvect | Ptree | Ptree/CPU |");
     println!("|---|---|---|---|---|---|---|---|");
     for benchmark in [
@@ -26,29 +34,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let spn = benchmark.spn();
         let stats = SpnStats::from_spn(&spn);
         let ops = OpList::from_spn(&spn);
-        let evidence = Evidence::marginal(spn.num_vars());
+        let batch = EvidenceBatch::marginals(spn.num_vars(), 4);
 
-        let (_, cpu) = CpuModel::new().execute(&ops, &evidence)?;
-        let (_, gpu) = GpuModel::new().execute(&ops, &evidence)?;
-
-        let mut custom = Vec::new();
-        for config in [ProcessorConfig::pvect(), ProcessorConfig::ptree()] {
-            let compiled = Compiler::new(config.clone()).compile_op_list(ops.clone())?;
-            let processor = Processor::new(config)?;
-            let run = processor.run(&compiled.program, &compiled.input_values(&evidence)?)?;
-            custom.push(run.perf.ops_per_cycle());
-        }
+        let cpu = throughput(CpuModel::new(), &ops, &batch)?;
+        let gpu = throughput(GpuModel::new(), &ops, &batch)?;
+        let pvect = throughput(ProcessorBackend::pvect(), &ops, &batch)?;
+        let ptree = throughput(ProcessorBackend::ptree(), &ops, &batch)?;
 
         println!(
             "| {} | {} | {} | {:.2} | {:.2} | {:.2} | {:.2} | {:.1}x |",
             benchmark.name(),
             stats.num_ops,
             stats.num_groups,
-            cpu.ops_per_cycle(),
-            gpu.ops_per_cycle(),
-            custom[0],
-            custom[1],
-            custom[1] / cpu.ops_per_cycle(),
+            cpu,
+            gpu,
+            pvect,
+            ptree,
+            ptree / cpu,
         );
     }
     Ok(())

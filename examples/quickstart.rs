@@ -3,11 +3,10 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use spn_accel::compiler::Compiler;
 use spn_accel::core::{Evidence, SpnBuilder, VarId};
-use spn_accel::processor::{Processor, ProcessorConfig};
+use spn_accel::platforms::{Engine, ProcessorBackend};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     // A two-variable mixture: P(rain, sprinkler).
     let mut b = SpnBuilder::new(2);
     let rain = b.indicator(VarId(0), true);
@@ -26,20 +25,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("P(rain, no sprinkler)          = {p:.4}");
     let mut partial = Evidence::marginal(2);
     partial.observe(0, true);
-    println!("P(rain)                        = {:.4}", spn.evaluate(&partial)?);
+    println!(
+        "P(rain)                        = {:.4}",
+        spn.evaluate(&partial)?
+    );
 
-    // Compile for the Ptree configuration and run on the simulator.
-    let config = ProcessorConfig::ptree();
-    let compiled = Compiler::new(config.clone()).compile(&spn)?;
-    let processor = Processor::new(config)?;
-    let run = processor.run(&compiled.program, &compiled.input_values(&evidence)?)?;
-    println!("processor output               = {:.4}", run.output);
+    // Phase 1: compile once for the Ptree configuration.  The engine caches
+    // the VLIW program and reusable simulator buffers behind one handle.
+    let mut engine = Engine::from_spn(ProcessorBackend::ptree(), &spn)?;
+    // Phase 2: execute as many queries as you like against the cached program.
+    let (output, perf) = engine.execute(&evidence)?;
+    println!("processor output               = {output:.4}");
     println!(
         "processor throughput           = {:.2} ops/cycle over {} cycles",
-        run.perf.ops_per_cycle(),
-        run.perf.cycles
+        perf.ops_per_cycle(),
+        perf.cycles
     );
-    println!("compiler: {}", compiled.report);
-    assert!((run.output - p).abs() < 1e-12);
+    println!("compiler: {}", engine.compiled().report);
+    assert!((output - p).abs() < 1e-12);
     Ok(())
 }

@@ -11,11 +11,10 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use spn_accel::compiler::Compiler;
-use spn_accel::core::Evidence;
+use spn_accel::core::{Evidence, EvidenceBatch};
 use spn_accel::learn::chow_liu::ChowLiuTree;
 use spn_accel::learn::dataset::Dataset;
-use spn_accel::processor::{Processor, ProcessorConfig};
+use spn_accel::platforms::{Engine, ProcessorBackend};
 
 // Variable indices of the model.
 const BLOCKED: usize = 0;
@@ -40,7 +39,7 @@ fn collect_experience(rows: usize, seed: u64) -> Dataset {
     Dataset::new(5, data)
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let experience = collect_experience(4000, 7);
     let tree = ChowLiuTree::learn(&experience);
     let spn = tree.to_spn();
@@ -66,18 +65,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mpe.assignment[BLOCKED], mpe.assignment[ROUGH_TERRAIN]
     );
 
-    // The same query on the accelerator (this is what would run on-board).
-    let config = ProcessorConfig::ptree();
-    let compiled = Compiler::new(config.clone()).compile(&spn)?;
-    let processor = Processor::new(config)?;
-    let joint = processor.run(&compiled.program, &compiled.input_values(&blocked_and_sensors)?)?;
-    let marginal = processor.run(&compiled.program, &compiled.input_values(&sensors)?)?;
+    // The same query on the accelerator (this is what would run on-board):
+    // compile the model once, then ship both sub-queries as one batch.
+    let mut engine = Engine::from_spn(ProcessorBackend::ptree(), &spn)?;
+    let batch = EvidenceBatch::from_evidences(5, &[blocked_and_sensors, sensors])?;
+    let result = engine.execute_batch(&batch)?;
+    let hw_p_blocked = result.values[0] / result.values[1];
     println!(
-        "on the SPN processor:      = {:.3}  ({:.2} ops/cycle, {} cycles per pass)",
-        joint.output / marginal.output,
-        joint.perf.ops_per_cycle(),
-        joint.perf.cycles
+        "on the SPN processor:      = {:.3}  ({:.2} ops/cycle, {:.0} cycles per query)",
+        hw_p_blocked,
+        result.perf.ops_per_cycle(),
+        result.perf.cycles_per_query()
     );
-    assert!((joint.output / marginal.output - p_blocked).abs() < 1e-9);
+    assert!((hw_p_blocked - p_blocked).abs() < 1e-9);
     Ok(())
 }

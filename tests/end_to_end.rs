@@ -1,27 +1,21 @@
 //! Cross-crate integration tests: model → flatten → compile → simulate,
-//! checked against the reference evaluator and the baseline platform models.
+//! checked against the reference evaluator through the two-phase Engine API.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use spn_accel::compiler::Compiler;
 use spn_accel::core::flatten::OpList;
 use spn_accel::core::random::{random_spn, RandomSpnConfig};
-use spn_accel::core::{validate, Evidence, Spn};
+use spn_accel::core::{validate, Evidence, EvidenceBatch, Spn};
 use spn_accel::learn::Benchmark;
-use spn_accel::platforms::{CpuModel, GpuModel, Platform};
-use spn_accel::processor::{Processor, ProcessorConfig};
+use spn_accel::platforms::{CpuModel, Engine, GpuModel, ProcessorBackend};
+use spn_accel::processor::ProcessorConfig;
 
-/// Compiles `spn` for `config`, runs it, and returns (hardware value, cycles).
+/// Compiles `spn` for `config`, runs one query, returns (value, cycles).
 fn run_on(config: &ProcessorConfig, spn: &Spn, evidence: &Evidence) -> (f64, u64) {
-    let compiled = Compiler::new(config.clone()).compile(spn).expect("compile");
-    let processor = Processor::new(config.clone()).expect("processor");
-    let run = processor
-        .run(
-            &compiled.program,
-            &compiled.input_values(evidence).expect("inputs"),
-        )
-        .expect("run");
-    (run.output, run.perf.cycles)
+    let backend = ProcessorBackend::new(config.clone()).expect("backend");
+    let mut engine = Engine::from_spn(backend, spn).expect("compile");
+    let (value, perf) = engine.execute(evidence).expect("run");
+    (value, perf.cycles)
 }
 
 #[test]
@@ -31,6 +25,12 @@ fn random_spns_agree_across_every_execution_path() {
         let spn = random_spn(&RandomSpnConfig::with_vars(vars), &mut rng);
         assert!(validate::check(&spn).is_valid());
         let ops = OpList::from_spn(&spn);
+
+        // One engine per platform, compiled once, reused for every query.
+        let mut cpu = Engine::new(CpuModel::new(), &ops).expect("cpu compile");
+        let mut gpu = Engine::new(GpuModel::new(), &ops).expect("gpu compile");
+        let mut ptree = Engine::new(ProcessorBackend::ptree(), &ops).expect("ptree compile");
+        let mut pvect = Engine::new(ProcessorBackend::pvect(), &ops).expect("pvect compile");
 
         for evidence in [
             Evidence::marginal(vars),
@@ -45,16 +45,16 @@ fn random_spns_agree_across_every_execution_path() {
             let tolerance = 1e-9 * reference.abs().max(1e-12);
 
             assert!((ops.evaluate(&evidence).unwrap() - reference).abs() <= tolerance);
-            let (cpu_value, _) = CpuModel::new().execute(&ops, &evidence).unwrap();
+            let (cpu_value, _) = cpu.execute(&evidence).unwrap();
             assert!((cpu_value - reference).abs() <= tolerance);
-            let (gpu_value, _) = GpuModel::new().execute(&ops, &evidence).unwrap();
+            let (gpu_value, _) = gpu.execute(&evidence).unwrap();
             assert!((gpu_value - reference).abs() <= tolerance);
-            for config in [ProcessorConfig::ptree(), ProcessorConfig::pvect()] {
-                let (hw_value, _) = run_on(&config, &spn, &evidence);
+            for engine in [&mut ptree, &mut pvect] {
+                let (hw_value, _) = engine.execute(&evidence).unwrap();
                 assert!(
                     (hw_value - reference).abs() <= tolerance,
                     "{} disagrees on {vars} vars",
-                    config.name
+                    engine.name()
                 );
             }
         }
@@ -81,9 +81,7 @@ fn learned_benchmark_circuits_run_on_the_processor() {
 fn conditional_queries_match_between_software_and_hardware() {
     let spn = Benchmark::Banknote.spn();
     let n = spn.num_vars();
-    let config = ProcessorConfig::ptree();
-    let compiled = Compiler::new(config.clone()).compile(&spn).unwrap();
-    let processor = Processor::new(config).unwrap();
+    let mut engine = Engine::from_spn(ProcessorBackend::ptree(), &spn).unwrap();
 
     let mut evidence = Evidence::marginal(n);
     evidence.observe(1, true);
@@ -91,15 +89,11 @@ fn conditional_queries_match_between_software_and_hardware() {
     joint.observe(0, true);
 
     let software = spn.evaluate(&joint).unwrap() / spn.evaluate(&evidence).unwrap();
-    let hw_joint = processor
-        .run(&compiled.program, &compiled.input_values(&joint).unwrap())
-        .unwrap()
-        .output;
-    let hw_evidence = processor
-        .run(&compiled.program, &compiled.input_values(&evidence).unwrap())
-        .unwrap()
-        .output;
-    assert!((hw_joint / hw_evidence - software).abs() < 1e-9);
+    // Ship both sub-queries of the conditional as one two-query batch.
+    let batch = EvidenceBatch::from_evidences(n, &[joint, evidence]).unwrap();
+    let result = engine.execute_batch(&batch).unwrap();
+    assert_eq!(result.perf.queries, 2);
+    assert!((result.values[0] / result.values[1] - software).abs() < 1e-9);
 }
 
 #[test]
@@ -112,4 +106,19 @@ fn ptree_is_faster_than_pvect_on_a_learned_circuit() {
         ptree_cycles < pvect_cycles,
         "Ptree {ptree_cycles} cycles vs Pvect {pvect_cycles} cycles"
     );
+}
+
+#[test]
+fn batched_execution_amortises_cycles_linearly_on_the_simulator() {
+    // The modelled cost of one query must not depend on how queries are
+    // batched: N queries through one engine cost N × single-query cycles.
+    let spn = Benchmark::Banknote.spn();
+    let n = spn.num_vars();
+    let mut engine = Engine::from_spn(ProcessorBackend::ptree(), &spn).unwrap();
+    let single = engine.execute(&Evidence::marginal(n)).unwrap().1;
+    let batch = EvidenceBatch::marginals(n, 5);
+    let batched = engine.execute_batch(&batch).unwrap().perf;
+    assert_eq!(batched.queries, 5);
+    assert_eq!(batched.cycles, 5 * single.cycles);
+    assert!((batched.cycles_per_query() - single.cycles as f64).abs() < 1e-9);
 }

@@ -5,25 +5,17 @@
 //! beats both baselines, the tree arrangement beats the flat PE vector, and
 //! GPU thread scaling is strongly sublinear.
 
-use spn_accel::compiler::Compiler;
 use spn_accel::core::flatten::OpList;
 use spn_accel::core::Evidence;
 use spn_accel::learn::Benchmark;
-use spn_accel::platforms::{CpuModel, GpuConfig, GpuModel};
-use spn_accel::processor::{Processor, ProcessorConfig};
+use spn_accel::platforms::{CpuModel, Engine, GpuConfig, GpuModel, ProcessorBackend};
+use spn_accel::processor::ProcessorConfig;
 
 fn processor_throughput(config: &ProcessorConfig, ops: &OpList, evidence: &Evidence) -> f64 {
-    let compiled = Compiler::new(config.clone())
-        .compile_op_list(ops.clone())
-        .expect("compile");
-    let processor = Processor::new(config.clone()).expect("processor");
-    let run = processor
-        .run(
-            &compiled.program,
-            &compiled.input_values(evidence).expect("inputs"),
-        )
-        .expect("run");
-    run.perf.ops_per_cycle()
+    let backend = ProcessorBackend::new(config.clone()).expect("backend");
+    let mut engine = Engine::new(backend, ops).expect("compile");
+    let (_, perf) = engine.execute(evidence).expect("run");
+    perf.ops_per_cycle()
 }
 
 #[test]
@@ -54,7 +46,10 @@ fn fig4_shape_custom_processor_beats_both_baselines() {
         ptree > 4.0 * gpu,
         "Ptree {ptree} should be far ahead of the GPU {gpu}"
     );
-    assert!(ptree > 3.0, "Ptree should sustain several ops/cycle, got {ptree}");
+    assert!(
+        ptree > 3.0,
+        "Ptree should sustain several ops/cycle, got {ptree}"
+    );
 }
 
 #[test]
@@ -71,11 +66,17 @@ fn fig2c_shape_gpu_thread_scaling_is_sublinear_and_gpu_stays_in_cpu_class() {
         .ops_per_cycle();
 
     // A single GPU thread is slower than the CPU core (paper fig. 2c).
-    assert!(gpu_1 < cpu, "one GPU thread ({gpu_1}) should not beat the CPU ({cpu})");
+    assert!(
+        gpu_1 < cpu,
+        "one GPU thread ({gpu_1}) should not beat the CPU ({cpu})"
+    );
     // 256 threads scale far below 256x (paper: 4.1x).
     let scaling = gpu_256 / gpu_1;
     assert!(scaling > 1.5, "more threads should help, got {scaling}x");
-    assert!(scaling < 64.0, "scaling should be strongly sublinear, got {scaling}x");
+    assert!(
+        scaling < 64.0,
+        "scaling should be strongly sublinear, got {scaling}x"
+    );
     // The full block lands in the same class as the CPU, not the accelerator.
     assert!(gpu_256 < 8.0 * cpu);
 }

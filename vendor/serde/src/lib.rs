@@ -1,0 +1,13 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io, so this crate keeps the
+//! workspace's `#[derive(Serialize, Deserialize)]` attributes compiling by
+//! re-exporting no-op derive macros.  No serialisation functionality is
+//! provided — the repository's on-disk formats are the hand-written text
+//! format in `spn_core::io` and the hand-written JSON emitters in `spn-bench`.
+//! Swapping this crate for the real `serde` (plus `serde_json`) re-enables
+//! derived formats without touching any other source file.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

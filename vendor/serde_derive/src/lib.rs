@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the offline `serde`
+//! stand-in (see `vendor/serde`).  Each derive expands to nothing; the
+//! attributes stay in the source so that switching back to the real serde is
+//! a dependency change only.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (offline stand-in for `serde_derive::Serialize`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (offline stand-in for `serde_derive::Deserialize`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
