@@ -1,12 +1,23 @@
-//! Wall-clock throughput of the two-phase engine: single-query dispatch vs
-//! batched execution at batch sizes 1/32/256/1024.
+//! Wall-clock throughput of the two-phase engine across dispatch styles,
+//! worker counts and query modes.
 //!
 //! The engine compiles each workload once; the sweep then measures how many
-//! queries per second the execute-many half sustains when evidence arrives
-//! one query at a time (`Engine::execute`, which builds a one-element batch
-//! and allocates a result per call) versus in dense [`EvidenceBatch`]es
-//! (amortised dispatch, zero per-query allocation).  Results go to stdout as
-//! a markdown table and to `BENCH_engine.json` for the perf trajectory.
+//! queries per second the execute-many half sustains along three axes:
+//!
+//! 1. **dispatch** — evidence arriving one query at a time
+//!    (`Engine::execute`) versus in dense [`EvidenceBatch`]es of size
+//!    32/256/1024 (amortised dispatch, zero per-query allocation),
+//! 2. **workers** — the same batches sharded across a fixed pool of scoped
+//!    worker threads (`Engine::execute_batch_parallel`) at 1/2/4/8 workers,
+//! 3. **query mode** — joint, marginal, MAP and conditional batches through
+//!    `Engine::execute_query{,_parallel}` (conditionals cost two circuit
+//!    passes per query, MAP adds the argmax traceback).
+//!
+//! Workload names are distinct from platform names (`uci-cpu-perf`, not
+//! `CPU`) so the two columns of `BENCH_engine.json` can never be confused,
+//! and every record carries its query mode and worker count.  Results go to
+//! stdout as a markdown table and to `BENCH_engine.json` for the perf
+//! trajectory.
 //!
 //! Run with `cargo run --release -p spn-bench --bin bench_engine [out.json]`.
 
@@ -14,17 +25,18 @@ use std::time::Instant;
 
 use spn_bench::{json_escape, json_number};
 use spn_core::batch::EvidenceBatch;
-use spn_core::eval::Evaluator;
-use spn_core::flatten::OpList;
+use spn_core::query::{reference_query, ConditionalBatch, QueryBatch, QueryMode};
 use spn_core::{Evidence, Spn};
 use spn_learn::Benchmark;
-use spn_platforms::{Backend, CpuModel, Engine, ProcessorBackend};
+use spn_platforms::{Backend, CpuModel, Engine, Parallelism, ProcessorBackend};
 
 /// One measured configuration.
 struct Measurement {
     workload: String,
     platform: String,
+    mode: QueryMode,
     batch_size: usize,
+    threads: usize,
     queries: usize,
     seconds: f64,
     queries_per_sec: f64,
@@ -32,7 +44,7 @@ struct Measurement {
 
 /// Builds a deterministic batch of `n` mixed queries (cycling through
 /// marginal, all-true, all-false and single-observation patterns).
-fn build_batch(num_vars: usize, n: usize) -> EvidenceBatch {
+fn build_marginal_batch(num_vars: usize, n: usize) -> EvidenceBatch {
     let mut batch = EvidenceBatch::with_capacity(num_vars, n);
     for q in 0..n {
         match q % 4 {
@@ -51,9 +63,43 @@ fn build_batch(num_vars: usize, n: usize) -> EvidenceBatch {
     batch
 }
 
+/// Builds a deterministic batch of `n` fully observed assignments.
+fn build_joint_batch(num_vars: usize, n: usize) -> EvidenceBatch {
+    let mut batch = EvidenceBatch::with_capacity(num_vars, n);
+    for q in 0..n {
+        let assignment: Vec<bool> = (0..num_vars).map(|v| (q + v) % 3 == 0).collect();
+        batch.push_assignment(&assignment).expect("arity");
+    }
+    batch
+}
+
+/// Builds a deterministic batch of `n` conditional queries
+/// `P(x_a = v | x_b = w)` with rotating variables and values.
+fn build_conditional_batch(num_vars: usize, n: usize) -> ConditionalBatch {
+    let mut cond = ConditionalBatch::new(num_vars);
+    for q in 0..n {
+        let mut target = Evidence::marginal(num_vars);
+        target.observe(q % num_vars, q % 2 == 0);
+        let mut given = Evidence::marginal(num_vars);
+        given.observe((q + 1) % num_vars, q % 3 == 0);
+        cond.push(&target, &given).expect("arity");
+    }
+    cond
+}
+
+/// Builds the query batch of `mode` with `n` queries.
+fn build_query_batch(mode: QueryMode, num_vars: usize, n: usize) -> QueryBatch {
+    match mode {
+        QueryMode::Joint => QueryBatch::Joint(build_joint_batch(num_vars, n)),
+        QueryMode::Marginal => QueryBatch::Marginal(build_marginal_batch(num_vars, n)),
+        QueryMode::Map => QueryBatch::Map(build_marginal_batch(num_vars, n)),
+        QueryMode::Conditional => QueryBatch::Conditional(build_conditional_batch(num_vars, n)),
+    }
+}
+
 /// Timing repeats per configuration; the minimum is reported (standard
 /// microbenchmark practice — the minimum is the run least disturbed by the
-/// scheduler, and both dispatch modes do strictly deterministic work).
+/// scheduler, and all dispatch modes do strictly deterministic work).
 const REPEATS: usize = 5;
 
 /// Runs `chunks` batches through `engine` and returns (seconds, checksum).
@@ -66,6 +112,53 @@ fn run_batched<B: Backend>(
     let start = Instant::now();
     for _ in 0..chunks {
         let out = engine.execute_batch(batch).expect("execute_batch");
+        checksum += out.values.iter().sum::<f64>();
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+/// Runs `chunks` sharded batches through the worker pool and returns
+/// (seconds, checksum).
+fn run_parallel<B: Backend + Sync>(
+    engine: &mut Engine<B>,
+    batch: &EvidenceBatch,
+    chunks: usize,
+    parallelism: &Parallelism,
+) -> (f64, f64)
+where
+    B::Compiled: Sync,
+{
+    let mut checksum = 0.0;
+    let start = Instant::now();
+    for _ in 0..chunks {
+        let out = engine
+            .execute_batch_parallel(batch, parallelism)
+            .expect("execute_batch_parallel");
+        checksum += out.values.iter().sum::<f64>();
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+/// Runs `chunks` query batches through the mode-aware path and returns
+/// (seconds, checksum).
+fn run_query<B: Backend + Sync>(
+    engine: &mut Engine<B>,
+    query: &QueryBatch,
+    chunks: usize,
+    parallelism: Option<&Parallelism>,
+) -> (f64, f64)
+where
+    B::Compiled: Sync,
+{
+    let mut checksum = 0.0;
+    let start = Instant::now();
+    for _ in 0..chunks {
+        let out = match parallelism {
+            Some(par) => engine
+                .execute_query_parallel(query, par)
+                .expect("execute_query_parallel"),
+            None => engine.execute_query(query).expect("execute_query"),
+        };
         checksum += out.values.iter().sum::<f64>();
     }
     (start.elapsed().as_secs_f64(), checksum)
@@ -84,59 +177,142 @@ fn run_single<B: Backend>(engine: &mut Engine<B>, evidences: &[Evidence]) -> (f6
     (start.elapsed().as_secs_f64(), checksum)
 }
 
-fn measure<B: Backend>(
+/// Times `body` `REPEATS + 1` times (first run is the warm-up), checks its
+/// checksum against `expected` and returns the minimum seconds.
+fn best_of(expected: f64, label: &str, mut body: impl FnMut() -> (f64, f64)) -> f64 {
+    let mut best = f64::INFINITY;
+    for repeat in 0..=REPEATS {
+        let (seconds, checksum) = body();
+        assert!(
+            (checksum - expected).abs() < 1e-6 * expected.abs().max(1e-12),
+            "{label}: checksum {checksum} vs reference {expected}"
+        );
+        if repeat > 0 {
+            best = best.min(seconds);
+        }
+    }
+    best
+}
+
+/// Worker counts of the sharded-execution sweep (1 = the serial path).
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+#[allow(clippy::too_many_arguments)]
+fn record(
+    results: &mut Vec<Measurement>,
+    workload: &str,
+    platform: &str,
+    mode: QueryMode,
+    batch_size: usize,
+    threads: usize,
+    queries: usize,
+    seconds: f64,
+) {
+    results.push(Measurement {
+        workload: workload.to_string(),
+        platform: platform.to_string(),
+        mode,
+        batch_size,
+        threads,
+        queries,
+        seconds,
+        queries_per_sec: queries as f64 / seconds.max(1e-12),
+    });
+}
+
+fn measure<B: Backend + Sync>(
     workload: &str,
     backend: B,
     spn: &Spn,
-    ops: &OpList,
     total_queries: usize,
     results: &mut Vec<Measurement>,
-) {
-    let name = backend.name();
-    let mut engine = Engine::new(backend, ops).expect("compile");
-    let mut evaluator = Evaluator::new(spn);
+) where
+    B::Compiled: Sync,
+{
+    let platform = backend.name();
+    let mut engine = Engine::from_spn(backend, spn).expect("compile");
+    let num_vars = spn.num_vars();
 
+    // Axis 1 — dispatch granularity (marginal queries, serial).
     for &batch_size in &[1usize, 32, 256, 1024] {
         let chunks = (total_queries / batch_size).max(1);
         let queries = chunks * batch_size;
-        let batch = build_batch(spn.num_vars(), batch_size);
-        // The checksum the timed loop must reproduce: guards the fast path
-        // against drifting from the reference evaluator.
-        let mut reference = Vec::new();
-        evaluator
-            .evaluate_batch(&batch, &mut reference)
-            .expect("reference");
-        let expected: f64 = reference.iter().sum::<f64>() * chunks as f64;
-        // Batch size 1 measures the true single-query dispatch path:
-        // `Engine::execute` over one `Evidence` per arriving query.
-        let evidences: Vec<Evidence> = (0..queries)
-            .map(|q| batch.to_evidence(q % batch.len()))
-            .collect();
-
-        let mut best = f64::INFINITY;
-        for repeat in 0..=REPEATS {
-            let (seconds, checksum) = if batch_size == 1 {
-                run_single(&mut engine, &evidences)
-            } else {
+        let batch = build_marginal_batch(num_vars, batch_size);
+        let reference =
+            reference_query(spn, &QueryBatch::Marginal(batch.clone())).expect("reference");
+        let expected: f64 = reference.values.iter().sum::<f64>() * chunks as f64;
+        let label = format!("{workload}/{platform} batch {batch_size}");
+        let best = if batch_size == 1 {
+            // The true single-query dispatch path: one `Evidence` per call.
+            let evidences: Vec<Evidence> = (0..queries)
+                .map(|q| batch.to_evidence(q % batch.len()))
+                .collect();
+            best_of(expected, &label, || run_single(&mut engine, &evidences))
+        } else {
+            best_of(expected, &label, || {
                 run_batched(&mut engine, &batch, chunks)
-            };
-            assert!(
-                (checksum - expected).abs() < 1e-6 * expected.abs().max(1e-12),
-                "{name} batch {batch_size}: checksum {checksum} vs reference {expected}"
-            );
-            // Iteration 0 is the warm-up: allocations and caches settle.
-            if repeat > 0 {
-                best = best.min(seconds);
-            }
-        }
-        results.push(Measurement {
-            workload: workload.to_string(),
-            platform: name.clone(),
+            })
+        };
+        record(
+            results,
+            workload,
+            &platform,
+            QueryMode::Marginal,
             batch_size,
+            1,
             queries,
-            seconds: best,
-            queries_per_sec: queries as f64 / best.max(1e-12),
-        });
+            best,
+        );
+    }
+
+    // Axis 2 — worker count over large batches (marginal queries).
+    for &batch_size in &[256usize, 1024] {
+        let chunks = (total_queries / batch_size).max(1);
+        let queries = chunks * batch_size;
+        let batch = build_marginal_batch(num_vars, batch_size);
+        let reference =
+            reference_query(spn, &QueryBatch::Marginal(batch.clone())).expect("reference");
+        let expected: f64 = reference.values.iter().sum::<f64>() * chunks as f64;
+        for &threads in &THREAD_SWEEP[1..] {
+            let parallelism = Parallelism::workers(threads);
+            let label = format!("{workload}/{platform} batch {batch_size} x{threads}");
+            let best = best_of(expected, &label, || {
+                run_parallel(&mut engine, &batch, chunks, &parallelism)
+            });
+            record(
+                results,
+                workload,
+                &platform,
+                QueryMode::Marginal,
+                batch_size,
+                threads,
+                queries,
+                best,
+            );
+        }
+    }
+
+    // Axis 3 — query modes at batch 256, serial and 4 workers.  Marginal is
+    // skipped here: axes 1 and 2 already record it at every batch size and
+    // worker count, and duplicate (mode, batch, threads) keys would make the
+    // JSON ambiguous.
+    let batch_size = 256usize;
+    let chunks = (total_queries / batch_size).max(1);
+    let queries = chunks * batch_size;
+    for mode in [QueryMode::Joint, QueryMode::Map, QueryMode::Conditional] {
+        let query = build_query_batch(mode, num_vars, batch_size);
+        let reference = reference_query(spn, &query).expect("reference");
+        let expected: f64 = reference.values.iter().sum::<f64>() * chunks as f64;
+        for &threads in &[1usize, 4] {
+            let parallelism = (threads > 1).then(|| Parallelism::workers(threads));
+            let label = format!("{workload}/{platform} {mode} x{threads}");
+            let best = best_of(expected, &label, || {
+                run_query(&mut engine, &query, chunks, parallelism.as_ref())
+            });
+            record(
+                results, workload, &platform, mode, batch_size, threads, queries, best,
+            );
+        }
     }
 }
 
@@ -145,12 +321,15 @@ fn to_json(results: &[Measurement]) -> String {
     for (i, m) in results.iter().enumerate() {
         out.push_str(&format!(
             concat!(
-                "  {{\"workload\": \"{}\", \"platform\": \"{}\", \"batch_size\": {}, ",
-                "\"queries\": {}, \"seconds\": {}, \"queries_per_sec\": {}}}{}\n",
+                "  {{\"workload\": \"{}\", \"platform\": \"{}\", \"mode\": \"{}\", ",
+                "\"batch_size\": {}, \"threads\": {}, \"queries\": {}, ",
+                "\"seconds\": {}, \"queries_per_sec\": {}}}{}\n",
             ),
             json_escape(&m.workload),
             json_escape(&m.platform),
+            m.mode.name(),
             m.batch_size,
+            m.threads,
             m.queries,
             json_number(m.seconds),
             json_number(m.queries_per_sec),
@@ -169,40 +348,40 @@ fn main() {
 
     // CPU backend: the software fast path, high query counts.  Small and
     // medium circuits are the dispatch-sensitive regime where batching
-    // matters; the compute-dominated large circuits live in fig4.
-    for benchmark in [Benchmark::Banknote, Benchmark::Cpu] {
+    // matters; the compute-dominated large circuits live in fig4.  Workload
+    // names are deliberately distinct from every platform name.
+    for (workload, benchmark) in [
+        ("uci-banknote", Benchmark::Banknote),
+        ("uci-cpu-perf", Benchmark::Cpu),
+    ] {
         let spn = benchmark.spn();
-        let ops = OpList::from_spn(&spn);
-        measure(
-            benchmark.name(),
-            CpuModel::new(),
-            &spn,
-            &ops,
-            20_480,
-            &mut results,
-        );
+        measure(workload, CpuModel::new(), &spn, 20_480, &mut results);
     }
     // Cycle-accurate simulator: far slower per query, smaller total.
     {
         let spn = Benchmark::Banknote.spn();
-        let ops = OpList::from_spn(&spn);
         measure(
-            "Banknote",
+            "uci-banknote",
             ProcessorBackend::ptree(),
             &spn,
-            &ops,
             2_048,
             &mut results,
         );
     }
 
-    println!("# Engine throughput: single-query vs batched dispatch\n");
-    println!("| workload | platform | batch | queries | queries/sec |");
-    println!("|---|---|---|---|---|");
+    println!("# Engine throughput: dispatch granularity, worker count, query mode\n");
+    println!("| workload | platform | mode | batch | threads | queries | queries/sec |");
+    println!("|---|---|---|---|---|---|---|");
     for m in &results {
         println!(
-            "| {} | {} | {} | {} | {:.0} |",
-            m.workload, m.platform, m.batch_size, m.queries, m.queries_per_sec
+            "| {} | {} | {} | {} | {} | {} | {:.0} |",
+            m.workload,
+            m.platform,
+            m.mode.name(),
+            m.batch_size,
+            m.threads,
+            m.queries,
+            m.queries_per_sec
         );
     }
     for (workload, platform) in results
@@ -210,17 +389,26 @@ fn main() {
         .map(|m| (m.workload.clone(), m.platform.clone()))
         .collect::<std::collections::BTreeSet<_>>()
     {
-        let get = |size: usize| {
+        let get = |mode: QueryMode, size: usize, threads: usize| {
             results
                 .iter()
-                .find(|m| m.workload == workload && m.platform == platform && m.batch_size == size)
+                .find(|m| {
+                    m.workload == workload
+                        && m.platform == platform
+                        && m.mode == mode
+                        && m.batch_size == size
+                        && m.threads == threads
+                })
                 .map(|m| m.queries_per_sec)
                 .unwrap_or(0.0)
         };
+        let serial = |size: usize| get(QueryMode::Marginal, size, 1);
         println!(
-            "\n{workload}/{platform}: batch 256 vs 1 = {:.2}x, batch 1024 vs 1 = {:.2}x",
-            get(256) / get(1).max(1e-12),
-            get(1024) / get(1).max(1e-12),
+            "\n{workload}/{platform}: batch 256 vs 1 = {:.2}x, batch 1024 vs 1 = {:.2}x, \
+             4 workers vs 1 at batch 1024 = {:.2}x",
+            serial(256) / serial(1).max(1e-12),
+            serial(1024) / serial(1).max(1e-12),
+            get(QueryMode::Marginal, 1024, 4) / serial(1024).max(1e-12),
         );
     }
 

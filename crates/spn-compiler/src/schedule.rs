@@ -773,6 +773,7 @@ impl<'a> Scheduler<'a> {
             self.instructions[cycle as usize].trees[tree].pe_ops[flat] = match placed.kind {
                 spn_core::flatten::OpKind::Add => PeOp::Add,
                 spn_core::flatten::OpKind::Mul => PeOp::Mul,
+                spn_core::flatten::OpKind::Max => PeOp::Max,
             };
         }
         for pass in &tile.passes {

@@ -234,6 +234,41 @@ impl EvidenceBatch {
         self.obs[q * self.num_vars + var].indicator(value)
     }
 
+    /// Returns `true` when query `q` observes every variable (no
+    /// [`Obs::Marginal`] slot) — the well-formedness condition of
+    /// joint-probability queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is out of range.
+    pub fn is_row_complete(&self, q: usize) -> bool {
+        self.query(q).iter().all(|&o| o != Obs::Marginal)
+    }
+
+    /// Copies the contiguous query range `[start, start + queries)` into a
+    /// new batch over the same variable set.
+    ///
+    /// This is the sharding primitive of the parallel execution path: shards
+    /// are dense sub-batches, so every worker runs the same per-query hot
+    /// loop as the serial path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range reaches past the end of the batch.
+    pub fn sub_batch(&self, start: usize, queries: usize) -> EvidenceBatch {
+        assert!(
+            start + queries <= self.queries,
+            "sub-batch [{start}, {}) out of range for a {}-query batch",
+            start + queries,
+            self.queries
+        );
+        EvidenceBatch {
+            num_vars: self.num_vars,
+            obs: self.obs[start * self.num_vars..(start + queries) * self.num_vars].to_vec(),
+            queries,
+        }
+    }
+
     /// Materialises query `q` back into an owned [`Evidence`].
     ///
     /// # Panics

@@ -49,6 +49,10 @@ pub enum OpKind {
     Add,
     /// Multiplication (product node or weight application).
     Mul,
+    /// Maximisation (sum node contribution in the max-product variant used
+    /// by MAP/MPE queries; produced by [`OpList::to_max_product`], never by
+    /// flattening itself).
+    Max,
 }
 
 /// One binary operation of an [`OpList`].
@@ -264,6 +268,7 @@ impl OpList {
             results[i] = match op.kind {
                 OpKind::Add => a + b,
                 OpKind::Mul => a * b,
+                OpKind::Max => a.max(b),
             };
         }
         value(self.output, results)
@@ -279,8 +284,49 @@ impl OpList {
         Ok(self.run(&self.input_values(evidence)?))
     }
 
+    /// The max-product variant of this program: every [`OpKind::Add`] is
+    /// replaced by [`OpKind::Max`], inputs and structure stay identical.
+    ///
+    /// Evaluating the result computes the circuit's MPE (most probable
+    /// explanation) value instead of the marginal sum; the maximising
+    /// assignment is recovered by
+    /// [`MaxProductProgram::trace_assignment`](crate::query::MaxProductProgram::trace_assignment).
+    /// Because the input slots are unchanged, an [`crate::InputRecipe`] built
+    /// from either variant fills both.
+    pub fn to_max_product(&self) -> OpList {
+        OpList {
+            inputs: self.inputs.clone(),
+            ops: self
+                .ops
+                .iter()
+                .map(|op| Op {
+                    kind: match op.kind {
+                        OpKind::Add => OpKind::Max,
+                        other => other,
+                    },
+                    ..*op
+                })
+                .collect(),
+            output: self.output,
+            num_vars: self.num_vars,
+        }
+    }
+
     /// Converts to the Algorithm 2 loop form.
+    ///
+    /// Only defined for sum-product programs: the loop form encodes each
+    /// operation as a single `is_sum` bit and cannot represent
+    /// [`OpKind::Max`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when the program contains a [`OpKind::Max`] operation (i.e. it
+    /// came from [`OpList::to_max_product`]).
     pub fn to_loop_program(&self) -> LoopProgram {
+        assert!(
+            self.ops.iter().all(|op| op.kind != OpKind::Max),
+            "loop programs cannot represent max-product operations"
+        );
         let m = self.inputs.len();
         let index = |r: OperandRef| -> usize {
             match r {

@@ -144,6 +144,7 @@ mod tests {
                 results[i] = match op.kind {
                     crate::flatten::OpKind::Add => val(op.lhs) + val(op.rhs),
                     crate::flatten::OpKind::Mul => val(op.lhs) * val(op.rhs),
+                    crate::flatten::OpKind::Max => val(op.lhs).max(val(op.rhs)),
                 };
             }
         }

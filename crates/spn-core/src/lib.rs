@@ -21,6 +21,10 @@
 //! * flattening to the two scalar program forms used by the paper:
 //!   [`flatten::OpList`] (Algorithm 1, a list of binary operations) and
 //!   [`flatten::LoopProgram`] (Algorithm 2, index vectors `O`/`B`/`C`),
+//! * the query-mode layer ([`query`]): joint, marginal, MAP and conditional
+//!   queries ([`QueryBatch`]) lowered onto the same batched execution
+//!   primitive, including the max-product program rewrite with argmax
+//!   traceback ([`query::MaxProductProgram`]),
 //! * dependency-group decomposition ([`levelize`]) used by the GPU execution
 //!   model,
 //! * random SPN generators for tests and benchmarks ([`random`]),
@@ -66,6 +70,7 @@ pub mod eval;
 pub mod flatten;
 pub mod io;
 pub mod levelize;
+pub mod query;
 pub mod random;
 pub mod stats;
 pub mod validate;
@@ -75,6 +80,7 @@ pub use error::SpnError;
 pub use eval::Evaluator;
 pub use evidence::Evidence;
 pub use graph::{Node, NodeId, Spn, SpnBuilder, VarId};
+pub use query::{reference_query, ConditionalBatch, QueryBatch, QueryMode, QueryResult};
 pub use value::LogProb;
 
 /// Convenience alias for results returned by this crate.

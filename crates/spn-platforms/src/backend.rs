@@ -12,6 +12,14 @@
 //!    artifact, using caller-owned [`ExecBuffers`] so the hot path performs
 //!    no per-query allocation.
 //!
+//! On top of the serial per-batch path, [`Backend::execute_batch_parallel`]
+//! shards one batch across a fixed pool of scoped worker threads — one
+//! [`WorkerState`] (buffers + backend scratch) per worker, contiguous
+//! shards, results stitched back in batch order — controlled by a
+//! [`Parallelism`] configuration.  Sharding never changes results: every
+//! query runs the identical kernel, so parallel output is bit-for-bit equal
+//! to serial output.
+//!
 //! The [`crate::Engine`] wrapper owns a backend, its compiled artifact and
 //! the buffers, which is the API the benchmark harness and examples use.
 
@@ -21,6 +29,92 @@ use spn_processor::PerfReport;
 
 /// Errors surfaced by backends (compile- or execute-time).
 pub type BackendError = Box<dyn std::error::Error + Send + Sync>;
+
+/// Worker-pool configuration of the parallel sharded execution path.
+///
+/// A batch is split into at most [`Parallelism::workers`] contiguous shards,
+/// each executed by one scoped worker thread with its own [`WorkerState`];
+/// [`Parallelism::min_shard`] stops tiny batches from paying thread overhead
+/// for a handful of queries (they fall back to the serial path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Maximum worker threads (shards) per batch; `1` means serial.
+    pub workers: usize,
+    /// Minimum queries per shard; batches shorter than `2 × min_shard` run
+    /// serially.
+    pub min_shard: usize,
+}
+
+impl Parallelism {
+    /// Queries per shard below which splitting further is not worth a
+    /// thread: at ~100 ns/query even the fastest backend amortises thread
+    /// spawn only beyond a few dozen queries.
+    pub const DEFAULT_MIN_SHARD: usize = 32;
+
+    /// Serial execution (one worker, no threads spawned).
+    pub fn serial() -> Self {
+        Parallelism {
+            workers: 1,
+            min_shard: Self::DEFAULT_MIN_SHARD,
+        }
+    }
+
+    /// A fixed pool of `workers` threads (clamped to at least one).
+    pub fn workers(workers: usize) -> Self {
+        Parallelism {
+            workers: workers.max(1),
+            min_shard: Self::DEFAULT_MIN_SHARD,
+        }
+    }
+
+    /// One worker per hardware thread of the host
+    /// ([`std::thread::available_parallelism`]; `1` when unknown).
+    pub fn available() -> Self {
+        Parallelism::workers(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// Number of shards a `queries`-long batch is split into: capped by the
+    /// worker count and by the minimum shard size, never zero.
+    pub fn shards_for(&self, queries: usize) -> usize {
+        let by_size = queries / self.min_shard.max(1);
+        self.workers.min(by_size).max(1)
+    }
+}
+
+impl Default for Parallelism {
+    /// Defaults to [`Parallelism::available`].
+    fn default() -> Self {
+        Parallelism::available()
+    }
+}
+
+/// Per-worker reusable execution state of the parallel path: the generic
+/// [`ExecBuffers`] plus the backend's statically-typed scratch.
+///
+/// One lives per worker slot and persists across batches (owned by the
+/// [`crate::Engine`], or caller-managed for direct
+/// [`Backend::execute_batch_parallel`] use), so repeated parallel batches
+/// allocate nothing per query — the same amortisation story as the serial
+/// path, replicated per worker.
+pub struct WorkerState<B: Backend + ?Sized> {
+    /// The worker's input/scratch arenas.
+    pub buffers: ExecBuffers,
+    /// The worker's backend-specific state (e.g. a simulator instance).
+    pub scratch: B::Scratch,
+}
+
+impl<B: Backend + ?Sized> Default for WorkerState<B> {
+    fn default() -> Self {
+        WorkerState {
+            buffers: ExecBuffers::new(),
+            scratch: B::Scratch::default(),
+        }
+    }
+}
 
 /// Reusable scratch memory for the execute-many hot path.
 ///
@@ -133,4 +227,88 @@ pub trait Backend {
         buffers: &mut ExecBuffers,
         scratch: &mut Self::Scratch,
     ) -> Result<BatchResult, BackendError>;
+
+    /// Executes `batch` sharded across a fixed pool of scoped worker
+    /// threads, each with its own [`WorkerState`].
+    ///
+    /// The batch is split into [`Parallelism::shards_for`] contiguous
+    /// sub-batches; worker `i` runs shard `i` through the ordinary
+    /// [`Backend::execute_batch`] hot loop, and the shard results are
+    /// stitched back together in shard order.  Because every query is
+    /// computed by the identical per-query kernel and the performance
+    /// counters merge associatively, the result — values *and* counters — is
+    /// bit-for-bit identical to the serial path regardless of the worker
+    /// count.
+    ///
+    /// `workers` is the caller-owned pool of per-worker states; it is grown
+    /// (never shrunk) to the shard count, so its allocations persist across
+    /// batches.  Batches too small to shard (see [`Parallelism::min_shard`])
+    /// run serially on the first worker's state without spawning threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing shard's error (in shard order), or any
+    /// error the serial path can produce.
+    fn execute_batch_parallel(
+        &self,
+        compiled: &Self::Compiled,
+        batch: &EvidenceBatch,
+        parallelism: &Parallelism,
+        workers: &mut Vec<WorkerState<Self>>,
+    ) -> Result<BatchResult, BackendError>
+    where
+        Self: Sync,
+        Self::Compiled: Sync,
+    {
+        let shards = parallelism.shards_for(batch.len());
+        while workers.len() < shards.max(1) {
+            workers.push(WorkerState::default());
+        }
+        if shards <= 1 {
+            let worker = &mut workers[0];
+            return self.execute_batch(compiled, batch, &mut worker.buffers, &mut worker.scratch);
+        }
+
+        // Evenly-sized contiguous shards: the first `remainder` shards take
+        // one extra query, so shard boundaries are a pure function of
+        // (batch length, shard count) and the stitched order is the batch
+        // order.
+        let base = batch.len() / shards;
+        let remainder = batch.len() % shards;
+        let mut sub_batches = Vec::with_capacity(shards);
+        let mut start = 0usize;
+        for shard in 0..shards {
+            let len = base + usize::from(shard < remainder);
+            sub_batches.push(batch.sub_batch(start, len));
+            start += len;
+        }
+
+        let mut outcomes: Vec<Option<Result<BatchResult, BackendError>>> =
+            (0..shards).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            for ((worker, sub), outcome) in workers
+                .iter_mut()
+                .zip(&sub_batches)
+                .zip(outcomes.iter_mut())
+            {
+                scope.spawn(move || {
+                    *outcome = Some(self.execute_batch(
+                        compiled,
+                        sub,
+                        &mut worker.buffers,
+                        &mut worker.scratch,
+                    ));
+                });
+            }
+        });
+
+        let mut values = Vec::with_capacity(batch.len());
+        let mut perf = PerfReport::default();
+        for outcome in outcomes {
+            let shard_result = outcome.expect("every shard thread ran to completion")?;
+            values.extend(shard_result.values);
+            perf.merge(&shard_result.perf);
+        }
+        Ok(BatchResult { values, perf })
+    }
 }

@@ -1,18 +1,55 @@
 //! The compile-once / execute-many inference engine.
 //!
-//! [`Engine`] binds a [`Backend`] to one compiled circuit and owns the
-//! reusable [`ExecBuffers`], so callers get the two-phase execution model
-//! through one handle: construct once (compilation happens here), then
-//! stream [`EvidenceBatch`]es through [`Engine::execute_batch`] with zero
-//! per-query allocation.  Single-query [`Engine::execute`] is a thin
-//! convenience wrapper over a one-element batch.
+//! [`Engine`] binds a [`Backend`] to one compiled circuit and owns every
+//! piece of reusable execution state — the serial [`ExecBuffers`], the
+//! per-worker pool of the parallel path, and the lazily compiled max-product
+//! artifact of MAP queries — so callers get the two-phase execution model
+//! through one handle:
+//!
+//! * construct once ([`Engine::new`] / [`Engine::from_spn`]; compilation
+//!   happens here),
+//! * stream [`EvidenceBatch`]es through [`Engine::execute_batch`] (serial)
+//!   or [`Engine::execute_batch_parallel`] (sharded across a worker pool)
+//!   with zero per-query allocation,
+//! * answer richer workloads through [`Engine::execute_query`] /
+//!   [`Engine::execute_query_parallel`], which lower
+//!   [`QueryBatch`]es (joint / marginal / MAP / conditional) onto those same
+//!   batched passes.
+//!
+//! Single-query [`Engine::execute`] is a thin convenience wrapper over a
+//! one-element batch.
 
 use spn_core::batch::EvidenceBatch;
 use spn_core::flatten::OpList;
+use spn_core::query::{conditional_ratio, MaxProductProgram, QueryBatch};
 use spn_core::{Evidence, Spn};
 use spn_processor::PerfReport;
 
-use crate::backend::{Backend, BackendError, BatchResult, ExecBuffers};
+use crate::backend::{Backend, BackendError, BatchResult, ExecBuffers, Parallelism, WorkerState};
+
+/// The lazily compiled MAP half of an engine: the max-product program plus
+/// the backend's compiled artifact for it.
+struct MapPlan<B: Backend> {
+    program: MaxProductProgram,
+    compiled: B::Compiled,
+}
+
+/// Values, optional MAP assignments and accumulated counters of one query
+/// batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutput {
+    /// One value per query, in batch order: a probability for joint /
+    /// marginal / conditional queries, the max-product circuit value for MAP
+    /// queries.
+    pub values: Vec<f64>,
+    /// The maximising complete assignment per query; `Some` for MAP batches
+    /// only.
+    pub assignments: Option<Vec<Vec<bool>>>,
+    /// Accumulated performance counters.  [`PerfReport::queries`] counts
+    /// *circuit passes*, so a conditional batch reports two passes per
+    /// logical query.
+    pub perf: PerfReport,
+}
 
 /// A backend bound to one compiled circuit, ready to serve queries.
 ///
@@ -36,8 +73,16 @@ use crate::backend::{Backend, BackendError, BatchResult, ExecBuffers};
 pub struct Engine<B: Backend> {
     backend: B,
     compiled: B::Compiled,
+    /// The sum-product program the engine was compiled from; kept so the
+    /// max-product (MAP) variant can be derived lazily.
+    ops: OpList,
     buffers: ExecBuffers,
     scratch: B::Scratch,
+    /// Per-worker states of the parallel path (grown on first use, then
+    /// reused across batches).
+    workers: Vec<WorkerState<B>>,
+    /// Max-product artifact for MAP queries; compiled on first use.
+    map: Option<MapPlan<B>>,
     /// Scratch one-query batch backing [`Engine::execute`].
     single: EvidenceBatch,
 }
@@ -53,8 +98,11 @@ impl<B: Backend> Engine<B> {
         Ok(Engine {
             backend,
             compiled,
+            ops: ops.clone(),
             buffers: ExecBuffers::new(),
             scratch: B::Scratch::default(),
+            workers: Vec::new(),
+            map: None,
             single: EvidenceBatch::new(ops.num_vars()),
         })
     }
@@ -81,6 +129,11 @@ impl<B: Backend> Engine<B> {
     /// The compiled artifact this engine serves queries against.
     pub fn compiled(&self) -> &B::Compiled {
         &self.compiled
+    }
+
+    /// The flattened sum-product program the engine was compiled from.
+    pub fn ops(&self) -> &OpList {
+        &self.ops
     }
 
     /// Executes every query of `batch` against the compiled circuit.
@@ -114,5 +167,223 @@ impl<B: Backend> Engine<B> {
             .pop()
             .ok_or("backend returned no value for a one-query batch")?;
         Ok((value, result.perf))
+    }
+
+    /// Ensures the max-product artifact exists (compiling it on first use)
+    /// and returns it.
+    fn map_plan(&mut self) -> Result<&MapPlan<B>, BackendError> {
+        if self.map.is_none() {
+            let program = MaxProductProgram::from_op_list(&self.ops);
+            let compiled = self.backend.compile(program.ops())?;
+            self.map = Some(MapPlan { program, compiled });
+        }
+        Ok(self.map.as_ref().expect("map plan just ensured"))
+    }
+
+    /// Recovers the maximising assignment of every query of a MAP batch by
+    /// re-running the max-product program per query on the host and
+    /// backtracking the argmax branches.
+    fn trace_map_assignments(
+        plan: &MapPlan<B>,
+        batch: &EvidenceBatch,
+    ) -> Result<Vec<Vec<bool>>, BackendError> {
+        plan.program.recipe().check(batch)?;
+        let mut inputs = Vec::new();
+        let mut results = Vec::new();
+        let mut assignments = Vec::with_capacity(batch.len());
+        for q in 0..batch.len() {
+            plan.program.run_query(batch, q, &mut inputs, &mut results);
+            assignments.push(
+                plan.program
+                    .trace_assignment(&inputs, &results, batch.query(q)),
+            );
+        }
+        Ok(assignments)
+    }
+
+    /// The per-mode lowering shared by [`Engine::execute_query`] and
+    /// [`Engine::execute_query_parallel`]: `exec` runs a batch against the
+    /// engine's main artifact, `exec_map` against the (already ensured)
+    /// max-product artifact.  A single lowering guarantees the serial and
+    /// parallel query paths can never diverge in policy.
+    fn lower_query(
+        &mut self,
+        query: &QueryBatch,
+        exec: impl Fn(&mut Self, &EvidenceBatch) -> Result<BatchResult, BackendError>,
+        exec_map: impl Fn(&mut Self, &EvidenceBatch) -> Result<BatchResult, BackendError>,
+    ) -> Result<QueryOutput, BackendError> {
+        query.validate()?;
+        match query {
+            QueryBatch::Joint(batch) | QueryBatch::Marginal(batch) => {
+                let result = exec(self, batch)?;
+                Ok(QueryOutput {
+                    values: result.values,
+                    assignments: None,
+                    perf: result.perf,
+                })
+            }
+            QueryBatch::Map(batch) => {
+                self.map_plan()?;
+                let result = exec_map(self, batch)?;
+                let plan = self.map.as_ref().expect("map plan ensured");
+                let assignments = Self::trace_map_assignments(plan, batch)?;
+                Ok(QueryOutput {
+                    values: result.values,
+                    assignments: Some(assignments),
+                    perf: result.perf,
+                })
+            }
+            QueryBatch::Conditional(cond) => {
+                let numerator = exec(self, cond.numerator())?;
+                let denominator = exec(self, cond.denominator())?;
+                let values = conditional_ratio(numerator.values, &denominator.values)?;
+                let mut perf = numerator.perf;
+                perf.merge(&denominator.perf);
+                Ok(QueryOutput {
+                    values,
+                    assignments: None,
+                    perf,
+                })
+            }
+        }
+    }
+
+    /// Answers a [`QueryBatch`] against the compiled circuit.
+    ///
+    /// Every mode lowers onto the serial batched execution path:
+    ///
+    /// * **Joint** / **Marginal** — one [`Engine::execute_batch`] pass (joint
+    ///   rows are validated to be fully observed first),
+    /// * **Conditional** — two passes (numerator and denominator batches)
+    ///   plus one division per query,
+    /// * **Map** — one pass over the lazily compiled max-product artifact for
+    ///   the values, plus a host-side argmax traceback recovering the
+    ///   maximising assignments (the traceback is not part of the modelled
+    ///   platform cost).
+    ///
+    /// ```
+    /// use spn_core::{ConditionalBatch, Evidence, EvidenceBatch, QueryBatch};
+    /// use spn_core::random::{random_spn, RandomSpnConfig};
+    /// use spn_platforms::{CpuModel, Engine};
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// # fn main() -> Result<(), spn_platforms::BackendError> {
+    /// let spn = random_spn(&RandomSpnConfig::with_vars(6), &mut StdRng::seed_from_u64(5));
+    /// let mut engine = Engine::from_spn(CpuModel::new(), &spn)?;
+    ///
+    /// // Marginal: unobserved variables are summed out.
+    /// let mut batch = EvidenceBatch::new(6);
+    /// batch.push_marginal();
+    /// let marginal = engine.execute_query(&QueryBatch::Marginal(batch.clone()))?;
+    /// assert!((marginal.values[0] - 1.0).abs() < 1e-9);
+    ///
+    /// // MAP: the most probable completion, with the assignment traced back.
+    /// let map = engine.execute_query(&QueryBatch::Map(batch))?;
+    /// let assignment = &map.assignments.as_ref().unwrap()[0];
+    /// assert_eq!(assignment.len(), 6);
+    ///
+    /// // Conditional: P(target | given) as a ratio of two passes.
+    /// let mut cond = ConditionalBatch::new(6);
+    /// let mut target = Evidence::marginal(6);
+    /// target.observe(0, true);
+    /// cond.push(&target, &Evidence::marginal(6))?;
+    /// let conditional = engine.execute_query(&QueryBatch::Conditional(cond))?;
+    /// assert!(conditional.values[0] > 0.0 && conditional.values[0] <= 1.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the batch does not match the compiled program,
+    /// a joint row leaves variables unobserved, a conditional query
+    /// conditions on zero-probability evidence, or the platform fails
+    /// structurally.
+    pub fn execute_query(&mut self, query: &QueryBatch) -> Result<QueryOutput, BackendError> {
+        self.lower_query(
+            query,
+            |engine, batch| engine.execute_batch(batch),
+            |engine, batch| {
+                let plan = engine.map.as_ref().expect("map plan ensured");
+                engine.backend.execute_batch(
+                    &plan.compiled,
+                    batch,
+                    &mut engine.buffers,
+                    &mut engine.scratch,
+                )
+            },
+        )
+    }
+}
+
+impl<B: Backend + Sync> Engine<B>
+where
+    B::Compiled: Sync,
+{
+    /// Executes every query of `batch` sharded across a fixed pool of scoped
+    /// worker threads (see [`Backend::execute_batch_parallel`]).
+    ///
+    /// Results are bit-for-bit identical to [`Engine::execute_batch`]; the
+    /// per-worker states live in the engine and are reused across batches.
+    ///
+    /// ```
+    /// use spn_core::{random::{random_spn, RandomSpnConfig}, EvidenceBatch};
+    /// use spn_platforms::{CpuModel, Engine, Parallelism};
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// # fn main() -> Result<(), spn_platforms::BackendError> {
+    /// let spn = random_spn(&RandomSpnConfig::with_vars(8), &mut StdRng::seed_from_u64(2));
+    /// let mut engine = Engine::from_spn(CpuModel::new(), &spn)?;
+    /// let batch = EvidenceBatch::marginals(8, 256);
+    ///
+    /// let serial = engine.execute_batch(&batch)?;
+    /// let parallel = engine.execute_batch_parallel(&batch, &Parallelism::workers(4))?;
+    /// assert_eq!(serial.values, parallel.values);
+    /// assert_eq!(serial.perf, parallel.perf);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::execute_batch`].
+    pub fn execute_batch_parallel(
+        &mut self,
+        batch: &EvidenceBatch,
+        parallelism: &Parallelism,
+    ) -> Result<BatchResult, BackendError> {
+        self.backend
+            .execute_batch_parallel(&self.compiled, batch, parallelism, &mut self.workers)
+    }
+
+    /// Answers a [`QueryBatch`] with every circuit pass sharded across the
+    /// worker pool (see [`Engine::execute_query`] for the per-mode lowering).
+    ///
+    /// The MAP argmax traceback stays on the calling thread; everything else
+    /// — including both passes of a conditional batch — runs through
+    /// [`Backend::execute_batch_parallel`] and is bit-for-bit identical to
+    /// the serial query path.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::execute_query`].
+    pub fn execute_query_parallel(
+        &mut self,
+        query: &QueryBatch,
+        parallelism: &Parallelism,
+    ) -> Result<QueryOutput, BackendError> {
+        self.lower_query(
+            query,
+            |engine, batch| engine.execute_batch_parallel(batch, parallelism),
+            |engine, batch| {
+                let plan = engine.map.as_ref().expect("map plan ensured");
+                engine.backend.execute_batch_parallel(
+                    &plan.compiled,
+                    batch,
+                    parallelism,
+                    &mut engine.workers,
+                )
+            },
+        )
     }
 }

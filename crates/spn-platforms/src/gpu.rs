@@ -196,7 +196,11 @@ impl GpuModel {
                         phases[1][bank_of[index_of(op.rhs)]] += 1;
                         phases[2][bank_of[ops.num_inputs() + op_idx]] += 1;
                         match op.kind {
-                            OpKind::Add => has_sum = true,
+                            // Max ops take the sum side of the paper's
+                            // sum/product divergence split: a max-product
+                            // kernel diverges exactly where the sum-product
+                            // kernel does.
+                            OpKind::Add | OpKind::Max => has_sum = true,
                             OpKind::Mul => has_product = true,
                         }
                         shared_accesses += 3;
@@ -312,6 +316,7 @@ impl Backend for GpuModel {
                         results[i] = match op.kind {
                             OpKind::Add => value(op.lhs, results) + value(op.rhs, results),
                             OpKind::Mul => value(op.lhs, results) * value(op.rhs, results),
+                            OpKind::Max => value(op.lhs, results).max(value(op.rhs, results)),
                         };
                     }
                 }

@@ -21,6 +21,23 @@
 //! buffers — construct it once, then call [`Engine::execute_batch`] for each
 //! batch (or [`Engine::execute`] for the occasional single query).
 //!
+//! # Scaling out and richer queries
+//!
+//! Two layers sit on top of the serial batched path:
+//!
+//! * **Parallel sharded execution** — [`Backend::execute_batch_parallel`] /
+//!   [`Engine::execute_batch_parallel`] split one batch into contiguous
+//!   shards executed by a fixed pool of scoped worker threads (one
+//!   [`backend::WorkerState`] each, configured by a [`Parallelism`]), and
+//!   stitch the results back in batch order — bit-for-bit identical to the
+//!   serial path.
+//! * **Query modes** — [`Engine::execute_query`] /
+//!   [`Engine::execute_query_parallel`] answer
+//!   [`spn_core::QueryBatch`]es: joint and marginal probabilities, MAP
+//!   completions (max-product artifact with argmax traceback) and
+//!   conditionals (ratio of two passes), all lowered onto the same batched
+//!   kernels.
+//!
 //! # The modelled platforms
 //!
 //! The paper compares its processor against an Intel Core i5-7200U running
@@ -44,9 +61,9 @@ pub mod engine;
 pub mod gpu;
 pub mod processor;
 
-pub use backend::{Backend, BackendError, BatchResult, ExecBuffers};
+pub use backend::{Backend, BackendError, BatchResult, ExecBuffers, Parallelism, WorkerState};
 pub use cpu::{CpuCompiled, CpuConfig, CpuModel};
-pub use engine::Engine;
+pub use engine::{Engine, QueryOutput};
 pub use gpu::{GpuCompiled, GpuConfig, GpuModel};
 pub use processor::ProcessorBackend;
 pub use spn_processor::PerfReport;

@@ -44,6 +44,9 @@ pub enum PeOp {
     Add,
     /// Output = left input × right input.
     Mul,
+    /// Output = max(left input, right input) — sum nodes of max-product
+    /// (MAP/MPE) programs.
+    Max,
     /// Output = left input (forwarding).
     PassA,
     /// Output = right input (forwarding).
@@ -51,9 +54,10 @@ pub enum PeOp {
 }
 
 impl PeOp {
-    /// Returns `true` for `Add`/`Mul`, the operations counted as SPN work.
+    /// Returns `true` for `Add`/`Mul`/`Max`, the operations counted as SPN
+    /// work.
     pub fn is_arithmetic(self) -> bool {
-        matches!(self, PeOp::Add | PeOp::Mul)
+        matches!(self, PeOp::Add | PeOp::Mul | PeOp::Max)
     }
 }
 

@@ -37,6 +37,7 @@ pub fn apply_pe(op: PeOp, a: f64, b: f64) -> f64 {
         PeOp::Nop => 0.0,
         PeOp::Add => a + b,
         PeOp::Mul => a * b,
+        PeOp::Max => a.max(b),
         PeOp::PassA => a,
         PeOp::PassB => b,
     }

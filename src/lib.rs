@@ -3,19 +3,22 @@
 //! Re-exports the workspace crates under one roof so examples and downstream
 //! users can depend on a single crate:
 //!
-//! * [`core`](spn_core) — SPN representation, inference, batched evidence,
-//!   flattening.
-//! * [`learn`](spn_learn) — datasets, structure learning, the benchmark suite.
-//! * [`compiler`](spn_compiler) — compilation of SPNs to the custom VLIW ISA.
-//! * [`processor`](spn_processor) — cycle-accurate simulator of the SPN processor.
-//! * [`platforms`](spn_platforms) — the two-phase `Backend`/`Engine`
-//!   execution API with CPU, GPU and custom-processor backends.
+//! * [`core`] — SPN representation, inference, batched evidence,
+//!   flattening, query modes.
+//! * [`learn`] — datasets, structure learning, the benchmark suite.
+//! * [`compiler`] — compilation of SPNs to the custom VLIW ISA.
+//! * [`processor`] — cycle-accurate simulator of the SPN processor.
+//! * [`platforms`] — the two-phase `Backend`/`Engine` execution API with
+//!   CPU, GPU and custom-processor backends, parallel sharded execution and
+//!   the query-mode layer.
 //!
 //! The central abstraction is the compile-once / execute-many engine:
-//! compile a circuit into an [`platforms::Engine`](spn_platforms::Engine)
-//! once, then stream [`core::EvidenceBatch`](spn_core::EvidenceBatch)es
-//! through it.  See the crate-level docs of `spn-platforms` and the
-//! repository README for the full tour.
+//! compile a circuit into an [`platforms::Engine`] once, then stream
+//! [`core::EvidenceBatch`]es through it — serially, sharded across a worker
+//! pool ([`platforms::Engine::execute_batch_parallel`]), or per query mode
+//! ([`platforms::Engine::execute_query`]).  See the crate-level docs of
+//! `spn-platforms`, `docs/ARCHITECTURE.md` and the repository README for
+//! the full tour.
 
 pub use spn_compiler as compiler;
 pub use spn_core as core;

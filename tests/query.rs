@@ -1,0 +1,260 @@
+//! Query-mode correctness against brute-force enumeration: Marginal, MAP and
+//! Conditional answers from every backend must agree with sums/argmaxes over
+//! the explicitly enumerated joint distribution of small hand-built SPNs.
+
+use spn_accel::core::query::{reference_query, QueryBatch};
+use spn_accel::core::{ConditionalBatch, Evidence, EvidenceBatch, Spn, SpnBuilder, VarId};
+use spn_accel::platforms::{Backend, CpuModel, Engine, GpuModel, ProcessorBackend, QueryOutput};
+
+/// Three independent Bernoullis: P(X0)=0.2, P(X1)=0.7, P(X2)=0.45.
+fn independent_triple() -> Spn {
+    let mut b = SpnBuilder::new(3);
+    let mut factors = Vec::new();
+    for (var, p) in [(0usize, 0.2), (1, 0.7), (2, 0.45)] {
+        let t = b.indicator(VarId(var as u32), true);
+        let f = b.indicator(VarId(var as u32), false);
+        factors.push(b.sum(vec![(t, p), (f, 1.0 - p)]).unwrap());
+    }
+    let root = b.product(factors).unwrap();
+    b.finish(root).unwrap()
+}
+
+/// A selective three-component mixture over two variables: each component is
+/// a product of indicators, so max-product MAP equals true MAP.
+fn selective_mixture() -> Spn {
+    let mut b = SpnBuilder::new(2);
+    let x0 = b.indicator(VarId(0), true);
+    let nx0 = b.indicator(VarId(0), false);
+    let x1 = b.indicator(VarId(1), true);
+    let nx1 = b.indicator(VarId(1), false);
+    let p0 = b.product(vec![x0, x1]).unwrap();
+    let p1 = b.product(vec![nx0, nx1]).unwrap();
+    let p2 = b.product(vec![x0, nx1]).unwrap();
+    let root = b.sum(vec![(p0, 0.35), (p1, 0.45), (p2, 0.2)]).unwrap();
+    b.finish(root).unwrap()
+}
+
+/// The exhaustive joint table `P(x)` over all `2^n` complete assignments,
+/// computed one fully observed evaluation at a time.
+fn joint_table(spn: &Spn) -> Vec<(Vec<bool>, f64)> {
+    let n = spn.num_vars();
+    (0..1usize << n)
+        .map(|bits| {
+            let assignment: Vec<bool> = (0..n).map(|v| bits >> v & 1 == 1).collect();
+            let p = spn
+                .evaluate(&Evidence::from_assignment(&assignment))
+                .unwrap();
+            (assignment, p)
+        })
+        .collect()
+}
+
+/// Returns `true` when `assignment` is consistent with `evidence`.
+fn consistent(assignment: &[bool], evidence: &Evidence) -> bool {
+    evidence
+        .iter_observed()
+        .all(|(var, value)| assignment[var] == value)
+}
+
+/// Brute-force marginal: sum of the joint over consistent completions.
+fn brute_marginal(table: &[(Vec<bool>, f64)], evidence: &Evidence) -> f64 {
+    table
+        .iter()
+        .filter(|(a, _)| consistent(a, evidence))
+        .map(|(_, p)| p)
+        .sum()
+}
+
+/// Brute-force MAP: the consistent completion with maximal joint probability.
+fn brute_map(table: &[(Vec<bool>, f64)], evidence: &Evidence) -> (Vec<bool>, f64) {
+    table
+        .iter()
+        .filter(|(a, _)| consistent(a, evidence))
+        .map(|(a, p)| (a.clone(), *p))
+        .max_by(|(_, p), (_, q)| p.partial_cmp(q).unwrap())
+        .unwrap()
+}
+
+fn assert_close(got: f64, want: f64, context: &str) {
+    assert!(
+        (got - want).abs() <= 1e-9 * want.abs().max(1e-12),
+        "{context}: {got} vs {want}"
+    );
+}
+
+/// Runs `query` through every backend plus the reference evaluator and hands
+/// each output to `check`.
+fn for_all_backends(spn: &Spn, query: &QueryBatch, check: impl Fn(&str, &QueryOutput)) {
+    fn output_of<B: Backend>(backend: B, spn: &Spn, query: &QueryBatch) -> QueryOutput {
+        Engine::from_spn(backend, spn)
+            .unwrap()
+            .execute_query(query)
+            .unwrap()
+    }
+    check("CPU", &output_of(CpuModel::new(), spn, query));
+    check("GPU", &output_of(GpuModel::new(), spn, query));
+    check("Ptree", &output_of(ProcessorBackend::ptree(), spn, query));
+    check("Pvect", &output_of(ProcessorBackend::pvect(), spn, query));
+    let reference = reference_query(spn, query).unwrap();
+    check(
+        "reference",
+        &QueryOutput {
+            values: reference.values,
+            assignments: reference.assignments,
+            perf: Default::default(),
+        },
+    );
+}
+
+/// All `3^n` observation patterns (false / true / unobserved per variable).
+fn evidence_patterns(num_vars: usize) -> Vec<Evidence> {
+    fn expand(e: &Evidence, var: usize, num_vars: usize, out: &mut Vec<Evidence>) {
+        if var == num_vars {
+            out.push(e.clone());
+            return;
+        }
+        expand(e, var + 1, num_vars, out);
+        for value in [false, true] {
+            let mut next = e.clone();
+            next.observe(var, value);
+            expand(&next, var + 1, num_vars, out);
+        }
+    }
+    let mut patterns = Vec::new();
+    expand(&Evidence::marginal(num_vars), 0, num_vars, &mut patterns);
+    patterns
+}
+
+#[test]
+fn marginal_matches_brute_force_enumeration() {
+    for spn in [independent_triple(), selective_mixture()] {
+        let table = joint_table(&spn);
+        let patterns = evidence_patterns(spn.num_vars());
+        let mut batch = EvidenceBatch::new(spn.num_vars());
+        for e in &patterns {
+            batch.push(e).unwrap();
+        }
+        let query = QueryBatch::Marginal(batch);
+        for_all_backends(&spn, &query, |name, output| {
+            for (q, e) in patterns.iter().enumerate() {
+                let want = brute_marginal(&table, e);
+                assert_close(output.values[q], want, &format!("{name} marginal {q}"));
+            }
+        });
+    }
+}
+
+#[test]
+fn joint_matches_the_enumerated_table() {
+    for spn in [independent_triple(), selective_mixture()] {
+        let table = joint_table(&spn);
+        let mut batch = EvidenceBatch::new(spn.num_vars());
+        for (assignment, _) in &table {
+            batch.push_assignment(assignment).unwrap();
+        }
+        let query = QueryBatch::Joint(batch);
+        for_all_backends(&spn, &query, |name, output| {
+            for (q, (_, want)) in table.iter().enumerate() {
+                assert_close(output.values[q], *want, &format!("{name} joint {q}"));
+            }
+        });
+    }
+}
+
+#[test]
+fn conditional_matches_brute_force_ratio() {
+    for spn in [independent_triple(), selective_mixture()] {
+        let table = joint_table(&spn);
+        let n = spn.num_vars();
+        let mut cond = ConditionalBatch::new(n);
+        let mut expected = Vec::new();
+        for target_var in 0..n {
+            for given_var in 0..n {
+                if target_var == given_var {
+                    continue;
+                }
+                for (tv, gv) in [(true, true), (true, false), (false, true)] {
+                    let mut target = Evidence::marginal(n);
+                    target.observe(target_var, tv);
+                    let mut given = Evidence::marginal(n);
+                    given.observe(given_var, gv);
+                    let denominator = brute_marginal(&table, &given);
+                    if denominator == 0.0 {
+                        continue;
+                    }
+                    let mut both = given.clone();
+                    both.observe(target_var, tv);
+                    cond.push(&target, &given).unwrap();
+                    expected.push(brute_marginal(&table, &both) / denominator);
+                }
+            }
+        }
+        let query = QueryBatch::Conditional(cond);
+        for_all_backends(&spn, &query, |name, output| {
+            for (q, want) in expected.iter().enumerate() {
+                assert_close(output.values[q], *want, &format!("{name} conditional {q}"));
+            }
+        });
+    }
+}
+
+#[test]
+fn map_matches_brute_force_argmax_on_selective_spns() {
+    // Both circuits are selective (each sum's children have disjoint
+    // support), so the max-product circuit value equals the true MAP
+    // probability and the traced assignment must match the enumerated
+    // argmax.
+    for spn in [independent_triple(), selective_mixture()] {
+        let table = joint_table(&spn);
+        let patterns: Vec<Evidence> = evidence_patterns(spn.num_vars())
+            .into_iter()
+            .filter(|e| brute_marginal(&table, e) > 0.0)
+            .collect();
+        let mut batch = EvidenceBatch::new(spn.num_vars());
+        for e in &patterns {
+            batch.push(e).unwrap();
+        }
+        let query = QueryBatch::Map(batch);
+        for_all_backends(&spn, &query, |name, output| {
+            let assignments = output
+                .assignments
+                .as_ref()
+                .expect("MAP batches return assignments");
+            for (q, e) in patterns.iter().enumerate() {
+                let (want_assignment, want_value) = brute_map(&table, e);
+                assert_close(output.values[q], want_value, &format!("{name} map {q}"));
+                assert_eq!(
+                    assignments[q], want_assignment,
+                    "{name} map {q}: assignment for evidence {e:?}"
+                );
+            }
+        });
+    }
+}
+
+#[test]
+fn joint_batches_with_unobserved_rows_are_rejected_by_every_backend() {
+    let spn = independent_triple();
+    let mut batch = EvidenceBatch::new(3);
+    batch.push_marginal();
+    let query = QueryBatch::Joint(batch);
+    assert!(reference_query(&spn, &query).is_err());
+    let mut engine = Engine::from_spn(CpuModel::new(), &spn).unwrap();
+    assert!(engine.execute_query(&query).is_err());
+}
+
+#[test]
+fn conditional_on_zero_probability_evidence_errors_through_engines() {
+    let mut b = SpnBuilder::new(1);
+    let x = b.indicator(VarId(0), true);
+    let nx = b.indicator(VarId(0), false);
+    let root = b.sum(vec![(x, 1.0), (nx, 0.0)]).unwrap();
+    let spn = b.finish(root).unwrap();
+    let mut cond = ConditionalBatch::new(1);
+    let mut given = Evidence::marginal(1);
+    given.observe(0, false);
+    cond.push(&Evidence::marginal(1), &given).unwrap();
+    let query = QueryBatch::Conditional(cond);
+    let mut engine = Engine::from_spn(CpuModel::new(), &spn).unwrap();
+    assert!(engine.execute_query(&query).is_err());
+}
