@@ -1,0 +1,79 @@
+//! CI gate for benchmark artifacts: verifies each given file is a non-empty
+//! JSON array of records with a consistent schema.
+//!
+//! `bench_engine` and `bench_serve` write their measurements as JSON; a
+//! crash mid-run (or a compile failure that used to be swallowed) leaves a
+//! missing, empty or truncated file.  This binary makes that a hard CI
+//! failure:
+//!
+//! * the file must parse as JSON (using the same parser the serving wire
+//!   protocol uses),
+//! * the top level must be a non-empty array of non-empty objects,
+//! * every record must carry the same key set as the first one (catching
+//!   truncated or mixed writes),
+//! * every numeric field must be finite (the writers emit `null` for
+//!   non-finite values, which this rejects in measurement fields).
+//!
+//! Run with `cargo run --release -p spn-bench --bin bench_check FILE...`;
+//! exits non-zero on the first violation.
+
+use spn_serve::json::{self, Value};
+
+fn check_file(path: &str) -> Result<usize, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|err| format!("{path}: cannot read: {err}"))?;
+    let doc = json::parse(&text).map_err(|err| format!("{path}: malformed JSON: {err}"))?;
+    let records = match doc {
+        Value::Arr(items) => items,
+        _ => return Err(format!("{path}: top level is not a JSON array")),
+    };
+    if records.is_empty() {
+        return Err(format!("{path}: no records"));
+    }
+    let mut reference_keys: Vec<String> = Vec::new();
+    for (i, record) in records.iter().enumerate() {
+        let fields = match record {
+            Value::Obj(fields) => fields,
+            _ => return Err(format!("{path}: record {i} is not an object")),
+        };
+        if fields.is_empty() {
+            return Err(format!("{path}: record {i} is empty"));
+        }
+        let mut keys: Vec<String> = fields.iter().map(|(k, _)| k.clone()).collect();
+        keys.sort();
+        if i == 0 {
+            reference_keys = keys;
+        } else if keys != reference_keys {
+            return Err(format!(
+                "{path}: record {i} keys {keys:?} differ from record 0 keys {reference_keys:?}"
+            ));
+        }
+        for (key, value) in fields {
+            match value {
+                Value::Num(n) if !n.is_finite() => {
+                    return Err(format!("{path}: record {i} field {key:?} is not finite"))
+                }
+                Value::Null => return Err(format!("{path}: record {i} field {key:?} is null")),
+                _ => {}
+            }
+        }
+    }
+    Ok(records.len())
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: bench_check FILE...");
+        std::process::exit(2);
+    }
+    for path in &paths {
+        match check_file(path) {
+            Ok(count) => println!("{path}: ok ({count} records)"),
+            Err(err) => {
+                eprintln!("bench_check failed: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -19,7 +19,13 @@
 //! stdout as a markdown table and to `BENCH_engine.json` for the perf
 //! trajectory.
 //!
-//! Run with `cargo run --release -p spn-bench --bin bench_engine [out.json]`.
+//! Run with `cargo run --release -p spn-bench --bin bench_engine [--smoke]
+//! [out.json]`.  `--smoke` shrinks the sweep to a few hundred queries per
+//! configuration — the CI smoke mode, exercising every axis in seconds.
+//!
+//! Exits non-zero (with a message on stderr) when any backend fails to
+//! compile a workload, so CI catches compilation regressions instead of
+//! reading a silently truncated JSON file.
 
 use std::time::Instant;
 
@@ -28,7 +34,7 @@ use spn_core::batch::EvidenceBatch;
 use spn_core::query::{reference_query, ConditionalBatch, QueryBatch, QueryMode};
 use spn_core::{Evidence, Spn};
 use spn_learn::Benchmark;
-use spn_platforms::{Backend, CpuModel, Engine, Parallelism, ProcessorBackend};
+use spn_platforms::{Backend, BackendError, CpuModel, Engine, Parallelism, ProcessorBackend};
 
 /// One measured configuration.
 struct Measurement {
@@ -226,11 +232,13 @@ fn measure<B: Backend + Sync>(
     spn: &Spn,
     total_queries: usize,
     results: &mut Vec<Measurement>,
-) where
+) -> Result<(), BackendError>
+where
     B::Compiled: Sync,
 {
     let platform = backend.name();
-    let mut engine = Engine::from_spn(backend, spn).expect("compile");
+    let mut engine = Engine::from_spn(backend, spn)
+        .map_err(|err| format!("compiling {workload} for {platform}: {err}"))?;
     let num_vars = spn.num_vars();
 
     // Axis 1 — dispatch granularity (marginal queries, serial).
@@ -314,6 +322,7 @@ fn measure<B: Backend + Sync>(
             );
         }
     }
+    Ok(())
 }
 
 fn to_json(results: &[Measurement]) -> String {
@@ -341,10 +350,25 @@ fn to_json(results: &[Measurement]) -> String {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let mut smoke = false;
+    let mut out_path = "BENCH_engine.json".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => out_path = other.to_string(),
+        }
+    }
+    if let Err(err) = run(smoke, &out_path) {
+        eprintln!("bench_engine failed: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run(smoke: bool, out_path: &str) -> Result<(), BackendError> {
     let mut results: Vec<Measurement> = Vec::new();
+    // Smoke mode (CI) shrinks the sweep by an order of magnitude; the axes
+    // and record schema stay identical.
+    let (cpu_queries, sim_queries) = if smoke { (2_048, 256) } else { (20_480, 2_048) };
 
     // CPU backend: the software fast path, high query counts.  Small and
     // medium circuits are the dispatch-sensitive regime where batching
@@ -355,7 +379,7 @@ fn main() {
         ("uci-cpu-perf", Benchmark::Cpu),
     ] {
         let spn = benchmark.spn();
-        measure(workload, CpuModel::new(), &spn, 20_480, &mut results);
+        measure(workload, CpuModel::new(), &spn, cpu_queries, &mut results)?;
     }
     // Cycle-accurate simulator: far slower per query, smaller total.
     {
@@ -364,9 +388,9 @@ fn main() {
             "uci-banknote",
             ProcessorBackend::ptree(),
             &spn,
-            2_048,
+            sim_queries,
             &mut results,
-        );
+        )?;
     }
 
     println!("# Engine throughput: dispatch granularity, worker count, query mode\n");
@@ -412,6 +436,8 @@ fn main() {
         );
     }
 
-    std::fs::write(&out_path, to_json(&results)).expect("write BENCH_engine.json");
+    std::fs::write(out_path, to_json(&results))
+        .map_err(|err| format!("writing {out_path}: {err}"))?;
     eprintln!("results written to {out_path}");
+    Ok(())
 }

@@ -1,0 +1,297 @@
+//! Load generator for the spn-serve inference service: open-loop request
+//! rate × batching policy × worker count.
+//!
+//! Each configuration starts a fresh [`Service`] over the CPU backend with
+//! two registered models, fires a fixed number of requests *open loop* (the
+//! submitter keeps to its schedule instead of waiting for responses — the
+//! arrival process a real server faces), then drains all responses.  The
+//! request stream cycles through the four query modes and both models, so
+//! every batcher path is exercised.  Per-configuration records aggregate the
+//! service's own metrics: achieved throughput, mean micro-batch size,
+//! coalesced-batch share, and submit-to-response latency.
+//!
+//! Records are **appended** to `BENCH_serve.json` (existing records are kept,
+//! so the file accumulates a trajectory across runs).
+//!
+//! Run with `cargo run --release -p spn-bench --bin bench_serve [--smoke]
+//! [out.json]`.  `--smoke` is the CI mode: two small configurations, a few
+//! hundred requests.  Exits non-zero on any failure.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use spn_core::wire::QueryRequest;
+use spn_core::{QueryMode, Spn};
+use spn_learn::Benchmark;
+use spn_platforms::{CpuModel, Parallelism};
+use spn_serve::json::{self, Value};
+use spn_serve::{BatchPolicy, ResponseHandle, ServeError, Service, ServiceConfig};
+
+/// One measured serving configuration.
+struct Record {
+    rate_target: f64,
+    max_wait_us: u64,
+    max_batch: usize,
+    workers: usize,
+    requests: u64,
+    errors: u64,
+    seconds: f64,
+    achieved_rps: f64,
+    mean_batch_queries: f64,
+    batches: u64,
+    coalesced_batches: u64,
+    mean_latency_ms: f64,
+    max_latency_ms: f64,
+}
+
+/// The mixed request stream: cycles modes and models deterministically.
+fn build_request(id: u64, model: &str, num_vars: usize) -> QueryRequest {
+    let mode = QueryMode::ALL[(id as usize) % QueryMode::ALL.len()];
+    let all_true = "1".repeat(num_vars);
+    let marginal = "?".repeat(num_vars);
+    let partial: String = (0..num_vars)
+        .map(|v| {
+            if v == (id as usize) % num_vars {
+                if id.is_multiple_of(2) {
+                    '1'
+                } else {
+                    '0'
+                }
+            } else {
+                '?'
+            }
+        })
+        .collect();
+    let result = match mode {
+        QueryMode::Joint => QueryRequest::from_rows(id, model, mode, &[&all_true], None),
+        QueryMode::Marginal => QueryRequest::from_rows(id, model, mode, &[&partial], None),
+        QueryMode::Map => QueryRequest::from_rows(id, model, mode, &[&partial], None),
+        QueryMode::Conditional => {
+            QueryRequest::from_rows(id, model, mode, &[&partial], Some(&[&marginal]))
+        }
+    };
+    result.expect("deterministic request stream is well-formed")
+}
+
+/// Runs one configuration and aggregates its metrics.
+fn run_config(
+    models: &[(String, Spn)],
+    rate: f64,
+    policy: BatchPolicy,
+    workers: usize,
+    requests: u64,
+) -> Result<Record, ServeError> {
+    let service = Arc::new(Service::new(
+        CpuModel::new(),
+        ServiceConfig {
+            workers,
+            policy,
+            parallelism: Parallelism::serial(),
+            artifact_capacity: models.len().max(1),
+        },
+    ));
+    for (name, spn) in models {
+        service.register(name.clone(), spn);
+    }
+    // Warm the compile caches through the registry (not through query(), so
+    // compile time never lands in the recorded serving metrics): compile the
+    // sum-product artifact per model and publish the max-product plan the
+    // MAP share of the stream will need.
+    for (name, _) in models {
+        let (mut engine, version) = service.registry().engine(name)?;
+        engine.prepare_map().map_err(ServeError::from_backend)?;
+        let map = engine.shared_map().expect("map plan just prepared");
+        service.registry().store_map(name, version, map);
+    }
+
+    let interval = Duration::from_secs_f64(1.0 / rate);
+    let mut handles: Vec<ResponseHandle> = Vec::with_capacity(requests as usize);
+    let start = Instant::now();
+    for id in 0..requests {
+        // Open loop: submissions stick to the schedule even when the service
+        // lags (sleep only until this request's scheduled instant).
+        let due = start + interval.mul_f64(id as f64);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let (name, spn) = &models[(id as usize) % models.len()];
+        handles.push(service.submit(build_request(id, name, spn.num_vars()))?);
+    }
+    let mut errors = 0u64;
+    for handle in handles {
+        match handle.wait() {
+            Ok(response) => {
+                if response.values.iter().any(|v| !v.is_finite()) {
+                    return Err(ServeError::Invalid("non-finite response value".to_string()));
+                }
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+
+    let metrics = service.metrics();
+    service.shutdown();
+    let total_requests: u64 = metrics.iter().map(|r| r.stats.requests).sum();
+    let total_queries: u64 = metrics.iter().map(|r| r.stats.queries).sum();
+    let batches: u64 = metrics.iter().map(|r| r.stats.batches).sum();
+    let coalesced: u64 = metrics.iter().map(|r| r.stats.coalesced_batches).sum();
+    let total_latency: Duration = metrics.iter().map(|r| r.stats.total_latency).sum();
+    let max_latency = metrics
+        .iter()
+        .map(|r| r.stats.max_latency)
+        .max()
+        .unwrap_or(Duration::ZERO);
+    Ok(Record {
+        rate_target: rate,
+        max_wait_us: policy.max_wait.as_micros() as u64,
+        max_batch: policy.max_batch_queries,
+        workers,
+        requests: total_requests,
+        errors,
+        seconds,
+        achieved_rps: total_requests as f64 / seconds.max(1e-12),
+        mean_batch_queries: if batches == 0 {
+            0.0
+        } else {
+            total_queries as f64 / batches as f64
+        },
+        batches,
+        coalesced_batches: coalesced,
+        mean_latency_ms: if total_requests == 0 {
+            0.0
+        } else {
+            total_latency.as_secs_f64() * 1e3 / total_requests as f64
+        },
+        max_latency_ms: max_latency.as_secs_f64() * 1e3,
+    })
+}
+
+fn record_value(r: &Record) -> Value {
+    Value::Obj(vec![
+        ("rate_target".to_string(), Value::Num(r.rate_target)),
+        ("max_wait_us".to_string(), Value::Num(r.max_wait_us as f64)),
+        ("max_batch".to_string(), Value::Num(r.max_batch as f64)),
+        ("workers".to_string(), Value::Num(r.workers as f64)),
+        ("requests".to_string(), Value::Num(r.requests as f64)),
+        ("errors".to_string(), Value::Num(r.errors as f64)),
+        ("seconds".to_string(), Value::Num(r.seconds)),
+        ("achieved_rps".to_string(), Value::Num(r.achieved_rps)),
+        (
+            "mean_batch_queries".to_string(),
+            Value::Num(r.mean_batch_queries),
+        ),
+        ("batches".to_string(), Value::Num(r.batches as f64)),
+        (
+            "coalesced_batches".to_string(),
+            Value::Num(r.coalesced_batches as f64),
+        ),
+        ("mean_latency_ms".to_string(), Value::Num(r.mean_latency_ms)),
+        ("max_latency_ms".to_string(), Value::Num(r.max_latency_ms)),
+    ])
+}
+
+/// Appends `new` to the records already in `path` (if the file holds a valid
+/// JSON array), writing one record per line.
+fn append_records(path: &str, new: &[Value]) -> Result<(), String> {
+    let mut records: Vec<Value> = match std::fs::read_to_string(path) {
+        Ok(existing) => match json::parse(&existing) {
+            Ok(Value::Arr(items)) => items,
+            _ => {
+                eprintln!("{path} did not hold a JSON array; starting fresh");
+                Vec::new()
+            }
+        },
+        Err(_) => Vec::new(),
+    };
+    records.extend(new.iter().cloned());
+    let body: Vec<String> = records
+        .iter()
+        .map(|r| format!("  {}", r.to_json()))
+        .collect();
+    std::fs::write(path, format!("[\n{}\n]\n", body.join(",\n")))
+        .map_err(|err| format!("writing {path}: {err}"))
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_serve.json".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => out_path = other.to_string(),
+        }
+    }
+
+    let models: Vec<(String, Spn)> = vec![
+        ("uci-banknote".to_string(), Benchmark::Banknote.spn()),
+        ("uci-cpu-perf".to_string(), Benchmark::Cpu.spn()),
+    ];
+
+    // Sweep: open-loop rate × batching policy × batcher worker count.
+    let immediate = BatchPolicy {
+        max_batch_queries: 64,
+        max_wait: Duration::ZERO,
+    };
+    let wait_1ms = BatchPolicy {
+        max_batch_queries: 256,
+        max_wait: Duration::from_millis(1),
+    };
+    let wait_5ms = BatchPolicy {
+        max_batch_queries: 1024,
+        max_wait: Duration::from_millis(5),
+    };
+    let configs: Vec<(f64, BatchPolicy, usize, u64)> = if smoke {
+        vec![(500.0, immediate, 1, 200), (2000.0, wait_1ms, 2, 400)]
+    } else {
+        let mut configs = Vec::new();
+        for &rate in &[1000.0, 4000.0, 16000.0] {
+            for &policy in &[immediate, wait_1ms, wait_5ms] {
+                for &workers in &[1usize, 2, 4] {
+                    let requests = (rate / 2.0) as u64; // ~0.5 s per config
+                    configs.push((rate, policy, workers, requests));
+                }
+            }
+        }
+        configs
+    };
+
+    println!("# Serving throughput: open-loop rate x batching policy x workers\n");
+    println!("| rate | max_wait | max_batch | workers | achieved rps | mean batch | coalesced | mean lat (ms) | max lat (ms) |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    let mut values = Vec::new();
+    for (rate, policy, workers, requests) in configs {
+        match run_config(&models, rate, policy, workers, requests) {
+            Ok(record) => {
+                println!(
+                    "| {} | {}us | {} | {} | {:.0} | {:.2} | {}/{} | {:.3} | {:.3} |",
+                    record.rate_target,
+                    record.max_wait_us,
+                    record.max_batch,
+                    record.workers,
+                    record.achieved_rps,
+                    record.mean_batch_queries,
+                    record.coalesced_batches,
+                    record.batches,
+                    record.mean_latency_ms,
+                    record.max_latency_ms,
+                );
+                if record.errors > 0 {
+                    eprintln!("bench_serve: {} requests failed", record.errors);
+                    std::process::exit(1);
+                }
+                values.push(record_value(&record));
+            }
+            Err(err) => {
+                eprintln!("bench_serve failed (rate {rate}, workers {workers}): {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Err(err) = append_records(&out_path, &values) {
+        eprintln!("bench_serve failed: {err}");
+        std::process::exit(1);
+    }
+    eprintln!("results appended to {out_path}");
+}

@@ -9,7 +9,14 @@
 //! * `ablation` — sweeps over the design choices (tree depth, register
 //!   banks, bank-allocation policy),
 //! * `bench_engine` — wall-clock throughput of the two-phase engine at
-//!   different evidence batch sizes (`BENCH_engine.json`).
+//!   different evidence batch sizes (`BENCH_engine.json`),
+//! * `bench_serve` — open-loop load generator for the `spn-serve` inference
+//!   service, sweeping request rate × batching policy × worker count
+//!   (`BENCH_serve.json`, appended across runs),
+//! * `bench_check` — CI gate validating that the emitted `BENCH_*.json`
+//!   files are well-formed, non-empty and schema-consistent.
+//!
+//! `bench_engine` and `bench_serve` accept `--smoke` for the fast CI sweep.
 //!
 //! The library part holds the shared plumbing: running one evidence batch on
 //! every platform through the two-phase [`Engine`], checking that every

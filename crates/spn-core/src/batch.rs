@@ -269,6 +269,27 @@ impl EvidenceBatch {
         }
     }
 
+    /// Appends every query of `other` to this batch, keeping batch order.
+    ///
+    /// This is the coalescing primitive of the serving micro-batcher: many
+    /// small per-request batches are merged into one dense batch, executed in
+    /// a single pass, and the results sliced back per request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the variable counts differ.
+    pub fn extend_from(&mut self, other: &EvidenceBatch) -> Result<()> {
+        if other.num_vars != self.num_vars {
+            return Err(SpnError::EvidenceMismatch {
+                evidence_vars: other.num_vars,
+                spn_vars: self.num_vars,
+            });
+        }
+        self.obs.extend_from_slice(&other.obs);
+        self.queries += other.queries;
+        Ok(())
+    }
+
     /// Materialises query `q` back into an owned [`Evidence`].
     ///
     /// # Panics

@@ -25,6 +25,9 @@
 //!   queries ([`QueryBatch`]) lowered onto the same batched execution
 //!   primitive, including the max-product program rewrite with argmax
 //!   traceback ([`query::MaxProductProgram`]),
+//! * the serving wire contract ([`wire`]): compact evidence rows and the
+//!   framing-agnostic [`QueryRequest`] / [`QueryResponse`] pair used by the
+//!   `spn-serve` front-ends,
 //! * dependency-group decomposition ([`levelize`]) used by the GPU execution
 //!   model,
 //! * random SPN generators for tests and benchmarks ([`random`]),
@@ -74,6 +77,7 @@ pub mod query;
 pub mod random;
 pub mod stats;
 pub mod validate;
+pub mod wire;
 
 pub use batch::{EvidenceBatch, InputRecipe, Obs};
 pub use error::SpnError;
@@ -82,6 +86,7 @@ pub use evidence::Evidence;
 pub use graph::{Node, NodeId, Spn, SpnBuilder, VarId};
 pub use query::{reference_query, ConditionalBatch, QueryBatch, QueryMode, QueryResult};
 pub use value::LogProb;
+pub use wire::{QueryRequest, QueryResponse};
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T, E = SpnError> = std::result::Result<T, E>;

@@ -71,6 +71,22 @@ impl QueryMode {
         }
     }
 
+    /// Parses a lower-case mode name (the inverse of [`QueryMode::name`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::Invalid`] naming the unknown mode.
+    pub fn from_name(name: &str) -> Result<QueryMode> {
+        QueryMode::ALL
+            .into_iter()
+            .find(|mode| mode.name() == name)
+            .ok_or_else(|| {
+                SpnError::invalid(format!(
+                    "unknown query mode {name:?} (expected joint, marginal, map or conditional)"
+                ))
+            })
+    }
+
     /// Circuit passes one query of this mode costs.
     pub fn passes_per_query(self) -> usize {
         match self {
@@ -147,6 +163,17 @@ impl ConditionalBatch {
         self.numerator.num_vars()
     }
 
+    /// Appends every query of `other`, keeping batch order (the conditional
+    /// half of micro-batch coalescing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the variable counts differ.
+    pub fn extend_from(&mut self, other: &ConditionalBatch) -> Result<()> {
+        self.numerator.extend_from(&other.numerator)?;
+        self.denominator.extend_from(&other.denominator)
+    }
+
     /// The merged `(target, given)` rows — the `P(target, given)` pass.
     pub fn numerator(&self) -> &EvidenceBatch {
         &self.numerator
@@ -211,6 +238,32 @@ impl QueryBatch {
         match self {
             QueryBatch::Joint(b) | QueryBatch::Marginal(b) | QueryBatch::Map(b) => b.num_vars(),
             QueryBatch::Conditional(c) => c.num_vars(),
+        }
+    }
+
+    /// Appends every query of `other`, which must be of the same mode, in
+    /// batch order.
+    ///
+    /// This is how a serving micro-batcher coalesces many small same-mode
+    /// request batches into one dense batch; because every execution backend
+    /// applies an identical per-query kernel, the coalesced results equal the
+    /// per-request results bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::Invalid`] on a mode mismatch and
+    /// [`SpnError::EvidenceMismatch`] when the variable counts differ.
+    pub fn try_extend(&mut self, other: &QueryBatch) -> Result<()> {
+        match (self, other) {
+            (QueryBatch::Joint(a), QueryBatch::Joint(b))
+            | (QueryBatch::Marginal(a), QueryBatch::Marginal(b))
+            | (QueryBatch::Map(a), QueryBatch::Map(b)) => a.extend_from(b),
+            (QueryBatch::Conditional(a), QueryBatch::Conditional(b)) => a.extend_from(b),
+            (a, b) => Err(SpnError::invalid(format!(
+                "cannot coalesce a {} batch into a {} batch",
+                b.mode(),
+                a.mode()
+            ))),
         }
     }
 

@@ -19,6 +19,8 @@
 //! Single-query [`Engine::execute`] is a thin convenience wrapper over a
 //! one-element batch.
 
+use std::sync::Arc;
+
 use spn_core::batch::EvidenceBatch;
 use spn_core::flatten::OpList;
 use spn_core::query::{conditional_ratio, MaxProductProgram, QueryBatch};
@@ -27,11 +29,26 @@ use spn_processor::PerfReport;
 
 use crate::backend::{Backend, BackendError, BatchResult, ExecBuffers, Parallelism, WorkerState};
 
-/// The lazily compiled MAP half of an engine: the max-product program plus
-/// the backend's compiled artifact for it.
-struct MapPlan<B: Backend> {
-    program: MaxProductProgram,
-    compiled: B::Compiled,
+/// The MAP half of an engine, cheaply shareable between engines: the
+/// max-product program plus the backend's compiled artifact for it.
+///
+/// Compiled lazily on the first MAP query (or eagerly via
+/// [`Engine::prepare_map`]); a model registry can lift it out of one engine
+/// with [`Engine::shared_map`] and install it into sibling engines with
+/// [`Engine::install_map`], so a fleet of serving workers compiles the
+/// max-product variant once per circuit.
+pub struct MapArtifact<B: Backend> {
+    program: Arc<MaxProductProgram>,
+    compiled: Arc<B::Compiled>,
+}
+
+impl<B: Backend> Clone for MapArtifact<B> {
+    fn clone(&self) -> Self {
+        MapArtifact {
+            program: Arc::clone(&self.program),
+            compiled: Arc::clone(&self.compiled),
+        }
+    }
 }
 
 /// Values, optional MAP assignments and accumulated counters of one query
@@ -72,7 +89,9 @@ pub struct QueryOutput {
 /// ```
 pub struct Engine<B: Backend> {
     backend: B,
-    compiled: B::Compiled,
+    /// Reference-counted so model registries and sibling worker engines can
+    /// share one compiled artifact ([`Engine::shared_compiled`]).
+    compiled: Arc<B::Compiled>,
     /// The sum-product program the engine was compiled from; kept so the
     /// max-product (MAP) variant can be derived lazily.
     ops: OpList,
@@ -81,8 +100,9 @@ pub struct Engine<B: Backend> {
     /// Per-worker states of the parallel path (grown on first use, then
     /// reused across batches).
     workers: Vec<WorkerState<B>>,
-    /// Max-product artifact for MAP queries; compiled on first use.
-    map: Option<MapPlan<B>>,
+    /// Max-product artifact for MAP queries; compiled on first use (or
+    /// installed pre-compiled via [`Engine::install_map`]).
+    map: Option<MapArtifact<B>>,
     /// Scratch one-query batch backing [`Engine::execute`].
     single: EvidenceBatch,
 }
@@ -94,17 +114,8 @@ impl<B: Backend> Engine<B> {
     ///
     /// Returns an error when the backend cannot compile the program.
     pub fn new(backend: B, ops: &OpList) -> Result<Self, BackendError> {
-        let compiled = backend.compile(ops)?;
-        Ok(Engine {
-            backend,
-            compiled,
-            ops: ops.clone(),
-            buffers: ExecBuffers::new(),
-            scratch: B::Scratch::default(),
-            workers: Vec::new(),
-            map: None,
-            single: EvidenceBatch::new(ops.num_vars()),
-        })
+        let compiled = Arc::new(backend.compile(ops)?);
+        Ok(Engine::from_artifact(backend, ops, compiled))
     }
 
     /// Flattens `spn` and compiles it for `backend`.
@@ -114,6 +125,26 @@ impl<B: Backend> Engine<B> {
     /// Returns an error when the backend cannot compile the program.
     pub fn from_spn(backend: B, spn: &Spn) -> Result<Self, BackendError> {
         Engine::new(backend, &OpList::from_spn(spn))
+    }
+
+    /// Wraps an already compiled artifact without recompiling.
+    ///
+    /// This is the cheap construction path of a serving fleet: a model
+    /// registry compiles (or caches) the artifact once, and every worker
+    /// engine is built from an [`Arc`] clone of it — only the per-engine
+    /// execution state (buffers, scratch, worker pool) is fresh.  `compiled`
+    /// must be `backend`'s compilation of `ops`.
+    pub fn from_artifact(backend: B, ops: &OpList, compiled: Arc<B::Compiled>) -> Self {
+        Engine {
+            backend,
+            compiled,
+            ops: ops.clone(),
+            buffers: ExecBuffers::new(),
+            scratch: B::Scratch::default(),
+            workers: Vec::new(),
+            map: None,
+            single: EvidenceBatch::new(ops.num_vars()),
+        }
     }
 
     /// The platform name of the underlying backend.
@@ -129,6 +160,38 @@ impl<B: Backend> Engine<B> {
     /// The compiled artifact this engine serves queries against.
     pub fn compiled(&self) -> &B::Compiled {
         &self.compiled
+    }
+
+    /// A shared handle to the compiled artifact (for caching it in a model
+    /// registry or constructing sibling engines via
+    /// [`Engine::from_artifact`]).
+    pub fn shared_compiled(&self) -> Arc<B::Compiled> {
+        Arc::clone(&self.compiled)
+    }
+
+    /// The max-product artifact, if it has been compiled or installed
+    /// (see [`Engine::prepare_map`] / [`Engine::install_map`]).
+    pub fn shared_map(&self) -> Option<MapArtifact<B>> {
+        self.map.clone()
+    }
+
+    /// Installs a pre-compiled max-product artifact (e.g. one lifted from a
+    /// sibling engine via [`Engine::shared_map`]), replacing any existing
+    /// one.  The artifact must come from an engine over the same program and
+    /// backend configuration.
+    pub fn install_map(&mut self, map: MapArtifact<B>) {
+        self.map = Some(map);
+    }
+
+    /// Ensures the max-product artifact exists, compiling it if needed — the
+    /// eager form of what the first MAP query does lazily.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the backend cannot compile the max-product
+    /// program.
+    pub fn prepare_map(&mut self) -> Result<(), BackendError> {
+        self.map_plan().map(|_| ())
     }
 
     /// The flattened sum-product program the engine was compiled from.
@@ -171,11 +234,14 @@ impl<B: Backend> Engine<B> {
 
     /// Ensures the max-product artifact exists (compiling it on first use)
     /// and returns it.
-    fn map_plan(&mut self) -> Result<&MapPlan<B>, BackendError> {
+    fn map_plan(&mut self) -> Result<&MapArtifact<B>, BackendError> {
         if self.map.is_none() {
             let program = MaxProductProgram::from_op_list(&self.ops);
-            let compiled = self.backend.compile(program.ops())?;
-            self.map = Some(MapPlan { program, compiled });
+            let compiled = Arc::new(self.backend.compile(program.ops())?);
+            self.map = Some(MapArtifact {
+                program: Arc::new(program),
+                compiled,
+            });
         }
         Ok(self.map.as_ref().expect("map plan just ensured"))
     }
@@ -184,7 +250,7 @@ impl<B: Backend> Engine<B> {
     /// re-running the max-product program per query on the host and
     /// backtracking the argmax branches.
     fn trace_map_assignments(
-        plan: &MapPlan<B>,
+        plan: &MapArtifact<B>,
         batch: &EvidenceBatch,
     ) -> Result<Vec<Vec<bool>>, BackendError> {
         plan.program.recipe().check(batch)?;

@@ -63,7 +63,7 @@ pub mod processor;
 
 pub use backend::{Backend, BackendError, BatchResult, ExecBuffers, Parallelism, WorkerState};
 pub use cpu::{CpuCompiled, CpuConfig, CpuModel};
-pub use engine::{Engine, QueryOutput};
+pub use engine::{Engine, MapArtifact, QueryOutput};
 pub use gpu::{GpuCompiled, GpuConfig, GpuModel};
 pub use processor::ProcessorBackend;
 pub use spn_processor::PerfReport;

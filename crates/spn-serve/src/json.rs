@@ -1,0 +1,419 @@
+//! A minimal JSON parser and writer.
+//!
+//! The offline build has no `serde_json`, and the TCP protocol only needs a
+//! small, predictable subset: line-delimited objects of strings, numbers,
+//! booleans and flat arrays.  This module implements full JSON parsing
+//! (nesting, escapes, `\uXXXX` including surrogate pairs) in a few hundred
+//! lines so both front-end and tests can round-trip documents without
+//! external dependencies.
+//!
+//! Numbers are stored as `f64`, written with Rust's shortest-round-trip
+//! formatting and parsed with `str::parse::<f64>`, so a value survives a
+//! serialise → parse round trip bit for bit — the property the serving
+//! integration tests rely on.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up `key` in an object; `None` for other variants or missing
+    /// keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serialises to compact (single-line) JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(n) => write_number(*n, out),
+            Value::Str(s) => write_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(key, out);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Writes a number: shortest round-trip form, `null` for non-finite values
+/// (JSON has no NaN/Infinity).
+fn write_number(n: f64, out: &mut String) {
+    if n.is_finite() {
+        let _ = write!(out, "{n}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Writes a JSON string literal with the mandatory escapes.
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one JSON document (trailing non-whitespace is an error).
+///
+/// # Errors
+///
+/// Returns a message naming the byte offset of the first syntax error.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_whitespace();
+    let value = p.parse_value()?;
+    p.skip_whitespace();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after JSON document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> String {
+        format!("{message} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected {literal:?}")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'n') => self.consume_literal("null", Value::Null),
+            Some(b't') => self.consume_literal("true", Value::Bool(true)),
+            Some(b'f') => self.consume_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(_) => Err(self.error("unexpected character")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number token");
+        token
+            .parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| self.error(&format!("malformed number {token:?}")))
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.error("non-ASCII \\u escape"))?;
+        let code = u16::from_str_radix(hex, 16).map_err(|_| self.error("malformed \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let high = self.parse_hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&high) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.error("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                self.expect(b'u')?;
+                                let low = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let code = 0x10000
+                                    + ((high as u32 - 0xd800) << 10)
+                                    + (low as u32 - 0xdc00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(high as u32)
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (the input is a &str, so
+                    // byte boundaries are valid).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse(" -2.5e3 ").unwrap(), Value::Num(-2500.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Value::Str("a\nb".to_string()));
+        assert!(parse("nul").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let doc = r#"{"id": 3, "rows": ["1?0", "??1"], "nested": {"a": [1, 2], "b": null}}"#;
+        let value = parse(doc).unwrap();
+        assert_eq!(value.get("id").and_then(Value::as_f64), Some(3.0));
+        let rows = value.get("rows").and_then(Value::as_arr).unwrap();
+        assert_eq!(rows[1].as_str(), Some("??1"));
+        assert_eq!(
+            value.get("nested").and_then(|n| n.get("b")),
+            Some(&Value::Null)
+        );
+        assert!(parse(r#"{"a": }"#).is_err());
+        assert!(parse(r#"[1, 2"#).is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogate_pairs() {
+        assert_eq!(parse(r#""é😀""#).unwrap(), Value::Str("é😀".to_string()));
+        assert!(parse(r#""\ud83d""#).is_err());
+        assert!(parse(r#""\ud83dA""#).is_err());
+    }
+
+    #[test]
+    fn round_trips_bit_for_bit() {
+        let original = Value::Obj(vec![
+            (
+                "values".to_string(),
+                Value::Arr(vec![
+                    Value::Num(0.1 + 0.2),
+                    Value::Num(1e-300),
+                    Value::Num(f64::MIN_POSITIVE),
+                    Value::Num(123_456_789.123_456_78),
+                ]),
+            ),
+            (
+                "name".to_string(),
+                Value::Str("weather \"v2\"\n".to_string()),
+            ),
+        ]);
+        let reparsed = parse(&original.to_json()).unwrap();
+        assert_eq!(reparsed, original);
+        // Bit-for-bit on the floats, not just approximate equality.
+        let a = original.get("values").and_then(Value::as_arr).unwrap();
+        let b = reparsed.get("values").and_then(Value::as_arr).unwrap();
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.as_f64().unwrap().to_bits(), y.as_f64().unwrap().to_bits());
+        }
+    }
+
+    #[test]
+    fn non_finite_numbers_serialise_as_null() {
+        assert_eq!(Value::Num(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Num(f64::INFINITY).to_json(), "null");
+    }
+}

@@ -1,0 +1,62 @@
+//! A multi-model inference service over the two-phase engine.
+//!
+//! The paper's deployment story — compile an SPN once, then answer streams
+//! of evidence queries fast — is a *serving* workload: many concurrent
+//! clients, many models, throughput from batching.  This crate turns the
+//! `spn-platforms` [`Engine`](spn_platforms::Engine) into that long-running
+//! service, using only `std`:
+//!
+//! * [`ModelRegistry`] — named circuits compiled for one backend, with an
+//!   LRU cache of [`Arc`](std::sync::Arc)-shared compiled artifacts (worker
+//!   engines are built from reference-count bumps, not recompiles; evicted
+//!   models recompile transparently on next use),
+//! * [`Service`] — the in-process API: a submit queue, a pool of batcher
+//!   workers, and a **dynamic micro-batcher** that coalesces concurrent
+//!   same-`(model, mode)` requests into dense batches under a
+//!   [`BatchPolicy`] (max batch size / max wait), dispatching through the
+//!   serial or sharded engine paths; all four query modes (joint, marginal,
+//!   MAP, conditional) are served, and coalescing is bit-for-bit invisible
+//!   in the answers,
+//! * [`TcpServer`] — a line-delimited JSON front-end over `std::net` with
+//!   graceful shutdown (see [`tcp`] for the protocol),
+//! * [`Metrics`] — per-model / per-mode throughput, batching and latency
+//!   counters,
+//! * [`json`] — the dependency-free JSON parser/writer backing the wire
+//!   protocol.
+//!
+//! # Quick example
+//!
+//! ```
+//! use spn_core::{random::{random_spn, RandomSpnConfig}, QueryMode, QueryRequest};
+//! use spn_platforms::CpuModel;
+//! use spn_serve::{Service, ServiceConfig};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! # fn main() -> Result<(), spn_serve::ServeError> {
+//! let service = Service::new(CpuModel::new(), ServiceConfig::default());
+//! let spn = random_spn(&RandomSpnConfig::with_vars(3), &mut StdRng::seed_from_u64(1));
+//! service.register("demo", &spn);
+//!
+//! let request = QueryRequest::from_rows(1, "demo", QueryMode::Marginal, &["???"], None)?;
+//! let response = service.query(request)?;
+//! assert!((response.values[0] - 1.0).abs() < 1e-9);
+//! service.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod json;
+pub mod metrics;
+pub mod registry;
+pub mod service;
+pub mod tcp;
+
+pub use error::ServeError;
+pub use metrics::{Metrics, MetricsRecord, ModeStats};
+pub use registry::{ModelPlan, ModelRegistry};
+pub use service::{BatchPolicy, ResponseHandle, Service, ServiceConfig};
+pub use tcp::TcpServer;

@@ -1,0 +1,173 @@
+//! Per-model / per-mode serving counters.
+//!
+//! Every dispatched micro-batch and every completed request lands in a
+//! [`Metrics`] sink keyed by `(model, mode)`.  The counters answer the two
+//! operational questions of a batching server: *is coalescing happening*
+//! (batches, coalesced batches, mean/max batch size) and *what latency are
+//! requests paying for it* (total/max wall-clock from submit to response).
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use spn_core::QueryMode;
+
+/// Counters of one `(model, mode)` pair.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ModeStats {
+    /// Requests answered (successfully or not).
+    pub requests: u64,
+    /// Requests answered with an error.
+    pub errors: u64,
+    /// Individual queries answered (a request may carry many rows).
+    pub queries: u64,
+    /// Micro-batches dispatched to an engine.
+    pub batches: u64,
+    /// Micro-batches that coalesced more than one request.
+    pub coalesced_batches: u64,
+    /// Largest number of requests coalesced into one batch.
+    pub max_batch_requests: u64,
+    /// Largest number of queries dispatched in one batch.
+    pub max_batch_queries: u64,
+    /// Summed submit-to-response latency over all requests.
+    pub total_latency: Duration,
+    /// Largest single-request submit-to-response latency.
+    pub max_latency: Duration,
+}
+
+impl ModeStats {
+    /// Mean queries per dispatched batch (0 when nothing ran).
+    pub fn mean_batch_queries(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.queries as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean submit-to-response latency (zero when nothing ran).
+    pub fn mean_latency(&self) -> Duration {
+        if self.requests == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / u32::try_from(self.requests).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+/// One `(model, mode)` row of a metrics snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRecord {
+    /// Model name.
+    pub model: String,
+    /// Query mode.
+    pub mode: QueryMode,
+    /// The counters.
+    pub stats: ModeStats,
+}
+
+/// Counter rows keyed by `(model, mode name)` — mode names give the map a
+/// stable sort order for snapshots.
+type StatsMap = BTreeMap<(String, &'static str), (QueryMode, ModeStats)>;
+
+/// Thread-safe metrics sink shared by the batcher workers and front-ends.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    inner: Mutex<StatsMap>,
+}
+
+impl Metrics {
+    /// Creates an empty sink.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    fn with_stats(&self, model: &str, mode: QueryMode, update: impl FnOnce(&mut ModeStats)) {
+        let mut inner = self.inner.lock().expect("metrics lock");
+        let entry = inner
+            .entry((model.to_string(), mode.name()))
+            .or_insert_with(|| (mode, ModeStats::default()));
+        update(&mut entry.1);
+    }
+
+    /// Records one dispatched micro-batch of `requests` requests holding
+    /// `queries` queries in total.
+    pub fn record_batch(&self, model: &str, mode: QueryMode, requests: u64, queries: u64) {
+        self.with_stats(model, mode, |stats| {
+            stats.batches += 1;
+            if requests > 1 {
+                stats.coalesced_batches += 1;
+            }
+            stats.max_batch_requests = stats.max_batch_requests.max(requests);
+            stats.max_batch_queries = stats.max_batch_queries.max(queries);
+        });
+    }
+
+    /// Records one answered request: its query count, submit-to-response
+    /// latency, and whether it failed.
+    pub fn record_request(
+        &self,
+        model: &str,
+        mode: QueryMode,
+        queries: u64,
+        latency: Duration,
+        ok: bool,
+    ) {
+        self.with_stats(model, mode, |stats| {
+            stats.requests += 1;
+            stats.queries += queries;
+            if !ok {
+                stats.errors += 1;
+            }
+            stats.total_latency += latency;
+            stats.max_latency = stats.max_latency.max(latency);
+        });
+    }
+
+    /// A consistent copy of every `(model, mode)` row, sorted by model name
+    /// then mode name.
+    pub fn snapshot(&self) -> Vec<MetricsRecord> {
+        let inner = self.inner.lock().expect("metrics lock");
+        inner
+            .iter()
+            .map(|((model, _), (mode, stats))| MetricsRecord {
+                model: model.clone(),
+                mode: *mode,
+                stats: stats.clone(),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_and_requests_accumulate() {
+        let metrics = Metrics::new();
+        metrics.record_batch("m", QueryMode::Marginal, 3, 12);
+        metrics.record_batch("m", QueryMode::Marginal, 1, 4);
+        metrics.record_request("m", QueryMode::Marginal, 12, Duration::from_millis(2), true);
+        metrics.record_request("m", QueryMode::Marginal, 4, Duration::from_millis(6), false);
+        metrics.record_batch("m", QueryMode::Map, 1, 1);
+
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.len(), 2);
+        let marginal = snapshot
+            .iter()
+            .find(|r| r.mode == QueryMode::Marginal)
+            .unwrap();
+        assert_eq!(marginal.model, "m");
+        assert_eq!(marginal.stats.batches, 2);
+        assert_eq!(marginal.stats.coalesced_batches, 1);
+        assert_eq!(marginal.stats.max_batch_requests, 3);
+        assert_eq!(marginal.stats.max_batch_queries, 12);
+        assert_eq!(marginal.stats.requests, 2);
+        assert_eq!(marginal.stats.errors, 1);
+        assert_eq!(marginal.stats.queries, 16);
+        assert_eq!(marginal.stats.mean_batch_queries(), 8.0);
+        assert_eq!(marginal.stats.mean_latency(), Duration::from_millis(4));
+        assert_eq!(marginal.stats.max_latency, Duration::from_millis(6));
+    }
+}

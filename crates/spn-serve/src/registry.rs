@@ -1,0 +1,345 @@
+//! The model registry: named circuits with an LRU cache of compiled
+//! artifacts.
+//!
+//! A serving process multiplexes many models over one backend.  Compilation
+//! is the expensive once-per-circuit phase, so the registry keeps every
+//! registered model's flattened [`OpList`] (small) and an LRU-bounded cache
+//! of compiled artifacts (potentially large: VLIW programs, schedules,
+//! modelled cycle tables).  Artifacts are [`Arc`]-shared — handing one to a
+//! worker engine is a reference-count bump, and an artifact evicted from the
+//! cache stays alive exactly as long as some engine still executes against
+//! it.
+//!
+//! The max-product (MAP) artifact of a model rides along with its
+//! sum-product artifact: the first worker to answer a MAP query publishes
+//! the compiled max-product plan back via [`ModelRegistry::store_map`], and
+//! every later engine picks it up pre-compiled.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use spn_core::flatten::OpList;
+use spn_core::Spn;
+use spn_platforms::{Backend, Engine, MapArtifact};
+
+use crate::error::ServeError;
+
+/// Everything a worker needs to build an [`Engine`] for one model, shared
+/// cheaply out of the registry.
+pub struct ModelPlan<B: Backend> {
+    /// The flattened program (cloned per plan; engines keep their own copy).
+    pub ops: OpList,
+    /// The shared compiled artifact.
+    pub artifact: Arc<B::Compiled>,
+    /// The shared max-product artifact, once some engine has compiled it.
+    pub map: Option<MapArtifact<B>>,
+    /// Bumped on every (re-)registration of the name, so workers can detect
+    /// stale cached engines.
+    pub version: u64,
+}
+
+struct ModelEntry<B: Backend> {
+    ops: OpList,
+    /// `None` when evicted by the LRU policy; recompiled on next use.
+    artifact: Option<Arc<B::Compiled>>,
+    map: Option<MapArtifact<B>>,
+    version: u64,
+    last_used: u64,
+}
+
+struct Inner<B: Backend> {
+    models: HashMap<String, ModelEntry<B>>,
+    /// Logical clock driving the LRU ordering.
+    clock: u64,
+    /// Monotonic version source across registrations.
+    next_version: u64,
+}
+
+/// Named circuits compiled for one backend, with an LRU artifact cache.
+pub struct ModelRegistry<B: Backend> {
+    backend: B,
+    /// Maximum number of compiled artifacts held; the oldest-used artifact
+    /// (not the model) is evicted beyond this.
+    capacity: usize,
+    inner: Mutex<Inner<B>>,
+}
+
+impl<B: Backend + Clone> ModelRegistry<B> {
+    /// Creates a registry compiling with `backend`, holding at most
+    /// `capacity` compiled artifacts (clamped to at least one).
+    pub fn new(backend: B, capacity: usize) -> ModelRegistry<B> {
+        ModelRegistry {
+            backend,
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                models: HashMap::new(),
+                clock: 0,
+                next_version: 0,
+            }),
+        }
+    }
+
+    /// The backend models are compiled for.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Registers (or replaces) `name` with the flattened form of `spn`.
+    /// Compilation is deferred to the first [`ModelRegistry::plan`] call.
+    pub fn register(&self, name: impl Into<String>, spn: &Spn) {
+        self.register_ops(name, OpList::from_spn(spn));
+    }
+
+    /// Registers (or replaces) `name` with an already flattened program.
+    pub fn register_ops(&self, name: impl Into<String>, ops: OpList) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.clock += 1;
+        inner.next_version += 1;
+        let entry = ModelEntry {
+            ops,
+            artifact: None,
+            map: None,
+            version: inner.next_version,
+            last_used: inner.clock,
+        };
+        inner.models.insert(name.into(), entry);
+    }
+
+    /// Removes `name`; in-flight engines keep their shared artifacts alive.
+    pub fn unregister(&self, name: &str) -> bool {
+        let mut inner = self.inner.lock().expect("registry lock");
+        inner.models.remove(name).is_some()
+    }
+
+    /// Registered model names, sorted.
+    pub fn models(&self) -> Vec<String> {
+        let inner = self.inner.lock().expect("registry lock");
+        let mut names: Vec<String> = inner.models.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of variables of `name`'s circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] when `name` is not registered.
+    pub fn num_vars(&self, name: &str) -> Result<usize, ServeError> {
+        let inner = self.inner.lock().expect("registry lock");
+        inner
+            .models
+            .get(name)
+            .map(|entry| entry.ops.num_vars())
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
+    }
+
+    /// The current registration version of `name` (bumped on every
+    /// re-registration).  Cheap: never compiles and never touches the LRU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] when `name` is not registered.
+    pub fn version(&self, name: &str) -> Result<u64, ServeError> {
+        let inner = self.inner.lock().expect("registry lock");
+        inner
+            .models
+            .get(name)
+            .map(|entry| entry.version)
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
+    }
+
+    /// Number of compiled artifacts currently cached (for tests and
+    /// observability; bounded by the LRU capacity).
+    pub fn cached_artifacts(&self) -> usize {
+        let inner = self.inner.lock().expect("registry lock");
+        inner
+            .models
+            .values()
+            .filter(|entry| entry.artifact.is_some())
+            .count()
+    }
+
+    /// Returns the shared execution plan for `name`, compiling (and caching)
+    /// the artifact on a cache miss and evicting the least-recently-used
+    /// artifact beyond the cache capacity.
+    ///
+    /// Compilation happens outside the registry lock, so a slow compile
+    /// stalls only the models that need it, not every worker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`] when `name` is not registered and
+    /// [`ServeError::Backend`] when compilation fails.
+    pub fn plan(&self, name: &str) -> Result<ModelPlan<B>, ServeError> {
+        let (ops, version) = {
+            let mut inner = self.inner.lock().expect("registry lock");
+            inner.clock += 1;
+            let clock = inner.clock;
+            let entry = inner
+                .models
+                .get_mut(name)
+                .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
+            entry.last_used = clock;
+            if let Some(artifact) = &entry.artifact {
+                return Ok(ModelPlan {
+                    ops: entry.ops.clone(),
+                    artifact: Arc::clone(artifact),
+                    map: entry.map.clone(),
+                    version: entry.version,
+                });
+            }
+            (entry.ops.clone(), entry.version)
+        };
+
+        let artifact = Arc::new(
+            self.backend
+                .compile(&ops)
+                .map_err(ServeError::from_backend)?,
+        );
+
+        let mut inner = self.inner.lock().expect("registry lock");
+        let inner = &mut *inner;
+        // The model may have been replaced or dropped while compiling; only
+        // cache the artifact if it still matches what we compiled.  A
+        // sibling worker may have published the max-product plan meanwhile —
+        // hand it out rather than letting the caller recompile it.
+        let mut map = None;
+        if let Some(entry) = inner.models.get_mut(name) {
+            if entry.version == version {
+                map = entry.map.clone();
+                if entry.artifact.is_none() {
+                    entry.artifact = Some(Arc::clone(&artifact));
+                    evict_beyond_capacity(&mut inner.models, self.capacity);
+                }
+            }
+        }
+        Ok(ModelPlan {
+            ops,
+            artifact,
+            map,
+            version,
+        })
+    }
+
+    /// Publishes a compiled max-product artifact for `name` (ignored when the
+    /// model was re-registered since `version` or already has one).
+    pub fn store_map(&self, name: &str, version: u64, map: MapArtifact<B>) {
+        let mut inner = self.inner.lock().expect("registry lock");
+        if let Some(entry) = inner.models.get_mut(name) {
+            if entry.version == version && entry.map.is_none() {
+                entry.map = Some(map);
+            }
+        }
+    }
+
+    /// Builds a fresh engine for `name` from the shared plan: compilation is
+    /// reused, only per-engine execution state is allocated.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ModelRegistry::plan`].
+    pub fn engine(&self, name: &str) -> Result<(Engine<B>, u64), ServeError> {
+        let plan = self.plan(name)?;
+        let mut engine = Engine::from_artifact(self.backend.clone(), &plan.ops, plan.artifact);
+        if let Some(map) = plan.map {
+            engine.install_map(map);
+        }
+        Ok((engine, plan.version))
+    }
+}
+
+/// Drops the least-recently-used artifacts until at most `capacity` remain
+/// (their models stay registered and recompile on demand).
+fn evict_beyond_capacity<B: Backend>(models: &mut HashMap<String, ModelEntry<B>>, capacity: usize) {
+    loop {
+        let cached = models.values().filter(|e| e.artifact.is_some()).count();
+        if cached <= capacity {
+            return;
+        }
+        if let Some(entry) = models
+            .values_mut()
+            .filter(|e| e.artifact.is_some())
+            .min_by_key(|e| e.last_used)
+        {
+            entry.artifact = None;
+            entry.map = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spn_core::random::{random_spn, RandomSpnConfig};
+    use spn_core::EvidenceBatch;
+    use spn_platforms::CpuModel;
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn registry_with(names: &[&str], capacity: usize) -> ModelRegistry<CpuModel> {
+        let registry = ModelRegistry::new(CpuModel::new(), capacity);
+        let mut rng = StdRng::seed_from_u64(42);
+        for (i, name) in names.iter().enumerate() {
+            let spn = random_spn(&RandomSpnConfig::with_vars(4 + i), &mut rng);
+            registry.register(*name, &spn);
+        }
+        registry
+    }
+
+    #[test]
+    fn plans_share_one_artifact_per_model() {
+        let registry = registry_with(&["a"], 4);
+        let first = registry.plan("a").unwrap();
+        let second = registry.plan("a").unwrap();
+        assert!(Arc::ptr_eq(&first.artifact, &second.artifact));
+        assert_eq!(registry.cached_artifacts(), 1);
+        assert!(registry.plan("missing").is_err());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_artifact_only() {
+        let registry = registry_with(&["a", "b", "c"], 2);
+        registry.plan("a").unwrap();
+        registry.plan("b").unwrap();
+        registry.plan("a").unwrap(); // refresh a; b is now coldest
+        registry.plan("c").unwrap(); // evicts b's artifact
+        assert_eq!(registry.cached_artifacts(), 2);
+        assert_eq!(registry.models().len(), 3); // models stay registered
+                                                // The evicted model recompiles transparently.
+        let plan = registry.plan("b").unwrap();
+        assert_eq!(plan.ops.num_vars(), registry.num_vars("b").unwrap());
+    }
+
+    #[test]
+    fn engines_from_shared_plans_execute() {
+        let registry = registry_with(&["a"], 1);
+        let (mut engine, version) = registry.engine("a").unwrap();
+        let vars = registry.num_vars("a").unwrap();
+        let out = engine
+            .execute_batch(&EvidenceBatch::marginals(vars, 3))
+            .unwrap();
+        assert_eq!(out.values.len(), 3);
+        assert!(out.values.iter().all(|v| (v - 1.0).abs() < 1e-9));
+
+        // Publishing a map artifact makes later engines pick it up.
+        engine.prepare_map().unwrap();
+        registry.store_map("a", version, engine.shared_map().unwrap());
+        let (second, _) = registry.engine("a").unwrap();
+        assert!(second.shared_map().is_some());
+    }
+
+    #[test]
+    fn reregistration_bumps_the_version() {
+        let registry = registry_with(&["a"], 2);
+        let before = registry.plan("a").unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let spn = random_spn(&RandomSpnConfig::with_vars(9), &mut rng);
+        registry.register("a", &spn);
+        let after = registry.plan("a").unwrap();
+        assert!(after.version > before.version);
+        assert_eq!(after.ops.num_vars(), 9);
+        assert!(registry.unregister("a"));
+        assert!(!registry.unregister("a"));
+    }
+}

@@ -1,0 +1,563 @@
+//! The in-process inference service: submit queue, dynamic micro-batcher and
+//! worker pool.
+//!
+//! # Data flow
+//!
+//! ```text
+//! submit() ──► pending queue ──► worker: pop oldest request
+//!                 ▲  (Mutex +        │  coalesce same (model, mode)
+//!                 │   Condvar)       │  requests, up to max_batch
+//!            validation              │  queries or max_wait
+//!                                    ▼
+//!                              Engine::execute_query[_parallel]
+//!                                    │
+//!                    slice values per request ──► response channels
+//! ```
+//!
+//! The micro-batcher is *dynamic*: a worker takes the oldest pending
+//! request, then keeps absorbing queued requests of the same `(model, mode)`
+//! until the batch reaches [`BatchPolicy::max_batch_queries`] queries or
+//! [`BatchPolicy::max_wait`] has elapsed — under load batches fill instantly
+//! and the wait never triggers; when idle a single request pays at most
+//! `max_wait` extra latency (`max_wait = 0` disables waiting entirely).
+//!
+//! Coalescing never changes answers: every backend applies an identical
+//! per-query kernel, so the values a request receives from a coalesced batch
+//! are bit-for-bit those of executing it alone.  If a merged batch fails
+//! (e.g. one request conditions on zero-probability evidence), the worker
+//! re-executes each request separately so errors stay with the request that
+//! caused them.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use spn_core::wire::{QueryRequest, QueryResponse};
+use spn_core::{QueryBatch, QueryMode, Spn};
+use spn_platforms::{Backend, Engine, Parallelism, QueryOutput};
+
+use crate::error::ServeError;
+use crate::metrics::{Metrics, MetricsRecord};
+use crate::registry::ModelRegistry;
+
+/// When and how hard the micro-batcher coalesces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Stop absorbing requests once a batch holds this many queries (a
+    /// single oversized request still dispatches alone, unsplit).
+    pub max_batch_queries: usize,
+    /// How long a worker holding a non-full batch waits for more same-key
+    /// requests; `ZERO` dispatches immediately.
+    pub max_wait: Duration,
+}
+
+impl BatchPolicy {
+    /// No coalescing wait: dispatch whatever is queued right now.
+    pub fn immediate() -> BatchPolicy {
+        BatchPolicy {
+            max_batch_queries: 256,
+            max_wait: Duration::ZERO,
+        }
+    }
+}
+
+impl Default for BatchPolicy {
+    /// 256-query batches, waiting at most 1 ms to fill them.
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch_queries: 256,
+            max_wait: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Configuration of a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Batcher worker threads (each owns its engines; clamped to ≥ 1).
+    pub workers: usize,
+    /// The coalescing policy.
+    pub policy: BatchPolicy,
+    /// Intra-batch sharding: how each dispatched batch is spread over
+    /// threads *inside* `Engine::execute_query_parallel`.
+    pub parallelism: Parallelism,
+    /// LRU capacity of the registry's compiled-artifact cache.
+    pub artifact_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    /// Two workers, default policy, serial intra-batch execution, room for
+    /// 16 compiled artifacts.
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 2,
+            policy: BatchPolicy::default(),
+            parallelism: Parallelism::serial(),
+            artifact_capacity: 16,
+        }
+    }
+}
+
+/// One queued request plus its response channel and submit timestamp.
+struct Pending {
+    request: QueryRequest,
+    tx: mpsc::Sender<Result<QueryResponse, ServeError>>,
+    submitted: Instant,
+}
+
+/// State shared between submitters and workers.
+struct Shared {
+    queue: Mutex<VecDeque<Pending>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A waiting slot for one submitted request.
+pub struct ResponseHandle {
+    rx: mpsc::Receiver<Result<QueryResponse, ServeError>>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request's error, or [`ServeError::ShuttingDown`] when the
+    /// service stopped before answering.
+    pub fn wait(self) -> Result<QueryResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<QueryResponse, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
+        }
+    }
+}
+
+/// A multi-model inference service over one backend type.
+///
+/// Construct with [`Service::new`], [`Service::register`] models, then call
+/// [`Service::query`] (blocking) or [`Service::submit`] (returns a
+/// [`ResponseHandle`]) from any thread.  Wrap in an [`Arc`] to share with a
+/// TCP front-end.  [`Service::shutdown`] (also run on drop) stops the
+/// workers after draining queued requests.
+pub struct Service<B: Backend> {
+    registry: Arc<ModelRegistry<B>>,
+    shared: Arc<Shared>,
+    metrics: Arc<Metrics>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<B> Service<B>
+where
+    B: Backend + Clone + Send + Sync + 'static,
+    B::Compiled: Send + Sync + 'static,
+{
+    /// Starts the worker pool (no models registered yet).
+    pub fn new(backend: B, config: ServiceConfig) -> Service<B> {
+        let registry = Arc::new(ModelRegistry::new(backend, config.artifact_capacity));
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let metrics = Arc::new(Metrics::new());
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let registry = Arc::clone(&registry);
+                let shared = Arc::clone(&shared);
+                let metrics = Arc::clone(&metrics);
+                let policy = config.policy;
+                let parallelism = config.parallelism;
+                std::thread::spawn(move || {
+                    worker_loop(&registry, &shared, &metrics, policy, parallelism)
+                })
+            })
+            .collect();
+        Service {
+            registry,
+            shared,
+            metrics,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// The model registry (register/unregister/introspect models through
+    /// this).
+    pub fn registry(&self) -> &ModelRegistry<B> {
+        &self.registry
+    }
+
+    /// Registers (or replaces) a named model.
+    pub fn register(&self, name: impl Into<String>, spn: &Spn) {
+        self.registry.register(name, spn);
+    }
+
+    /// A snapshot of the per-model / per-mode counters.
+    pub fn metrics(&self) -> Vec<MetricsRecord> {
+        self.metrics.snapshot()
+    }
+
+    /// Enqueues a request and returns a handle to wait on.
+    ///
+    /// Validation that needs no engine (model exists, variable counts match,
+    /// batch non-empty) happens here, so malformed requests fail fast and
+    /// can never poison a coalesced batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`], [`ServeError::Invalid`] or
+    /// [`ServeError::ShuttingDown`] without enqueuing.
+    pub fn submit(&self, request: QueryRequest) -> Result<ResponseHandle, ServeError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        if request.query.is_empty() {
+            return Err(ServeError::Invalid(
+                "a request needs at least one query row".to_string(),
+            ));
+        }
+        request.query.validate()?;
+        let num_vars = self.registry.num_vars(&request.model)?;
+        if request.query.num_vars() != num_vars {
+            return Err(ServeError::Invalid(format!(
+                "model {:?} covers {} variables but the request rows cover {}",
+                request.model,
+                num_vars,
+                request.query.num_vars()
+            )));
+        }
+
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = self.shared.queue.lock().expect("service queue lock");
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return Err(ServeError::ShuttingDown);
+            }
+            queue.push_back(Pending {
+                request,
+                tx,
+                submitted: Instant::now(),
+            });
+        }
+        self.shared.available.notify_all();
+        Ok(ResponseHandle { rx })
+    }
+
+    /// Submits `request` and blocks until its response arrives.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Service::submit`], plus any execution error.
+    pub fn query(&self, request: QueryRequest) -> Result<QueryResponse, ServeError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Stops accepting requests, lets the workers drain what is queued, and
+    /// joins them.  Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        let mut workers = self.workers.lock().expect("service workers lock");
+        for worker in workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<B: Backend> Drop for Service<B> {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        if let Ok(mut workers) = self.workers.lock() {
+            for worker in workers.drain(..) {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+/// Moves every queued request matching `(model, mode)` into `group`, as long
+/// as the batch stays within `max_queries` (requests that would overflow are
+/// left queued for the next batch).
+fn take_matching(
+    queue: &mut VecDeque<Pending>,
+    model: &str,
+    mode: QueryMode,
+    max_queries: usize,
+    total: &mut usize,
+    group: &mut Vec<Pending>,
+) {
+    let mut i = 0;
+    while i < queue.len() {
+        let candidate = &queue[i];
+        let len = candidate.request.query.len();
+        if candidate.request.model == model
+            && candidate.request.query.mode() == mode
+            && *total + len <= max_queries
+        {
+            let pending = queue.remove(i).expect("index in range");
+            *total += len;
+            group.push(pending);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// One batcher worker: pop → coalesce → execute → respond, until shutdown
+/// and the queue is drained.
+fn worker_loop<B>(
+    registry: &ModelRegistry<B>,
+    shared: &Shared,
+    metrics: &Metrics,
+    policy: BatchPolicy,
+    parallelism: Parallelism,
+) where
+    B: Backend + Clone + Send + Sync,
+    B::Compiled: Send + Sync,
+{
+    // Engines this worker has built, keyed by model name, tagged with the
+    // registry version they were built from (stale ones are rebuilt).
+    let mut engines: HashMap<String, (u64, Engine<B>)> = HashMap::new();
+
+    loop {
+        let mut group: Vec<Pending> = Vec::new();
+        let mut total;
+        {
+            let mut queue = shared.queue.lock().expect("service queue lock");
+            let first = loop {
+                if let Some(first) = queue.pop_front() {
+                    break first;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .expect("service queue lock poisoned");
+            };
+            let model = first.request.model.clone();
+            let mode = first.request.query.mode();
+            total = first.request.query.len();
+            group.push(first);
+
+            take_matching(
+                &mut queue,
+                &model,
+                mode,
+                policy.max_batch_queries,
+                &mut total,
+                &mut group,
+            );
+            let deadline = Instant::now() + policy.max_wait;
+            while total < policy.max_batch_queries && !shared.shutdown.load(Ordering::Acquire) {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (q, timeout) = shared
+                    .available
+                    .wait_timeout(queue, deadline - now)
+                    .expect("service queue lock poisoned");
+                queue = q;
+                take_matching(
+                    &mut queue,
+                    &model,
+                    mode,
+                    policy.max_batch_queries,
+                    &mut total,
+                    &mut group,
+                );
+                if timeout.timed_out() {
+                    break;
+                }
+            }
+        }
+        dispatch(registry, metrics, &mut engines, parallelism, group, total);
+    }
+}
+
+/// Executes one coalesced group and distributes responses.
+fn dispatch<B>(
+    registry: &ModelRegistry<B>,
+    metrics: &Metrics,
+    engines: &mut HashMap<String, (u64, Engine<B>)>,
+    parallelism: Parallelism,
+    group: Vec<Pending>,
+    total: usize,
+) where
+    B: Backend + Clone + Send + Sync,
+    B::Compiled: Send + Sync,
+{
+    let model = group[0].request.model.clone();
+    let mode = group[0].request.query.mode();
+    metrics.record_batch(&model, mode, group.len() as u64, total as u64);
+
+    let engine = match worker_engine(registry, engines, &model) {
+        Ok(engine) => engine,
+        Err(err) => {
+            let message = err.message();
+            for pending in group {
+                respond(metrics, pending, Err(clone_error(&err, &message)));
+            }
+            return;
+        }
+    };
+
+    // A lone request executes its own batch directly (no copy of the
+    // evidence); a coalesced group is merged into one dense batch first.
+    let output = if group.len() == 1 {
+        run_query(&mut *engine, &group[0].request.query, parallelism)
+    } else {
+        let mut merged = group[0].request.query.clone();
+        group[1..]
+            .iter()
+            .try_for_each(|p| merged.try_extend(&p.request.query))
+            .map_err(ServeError::from)
+            .and_then(|()| run_query(&mut *engine, &merged, parallelism))
+    };
+
+    match output {
+        Ok(output) => {
+            publish_map(registry, engines, &model, mode);
+            let mut offset = 0;
+            for pending in group {
+                let n = pending.request.query.len();
+                let response = slice_output(&output, &pending.request, offset, n);
+                offset += n;
+                respond(metrics, pending, Ok(response));
+            }
+        }
+        Err(_) if group.len() > 1 => {
+            // One request in the batch poisoned it (e.g. zero-probability
+            // conditioning evidence).  Re-run each request alone so the error
+            // lands only on its owner.
+            for pending in group {
+                let result = run_query(engine, &pending.request.query, parallelism).map(|out| {
+                    slice_output(&out, &pending.request, 0, pending.request.query.len())
+                });
+                respond(metrics, pending, result);
+            }
+            publish_map(registry, engines, &model, mode);
+        }
+        Err(err) => {
+            let pending = group.into_iter().next().expect("non-empty group");
+            respond(metrics, pending, Err(err));
+        }
+    }
+}
+
+/// Looks up (or builds) this worker's engine for `model`, rebuilding when
+/// the registry holds a newer version.
+fn worker_engine<'a, B>(
+    registry: &ModelRegistry<B>,
+    engines: &'a mut HashMap<String, (u64, Engine<B>)>,
+    model: &str,
+) -> Result<&'a mut Engine<B>, ServeError>
+where
+    B: Backend + Clone,
+{
+    let current = registry.version(model)?;
+    let needs_build = match engines.get(model) {
+        Some((version, _)) => *version != current,
+        None => true,
+    };
+    if needs_build {
+        let (engine, version) = registry.engine(model)?;
+        engines.insert(model.to_string(), (version, engine));
+    }
+    Ok(&mut engines.get_mut(model).expect("engine just ensured").1)
+}
+
+/// Runs one merged batch through the serial or sharded query path.
+fn run_query<B>(
+    engine: &mut Engine<B>,
+    query: &QueryBatch,
+    parallelism: Parallelism,
+) -> Result<QueryOutput, ServeError>
+where
+    B: Backend + Clone + Send + Sync,
+    B::Compiled: Send + Sync,
+{
+    let result = if parallelism.workers > 1 {
+        engine.execute_query_parallel(query, &parallelism)
+    } else {
+        engine.execute_query(query)
+    };
+    result.map_err(ServeError::from_backend)
+}
+
+/// After a MAP dispatch, publishes the engine's (possibly just compiled)
+/// max-product artifact so sibling workers skip the compile.
+fn publish_map<B>(
+    registry: &ModelRegistry<B>,
+    engines: &HashMap<String, (u64, Engine<B>)>,
+    model: &str,
+    mode: QueryMode,
+) where
+    B: Backend + Clone,
+{
+    if mode != QueryMode::Map {
+        return;
+    }
+    if let Some((version, engine)) = engines.get(model) {
+        if let Some(map) = engine.shared_map() {
+            registry.store_map(model, *version, map);
+        }
+    }
+}
+
+/// Cuts one request's window out of a batch output.
+fn slice_output(
+    output: &QueryOutput,
+    request: &QueryRequest,
+    offset: usize,
+    len: usize,
+) -> QueryResponse {
+    QueryResponse {
+        id: request.id,
+        model: request.model.clone(),
+        mode: request.query.mode(),
+        values: output.values[offset..offset + len].to_vec(),
+        assignments: output
+            .assignments
+            .as_ref()
+            .map(|a| a[offset..offset + len].to_vec()),
+    }
+}
+
+/// Sends the result and records request-level metrics.
+fn respond(metrics: &Metrics, pending: Pending, result: Result<QueryResponse, ServeError>) {
+    let mode = pending.request.query.mode();
+    metrics.record_request(
+        &pending.request.model,
+        mode,
+        pending.request.query.len() as u64,
+        pending.submitted.elapsed(),
+        result.is_ok(),
+    );
+    // A dropped receiver just means the caller stopped waiting.
+    let _ = pending.tx.send(result);
+}
+
+/// The error type is not `Clone` (it can wrap arbitrary messages), so fan
+/// one error out to a whole group by rebuilding it from its message.
+fn clone_error(err: &ServeError, message: &str) -> ServeError {
+    match err {
+        ServeError::UnknownModel(name) => ServeError::UnknownModel(name.clone()),
+        ServeError::ShuttingDown => ServeError::ShuttingDown,
+        ServeError::Invalid(_) => ServeError::Invalid(message.to_string()),
+        ServeError::Protocol(_) => ServeError::Protocol(message.to_string()),
+        ServeError::Remote(_) => ServeError::Remote(message.to_string()),
+        ServeError::Backend(_) => ServeError::Backend(message.to_string()),
+    }
+}

@@ -1,0 +1,467 @@
+//! Line-delimited JSON TCP front-end over a [`Service`].
+//!
+//! # Protocol
+//!
+//! One JSON object per `\n`-terminated line, one response line per request
+//! line, in order.  Evidence rows use the compact `'0'`/`'1'`/`'?'` encoding
+//! of [`spn_core::wire`]:
+//!
+//! ```text
+//! → {"id": 1, "model": "weather", "mode": "marginal", "rows": ["1??", "??1"]}
+//! ← {"id": 1, "ok": true, "model": "weather", "mode": "marginal", "values": [0.3, 0.47]}
+//!
+//! → {"id": 2, "model": "weather", "mode": "map", "rows": ["?1?"]}
+//! ← {"id": 2, "ok": true, ..., "values": [0.168], "assignments": ["011"]}
+//!
+//! → {"id": 3, "model": "weather", "mode": "conditional", "targets": ["1??"], "givens": ["??1"]}
+//! ← {"id": 3, "ok": true, ..., "values": [0.61...]}
+//!
+//! → {"cmd": "models"}
+//! ← {"ok": true, "models": ["weather"]}
+//!
+//! → {"cmd": "metrics"}
+//! ← {"ok": true, "metrics": [{"model": "weather", "mode": "marginal", ...}]}
+//! ```
+//!
+//! Failures answer `{"id": ..., "ok": false, "error": "..."}` and keep the
+//! connection open.  Values are written in Rust's shortest-round-trip float
+//! form, so a client parsing with standard `f64` semantics recovers them bit
+//! for bit.
+//!
+//! Each connection is handled by one thread that submits to the shared
+//! [`Service`]; concurrency across connections is what feeds the
+//! micro-batcher.  [`TcpServer::shutdown`] stops accepting, unblocks the
+//! accept loop, and joins every connection thread (connections poll a
+//! shutdown flag via a read timeout).
+
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use spn_core::wire::{self, QueryRequest, QueryResponse};
+use spn_core::{Evidence, QueryMode};
+use spn_platforms::Backend;
+
+use crate::error::ServeError;
+use crate::json::{self, Value};
+use crate::metrics::MetricsRecord;
+use crate::service::Service;
+
+/// How often blocked connection reads wake up to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// A running TCP front-end.  Dropping it shuts it down.
+pub struct TcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// accepting connections against `service`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error.
+    pub fn spawn<B>(service: Arc<Service<B>>, addr: &str) -> std::io::Result<TcpServer>
+    where
+        B: Backend + Clone + Send + Sync + 'static,
+        B::Compiled: Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_thread = std::thread::spawn(move || {
+            let connections: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
+            for stream in listener.incoming() {
+                if accept_shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let service = Arc::clone(&service);
+                let conn_shutdown = Arc::clone(&accept_shutdown);
+                let handle =
+                    std::thread::spawn(move || handle_connection(&service, stream, &conn_shutdown));
+                connections
+                    .lock()
+                    .expect("connection list lock")
+                    .push(handle);
+            }
+            for handle in connections.into_inner().expect("connection list lock") {
+                let _ = handle.join();
+            }
+        });
+        Ok(TcpServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (query this for the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, closes every connection and joins all threads.
+    /// Idempotent; also runs on drop.  The underlying [`Service`] keeps
+    /// running — shut it down separately.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // Unblock the accept loop with one last connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one connection: read a line, answer a line, until EOF or shutdown.
+fn handle_connection<B>(service: &Service<B>, stream: TcpStream, shutdown: &AtomicBool)
+where
+    B: Backend + Clone + Send + Sync + 'static,
+    B::Compiled: Send + Sync + 'static,
+{
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        // `line` is cleared only after a complete line was handled: a read
+        // timeout can leave a partial line accumulated, and the next
+        // `read_line` call appends the rest.
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let reply = handle_line(service, trimmed);
+                    if writer.write_all(reply.as_bytes()).is_err()
+                        || writer.write_all(b"\n").is_err()
+                        || writer.flush().is_err()
+                    {
+                        return;
+                    }
+                }
+                line.clear();
+            }
+            Err(err) if matches!(err.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Parses one request line, runs it, and encodes the response line.
+fn handle_line<B>(service: &Service<B>, line: &str) -> String
+where
+    B: Backend + Clone + Send + Sync + 'static,
+    B::Compiled: Send + Sync + 'static,
+{
+    match json::parse(line) {
+        Ok(doc) => {
+            let id = doc
+                .get("id")
+                .and_then(Value::as_f64)
+                .map(|n| n as u64)
+                .unwrap_or(0);
+            match handle_document(service, &doc) {
+                Ok(reply) => reply,
+                Err(err) => encode_error(id, &err),
+            }
+        }
+        Err(err) => encode_error(0, &ServeError::Protocol(err)),
+    }
+}
+
+fn handle_document<B>(service: &Service<B>, doc: &Value) -> Result<String, ServeError>
+where
+    B: Backend + Clone + Send + Sync + 'static,
+    B::Compiled: Send + Sync + 'static,
+{
+    if let Some(cmd) = doc.get("cmd").and_then(Value::as_str) {
+        return match cmd {
+            "models" => Ok(Value::Obj(vec![
+                ("ok".to_string(), Value::Bool(true)),
+                (
+                    "models".to_string(),
+                    Value::Arr(
+                        service
+                            .registry()
+                            .models()
+                            .into_iter()
+                            .map(Value::Str)
+                            .collect(),
+                    ),
+                ),
+            ])
+            .to_json()),
+            "metrics" => Ok(Value::Obj(vec![
+                ("ok".to_string(), Value::Bool(true)),
+                (
+                    "metrics".to_string(),
+                    Value::Arr(service.metrics().iter().map(metrics_value).collect()),
+                ),
+            ])
+            .to_json()),
+            other => Err(ServeError::Protocol(format!("unknown command {other:?}"))),
+        };
+    }
+    let request = decode_request(doc)?;
+    let response = service.query(request)?;
+    Ok(encode_response(&response))
+}
+
+fn field<'a>(doc: &'a Value, key: &str) -> Result<&'a Value, ServeError> {
+    doc.get(key)
+        .ok_or_else(|| ServeError::Protocol(format!("missing field {key:?}")))
+}
+
+fn string_field(doc: &Value, key: &str) -> Result<String, ServeError> {
+    field(doc, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| ServeError::Protocol(format!("field {key:?} must be a string")))
+}
+
+fn rows_field(doc: &Value, key: &str) -> Result<Vec<Evidence>, ServeError> {
+    let items = field(doc, key)?
+        .as_arr()
+        .ok_or_else(|| ServeError::Protocol(format!("field {key:?} must be an array")))?;
+    items
+        .iter()
+        .map(|item| {
+            let row = item
+                .as_str()
+                .ok_or_else(|| ServeError::Protocol(format!("field {key:?} must hold strings")))?;
+            wire::parse_row(row).map_err(ServeError::from)
+        })
+        .collect()
+}
+
+/// Decodes one request object (see the module docs for the schema).
+///
+/// # Errors
+///
+/// Returns [`ServeError::Protocol`] for structural problems and
+/// [`ServeError::Invalid`] for semantic ones (bad rows, bad mode).
+pub fn decode_request(doc: &Value) -> Result<QueryRequest, ServeError> {
+    let id = doc
+        .get("id")
+        .and_then(Value::as_f64)
+        .map(|n| n as u64)
+        .unwrap_or(0);
+    let model = string_field(doc, "model")?;
+    let mode = QueryMode::from_name(&string_field(doc, "mode")?)?;
+    let (rows, givens) = if mode == QueryMode::Conditional {
+        (
+            rows_field(doc, "targets")?,
+            Some(rows_field(doc, "givens")?),
+        )
+    } else {
+        (rows_field(doc, "rows")?, None)
+    };
+    let query = wire::build_query(mode, &rows, givens.as_deref())?;
+    Ok(QueryRequest { id, model, query })
+}
+
+/// Encodes one request as a protocol line (without the trailing newline) —
+/// the client-side counterpart of [`decode_request`].
+pub fn encode_request(request: &QueryRequest) -> String {
+    let mut fields = vec![
+        ("id".to_string(), Value::Num(request.id as f64)),
+        ("model".to_string(), Value::Str(request.model.clone())),
+        (
+            "mode".to_string(),
+            Value::Str(request.query.mode().name().to_string()),
+        ),
+    ];
+    let row_strings = |batch: &spn_core::EvidenceBatch| {
+        Value::Arr(
+            (0..batch.len())
+                .map(|q| Value::Str(wire::format_evidence(&batch.to_evidence(q))))
+                .collect(),
+        )
+    };
+    match &request.query {
+        spn_core::QueryBatch::Joint(b)
+        | spn_core::QueryBatch::Marginal(b)
+        | spn_core::QueryBatch::Map(b) => fields.push(("rows".to_string(), row_strings(b))),
+        spn_core::QueryBatch::Conditional(c) => {
+            // The numerator rows are target-merged-over-given; sending them
+            // as targets with the same givens reproduces the identical
+            // ConditionalBatch server-side (target wins on overlap).
+            fields.push(("targets".to_string(), row_strings(c.numerator())));
+            fields.push(("givens".to_string(), row_strings(c.denominator())));
+        }
+    }
+    Value::Obj(fields).to_json()
+}
+
+/// Encodes a successful response line.
+pub fn encode_response(response: &QueryResponse) -> String {
+    let mut fields = vec![
+        ("id".to_string(), Value::Num(response.id as f64)),
+        ("ok".to_string(), Value::Bool(true)),
+        ("model".to_string(), Value::Str(response.model.clone())),
+        (
+            "mode".to_string(),
+            Value::Str(response.mode.name().to_string()),
+        ),
+        (
+            "values".to_string(),
+            Value::Arr(response.values.iter().map(|&v| Value::Num(v)).collect()),
+        ),
+    ];
+    if let Some(assignments) = &response.assignments {
+        fields.push((
+            "assignments".to_string(),
+            Value::Arr(
+                assignments
+                    .iter()
+                    .map(|a| Value::Str(wire::format_assignment(a)))
+                    .collect(),
+            ),
+        ));
+    }
+    Value::Obj(fields).to_json()
+}
+
+/// Encodes an error response line.
+pub fn encode_error(id: u64, err: &ServeError) -> String {
+    Value::Obj(vec![
+        ("id".to_string(), Value::Num(id as f64)),
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Str(err.message())),
+    ])
+    .to_json()
+}
+
+/// Decodes a response line back into a [`QueryResponse`] — the client-side
+/// counterpart of [`encode_response`].
+///
+/// # Errors
+///
+/// Returns [`ServeError::Remote`] when the server answered `ok: false`, and
+/// [`ServeError::Protocol`] when the line is not a valid response.
+pub fn decode_response(line: &str) -> Result<QueryResponse, ServeError> {
+    let doc = json::parse(line).map_err(ServeError::Protocol)?;
+    let id = doc
+        .get("id")
+        .and_then(Value::as_f64)
+        .map(|n| n as u64)
+        .unwrap_or(0);
+    let ok = matches!(doc.get("ok"), Some(Value::Bool(true)));
+    if !ok {
+        let message = doc
+            .get("error")
+            .and_then(Value::as_str)
+            .unwrap_or("unknown server error")
+            .to_string();
+        return Err(ServeError::Remote(message));
+    }
+    let model = string_field(&doc, "model")?;
+    let mode = QueryMode::from_name(&string_field(&doc, "mode")?)?;
+    let values = field(&doc, "values")?
+        .as_arr()
+        .ok_or_else(|| ServeError::Protocol("field \"values\" must be an array".to_string()))?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| ServeError::Protocol("non-numeric value".to_string()))
+        })
+        .collect::<Result<Vec<f64>, ServeError>>()?;
+    let assignments = match doc.get("assignments") {
+        None => None,
+        Some(value) => {
+            let rows = value.as_arr().ok_or_else(|| {
+                ServeError::Protocol("field \"assignments\" must be an array".to_string())
+            })?;
+            Some(
+                rows.iter()
+                    .map(|row| {
+                        let row = row.as_str().ok_or_else(|| {
+                            ServeError::Protocol("assignments must hold strings".to_string())
+                        })?;
+                        let evidence = wire::parse_row(row)?;
+                        (0..evidence.num_vars())
+                            .map(|var| {
+                                evidence.value(var).ok_or_else(|| {
+                                    ServeError::Protocol(
+                                        "assignments must be fully observed".to_string(),
+                                    )
+                                })
+                            })
+                            .collect::<Result<Vec<bool>, ServeError>>()
+                    })
+                    .collect::<Result<Vec<Vec<bool>>, ServeError>>()?,
+            )
+        }
+    };
+    Ok(QueryResponse {
+        id,
+        model,
+        mode,
+        values,
+        assignments,
+    })
+}
+
+/// Renders one metrics record as a JSON object.
+fn metrics_value(record: &MetricsRecord) -> Value {
+    let s = &record.stats;
+    Value::Obj(vec![
+        ("model".to_string(), Value::Str(record.model.clone())),
+        (
+            "mode".to_string(),
+            Value::Str(record.mode.name().to_string()),
+        ),
+        ("requests".to_string(), Value::Num(s.requests as f64)),
+        ("errors".to_string(), Value::Num(s.errors as f64)),
+        ("queries".to_string(), Value::Num(s.queries as f64)),
+        ("batches".to_string(), Value::Num(s.batches as f64)),
+        (
+            "coalesced_batches".to_string(),
+            Value::Num(s.coalesced_batches as f64),
+        ),
+        (
+            "max_batch_requests".to_string(),
+            Value::Num(s.max_batch_requests as f64),
+        ),
+        (
+            "max_batch_queries".to_string(),
+            Value::Num(s.max_batch_queries as f64),
+        ),
+        (
+            "mean_batch_queries".to_string(),
+            Value::Num(s.mean_batch_queries()),
+        ),
+        (
+            "mean_latency_ms".to_string(),
+            Value::Num(s.mean_latency().as_secs_f64() * 1e3),
+        ),
+        (
+            "max_latency_ms".to_string(),
+            Value::Num(s.max_latency.as_secs_f64() * 1e3),
+        ),
+    ])
+}

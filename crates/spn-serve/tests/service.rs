@@ -1,0 +1,258 @@
+//! In-process service tests: correctness across modes, observable
+//! coalescing, per-request error isolation, and model hot-swap.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use spn_core::query::reference_query;
+use spn_core::wire::QueryRequest;
+use spn_core::{
+    ConditionalBatch, Evidence, EvidenceBatch, QueryBatch, QueryMode, Spn, SpnBuilder, VarId,
+};
+use spn_platforms::{CpuModel, Parallelism};
+use spn_serve::{BatchPolicy, Service, ServiceConfig};
+
+/// P(X0, X1) = P(X0) P(X1) with P(X0=1) = 0.2, P(X1=1) = 0.9.
+fn independent_pair() -> Spn {
+    let mut b = SpnBuilder::new(2);
+    let x0 = b.indicator(VarId(0), true);
+    let nx0 = b.indicator(VarId(0), false);
+    let x1 = b.indicator(VarId(1), true);
+    let nx1 = b.indicator(VarId(1), false);
+    let s0 = b.sum(vec![(x0, 0.2), (nx0, 0.8)]).unwrap();
+    let s1 = b.sum(vec![(x1, 0.9), (nx1, 0.1)]).unwrap();
+    let root = b.product(vec![s0, s1]).unwrap();
+    b.finish(root).unwrap()
+}
+
+/// A single-variable SPN where X0 = false has probability zero.
+fn zero_false_spn() -> Spn {
+    let mut b = SpnBuilder::new(1);
+    let x = b.indicator(VarId(0), true);
+    let nx = b.indicator(VarId(0), false);
+    let root = b.sum(vec![(x, 1.0), (nx, 0.0)]).unwrap();
+    b.finish(root).unwrap()
+}
+
+#[test]
+fn all_modes_match_the_reference_oracle() {
+    let spn = independent_pair();
+    let service = Service::new(CpuModel::new(), ServiceConfig::default());
+    service.register("pair", &spn);
+
+    for (mode, rows, givens) in [
+        (QueryMode::Joint, vec!["10", "01"], None),
+        (QueryMode::Marginal, vec!["1?", "??"], None),
+        (QueryMode::Map, vec!["?1", "??"], None),
+        (
+            QueryMode::Conditional,
+            vec!["1?", "?1"],
+            Some(vec!["?1", "1?"]),
+        ),
+    ] {
+        let request = QueryRequest::from_rows(1, "pair", mode, &rows, givens.as_deref()).unwrap();
+        let expected = reference_query(&spn, &request.query).unwrap();
+        let response = service.query(request).unwrap();
+        assert_eq!(response.mode, mode);
+        for (got, want) in response.values.iter().zip(&expected.values) {
+            assert!(
+                (got - want).abs() <= 1e-9 * want.abs().max(1e-12),
+                "{mode}: {got} vs {want}"
+            );
+        }
+        assert_eq!(
+            response.assignments.is_some(),
+            mode == QueryMode::Map,
+            "{mode}: assignments presence"
+        );
+        if let Some(assignments) = &response.assignments {
+            assert_eq!(assignments, expected.assignments.as_ref().unwrap());
+        }
+    }
+    service.shutdown();
+}
+
+#[test]
+fn concurrent_load_coalesces_into_batches() {
+    let spn = independent_pair();
+    // One worker with a generous wait guarantees concurrent submissions meet
+    // in the queue.
+    let service = Arc::new(Service::new(
+        CpuModel::new(),
+        ServiceConfig {
+            workers: 1,
+            policy: BatchPolicy {
+                max_batch_queries: 64,
+                max_wait: Duration::from_millis(100),
+            },
+            parallelism: Parallelism::serial(),
+            artifact_capacity: 4,
+        },
+    ));
+    service.register("pair", &spn);
+
+    let handles: Vec<_> = (0..32)
+        .map(|i| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let request = QueryRequest::from_rows(
+                    i,
+                    "pair",
+                    QueryMode::Marginal,
+                    &[if i % 2 == 0 { "1?" } else { "?0" }],
+                    None,
+                )
+                .unwrap();
+                let response = service.query(request).unwrap();
+                assert_eq!(response.id, i);
+                let expected = if i % 2 == 0 { 0.2 } else { 0.1 };
+                assert!((response.values[0] - expected).abs() < 1e-9);
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let metrics = service.metrics();
+    let marginal = metrics
+        .iter()
+        .find(|r| r.model == "pair" && r.mode == QueryMode::Marginal)
+        .expect("marginal row");
+    assert_eq!(marginal.stats.requests, 32);
+    assert_eq!(marginal.stats.queries, 32);
+    assert!(
+        marginal.stats.max_batch_requests > 1,
+        "expected coalescing, got {:?}",
+        marginal.stats
+    );
+    assert!(marginal.stats.batches < 32);
+    service.shutdown();
+}
+
+#[test]
+fn batch_errors_stay_with_the_request_that_caused_them() {
+    let spn = zero_false_spn();
+    let service = Arc::new(Service::new(
+        CpuModel::new(),
+        ServiceConfig {
+            workers: 1,
+            policy: BatchPolicy {
+                max_batch_queries: 64,
+                max_wait: Duration::from_millis(100),
+            },
+            parallelism: Parallelism::serial(),
+            artifact_capacity: 4,
+        },
+    ));
+    service.register("zero", &spn);
+
+    // Conditioning on X0 = false (probability zero) must fail; conditioning
+    // on X0 = true must keep succeeding even when coalesced with the bad one.
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let given = if i == 3 { "0" } else { "1" };
+                let request = QueryRequest::from_rows(
+                    i,
+                    "zero",
+                    QueryMode::Conditional,
+                    &["1"],
+                    Some(&[given]),
+                )
+                .unwrap();
+                (i, service.query(request))
+            })
+        })
+        .collect();
+    for handle in handles {
+        let (i, result) = handle.join().unwrap();
+        if i == 3 {
+            assert!(result.is_err(), "query {i} should fail");
+        } else {
+            let response = result.unwrap_or_else(|e| panic!("query {i} failed: {e}"));
+            assert!((response.values[0] - 1.0).abs() < 1e-9);
+        }
+    }
+    service.shutdown();
+}
+
+#[test]
+fn invalid_requests_fail_fast() {
+    let service = Service::new(CpuModel::new(), ServiceConfig::default());
+    service.register("pair", &independent_pair());
+
+    // Unknown model.
+    let request =
+        QueryRequest::from_rows(1, "missing", QueryMode::Marginal, &["??"], None).unwrap();
+    assert!(service.submit(request).is_err());
+    // Arity mismatch.
+    let request = QueryRequest::from_rows(2, "pair", QueryMode::Marginal, &["???"], None).unwrap();
+    assert!(service.submit(request).is_err());
+    // Empty batch.
+    let request = QueryRequest {
+        id: 3,
+        model: "pair".to_string(),
+        query: QueryBatch::Marginal(EvidenceBatch::new(2)),
+    };
+    assert!(service.submit(request).is_err());
+    service.shutdown();
+}
+
+#[test]
+fn reregistering_a_model_takes_effect() {
+    let service = Service::new(CpuModel::new(), ServiceConfig::default());
+    service.register("m", &independent_pair());
+    let request = |id| QueryRequest::from_rows(id, "m", QueryMode::Marginal, &["1?"], None);
+    let before = service.query(request(1).unwrap()).unwrap();
+    assert!((before.values[0] - 0.2).abs() < 1e-9);
+
+    // Swap in a model with P(X0=1) = 0.5 under the same name.
+    let mut b = SpnBuilder::new(2);
+    let x0 = b.indicator(VarId(0), true);
+    let nx0 = b.indicator(VarId(0), false);
+    let x1 = b.indicator(VarId(1), true);
+    let nx1 = b.indicator(VarId(1), false);
+    let s0 = b.sum(vec![(x0, 0.5), (nx0, 0.5)]).unwrap();
+    let s1 = b.sum(vec![(x1, 0.9), (nx1, 0.1)]).unwrap();
+    let root = b.product(vec![s0, s1]).unwrap();
+    service.register("m", &b.finish(root).unwrap());
+
+    let after = service.query(request(2).unwrap()).unwrap();
+    assert!((after.values[0] - 0.5).abs() < 1e-9);
+    service.shutdown();
+}
+
+#[test]
+fn conditional_requests_can_merge_after_map_requests_ran() {
+    // Exercises the lazily compiled max-product artifact being shared through
+    // the registry: MAP first, then other modes, on two workers.
+    let spn = independent_pair();
+    let service = Service::new(
+        CpuModel::new(),
+        ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    service.register("pair", &spn);
+    for i in 0..4 {
+        let request = QueryRequest::from_rows(i, "pair", QueryMode::Map, &["??"], None).unwrap();
+        let response = service.query(request).unwrap();
+        assert_eq!(response.assignments.as_ref().unwrap()[0], vec![false, true]);
+    }
+    let mut cond = ConditionalBatch::new(2);
+    let mut target = Evidence::marginal(2);
+    target.observe(0, true);
+    cond.push(&target, &Evidence::marginal(2)).unwrap();
+    let response = service
+        .query(QueryRequest {
+            id: 9,
+            model: "pair".to_string(),
+            query: QueryBatch::Conditional(cond),
+        })
+        .unwrap();
+    assert!((response.values[0] - 0.2).abs() < 1e-9);
+    service.shutdown();
+}

@@ -11,6 +11,9 @@
 //! * [`platforms`] — the two-phase `Backend`/`Engine` execution API with
 //!   CPU, GPU and custom-processor backends, parallel sharded execution and
 //!   the query-mode layer.
+//! * [`serve`] — the multi-model inference service: model registry with
+//!   shared compiled artifacts, dynamic micro-batcher, and the
+//!   line-delimited JSON TCP front-end.
 //!
 //! The central abstraction is the compile-once / execute-many engine:
 //! compile a circuit into an [`platforms::Engine`] once, then stream
@@ -25,3 +28,4 @@ pub use spn_core as core;
 pub use spn_learn as learn;
 pub use spn_platforms as platforms;
 pub use spn_processor as processor;
+pub use spn_serve as serve;

@@ -1,0 +1,219 @@
+//! End-to-end serving test: the TCP front-end under concurrent mixed-mode
+//! load against multiple models, checked bit-for-bit against the serial
+//! engine.
+//!
+//! This is the acceptance test of the serving stack: an ephemeral-port
+//! server, ≥ 100 concurrent requests mixing all four query modes across two
+//! registered models, every response byte-decoded back to `f64`s that must
+//! equal `Engine::execute_query`'s answers bit for bit, and the micro-batch
+//! counters must show actual coalescing.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use spn_accel::core::wire::QueryRequest;
+use spn_accel::core::{QueryMode, Spn};
+use spn_accel::learn::Benchmark;
+use spn_accel::platforms::{CpuModel, Engine, Parallelism};
+use spn_accel::serve::tcp::{decode_response, encode_request};
+use spn_accel::serve::{BatchPolicy, Service, ServiceConfig, TcpServer};
+
+/// The request mix: cycles through models, modes and row patterns.
+fn build_request(id: u64, model: &str, num_vars: usize) -> QueryRequest {
+    let mode = QueryMode::ALL[(id as usize) % QueryMode::ALL.len()];
+    let all_true = "1".repeat(num_vars);
+    let all_false = "0".repeat(num_vars);
+    let partial = {
+        let mut row: Vec<char> = vec!['?'; num_vars];
+        row[(id as usize) % num_vars] = if id.is_multiple_of(2) { '1' } else { '0' };
+        row.into_iter().collect::<String>()
+    };
+    let marginal = "?".repeat(num_vars);
+    match mode {
+        QueryMode::Joint => {
+            let rows: Vec<&str> = match id % 3 {
+                0 => vec![&all_true],
+                1 => vec![&all_false],
+                _ => vec![&all_true, &all_false],
+            };
+            QueryRequest::from_rows(id, model, mode, &rows, None).unwrap()
+        }
+        QueryMode::Marginal => {
+            QueryRequest::from_rows(id, model, mode, &[&partial, &marginal], None).unwrap()
+        }
+        QueryMode::Map => QueryRequest::from_rows(id, model, mode, &[&partial], None).unwrap(),
+        QueryMode::Conditional => {
+            QueryRequest::from_rows(id, model, mode, &[&partial], Some(&[&marginal])).unwrap()
+        }
+    }
+}
+
+#[test]
+fn tcp_server_serves_concurrent_mixed_mode_load_bit_for_bit() {
+    let models: Vec<(&str, Spn)> = vec![
+        ("banknote", Benchmark::Banknote.spn()),
+        ("cpu-perf", Benchmark::Cpu.spn()),
+    ];
+
+    // A single batcher worker with a patient policy maximises observable
+    // coalescing; correctness must hold regardless.
+    let service = Arc::new(Service::new(
+        CpuModel::new(),
+        ServiceConfig {
+            workers: 1,
+            policy: BatchPolicy {
+                max_batch_queries: 128,
+                max_wait: Duration::from_millis(20),
+            },
+            parallelism: Parallelism::workers(2),
+            artifact_capacity: 8,
+        },
+    ));
+    for (name, spn) in &models {
+        service.register(*name, spn);
+    }
+    let mut server = TcpServer::spawn(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    const CLIENTS: u64 = 120;
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|id| {
+            let (model, num_vars) = {
+                let (name, spn) = &models[(id as usize) % models.len()];
+                (name.to_string(), spn.num_vars())
+            };
+            std::thread::spawn(move || {
+                let request = build_request(id, &model, num_vars);
+                let mut stream = TcpStream::connect(addr).unwrap();
+                let line = encode_request(&request);
+                stream.write_all(line.as_bytes()).unwrap();
+                stream.write_all(b"\n").unwrap();
+                stream.flush().unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut reply = String::new();
+                reader.read_line(&mut reply).unwrap();
+                let response = decode_response(reply.trim()).unwrap();
+                (request, response)
+            })
+        })
+        .collect();
+
+    // Serial oracles: one engine per model, the exact path a non-serving
+    // caller would use.
+    let mut oracles: Vec<(String, Engine<CpuModel>)> = models
+        .iter()
+        .map(|(name, spn)| {
+            (
+                name.to_string(),
+                Engine::from_spn(CpuModel::new(), spn).unwrap(),
+            )
+        })
+        .collect();
+
+    for client in clients {
+        let (request, response) = client.join().unwrap();
+        assert_eq!(response.id, request.id);
+        assert_eq!(response.model, request.model);
+        assert_eq!(response.mode, request.query.mode());
+
+        let engine = &mut oracles
+            .iter_mut()
+            .find(|(name, _)| *name == request.model)
+            .unwrap()
+            .1;
+        let expected = engine.execute_query(&request.query).unwrap();
+        assert_eq!(response.values.len(), expected.values.len());
+        for (q, (got, want)) in response.values.iter().zip(&expected.values).enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "request {} query {q}: {got} vs {want} (mode {})",
+                request.id,
+                request.query.mode()
+            );
+        }
+        match request.query.mode() {
+            QueryMode::Map => {
+                assert_eq!(response.assignments, expected.assignments);
+            }
+            _ => assert!(response.assignments.is_none()),
+        }
+    }
+
+    // The micro-batcher must have observably coalesced concurrent requests.
+    let metrics = service.metrics();
+    let total_requests: u64 = metrics.iter().map(|r| r.stats.requests).sum();
+    assert_eq!(total_requests, CLIENTS);
+    let max_batch_requests = metrics
+        .iter()
+        .map(|r| r.stats.max_batch_requests)
+        .max()
+        .unwrap_or(0);
+    assert!(
+        max_batch_requests > 1,
+        "no coalescing observed: {metrics:?}"
+    );
+    let errors: u64 = metrics.iter().map(|r| r.stats.errors).sum();
+    assert_eq!(errors, 0);
+
+    // Both models and all four modes were exercised.
+    for (name, _) in &models {
+        assert!(metrics.iter().any(|r| r.model == *name));
+    }
+    for mode in QueryMode::ALL {
+        assert!(metrics.iter().any(|r| r.mode == mode), "missing {mode}");
+    }
+
+    server.shutdown();
+    service.shutdown();
+}
+
+#[test]
+fn tcp_protocol_reports_errors_and_commands() {
+    let service = Arc::new(Service::new(CpuModel::new(), ServiceConfig::default()));
+    service.register("banknote", &Benchmark::Banknote.spn());
+    let mut server = TcpServer::spawn(Arc::clone(&service), "127.0.0.1:0").unwrap();
+
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut ask = |line: &str| {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply
+    };
+
+    // Malformed JSON, unknown model, unknown mode, then a models listing.
+    assert!(ask("{not json").contains("\"ok\":false"));
+    assert!(
+        ask(r#"{"id": 4, "model": "ghost", "mode": "marginal", "rows": ["????"]}"#)
+            .contains("unknown model")
+    );
+    assert!(
+        ask(r#"{"id": 5, "model": "banknote", "mode": "mpe", "rows": ["????"]}"#)
+            .contains("\"ok\":false")
+    );
+    let models = ask(r#"{"cmd": "models"}"#);
+    assert!(models.contains("banknote"), "{models}");
+
+    // A good request still works on the same connection, and shows up in the
+    // metrics command.
+    let num_vars = Benchmark::Banknote.spn().num_vars();
+    let good = ask(&format!(
+        r#"{{"id": 6, "model": "banknote", "mode": "marginal", "rows": ["{}"]}}"#,
+        "?".repeat(num_vars)
+    ));
+    let response = decode_response(good.trim()).unwrap();
+    assert_eq!(response.id, 6);
+    assert!((response.values[0] - 1.0).abs() < 1e-9);
+    let metrics = ask(r#"{"cmd": "metrics"}"#);
+    assert!(metrics.contains("\"marginal\""), "{metrics}");
+
+    server.shutdown();
+    service.shutdown();
+}
