@@ -12,11 +12,17 @@
 //! * every record must carry the same key set as the first one (catching
 //!   truncated or mixed writes),
 //! * every numeric field must be finite (the writers emit `null` for
-//!   non-finite values, which this rejects in measurement fields).
+//!   non-finite values, which this rejects in measurement fields),
+//! * schema-aware field checks: a `numeric_mode` field must name a valid
+//!   numeric mode (`"linear"` / `"log"`) and a `host_cores` field must be a
+//!   positive integer — and engine-bench files (`*engine*.json`) must carry
+//!   both, so the numeric-mode axis and the host-core annotation of
+//!   `BENCH_engine.json` can never silently regress.
 //!
 //! Run with `cargo run --release -p spn-bench --bin bench_check FILE...`;
 //! exits non-zero on the first violation.
 
+use spn_core::NumericMode;
 use spn_serve::json::{self, Value};
 
 fn check_file(path: &str) -> Result<usize, String> {
@@ -55,6 +61,42 @@ fn check_file(path: &str) -> Result<usize, String> {
                 }
                 Value::Null => return Err(format!("{path}: record {i} field {key:?} is null")),
                 _ => {}
+            }
+            match key.as_str() {
+                "numeric_mode" => {
+                    let name = value.as_str().ok_or_else(|| {
+                        format!("{path}: record {i} field \"numeric_mode\" is not a string")
+                    })?;
+                    NumericMode::from_name(name).map_err(|_| {
+                        format!(
+                            "{path}: record {i} field \"numeric_mode\" holds \
+                             unknown mode {name:?}"
+                        )
+                    })?;
+                }
+                "host_cores" => {
+                    let n = value.as_f64().ok_or_else(|| {
+                        format!("{path}: record {i} field \"host_cores\" is not a number")
+                    })?;
+                    if n < 1.0 || n.fract() != 0.0 {
+                        return Err(format!(
+                            "{path}: record {i} field \"host_cores\" is {n}, \
+                             expected a positive integer"
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Engine-bench records must carry the numeric-mode and host-core
+        // annotations (bench_serve files have their own schema).
+        if path.contains("engine") {
+            for required in ["numeric_mode", "host_cores"] {
+                if record.get(required).is_none() {
+                    return Err(format!(
+                        "{path}: record {i} is missing the {required:?} field"
+                    ));
+                }
             }
         }
     }

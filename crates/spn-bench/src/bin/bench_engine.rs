@@ -31,8 +31,9 @@ use std::time::Instant;
 
 use spn_bench::{json_escape, json_number};
 use spn_core::batch::EvidenceBatch;
-use spn_core::query::{reference_query, ConditionalBatch, QueryBatch, QueryMode};
-use spn_core::{Evidence, Spn};
+use spn_core::query::{reference_query_with, ConditionalBatch, QueryBatch, QueryMode};
+use spn_core::random::deep_chain_spn;
+use spn_core::{Evidence, NumericMode, Spn};
 use spn_learn::Benchmark;
 use spn_platforms::{Backend, BackendError, CpuModel, Engine, Parallelism, ProcessorBackend};
 
@@ -41,11 +42,21 @@ struct Measurement {
     workload: String,
     platform: String,
     mode: QueryMode,
+    numeric: NumericMode,
     batch_size: usize,
     threads: usize,
     queries: usize,
     seconds: f64,
     queries_per_sec: f64,
+}
+
+/// Hardware threads of the host (1 when unknown): worker-count sweeps are
+/// capped here, and every JSON record carries it so a <1.0x parallel row on
+/// a small container can never be mistaken for a scaling regression.
+fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// Builds a deterministic batch of `n` mixed queries (cycling through
@@ -200,8 +211,20 @@ fn best_of(expected: f64, label: &str, mut body: impl FnMut() -> (f64, f64)) -> 
     best
 }
 
-/// Worker counts of the sharded-execution sweep (1 = the serial path).
+/// Candidate worker counts of the sharded-execution sweep (1 = the serial
+/// path); counts beyond the host's hardware threads are skipped — they can
+/// only oversubscribe and mislead.
 const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// The thread sweep capped at the host core count (always keeping 1).
+fn thread_sweep() -> Vec<usize> {
+    let cores = host_cores();
+    THREAD_SWEEP
+        .iter()
+        .copied()
+        .filter(|&t| t == 1 || t <= cores)
+        .collect()
+}
 
 #[allow(clippy::too_many_arguments)]
 fn record(
@@ -209,6 +232,7 @@ fn record(
     workload: &str,
     platform: &str,
     mode: QueryMode,
+    numeric: NumericMode,
     batch_size: usize,
     threads: usize,
     queries: usize,
@@ -218,6 +242,7 @@ fn record(
         workload: workload.to_string(),
         platform: platform.to_string(),
         mode,
+        numeric,
         batch_size,
         threads,
         queries,
@@ -236,6 +261,7 @@ fn measure<B: Backend + Sync>(
 where
     B::Compiled: Sync,
 {
+    let numeric = NumericMode::Linear;
     let platform = backend.name();
     let mut engine = Engine::from_spn(backend, spn)
         .map_err(|err| format!("compiling {workload} for {platform}: {err}"))?;
@@ -246,8 +272,8 @@ where
         let chunks = (total_queries / batch_size).max(1);
         let queries = chunks * batch_size;
         let batch = build_marginal_batch(num_vars, batch_size);
-        let reference =
-            reference_query(spn, &QueryBatch::Marginal(batch.clone())).expect("reference");
+        let reference = reference_query_with(spn, &QueryBatch::Marginal(batch.clone()), numeric)
+            .expect("reference");
         let expected: f64 = reference.values.iter().sum::<f64>() * chunks as f64;
         let label = format!("{workload}/{platform} batch {batch_size}");
         let best = if batch_size == 1 {
@@ -266,6 +292,7 @@ where
             workload,
             &platform,
             QueryMode::Marginal,
+            numeric,
             batch_size,
             1,
             queries,
@@ -273,15 +300,16 @@ where
         );
     }
 
-    // Axis 2 — worker count over large batches (marginal queries).
+    // Axis 2 — worker count over large batches (marginal queries), capped at
+    // the host's hardware threads.
     for &batch_size in &[256usize, 1024] {
         let chunks = (total_queries / batch_size).max(1);
         let queries = chunks * batch_size;
         let batch = build_marginal_batch(num_vars, batch_size);
-        let reference =
-            reference_query(spn, &QueryBatch::Marginal(batch.clone())).expect("reference");
+        let reference = reference_query_with(spn, &QueryBatch::Marginal(batch.clone()), numeric)
+            .expect("reference");
         let expected: f64 = reference.values.iter().sum::<f64>() * chunks as f64;
-        for &threads in &THREAD_SWEEP[1..] {
+        for &threads in thread_sweep().iter().filter(|&&t| t > 1) {
             let parallelism = Parallelism::workers(threads);
             let label = format!("{workload}/{platform} batch {batch_size} x{threads}");
             let best = best_of(expected, &label, || {
@@ -292,6 +320,7 @@ where
                 workload,
                 &platform,
                 QueryMode::Marginal,
+                numeric,
                 batch_size,
                 threads,
                 queries,
@@ -309,36 +338,80 @@ where
     let queries = chunks * batch_size;
     for mode in [QueryMode::Joint, QueryMode::Map, QueryMode::Conditional] {
         let query = build_query_batch(mode, num_vars, batch_size);
-        let reference = reference_query(spn, &query).expect("reference");
+        let reference = reference_query_with(spn, &query, numeric).expect("reference");
         let expected: f64 = reference.values.iter().sum::<f64>() * chunks as f64;
-        for &threads in &[1usize, 4] {
+        for &threads in [1usize, 4].iter().filter(|&&t| t == 1 || t <= host_cores()) {
             let parallelism = (threads > 1).then(|| Parallelism::workers(threads));
             let label = format!("{workload}/{platform} {mode} x{threads}");
             let best = best_of(expected, &label, || {
                 run_query(&mut engine, &query, chunks, parallelism.as_ref())
             });
             record(
-                results, workload, &platform, mode, batch_size, threads, queries, best,
+                results, workload, &platform, mode, numeric, batch_size, threads, queries, best,
             );
         }
     }
     Ok(())
 }
 
+/// Measures the numeric-mode axis on a deep chain whose probabilities
+/// underflow linear f64: marginal batches in linear mode (values flush to
+/// 0.0 — the cost baseline) against log mode (finite log-probabilities via
+/// the log-sum-exp kernels).
+fn measure_numeric_modes(
+    workload: &str,
+    spn: &Spn,
+    total_queries: usize,
+    results: &mut Vec<Measurement>,
+) -> Result<(), BackendError> {
+    let platform = CpuModel::new().name();
+    let batch_size = 256usize;
+    let chunks = (total_queries / batch_size).max(1);
+    let queries = chunks * batch_size;
+    let batch = build_marginal_batch(spn.num_vars(), batch_size);
+    for numeric in NumericMode::ALL {
+        let mut engine = Engine::from_spn_with_mode(CpuModel::new(), spn, numeric)
+            .map_err(|err| format!("compiling {workload} ({numeric}) for {platform}: {err}"))?;
+        let reference = reference_query_with(spn, &QueryBatch::Marginal(batch.clone()), numeric)
+            .expect("reference");
+        let expected: f64 = reference.values.iter().sum::<f64>() * chunks as f64;
+        let label = format!("{workload}/{platform} numeric {numeric}");
+        let best = best_of(expected, &label, || {
+            run_batched(&mut engine, &batch, chunks)
+        });
+        record(
+            results,
+            workload,
+            &platform,
+            QueryMode::Marginal,
+            numeric,
+            batch_size,
+            1,
+            queries,
+            best,
+        );
+    }
+    Ok(())
+}
+
 fn to_json(results: &[Measurement]) -> String {
+    let cores = host_cores();
     let mut out = String::from("[\n");
     for (i, m) in results.iter().enumerate() {
         out.push_str(&format!(
             concat!(
                 "  {{\"workload\": \"{}\", \"platform\": \"{}\", \"mode\": \"{}\", ",
-                "\"batch_size\": {}, \"threads\": {}, \"queries\": {}, ",
+                "\"numeric_mode\": \"{}\", \"batch_size\": {}, \"threads\": {}, ",
+                "\"host_cores\": {}, \"queries\": {}, ",
                 "\"seconds\": {}, \"queries_per_sec\": {}}}{}\n",
             ),
             json_escape(&m.workload),
             json_escape(&m.platform),
             m.mode.name(),
+            m.numeric.name(),
             m.batch_size,
             m.threads,
+            cores,
             m.queries,
             json_number(m.seconds),
             json_number(m.queries_per_sec),
@@ -392,16 +465,25 @@ fn run(smoke: bool, out_path: &str) -> Result<(), BackendError> {
             &mut results,
         )?;
     }
+    // Numeric-mode axis: a 1.2k-level deep chain whose probabilities
+    // underflow linear f64 — log mode pays the transcendental kernels but is
+    // the only mode returning finite answers here.
+    {
+        let chain = deep_chain_spn(1200, 1e-3);
+        measure_numeric_modes("deep-chain-1200", &chain, cpu_queries / 4, &mut results)?;
+    }
 
     println!("# Engine throughput: dispatch granularity, worker count, query mode\n");
-    println!("| workload | platform | mode | batch | threads | queries | queries/sec |");
-    println!("|---|---|---|---|---|---|---|");
+    println!("host cores: {}\n", host_cores());
+    println!("| workload | platform | mode | numeric | batch | threads | queries | queries/sec |");
+    println!("|---|---|---|---|---|---|---|---|");
     for m in &results {
         println!(
-            "| {} | {} | {} | {} | {} | {} | {:.0} |",
+            "| {} | {} | {} | {} | {} | {} | {} | {:.0} |",
             m.workload,
             m.platform,
             m.mode.name(),
+            m.numeric.name(),
             m.batch_size,
             m.threads,
             m.queries,
@@ -424,15 +506,21 @@ fn run(smoke: bool, out_path: &str) -> Result<(), BackendError> {
                         && m.threads == threads
                 })
                 .map(|m| m.queries_per_sec)
-                .unwrap_or(0.0)
+        };
+        // Ratios only make sense when both rows were measured (the deep-chain
+        // workload skips the dispatch axis, and worker counts beyond the host
+        // cores are never swept).
+        let ratio = |num: Option<f64>, den: Option<f64>| match (num, den) {
+            (Some(n), Some(d)) if d > 0.0 => format!("{:.2}x", n / d),
+            _ => "n/a".to_string(),
         };
         let serial = |size: usize| get(QueryMode::Marginal, size, 1);
         println!(
-            "\n{workload}/{platform}: batch 256 vs 1 = {:.2}x, batch 1024 vs 1 = {:.2}x, \
-             4 workers vs 1 at batch 1024 = {:.2}x",
-            serial(256) / serial(1).max(1e-12),
-            serial(1024) / serial(1).max(1e-12),
-            get(QueryMode::Marginal, 1024, 4) / serial(1024).max(1e-12),
+            "\n{workload}/{platform}: batch 256 vs 1 = {}, batch 1024 vs 1 = {}, \
+             4 workers vs 1 at batch 1024 = {}",
+            ratio(serial(256), serial(1)),
+            ratio(serial(1024), serial(1)),
+            ratio(get(QueryMode::Marginal, 1024, 4), serial(1024)),
         );
     }
 

@@ -774,6 +774,7 @@ impl<'a> Scheduler<'a> {
                 spn_core::flatten::OpKind::Add => PeOp::Add,
                 spn_core::flatten::OpKind::Mul => PeOp::Mul,
                 spn_core::flatten::OpKind::Max => PeOp::Max,
+                spn_core::flatten::OpKind::LogAdd => PeOp::Lse,
             };
         }
         for pass in &tile.passes {

@@ -15,6 +15,7 @@
 
 use crate::evidence::Evidence;
 use crate::flatten::{LeafSource, OpList};
+use crate::numeric::NumericMode;
 use crate::{Result, SpnError};
 
 /// Observation state of one variable in one query.
@@ -318,10 +319,14 @@ pub struct InputRecipe {
     /// `(slot, var, value)` for every evidence-dependent input slot.
     indicators: Vec<(u32, u32, bool)>,
     num_vars: usize,
+    /// The numeric domain of the program: log-domain recipes fill indicator
+    /// slots with `ln(indicator)` (`0.0` / `-inf`); parameter slots are
+    /// already stored as logs in the template.
+    mode: NumericMode,
 }
 
 impl InputRecipe {
-    /// Builds the recipe for `ops`.
+    /// Builds the recipe for `ops` (inheriting its [`NumericMode`]).
     pub fn from_op_list(ops: &OpList) -> InputRecipe {
         let mut template = Vec::with_capacity(ops.num_inputs());
         let mut indicators = Vec::new();
@@ -338,6 +343,23 @@ impl InputRecipe {
             template,
             indicators,
             num_vars: ops.num_vars(),
+            mode: ops.mode(),
+        }
+    }
+
+    /// The numeric domain the filled input vectors belong to.
+    pub fn mode(&self) -> NumericMode {
+        self.mode
+    }
+
+    /// Indicator value in the recipe's numeric domain: `ln` of the linear
+    /// indicator for log-domain programs (`ln(1) = 0.0`, `ln(0) = -inf`,
+    /// both exact).
+    #[inline]
+    fn domain_value(&self, linear: f64) -> f64 {
+        match self.mode {
+            NumericMode::Linear => linear,
+            NumericMode::Log => linear.ln(),
         }
     }
 
@@ -380,7 +402,7 @@ impl InputRecipe {
         out.copy_from_slice(&self.template);
         let row = batch.query(q);
         for &(slot, var, value) in &self.indicators {
-            out[slot as usize] = row[var as usize].indicator(value);
+            out[slot as usize] = self.domain_value(row[var as usize].indicator(value));
         }
     }
 
@@ -410,7 +432,7 @@ impl InputRecipe {
             out.extend_from_slice(&self.template);
             let row = batch.query(q);
             for &(slot, var, value) in &self.indicators {
-                out[start + slot as usize] = row[var as usize].indicator(value);
+                out[start + slot as usize] = self.domain_value(row[var as usize].indicator(value));
             }
         }
         Ok(())
@@ -432,7 +454,7 @@ impl InputRecipe {
         out.clear();
         out.extend_from_slice(&self.template);
         for &(slot, var, value) in &self.indicators {
-            out[slot as usize] = evidence.indicator(var as usize, value);
+            out[slot as usize] = self.domain_value(evidence.indicator(var as usize, value));
         }
         Ok(())
     }
@@ -530,6 +552,36 @@ mod tests {
         recipe.fill_batch(&batch, &mut flat).unwrap();
         assert_eq!(flat.len(), 2 * recipe.num_inputs());
         assert_eq!(&flat[recipe.num_inputs()..], expected.as_slice());
+    }
+
+    #[test]
+    fn log_recipe_fills_log_domain_inputs() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let spn = random_spn(&RandomSpnConfig::with_vars(6), &mut rng);
+        let log_ops = crate::flatten::OpList::from_spn(&spn).to_log_domain();
+        let recipe = log_ops.input_recipe();
+        assert_eq!(recipe.mode(), crate::NumericMode::Log);
+
+        let mut e = Evidence::marginal(6);
+        e.observe(1, true);
+        e.observe(4, false);
+        let expected = log_ops.input_values(&e).unwrap();
+
+        let mut out = Vec::new();
+        recipe.fill_evidence(&e, &mut out).unwrap();
+        assert_eq!(out, expected);
+
+        let batch = EvidenceBatch::from_evidences(6, &[e]).unwrap();
+        let mut flat = Vec::new();
+        recipe.fill_batch(&batch, &mut flat).unwrap();
+        assert_eq!(flat, expected);
+        let mut per_query = vec![0.0; recipe.num_inputs()];
+        recipe.fill_query(&batch, 0, &mut per_query);
+        assert_eq!(per_query, expected);
+        // Mismatched indicators are exactly -inf, matching ones exactly 0.0.
+        assert!(expected
+            .iter()
+            .all(|v| v.is_finite() || *v == f64::NEG_INFINITY));
     }
 
     #[test]

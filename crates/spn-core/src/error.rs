@@ -54,6 +54,26 @@ pub enum SpnError {
         /// Variables declared by the SPN.
         spn_vars: usize,
     },
+    /// A conditional query's conditioning evidence evaluated to probability
+    /// zero, so the ratio `P(target, given) / P(given)` is undefined.
+    ///
+    /// Carries the raw numerator/denominator values so callers (e.g. a
+    /// serving front-end) can distinguish a *structural* zero (the evidence
+    /// truly has probability zero — in the log domain the denominator is
+    /// exactly `-inf`) from a linear-domain *underflow* (a deep circuit's
+    /// positive probability flushed to `0.0`; re-running in
+    /// [`crate::NumericMode::Log`] resolves those).
+    UndefinedConditional {
+        /// Index of the offending query within its batch.
+        query: usize,
+        /// The `P(target, given)` pass's value (linear or log domain,
+        /// matching the executing program's numeric mode).
+        numerator: f64,
+        /// The `P(given)` pass's value (`0.0` linear / `-inf` log).
+        denominator: f64,
+        /// The numeric domain the values were computed in.
+        mode: crate::NumericMode,
+    },
     /// A parse error in the text format.
     Parse {
         /// 1-based line number of the error.
@@ -101,6 +121,16 @@ impl fmt::Display for SpnError {
                 f,
                 "evidence covers {evidence_vars} variables but the SPN has {spn_vars}"
             ),
+            SpnError::UndefinedConditional {
+                query,
+                numerator,
+                denominator,
+                mode,
+            } => write!(
+                f,
+                "conditional query {query} undefined: conditioning evidence has probability zero \
+                 ({mode} domain, numerator {numerator}, denominator {denominator})"
+            ),
             SpnError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
             SpnError::Invalid { message } => write!(f, "{message}"),
         }
@@ -142,6 +172,12 @@ mod tests {
             SpnError::EvidenceMismatch {
                 evidence_vars: 1,
                 spn_vars: 2,
+            },
+            SpnError::UndefinedConditional {
+                query: 2,
+                numerator: 0.0,
+                denominator: 0.0,
+                mode: crate::NumericMode::Linear,
             },
             SpnError::Parse {
                 line: 4,

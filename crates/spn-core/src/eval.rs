@@ -363,6 +363,80 @@ impl Spn {
         })
     }
 
+    /// Log-domain most probable explanation: identical argmax semantics to
+    /// [`Spn::mpe`], but the circuit value is computed (and returned) as a
+    /// natural log — max-sum instead of max-product — so deep circuits whose
+    /// max-product value underflows `f64` still yield a finite score and a
+    /// meaningful argmax.
+    ///
+    /// This is the reference oracle for MAP queries executed in
+    /// [`crate::NumericMode::Log`]; [`MpeResult::value`] holds the *log* of
+    /// the max-product value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
+    /// different number of variables than the SPN.
+    pub fn mpe_log(&self, evidence: &Evidence) -> Result<MpeResult> {
+        self.check_evidence(evidence)?;
+        let order = self.topological_order();
+        let mut values = vec![f64::NEG_INFINITY; self.num_nodes()];
+        let mut choices = vec![usize::MAX; self.num_nodes()];
+        for &id in &order {
+            values[id.index()] = match self.node(id) {
+                Node::Indicator { var, value } => evidence.indicator(var.index(), *value).ln(),
+                Node::Constant(c) => c.max(0.0).ln(),
+                Node::Product { children } => {
+                    children.iter().map(|c| values[c.index()]).sum::<f64>()
+                }
+                Node::Sum { children, weights } => {
+                    let mut best = f64::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for (i, (c, w)) in children.iter().zip(weights).enumerate() {
+                        let v = w.ln() + values[c.index()];
+                        if v > best {
+                            best = v;
+                            best_idx = i;
+                        }
+                    }
+                    choices[id.index()] = best_idx;
+                    best
+                }
+            };
+        }
+
+        // Same backtrack as the linear mpe: follow argmax branches from the
+        // root, hard evidence wins over indicator preferences.
+        let mut assignment: Vec<Option<bool>> = vec![None; self.num_vars()];
+        let mut stack: Vec<NodeId> = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            match self.node(id) {
+                Node::Indicator { var, value } => {
+                    let v = evidence.value(var.index()).unwrap_or(*value);
+                    assignment[var.index()] = Some(v);
+                }
+                Node::Constant(_) => {}
+                Node::Product { children } => stack.extend(children.iter().copied()),
+                Node::Sum { children, .. } => {
+                    let choice = choices[id.index()];
+                    if choice != usize::MAX {
+                        stack.push(children[choice]);
+                    }
+                }
+            }
+        }
+        let assignment: Vec<bool> = assignment
+            .iter()
+            .enumerate()
+            .map(|(var, v)| v.or(evidence.value(var)).unwrap_or(false))
+            .collect();
+
+        Ok(MpeResult {
+            value: values[self.root().index()],
+            assignment,
+        })
+    }
+
     fn check_evidence(&self, evidence: &Evidence) -> Result<()> {
         if evidence.num_vars() != self.num_vars() {
             return Err(SpnError::EvidenceMismatch {
@@ -487,6 +561,20 @@ mod tests {
         let result = spn.mpe(&e).unwrap();
         assert_eq!(result.assignment, vec![true, true]);
         assert!((result.value - 0.2 * 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mpe_log_matches_linear_mpe() {
+        let spn = independent_pair();
+        for evidence in [
+            Evidence::marginal(2),
+            Evidence::from_assignment(&[true, false]),
+        ] {
+            let linear = spn.mpe(&evidence).unwrap();
+            let log = spn.mpe_log(&evidence).unwrap();
+            assert_eq!(log.assignment, linear.assignment);
+            assert!((log.value.exp() - linear.value).abs() < 1e-12);
+        }
     }
 
     #[test]

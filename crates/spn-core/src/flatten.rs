@@ -12,11 +12,18 @@
 //! Flattening binarises n-ary sums and products and turns sum weights into
 //! parameter inputs multiplied into their child, exactly like the arithmetic
 //! circuits emitted by PSDD/AC learning tools.
+//!
+//! Every program carries a [`NumericMode`]: flattening produces linear-domain
+//! programs, and [`OpList::to_log_domain`] rewrites one into its log-domain
+//! twin (sums become log-sum-exp, products become additions, parameters are
+//! stored as natural logs), so deep circuits whose probabilities underflow
+//! `f64` in linear space stay finite on every backend.
 
 use serde::{Deserialize, Serialize};
 
 use crate::evidence::Evidence;
 use crate::graph::{Node, Spn, VarId};
+use crate::numeric::{log_sum_exp, NumericMode};
 use crate::{Result, SpnError};
 
 /// The source feeding one input slot of a flattened program.
@@ -45,14 +52,20 @@ pub enum OperandRef {
 /// The arithmetic performed by a flattened operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum OpKind {
-    /// Addition (sum node contribution).
+    /// Addition.  A sum-node contribution in linear-domain programs; a
+    /// *product* contribution in log-domain programs (logs add).
     Add,
-    /// Multiplication (product node or weight application).
+    /// Multiplication (product node or weight application; linear-domain
+    /// programs only).
     Mul,
-    /// Maximisation (sum node contribution in the max-product variant used
-    /// by MAP/MPE queries; produced by [`OpList::to_max_product`], never by
-    /// flattening itself).
+    /// Maximisation (sum node contribution in the max-product / max-sum
+    /// variants used by MAP/MPE queries; produced by
+    /// [`OpList::to_max_product`], never by flattening itself).
     Max,
+    /// Log-sum-exp: `ln(e^a + e^b)` — the sum-node contribution of
+    /// log-domain programs (produced by [`OpList::to_log_domain`], never by
+    /// flattening itself).
+    LogAdd,
 }
 
 /// One binary operation of an [`OpList`].
@@ -107,6 +120,9 @@ pub struct OpList {
     ops: Vec<Op>,
     output: OperandRef,
     num_vars: usize,
+    /// The numeric domain the program computes in (see
+    /// [`OpList::to_log_domain`]).
+    mode: NumericMode,
 }
 
 impl OpList {
@@ -176,6 +192,71 @@ impl OpList {
             ops,
             output,
             num_vars: spn.num_vars(),
+            mode: NumericMode::Linear,
+        }
+    }
+
+    /// The numeric domain this program computes in.
+    pub fn mode(&self) -> NumericMode {
+        self.mode
+    }
+
+    /// The log-domain twin of this program: identical structure, but sums
+    /// become log-sum-exp ([`OpKind::LogAdd`]), products become additions,
+    /// maximisations stay maximisations (the logarithm is monotone), and
+    /// every [`LeafSource::Param`] is stored as its natural log.  Indicator
+    /// inputs are filled with log values (`0.0` / `-inf`) by the evaluation
+    /// and [`crate::InputRecipe`] paths, keyed on [`OpList::mode`].
+    ///
+    /// Evaluating the result yields the *natural log* of what the linear
+    /// program computes — finite even where the linear value underflows to
+    /// `0.0`.  Converting a max-product program yields its max-sum twin.
+    /// Converting a program already in the log domain is the identity.
+    pub fn to_log_domain(&self) -> OpList {
+        if self.mode == NumericMode::Log {
+            return self.clone();
+        }
+        OpList {
+            inputs: self
+                .inputs
+                .iter()
+                .map(|leaf| match *leaf {
+                    // `max(0.0)` mirrors the reference evaluator's clamping of
+                    // degenerate constants; ln(0) = -inf represents prob zero.
+                    LeafSource::Param(p) => LeafSource::Param(p.max(0.0).ln()),
+                    indicator => indicator,
+                })
+                .collect(),
+            ops: self
+                .ops
+                .iter()
+                .map(|op| Op {
+                    kind: match op.kind {
+                        OpKind::Add => OpKind::LogAdd,
+                        OpKind::Mul => OpKind::Add,
+                        OpKind::Max => OpKind::Max,
+                        OpKind::LogAdd => unreachable!("linear programs have no LogAdd ops"),
+                    },
+                    ..*op
+                })
+                .collect(),
+            output: self.output,
+            num_vars: self.num_vars,
+            mode: NumericMode::Log,
+        }
+    }
+
+    /// This program converted to `mode` (a clone when already there).
+    pub fn with_mode(&self, mode: NumericMode) -> OpList {
+        match mode {
+            NumericMode::Linear => {
+                assert!(
+                    self.mode == NumericMode::Linear,
+                    "log-domain programs cannot be converted back to linear"
+                );
+                self.clone()
+            }
+            NumericMode::Log => self.to_log_domain(),
         }
     }
 
@@ -222,11 +303,21 @@ impl OpList {
                 spn_vars: self.num_vars,
             });
         }
+        let log = self.mode == NumericMode::Log;
         Ok(self
             .inputs
             .iter()
             .map(|leaf| match leaf {
-                LeafSource::Indicator { var, value } => evidence.indicator(var.index(), *value),
+                // ln(1.0) = 0.0 and ln(0.0) = -inf exactly, so the log-domain
+                // indicator fill is just the natural log of the linear one.
+                LeafSource::Indicator { var, value } => {
+                    let v = evidence.indicator(var.index(), *value);
+                    if log {
+                        v.ln()
+                    } else {
+                        v
+                    }
+                }
                 LeafSource::Param(p) => *p,
             })
             .collect())
@@ -269,6 +360,7 @@ impl OpList {
                 OpKind::Add => a + b,
                 OpKind::Mul => a * b,
                 OpKind::Max => a.max(b),
+                OpKind::LogAdd => log_sum_exp(a, b),
             };
         }
         value(self.output, results)
@@ -284,8 +376,12 @@ impl OpList {
         Ok(self.run(&self.input_values(evidence)?))
     }
 
-    /// The max-product variant of this program: every [`OpKind::Add`] is
-    /// replaced by [`OpKind::Max`], inputs and structure stay identical.
+    /// The max-product variant of this program: every sum contribution
+    /// ([`OpKind::Add`] in the linear domain, [`OpKind::LogAdd`] in the log
+    /// domain) is replaced by [`OpKind::Max`]; inputs and structure stay
+    /// identical, and the numeric mode is inherited (a log-domain program
+    /// yields its *max-sum* twin, whose value is the log of the max-product
+    /// value).
     ///
     /// Evaluating the result computes the circuit's MPE (most probable
     /// explanation) value instead of the marginal sum; the maximising
@@ -294,29 +390,37 @@ impl OpList {
     /// Because the input slots are unchanged, an [`crate::InputRecipe`] built
     /// from either variant fills both.
     pub fn to_max_product(&self) -> OpList {
+        let sum_kind = match self.mode {
+            NumericMode::Linear => OpKind::Add,
+            NumericMode::Log => OpKind::LogAdd,
+        };
         OpList {
             inputs: self.inputs.clone(),
             ops: self
                 .ops
                 .iter()
                 .map(|op| Op {
-                    kind: match op.kind {
-                        OpKind::Add => OpKind::Max,
-                        other => other,
+                    kind: if op.kind == sum_kind {
+                        OpKind::Max
+                    } else {
+                        op.kind
                     },
                     ..*op
                 })
                 .collect(),
             output: self.output,
             num_vars: self.num_vars,
+            mode: self.mode,
         }
     }
 
     /// Converts to the Algorithm 2 loop form.
     ///
-    /// Only defined for sum-product programs: the loop form encodes each
-    /// operation as a single `is_sum` bit and cannot represent
-    /// [`OpKind::Max`].
+    /// Only defined for sum-product (or log-sum-product) programs: the loop
+    /// form encodes each operation as a single `is_sum` bit and cannot
+    /// represent [`OpKind::Max`].  The loop program inherits the numeric
+    /// mode: `is_sum` selects log-sum-exp (and the product bit plain
+    /// addition) for log-domain programs.
     ///
     /// # Panics
     ///
@@ -327,6 +431,10 @@ impl OpList {
             self.ops.iter().all(|op| op.kind != OpKind::Max),
             "loop programs cannot represent max-product operations"
         );
+        let sum_kind = match self.mode {
+            NumericMode::Linear => OpKind::Add,
+            NumericMode::Log => OpKind::LogAdd,
+        };
         let m = self.inputs.len();
         let index = |r: OperandRef| -> usize {
             match r {
@@ -338,7 +446,7 @@ impl OpList {
             .ops
             .iter()
             .map(|op| LoopOp {
-                is_sum: op.kind == OpKind::Add,
+                is_sum: op.kind == sum_kind,
                 b: index(op.lhs),
                 c: index(op.rhs),
             })
@@ -348,6 +456,7 @@ impl OpList {
             ops,
             output: index(self.output),
             num_vars: self.num_vars,
+            mode: self.mode,
         }
     }
 }
@@ -355,7 +464,9 @@ impl OpList {
 /// One iteration of the Algorithm 2 loop: `A[m+i] = A[b] (+|×) A[c]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LoopOp {
-    /// `true` selects addition, `false` multiplication (the `O` vector).
+    /// `true` selects the sum-node operation, `false` the product-node one
+    /// (the `O` vector).  In linear mode those are `+` and `×`; in log mode,
+    /// log-sum-exp and `+`.
     pub is_sum: bool,
     /// Index of the first operand in the working array `A` (the `B` vector).
     pub b: usize,
@@ -370,6 +481,7 @@ pub struct LoopProgram {
     ops: Vec<LoopOp>,
     output: usize,
     num_vars: usize,
+    mode: NumericMode,
 }
 
 impl LoopProgram {
@@ -408,6 +520,11 @@ impl LoopProgram {
         self.num_vars
     }
 
+    /// The numeric domain this program computes in.
+    pub fn mode(&self) -> NumericMode {
+        self.mode
+    }
+
     /// Materialises the input portion of the working array for `evidence`.
     ///
     /// # Errors
@@ -421,11 +538,19 @@ impl LoopProgram {
                 spn_vars: self.num_vars,
             });
         }
+        let log = self.mode == NumericMode::Log;
         Ok(self
             .inputs
             .iter()
             .map(|leaf| match leaf {
-                LeafSource::Indicator { var, value } => evidence.indicator(var.index(), *value),
+                LeafSource::Indicator { var, value } => {
+                    let v = evidence.indicator(var.index(), *value);
+                    if log {
+                        v.ln()
+                    } else {
+                        v
+                    }
+                }
                 LeafSource::Param(p) => *p,
             })
             .collect())
@@ -441,12 +566,25 @@ impl LoopProgram {
         let m = self.inputs.len();
         let mut a = vec![0.0f64; m + self.ops.len()];
         a[..m].copy_from_slice(&inputs[..m]);
-        for (i, op) in self.ops.iter().enumerate() {
-            a[m + i] = if op.is_sum {
-                a[op.b] + a[op.c]
-            } else {
-                a[op.b] * a[op.c]
-            };
+        match self.mode {
+            NumericMode::Linear => {
+                for (i, op) in self.ops.iter().enumerate() {
+                    a[m + i] = if op.is_sum {
+                        a[op.b] + a[op.c]
+                    } else {
+                        a[op.b] * a[op.c]
+                    };
+                }
+            }
+            NumericMode::Log => {
+                for (i, op) in self.ops.iter().enumerate() {
+                    a[m + i] = if op.is_sum {
+                        log_sum_exp(a[op.b], a[op.c])
+                    } else {
+                        a[op.b] + a[op.c]
+                    };
+                }
+            }
         }
         a[self.output]
     }
@@ -583,6 +721,54 @@ mod tests {
                 "seed {seed}"
             );
         }
+    }
+
+    #[test]
+    fn log_domain_matches_linear_where_linear_is_finite() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for seed in 0..4u64 {
+            let spn = random_spn(&RandomSpnConfig::with_vars(7), &mut rng);
+            let ops = OpList::from_spn(&spn);
+            let log_ops = ops.to_log_domain();
+            assert_eq!(log_ops.mode(), NumericMode::Log);
+            assert_eq!(log_ops.num_ops(), ops.num_ops());
+            assert!(log_ops.ops().iter().all(|op| op.kind != OpKind::Mul));
+            let log_lp = log_ops.to_loop_program();
+            assert_eq!(log_lp.mode(), NumericMode::Log);
+            for case in 0..3 {
+                let mut e = Evidence::marginal(7);
+                if case > 0 {
+                    e.observe(case, case % 2 == 0);
+                }
+                let linear = ops.evaluate(&e).unwrap();
+                let log = log_ops.evaluate(&e).unwrap();
+                assert!(
+                    (log.exp() - linear).abs() < 1e-9,
+                    "seed {seed} case {case}: exp({log}) vs {linear}"
+                );
+                assert!((log_lp.evaluate(&e).unwrap() - log).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn log_domain_conversion_is_idempotent_and_tracks_max_product() {
+        let spn = mixture();
+        let ops = OpList::from_spn(&spn);
+        let log_ops = ops.to_log_domain();
+        assert_eq!(log_ops.to_log_domain(), log_ops);
+        assert_eq!(ops.with_mode(NumericMode::Linear), ops);
+        assert_eq!(ops.with_mode(NumericMode::Log), log_ops);
+
+        // Max-sum (log of max-product): converting commutes with the
+        // max-product rewrite.
+        let max_then_log = ops.to_max_product().to_log_domain();
+        let log_then_max = log_ops.to_max_product();
+        assert_eq!(max_then_log, log_then_max);
+        let e = Evidence::from_assignment(&[true, false]);
+        let max_linear = ops.to_max_product().evaluate(&e).unwrap();
+        let max_log = log_then_max.evaluate(&e).unwrap();
+        assert!((max_log.exp() - max_linear).abs() < 1e-12);
     }
 
     #[test]

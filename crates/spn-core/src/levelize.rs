@@ -145,6 +145,9 @@ mod tests {
                     crate::flatten::OpKind::Add => val(op.lhs) + val(op.rhs),
                     crate::flatten::OpKind::Mul => val(op.lhs) * val(op.rhs),
                     crate::flatten::OpKind::Max => val(op.lhs).max(val(op.rhs)),
+                    crate::flatten::OpKind::LogAdd => {
+                        crate::numeric::log_sum_exp(val(op.lhs), val(op.rhs))
+                    }
                 };
             }
         }

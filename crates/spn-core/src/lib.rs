@@ -73,6 +73,7 @@ pub mod eval;
 pub mod flatten;
 pub mod io;
 pub mod levelize;
+pub mod numeric;
 pub mod query;
 pub mod random;
 pub mod stats;
@@ -84,7 +85,10 @@ pub use error::SpnError;
 pub use eval::Evaluator;
 pub use evidence::Evidence;
 pub use graph::{Node, NodeId, Spn, SpnBuilder, VarId};
-pub use query::{reference_query, ConditionalBatch, QueryBatch, QueryMode, QueryResult};
+pub use numeric::NumericMode;
+pub use query::{
+    reference_query, reference_query_with, ConditionalBatch, QueryBatch, QueryMode, QueryResult,
+};
 pub use value::LogProb;
 pub use wire::{QueryRequest, QueryResponse};
 

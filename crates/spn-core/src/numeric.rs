@@ -1,0 +1,141 @@
+//! Numeric execution domains of the lowered arithmetic circuit.
+//!
+//! Linear-domain evaluation multiplies probabilities directly, which silently
+//! flushes to `0.0` once a circuit is deep enough (a few hundred sub-unit
+//! factors exhaust the `f64` exponent range).  The log domain keeps those
+//! values representable: products become additions, sums become log-sum-exp,
+//! and maximisation is unchanged (the logarithm is monotone), so the same
+//! program structure evaluates either way.
+//!
+//! [`NumericMode`] names the two domains; it is threaded through the whole
+//! lowering stack — [`crate::flatten::OpList`] carries its mode, the
+//! [`crate::batch::InputRecipe`] fills indicator inputs with linear or log
+//! values, every execution backend runs the mode-specific kernels, and the
+//! serving layer caches compiled artifacts per `(model, mode)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Result, SpnError};
+
+/// The numeric domain a lowered program computes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum NumericMode {
+    /// Plain probabilities: sums add, products multiply.  Fast and exact for
+    /// shallow circuits; underflows to `0.0` on deep ones.
+    #[default]
+    Linear,
+    /// Natural-log probabilities: sums are log-sum-exp, products add, and
+    /// probability zero is `-inf`.  Deep circuits stay finite.
+    Log,
+}
+
+impl NumericMode {
+    /// Both modes, in presentation order.
+    pub const ALL: [NumericMode; 2] = [NumericMode::Linear, NumericMode::Log];
+
+    /// Lower-case display name (used on the wire and in benchmark records).
+    pub fn name(self) -> &'static str {
+        match self {
+            NumericMode::Linear => "linear",
+            NumericMode::Log => "log",
+        }
+    }
+
+    /// Parses a lower-case mode name (the inverse of [`NumericMode::name`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::Invalid`] naming the unknown mode.
+    pub fn from_name(name: &str) -> Result<NumericMode> {
+        NumericMode::ALL
+            .into_iter()
+            .find(|mode| mode.name() == name)
+            .ok_or_else(|| {
+                SpnError::invalid(format!(
+                    "unknown numeric mode {name:?} (expected linear or log)"
+                ))
+            })
+    }
+
+    /// Dense index (`0` linear, `1` log) for per-mode artifact tables.
+    pub fn index(self) -> usize {
+        match self {
+            NumericMode::Linear => 0,
+            NumericMode::Log => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for NumericMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Log-sum-exp of two natural-log values: `ln(e^a + e^b)` computed without
+/// overflow, with `-inf` as the additive identity (probability zero).
+///
+/// This is the scalar kernel behind every log-domain sum — it matches
+/// [`crate::LogProb`]'s `+` operator exactly, so compiled backends agree with
+/// the interpreted [`crate::Evaluator::evaluate_log`] oracle.
+#[inline]
+pub fn log_sum_exp(a: f64, b: f64) -> f64 {
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    if hi == f64::NEG_INFINITY {
+        f64::NEG_INFINITY
+    } else {
+        hi + (lo - hi).exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LogProb;
+
+    #[test]
+    fn names_round_trip() {
+        for mode in NumericMode::ALL {
+            assert_eq!(NumericMode::from_name(mode.name()).unwrap(), mode);
+        }
+        assert!(NumericMode::from_name("decimal").is_err());
+        assert_eq!(NumericMode::default(), NumericMode::Linear);
+        assert_eq!(NumericMode::Linear.index(), 0);
+        assert_eq!(NumericMode::Log.index(), 1);
+        assert_eq!(NumericMode::Log.to_string(), "log");
+    }
+
+    #[test]
+    fn log_sum_exp_matches_logprob_addition() {
+        let cases = [
+            (0.25f64, 0.5),
+            (1e-300, 1e-300),
+            (1.0, 0.0),
+            (0.0, 0.0),
+            (1e-12, 0.999),
+        ];
+        for (p, q) in cases {
+            let expected = (LogProb::from_linear(p) + LogProb::from_linear(q)).ln();
+            let got = log_sum_exp(p.ln(), q.ln());
+            assert_eq!(got.to_bits(), expected.to_bits(), "p={p} q={q}");
+        }
+    }
+
+    #[test]
+    fn log_sum_exp_handles_zero_probability() {
+        assert_eq!(
+            log_sum_exp(f64::NEG_INFINITY, f64::NEG_INFINITY),
+            f64::NEG_INFINITY
+        );
+        assert_eq!(log_sum_exp(f64::NEG_INFINITY, -3.0), -3.0);
+        assert_eq!(log_sum_exp(-3.0, f64::NEG_INFINITY), -3.0);
+    }
+
+    #[test]
+    fn log_sum_exp_survives_deep_underflow_scale() {
+        // Two values far below the linear-domain f64 range still add exactly.
+        let tiny = -2000.0 * std::f64::consts::LN_2;
+        let doubled = log_sum_exp(tiny, tiny);
+        assert!((doubled - (tiny + std::f64::consts::LN_2)).abs() < 1e-9);
+    }
+}

@@ -34,6 +34,7 @@ use crate::eval::Evaluator;
 use crate::evidence::Evidence;
 use crate::flatten::{LeafSource, OpKind, OpList, OperandRef};
 use crate::graph::Spn;
+use crate::numeric::NumericMode;
 use crate::{Result, SpnError};
 
 /// The inference workload a batch of queries asks for.
@@ -405,7 +406,7 @@ impl MaxProductProgram {
                                 stack.push(op.rhs);
                             }
                         }
-                        OpKind::Mul | OpKind::Add => {
+                        OpKind::Mul | OpKind::Add | OpKind::LogAdd => {
                             stack.push(op.lhs);
                             stack.push(op.rhs);
                         }
@@ -422,33 +423,67 @@ impl MaxProductProgram {
 }
 
 /// Answers a query batch with the reference [`Evaluator`] (and [`Spn::mpe`]
-/// for MAP queries).
+/// for MAP queries), in the linear domain.
 ///
 /// This is the oracle every execution backend is checked against: tests and
-/// the benchmark harness compare engine outputs to it.
+/// the benchmark harness compare engine outputs to it.  See
+/// [`reference_query_with`] for the mode-aware form.
 ///
 /// # Errors
 ///
 /// Returns [`SpnError::EvidenceMismatch`] on a variable-count mismatch,
-/// [`SpnError::Invalid`] for malformed joint rows or a conditional query
-/// whose conditioning evidence has probability zero.
+/// [`SpnError::Invalid`] for malformed joint rows, and
+/// [`SpnError::UndefinedConditional`] for a conditional query whose
+/// conditioning evidence has probability zero.
 pub fn reference_query(spn: &Spn, query: &QueryBatch) -> Result<QueryResult> {
+    reference_query_with(spn, query, NumericMode::Linear)
+}
+
+/// Answers a query batch with the reference [`Evaluator`] in the requested
+/// numeric domain.
+///
+/// In [`NumericMode::Log`] the oracle runs [`Evaluator::evaluate_log`] (and
+/// [`Spn::mpe_log`] for MAP queries) and every returned value is a natural
+/// log — finite where the linear value would underflow to `0.0`; conditional
+/// queries become a log-space subtraction.
+///
+/// # Errors
+///
+/// As for [`reference_query`].
+pub fn reference_query_with(
+    spn: &Spn,
+    query: &QueryBatch,
+    mode: NumericMode,
+) -> Result<QueryResult> {
     query.validate()?;
     let mut evaluator = Evaluator::new(spn);
-    match query {
-        QueryBatch::Joint(batch) | QueryBatch::Marginal(batch) => {
-            let mut values = Vec::new();
-            evaluator.evaluate_batch(batch, &mut values)?;
-            Ok(QueryResult {
-                values,
-                assignments: None,
-            })
+    let mut run_batch = |batch: &EvidenceBatch| -> Result<Vec<f64>> {
+        match mode {
+            NumericMode::Linear => {
+                let mut values = Vec::new();
+                evaluator.evaluate_batch(batch, &mut values)?;
+                Ok(values)
+            }
+            NumericMode::Log => {
+                let mut values = Vec::new();
+                evaluator.evaluate_log_batch(batch, &mut values)?;
+                Ok(values.into_iter().map(crate::LogProb::ln).collect())
+            }
         }
+    };
+    match query {
+        QueryBatch::Joint(batch) | QueryBatch::Marginal(batch) => Ok(QueryResult {
+            values: run_batch(batch)?,
+            assignments: None,
+        }),
         QueryBatch::Map(batch) => {
             let mut values = Vec::with_capacity(batch.len());
             let mut assignments = Vec::with_capacity(batch.len());
             for q in 0..batch.len() {
-                let result = spn.mpe(&batch.to_evidence(q))?;
+                let result = match mode {
+                    NumericMode::Linear => spn.mpe(&batch.to_evidence(q))?,
+                    NumericMode::Log => spn.mpe_log(&batch.to_evidence(q))?,
+                };
                 values.push(result.value);
                 assignments.push(result.assignment);
             }
@@ -458,12 +493,10 @@ pub fn reference_query(spn: &Spn, query: &QueryBatch) -> Result<QueryResult> {
             })
         }
         QueryBatch::Conditional(cond) => {
-            let mut joint = Vec::new();
-            evaluator.evaluate_batch(cond.numerator(), &mut joint)?;
-            let mut given = Vec::new();
-            evaluator.evaluate_batch(cond.denominator(), &mut given)?;
+            let joint = run_batch(cond.numerator())?;
+            let given = run_batch(cond.denominator())?;
             Ok(QueryResult {
-                values: conditional_ratio(joint, &given)?,
+                values: conditional_values(mode, joint, &given)?,
                 assignments: None,
             })
         }
@@ -471,26 +504,58 @@ pub fn reference_query(spn: &Spn, query: &QueryBatch) -> Result<QueryResult> {
 }
 
 /// Divides a conditional batch's numerator values by its denominator values
-/// — the final step of every conditional query path (the reference oracle
-/// and the engines share this policy).
+/// in the linear domain — see [`conditional_values`] for the mode-aware
+/// form shared by the reference oracle and the engines.
 ///
 /// # Errors
 ///
-/// Returns [`SpnError::Invalid`] naming the first query whose conditioning
-/// evidence has probability zero.
+/// Returns [`SpnError::UndefinedConditional`] for the first query whose
+/// conditioning evidence has probability zero.
 pub fn conditional_ratio(numerator: Vec<f64>, denominator: &[f64]) -> Result<Vec<f64>> {
+    conditional_values(NumericMode::Linear, numerator, denominator)
+}
+
+/// Combines a conditional batch's two passes into `P(target | given)` —
+/// the final step of every conditional query path (the reference oracle and
+/// the engines share this policy).
+///
+/// In the linear domain this divides; in the log domain it *subtracts*
+/// (`ln P(target, given) - ln P(given)`), which is exactly why log-mode
+/// conditionals cannot fail by underflow: the denominator is `-inf` only
+/// when the conditioning evidence has a true structural probability of zero.
+///
+/// # Errors
+///
+/// Returns [`SpnError::UndefinedConditional`] — carrying the raw
+/// numerator/denominator so callers can distinguish structural zeros from
+/// linear-domain underflow — for the first query whose conditioning
+/// evidence has probability zero.
+pub fn conditional_values(
+    mode: NumericMode,
+    numerator: Vec<f64>,
+    denominator: &[f64],
+) -> Result<Vec<f64>> {
     numerator
         .into_iter()
         .zip(denominator)
         .enumerate()
         .map(|(q, (num, den))| {
-            if *den == 0.0 {
-                Err(SpnError::invalid(format!(
-                    "conditional query {q} undefined: \
-                     conditioning evidence has probability zero"
-                )))
+            let zero = match mode {
+                NumericMode::Linear => *den == 0.0,
+                NumericMode::Log => *den == f64::NEG_INFINITY,
+            };
+            if zero {
+                Err(SpnError::UndefinedConditional {
+                    query: q,
+                    numerator: num,
+                    denominator: *den,
+                    mode,
+                })
             } else {
-                Ok(num / den)
+                Ok(match mode {
+                    NumericMode::Linear => num / den,
+                    NumericMode::Log => num - den,
+                })
             }
         })
         .collect()
@@ -589,7 +654,60 @@ mod tests {
         let mut given = Evidence::marginal(1);
         given.observe(0, false);
         cond.push(&Evidence::marginal(1), &given).unwrap();
-        assert!(reference_query(&spn, &QueryBatch::Conditional(cond)).is_err());
+        let err = reference_query(&spn, &QueryBatch::Conditional(cond.clone())).unwrap_err();
+        assert!(matches!(
+            err,
+            SpnError::UndefinedConditional {
+                query: 0,
+                denominator,
+                mode: NumericMode::Linear,
+                ..
+            } if denominator == 0.0
+        ));
+        // A structural zero stays an error in the log domain too, with the
+        // denominator reported as -inf.
+        let err = reference_query_with(&spn, &QueryBatch::Conditional(cond), NumericMode::Log)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SpnError::UndefinedConditional {
+                denominator,
+                mode: NumericMode::Log,
+                ..
+            } if denominator == f64::NEG_INFINITY
+        ));
+    }
+
+    #[test]
+    fn log_reference_matches_linear_reference() {
+        let spn = independent_pair();
+        let mut batch = EvidenceBatch::new(2);
+        batch.push_marginal();
+        batch.push_assignment(&[true, false]).unwrap();
+        let mut e = Evidence::marginal(2);
+        e.observe(1, true);
+        batch.push(&e).unwrap();
+
+        for query in [
+            QueryBatch::Marginal(batch.clone()),
+            QueryBatch::Map(batch.clone()),
+        ] {
+            let linear = reference_query(&spn, &query).unwrap();
+            let log = reference_query_with(&spn, &query, NumericMode::Log).unwrap();
+            assert_eq!(log.assignments, linear.assignments);
+            for (a, b) in log.values.iter().zip(&linear.values) {
+                assert!((a.exp() - b).abs() < 1e-12, "exp({a}) vs {b}");
+            }
+        }
+
+        let mut cond = ConditionalBatch::new(2);
+        let mut target = Evidence::marginal(2);
+        target.observe(0, true);
+        cond.push(&target, &e).unwrap();
+        let linear = reference_query(&spn, &QueryBatch::Conditional(cond.clone())).unwrap();
+        let log =
+            reference_query_with(&spn, &QueryBatch::Conditional(cond), NumericMode::Log).unwrap();
+        assert!((log.values[0].exp() - linear.values[0]).abs() < 1e-12);
     }
 
     #[test]

@@ -99,6 +99,44 @@ pub fn random_spn<R: Rng + ?Sized>(config: &RandomSpnConfig, rng: &mut R) -> Spn
     gen.builder.finish(root).expect("root was just created")
 }
 
+/// Builds a deterministic deep-chain SPN over one variable: a Bernoulli base
+/// mixture followed by `levels` stacked one-over-the-other sum nodes, each
+/// mixing the previous level with itself under two weights of `weight`.
+///
+/// With `weight ≤ 1e-3` the circuit value decays by `2 × weight` per level,
+/// so a chain of a few hundred levels underflows `f64` in the linear domain
+/// (the probability flushes to exactly `0.0`) while the log-domain value
+/// stays finite at `ln 0.5 + levels × ln(2 × weight)` under full evidence —
+/// the underflow-parity workload of the numeric-mode tests and benchmarks.
+///
+/// The SPN has `levels + 3` nodes (two indicators, the base mixture, one sum
+/// per level); pass `levels ≥ 1000` for a ≥ 1k-node circuit.  The sum
+/// weights are deliberately sub-normalised (they sum to `2 × weight`, not
+/// one), exactly like the unnormalised arithmetic circuits deep compilation
+/// pipelines emit.
+///
+/// # Panics
+///
+/// Panics when `weight` is not a positive finite number.
+pub fn deep_chain_spn(levels: usize, weight: f64) -> Spn {
+    assert!(
+        weight.is_finite() && weight > 0.0,
+        "chain weight must be positive and finite"
+    );
+    let mut b = SpnBuilder::new(1);
+    let t = b.indicator(VarId(0), true);
+    let f = b.indicator(VarId(0), false);
+    let mut prev = b
+        .sum(vec![(t, 0.5), (f, 0.5)])
+        .expect("base mixture is valid");
+    for _ in 0..levels {
+        prev = b
+            .sum(vec![(prev, weight), (prev, weight)])
+            .expect("chain link is valid");
+    }
+    b.finish(prev).expect("chain root exists")
+}
+
 struct Generator<'a> {
     builder: SpnBuilder,
     config: &'a RandomSpnConfig,
@@ -280,5 +318,29 @@ mod tests {
     fn zero_variables_panics() {
         let mut rng = StdRng::seed_from_u64(0);
         let _ = random_spn(&RandomSpnConfig::with_vars(0), &mut rng);
+    }
+
+    #[test]
+    fn deep_chain_underflows_linear_but_not_log() {
+        let spn = deep_chain_spn(1200, 1e-3);
+        assert!(spn.num_nodes() >= 1000);
+        let e = crate::Evidence::from_assignment(&[true]);
+        // Linear evaluation flushes to exactly zero...
+        assert_eq!(spn.evaluate(&e).unwrap(), 0.0);
+        // ...while the log-domain value is finite and matches closed form:
+        // ln 0.5 + levels · ln(2w).
+        let log = spn.evaluate_log(&e).unwrap().ln();
+        let expected = 0.5f64.ln() + 1200.0 * (2.0 * 1e-3f64).ln();
+        assert!(log.is_finite());
+        assert!(
+            (log - expected).abs() < 1e-6 * expected.abs(),
+            "{log} vs {expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn deep_chain_rejects_bad_weight() {
+        let _ = deep_chain_spn(3, 0.0);
     }
 }

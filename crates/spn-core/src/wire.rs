@@ -15,6 +15,7 @@
 //!   these onto line-delimited JSON; in-process callers use them directly.
 
 use crate::evidence::Evidence;
+use crate::numeric::NumericMode;
 use crate::query::{QueryBatch, QueryMode};
 use crate::{ConditionalBatch, EvidenceBatch, Result, SpnError};
 
@@ -140,10 +141,17 @@ pub struct QueryRequest {
     pub model: String,
     /// The queries themselves (mode included).
     pub query: QueryBatch,
+    /// The numeric domain to execute in.  [`NumericMode::Log`] answers with
+    /// natural-log probabilities (finite where linear values underflow to
+    /// zero); the serving layer holds one compiled artifact per
+    /// `(model, numeric mode)` and coalesces only same-domain requests.
+    pub numeric: NumericMode,
 }
 
 impl QueryRequest {
-    /// Builds a request from compact evidence rows (see [`build_query`]).
+    /// Builds a linear-domain request from compact evidence rows (see
+    /// [`build_query`]); chain [`QueryRequest::with_numeric`] for log-domain
+    /// execution.
     ///
     /// # Errors
     ///
@@ -163,7 +171,14 @@ impl QueryRequest {
             id,
             model: model.into(),
             query: build_query(mode, &rows, givens.as_deref())?,
+            numeric: NumericMode::Linear,
         })
+    }
+
+    /// Sets the numeric execution domain (builder style).
+    pub fn with_numeric(mut self, numeric: NumericMode) -> QueryRequest {
+        self.numeric = numeric;
+        self
     }
 }
 
@@ -176,8 +191,11 @@ pub struct QueryResponse {
     pub model: String,
     /// The request's query mode.
     pub mode: QueryMode,
+    /// The numeric domain the values were computed in.
+    pub numeric: NumericMode,
     /// One value per query, in request order: a probability for joint /
-    /// marginal / conditional queries, the max-product circuit value for MAP.
+    /// marginal / conditional queries, the max-product circuit value for MAP
+    /// — or the natural logs of all of those under [`NumericMode::Log`].
     pub values: Vec<f64>,
     /// The maximising assignment per query; `Some` for MAP requests only.
     pub assignments: Option<Vec<Vec<bool>>>,
@@ -227,6 +245,11 @@ mod tests {
         assert_eq!(request.model, "weather");
         assert_eq!(request.query.mode(), QueryMode::Map);
         assert_eq!(request.query.len(), 2);
+        assert_eq!(request.numeric, NumericMode::Linear);
+        assert_eq!(
+            request.with_numeric(NumericMode::Log).numeric,
+            NumericMode::Log
+        );
         assert!(QueryRequest::from_rows(0, "m", QueryMode::Map, &["?b?"], None).is_err());
     }
 

@@ -23,8 +23,8 @@ use std::sync::Arc;
 
 use spn_core::batch::EvidenceBatch;
 use spn_core::flatten::OpList;
-use spn_core::query::{conditional_ratio, MaxProductProgram, QueryBatch};
-use spn_core::{Evidence, Spn};
+use spn_core::query::{conditional_values, MaxProductProgram, QueryBatch};
+use spn_core::{Evidence, NumericMode, Spn};
 use spn_processor::PerfReport;
 
 use crate::backend::{Backend, BackendError, BatchResult, ExecBuffers, Parallelism, WorkerState};
@@ -118,13 +118,31 @@ impl<B: Backend> Engine<B> {
         Ok(Engine::from_artifact(backend, ops, compiled))
     }
 
-    /// Flattens `spn` and compiles it for `backend`.
+    /// Flattens `spn` and compiles it for `backend` (linear domain).
     ///
     /// # Errors
     ///
     /// Returns an error when the backend cannot compile the program.
     pub fn from_spn(backend: B, spn: &Spn) -> Result<Self, BackendError> {
         Engine::new(backend, &OpList::from_spn(spn))
+    }
+
+    /// Flattens `spn`, lowers it into `mode` and compiles it for `backend`.
+    ///
+    /// In [`NumericMode::Log`] every value the engine returns is a natural
+    /// log: joint/marginal probabilities, MAP circuit values, and
+    /// conditionals (computed as a log-space subtraction instead of a
+    /// division, so deep circuits cannot fail by denominator underflow).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the backend cannot compile the program.
+    pub fn from_spn_with_mode(
+        backend: B,
+        spn: &Spn,
+        mode: NumericMode,
+    ) -> Result<Self, BackendError> {
+        Engine::new(backend, &OpList::from_spn(spn).with_mode(mode))
     }
 
     /// Wraps an already compiled artifact without recompiling.
@@ -197,6 +215,12 @@ impl<B: Backend> Engine<B> {
     /// The flattened sum-product program the engine was compiled from.
     pub fn ops(&self) -> &OpList {
         &self.ops
+    }
+
+    /// The numeric domain this engine computes in (inherited from the
+    /// program it was compiled from).
+    pub fn mode(&self) -> NumericMode {
+        self.ops.mode()
     }
 
     /// Executes every query of `batch` against the compiled circuit.
@@ -302,7 +326,8 @@ impl<B: Backend> Engine<B> {
             QueryBatch::Conditional(cond) => {
                 let numerator = exec(self, cond.numerator())?;
                 let denominator = exec(self, cond.denominator())?;
-                let values = conditional_ratio(numerator.values, &denominator.values)?;
+                let values =
+                    conditional_values(self.ops.mode(), numerator.values, &denominator.values)?;
                 let mut perf = numerator.perf;
                 perf.merge(&denominator.perf);
                 Ok(QueryOutput {

@@ -196,11 +196,15 @@ impl GpuModel {
                         phases[1][bank_of[index_of(op.rhs)]] += 1;
                         phases[2][bank_of[ops.num_inputs() + op_idx]] += 1;
                         match op.kind {
-                            // Max ops take the sum side of the paper's
-                            // sum/product divergence split: a max-product
-                            // kernel diverges exactly where the sum-product
-                            // kernel does.
-                            OpKind::Add | OpKind::Max => has_sum = true,
+                            // Max and log-sum-exp ops take the sum side of
+                            // the paper's sum/product divergence split: the
+                            // max-product and log-domain kernels diverge
+                            // exactly where the sum-product kernel does.  (A
+                            // log-domain program's products lower to Add, so
+                            // it never mixes both sides in one warp — its
+                            // transcendental cost is modelled through
+                            // instructions_per_op, not divergence.)
+                            OpKind::Add | OpKind::Max | OpKind::LogAdd => has_sum = true,
                             OpKind::Mul => has_product = true,
                         }
                         shared_accesses += 3;
@@ -317,6 +321,10 @@ impl Backend for GpuModel {
                             OpKind::Add => value(op.lhs, results) + value(op.rhs, results),
                             OpKind::Mul => value(op.lhs, results) * value(op.rhs, results),
                             OpKind::Max => value(op.lhs, results).max(value(op.rhs, results)),
+                            OpKind::LogAdd => spn_core::numeric::log_sum_exp(
+                                value(op.lhs, results),
+                                value(op.rhs, results),
+                            ),
                         };
                     }
                 }

@@ -47,6 +47,10 @@ pub enum PeOp {
     /// Output = max(left input, right input) — sum nodes of max-product
     /// (MAP/MPE) programs.
     Max,
+    /// Output = log-sum-exp of the inputs (`ln(e^a + e^b)`) — sum nodes of
+    /// log-domain programs, where products are executed as `Add` and
+    /// probability zero is `-inf`.
+    Lse,
     /// Output = left input (forwarding).
     PassA,
     /// Output = right input (forwarding).
@@ -54,10 +58,10 @@ pub enum PeOp {
 }
 
 impl PeOp {
-    /// Returns `true` for `Add`/`Mul`/`Max`, the operations counted as SPN
-    /// work.
+    /// Returns `true` for `Add`/`Mul`/`Max`/`Lse`, the operations counted as
+    /// SPN work.
     pub fn is_arithmetic(self) -> bool {
-        matches!(self, PeOp::Add | PeOp::Mul | PeOp::Max)
+        matches!(self, PeOp::Add | PeOp::Mul | PeOp::Max | PeOp::Lse)
     }
 }
 

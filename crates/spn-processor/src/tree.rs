@@ -31,6 +31,23 @@ impl TreeOutputs {
     }
 }
 
+/// Log-sum-exp of two natural-log values: `ln(e^a + e^b)` without overflow,
+/// with `-inf` as the additive identity.
+///
+/// This mirrors `spn_core::numeric::log_sum_exp` bit for bit (this crate has
+/// no dependency on `spn-core`, so the three-line kernel is duplicated); the
+/// formulas must stay identical for the simulator to agree with the
+/// interpreted log-domain oracle.
+#[inline]
+pub fn log_sum_exp(a: f64, b: f64) -> f64 {
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    if hi == f64::NEG_INFINITY {
+        f64::NEG_INFINITY
+    } else {
+        hi + (lo - hi).exp().ln_1p()
+    }
+}
+
 /// Applies one PE operation to its two inputs.
 pub fn apply_pe(op: PeOp, a: f64, b: f64) -> f64 {
     match op {
@@ -38,6 +55,7 @@ pub fn apply_pe(op: PeOp, a: f64, b: f64) -> f64 {
         PeOp::Add => a + b,
         PeOp::Mul => a * b,
         PeOp::Max => a.max(b),
+        PeOp::Lse => log_sum_exp(a, b),
         PeOp::PassA => a,
         PeOp::PassB => b,
     }
@@ -120,9 +138,27 @@ mod tests {
     fn pe_semantics() {
         assert_eq!(apply_pe(PeOp::Add, 2.0, 3.0), 5.0);
         assert_eq!(apply_pe(PeOp::Mul, 2.0, 3.0), 6.0);
+        assert_eq!(apply_pe(PeOp::Max, 2.0, 3.0), 3.0);
         assert_eq!(apply_pe(PeOp::PassA, 2.0, 3.0), 2.0);
         assert_eq!(apply_pe(PeOp::PassB, 2.0, 3.0), 3.0);
         assert_eq!(apply_pe(PeOp::Nop, 2.0, 3.0), 0.0);
+    }
+
+    #[test]
+    fn lse_pe_matches_log_domain_addition() {
+        // ln(e^a + e^b) with the -inf identity: exactly the log-domain sum.
+        let a = 0.25f64.ln();
+        let b = 0.5f64.ln();
+        assert!((apply_pe(PeOp::Lse, a, b) - 0.75f64.ln()).abs() < 1e-12);
+        assert_eq!(apply_pe(PeOp::Lse, f64::NEG_INFINITY, b), b);
+        assert_eq!(
+            apply_pe(PeOp::Lse, f64::NEG_INFINITY, f64::NEG_INFINITY),
+            f64::NEG_INFINITY
+        );
+        // Far below the linear f64 range the sum still lands on ln 2 above.
+        let tiny = -5000.0;
+        assert!((apply_pe(PeOp::Lse, tiny, tiny) - (tiny + 2.0f64.ln())).abs() < 1e-12);
+        assert!(PeOp::Lse.is_arithmetic());
     }
 
     #[test]

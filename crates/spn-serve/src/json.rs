@@ -214,10 +214,16 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let token = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number token");
-        token
+        let n = token
             .parse::<f64>()
-            .map(Value::Num)
-            .map_err(|_| self.error(&format!("malformed number {token:?}")))
+            .map_err(|_| self.error(&format!("malformed number {token:?}")))?;
+        // `str::parse` maps overflowing literals like 1e999 to infinity; the
+        // writer would then round-trip that as `null`, silently corrupting
+        // the document.  JSON has no non-finite numbers, so reject instead.
+        if !n.is_finite() {
+            return Err(self.error(&format!("number {token:?} overflows f64")));
+        }
+        Ok(Value::Num(n))
     }
 
     fn parse_hex4(&mut self) -> Result<u16, String> {
@@ -415,5 +421,19 @@ mod tests {
     fn non_finite_numbers_serialise_as_null() {
         assert_eq!(Value::Num(f64::NAN).to_json(), "null");
         assert_eq!(Value::Num(f64::INFINITY).to_json(), "null");
+    }
+
+    #[test]
+    fn overflowing_literals_are_rejected() {
+        for text in ["1e999", "-1e999", "[1, 1e309]", "{\"x\": 1e400}"] {
+            let err = parse(text).unwrap_err();
+            assert!(err.contains("overflows"), "{text}: {err}");
+        }
+        // The largest finite doubles still parse.
+        assert_eq!(parse("1e308").unwrap(), Value::Num(1e308));
+        assert_eq!(
+            parse("-1.7976931348623157e308").unwrap(),
+            Value::Num(f64::MIN)
+        );
     }
 }

@@ -1,18 +1,21 @@
 //! Per-model / per-mode serving counters.
 //!
 //! Every dispatched micro-batch and every completed request lands in a
-//! [`Metrics`] sink keyed by `(model, mode)`.  The counters answer the two
-//! operational questions of a batching server: *is coalescing happening*
-//! (batches, coalesced batches, mean/max batch size) and *what latency are
-//! requests paying for it* (total/max wall-clock from submit to response).
+//! [`Metrics`] sink keyed by `(model, query mode, numeric mode)` — the same
+//! key the micro-batcher coalesces on, so linear and log traffic of one
+//! model (whose kernels differ ~2x in cost) never blur into one row.  The
+//! counters answer the two operational questions of a batching server: *is
+//! coalescing happening* (batches, coalesced batches, mean/max batch size)
+//! and *what latency are requests paying for it* (total/max wall-clock from
+//! submit to response).
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Duration;
 
-use spn_core::QueryMode;
+use spn_core::{NumericMode, QueryMode};
 
-/// Counters of one `(model, mode)` pair.
+/// Counters of one `(model, query mode, numeric mode)` triple.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ModeStats {
     /// Requests answered (successfully or not).
@@ -55,20 +58,22 @@ impl ModeStats {
     }
 }
 
-/// One `(model, mode)` row of a metrics snapshot.
+/// One `(model, query mode, numeric mode)` row of a metrics snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsRecord {
     /// Model name.
     pub model: String,
     /// Query mode.
     pub mode: QueryMode,
+    /// Numeric execution domain.
+    pub numeric: NumericMode,
     /// The counters.
     pub stats: ModeStats,
 }
 
-/// Counter rows keyed by `(model, mode name)` — mode names give the map a
-/// stable sort order for snapshots.
-type StatsMap = BTreeMap<(String, &'static str), (QueryMode, ModeStats)>;
+/// Counter rows keyed by `(model, mode name, numeric name)` — names give the
+/// map a stable sort order for snapshots.
+type StatsMap = BTreeMap<(String, &'static str, &'static str), (QueryMode, NumericMode, ModeStats)>;
 
 /// Thread-safe metrics sink shared by the batcher workers and front-ends.
 #[derive(Debug, Default)]
@@ -82,18 +87,31 @@ impl Metrics {
         Metrics::default()
     }
 
-    fn with_stats(&self, model: &str, mode: QueryMode, update: impl FnOnce(&mut ModeStats)) {
+    fn with_stats(
+        &self,
+        model: &str,
+        mode: QueryMode,
+        numeric: NumericMode,
+        update: impl FnOnce(&mut ModeStats),
+    ) {
         let mut inner = self.inner.lock().expect("metrics lock");
         let entry = inner
-            .entry((model.to_string(), mode.name()))
-            .or_insert_with(|| (mode, ModeStats::default()));
-        update(&mut entry.1);
+            .entry((model.to_string(), mode.name(), numeric.name()))
+            .or_insert_with(|| (mode, numeric, ModeStats::default()));
+        update(&mut entry.2);
     }
 
     /// Records one dispatched micro-batch of `requests` requests holding
     /// `queries` queries in total.
-    pub fn record_batch(&self, model: &str, mode: QueryMode, requests: u64, queries: u64) {
-        self.with_stats(model, mode, |stats| {
+    pub fn record_batch(
+        &self,
+        model: &str,
+        mode: QueryMode,
+        numeric: NumericMode,
+        requests: u64,
+        queries: u64,
+    ) {
+        self.with_stats(model, mode, numeric, |stats| {
             stats.batches += 1;
             if requests > 1 {
                 stats.coalesced_batches += 1;
@@ -105,15 +123,17 @@ impl Metrics {
 
     /// Records one answered request: its query count, submit-to-response
     /// latency, and whether it failed.
+    #[allow(clippy::too_many_arguments)]
     pub fn record_request(
         &self,
         model: &str,
         mode: QueryMode,
+        numeric: NumericMode,
         queries: u64,
         latency: Duration,
         ok: bool,
     ) {
-        self.with_stats(model, mode, |stats| {
+        self.with_stats(model, mode, numeric, |stats| {
             stats.requests += 1;
             stats.queries += queries;
             if !ok {
@@ -124,15 +144,16 @@ impl Metrics {
         });
     }
 
-    /// A consistent copy of every `(model, mode)` row, sorted by model name
-    /// then mode name.
+    /// A consistent copy of every `(model, query mode, numeric mode)` row,
+    /// sorted by model name, then mode name, then numeric-mode name.
     pub fn snapshot(&self) -> Vec<MetricsRecord> {
         let inner = self.inner.lock().expect("metrics lock");
         inner
             .iter()
-            .map(|((model, _), (mode, stats))| MetricsRecord {
+            .map(|((model, _, _), (mode, numeric, stats))| MetricsRecord {
                 model: model.clone(),
                 mode: *mode,
+                numeric: *numeric,
                 stats: stats.clone(),
             })
             .collect()
@@ -145,18 +166,41 @@ mod tests {
 
     #[test]
     fn batches_and_requests_accumulate() {
+        let lin = NumericMode::Linear;
         let metrics = Metrics::new();
-        metrics.record_batch("m", QueryMode::Marginal, 3, 12);
-        metrics.record_batch("m", QueryMode::Marginal, 1, 4);
-        metrics.record_request("m", QueryMode::Marginal, 12, Duration::from_millis(2), true);
-        metrics.record_request("m", QueryMode::Marginal, 4, Duration::from_millis(6), false);
-        metrics.record_batch("m", QueryMode::Map, 1, 1);
+        metrics.record_batch("m", QueryMode::Marginal, lin, 3, 12);
+        metrics.record_batch("m", QueryMode::Marginal, lin, 1, 4);
+        metrics.record_request(
+            "m",
+            QueryMode::Marginal,
+            lin,
+            12,
+            Duration::from_millis(2),
+            true,
+        );
+        metrics.record_request(
+            "m",
+            QueryMode::Marginal,
+            lin,
+            4,
+            Duration::from_millis(6),
+            false,
+        );
+        metrics.record_batch("m", QueryMode::Map, lin, 1, 1);
+        // Log-domain traffic of the same (model, query mode) gets its own row.
+        metrics.record_batch("m", QueryMode::Marginal, NumericMode::Log, 1, 2);
 
         let snapshot = metrics.snapshot();
-        assert_eq!(snapshot.len(), 2);
+        assert_eq!(snapshot.len(), 3);
+        let log = snapshot
+            .iter()
+            .find(|r| r.numeric == NumericMode::Log)
+            .unwrap();
+        assert_eq!(log.mode, QueryMode::Marginal);
+        assert_eq!(log.stats.batches, 1);
         let marginal = snapshot
             .iter()
-            .find(|r| r.mode == QueryMode::Marginal)
+            .find(|r| r.mode == QueryMode::Marginal && r.numeric == lin)
             .unwrap();
         assert_eq!(marginal.model, "m");
         assert_eq!(marginal.stats.batches, 2);

@@ -14,20 +14,26 @@
 //! sum-product artifact: the first worker to answer a MAP query publishes
 //! the compiled max-product plan back via [`ModelRegistry::store_map`], and
 //! every later engine picks it up pre-compiled.
+//!
+//! Artifacts are held **per numeric mode**: one model can serve linear- and
+//! log-domain traffic side by side, each `(model, mode)` pair compiled once
+//! and cached independently (the log-domain program is derived from the
+//! registered linear program on first use).
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use spn_core::flatten::OpList;
-use spn_core::Spn;
+use spn_core::{NumericMode, Spn};
 use spn_platforms::{Backend, Engine, MapArtifact};
 
 use crate::error::ServeError;
 
-/// Everything a worker needs to build an [`Engine`] for one model, shared
-/// cheaply out of the registry.
+/// Everything a worker needs to build an [`Engine`] for one model in one
+/// numeric mode, shared cheaply out of the registry.
 pub struct ModelPlan<B: Backend> {
-    /// The flattened program (cloned per plan; engines keep their own copy).
+    /// The flattened program in the plan's numeric mode (cloned per plan;
+    /// engines keep their own copy).
     pub ops: OpList,
     /// The shared compiled artifact.
     pub artifact: Arc<B::Compiled>,
@@ -36,15 +42,60 @@ pub struct ModelPlan<B: Backend> {
     /// Bumped on every (re-)registration of the name, so workers can detect
     /// stale cached engines.
     pub version: u64,
+    /// The numeric mode the plan was compiled for.
+    pub mode: NumericMode,
 }
 
-struct ModelEntry<B: Backend> {
-    ops: OpList,
+/// Per-numeric-mode compiled state of one model (indexed by
+/// [`NumericMode::index`]).
+struct ModeSlot<B: Backend> {
     /// `None` when evicted by the LRU policy; recompiled on next use.
     artifact: Option<Arc<B::Compiled>>,
     map: Option<MapArtifact<B>>,
+}
+
+impl<B: Backend> Default for ModeSlot<B> {
+    fn default() -> Self {
+        ModeSlot {
+            artifact: None,
+            map: None,
+        }
+    }
+}
+
+struct ModelEntry<B: Backend> {
+    /// The registered (linear-domain) program; mode-specific programs are
+    /// derived from it on demand.
+    ops: OpList,
+    /// The derived log-domain program, memoised on first use so repeated
+    /// log-mode plans pay a clone, not a re-derivation (the derivation runs
+    /// under the registry lock; it is immutable per registration).
+    log_ops: Option<OpList>,
+    /// One artifact slot per numeric mode.
+    slots: [ModeSlot<B>; 2],
     version: u64,
     last_used: u64,
+}
+
+impl<B: Backend> ModelEntry<B> {
+    fn cached_artifacts(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|slot| slot.artifact.is_some())
+            .count()
+    }
+
+    /// The entry's program in `mode`, deriving (and memoising) the
+    /// log-domain twin on first use.
+    fn ops_for(&mut self, mode: NumericMode) -> OpList {
+        match mode {
+            NumericMode::Linear => self.ops.clone(),
+            NumericMode::Log => self
+                .log_ops
+                .get_or_insert_with(|| self.ops.to_log_domain())
+                .clone(),
+        }
+    }
 }
 
 struct Inner<B: Backend> {
@@ -90,15 +141,21 @@ impl<B: Backend + Clone> ModelRegistry<B> {
         self.register_ops(name, OpList::from_spn(spn));
     }
 
-    /// Registers (or replaces) `name` with an already flattened program.
+    /// Registers (or replaces) `name` with an already flattened program
+    /// (which must be in the linear domain; log-domain artifacts are derived
+    /// per mode on first use).
     pub fn register_ops(&self, name: impl Into<String>, ops: OpList) {
+        assert!(
+            ops.mode() == NumericMode::Linear,
+            "register the linear-domain program; log artifacts are derived per mode"
+        );
         let mut inner = self.inner.lock().expect("registry lock");
         inner.clock += 1;
         inner.next_version += 1;
         let entry = ModelEntry {
             ops,
-            artifact: None,
-            map: None,
+            log_ops: None,
+            slots: [ModeSlot::default(), ModeSlot::default()],
             version: inner.next_version,
             last_used: inner.clock,
         };
@@ -148,20 +205,31 @@ impl<B: Backend + Clone> ModelRegistry<B> {
             .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
     }
 
-    /// Number of compiled artifacts currently cached (for tests and
-    /// observability; bounded by the LRU capacity).
+    /// Number of compiled artifacts currently cached, across all numeric
+    /// modes (for tests and observability; bounded by the LRU capacity).
     pub fn cached_artifacts(&self) -> usize {
         let inner = self.inner.lock().expect("registry lock");
         inner
             .models
             .values()
-            .filter(|entry| entry.artifact.is_some())
-            .count()
+            .map(ModelEntry::cached_artifacts)
+            .sum()
     }
 
-    /// Returns the shared execution plan for `name`, compiling (and caching)
-    /// the artifact on a cache miss and evicting the least-recently-used
-    /// artifact beyond the cache capacity.
+    /// Returns the shared linear-domain execution plan for `name` — see
+    /// [`ModelRegistry::plan_mode`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ModelRegistry::plan_mode`].
+    pub fn plan(&self, name: &str) -> Result<ModelPlan<B>, ServeError> {
+        self.plan_mode(name, NumericMode::Linear)
+    }
+
+    /// Returns the shared execution plan for `name` in `mode`, compiling
+    /// (and caching) the artifact on a cache miss and evicting the
+    /// least-recently-used model's artifacts beyond the cache capacity.
+    /// Linear and log artifacts of one model live side by side.
     ///
     /// Compilation happens outside the registry lock, so a slow compile
     /// stalls only the models that need it, not every worker.
@@ -170,7 +238,7 @@ impl<B: Backend + Clone> ModelRegistry<B> {
     ///
     /// Returns [`ServeError::UnknownModel`] when `name` is not registered and
     /// [`ServeError::Backend`] when compilation fails.
-    pub fn plan(&self, name: &str) -> Result<ModelPlan<B>, ServeError> {
+    pub fn plan_mode(&self, name: &str, mode: NumericMode) -> Result<ModelPlan<B>, ServeError> {
         let (ops, version) = {
             let mut inner = self.inner.lock().expect("registry lock");
             inner.clock += 1;
@@ -180,15 +248,19 @@ impl<B: Backend + Clone> ModelRegistry<B> {
                 .get_mut(name)
                 .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
             entry.last_used = clock;
-            if let Some(artifact) = &entry.artifact {
+            if let Some(artifact) = &entry.slots[mode.index()].artifact {
+                let artifact = Arc::clone(artifact);
+                let map = entry.slots[mode.index()].map.clone();
+                let version = entry.version;
                 return Ok(ModelPlan {
-                    ops: entry.ops.clone(),
-                    artifact: Arc::clone(artifact),
-                    map: entry.map.clone(),
-                    version: entry.version,
+                    ops: entry.ops_for(mode),
+                    artifact,
+                    map,
+                    version,
+                    mode,
                 });
             }
-            (entry.ops.clone(), entry.version)
+            (entry.ops_for(mode), entry.version)
         };
 
         let artifact = Arc::new(
@@ -206,9 +278,10 @@ impl<B: Backend + Clone> ModelRegistry<B> {
         let mut map = None;
         if let Some(entry) = inner.models.get_mut(name) {
             if entry.version == version {
-                map = entry.map.clone();
-                if entry.artifact.is_none() {
-                    entry.artifact = Some(Arc::clone(&artifact));
+                let slot = &mut entry.slots[mode.index()];
+                map = slot.map.clone();
+                if slot.artifact.is_none() {
+                    slot.artifact = Some(Arc::clone(&artifact));
                     evict_beyond_capacity(&mut inner.models, self.capacity);
                 }
             }
@@ -218,28 +291,45 @@ impl<B: Backend + Clone> ModelRegistry<B> {
             artifact,
             map,
             version,
+            mode,
         })
     }
 
-    /// Publishes a compiled max-product artifact for `name` (ignored when the
-    /// model was re-registered since `version` or already has one).
-    pub fn store_map(&self, name: &str, version: u64, map: MapArtifact<B>) {
+    /// Publishes a compiled max-product artifact for `name` in `mode`
+    /// (ignored when the model was re-registered since `version` or the slot
+    /// already has one).
+    pub fn store_map(&self, name: &str, version: u64, mode: NumericMode, map: MapArtifact<B>) {
         let mut inner = self.inner.lock().expect("registry lock");
         if let Some(entry) = inner.models.get_mut(name) {
-            if entry.version == version && entry.map.is_none() {
-                entry.map = Some(map);
+            let slot = &mut entry.slots[mode.index()];
+            if entry.version == version && slot.map.is_none() {
+                slot.map = Some(map);
             }
         }
     }
 
-    /// Builds a fresh engine for `name` from the shared plan: compilation is
-    /// reused, only per-engine execution state is allocated.
+    /// Builds a fresh linear-domain engine for `name` — see
+    /// [`ModelRegistry::engine_mode`].
     ///
     /// # Errors
     ///
-    /// As for [`ModelRegistry::plan`].
+    /// As for [`ModelRegistry::plan_mode`].
     pub fn engine(&self, name: &str) -> Result<(Engine<B>, u64), ServeError> {
-        let plan = self.plan(name)?;
+        self.engine_mode(name, NumericMode::Linear)
+    }
+
+    /// Builds a fresh engine for `name` in `mode` from the shared plan:
+    /// compilation is reused, only per-engine execution state is allocated.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ModelRegistry::plan_mode`].
+    pub fn engine_mode(
+        &self,
+        name: &str,
+        mode: NumericMode,
+    ) -> Result<(Engine<B>, u64), ServeError> {
+        let plan = self.plan_mode(name, mode)?;
         let mut engine = Engine::from_artifact(self.backend.clone(), &plan.ops, plan.artifact);
         if let Some(map) = plan.map {
             engine.install_map(map);
@@ -248,21 +338,24 @@ impl<B: Backend + Clone> ModelRegistry<B> {
     }
 }
 
-/// Drops the least-recently-used artifacts until at most `capacity` remain
-/// (their models stay registered and recompile on demand).
+/// Drops the least-recently-used model's artifacts (all modes) until at most
+/// `capacity` artifacts remain (the models stay registered and recompile on
+/// demand).
 fn evict_beyond_capacity<B: Backend>(models: &mut HashMap<String, ModelEntry<B>>, capacity: usize) {
     loop {
-        let cached = models.values().filter(|e| e.artifact.is_some()).count();
+        let cached: usize = models.values().map(ModelEntry::cached_artifacts).sum();
         if cached <= capacity {
             return;
         }
         if let Some(entry) = models
             .values_mut()
-            .filter(|e| e.artifact.is_some())
+            .filter(|e| e.cached_artifacts() > 0)
             .min_by_key(|e| e.last_used)
         {
-            entry.artifact = None;
-            entry.map = None;
+            for slot in &mut entry.slots {
+                slot.artifact = None;
+                slot.map = None;
+            }
         }
     }
 }
@@ -324,9 +417,46 @@ mod tests {
 
         // Publishing a map artifact makes later engines pick it up.
         engine.prepare_map().unwrap();
-        registry.store_map("a", version, engine.shared_map().unwrap());
+        registry.store_map(
+            "a",
+            version,
+            NumericMode::Linear,
+            engine.shared_map().unwrap(),
+        );
         let (second, _) = registry.engine("a").unwrap();
         assert!(second.shared_map().is_some());
+        // ...but only in the numeric mode it was published for.
+        let (log_engine, _) = registry.engine_mode("a", NumericMode::Log).unwrap();
+        assert!(log_engine.shared_map().is_none());
+    }
+
+    #[test]
+    fn linear_and_log_artifacts_live_side_by_side() {
+        let registry = registry_with(&["a"], 4);
+        let linear = registry.plan_mode("a", NumericMode::Linear).unwrap();
+        let log = registry.plan_mode("a", NumericMode::Log).unwrap();
+        assert_eq!(linear.mode, NumericMode::Linear);
+        assert_eq!(log.mode, NumericMode::Log);
+        assert_eq!(log.ops.mode(), NumericMode::Log);
+        assert!(!Arc::ptr_eq(&linear.artifact, &log.artifact));
+        assert_eq!(registry.cached_artifacts(), 2);
+        // Re-planning either mode reuses its cached artifact.
+        assert!(Arc::ptr_eq(
+            &registry.plan_mode("a", NumericMode::Log).unwrap().artifact,
+            &log.artifact
+        ));
+        assert!(Arc::ptr_eq(
+            &registry.plan("a").unwrap().artifact,
+            &linear.artifact
+        ));
+
+        let vars = registry.num_vars("a").unwrap();
+        let (mut engine, _) = registry.engine_mode("a", NumericMode::Log).unwrap();
+        let out = engine
+            .execute_batch(&EvidenceBatch::marginals(vars, 2))
+            .unwrap();
+        // Log-domain partition function of a normalised SPN is ln 1 = 0.
+        assert!(out.values.iter().all(|v| v.abs() < 1e-9));
     }
 
     #[test]

@@ -15,8 +15,8 @@
 //! ```
 //!
 //! The micro-batcher is *dynamic*: a worker takes the oldest pending
-//! request, then keeps absorbing queued requests of the same `(model, mode)`
-//! until the batch reaches [`BatchPolicy::max_batch_queries`] queries or
+//! request, then keeps absorbing queued requests of the same
+//! `(model, query mode, numeric mode)` until the batch reaches [`BatchPolicy::max_batch_queries`] queries or
 //! [`BatchPolicy::max_wait`] has elapsed — under load batches fill instantly
 //! and the wait never triggers; when idle a single request pays at most
 //! `max_wait` extra latency (`max_wait = 0` disables waiting entirely).
@@ -36,7 +36,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use spn_core::wire::{QueryRequest, QueryResponse};
-use spn_core::{QueryBatch, QueryMode, Spn};
+use spn_core::{NumericMode, QueryBatch, QueryMode, Spn};
 use spn_platforms::{Backend, Engine, Parallelism, QueryOutput};
 
 use crate::error::ServeError;
@@ -284,13 +284,14 @@ impl<B: Backend> Drop for Service<B> {
     }
 }
 
-/// Moves every queued request matching `(model, mode)` into `group`, as long
-/// as the batch stays within `max_queries` (requests that would overflow are
-/// left queued for the next batch).
+/// Moves every queued request matching `(model, query mode, numeric mode)`
+/// into `group`, as long as the batch stays within `max_queries` (requests
+/// that would overflow are left queued for the next batch).
 fn take_matching(
     queue: &mut VecDeque<Pending>,
     model: &str,
     mode: QueryMode,
+    numeric: NumericMode,
     max_queries: usize,
     total: &mut usize,
     group: &mut Vec<Pending>,
@@ -301,6 +302,7 @@ fn take_matching(
         let len = candidate.request.query.len();
         if candidate.request.model == model
             && candidate.request.query.mode() == mode
+            && candidate.request.numeric == numeric
             && *total + len <= max_queries
         {
             let pending = queue.remove(i).expect("index in range");
@@ -324,9 +326,10 @@ fn worker_loop<B>(
     B: Backend + Clone + Send + Sync,
     B::Compiled: Send + Sync,
 {
-    // Engines this worker has built, keyed by model name, tagged with the
-    // registry version they were built from (stale ones are rebuilt).
-    let mut engines: HashMap<String, (u64, Engine<B>)> = HashMap::new();
+    // Engines this worker has built, keyed by (model name, numeric mode),
+    // tagged with the registry version they were built from (stale ones are
+    // rebuilt).  Linear and log engines of one model live side by side.
+    let mut engines: HashMap<(String, NumericMode), (u64, Engine<B>)> = HashMap::new();
 
     loop {
         let mut group: Vec<Pending> = Vec::new();
@@ -347,6 +350,7 @@ fn worker_loop<B>(
             };
             let model = first.request.model.clone();
             let mode = first.request.query.mode();
+            let numeric = first.request.numeric;
             total = first.request.query.len();
             group.push(first);
 
@@ -354,6 +358,7 @@ fn worker_loop<B>(
                 &mut queue,
                 &model,
                 mode,
+                numeric,
                 policy.max_batch_queries,
                 &mut total,
                 &mut group,
@@ -373,6 +378,7 @@ fn worker_loop<B>(
                     &mut queue,
                     &model,
                     mode,
+                    numeric,
                     policy.max_batch_queries,
                     &mut total,
                     &mut group,
@@ -390,7 +396,7 @@ fn worker_loop<B>(
 fn dispatch<B>(
     registry: &ModelRegistry<B>,
     metrics: &Metrics,
-    engines: &mut HashMap<String, (u64, Engine<B>)>,
+    engines: &mut HashMap<(String, NumericMode), (u64, Engine<B>)>,
     parallelism: Parallelism,
     group: Vec<Pending>,
     total: usize,
@@ -400,9 +406,10 @@ fn dispatch<B>(
 {
     let model = group[0].request.model.clone();
     let mode = group[0].request.query.mode();
-    metrics.record_batch(&model, mode, group.len() as u64, total as u64);
+    let numeric = group[0].request.numeric;
+    metrics.record_batch(&model, mode, numeric, group.len() as u64, total as u64);
 
-    let engine = match worker_engine(registry, engines, &model) {
+    let engine = match worker_engine(registry, engines, &model, numeric) {
         Ok(engine) => engine,
         Err(err) => {
             let message = err.message();
@@ -428,7 +435,7 @@ fn dispatch<B>(
 
     match output {
         Ok(output) => {
-            publish_map(registry, engines, &model, mode);
+            publish_map(registry, engines, &model, mode, numeric);
             let mut offset = 0;
             for pending in group {
                 let n = pending.request.query.len();
@@ -447,7 +454,7 @@ fn dispatch<B>(
                 });
                 respond(metrics, pending, result);
             }
-            publish_map(registry, engines, &model, mode);
+            publish_map(registry, engines, &model, mode, numeric);
         }
         Err(err) => {
             let pending = group.into_iter().next().expect("non-empty group");
@@ -456,26 +463,28 @@ fn dispatch<B>(
     }
 }
 
-/// Looks up (or builds) this worker's engine for `model`, rebuilding when
-/// the registry holds a newer version.
+/// Looks up (or builds) this worker's engine for `(model, numeric)`,
+/// rebuilding when the registry holds a newer version.
 fn worker_engine<'a, B>(
     registry: &ModelRegistry<B>,
-    engines: &'a mut HashMap<String, (u64, Engine<B>)>,
+    engines: &'a mut HashMap<(String, NumericMode), (u64, Engine<B>)>,
     model: &str,
+    numeric: NumericMode,
 ) -> Result<&'a mut Engine<B>, ServeError>
 where
     B: Backend + Clone,
 {
     let current = registry.version(model)?;
-    let needs_build = match engines.get(model) {
+    let key = (model.to_string(), numeric);
+    let needs_build = match engines.get(&key) {
         Some((version, _)) => *version != current,
         None => true,
     };
     if needs_build {
-        let (engine, version) = registry.engine(model)?;
-        engines.insert(model.to_string(), (version, engine));
+        let (engine, version) = registry.engine_mode(model, numeric)?;
+        engines.insert(key.clone(), (version, engine));
     }
-    Ok(&mut engines.get_mut(model).expect("engine just ensured").1)
+    Ok(&mut engines.get_mut(&key).expect("engine just ensured").1)
 }
 
 /// Runs one merged batch through the serial or sharded query path.
@@ -500,18 +509,19 @@ where
 /// max-product artifact so sibling workers skip the compile.
 fn publish_map<B>(
     registry: &ModelRegistry<B>,
-    engines: &HashMap<String, (u64, Engine<B>)>,
+    engines: &HashMap<(String, NumericMode), (u64, Engine<B>)>,
     model: &str,
     mode: QueryMode,
+    numeric: NumericMode,
 ) where
     B: Backend + Clone,
 {
     if mode != QueryMode::Map {
         return;
     }
-    if let Some((version, engine)) = engines.get(model) {
+    if let Some((version, engine)) = engines.get(&(model.to_string(), numeric)) {
         if let Some(map) = engine.shared_map() {
-            registry.store_map(model, *version, map);
+            registry.store_map(model, *version, numeric, map);
         }
     }
 }
@@ -527,6 +537,7 @@ fn slice_output(
         id: request.id,
         model: request.model.clone(),
         mode: request.query.mode(),
+        numeric: request.numeric,
         values: output.values[offset..offset + len].to_vec(),
         assignments: output
             .assignments
@@ -541,6 +552,7 @@ fn respond(metrics: &Metrics, pending: Pending, result: Result<QueryResponse, Se
     metrics.record_request(
         &pending.request.model,
         mode,
+        pending.request.numeric,
         pending.request.query.len() as u64,
         pending.submitted.elapsed(),
         result.is_ok(),

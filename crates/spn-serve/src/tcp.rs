@@ -16,12 +16,23 @@
 //! → {"id": 3, "model": "weather", "mode": "conditional", "targets": ["1??"], "givens": ["??1"]}
 //! ← {"id": 3, "ok": true, ..., "values": [0.61...]}
 //!
+//! → {"id": 4, "model": "weather", "mode": "joint", "numeric": "log", "rows": ["101"]}
+//! ← {"id": 4, "ok": true, ..., "numeric": "log", "values": [-1.89...]}
+//!
 //! → {"cmd": "models"}
 //! ← {"ok": true, "models": ["weather"]}
 //!
 //! → {"cmd": "metrics"}
 //! ← {"ok": true, "metrics": [{"model": "weather", "mode": "marginal", ...}]}
 //! ```
+//!
+//! The optional `"numeric"` field selects the execution domain: `"linear"`
+//! (the default) answers with probabilities, `"log"` with natural-log
+//! probabilities — finite on circuits deep enough that the linear values
+//! underflow to `0.0`.  JSON has no `-Infinity` literal, so a log-domain
+//! value of exactly `-inf` (a structural probability of zero) is encoded as
+//! `null` in the `values` array and decoded back to `-inf` by
+//! [`decode_response`].
 //!
 //! Failures answer `{"id": ..., "ok": false, "error": "..."}` and keep the
 //! connection open.  Values are written in Rust's shortest-round-trip float
@@ -42,7 +53,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use spn_core::wire::{self, QueryRequest, QueryResponse};
-use spn_core::{Evidence, QueryMode};
+use spn_core::{Evidence, NumericMode, QueryMode};
 use spn_platforms::Backend;
 
 use crate::error::ServeError;
@@ -280,8 +291,22 @@ pub fn decode_request(doc: &Value) -> Result<QueryRequest, ServeError> {
     } else {
         (rows_field(doc, "rows")?, None)
     };
+    let numeric = match doc.get("numeric") {
+        None => NumericMode::Linear,
+        Some(value) => {
+            let name = value.as_str().ok_or_else(|| {
+                ServeError::Protocol("field \"numeric\" must be a string".to_string())
+            })?;
+            NumericMode::from_name(name)?
+        }
+    };
     let query = wire::build_query(mode, &rows, givens.as_deref())?;
-    Ok(QueryRequest { id, model, query })
+    Ok(QueryRequest {
+        id,
+        model,
+        query,
+        numeric,
+    })
 }
 
 /// Encodes one request as a protocol line (without the trailing newline) —
@@ -293,6 +318,10 @@ pub fn encode_request(request: &QueryRequest) -> String {
         (
             "mode".to_string(),
             Value::Str(request.query.mode().name().to_string()),
+        ),
+        (
+            "numeric".to_string(),
+            Value::Str(request.numeric.name().to_string()),
         ),
     ];
     let row_strings = |batch: &spn_core::EvidenceBatch| {
@@ -328,6 +357,12 @@ pub fn encode_response(response: &QueryResponse) -> String {
             Value::Str(response.mode.name().to_string()),
         ),
         (
+            "numeric".to_string(),
+            Value::Str(response.numeric.name().to_string()),
+        ),
+        (
+            // Value::Num writes non-finite values as null, which is exactly
+            // the protocol's encoding of a log-domain -inf (see module docs).
             "values".to_string(),
             Value::Arr(response.values.iter().map(|&v| Value::Num(v)).collect()),
         ),
@@ -381,13 +416,23 @@ pub fn decode_response(line: &str) -> Result<QueryResponse, ServeError> {
     }
     let model = string_field(&doc, "model")?;
     let mode = QueryMode::from_name(&string_field(&doc, "mode")?)?;
+    let numeric = match doc.get("numeric") {
+        None => NumericMode::Linear,
+        Some(value) => NumericMode::from_name(value.as_str().ok_or_else(|| {
+            ServeError::Protocol("field \"numeric\" must be a string".to_string())
+        })?)?,
+    };
     let values = field(&doc, "values")?
         .as_arr()
         .ok_or_else(|| ServeError::Protocol("field \"values\" must be an array".to_string()))?
         .iter()
-        .map(|v| {
-            v.as_f64()
-                .ok_or_else(|| ServeError::Protocol("non-numeric value".to_string()))
+        .map(|v| match v {
+            // A log-domain structural zero travels as null (JSON has no
+            // -Infinity literal).
+            Value::Null if numeric == NumericMode::Log => Ok(f64::NEG_INFINITY),
+            v => v
+                .as_f64()
+                .ok_or_else(|| ServeError::Protocol("non-numeric value".to_string())),
         })
         .collect::<Result<Vec<f64>, ServeError>>()?;
     let assignments = match doc.get("assignments") {
@@ -421,6 +466,7 @@ pub fn decode_response(line: &str) -> Result<QueryResponse, ServeError> {
         id,
         model,
         mode,
+        numeric,
         values,
         assignments,
     })
@@ -434,6 +480,10 @@ fn metrics_value(record: &MetricsRecord) -> Value {
         (
             "mode".to_string(),
             Value::Str(record.mode.name().to_string()),
+        ),
+        (
+            "numeric".to_string(),
+            Value::Str(record.numeric.name().to_string()),
         ),
         ("requests".to_string(), Value::Num(s.requests as f64)),
         ("errors".to_string(), Value::Num(s.errors as f64)),

@@ -4,10 +4,11 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use spn_core::query::reference_query;
+use spn_core::query::{reference_query, reference_query_with};
 use spn_core::wire::QueryRequest;
 use spn_core::{
-    ConditionalBatch, Evidence, EvidenceBatch, QueryBatch, QueryMode, Spn, SpnBuilder, VarId,
+    ConditionalBatch, Evidence, EvidenceBatch, NumericMode, QueryBatch, QueryMode, Spn, SpnBuilder,
+    VarId,
 };
 use spn_platforms::{CpuModel, Parallelism};
 use spn_serve::{BatchPolicy, Service, ServiceConfig};
@@ -195,6 +196,7 @@ fn invalid_requests_fail_fast() {
         id: 3,
         model: "pair".to_string(),
         query: QueryBatch::Marginal(EvidenceBatch::new(2)),
+        numeric: NumericMode::Linear,
     };
     assert!(service.submit(request).is_err());
     service.shutdown();
@@ -225,6 +227,142 @@ fn reregistering_a_model_takes_effect() {
 }
 
 #[test]
+fn log_mode_requests_are_served_alongside_linear_ones() {
+    let spn = independent_pair();
+    let service = Service::new(CpuModel::new(), ServiceConfig::default());
+    service.register("pair", &spn);
+
+    for (mode, rows, givens) in [
+        (QueryMode::Joint, vec!["10", "01"], None),
+        (QueryMode::Marginal, vec!["1?", "??"], None),
+        (QueryMode::Map, vec!["?1"], None),
+        (QueryMode::Conditional, vec!["1?"], Some(vec!["?1"])),
+    ] {
+        let linear = service
+            .query(QueryRequest::from_rows(1, "pair", mode, &rows, givens.as_deref()).unwrap())
+            .unwrap();
+        let log_request = QueryRequest::from_rows(2, "pair", mode, &rows, givens.as_deref())
+            .unwrap()
+            .with_numeric(NumericMode::Log);
+        let expected = reference_query_with(&spn, &log_request.query, NumericMode::Log).unwrap();
+        let log = service.query(log_request).unwrap();
+        assert_eq!(log.numeric, NumericMode::Log);
+        assert_eq!(linear.numeric, NumericMode::Linear);
+        for ((got, want), lin) in log.values.iter().zip(&expected.values).zip(&linear.values) {
+            assert!(
+                (got - want).abs() <= 1e-9 * want.abs().max(1e-12),
+                "{mode}: {got} vs oracle {want}"
+            );
+            assert!(
+                (got.exp() - lin).abs() <= 1e-9,
+                "{mode}: exp({got}) vs linear {lin}"
+            );
+        }
+        assert_eq!(log.assignments, linear.assignments);
+    }
+    // Both artifacts are cached side by side.
+    assert_eq!(service.registry().cached_artifacts(), 2);
+    service.shutdown();
+}
+
+#[test]
+fn hot_swap_while_batches_are_in_flight_is_atomic() {
+    // Workers hold Arc'd artifacts: requests already dispatched finish on the
+    // artifact they started with, and every response reflects exactly one
+    // model version (v1's 0.2 or v2's 0.5) — never a torn mix.  The next
+    // batch after the swap settles must use the new artifact.
+    let service = Arc::new(Service::new(
+        CpuModel::new(),
+        ServiceConfig {
+            workers: 2,
+            policy: BatchPolicy {
+                max_batch_queries: 8,
+                max_wait: Duration::from_millis(2),
+            },
+            parallelism: Parallelism::serial(),
+            artifact_capacity: 4,
+        },
+    ));
+    service.register("m", &independent_pair()); // P(X0=1) = 0.2
+
+    let v2 = {
+        let mut b = SpnBuilder::new(2);
+        let x0 = b.indicator(VarId(0), true);
+        let nx0 = b.indicator(VarId(0), false);
+        let x1 = b.indicator(VarId(1), true);
+        let nx1 = b.indicator(VarId(1), false);
+        let s0 = b.sum(vec![(x0, 0.5), (nx0, 0.5)]).unwrap();
+        let s1 = b.sum(vec![(x1, 0.9), (nx1, 0.1)]).unwrap();
+        let root = b.product(vec![s0, s1]).unwrap();
+        b.finish(root).unwrap() // P(X0=1) = 0.5
+    };
+
+    // Clients hammer the service with two-row requests while the swap lands;
+    // the swap itself is gated on the first completed response (not a sleep),
+    // so at least one request is guaranteed to have run against v1.
+    let (first_response_tx, first_response_rx) = std::sync::mpsc::channel::<()>();
+    let clients: Vec<_> = (0..6)
+        .map(|c| {
+            let service = Arc::clone(&service);
+            let first_response_tx = first_response_tx.clone();
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                for i in 0..40u64 {
+                    let request = QueryRequest::from_rows(
+                        c * 1000 + i,
+                        "m",
+                        QueryMode::Marginal,
+                        &["1?", "1?"],
+                        None,
+                    )
+                    .unwrap();
+                    match service.query(request) {
+                        Ok(response) => {
+                            assert_eq!(response.values.len(), 2);
+                            // Both rows of one request ran on one artifact.
+                            assert_eq!(
+                                response.values[0].to_bits(),
+                                response.values[1].to_bits(),
+                                "torn batch: {:?}",
+                                response.values
+                            );
+                            let v = response.values[0];
+                            assert!(
+                                (v - 0.2).abs() < 1e-9 || (v - 0.5).abs() < 1e-9,
+                                "value from neither version: {v}"
+                            );
+                            let _ = first_response_tx.send(());
+                            seen.push(v);
+                        }
+                        Err(err) => panic!("query failed during hot swap: {err}"),
+                    }
+                }
+                seen
+            })
+        })
+        .collect();
+
+    first_response_rx
+        .recv_timeout(Duration::from_secs(30))
+        .expect("some client answered before the swap");
+    service.register("m", &v2);
+
+    let mut all: Vec<f64> = Vec::new();
+    for client in clients {
+        all.extend(client.join().unwrap());
+    }
+    // The old artifact answered the early in-flight requests...
+    assert!(all.iter().any(|v| (v - 0.2).abs() < 1e-9));
+
+    // ...and once the swap has settled, the next batch uses the new one.
+    let settled = service
+        .query(QueryRequest::from_rows(9999, "m", QueryMode::Marginal, &["1?"], None).unwrap())
+        .unwrap();
+    assert!((settled.values[0] - 0.5).abs() < 1e-9);
+    service.shutdown();
+}
+
+#[test]
 fn conditional_requests_can_merge_after_map_requests_ran() {
     // Exercises the lazily compiled max-product artifact being shared through
     // the registry: MAP first, then other modes, on two workers.
@@ -251,6 +389,7 @@ fn conditional_requests_can_merge_after_map_requests_ran() {
             id: 9,
             model: "pair".to_string(),
             query: QueryBatch::Conditional(cond),
+            numeric: NumericMode::Linear,
         })
         .unwrap();
     assert!((response.values[0] - 0.2).abs() < 1e-9);

@@ -7,7 +7,9 @@
 //!
 //! Run with `cargo run --release --example query_modes`.
 
-use spn_accel::core::{ConditionalBatch, Evidence, EvidenceBatch, QueryBatch, SpnBuilder, VarId};
+use spn_accel::core::{
+    ConditionalBatch, Evidence, EvidenceBatch, NumericMode, QueryBatch, SpnBuilder, VarId,
+};
 use spn_accel::platforms::{Engine, Parallelism, ProcessorBackend};
 
 const RAIN: usize = 0;
@@ -97,5 +99,19 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         parallel.perf.queries,
         parallel.perf.cycles_per_query()
     );
+
+    // Numeric modes: a 1200-level chain of 1e-3 weights underflows linear
+    // f64 — the log-domain engine (same processor backend, log-sum-exp PEs)
+    // keeps it finite.
+    let chain = spn_accel::core::random::deep_chain_spn(1200, 1e-3);
+    let x_true = Evidence::from_assignment(&[true]);
+    let mut linear_chain = Engine::from_spn(ProcessorBackend::ptree(), &chain)?;
+    let mut log_chain =
+        Engine::from_spn_with_mode(ProcessorBackend::ptree(), &chain, NumericMode::Log)?;
+    let (underflowed, _) = linear_chain.execute(&x_true)?;
+    let (ln_p, _) = log_chain.execute(&x_true)?;
+    assert_eq!(underflowed, 0.0);
+    assert!(ln_p.is_finite());
+    println!("deep chain (1203 nodes): linear = {underflowed} (underflow), log = {ln_p:.1} nats");
     Ok(())
 }
