@@ -14,15 +14,18 @@
 //! * every numeric field must be finite (the writers emit `null` for
 //!   non-finite values, which this rejects in measurement fields),
 //! * schema-aware field checks: a `numeric_mode` field must name a valid
-//!   numeric mode (`"linear"` / `"log"`) and a `host_cores` field must be a
-//!   positive integer — and engine-bench files (`*engine*.json`) must carry
-//!   both, so the numeric-mode axis and the host-core annotation of
-//!   `BENCH_engine.json` can never silently regress.
+//!   numeric mode (`"linear"` / `"log"`), a `precision` field a valid
+//!   emulated PE format (`"f64"` / `"f32"` / `"e<exp>m<mant>"`), a
+//!   `max_rel_error` field must be a finite non-negative number, and a
+//!   `host_cores` field must be a positive integer — and engine-bench files
+//!   (`*engine*.json`) must carry all four, so the numeric-mode,
+//!   precision-sweep and host-core annotations of `BENCH_engine.json` can
+//!   never silently regress.
 //!
 //! Run with `cargo run --release -p spn-bench --bin bench_check FILE...`;
 //! exits non-zero on the first violation.
 
-use spn_core::NumericMode;
+use spn_core::{NumericMode, Precision};
 use spn_serve::json::{self, Value};
 
 fn check_file(path: &str) -> Result<usize, String> {
@@ -74,6 +77,28 @@ fn check_file(path: &str) -> Result<usize, String> {
                         )
                     })?;
                 }
+                "precision" => {
+                    let name = value.as_str().ok_or_else(|| {
+                        format!("{path}: record {i} field \"precision\" is not a string")
+                    })?;
+                    Precision::from_name(name).map_err(|_| {
+                        format!(
+                            "{path}: record {i} field \"precision\" holds \
+                             unknown format {name:?}"
+                        )
+                    })?;
+                }
+                "max_rel_error" => {
+                    let n = value.as_f64().ok_or_else(|| {
+                        format!("{path}: record {i} field \"max_rel_error\" is not a number")
+                    })?;
+                    if !(n.is_finite() && n >= 0.0) {
+                        return Err(format!(
+                            "{path}: record {i} field \"max_rel_error\" is {n}, \
+                             expected a finite non-negative number"
+                        ));
+                    }
+                }
                 "host_cores" => {
                     let n = value.as_f64().ok_or_else(|| {
                         format!("{path}: record {i} field \"host_cores\" is not a number")
@@ -88,10 +113,10 @@ fn check_file(path: &str) -> Result<usize, String> {
                 _ => {}
             }
         }
-        // Engine-bench records must carry the numeric-mode and host-core
-        // annotations (bench_serve files have their own schema).
+        // Engine-bench records must carry the numeric-mode, precision and
+        // host-core annotations (bench_serve files have their own schema).
         if path.contains("engine") {
-            for required in ["numeric_mode", "host_cores"] {
+            for required in ["numeric_mode", "precision", "max_rel_error", "host_cores"] {
                 if record.get(required).is_none() {
                     return Err(format!(
                         "{path}: record {i} is missing the {required:?} field"

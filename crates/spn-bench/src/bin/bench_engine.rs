@@ -11,7 +11,12 @@
 //!    worker threads (`Engine::execute_batch_parallel`) at 1/2/4/8 workers,
 //! 3. **query mode** — joint, marginal, MAP and conditional batches through
 //!    `Engine::execute_query{,_parallel}` (conditionals cost two circuit
-//!    passes per query, MAP adds the argmax traceback).
+//!    passes per query, MAP adds the argmax traceback),
+//! 4. **precision** — the same batches through engines stamped with each
+//!    emulated PE format (`f64` / `f32` / the paper's `e8m10`), on a random
+//!    benchmark circuit and on the deep chain; every record reports
+//!    `max_rel_error` against the f64 oracle next to queries/sec, tracing
+//!    the paper's accuracy-vs-bit-width trade-off curve.
 //!
 //! Workload names are distinct from platform names (`uci-cpu-perf`, not
 //! `CPU`) so the two columns of `BENCH_engine.json` can never be confused,
@@ -33,7 +38,7 @@ use spn_bench::{json_escape, json_number};
 use spn_core::batch::EvidenceBatch;
 use spn_core::query::{reference_query_with, ConditionalBatch, QueryBatch, QueryMode};
 use spn_core::random::deep_chain_spn;
-use spn_core::{Evidence, NumericMode, Spn};
+use spn_core::{Evidence, NumericMode, Precision, Spn};
 use spn_learn::Benchmark;
 use spn_platforms::{Backend, BackendError, CpuModel, Engine, Parallelism, ProcessorBackend};
 
@@ -43,11 +48,16 @@ struct Measurement {
     platform: String,
     mode: QueryMode,
     numeric: NumericMode,
+    precision: Precision,
     batch_size: usize,
     threads: usize,
     queries: usize,
     seconds: f64,
     queries_per_sec: f64,
+    /// Largest per-query relative error against the f64 oracle (relative on
+    /// probabilities in the linear domain, on log-probabilities in the log
+    /// domain); exactly 0.0 for full-precision rows.
+    max_rel_error: f64,
 }
 
 /// Hardware threads of the host (1 when unknown): worker-count sweeps are
@@ -238,16 +248,47 @@ fn record(
     queries: usize,
     seconds: f64,
 ) {
+    record_precision(
+        results,
+        workload,
+        platform,
+        mode,
+        numeric,
+        Precision::F64,
+        0.0,
+        batch_size,
+        threads,
+        queries,
+        seconds,
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn record_precision(
+    results: &mut Vec<Measurement>,
+    workload: &str,
+    platform: &str,
+    mode: QueryMode,
+    numeric: NumericMode,
+    precision: Precision,
+    max_rel_error: f64,
+    batch_size: usize,
+    threads: usize,
+    queries: usize,
+    seconds: f64,
+) {
     results.push(Measurement {
         workload: workload.to_string(),
         platform: platform.to_string(),
         mode,
         numeric,
+        precision,
         batch_size,
         threads,
         queries,
         seconds,
         queries_per_sec: queries as f64 / seconds.max(1e-12),
+        max_rel_error,
     });
 }
 
@@ -394,6 +435,70 @@ fn measure_numeric_modes(
     Ok(())
 }
 
+/// Measures the precision axis: the same marginal batches through engines
+/// stamped with each emulated PE format, recording throughput *and* the
+/// largest per-query relative error against the f64 oracle — the paper's
+/// accuracy-vs-bit-width trade-off.  Errors are relative on probabilities in
+/// the linear domain and on log-probabilities in the log domain (where
+/// quantization error is absolute in the log, i.e. relative in the
+/// probability).
+fn measure_precision_sweep(
+    workload: &str,
+    spn: &Spn,
+    numeric: NumericMode,
+    total_queries: usize,
+    results: &mut Vec<Measurement>,
+) -> Result<(), BackendError> {
+    let platform = CpuModel::new().name();
+    let batch_size = 256usize;
+    let chunks = (total_queries / batch_size).max(1);
+    let queries = chunks * batch_size;
+    let batch = build_marginal_batch(spn.num_vars(), batch_size);
+    let oracle = reference_query_with(spn, &QueryBatch::Marginal(batch.clone()), numeric)
+        .expect("reference");
+    for precision in Precision::SWEEP {
+        let mut engine = Engine::from_spn_with_precision(CpuModel::new(), spn, numeric, precision)
+            .map_err(|err| format!("compiling {workload} ({numeric}/{precision}): {err}"))?;
+        // One untimed pass pins the accuracy (and the repeatability checksum
+        // — a reduced-precision engine cannot be checked against the f64
+        // oracle's sum).
+        let once = engine
+            .execute_batch(&batch)
+            .map_err(|err| err.to_string())?;
+        let max_rel_error = once
+            .values
+            .iter()
+            .zip(&oracle.values)
+            .map(|(got, want)| {
+                if got.to_bits() == want.to_bits() {
+                    0.0
+                } else {
+                    (got - want).abs() / want.abs().max(1e-300)
+                }
+            })
+            .fold(0.0, f64::max);
+        let expected: f64 = once.values.iter().sum::<f64>() * chunks as f64;
+        let label = format!("{workload}/{platform} precision {precision}");
+        let best = best_of(expected, &label, || {
+            run_batched(&mut engine, &batch, chunks)
+        });
+        record_precision(
+            results,
+            workload,
+            &platform,
+            QueryMode::Marginal,
+            numeric,
+            precision,
+            max_rel_error,
+            batch_size,
+            1,
+            queries,
+            best,
+        );
+    }
+    Ok(())
+}
+
 fn to_json(results: &[Measurement]) -> String {
     let cores = host_cores();
     let mut out = String::from("[\n");
@@ -401,7 +506,8 @@ fn to_json(results: &[Measurement]) -> String {
         out.push_str(&format!(
             concat!(
                 "  {{\"workload\": \"{}\", \"platform\": \"{}\", \"mode\": \"{}\", ",
-                "\"numeric_mode\": \"{}\", \"batch_size\": {}, \"threads\": {}, ",
+                "\"numeric_mode\": \"{}\", \"precision\": \"{}\", ",
+                "\"max_rel_error\": {}, \"batch_size\": {}, \"threads\": {}, ",
                 "\"host_cores\": {}, \"queries\": {}, ",
                 "\"seconds\": {}, \"queries_per_sec\": {}}}{}\n",
             ),
@@ -409,6 +515,8 @@ fn to_json(results: &[Measurement]) -> String {
             json_escape(&m.platform),
             m.mode.name(),
             m.numeric.name(),
+            m.precision.name(),
+            json_number(m.max_rel_error),
             m.batch_size,
             m.threads,
             cores,
@@ -471,19 +579,45 @@ fn run(smoke: bool, out_path: &str) -> Result<(), BackendError> {
     {
         let chain = deep_chain_spn(1200, 1e-3);
         measure_numeric_modes("deep-chain-1200", &chain, cpu_queries / 4, &mut results)?;
+        // Precision axis (distinct workload names keep the per-precision
+        // rows from colliding with the f64 rows of the axes above): the
+        // accuracy-vs-bit-width curve on a random benchmark circuit in the
+        // linear domain and on the deep chain in the log domain (reduced
+        // exponent ranges flush the chain's linear values to zero, so the
+        // log domain is where custom formats earn their keep there).
+        let spn = Benchmark::Banknote.spn();
+        measure_precision_sweep(
+            "uci-banknote-prec",
+            &spn,
+            NumericMode::Linear,
+            cpu_queries / 4,
+            &mut results,
+        )?;
+        measure_precision_sweep(
+            "deep-chain-1200-prec",
+            &chain,
+            NumericMode::Log,
+            cpu_queries / 8,
+            &mut results,
+        )?;
     }
 
     println!("# Engine throughput: dispatch granularity, worker count, query mode\n");
     println!("host cores: {}\n", host_cores());
-    println!("| workload | platform | mode | numeric | batch | threads | queries | queries/sec |");
-    println!("|---|---|---|---|---|---|---|---|");
+    println!(
+        "| workload | platform | mode | numeric | precision | max rel err | batch | threads \
+         | queries | queries/sec |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|---|");
     for m in &results {
         println!(
-            "| {} | {} | {} | {} | {} | {} | {} | {:.0} |",
+            "| {} | {} | {} | {} | {} | {:.2e} | {} | {} | {} | {:.0} |",
             m.workload,
             m.platform,
             m.mode.name(),
             m.numeric.name(),
+            m.precision,
+            m.max_rel_error,
             m.batch_size,
             m.threads,
             m.queries,

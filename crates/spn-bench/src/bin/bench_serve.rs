@@ -101,9 +101,13 @@ fn run_config(
         let (mut engine, version) = service.registry().engine(name)?;
         engine.prepare_map().map_err(ServeError::from_backend)?;
         let map = engine.shared_map().expect("map plan just prepared");
-        service
-            .registry()
-            .store_map(name, version, spn_core::NumericMode::Linear, map);
+        service.registry().store_map(
+            name,
+            version,
+            spn_core::NumericMode::Linear,
+            spn_core::Precision::F64,
+            map,
+        );
     }
 
     let interval = Duration::from_secs_f64(1.0 / rate);

@@ -60,6 +60,13 @@ impl CompiledArtifact {
         &self.recipe
     }
 
+    /// The emulated PE arithmetic format the program computes in (recorded
+    /// from the source [`OpList`]; the VLIW [`Program::pe_precision`] carries
+    /// the simulator-side mirror of the same value).
+    pub fn precision(&self) -> spn_core::precision::Precision {
+        self.op_list.precision()
+    }
+
     /// Fills `out` with the concatenated input vectors of every query in
     /// `batch` (query-major, ready for `Processor::run_batch`), reusing the
     /// allocation.
@@ -195,5 +202,82 @@ mod tests {
     fn config_accessor_returns_target() {
         let compiler = Compiler::new(ProcessorConfig::pvect());
         assert_eq!(compiler.config().name, "Pvect");
+    }
+
+    #[test]
+    fn artifact_records_the_program_precision() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let spn = random_spn(&RandomSpnConfig::with_vars(6), &mut rng);
+        let p = spn_core::precision::Precision::E8M10;
+        let ops = OpList::from_spn(&spn).with_precision(p);
+        let compiled = Compiler::new(ProcessorConfig::ptree())
+            .compile_op_list(ops)
+            .unwrap();
+        assert_eq!(compiled.precision(), p);
+        assert_eq!(
+            compiled.program.pe_precision,
+            spn_processor::precision::Precision::Custom {
+                exp_bits: 8,
+                mant_bits: 10
+            }
+        );
+    }
+
+    /// The `spn_core` and `spn_processor` quantizers are independent
+    /// implementations (the crates share no dependency); the simulator only
+    /// agrees with the interpreted reduced-precision oracle if they round
+    /// identically.  Pin them against each other bit for bit across formats,
+    /// magnitudes, signs, ties and the non-finite encodings.
+    #[test]
+    fn core_and_processor_quantizers_agree_bit_for_bit() {
+        let formats = [
+            (11u8, 52u8),
+            (8, 23),
+            (8, 10),
+            (5, 2),
+            (2, 1),
+            (4, 30),
+            (11, 1),
+        ];
+        let mut probes: Vec<f64> = vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            1.125,
+            1.375,
+            0.1,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -f64::MAX,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ];
+        for e in -320..=308 {
+            probes.push(1.7 * (10.0f64).powi(e));
+            probes.push(-2.3 * (10.0f64).powi(e));
+        }
+        for (exp_bits, mant_bits) in formats {
+            let core = spn_core::precision::Precision::Custom {
+                exp_bits,
+                mant_bits,
+            };
+            let sim = spn_processor::precision::Precision::Custom {
+                exp_bits,
+                mant_bits,
+            };
+            for &x in &probes {
+                let a = spn_core::precision::round_to(core, x);
+                let b = spn_processor::precision::round_to(sim, x);
+                assert_eq!(a.to_bits(), b.to_bits(), "e{exp_bits}m{mant_bits} x={x:e}");
+            }
+        }
+        for &x in &probes {
+            assert_eq!(
+                spn_core::precision::round_to(spn_core::precision::Precision::F32, x).to_bits(),
+                spn_processor::precision::round_to(spn_processor::precision::Precision::F32, x)
+                    .to_bits()
+            );
+        }
     }
 }

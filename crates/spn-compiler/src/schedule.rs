@@ -32,6 +32,25 @@ use crate::report::CompileReport;
 use crate::tile::Tile;
 use crate::Result;
 
+/// Maps a program's `spn_core` precision onto the simulator's mirrored
+/// `spn_processor` type (the two crates share no dependency; their
+/// quantizers are pinned bit-for-bit by this crate's tests).
+pub(crate) fn pe_precision(
+    precision: spn_core::precision::Precision,
+) -> spn_processor::precision::Precision {
+    match precision {
+        spn_core::precision::Precision::F64 => spn_processor::precision::Precision::F64,
+        spn_core::precision::Precision::F32 => spn_processor::precision::Precision::F32,
+        spn_core::precision::Precision::Custom {
+            exp_bits,
+            mant_bits,
+        } => spn_processor::precision::Precision::Custom {
+            exp_bits,
+            mant_bits,
+        },
+    }
+}
+
 /// Tunable knobs of the scheduler.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScheduleOptions {
@@ -867,6 +886,7 @@ impl<'a> Scheduler<'a> {
             memory_rows_used: self.mem_rows.len(),
             output,
             num_source_ops: self.ops.num_ops(),
+            pe_precision: pe_precision(self.ops.precision()),
         };
         Ok((program, self.report))
     }

@@ -16,6 +16,7 @@
 use crate::evidence::Evidence;
 use crate::flatten::{LeafSource, OpList};
 use crate::numeric::NumericMode;
+use crate::precision::Precision;
 use crate::{Result, SpnError};
 
 /// Observation state of one variable in one query.
@@ -323,6 +324,12 @@ pub struct InputRecipe {
     /// slots with `ln(indicator)` (`0.0` / `-inf`); parameter slots are
     /// already stored as logs in the template.
     mode: NumericMode,
+    /// The emulated arithmetic format of the program the recipe feeds.  The
+    /// template's parameter slots are already quantized (by
+    /// [`OpList::with_precision`]) and the indicator values `0.0` / `1.0` /
+    /// `-inf` are exact in every format, so filled input vectors are always
+    /// valid reduced-precision data-memory images.
+    precision: Precision,
 }
 
 impl InputRecipe {
@@ -344,12 +351,18 @@ impl InputRecipe {
             indicators,
             num_vars: ops.num_vars(),
             mode: ops.mode(),
+            precision: ops.precision(),
         }
     }
 
     /// The numeric domain the filled input vectors belong to.
     pub fn mode(&self) -> NumericMode {
         self.mode
+    }
+
+    /// The emulated arithmetic format the filled input vectors belong to.
+    pub fn precision(&self) -> Precision {
+        self.precision
     }
 
     /// Indicator value in the recipe's numeric domain: `ln` of the linear
@@ -546,6 +559,15 @@ mod tests {
         let mut out = Vec::new();
         recipe.fill_evidence(&e, &mut out).unwrap();
         assert_eq!(out, expected);
+
+        // The recipe advertises its program's variant, so a cache holding
+        // recipes can be keyed without re-deriving anything.
+        assert_eq!(recipe.precision(), ops.precision());
+        let quantized = ops.with_precision(crate::Precision::E8M10);
+        assert_eq!(
+            quantized.input_recipe().precision(),
+            crate::Precision::E8M10
+        );
 
         let batch = EvidenceBatch::from_evidences(9, &[Evidence::marginal(9), e]).unwrap();
         let mut flat = Vec::new();

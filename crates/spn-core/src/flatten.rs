@@ -18,12 +18,20 @@
 //! twin (sums become log-sum-exp, products become additions, parameters are
 //! stored as natural logs), so deep circuits whose probabilities underflow
 //! `f64` in linear space stay finite on every backend.
+//!
+//! Every program also carries a [`Precision`] (default [`Precision::F64`],
+//! i.e. no quantization): [`OpList::with_precision`] stamps a program with an
+//! emulated PE arithmetic format, quantizing its baked-in parameters, and the
+//! execution kernels then round every intermediate result through
+//! [`round_to`] — the software model of the paper's reduced-precision PE
+//! datapath.
 
 use serde::{Deserialize, Serialize};
 
 use crate::evidence::Evidence;
 use crate::graph::{Node, Spn, VarId};
 use crate::numeric::{log_sum_exp, NumericMode};
+use crate::precision::{round_to, Precision};
 use crate::{Result, SpnError};
 
 /// The source feeding one input slot of a flattened program.
@@ -123,6 +131,8 @@ pub struct OpList {
     /// The numeric domain the program computes in (see
     /// [`OpList::to_log_domain`]).
     mode: NumericMode,
+    /// The emulated arithmetic format (see [`OpList::with_precision`]).
+    precision: Precision,
 }
 
 impl OpList {
@@ -193,12 +203,49 @@ impl OpList {
             output,
             num_vars: spn.num_vars(),
             mode: NumericMode::Linear,
+            precision: Precision::F64,
         }
     }
 
     /// The numeric domain this program computes in.
     pub fn mode(&self) -> NumericMode {
         self.mode
+    }
+
+    /// The emulated arithmetic format this program computes in.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// This program stamped with an emulated PE arithmetic format.
+    ///
+    /// The structure is unchanged; every [`LeafSource::Param`] is quantized
+    /// to `precision` (the data memory of a reduced-precision processor
+    /// holds reduced-precision words), and the execution kernels —
+    /// [`OpList::run_into`], [`LoopProgram::run`], the GPU model and the
+    /// processor simulator's PE trees — quantize every intermediate result.
+    /// [`Precision::F64`] programs execute bit-for-bit like programs that
+    /// were never stamped.
+    ///
+    /// Composes with both numeric modes: quantizing a log-domain program
+    /// emulates a log-encoded reduced-precision datapath (absolute error on
+    /// log values instead of relative error on probabilities).
+    pub fn with_precision(&self, precision: Precision) -> OpList {
+        OpList {
+            inputs: self
+                .inputs
+                .iter()
+                .map(|leaf| match *leaf {
+                    LeafSource::Param(p) => LeafSource::Param(round_to(precision, p)),
+                    indicator => indicator,
+                })
+                .collect(),
+            ops: self.ops.clone(),
+            output: self.output,
+            num_vars: self.num_vars,
+            mode: self.mode,
+            precision,
+        }
     }
 
     /// The log-domain twin of this program: identical structure, but sums
@@ -223,7 +270,11 @@ impl OpList {
                 .map(|leaf| match *leaf {
                     // `max(0.0)` mirrors the reference evaluator's clamping of
                     // degenerate constants; ln(0) = -inf represents prob zero.
-                    LeafSource::Param(p) => LeafSource::Param(p.max(0.0).ln()),
+                    // The ln value is re-quantized: the log-domain data memory
+                    // holds reduced-precision words too.
+                    LeafSource::Param(p) => {
+                        LeafSource::Param(round_to(self.precision, p.max(0.0).ln()))
+                    }
                     indicator => indicator,
                 })
                 .collect(),
@@ -243,6 +294,7 @@ impl OpList {
             output: self.output,
             num_vars: self.num_vars,
             mode: NumericMode::Log,
+            precision: self.precision,
         }
     }
 
@@ -353,15 +405,35 @@ impl OpList {
                 OperandRef::Op(i) => results[i as usize],
             }
         };
-        for (i, op) in self.ops.iter().enumerate() {
-            let a = value(op.lhs, results);
-            let b = value(op.rhs, results);
-            results[i] = match op.kind {
-                OpKind::Add => a + b,
-                OpKind::Mul => a * b,
-                OpKind::Max => a.max(b),
-                OpKind::LogAdd => log_sum_exp(a, b),
-            };
+        // The f64 path keeps the untouched loop so unstamped programs stay
+        // bit-for-bit (and branch-free in the hot loop); reduced-precision
+        // programs quantize every intermediate, emulating a PE datapath of
+        // that width.
+        if self.precision == Precision::F64 {
+            for (i, op) in self.ops.iter().enumerate() {
+                let a = value(op.lhs, results);
+                let b = value(op.rhs, results);
+                results[i] = match op.kind {
+                    OpKind::Add => a + b,
+                    OpKind::Mul => a * b,
+                    OpKind::Max => a.max(b),
+                    OpKind::LogAdd => log_sum_exp(a, b),
+                };
+            }
+        } else {
+            for (i, op) in self.ops.iter().enumerate() {
+                let a = value(op.lhs, results);
+                let b = value(op.rhs, results);
+                results[i] = round_to(
+                    self.precision,
+                    match op.kind {
+                        OpKind::Add => a + b,
+                        OpKind::Mul => a * b,
+                        OpKind::Max => a.max(b),
+                        OpKind::LogAdd => log_sum_exp(a, b),
+                    },
+                );
+            }
         }
         value(self.output, results)
     }
@@ -411,6 +483,7 @@ impl OpList {
             output: self.output,
             num_vars: self.num_vars,
             mode: self.mode,
+            precision: self.precision,
         }
     }
 
@@ -457,6 +530,7 @@ impl OpList {
             output: index(self.output),
             num_vars: self.num_vars,
             mode: self.mode,
+            precision: self.precision,
         }
     }
 }
@@ -482,6 +556,7 @@ pub struct LoopProgram {
     output: usize,
     num_vars: usize,
     mode: NumericMode,
+    precision: Precision,
 }
 
 impl LoopProgram {
@@ -525,6 +600,12 @@ impl LoopProgram {
         self.mode
     }
 
+    /// The emulated arithmetic format this program computes in (inherited
+    /// from the [`OpList`] it was lowered from).
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
     /// Materialises the input portion of the working array for `evidence`.
     ///
     /// # Errors
@@ -566,8 +647,10 @@ impl LoopProgram {
         let m = self.inputs.len();
         let mut a = vec![0.0f64; m + self.ops.len()];
         a[..m].copy_from_slice(&inputs[..m]);
-        match self.mode {
-            NumericMode::Linear => {
+        // As in `OpList::run_into`: the f64 loops are untouched, reduced
+        // precisions quantize every loop iteration's result.
+        match (self.mode, self.precision) {
+            (NumericMode::Linear, Precision::F64) => {
                 for (i, op) in self.ops.iter().enumerate() {
                     a[m + i] = if op.is_sum {
                         a[op.b] + a[op.c]
@@ -576,13 +659,33 @@ impl LoopProgram {
                     };
                 }
             }
-            NumericMode::Log => {
+            (NumericMode::Log, Precision::F64) => {
                 for (i, op) in self.ops.iter().enumerate() {
                     a[m + i] = if op.is_sum {
                         log_sum_exp(a[op.b], a[op.c])
                     } else {
                         a[op.b] + a[op.c]
                     };
+                }
+            }
+            (NumericMode::Linear, p) => {
+                for (i, op) in self.ops.iter().enumerate() {
+                    let v = if op.is_sum {
+                        a[op.b] + a[op.c]
+                    } else {
+                        a[op.b] * a[op.c]
+                    };
+                    a[m + i] = round_to(p, v);
+                }
+            }
+            (NumericMode::Log, p) => {
+                for (i, op) in self.ops.iter().enumerate() {
+                    let v = if op.is_sum {
+                        log_sum_exp(a[op.b], a[op.c])
+                    } else {
+                        a[op.b] + a[op.c]
+                    };
+                    a[m + i] = round_to(p, v);
                 }
             }
         }
@@ -769,6 +872,54 @@ mod tests {
         let max_linear = ops.to_max_product().evaluate(&e).unwrap();
         let max_log = log_then_max.evaluate(&e).unwrap();
         assert!((max_log.exp() - max_linear).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_stamp_quantizes_params_and_every_intermediate() {
+        use crate::precision::{round_to, Precision};
+        let spn = mixture();
+        let ops = OpList::from_spn(&spn);
+        assert_eq!(ops.precision(), Precision::F64);
+
+        let p = Precision::E8M10;
+        let quantized = ops.with_precision(p);
+        assert_eq!(quantized.precision(), p);
+        assert_eq!(quantized.num_ops(), ops.num_ops());
+        // Every baked-in parameter is representable in the target format.
+        for leaf in quantized.inputs() {
+            if let LeafSource::Param(w) = leaf {
+                assert_eq!(round_to(p, *w).to_bits(), w.to_bits());
+            }
+        }
+        // F64 stamping is the identity: bit-for-bit the unstamped program.
+        let identity = ops.with_precision(Precision::F64);
+        let e = Evidence::from_assignment(&[true, false]);
+        assert_eq!(
+            identity.evaluate(&e).unwrap().to_bits(),
+            ops.evaluate(&e).unwrap().to_bits()
+        );
+        // The quantized result is itself representable (idempotent kernel),
+        // close to the exact value, and the loop form agrees bit for bit.
+        let exact = ops.evaluate(&e).unwrap();
+        let q = quantized.evaluate(&e).unwrap();
+        assert_eq!(round_to(p, q).to_bits(), q.to_bits());
+        assert!((q - exact).abs() <= 0.01 * exact.abs(), "{q} vs {exact}");
+        let lp = quantized.to_loop_program();
+        assert_eq!(lp.precision(), p);
+        assert_eq!(lp.evaluate(&e).unwrap().to_bits(), q.to_bits());
+
+        // Precision survives the mode and max-product rewrites; log-domain
+        // parameters are quantized ln values.
+        let log_q = quantized.to_log_domain();
+        assert_eq!(log_q.precision(), p);
+        assert_eq!(log_q.to_max_product().precision(), p);
+        for leaf in log_q.inputs() {
+            if let LeafSource::Param(w) = leaf {
+                assert_eq!(round_to(p, *w).to_bits(), w.to_bits());
+            }
+        }
+        let log_value = log_q.evaluate(&e).unwrap();
+        assert!((log_value.exp() - exact).abs() <= 0.01 * exact.abs());
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //! * flattening to the two scalar program forms used by the paper:
 //!   [`flatten::OpList`] (Algorithm 1, a list of binary operations) and
 //!   [`flatten::LoopProgram`] (Algorithm 2, index vectors `O`/`B`/`C`),
+//! * the emulated PE-precision layer ([`precision`]): a [`Precision`] names
+//!   a (possibly custom reduced-precision) floating-point format and every
+//!   execution backend quantizes each intermediate through
+//!   [`precision::round_to`], reproducing the paper's accuracy-vs-bit-width
+//!   trade-off in software,
 //! * the query-mode layer ([`query`]): joint, marginal, MAP and conditional
 //!   queries ([`QueryBatch`]) lowered onto the same batched execution
 //!   primitive, including the max-product program rewrite with argmax
@@ -74,6 +79,7 @@ pub mod flatten;
 pub mod io;
 pub mod levelize;
 pub mod numeric;
+pub mod precision;
 pub mod query;
 pub mod random;
 pub mod stats;
@@ -86,6 +92,7 @@ pub use eval::Evaluator;
 pub use evidence::Evidence;
 pub use graph::{Node, NodeId, Spn, SpnBuilder, VarId};
 pub use numeric::NumericMode;
+pub use precision::Precision;
 pub use query::{
     reference_query, reference_query_with, ConditionalBatch, QueryBatch, QueryMode, QueryResult,
 };

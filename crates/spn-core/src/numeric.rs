@@ -18,7 +18,12 @@ use serde::{Deserialize, Serialize};
 use crate::{Result, SpnError};
 
 /// The numeric domain a lowered program computes in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+///
+/// The derived `Ord` follows declaration order (`Linear` before `Log`) and
+/// gives per-mode tables and metrics keys a stable sort.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub enum NumericMode {
     /// Plain probabilities: sums add, products multiply.  Fast and exact for
     /// shallow circuits; underflows to `0.0` on deep ones.
@@ -56,14 +61,6 @@ impl NumericMode {
                 ))
             })
     }
-
-    /// Dense index (`0` linear, `1` log) for per-mode artifact tables.
-    pub fn index(self) -> usize {
-        match self {
-            NumericMode::Linear => 0,
-            NumericMode::Log => 1,
-        }
-    }
 }
 
 impl std::fmt::Display for NumericMode {
@@ -100,8 +97,7 @@ mod tests {
         }
         assert!(NumericMode::from_name("decimal").is_err());
         assert_eq!(NumericMode::default(), NumericMode::Linear);
-        assert_eq!(NumericMode::Linear.index(), 0);
-        assert_eq!(NumericMode::Log.index(), 1);
+        assert!(NumericMode::Linear < NumericMode::Log);
         assert_eq!(NumericMode::Log.to_string(), "log");
     }
 

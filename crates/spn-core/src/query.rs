@@ -38,7 +38,10 @@ use crate::numeric::NumericMode;
 use crate::{Result, SpnError};
 
 /// The inference workload a batch of queries asks for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+///
+/// The derived `Ord` follows declaration order and gives per-mode tables
+/// and metrics keys a stable sort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum QueryMode {
     /// Probability of a fully observed assignment (one pass).
     Joint,

@@ -16,6 +16,7 @@
 
 use crate::evidence::Evidence;
 use crate::numeric::NumericMode;
+use crate::precision::Precision;
 use crate::query::{QueryBatch, QueryMode};
 use crate::{ConditionalBatch, EvidenceBatch, Result, SpnError};
 
@@ -144,8 +145,14 @@ pub struct QueryRequest {
     /// The numeric domain to execute in.  [`NumericMode::Log`] answers with
     /// natural-log probabilities (finite where linear values underflow to
     /// zero); the serving layer holds one compiled artifact per
-    /// `(model, numeric mode)` and coalesces only same-domain requests.
+    /// `(model, numeric mode, precision)` and coalesces only same-domain
+    /// requests.
     pub numeric: NumericMode,
+    /// The emulated PE arithmetic format to execute in.  The default
+    /// [`Precision::F64`] is the exact pre-existing path; reduced precisions
+    /// trade accuracy for the modelled datapath width, and the serving layer
+    /// caches and coalesces per `(model, numeric mode, precision)`.
+    pub precision: Precision,
 }
 
 impl QueryRequest {
@@ -172,12 +179,19 @@ impl QueryRequest {
             model: model.into(),
             query: build_query(mode, &rows, givens.as_deref())?,
             numeric: NumericMode::Linear,
+            precision: Precision::F64,
         })
     }
 
     /// Sets the numeric execution domain (builder style).
     pub fn with_numeric(mut self, numeric: NumericMode) -> QueryRequest {
         self.numeric = numeric;
+        self
+    }
+
+    /// Sets the emulated PE arithmetic format (builder style).
+    pub fn with_precision(mut self, precision: Precision) -> QueryRequest {
+        self.precision = precision;
         self
     }
 }
@@ -193,6 +207,8 @@ pub struct QueryResponse {
     pub mode: QueryMode,
     /// The numeric domain the values were computed in.
     pub numeric: NumericMode,
+    /// The emulated PE arithmetic format the values were computed in.
+    pub precision: Precision,
     /// One value per query, in request order: a probability for joint /
     /// marginal / conditional queries, the max-product circuit value for MAP
     /// — or the natural logs of all of those under [`NumericMode::Log`].
@@ -246,9 +262,14 @@ mod tests {
         assert_eq!(request.query.mode(), QueryMode::Map);
         assert_eq!(request.query.len(), 2);
         assert_eq!(request.numeric, NumericMode::Linear);
+        assert_eq!(request.precision, Precision::F64);
         assert_eq!(
-            request.with_numeric(NumericMode::Log).numeric,
+            request.clone().with_numeric(NumericMode::Log).numeric,
             NumericMode::Log
+        );
+        assert_eq!(
+            request.with_precision(Precision::E8M10).precision,
+            Precision::E8M10
         );
         assert!(QueryRequest::from_rows(0, "m", QueryMode::Map, &["?b?"], None).is_err());
     }

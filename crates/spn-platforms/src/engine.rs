@@ -24,7 +24,7 @@ use std::sync::Arc;
 use spn_core::batch::EvidenceBatch;
 use spn_core::flatten::OpList;
 use spn_core::query::{conditional_values, MaxProductProgram, QueryBatch};
-use spn_core::{Evidence, NumericMode, Spn};
+use spn_core::{Evidence, NumericMode, Precision, Spn};
 use spn_processor::PerfReport;
 
 use crate::backend::{Backend, BackendError, BatchResult, ExecBuffers, Parallelism, WorkerState};
@@ -145,6 +145,32 @@ impl<B: Backend> Engine<B> {
         Engine::new(backend, &OpList::from_spn(spn).with_mode(mode))
     }
 
+    /// Flattens `spn`, lowers it into `mode`, stamps it with the emulated PE
+    /// arithmetic `precision` and compiles it for `backend`.
+    ///
+    /// With [`Precision::F64`] this is exactly [`Engine::from_spn_with_mode`]
+    /// (bit-for-bit, every backend).  Reduced precisions quantize every
+    /// intermediate of every kernel — the software model of the paper's
+    /// reduced-width PE datapath — trading a bounded relative error (see
+    /// [`Precision::unit_roundoff`]) for the narrower modelled hardware.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the backend cannot compile the program.
+    pub fn from_spn_with_precision(
+        backend: B,
+        spn: &Spn,
+        mode: NumericMode,
+        precision: Precision,
+    ) -> Result<Self, BackendError> {
+        Engine::new(
+            backend,
+            &OpList::from_spn(spn)
+                .with_mode(mode)
+                .with_precision(precision),
+        )
+    }
+
     /// Wraps an already compiled artifact without recompiling.
     ///
     /// This is the cheap construction path of a serving fleet: a model
@@ -221,6 +247,12 @@ impl<B: Backend> Engine<B> {
     /// program it was compiled from).
     pub fn mode(&self) -> NumericMode {
         self.ops.mode()
+    }
+
+    /// The emulated PE arithmetic format this engine computes in (inherited
+    /// from the program it was compiled from).
+    pub fn precision(&self) -> Precision {
+        self.ops.precision()
     }
 
     /// Executes every query of `batch` against the compiled circuit.

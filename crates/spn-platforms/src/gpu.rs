@@ -309,7 +309,11 @@ impl Backend for GpuModel {
             batch,
             buffers,
             |inputs, results| {
-                // Execute group by group exactly like the kernel would.
+                // Execute group by group exactly like the kernel would.  Every
+                // arithmetic result is rounded to the program's emulated
+                // precision (`round_to` is the identity for F64, keeping the
+                // full-precision path bit-for-bit).
+                let precision = ops.precision();
                 for group in compiled.levels.iter() {
                     for &i in group {
                         let op = ops.ops()[i];
@@ -317,7 +321,7 @@ impl Backend for GpuModel {
                             OperandRef::Input(k) => inputs[k as usize],
                             OperandRef::Op(k) => results[k as usize],
                         };
-                        results[i] = match op.kind {
+                        let raw = match op.kind {
                             OpKind::Add => value(op.lhs, results) + value(op.rhs, results),
                             OpKind::Mul => value(op.lhs, results) * value(op.rhs, results),
                             OpKind::Max => value(op.lhs, results).max(value(op.rhs, results)),
@@ -326,6 +330,7 @@ impl Backend for GpuModel {
                                 value(op.rhs, results),
                             ),
                         };
+                        results[i] = spn_core::precision::round_to(precision, raw);
                     }
                 }
                 match ops.output() {

@@ -14,6 +14,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::config::ProcessorConfig;
+use crate::precision::Precision;
 
 /// Source selection for one crossbar-fed input of a PE tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -232,6 +233,11 @@ pub struct Program {
     /// Number of SPN arithmetic operations the program computes (for
     /// throughput reporting; equals the flattened op count).
     pub num_source_ops: usize,
+    /// The emulated arithmetic format of the PE datapath: every PE result is
+    /// quantized to this precision before write-back (see
+    /// [`crate::tree::apply_pe`]).  [`Precision::F64`] executes bit-for-bit
+    /// like the pre-existing full-precision simulator.
+    pub pe_precision: Precision,
 }
 
 impl Program {
@@ -341,6 +347,7 @@ mod tests {
             memory_rows_used: 3,
             output: ValueLocation::Register { bank: 0, reg: 0 },
             num_source_ops: 0,
+            pe_precision: Precision::F64,
         };
         let image = program.build_memory_image(&[1.0, 2.0, 3.0]).unwrap();
         assert_eq!(image.len(), 3 * 32);

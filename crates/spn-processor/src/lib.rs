@@ -39,6 +39,7 @@ pub mod config;
 pub mod datamem;
 pub mod isa;
 pub mod perf;
+pub mod precision;
 pub mod processor;
 pub mod regfile;
 pub mod tree;
@@ -47,6 +48,7 @@ pub use config::{PePosition, ProcessorConfig};
 pub use error::ProcessorError;
 pub use isa::{Instruction, MemOp, PeOp, Program, ReadSel, TreeInstr, WriteCmd};
 pub use perf::PerfReport;
+pub use precision::Precision;
 pub use processor::{BatchExecution, ExecutionResult, Processor, SimState};
 
 /// Convenience alias for results returned by this crate.

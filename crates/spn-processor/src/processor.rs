@@ -191,6 +191,7 @@ impl Processor {
                 instr,
                 cycle,
                 rows_used,
+                program.pe_precision,
                 regfile,
                 datamem,
                 pending,
@@ -336,6 +337,7 @@ impl Processor {
         instr: &Instruction,
         cycle: u64,
         rows_used: usize,
+        pe_precision: crate::precision::Precision,
         regfile: &mut RegisterFile,
         datamem: &mut DataMemory,
         pending: &mut Vec<PendingWrite>,
@@ -395,7 +397,13 @@ impl Processor {
                 };
                 values.push(v);
             }
-            tree_outputs.push(evaluate_tree(&self.config, tree_instr, &values, cycle)?);
+            tree_outputs.push(evaluate_tree(
+                &self.config,
+                tree_instr,
+                &values,
+                cycle,
+                pe_precision,
+            )?);
         }
 
         // 3. Queue PE write-backs with their pipeline latency.
@@ -519,6 +527,7 @@ mod tests {
             memory_rows_used: 1,
             output: ValueLocation::Register { bank: 0, reg: 1 },
             num_source_ops: 3,
+            pe_precision: crate::precision::Precision::F64,
         }
     }
 
@@ -687,6 +696,7 @@ mod tests {
             memory_rows_used: 1,
             output: ValueLocation::Register { bank: 2, reg: 7 },
             num_source_ops: 0,
+            pe_precision: crate::precision::Precision::F64,
         };
         let proc = Processor::new(cfg()).unwrap();
         let result = proc.run(&program, &[42.0]).unwrap();
@@ -707,6 +717,7 @@ mod tests {
             memory_rows_used: 2,
             output: ValueLocation::Memory { row: 1, lane: 9 },
             num_source_ops: 0,
+            pe_precision: crate::precision::Precision::F64,
         };
         let proc = Processor::new(cfg()).unwrap();
         let result = proc.run(&program, &[7.5]).unwrap();
@@ -736,6 +747,7 @@ mod tests {
             memory_rows_used: 1,
             output: ValueLocation::Register { bank: 1, reg: 3 },
             num_source_ops: 1,
+            pe_precision: crate::precision::Precision::F64,
         };
         let proc = Processor::new(config).unwrap();
         let result = proc.run(&program, &[6.0, 7.0]).unwrap();

@@ -10,6 +10,7 @@
 use crate::config::ProcessorConfig;
 use crate::error::ProcessorError;
 use crate::isa::{PeOp, TreeInstr};
+use crate::precision::{round_to, Precision};
 use crate::Result;
 
 /// Outputs of every PE of a tree for one instruction, level-major
@@ -48,21 +49,28 @@ pub fn log_sum_exp(a: f64, b: f64) -> f64 {
     }
 }
 
-/// Applies one PE operation to its two inputs.
-pub fn apply_pe(op: PeOp, a: f64, b: f64) -> f64 {
+/// Applies one PE operation to its two inputs, rounding arithmetic results
+/// (`Add`/`Mul`/`Max`/`Lse`) to the datapath's emulated `precision`.
+///
+/// Forwarding (`PassA`/`PassB`) and the idle output are exact in every
+/// format — a pass-through latch has no rounder — and quantization is
+/// idempotent, so values circulating through passes, registers and the data
+/// memory are quantized exactly once per arithmetic operation.
+pub fn apply_pe(op: PeOp, a: f64, b: f64, precision: Precision) -> f64 {
     match op {
         PeOp::Nop => 0.0,
-        PeOp::Add => a + b,
-        PeOp::Mul => a * b,
-        PeOp::Max => a.max(b),
-        PeOp::Lse => log_sum_exp(a, b),
+        PeOp::Add => round_to(precision, a + b),
+        PeOp::Mul => round_to(precision, a * b),
+        PeOp::Max => round_to(precision, a.max(b)),
+        PeOp::Lse => round_to(precision, log_sum_exp(a, b)),
         PeOp::PassA => a,
         PeOp::PassB => b,
     }
 }
 
 /// Evaluates the PE tree described by `instr` on the resolved crossbar input
-/// values `inputs` (one per tree input, `2 × leaf PEs` entries).
+/// values `inputs` (one per tree input, `2 × leaf PEs` entries), with every
+/// PE computing in the emulated `precision`.
 ///
 /// # Errors
 ///
@@ -73,6 +81,7 @@ pub fn evaluate_tree(
     instr: &TreeInstr,
     inputs: &[f64],
     cycle: u64,
+    precision: Precision,
 ) -> Result<TreeOutputs> {
     let expected_inputs = config.tree_inputs_per_tree();
     if inputs.len() != expected_inputs {
@@ -109,7 +118,7 @@ pub fn evaluate_tree(
                 (below[2 * index], below[2 * index + 1])
             };
             let flat = TreeInstr::pe_flat_index(config, level, index);
-            outputs.push(apply_pe(instr.pe_ops[flat], a, b));
+            outputs.push(apply_pe(instr.pe_ops[flat], a, b, precision));
         }
         levels.push(outputs);
     }
@@ -136,12 +145,12 @@ mod tests {
 
     #[test]
     fn pe_semantics() {
-        assert_eq!(apply_pe(PeOp::Add, 2.0, 3.0), 5.0);
-        assert_eq!(apply_pe(PeOp::Mul, 2.0, 3.0), 6.0);
-        assert_eq!(apply_pe(PeOp::Max, 2.0, 3.0), 3.0);
-        assert_eq!(apply_pe(PeOp::PassA, 2.0, 3.0), 2.0);
-        assert_eq!(apply_pe(PeOp::PassB, 2.0, 3.0), 3.0);
-        assert_eq!(apply_pe(PeOp::Nop, 2.0, 3.0), 0.0);
+        assert_eq!(apply_pe(PeOp::Add, 2.0, 3.0, Precision::F64), 5.0);
+        assert_eq!(apply_pe(PeOp::Mul, 2.0, 3.0, Precision::F64), 6.0);
+        assert_eq!(apply_pe(PeOp::Max, 2.0, 3.0, Precision::F64), 3.0);
+        assert_eq!(apply_pe(PeOp::PassA, 2.0, 3.0, Precision::F64), 2.0);
+        assert_eq!(apply_pe(PeOp::PassB, 2.0, 3.0, Precision::F64), 3.0);
+        assert_eq!(apply_pe(PeOp::Nop, 2.0, 3.0, Precision::F64), 0.0);
     }
 
     #[test]
@@ -149,16 +158,45 @@ mod tests {
         // ln(e^a + e^b) with the -inf identity: exactly the log-domain sum.
         let a = 0.25f64.ln();
         let b = 0.5f64.ln();
-        assert!((apply_pe(PeOp::Lse, a, b) - 0.75f64.ln()).abs() < 1e-12);
-        assert_eq!(apply_pe(PeOp::Lse, f64::NEG_INFINITY, b), b);
+        assert!((apply_pe(PeOp::Lse, a, b, Precision::F64) - 0.75f64.ln()).abs() < 1e-12);
+        assert_eq!(apply_pe(PeOp::Lse, f64::NEG_INFINITY, b, Precision::F64), b);
         assert_eq!(
-            apply_pe(PeOp::Lse, f64::NEG_INFINITY, f64::NEG_INFINITY),
+            apply_pe(
+                PeOp::Lse,
+                f64::NEG_INFINITY,
+                f64::NEG_INFINITY,
+                Precision::F64
+            ),
             f64::NEG_INFINITY
         );
         // Far below the linear f64 range the sum still lands on ln 2 above.
         let tiny = -5000.0;
-        assert!((apply_pe(PeOp::Lse, tiny, tiny) - (tiny + 2.0f64.ln())).abs() < 1e-12);
+        assert!(
+            (apply_pe(PeOp::Lse, tiny, tiny, Precision::F64) - (tiny + 2.0f64.ln())).abs() < 1e-12
+        );
         assert!(PeOp::Lse.is_arithmetic());
+    }
+
+    #[test]
+    fn reduced_precision_pes_quantize_arithmetic_but_not_passes() {
+        let p = Precision::Custom {
+            exp_bits: 8,
+            mant_bits: 2,
+        };
+        // 1.1 + 0.0 = 1.1 rounds to 1.0 with a 2-bit mantissa...
+        assert_eq!(apply_pe(PeOp::Add, 1.1, 0.0, p), 1.0);
+        assert_eq!(apply_pe(PeOp::Mul, 1.1, 1.0, p), 1.0);
+        assert_eq!(apply_pe(PeOp::Max, 1.1, 0.3, p), 1.0);
+        // ...but a pass-through forwards the raw value unrounded.
+        assert_eq!(apply_pe(PeOp::PassA, 1.1, 0.0, p), 1.1);
+        assert_eq!(apply_pe(PeOp::PassB, 0.0, 1.1, p), 1.1);
+        // Lse quantizes too, and -inf (log-domain zero) survives.
+        assert_eq!(
+            apply_pe(PeOp::Lse, f64::NEG_INFINITY, f64::NEG_INFINITY, p),
+            f64::NEG_INFINITY
+        );
+        let lse = apply_pe(PeOp::Lse, 0.25f64.ln(), 0.5f64.ln(), p);
+        assert_eq!(round_to(p, lse).to_bits(), lse.to_bits());
     }
 
     #[test]
@@ -170,7 +208,7 @@ mod tests {
             *op = PeOp::Add;
         }
         let inputs: Vec<f64> = (1..=16).map(f64::from).collect();
-        let out = evaluate_tree(&cfg, &instr, &inputs, 0).unwrap();
+        let out = evaluate_tree(&cfg, &instr, &inputs, 0, Precision::F64).unwrap();
         assert_eq!(out.value(3, 0), 136.0);
         assert_eq!(out.value(0, 0), 3.0);
         assert_eq!(out.value(1, 0), 10.0);
@@ -188,7 +226,7 @@ mod tests {
         let mut inputs = vec![0.0; 16];
         inputs[0] = 3.0;
         inputs[1] = 4.0;
-        let out = evaluate_tree(&cfg, &instr, &inputs, 0).unwrap();
+        let out = evaluate_tree(&cfg, &instr, &inputs, 0, Precision::F64).unwrap();
         assert_eq!(out.value(3, 0), 12.0);
     }
 
@@ -203,7 +241,7 @@ mod tests {
         inputs[1] = 5.0;
         inputs[14] = 1.0;
         inputs[15] = 7.0;
-        let out = evaluate_tree(&cfg, &instr, &inputs, 0).unwrap();
+        let out = evaluate_tree(&cfg, &instr, &inputs, 0, Precision::F64).unwrap();
         assert_eq!(out.levels.len(), 1);
         assert_eq!(out.value(0, 0), 10.0);
         assert_eq!(out.value(0, 7), 8.0);
@@ -213,9 +251,9 @@ mod tests {
     fn geometry_mismatches_are_rejected() {
         let cfg = ProcessorConfig::ptree();
         let instr = tree_instr(&cfg);
-        assert!(evaluate_tree(&cfg, &instr, &[0.0; 4], 0).is_err());
+        assert!(evaluate_tree(&cfg, &instr, &[0.0; 4], 0, Precision::F64).is_err());
         let mut bad = instr;
         bad.pe_ops.pop();
-        assert!(evaluate_tree(&cfg, &bad, &[0.0; 16], 0).is_err());
+        assert!(evaluate_tree(&cfg, &bad, &[0.0; 16], 0, Precision::F64).is_err());
     }
 }

@@ -1,9 +1,10 @@
 //! Per-model / per-mode serving counters.
 //!
 //! Every dispatched micro-batch and every completed request lands in a
-//! [`Metrics`] sink keyed by `(model, query mode, numeric mode)` — the same
-//! key the micro-batcher coalesces on, so linear and log traffic of one
-//! model (whose kernels differ ~2x in cost) never blur into one row.  The
+//! [`Metrics`] sink keyed by `(model, query mode, numeric mode, precision)`
+//! — the same key the micro-batcher coalesces on, so linear and log traffic
+//! of one model (whose kernels differ ~2x in cost), and full- versus
+//! reduced-precision traffic, never blur into one row.  The
 //! counters answer the two operational questions of a batching server: *is
 //! coalescing happening* (batches, coalesced batches, mean/max batch size)
 //! and *what latency are requests paying for it* (total/max wall-clock from
@@ -13,9 +14,9 @@ use std::collections::BTreeMap;
 use std::sync::Mutex;
 use std::time::Duration;
 
-use spn_core::{NumericMode, QueryMode};
+use spn_core::{NumericMode, Precision, QueryMode};
 
-/// Counters of one `(model, query mode, numeric mode)` triple.
+/// Counters of one `(model, query mode, numeric mode, precision)` key.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ModeStats {
     /// Requests answered (successfully or not).
@@ -58,7 +59,8 @@ impl ModeStats {
     }
 }
 
-/// One `(model, query mode, numeric mode)` row of a metrics snapshot.
+/// One `(model, query mode, numeric mode, precision)` row of a metrics
+/// snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsRecord {
     /// Model name.
@@ -67,13 +69,16 @@ pub struct MetricsRecord {
     pub mode: QueryMode,
     /// Numeric execution domain.
     pub numeric: NumericMode,
+    /// Emulated PE arithmetic format.
+    pub precision: Precision,
     /// The counters.
     pub stats: ModeStats,
 }
 
-/// Counter rows keyed by `(model, mode name, numeric name)` — names give the
-/// map a stable sort order for snapshots.
-type StatsMap = BTreeMap<(String, &'static str, &'static str), (QueryMode, NumericMode, ModeStats)>;
+/// Counter rows keyed by the full `(model, mode, numeric, precision)`
+/// variant — the enums' derived `Ord` gives snapshots a stable sort without
+/// allocating key strings on the per-request hot path.
+type StatsMap = BTreeMap<(String, QueryMode, NumericMode, Precision), ModeStats>;
 
 /// Thread-safe metrics sink shared by the batcher workers and front-ends.
 #[derive(Debug, Default)]
@@ -92,13 +97,14 @@ impl Metrics {
         model: &str,
         mode: QueryMode,
         numeric: NumericMode,
+        precision: Precision,
         update: impl FnOnce(&mut ModeStats),
     ) {
         let mut inner = self.inner.lock().expect("metrics lock");
         let entry = inner
-            .entry((model.to_string(), mode.name(), numeric.name()))
-            .or_insert_with(|| (mode, numeric, ModeStats::default()));
-        update(&mut entry.2);
+            .entry((model.to_string(), mode, numeric, precision))
+            .or_default();
+        update(entry);
     }
 
     /// Records one dispatched micro-batch of `requests` requests holding
@@ -108,10 +114,11 @@ impl Metrics {
         model: &str,
         mode: QueryMode,
         numeric: NumericMode,
+        precision: Precision,
         requests: u64,
         queries: u64,
     ) {
-        self.with_stats(model, mode, numeric, |stats| {
+        self.with_stats(model, mode, numeric, precision, |stats| {
             stats.batches += 1;
             if requests > 1 {
                 stats.coalesced_batches += 1;
@@ -129,11 +136,12 @@ impl Metrics {
         model: &str,
         mode: QueryMode,
         numeric: NumericMode,
+        precision: Precision,
         queries: u64,
         latency: Duration,
         ok: bool,
     ) {
-        self.with_stats(model, mode, numeric, |stats| {
+        self.with_stats(model, mode, numeric, precision, |stats| {
             stats.requests += 1;
             stats.queries += queries;
             if !ok {
@@ -144,16 +152,18 @@ impl Metrics {
         });
     }
 
-    /// A consistent copy of every `(model, query mode, numeric mode)` row,
-    /// sorted by model name, then mode name, then numeric-mode name.
+    /// A consistent copy of every `(model, query mode, numeric mode,
+    /// precision)` row, sorted by model name, then mode, then numeric mode,
+    /// then precision (each in declaration order).
     pub fn snapshot(&self) -> Vec<MetricsRecord> {
         let inner = self.inner.lock().expect("metrics lock");
         inner
             .iter()
-            .map(|((model, _, _), (mode, numeric, stats))| MetricsRecord {
+            .map(|((model, mode, numeric, precision), stats)| MetricsRecord {
                 model: model.clone(),
                 mode: *mode,
                 numeric: *numeric,
+                precision: *precision,
                 stats: stats.clone(),
             })
             .collect()
@@ -167,13 +177,15 @@ mod tests {
     #[test]
     fn batches_and_requests_accumulate() {
         let lin = NumericMode::Linear;
+        let f64p = Precision::F64;
         let metrics = Metrics::new();
-        metrics.record_batch("m", QueryMode::Marginal, lin, 3, 12);
-        metrics.record_batch("m", QueryMode::Marginal, lin, 1, 4);
+        metrics.record_batch("m", QueryMode::Marginal, lin, f64p, 3, 12);
+        metrics.record_batch("m", QueryMode::Marginal, lin, f64p, 1, 4);
         metrics.record_request(
             "m",
             QueryMode::Marginal,
             lin,
+            f64p,
             12,
             Duration::from_millis(2),
             true,
@@ -182,16 +194,27 @@ mod tests {
             "m",
             QueryMode::Marginal,
             lin,
+            f64p,
             4,
             Duration::from_millis(6),
             false,
         );
-        metrics.record_batch("m", QueryMode::Map, lin, 1, 1);
+        metrics.record_batch("m", QueryMode::Map, lin, f64p, 1, 1);
         // Log-domain traffic of the same (model, query mode) gets its own row.
-        metrics.record_batch("m", QueryMode::Marginal, NumericMode::Log, 1, 2);
+        metrics.record_batch("m", QueryMode::Marginal, NumericMode::Log, f64p, 1, 2);
+        // Reduced-precision traffic of the same (model, mode, numeric) does
+        // too.
+        metrics.record_batch("m", QueryMode::Marginal, lin, Precision::E8M10, 1, 5);
 
         let snapshot = metrics.snapshot();
-        assert_eq!(snapshot.len(), 3);
+        assert_eq!(snapshot.len(), 4);
+        let reduced = snapshot
+            .iter()
+            .find(|r| r.precision == Precision::E8M10)
+            .unwrap();
+        assert_eq!(reduced.numeric, lin);
+        assert_eq!(reduced.stats.batches, 1);
+        assert_eq!(reduced.stats.max_batch_queries, 5);
         let log = snapshot
             .iter()
             .find(|r| r.numeric == NumericMode::Log)
@@ -200,7 +223,7 @@ mod tests {
         assert_eq!(log.stats.batches, 1);
         let marginal = snapshot
             .iter()
-            .find(|r| r.mode == QueryMode::Marginal && r.numeric == lin)
+            .find(|r| r.mode == QueryMode::Marginal && r.numeric == lin && r.precision == f64p)
             .unwrap();
         assert_eq!(marginal.model, "m");
         assert_eq!(marginal.stats.batches, 2);

@@ -15,25 +15,31 @@
 //! the compiled max-product plan back via [`ModelRegistry::store_map`], and
 //! every later engine picks it up pre-compiled.
 //!
-//! Artifacts are held **per numeric mode**: one model can serve linear- and
-//! log-domain traffic side by side, each `(model, mode)` pair compiled once
-//! and cached independently (the log-domain program is derived from the
-//! registered linear program on first use).
+//! Artifacts are held **per `(numeric mode, precision)`**: one model can
+//! serve linear- and log-domain traffic at several emulated PE precisions
+//! side by side, each `(model, mode, precision)` triple compiled once and
+//! cached independently.  The mode-lowered program is derived from the
+//! registered linear program on first use, then stamped with the requested
+//! precision — the same order as `Engine::from_spn_with_precision`, so a
+//! registry-built engine and a directly-built one execute identical
+//! programs.  Cache keys carry the full triple, so variants can never
+//! alias; a re-registration of a name replaces the whole entry, which
+//! invalidates **all** precision variants of the model at once.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use spn_core::flatten::OpList;
-use spn_core::{NumericMode, Spn};
+use spn_core::{NumericMode, Precision, Spn};
 use spn_platforms::{Backend, Engine, MapArtifact};
 
 use crate::error::ServeError;
 
 /// Everything a worker needs to build an [`Engine`] for one model in one
-/// numeric mode, shared cheaply out of the registry.
+/// `(numeric mode, precision)` variant, shared cheaply out of the registry.
 pub struct ModelPlan<B: Backend> {
-    /// The flattened program in the plan's numeric mode (cloned per plan;
-    /// engines keep their own copy).
+    /// The flattened program in the plan's numeric mode and precision
+    /// (cloned per plan; engines keep their own copy).
     pub ops: OpList,
     /// The shared compiled artifact.
     pub artifact: Arc<B::Compiled>,
@@ -44,35 +50,44 @@ pub struct ModelPlan<B: Backend> {
     pub version: u64,
     /// The numeric mode the plan was compiled for.
     pub mode: NumericMode,
+    /// The emulated PE precision the plan was compiled for.
+    pub precision: Precision,
 }
 
-/// Per-numeric-mode compiled state of one model (indexed by
-/// [`NumericMode::index`]).
-struct ModeSlot<B: Backend> {
+/// The cache key of one compiled variant of a model.
+type VariantKey = (NumericMode, Precision);
+
+/// Compiled state of one `(numeric mode, precision)` variant of a model.
+struct VariantSlot<B: Backend> {
     /// `None` when evicted by the LRU policy; recompiled on next use.
     artifact: Option<Arc<B::Compiled>>,
     map: Option<MapArtifact<B>>,
+    /// Logical-clock timestamp of the slot's last use; the LRU evicts at
+    /// *slot* granularity, so one model serving many variants competes for
+    /// cache space per variant, not all-or-nothing.
+    last_used: u64,
 }
 
-impl<B: Backend> Default for ModeSlot<B> {
+impl<B: Backend> Default for VariantSlot<B> {
     fn default() -> Self {
-        ModeSlot {
+        VariantSlot {
             artifact: None,
             map: None,
+            last_used: 0,
         }
     }
 }
 
 struct ModelEntry<B: Backend> {
-    /// The registered (linear-domain) program; mode-specific programs are
-    /// derived from it on demand.
+    /// The registered (linear-domain, full-precision) program; every variant
+    /// is derived from it on demand.
     ops: OpList,
     /// The derived log-domain program, memoised on first use so repeated
     /// log-mode plans pay a clone, not a re-derivation (the derivation runs
     /// under the registry lock; it is immutable per registration).
     log_ops: Option<OpList>,
-    /// One artifact slot per numeric mode.
-    slots: [ModeSlot<B>; 2],
+    /// One artifact slot per requested `(mode, precision)` variant.
+    slots: HashMap<VariantKey, VariantSlot<B>>,
     version: u64,
     last_used: u64,
 }
@@ -80,20 +95,24 @@ struct ModelEntry<B: Backend> {
 impl<B: Backend> ModelEntry<B> {
     fn cached_artifacts(&self) -> usize {
         self.slots
-            .iter()
+            .values()
             .filter(|slot| slot.artifact.is_some())
             .count()
     }
 
-    /// The entry's program in `mode`, deriving (and memoising) the
-    /// log-domain twin on first use.
-    fn ops_for(&mut self, mode: NumericMode) -> OpList {
-        match mode {
-            NumericMode::Linear => self.ops.clone(),
-            NumericMode::Log => self
-                .log_ops
-                .get_or_insert_with(|| self.ops.to_log_domain())
-                .clone(),
+    /// The entry's program lowered into `mode` (memoising the log-domain
+    /// derivation) and stamped with `precision` — the same lowering order as
+    /// `Engine::from_spn_with_precision`, so programs (and therefore cached
+    /// artifacts) agree bit for bit with directly-built engines.
+    fn ops_for(&mut self, mode: NumericMode, precision: Precision) -> OpList {
+        let lowered = match mode {
+            NumericMode::Linear => &self.ops,
+            NumericMode::Log => self.log_ops.get_or_insert_with(|| self.ops.to_log_domain()),
+        };
+        if precision == Precision::F64 {
+            lowered.clone()
+        } else {
+            lowered.with_precision(precision)
         }
     }
 }
@@ -142,12 +161,19 @@ impl<B: Backend + Clone> ModelRegistry<B> {
     }
 
     /// Registers (or replaces) `name` with an already flattened program
-    /// (which must be in the linear domain; log-domain artifacts are derived
-    /// per mode on first use).
+    /// (which must be in the linear domain at full precision; mode- and
+    /// precision-specific artifacts are derived per variant on first use).
+    /// Replacing a name drops every cached variant of the old registration —
+    /// a hot swap can never leave a stale precision variant behind.
     pub fn register_ops(&self, name: impl Into<String>, ops: OpList) {
         assert!(
             ops.mode() == NumericMode::Linear,
             "register the linear-domain program; log artifacts are derived per mode"
+        );
+        assert!(
+            ops.precision() == Precision::F64,
+            "register the full-precision program; reduced-precision artifacts \
+             are derived per variant"
         );
         let mut inner = self.inner.lock().expect("registry lock");
         inner.clock += 1;
@@ -155,7 +181,7 @@ impl<B: Backend + Clone> ModelRegistry<B> {
         let entry = ModelEntry {
             ops,
             log_ops: None,
-            slots: [ModeSlot::default(), ModeSlot::default()],
+            slots: HashMap::new(),
             version: inner.next_version,
             last_used: inner.clock,
         };
@@ -216,20 +242,31 @@ impl<B: Backend + Clone> ModelRegistry<B> {
             .sum()
     }
 
-    /// Returns the shared linear-domain execution plan for `name` — see
-    /// [`ModelRegistry::plan_mode`].
+    /// Returns the shared linear-domain, full-precision execution plan for
+    /// `name` — see [`ModelRegistry::plan_with`].
     ///
     /// # Errors
     ///
-    /// As for [`ModelRegistry::plan_mode`].
+    /// As for [`ModelRegistry::plan_with`].
     pub fn plan(&self, name: &str) -> Result<ModelPlan<B>, ServeError> {
-        self.plan_mode(name, NumericMode::Linear)
+        self.plan_with(name, NumericMode::Linear, Precision::F64)
     }
 
-    /// Returns the shared execution plan for `name` in `mode`, compiling
-    /// (and caching) the artifact on a cache miss and evicting the
+    /// Returns the shared full-precision execution plan for `name` in `mode`
+    /// — see [`ModelRegistry::plan_with`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`ModelRegistry::plan_with`].
+    pub fn plan_mode(&self, name: &str, mode: NumericMode) -> Result<ModelPlan<B>, ServeError> {
+        self.plan_with(name, mode, Precision::F64)
+    }
+
+    /// Returns the shared execution plan for `name` in `(mode, precision)`,
+    /// compiling (and caching) the artifact on a cache miss and evicting the
     /// least-recently-used model's artifacts beyond the cache capacity.
-    /// Linear and log artifacts of one model live side by side.
+    /// Every `(mode, precision)` variant of one model lives side by side
+    /// under its own cache key.
     ///
     /// Compilation happens outside the registry lock, so a slow compile
     /// stalls only the models that need it, not every worker.
@@ -238,7 +275,13 @@ impl<B: Backend + Clone> ModelRegistry<B> {
     ///
     /// Returns [`ServeError::UnknownModel`] when `name` is not registered and
     /// [`ServeError::Backend`] when compilation fails.
-    pub fn plan_mode(&self, name: &str, mode: NumericMode) -> Result<ModelPlan<B>, ServeError> {
+    pub fn plan_with(
+        &self,
+        name: &str,
+        mode: NumericMode,
+        precision: Precision,
+    ) -> Result<ModelPlan<B>, ServeError> {
+        let key: VariantKey = (mode, precision);
         let (ops, version) = {
             let mut inner = self.inner.lock().expect("registry lock");
             inner.clock += 1;
@@ -248,19 +291,24 @@ impl<B: Backend + Clone> ModelRegistry<B> {
                 .get_mut(name)
                 .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
             entry.last_used = clock;
-            if let Some(artifact) = &entry.slots[mode.index()].artifact {
-                let artifact = Arc::clone(artifact);
-                let map = entry.slots[mode.index()].map.clone();
+            let cached = entry.slots.get_mut(&key).and_then(|slot| {
+                slot.last_used = clock;
+                slot.artifact
+                    .clone()
+                    .map(|artifact| (artifact, slot.map.clone()))
+            });
+            if let Some((artifact, map)) = cached {
                 let version = entry.version;
                 return Ok(ModelPlan {
-                    ops: entry.ops_for(mode),
+                    ops: entry.ops_for(mode, precision),
                     artifact,
                     map,
                     version,
                     mode,
+                    precision,
                 });
             }
-            (entry.ops_for(mode), entry.version)
+            (entry.ops_for(mode, precision), entry.version)
         };
 
         let artifact = Arc::new(
@@ -275,10 +323,13 @@ impl<B: Backend + Clone> ModelRegistry<B> {
         // cache the artifact if it still matches what we compiled.  A
         // sibling worker may have published the max-product plan meanwhile —
         // hand it out rather than letting the caller recompile it.
+        inner.clock += 1;
+        let clock = inner.clock;
         let mut map = None;
         if let Some(entry) = inner.models.get_mut(name) {
             if entry.version == version {
-                let slot = &mut entry.slots[mode.index()];
+                let slot = entry.slots.entry(key).or_default();
+                slot.last_used = clock;
                 map = slot.map.clone();
                 if slot.artifact.is_none() {
                     slot.artifact = Some(Arc::clone(&artifact));
@@ -292,44 +343,73 @@ impl<B: Backend + Clone> ModelRegistry<B> {
             map,
             version,
             mode,
+            precision,
         })
     }
 
-    /// Publishes a compiled max-product artifact for `name` in `mode`
-    /// (ignored when the model was re-registered since `version` or the slot
-    /// already has one).
-    pub fn store_map(&self, name: &str, version: u64, mode: NumericMode, map: MapArtifact<B>) {
+    /// Publishes a compiled max-product artifact for `name`'s
+    /// `(mode, precision)` variant (ignored when the model was re-registered
+    /// since `version`, the slot already has one, or the variant's main
+    /// artifact is no longer cached — a map rides along with its artifact,
+    /// so map plans can never accumulate past the LRU capacity).
+    pub fn store_map(
+        &self,
+        name: &str,
+        version: u64,
+        mode: NumericMode,
+        precision: Precision,
+        map: MapArtifact<B>,
+    ) {
         let mut inner = self.inner.lock().expect("registry lock");
         if let Some(entry) = inner.models.get_mut(name) {
-            let slot = &mut entry.slots[mode.index()];
-            if entry.version == version && slot.map.is_none() {
-                slot.map = Some(map);
+            if entry.version == version {
+                if let Some(slot) = entry.slots.get_mut(&(mode, precision)) {
+                    if slot.artifact.is_some() && slot.map.is_none() {
+                        slot.map = Some(map);
+                    }
+                }
             }
         }
     }
 
-    /// Builds a fresh linear-domain engine for `name` — see
-    /// [`ModelRegistry::engine_mode`].
+    /// Builds a fresh linear-domain, full-precision engine for `name` — see
+    /// [`ModelRegistry::engine_with`].
     ///
     /// # Errors
     ///
-    /// As for [`ModelRegistry::plan_mode`].
+    /// As for [`ModelRegistry::plan_with`].
     pub fn engine(&self, name: &str) -> Result<(Engine<B>, u64), ServeError> {
-        self.engine_mode(name, NumericMode::Linear)
+        self.engine_with(name, NumericMode::Linear, Precision::F64)
     }
 
-    /// Builds a fresh engine for `name` in `mode` from the shared plan:
-    /// compilation is reused, only per-engine execution state is allocated.
+    /// Builds a fresh full-precision engine for `name` in `mode` — see
+    /// [`ModelRegistry::engine_with`].
     ///
     /// # Errors
     ///
-    /// As for [`ModelRegistry::plan_mode`].
+    /// As for [`ModelRegistry::plan_with`].
     pub fn engine_mode(
         &self,
         name: &str,
         mode: NumericMode,
     ) -> Result<(Engine<B>, u64), ServeError> {
-        let plan = self.plan_mode(name, mode)?;
+        self.engine_with(name, mode, Precision::F64)
+    }
+
+    /// Builds a fresh engine for `name` in `(mode, precision)` from the
+    /// shared plan: compilation is reused, only per-engine execution state
+    /// is allocated.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ModelRegistry::plan_with`].
+    pub fn engine_with(
+        &self,
+        name: &str,
+        mode: NumericMode,
+        precision: Precision,
+    ) -> Result<(Engine<B>, u64), ServeError> {
+        let plan = self.plan_with(name, mode, precision)?;
         let mut engine = Engine::from_artifact(self.backend.clone(), &plan.ops, plan.artifact);
         if let Some(map) = plan.map {
             engine.install_map(map);
@@ -338,24 +418,33 @@ impl<B: Backend + Clone> ModelRegistry<B> {
     }
 }
 
-/// Drops the least-recently-used model's artifacts (all modes) until at most
-/// `capacity` artifacts remain (the models stay registered and recompile on
-/// demand).
+/// Drops least-recently-used variant artifacts — one `(model, mode,
+/// precision)` slot at a time, map plan included — until at most `capacity`
+/// artifacts remain (the models stay registered and evicted variants
+/// recompile on demand).  Slot granularity matters twice over: a single
+/// model serving more variants than the whole capacity still keeps its
+/// `capacity` hottest variants cached instead of thrashing on every
+/// request, and removing the slot outright keeps the variant table itself
+/// from growing without bound under a client sweeping precision names.
 fn evict_beyond_capacity<B: Backend>(models: &mut HashMap<String, ModelEntry<B>>, capacity: usize) {
     loop {
         let cached: usize = models.values().map(ModelEntry::cached_artifacts).sum();
         if cached <= capacity {
             return;
         }
-        if let Some(entry) = models
-            .values_mut()
-            .filter(|e| e.cached_artifacts() > 0)
-            .min_by_key(|e| e.last_used)
-        {
-            for slot in &mut entry.slots {
-                slot.artifact = None;
-                slot.map = None;
-            }
+        let victim = models
+            .iter()
+            .flat_map(|(name, entry)| {
+                entry
+                    .slots
+                    .iter()
+                    .filter(|(_, slot)| slot.artifact.is_some())
+                    .map(move |(key, slot)| (slot.last_used, name.clone(), *key))
+            })
+            .min_by_key(|(last_used, _, _)| *last_used);
+        let Some((_, name, key)) = victim else { return };
+        if let Some(entry) = models.get_mut(&name) {
+            entry.slots.remove(&key);
         }
     }
 }
@@ -421,6 +510,7 @@ mod tests {
             "a",
             version,
             NumericMode::Linear,
+            Precision::F64,
             engine.shared_map().unwrap(),
         );
         let (second, _) = registry.engine("a").unwrap();
@@ -457,6 +547,188 @@ mod tests {
             .unwrap();
         // Log-domain partition function of a normalised SPN is ln 1 = 0.
         assert!(out.values.iter().all(|v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn lru_eviction_follows_use_order_under_capacity_pressure() {
+        // Capacity 2, three models planned in a known access order: the
+        // registry must always evict exactly the least-recently-used cached
+        // variant slot, never a warmer one (each model here holds a single
+        // variant, so slot order and model order coincide).
+        let registry = registry_with(&["a", "b", "c"], 2);
+        let a1 = registry.plan("a").unwrap();
+        registry.plan("b").unwrap();
+        // Use order is now [a, b]; touching "a" makes it [b, a].
+        registry.plan("a").unwrap();
+        // "c" evicts "b" (coldest), not "a".
+        registry.plan("c").unwrap();
+        assert_eq!(registry.cached_artifacts(), 2);
+        assert!(
+            Arc::ptr_eq(&registry.plan("a").unwrap().artifact, &a1.artifact),
+            "a must have survived the eviction of b"
+        );
+        // Re-planning "b" recompiles (fresh Arc) and evicts the now-coldest
+        // "c"; "a" — refreshed by the ptr_eq check above — survives again.
+        let b2 = registry.plan("b").unwrap();
+        assert!(Arc::ptr_eq(
+            &registry.plan("a").unwrap().artifact,
+            &a1.artifact
+        ));
+        assert!(Arc::ptr_eq(
+            &registry.plan("b").unwrap().artifact,
+            &b2.artifact
+        ));
+        assert_eq!(registry.cached_artifacts(), 2);
+    }
+
+    #[test]
+    fn one_model_with_more_variants_than_capacity_keeps_its_hottest_variants() {
+        // Eviction is per (mode, precision) slot, not per model: a single
+        // model serving three precisions through a capacity-2 cache must
+        // keep the two most recently used variants cached rather than
+        // thrashing to zero.
+        let registry = registry_with(&["a"], 2);
+        let f64_plan = registry
+            .plan_with("a", NumericMode::Linear, Precision::F64)
+            .unwrap();
+        let f32_plan = registry
+            .plan_with("a", NumericMode::Linear, Precision::F32)
+            .unwrap();
+        // Third variant evicts the coldest slot (f64), nothing else.
+        registry
+            .plan_with("a", NumericMode::Linear, Precision::E8M10)
+            .unwrap();
+        assert_eq!(registry.cached_artifacts(), 2);
+        assert!(
+            Arc::ptr_eq(
+                &registry
+                    .plan_with("a", NumericMode::Linear, Precision::F32)
+                    .unwrap()
+                    .artifact,
+                &f32_plan.artifact
+            ),
+            "the still-warm f32 variant was evicted"
+        );
+        // The f64 variant recompiles on demand (fresh Arc).
+        let f64_again = registry
+            .plan_with("a", NumericMode::Linear, Precision::F64)
+            .unwrap();
+        assert!(!Arc::ptr_eq(&f64_again.artifact, &f64_plan.artifact));
+        assert_eq!(registry.cached_artifacts(), 2);
+    }
+
+    #[test]
+    fn variant_cache_keys_never_alias() {
+        // Every (mode, precision) variant of one model gets its own artifact
+        // under its own key: same-precision different-mode, same-mode
+        // different-precision and the f64 default must all be distinct, and
+        // re-planning any one of them must return exactly its own Arc.
+        let registry = registry_with(&["a"], 16);
+        let variants = [
+            (NumericMode::Linear, Precision::F64),
+            (NumericMode::Linear, Precision::F32),
+            (NumericMode::Linear, Precision::E8M10),
+            (NumericMode::Log, Precision::F64),
+            (NumericMode::Log, Precision::E8M10),
+        ];
+        let plans: Vec<_> = variants
+            .iter()
+            .map(|&(mode, precision)| registry.plan_with("a", mode, precision).unwrap())
+            .collect();
+        assert_eq!(registry.cached_artifacts(), variants.len());
+        for (i, a) in plans.iter().enumerate() {
+            for b in plans.iter().skip(i + 1) {
+                assert!(
+                    !Arc::ptr_eq(&a.artifact, &b.artifact),
+                    "({}, {}) aliases ({}, {})",
+                    a.mode,
+                    a.precision,
+                    b.mode,
+                    b.precision
+                );
+            }
+            // The plan's program actually is the requested variant.
+            assert_eq!(a.ops.mode(), variants[i].0);
+            assert_eq!(a.ops.precision(), variants[i].1);
+            let again = registry
+                .plan_with("a", variants[i].0, variants[i].1)
+                .unwrap();
+            assert!(Arc::ptr_eq(&again.artifact, &a.artifact));
+        }
+
+        // A map artifact published for one variant is invisible to siblings.
+        let (mut engine, version) = registry
+            .engine_with("a", NumericMode::Linear, Precision::E8M10)
+            .unwrap();
+        engine.prepare_map().unwrap();
+        registry.store_map(
+            "a",
+            version,
+            NumericMode::Linear,
+            Precision::E8M10,
+            engine.shared_map().unwrap(),
+        );
+        assert!(registry
+            .engine_with("a", NumericMode::Linear, Precision::E8M10)
+            .unwrap()
+            .0
+            .shared_map()
+            .is_some());
+        for (mode, precision) in [
+            (NumericMode::Linear, Precision::F64),
+            (NumericMode::Linear, Precision::F32),
+            (NumericMode::Log, Precision::E8M10),
+        ] {
+            assert!(
+                registry
+                    .engine_with("a", mode, precision)
+                    .unwrap()
+                    .0
+                    .shared_map()
+                    .is_none(),
+                "map leaked into ({mode}, {precision})"
+            );
+        }
+    }
+
+    #[test]
+    fn hot_swap_invalidates_every_precision_variant() {
+        let registry = registry_with(&["a"], 16);
+        let old: Vec<_> = Precision::SWEEP
+            .iter()
+            .map(|&p| registry.plan_with("a", NumericMode::Linear, p).unwrap())
+            .collect();
+        assert_eq!(registry.cached_artifacts(), Precision::SWEEP.len());
+
+        // Re-register under the same name: every cached variant must go.
+        let mut rng = StdRng::seed_from_u64(99);
+        let replacement = random_spn(&RandomSpnConfig::with_vars(9), &mut rng);
+        registry.register("a", &replacement);
+        assert_eq!(registry.cached_artifacts(), 0, "stale variants survived");
+        for (old_plan, &p) in old.iter().zip(&Precision::SWEEP) {
+            let fresh = registry.plan_with("a", NumericMode::Linear, p).unwrap();
+            assert!(fresh.version > old_plan.version);
+            assert!(!Arc::ptr_eq(&fresh.artifact, &old_plan.artifact));
+            assert_eq!(fresh.ops.num_vars(), 9);
+        }
+        // A stale map publication (old version) is silently dropped.
+        let (mut engine, _) = registry
+            .engine_with("a", NumericMode::Linear, Precision::F64)
+            .unwrap();
+        engine.prepare_map().unwrap();
+        registry.store_map(
+            "a",
+            old[0].version,
+            NumericMode::Linear,
+            Precision::F64,
+            engine.shared_map().unwrap(),
+        );
+        assert!(registry
+            .engine_with("a", NumericMode::Linear, Precision::F64)
+            .unwrap()
+            .0
+            .shared_map()
+            .is_none());
     }
 
     #[test]

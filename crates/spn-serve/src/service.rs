@@ -16,7 +16,7 @@
 //!
 //! The micro-batcher is *dynamic*: a worker takes the oldest pending
 //! request, then keeps absorbing queued requests of the same
-//! `(model, query mode, numeric mode)` until the batch reaches [`BatchPolicy::max_batch_queries`] queries or
+//! `(model, query mode, numeric mode, precision)` until the batch reaches [`BatchPolicy::max_batch_queries`] queries or
 //! [`BatchPolicy::max_wait`] has elapsed — under load batches fill instantly
 //! and the wait never triggers; when idle a single request pays at most
 //! `max_wait` extra latency (`max_wait = 0` disables waiting entirely).
@@ -36,7 +36,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use spn_core::wire::{QueryRequest, QueryResponse};
-use spn_core::{NumericMode, QueryBatch, QueryMode, Spn};
+use spn_core::{NumericMode, Precision, QueryBatch, QueryMode, Spn};
 use spn_platforms::{Backend, Engine, Parallelism, QueryOutput};
 
 use crate::error::ServeError;
@@ -284,14 +284,16 @@ impl<B: Backend> Drop for Service<B> {
     }
 }
 
-/// Moves every queued request matching `(model, query mode, numeric mode)`
-/// into `group`, as long as the batch stays within `max_queries` (requests
-/// that would overflow are left queued for the next batch).
+/// Moves every queued request matching `(model, query mode, numeric mode,
+/// precision)` into `group`, as long as the batch stays within `max_queries`
+/// (requests that would overflow are left queued for the next batch).
+#[allow(clippy::too_many_arguments)]
 fn take_matching(
     queue: &mut VecDeque<Pending>,
     model: &str,
     mode: QueryMode,
     numeric: NumericMode,
+    precision: Precision,
     max_queries: usize,
     total: &mut usize,
     group: &mut Vec<Pending>,
@@ -303,6 +305,7 @@ fn take_matching(
         if candidate.request.model == model
             && candidate.request.query.mode() == mode
             && candidate.request.numeric == numeric
+            && candidate.request.precision == precision
             && *total + len <= max_queries
         {
             let pending = queue.remove(i).expect("index in range");
@@ -326,10 +329,11 @@ fn worker_loop<B>(
     B: Backend + Clone + Send + Sync,
     B::Compiled: Send + Sync,
 {
-    // Engines this worker has built, keyed by (model name, numeric mode),
-    // tagged with the registry version they were built from (stale ones are
-    // rebuilt).  Linear and log engines of one model live side by side.
-    let mut engines: HashMap<(String, NumericMode), (u64, Engine<B>)> = HashMap::new();
+    // Engines this worker has built, keyed by (model name, numeric mode,
+    // precision), tagged with the registry version they were built from
+    // (stale ones are rebuilt).  Every variant of one model lives side by
+    // side, LRU-bounded (the precision key is client-controlled).
+    let mut engines: WorkerEngines<B> = WorkerEngines::new();
 
     loop {
         let mut group: Vec<Pending> = Vec::new();
@@ -351,6 +355,7 @@ fn worker_loop<B>(
             let model = first.request.model.clone();
             let mode = first.request.query.mode();
             let numeric = first.request.numeric;
+            let precision = first.request.precision;
             total = first.request.query.len();
             group.push(first);
 
@@ -359,6 +364,7 @@ fn worker_loop<B>(
                 &model,
                 mode,
                 numeric,
+                precision,
                 policy.max_batch_queries,
                 &mut total,
                 &mut group,
@@ -379,6 +385,7 @@ fn worker_loop<B>(
                     &model,
                     mode,
                     numeric,
+                    precision,
                     policy.max_batch_queries,
                     &mut total,
                     &mut group,
@@ -396,7 +403,7 @@ fn worker_loop<B>(
 fn dispatch<B>(
     registry: &ModelRegistry<B>,
     metrics: &Metrics,
-    engines: &mut HashMap<(String, NumericMode), (u64, Engine<B>)>,
+    engines: &mut WorkerEngines<B>,
     parallelism: Parallelism,
     group: Vec<Pending>,
     total: usize,
@@ -407,9 +414,17 @@ fn dispatch<B>(
     let model = group[0].request.model.clone();
     let mode = group[0].request.query.mode();
     let numeric = group[0].request.numeric;
-    metrics.record_batch(&model, mode, numeric, group.len() as u64, total as u64);
+    let precision = group[0].request.precision;
+    metrics.record_batch(
+        &model,
+        mode,
+        numeric,
+        precision,
+        group.len() as u64,
+        total as u64,
+    );
 
-    let engine = match worker_engine(registry, engines, &model, numeric) {
+    let engine = match worker_engine(registry, engines, &model, numeric, precision) {
         Ok(engine) => engine,
         Err(err) => {
             let message = err.message();
@@ -435,7 +450,7 @@ fn dispatch<B>(
 
     match output {
         Ok(output) => {
-            publish_map(registry, engines, &model, mode, numeric);
+            publish_map(registry, engines, &model, mode, numeric, precision);
             let mut offset = 0;
             for pending in group {
                 let n = pending.request.query.len();
@@ -454,7 +469,7 @@ fn dispatch<B>(
                 });
                 respond(metrics, pending, result);
             }
-            publish_map(registry, engines, &model, mode, numeric);
+            publish_map(registry, engines, &model, mode, numeric, precision);
         }
         Err(err) => {
             let pending = group.into_iter().next().expect("non-empty group");
@@ -463,28 +478,76 @@ fn dispatch<B>(
     }
 }
 
-/// Looks up (or builds) this worker's engine for `(model, numeric)`,
-/// rebuilding when the registry holds a newer version.
+/// Cap on cached engines per batcher worker.  The precision half of the
+/// key is client-controlled (hundreds of valid `e<exp>m<mant>` names), so
+/// an unbounded cache would let a client sweeping precisions bloat every
+/// worker and pin registry-evicted artifacts alive; beyond the cap the
+/// least-recently-used engine is dropped and rebuilt on demand from the
+/// registry's shared plan (a cheap Arc bump when the artifact is still
+/// cached).
+const MAX_WORKER_ENGINES: usize = 32;
+
+/// The key of one cached worker engine: model name plus execution variant.
+type EngineKey = (String, NumericMode, Precision);
+
+/// One cached worker engine: registry version, LRU timestamp, the engine.
+type EngineEntry<B> = (u64, u64, Engine<B>);
+
+/// One batcher worker's LRU-bounded engine cache.
+struct WorkerEngines<B: Backend> {
+    map: HashMap<EngineKey, EngineEntry<B>>,
+    /// Logical clock driving the per-worker LRU.
+    clock: u64,
+}
+
+impl<B: Backend> WorkerEngines<B> {
+    fn new() -> Self {
+        WorkerEngines {
+            map: HashMap::new(),
+            clock: 0,
+        }
+    }
+}
+
+/// Looks up (or builds) this worker's engine for `(model, numeric,
+/// precision)`, rebuilding when the registry holds a newer version and
+/// evicting the worker's least-recently-used engine beyond
+/// [`MAX_WORKER_ENGINES`].
 fn worker_engine<'a, B>(
     registry: &ModelRegistry<B>,
-    engines: &'a mut HashMap<(String, NumericMode), (u64, Engine<B>)>,
+    engines: &'a mut WorkerEngines<B>,
     model: &str,
     numeric: NumericMode,
+    precision: Precision,
 ) -> Result<&'a mut Engine<B>, ServeError>
 where
     B: Backend + Clone,
 {
     let current = registry.version(model)?;
-    let key = (model.to_string(), numeric);
-    let needs_build = match engines.get(&key) {
-        Some((version, _)) => *version != current,
+    engines.clock += 1;
+    let clock = engines.clock;
+    let key = (model.to_string(), numeric, precision);
+    let needs_build = match engines.map.get(&key) {
+        Some((version, _, _)) => *version != current,
         None => true,
     };
     if needs_build {
-        let (engine, version) = registry.engine_mode(model, numeric)?;
-        engines.insert(key.clone(), (version, engine));
+        let (engine, version) = registry.engine_with(model, numeric, precision)?;
+        if !engines.map.contains_key(&key) && engines.map.len() >= MAX_WORKER_ENGINES {
+            let victim = engines
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used, _))| *used)
+                .map(|(k, _)| k.clone());
+            if let Some(victim) = victim {
+                engines.map.remove(&victim);
+            }
+        }
+        engines.map.insert(key.clone(), (version, clock, engine));
     }
-    Ok(&mut engines.get_mut(&key).expect("engine just ensured").1)
+    let entry = engines.map.get_mut(&key).expect("engine just ensured");
+    entry.1 = clock;
+    Ok(&mut entry.2)
 }
 
 /// Runs one merged batch through the serial or sharded query path.
@@ -509,19 +572,20 @@ where
 /// max-product artifact so sibling workers skip the compile.
 fn publish_map<B>(
     registry: &ModelRegistry<B>,
-    engines: &HashMap<(String, NumericMode), (u64, Engine<B>)>,
+    engines: &WorkerEngines<B>,
     model: &str,
     mode: QueryMode,
     numeric: NumericMode,
+    precision: Precision,
 ) where
     B: Backend + Clone,
 {
     if mode != QueryMode::Map {
         return;
     }
-    if let Some((version, engine)) = engines.get(&(model.to_string(), numeric)) {
+    if let Some((version, _, engine)) = engines.map.get(&(model.to_string(), numeric, precision)) {
         if let Some(map) = engine.shared_map() {
-            registry.store_map(model, *version, numeric, map);
+            registry.store_map(model, *version, numeric, precision, map);
         }
     }
 }
@@ -538,6 +602,7 @@ fn slice_output(
         model: request.model.clone(),
         mode: request.query.mode(),
         numeric: request.numeric,
+        precision: request.precision,
         values: output.values[offset..offset + len].to_vec(),
         assignments: output
             .assignments
@@ -553,6 +618,7 @@ fn respond(metrics: &Metrics, pending: Pending, result: Result<QueryResponse, Se
         &pending.request.model,
         mode,
         pending.request.numeric,
+        pending.request.precision,
         pending.request.query.len() as u64,
         pending.submitted.elapsed(),
         result.is_ok(),

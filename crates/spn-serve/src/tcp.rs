@@ -29,7 +29,12 @@
 //! The optional `"numeric"` field selects the execution domain: `"linear"`
 //! (the default) answers with probabilities, `"log"` with natural-log
 //! probabilities — finite on circuits deep enough that the linear values
-//! underflow to `0.0`.  JSON has no `-Infinity` literal, so a log-domain
+//! underflow to `0.0`.  The optional `"precision"` field selects the
+//! emulated PE arithmetic format: `"f64"` (the default, exact), `"f32"`, or
+//! a custom `"e<exp>m<mant>"` format such as the paper's `"e8m10"`; the
+//! response echoes the precision its values were computed in.  Both fields
+//! must be strings — a number or other type is a protocol error, as is an
+//! unknown name.  JSON has no `-Infinity` literal, so a log-domain
 //! value of exactly `-inf` (a structural probability of zero) is encoded as
 //! `null` in the `values` array and decoded back to `-inf` by
 //! [`decode_response`].
@@ -53,7 +58,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use spn_core::wire::{self, QueryRequest, QueryResponse};
-use spn_core::{Evidence, NumericMode, QueryMode};
+use spn_core::{Evidence, NumericMode, Precision, QueryMode};
 use spn_platforms::Backend;
 
 use crate::error::ServeError;
@@ -300,12 +305,22 @@ pub fn decode_request(doc: &Value) -> Result<QueryRequest, ServeError> {
             NumericMode::from_name(name)?
         }
     };
+    let precision = match doc.get("precision") {
+        None => Precision::F64,
+        Some(value) => {
+            let name = value.as_str().ok_or_else(|| {
+                ServeError::Protocol("field \"precision\" must be a string".to_string())
+            })?;
+            Precision::from_name(name)?
+        }
+    };
     let query = wire::build_query(mode, &rows, givens.as_deref())?;
     Ok(QueryRequest {
         id,
         model,
         query,
         numeric,
+        precision,
     })
 }
 
@@ -322,6 +337,10 @@ pub fn encode_request(request: &QueryRequest) -> String {
         (
             "numeric".to_string(),
             Value::Str(request.numeric.name().to_string()),
+        ),
+        (
+            "precision".to_string(),
+            Value::Str(request.precision.name()),
         ),
     ];
     let row_strings = |batch: &spn_core::EvidenceBatch| {
@@ -359,6 +378,10 @@ pub fn encode_response(response: &QueryResponse) -> String {
         (
             "numeric".to_string(),
             Value::Str(response.numeric.name().to_string()),
+        ),
+        (
+            "precision".to_string(),
+            Value::Str(response.precision.name()),
         ),
         (
             // Value::Num writes non-finite values as null, which is exactly
@@ -422,6 +445,12 @@ pub fn decode_response(line: &str) -> Result<QueryResponse, ServeError> {
             ServeError::Protocol("field \"numeric\" must be a string".to_string())
         })?)?,
     };
+    let precision = match doc.get("precision") {
+        None => Precision::F64,
+        Some(value) => Precision::from_name(value.as_str().ok_or_else(|| {
+            ServeError::Protocol("field \"precision\" must be a string".to_string())
+        })?)?,
+    };
     let values = field(&doc, "values")?
         .as_arr()
         .ok_or_else(|| ServeError::Protocol("field \"values\" must be an array".to_string()))?
@@ -467,6 +496,7 @@ pub fn decode_response(line: &str) -> Result<QueryResponse, ServeError> {
         model,
         mode,
         numeric,
+        precision,
         values,
         assignments,
     })
@@ -485,6 +515,7 @@ fn metrics_value(record: &MetricsRecord) -> Value {
             "numeric".to_string(),
             Value::Str(record.numeric.name().to_string()),
         ),
+        ("precision".to_string(), Value::Str(record.precision.name())),
         ("requests".to_string(), Value::Num(s.requests as f64)),
         ("errors".to_string(), Value::Num(s.errors as f64)),
         ("queries".to_string(), Value::Num(s.queries as f64)),

@@ -197,6 +197,7 @@ fn invalid_requests_fail_fast() {
         model: "pair".to_string(),
         query: QueryBatch::Marginal(EvidenceBatch::new(2)),
         numeric: NumericMode::Linear,
+        precision: spn_core::Precision::F64,
     };
     assert!(service.submit(request).is_err());
     service.shutdown();
@@ -390,6 +391,7 @@ fn conditional_requests_can_merge_after_map_requests_ran() {
             model: "pair".to_string(),
             query: QueryBatch::Conditional(cond),
             numeric: NumericMode::Linear,
+            precision: spn_core::Precision::F64,
         })
         .unwrap();
     assert!((response.values[0] - 0.2).abs() < 1e-9);

@@ -304,6 +304,7 @@ fn negative_infinity_round_trips_as_null_on_the_wire() {
         model: "m".to_string(),
         mode: QueryMode::Joint,
         numeric: NumericMode::Log,
+        precision: spn_accel::core::Precision::F64,
         values: vec![f64::NEG_INFINITY, -1.5],
         assignments: None,
     };

@@ -217,3 +217,86 @@ fn tcp_protocol_reports_errors_and_commands() {
     server.shutdown();
     service.shutdown();
 }
+
+/// Malformed `"numeric"` / `"precision"` fields and truncated request lines
+/// must produce a structured `ok: false` response — never a dropped
+/// connection — and the connection must keep serving afterwards.
+#[test]
+fn tcp_rejects_malformed_numeric_and_precision_fields() {
+    let service = Arc::new(Service::new(CpuModel::new(), ServiceConfig::default()));
+    service.register("banknote", &Benchmark::Banknote.spn());
+    let mut server = TcpServer::spawn(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let num_vars = Benchmark::Banknote.spn().num_vars();
+    let rows = "?".repeat(num_vars);
+
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut ask = |line: &str| {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert!(!reply.is_empty(), "connection dropped on {line:?}");
+        reply
+    };
+    let request = |extra: &str| {
+        format!(
+            r#"{{"id": 9, "model": "banknote", "mode": "marginal", "rows": ["{rows}"]{extra}}}"#
+        )
+    };
+
+    // Unknown precision names (including a numeric-mode name in the
+    // precision field and out-of-range custom formats).
+    for bad in ["f16", "log", "e99m1", "e8m0", ""] {
+        let reply = ask(&request(&format!(r#", "precision": "{bad}""#)));
+        assert!(reply.contains("\"ok\":false"), "{bad:?}: {reply}");
+        assert!(
+            reply.contains("unknown precision")
+                || reply.contains("mantissa bits")
+                || reply.contains("exponent bits"),
+            "{bad:?}: {reply}"
+        );
+        let err = decode_response(reply.trim()).unwrap_err();
+        assert!(matches!(err, spn_accel::serve::ServeError::Remote(_)));
+    }
+    // A precision name in the numeric field is an unknown *numeric mode*.
+    let reply = ask(&request(r#", "numeric": "e8m10""#));
+    assert!(reply.contains("unknown numeric mode"), "{reply}");
+
+    // Type confusion: both fields must be strings, not numbers / arrays /
+    // booleans — a structured protocol error either way.
+    for field in ["numeric", "precision"] {
+        for value in ["64", "[\"f64\"]", "true", "null"] {
+            let reply = ask(&request(&format!(r#", "{field}": {value}"#)));
+            assert!(reply.contains("\"ok\":false"), "{field}={value}: {reply}");
+            assert!(
+                reply.contains(&format!("field \\\"{field}\\\" must be a string")),
+                "{field}={value}: {reply}"
+            );
+        }
+    }
+
+    // Truncated lines: a request cut mid-object (and one cut mid-string)
+    // parse-fails into a structured error, and the connection keeps going.
+    let full = request(r#", "precision": "e8m10""#);
+    for cut in [full.len() - 5, full.len() / 2, 9] {
+        let reply = ask(&full[..cut]);
+        assert!(reply.contains("\"ok\":false"), "cut at {cut}: {reply}");
+        assert!(reply.contains("protocol error"), "cut at {cut}: {reply}");
+    }
+
+    // The same connection still answers a good reduced-precision request,
+    // echoing the precision.
+    let good = ask(&request(r#", "precision": "e8m10""#));
+    let response = decode_response(good.trim()).unwrap();
+    assert_eq!(response.id, 9);
+    assert_eq!(response.precision, spn_accel::core::Precision::E8M10);
+    assert_eq!(response.numeric, spn_accel::core::NumericMode::Linear);
+    // A normalised SPN's quantized partition function re-rounds to 1.0.
+    assert!((response.values[0] - 1.0).abs() < 1e-2);
+
+    server.shutdown();
+    service.shutdown();
+}
