@@ -16,19 +16,25 @@
 //! * schema-aware field checks: a `numeric_mode` field must name a valid
 //!   numeric mode (`"linear"` / `"log"`), a `precision` field a valid
 //!   emulated PE format (`"f64"` / `"f32"` / `"e<exp>m<mant>"`), a
-//!   `max_rel_error` field must be a finite non-negative number, and a
-//!   `host_cores` field must be a positive integer — and engine-bench files
-//!   (`*engine*.json`) must carry all four, so the numeric-mode,
-//!   precision-sweep and host-core annotations of `BENCH_engine.json` can
-//!   never silently regress.
+//!   `max_rel_error` field must be a finite non-negative number, a
+//!   `host_cores` or `lanes` field must be a positive integer, and a
+//!   `connections` field a non-negative integer — and engine-bench files
+//!   (`*engine*.json`) must carry `numeric_mode`, `precision`,
+//!   `max_rel_error`, `host_cores` *and* `lanes`, while serve-bench files
+//!   (`*serve*.json`) must carry `connections`, so the numeric-mode,
+//!   precision-sweep, lane-width and connection-scaling annotations of the
+//!   benchmark artifacts can never silently regress,
+//! * `--expect-lanes N[,M...]` additionally requires every engine-bench file
+//!   to contain at least one record per listed lane width (CI sweeps
+//!   `--expect-lanes 1,8`: the scalar oracle and the lane-blocked path).
 //!
-//! Run with `cargo run --release -p spn-bench --bin bench_check FILE...`;
-//! exits non-zero on the first violation.
+//! Run with `cargo run --release -p spn-bench --bin bench_check
+//! [--expect-lanes N,M] FILE...`; exits non-zero on the first violation.
 
 use spn_core::{NumericMode, Precision};
 use spn_serve::json::{self, Value};
 
-fn check_file(path: &str) -> Result<usize, String> {
+fn check_file(path: &str, expect_lanes: &[u64]) -> Result<usize, String> {
     let text =
         std::fs::read_to_string(path).map_err(|err| format!("{path}: cannot read: {err}"))?;
     let doc = json::parse(&text).map_err(|err| format!("{path}: malformed JSON: {err}"))?;
@@ -40,6 +46,7 @@ fn check_file(path: &str) -> Result<usize, String> {
         return Err(format!("{path}: no records"));
     }
     let mut reference_keys: Vec<String> = Vec::new();
+    let mut seen_lanes: Vec<u64> = Vec::new();
     for (i, record) in records.iter().enumerate() {
         let fields = match record {
             Value::Obj(fields) => fields,
@@ -99,29 +106,65 @@ fn check_file(path: &str) -> Result<usize, String> {
                         ));
                     }
                 }
-                "host_cores" => {
+                "host_cores" | "lanes" => {
                     let n = value.as_f64().ok_or_else(|| {
-                        format!("{path}: record {i} field \"host_cores\" is not a number")
+                        format!("{path}: record {i} field {key:?} is not a number")
                     })?;
                     if n < 1.0 || n.fract() != 0.0 {
                         return Err(format!(
-                            "{path}: record {i} field \"host_cores\" is {n}, \
+                            "{path}: record {i} field {key:?} is {n}, \
                              expected a positive integer"
+                        ));
+                    }
+                    if key == "lanes" && !seen_lanes.contains(&(n as u64)) {
+                        seen_lanes.push(n as u64);
+                    }
+                }
+                "connections" => {
+                    let n = value.as_f64().ok_or_else(|| {
+                        format!("{path}: record {i} field \"connections\" is not a number")
+                    })?;
+                    if n < 0.0 || n.fract() != 0.0 {
+                        return Err(format!(
+                            "{path}: record {i} field \"connections\" is {n}, \
+                             expected a non-negative integer"
                         ));
                     }
                 }
                 _ => {}
             }
         }
-        // Engine-bench records must carry the numeric-mode, precision and
-        // host-core annotations (bench_serve files have their own schema).
-        if path.contains("engine") {
-            for required in ["numeric_mode", "precision", "max_rel_error", "host_cores"] {
-                if record.get(required).is_none() {
-                    return Err(format!(
-                        "{path}: record {i} is missing the {required:?} field"
-                    ));
-                }
+        // Engine-bench records must carry the numeric-mode, precision,
+        // host-core and lane-width annotations; serve-bench records must
+        // carry the connection count (each writer has its own schema).
+        let required: &[&str] = if path.contains("engine") {
+            &[
+                "numeric_mode",
+                "precision",
+                "max_rel_error",
+                "host_cores",
+                "lanes",
+            ]
+        } else if path.contains("serve") {
+            &["connections"]
+        } else {
+            &[]
+        };
+        for required in required {
+            if record.get(required).is_none() {
+                return Err(format!(
+                    "{path}: record {i} is missing the {required:?} field"
+                ));
+            }
+        }
+    }
+    if path.contains("engine") {
+        for lanes in expect_lanes {
+            if !seen_lanes.contains(lanes) {
+                return Err(format!(
+                    "{path}: no record with lanes = {lanes} \
+                     (found lane widths {seen_lanes:?})"
+                ));
             }
         }
     }
@@ -129,13 +172,35 @@ fn check_file(path: &str) -> Result<usize, String> {
 }
 
 fn main() {
-    let paths: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut expect_lanes: Vec<u64> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--expect-lanes" {
+            let list = args.next().unwrap_or_default();
+            expect_lanes = list
+                .split(',')
+                .map(|part| {
+                    part.trim().parse::<u64>().unwrap_or_else(|_| {
+                        eprintln!("bench_check: bad --expect-lanes value {part:?}");
+                        std::process::exit(2);
+                    })
+                })
+                .collect();
+            if expect_lanes.is_empty() {
+                eprintln!("bench_check: --expect-lanes needs a comma-separated list");
+                std::process::exit(2);
+            }
+        } else {
+            paths.push(arg);
+        }
+    }
     if paths.is_empty() {
-        eprintln!("usage: bench_check FILE...");
+        eprintln!("usage: bench_check [--expect-lanes N,M] FILE...");
         std::process::exit(2);
     }
     for path in &paths {
-        match check_file(path) {
+        match check_file(path, &expect_lanes) {
             Ok(count) => println!("{path}: ok ({count} records)"),
             Err(err) => {
                 eprintln!("bench_check failed: {err}");

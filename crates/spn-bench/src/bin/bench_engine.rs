@@ -49,6 +49,9 @@ struct Measurement {
     mode: QueryMode,
     numeric: NumericMode,
     precision: Precision,
+    /// Lane-block width of the CPU execute-many path (1 = the scalar loop;
+    /// non-CPU platforms always report 1).
+    lanes: usize,
     batch_size: usize,
     threads: usize,
     queries: usize,
@@ -243,6 +246,7 @@ fn record(
     platform: &str,
     mode: QueryMode,
     numeric: NumericMode,
+    lanes: usize,
     batch_size: usize,
     threads: usize,
     queries: usize,
@@ -256,6 +260,7 @@ fn record(
         numeric,
         Precision::F64,
         0.0,
+        lanes,
         batch_size,
         threads,
         queries,
@@ -272,6 +277,7 @@ fn record_precision(
     numeric: NumericMode,
     precision: Precision,
     max_rel_error: f64,
+    lanes: usize,
     batch_size: usize,
     threads: usize,
     queries: usize,
@@ -283,6 +289,7 @@ fn record_precision(
         mode,
         numeric,
         precision,
+        lanes,
         batch_size,
         threads,
         queries,
@@ -295,6 +302,7 @@ fn record_precision(
 fn measure<B: Backend + Sync>(
     workload: &str,
     backend: B,
+    lanes: usize,
     spn: &Spn,
     total_queries: usize,
     results: &mut Vec<Measurement>,
@@ -334,6 +342,7 @@ where
             &platform,
             QueryMode::Marginal,
             numeric,
+            lanes,
             batch_size,
             1,
             queries,
@@ -362,6 +371,7 @@ where
                 &platform,
                 QueryMode::Marginal,
                 numeric,
+                lanes,
                 batch_size,
                 threads,
                 queries,
@@ -388,7 +398,8 @@ where
                 run_query(&mut engine, &query, chunks, parallelism.as_ref())
             });
             record(
-                results, workload, &platform, mode, numeric, batch_size, threads, queries, best,
+                results, workload, &platform, mode, numeric, lanes, batch_size, threads, queries,
+                best,
             );
         }
     }
@@ -405,7 +416,9 @@ fn measure_numeric_modes(
     total_queries: usize,
     results: &mut Vec<Measurement>,
 ) -> Result<(), BackendError> {
-    let platform = CpuModel::new().name();
+    let cpu = CpuModel::new();
+    let platform = cpu.name();
+    let lanes = cpu.lanes();
     let batch_size = 256usize;
     let chunks = (total_queries / batch_size).max(1);
     let queries = chunks * batch_size;
@@ -426,6 +439,7 @@ fn measure_numeric_modes(
             &platform,
             QueryMode::Marginal,
             numeric,
+            lanes,
             batch_size,
             1,
             queries,
@@ -449,7 +463,9 @@ fn measure_precision_sweep(
     total_queries: usize,
     results: &mut Vec<Measurement>,
 ) -> Result<(), BackendError> {
-    let platform = CpuModel::new().name();
+    let cpu = CpuModel::new();
+    let platform = cpu.name();
+    let lanes = cpu.lanes();
     let batch_size = 256usize;
     let chunks = (total_queries / batch_size).max(1);
     let queries = chunks * batch_size;
@@ -490,6 +506,7 @@ fn measure_precision_sweep(
             numeric,
             precision,
             max_rel_error,
+            lanes,
             batch_size,
             1,
             queries,
@@ -507,7 +524,7 @@ fn to_json(results: &[Measurement]) -> String {
             concat!(
                 "  {{\"workload\": \"{}\", \"platform\": \"{}\", \"mode\": \"{}\", ",
                 "\"numeric_mode\": \"{}\", \"precision\": \"{}\", ",
-                "\"max_rel_error\": {}, \"batch_size\": {}, \"threads\": {}, ",
+                "\"max_rel_error\": {}, \"lanes\": {}, \"batch_size\": {}, \"threads\": {}, ",
                 "\"host_cores\": {}, \"queries\": {}, ",
                 "\"seconds\": {}, \"queries_per_sec\": {}}}{}\n",
             ),
@@ -517,6 +534,7 @@ fn to_json(results: &[Measurement]) -> String {
             m.numeric.name(),
             m.precision.name(),
             json_number(m.max_rel_error),
+            m.lanes,
             m.batch_size,
             m.threads,
             cores,
@@ -554,13 +572,20 @@ fn run(smoke: bool, out_path: &str) -> Result<(), BackendError> {
     // CPU backend: the software fast path, high query counts.  Small and
     // medium circuits are the dispatch-sensitive regime where batching
     // matters; the compute-dominated large circuits live in fig4.  Workload
-    // names are deliberately distinct from every platform name.
+    // names are deliberately distinct from every platform name.  Each
+    // workload runs twice — the scalar loop (lanes = 1, the baseline and
+    // bit-for-bit oracle) and the lane-blocked batch-major path — so the
+    // vectorization speed-up is a first-class row pair in the JSON.
     for (workload, benchmark) in [
         ("uci-banknote", Benchmark::Banknote),
         ("uci-cpu-perf", Benchmark::Cpu),
     ] {
         let spn = benchmark.spn();
-        measure(workload, CpuModel::new(), &spn, cpu_queries, &mut results)?;
+        let scalar = CpuModel::scalar();
+        let vectorized = CpuModel::new();
+        let wide = vectorized.lanes();
+        measure(workload, scalar, 1, &spn, cpu_queries, &mut results)?;
+        measure(workload, vectorized, wide, &spn, cpu_queries, &mut results)?;
     }
     // Cycle-accurate simulator: far slower per query, smaller total.
     {
@@ -568,6 +593,7 @@ fn run(smoke: bool, out_path: &str) -> Result<(), BackendError> {
         measure(
             "uci-banknote",
             ProcessorBackend::ptree(),
+            1,
             &spn,
             sim_queries,
             &mut results,
@@ -605,56 +631,76 @@ fn run(smoke: bool, out_path: &str) -> Result<(), BackendError> {
     println!("# Engine throughput: dispatch granularity, worker count, query mode\n");
     println!("host cores: {}\n", host_cores());
     println!(
-        "| workload | platform | mode | numeric | precision | max rel err | batch | threads \
-         | queries | queries/sec |"
+        "| workload | platform | mode | numeric | precision | max rel err | lanes | batch \
+         | threads | queries | queries/sec |"
     );
-    println!("|---|---|---|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|");
     for m in &results {
         println!(
-            "| {} | {} | {} | {} | {} | {:.2e} | {} | {} | {} | {:.0} |",
+            "| {} | {} | {} | {} | {} | {:.2e} | {} | {} | {} | {} | {:.0} |",
             m.workload,
             m.platform,
             m.mode.name(),
             m.numeric.name(),
             m.precision,
             m.max_rel_error,
+            m.lanes,
             m.batch_size,
             m.threads,
             m.queries,
             m.queries_per_sec
         );
     }
+    let wide = CpuModel::new().lanes();
     for (workload, platform) in results
         .iter()
         .map(|m| (m.workload.clone(), m.platform.clone()))
         .collect::<std::collections::BTreeSet<_>>()
     {
-        let get = |mode: QueryMode, size: usize, threads: usize| {
+        let get = |mode: QueryMode, lanes: usize, size: usize, threads: usize| {
             results
                 .iter()
                 .find(|m| {
                     m.workload == workload
                         && m.platform == platform
                         && m.mode == mode
+                        && m.lanes == lanes
                         && m.batch_size == size
                         && m.threads == threads
                 })
                 .map(|m| m.queries_per_sec)
         };
         // Ratios only make sense when both rows were measured (the deep-chain
-        // workload skips the dispatch axis, and worker counts beyond the host
-        // cores are never swept).
+        // workload skips the dispatch axis, worker counts beyond the host
+        // cores are never swept, and only the CPU runs both lane widths).
         let ratio = |num: Option<f64>, den: Option<f64>| match (num, den) {
             (Some(n), Some(d)) if d > 0.0 => format!("{:.2}x", n / d),
             _ => "n/a".to_string(),
         };
-        let serial = |size: usize| get(QueryMode::Marginal, size, 1);
+        let serial = |size: usize| {
+            get(QueryMode::Marginal, 1, size, 1).or_else(|| {
+                // Workloads measured only lane-blocked (numeric/precision axes).
+                get(QueryMode::Marginal, wide, size, 1)
+            })
+        };
         println!(
             "\n{workload}/{platform}: batch 256 vs 1 = {}, batch 1024 vs 1 = {}, \
-             4 workers vs 1 at batch 1024 = {}",
+             4 workers vs 1 at batch 1024 = {}, {wide} lanes vs scalar at batch 1024 = {}",
             ratio(serial(256), serial(1)),
             ratio(serial(1024), serial(1)),
-            ratio(get(QueryMode::Marginal, 1024, 4), serial(1024)),
+            ratio(
+                get(QueryMode::Marginal, 1, 1024, 4).or_else(|| get(
+                    QueryMode::Marginal,
+                    wide,
+                    1024,
+                    4
+                )),
+                serial(1024)
+            ),
+            ratio(
+                get(QueryMode::Marginal, wide, 1024, 1),
+                get(QueryMode::Marginal, 1, 1024, 1)
+            ),
         );
     }
 

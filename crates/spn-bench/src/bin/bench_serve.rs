@@ -10,13 +10,24 @@
 //! service's own metrics: achieved throughput, mean micro-batch size,
 //! coalesced-batch share, and submit-to-response latency.
 //!
-//! Records are **appended** to `BENCH_serve.json` (existing records are kept,
-//! so the file accumulates a trajectory across runs).
+//! Besides the in-process sweep, a **connection-scaling sweep** drives the
+//! readiness-driven TCP front-end: hundreds of concurrent connections held
+//! open by one server process (no per-connection threads), a subset of them
+//! carrying pipelined line-protocol traffic.  Those records carry the held
+//! connection count in `connections`; in-process records report `0`.
+//!
+//! Records are merged into `BENCH_serve.json`: a record replaces any
+//! existing record with the same configuration key (rate, policy, workers,
+//! connections), so re-runs refresh rather than duplicate rows.  Pass
+//! `--fresh` (the CI default) to discard the existing file entirely.
 //!
 //! Run with `cargo run --release -p spn-bench --bin bench_serve [--smoke]
-//! [out.json]`.  `--smoke` is the CI mode: two small configurations, a few
-//! hundred requests.  Exits non-zero on any failure.
+//! [--fresh] [out.json]`.  `--smoke` is the CI mode: two small in-process
+//! configurations plus a small connection sweep, a few hundred requests.
+//! Exits non-zero on any failure.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -25,7 +36,8 @@ use spn_core::{QueryMode, Spn};
 use spn_learn::Benchmark;
 use spn_platforms::{CpuModel, Parallelism};
 use spn_serve::json::{self, Value};
-use spn_serve::{BatchPolicy, ResponseHandle, ServeError, Service, ServiceConfig};
+use spn_serve::tcp::{decode_response, encode_request};
+use spn_serve::{BatchPolicy, ResponseHandle, ServeError, Service, ServiceConfig, TcpServer};
 
 /// One measured serving configuration.
 struct Record {
@@ -33,6 +45,9 @@ struct Record {
     max_wait_us: u64,
     max_batch: usize,
     workers: usize,
+    /// Concurrent TCP connections held open during the measurement
+    /// (0 = in-process submission, no TCP front-end involved).
+    connections: usize,
     requests: u64,
     errors: u64,
     seconds: f64,
@@ -138,6 +153,21 @@ fn run_config(
 
     let metrics = service.metrics();
     service.shutdown();
+    Ok(aggregate(
+        &metrics, rate, policy, workers, 0, errors, seconds,
+    ))
+}
+
+/// Folds a service metrics snapshot into one record.
+fn aggregate(
+    metrics: &[spn_serve::MetricsRecord],
+    rate: f64,
+    policy: BatchPolicy,
+    workers: usize,
+    connections: usize,
+    errors: u64,
+    seconds: f64,
+) -> Record {
     let total_requests: u64 = metrics.iter().map(|r| r.stats.requests).sum();
     let total_queries: u64 = metrics.iter().map(|r| r.stats.queries).sum();
     let batches: u64 = metrics.iter().map(|r| r.stats.batches).sum();
@@ -148,11 +178,12 @@ fn run_config(
         .map(|r| r.stats.max_latency)
         .max()
         .unwrap_or(Duration::ZERO);
-    Ok(Record {
+    Record {
         rate_target: rate,
         max_wait_us: policy.max_wait.as_micros() as u64,
         max_batch: policy.max_batch_queries,
         workers,
+        connections,
         requests: total_requests,
         errors,
         seconds,
@@ -170,7 +201,131 @@ fn run_config(
             total_latency.as_secs_f64() * 1e3 / total_requests as f64
         },
         max_latency_ms: max_latency.as_secs_f64() * 1e3,
-    })
+    }
+}
+
+/// Runs one connection-scaling configuration against the readiness-driven
+/// TCP front-end: `connections` concurrent connections held open by a
+/// single server process, traffic pipelined over `active` of them from
+/// `client_threads` client threads, the rest idle — the serving shape the
+/// event loop exists for.
+fn run_tcp_config(
+    models: &[(String, Spn)],
+    connections: usize,
+    active: usize,
+    pipeline: u64,
+    policy: BatchPolicy,
+    workers: usize,
+) -> Result<Record, ServeError> {
+    let service = Arc::new(Service::new(
+        CpuModel::new(),
+        ServiceConfig {
+            workers,
+            policy,
+            parallelism: Parallelism::serial(),
+            artifact_capacity: models.len().max(1),
+        },
+    ));
+    for (name, spn) in models {
+        service.register(name.clone(), spn);
+    }
+    // Warm the compile caches (as in `run_config`, including the MAP plan).
+    for (name, _) in models {
+        let (mut engine, version) = service.registry().engine(name)?;
+        engine.prepare_map().map_err(ServeError::from_backend)?;
+        let map = engine.shared_map().expect("map plan just prepared");
+        service.registry().store_map(
+            name,
+            version,
+            spn_core::NumericMode::Linear,
+            spn_core::Precision::F64,
+            map,
+        );
+    }
+    let mut server = TcpServer::spawn(Arc::clone(&service), "127.0.0.1:0")
+        .map_err(|err| ServeError::Protocol(format!("spawning TCP server: {err}")))?;
+    let addr = server.local_addr();
+
+    let client_threads = 4usize.min(active.max(1));
+    let conns_per_thread = connections / client_threads;
+    let active_per_thread = (active / client_threads).max(1);
+    // All parties (clients + the timer below) rendezvous after connection
+    // setup, so the measured window covers traffic only — opening a
+    // thousand sockets is setup cost, not serving throughput.
+    let barrier = std::sync::Barrier::new(client_threads + 1);
+    let mut start = Instant::now();
+    let outcomes: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..client_threads)
+            .map(|t| {
+                let models = &models;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    // Hold this thread's share of connections open; only the
+                    // first `active_per_thread` of them carry traffic.
+                    let held: Vec<TcpStream> = (0..conns_per_thread)
+                        .filter_map(|_| TcpStream::connect(addr).ok())
+                        .collect();
+                    barrier.wait();
+                    let mut sent = 0u64;
+                    let mut errors = 0u64;
+                    for (c, stream) in held.iter().take(active_per_thread).enumerate() {
+                        let mut writer = stream;
+                        let mut reader = BufReader::new(stream);
+                        let mut lines = String::new();
+                        for k in 0..pipeline {
+                            let id = ((t * active_per_thread + c) as u64) * pipeline + k;
+                            let (name, spn) = &models[(id as usize) % models.len()];
+                            lines.push_str(&encode_request(&build_request(
+                                id,
+                                name,
+                                spn.num_vars(),
+                            )));
+                            lines.push('\n');
+                        }
+                        if writer.write_all(lines.as_bytes()).is_err() {
+                            errors += pipeline;
+                            continue;
+                        }
+                        sent += pipeline;
+                        for _ in 0..pipeline {
+                            let mut reply = String::new();
+                            match reader.read_line(&mut reply) {
+                                Ok(n) if n > 0 => {
+                                    if decode_response(reply.trim()).is_err() {
+                                        errors += 1;
+                                    }
+                                }
+                                _ => errors += 1,
+                            }
+                        }
+                    }
+                    drop(held);
+                    (sent, errors)
+                })
+            })
+            .collect();
+        barrier.wait();
+        start = Instant::now();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or((0, u64::MAX)))
+            .collect()
+    });
+    let seconds = start.elapsed().as_secs_f64();
+    let errors: u64 = outcomes.iter().map(|&(_, e)| e).sum();
+
+    let metrics = service.metrics();
+    server.shutdown();
+    service.shutdown();
+    Ok(aggregate(
+        &metrics,
+        0.0, // closed-loop: no target rate, throughput is what was achieved
+        policy,
+        workers,
+        connections,
+        errors,
+        seconds,
+    ))
 }
 
 fn record_value(r: &Record) -> Value {
@@ -179,6 +334,7 @@ fn record_value(r: &Record) -> Value {
         ("max_wait_us".to_string(), Value::Num(r.max_wait_us as f64)),
         ("max_batch".to_string(), Value::Num(r.max_batch as f64)),
         ("workers".to_string(), Value::Num(r.workers as f64)),
+        ("connections".to_string(), Value::Num(r.connections as f64)),
         ("requests".to_string(), Value::Num(r.requests as f64)),
         ("errors".to_string(), Value::Num(r.errors as f64)),
         ("seconds".to_string(), Value::Num(r.seconds)),
@@ -197,19 +353,57 @@ fn record_value(r: &Record) -> Value {
     ])
 }
 
-/// Appends `new` to the records already in `path` (if the file holds a valid
-/// JSON array), writing one record per line.
-fn append_records(path: &str, new: &[Value]) -> Result<(), String> {
-    let mut records: Vec<Value> = match std::fs::read_to_string(path) {
-        Ok(existing) => match json::parse(&existing) {
-            Ok(Value::Arr(items)) => items,
-            _ => {
-                eprintln!("{path} did not hold a JSON array; starting fresh");
-                Vec::new()
-            }
-        },
-        Err(_) => Vec::new(),
+/// The configuration key a record is deduplicated on when merging into an
+/// existing file: (rate, policy, workers, connections).  `connections`
+/// defaults to 0 for rows written before that field existed.
+fn config_key(record: &Value) -> Option<(u64, u64, u64, u64, u64)> {
+    let Value::Obj(fields) = record else {
+        return None;
     };
+    let get = |name: &str| -> Option<f64> {
+        fields.iter().find(|(k, _)| k == name).and_then(|(_, v)| {
+            if let Value::Num(n) = v {
+                Some(*n)
+            } else {
+                None
+            }
+        })
+    };
+    Some((
+        get("rate_target")?.to_bits(),
+        get("max_wait_us")? as u64,
+        get("max_batch")? as u64,
+        get("workers")? as u64,
+        get("connections").unwrap_or(0.0) as u64,
+    ))
+}
+
+/// Merges `new` into the records already in `path` (if the file holds a valid
+/// JSON array), writing one record per line.  A new record replaces any
+/// existing record with the same configuration key; with `fresh` the existing
+/// file is discarded and only `new` is written.
+fn append_records(path: &str, new: &[Value], fresh: bool) -> Result<(), String> {
+    let mut records: Vec<Value> = if fresh {
+        Vec::new()
+    } else {
+        match std::fs::read_to_string(path) {
+            Ok(existing) => match json::parse(&existing) {
+                Ok(Value::Arr(items)) => items,
+                _ => {
+                    eprintln!("{path} did not hold a JSON array; starting fresh");
+                    Vec::new()
+                }
+            },
+            Err(_) => Vec::new(),
+        }
+    };
+    let new_keys: Vec<_> = new.iter().filter_map(config_key).collect();
+    records.retain(|r| match config_key(r) {
+        Some(key) => !new_keys.contains(&key),
+        // Keep rows whose key can't be read: better a duplicate than silent
+        // data loss on a hand-edited file.
+        None => true,
+    });
     records.extend(new.iter().cloned());
     let body: Vec<String> = records
         .iter()
@@ -221,10 +415,12 @@ fn append_records(path: &str, new: &[Value]) -> Result<(), String> {
 
 fn main() {
     let mut smoke = false;
+    let mut fresh = false;
     let mut out_path = "BENCH_serve.json".to_string();
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--fresh" => fresh = true,
             other => out_path = other.to_string(),
         }
     }
@@ -295,9 +491,52 @@ fn main() {
         }
     }
 
-    if let Err(err) = append_records(&out_path, &values) {
+    // Connection-scaling sweep over the readiness-driven TCP front-end.
+    // All connections are held open simultaneously; a fixed subset carries
+    // pipelined traffic, the rest sit idle — proving one event-loop thread
+    // (plus the fixed worker fleet) sustains the whole fleet of sockets.
+    let tcp_configs: Vec<(usize, usize, u64)> = if smoke {
+        vec![(64, 16, 4)]
+    } else {
+        vec![(128, 32, 8), (512, 32, 8), (1024, 32, 8)]
+    };
+    println!("\n# Connection scaling: held connections x pipelined traffic (readiness-driven TCP front-end)\n");
+    println!(
+        "| connections | active | requests | achieved rps | mean batch | mean lat (ms) | max lat (ms) |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    for (connections, active, pipeline) in tcp_configs {
+        match run_tcp_config(&models, connections, active, pipeline, wait_1ms, 1) {
+            Ok(record) => {
+                println!(
+                    "| {} | {} | {} | {:.0} | {:.2} | {:.3} | {:.3} |",
+                    record.connections,
+                    active,
+                    record.requests,
+                    record.achieved_rps,
+                    record.mean_batch_queries,
+                    record.mean_latency_ms,
+                    record.max_latency_ms,
+                );
+                if record.errors > 0 {
+                    eprintln!(
+                        "bench_serve: {} TCP requests failed at {} connections",
+                        record.errors, connections
+                    );
+                    std::process::exit(1);
+                }
+                values.push(record_value(&record));
+            }
+            Err(err) => {
+                eprintln!("bench_serve TCP sweep failed ({connections} connections): {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Err(err) = append_records(&out_path, &values, fresh) {
         eprintln!("bench_serve failed: {err}");
         std::process::exit(1);
     }
-    eprintln!("results appended to {out_path}");
+    eprintln!("results written to {out_path}");
 }

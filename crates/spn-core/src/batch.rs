@@ -451,6 +451,53 @@ impl InputRecipe {
         Ok(())
     }
 
+    /// Fills `out` with the lane-blocked input tile of queries
+    /// `start .. start + lanes` of `batch` for the
+    /// [`crate::vectorized`] kernels.
+    ///
+    /// The tile is slot-major and lane-contiguous: `out[slot * lanes + l]`
+    /// is input slot `slot` of query `start + l`, so each slot's `lanes`
+    /// per-query values form one contiguous lane group.  Parameter slots are
+    /// broadcast from the (pre-quantized) template; indicator slots are
+    /// patched per lane with the same mode-aware value
+    /// [`InputRecipe::fill_query`] would store.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the query range leaves `batch`, or `out` is not exactly
+    /// `num_inputs × lanes` long (callers validate the batch via
+    /// [`InputRecipe::check`] first, as for `fill_query`).
+    pub fn fill_lane_block(
+        &self,
+        batch: &EvidenceBatch,
+        start: usize,
+        lanes: usize,
+        out: &mut [f64],
+    ) {
+        assert!(lanes > 0, "lane width must be positive");
+        assert!(
+            start + lanes <= batch.len(),
+            "lane block {start}..{} leaves the batch (len {})",
+            start + lanes,
+            batch.len()
+        );
+        assert_eq!(
+            out.len(),
+            self.num_inputs() * lanes,
+            "tile length must be num_inputs x lanes"
+        );
+        for (slot, &param) in self.template.iter().enumerate() {
+            out[slot * lanes..(slot + 1) * lanes].fill(param);
+        }
+        for &(slot, var, value) in &self.indicators {
+            let base = slot as usize * lanes;
+            for (l, cell) in out[base..base + lanes].iter_mut().enumerate() {
+                let row = batch.query(start + l);
+                *cell = self.domain_value(row[var as usize].indicator(value));
+            }
+        }
+    }
+
     /// Fills `out` with the input vector of a single [`Evidence`] query,
     /// reusing the allocation.
     ///

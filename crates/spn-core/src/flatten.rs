@@ -349,36 +349,28 @@ impl OpList {
     /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
     /// different number of variables.
     pub fn input_values(&self, evidence: &Evidence) -> Result<Vec<f64>> {
-        if evidence.num_vars() != self.num_vars {
-            return Err(SpnError::EvidenceMismatch {
-                evidence_vars: evidence.num_vars(),
-                spn_vars: self.num_vars,
-            });
-        }
-        let log = self.mode == NumericMode::Log;
-        Ok(self
-            .inputs
-            .iter()
-            .map(|leaf| match leaf {
-                // ln(1.0) = 0.0 and ln(0.0) = -inf exactly, so the log-domain
-                // indicator fill is just the natural log of the linear one.
-                LeafSource::Indicator { var, value } => {
-                    let v = evidence.indicator(var.index(), *value);
-                    if log {
-                        v.ln()
-                    } else {
-                        v
-                    }
-                }
-                LeafSource::Param(p) => *p,
-            })
-            .collect())
+        let mut out = Vec::new();
+        self.input_values_into(evidence, &mut out)?;
+        Ok(out)
+    }
+
+    /// Materialises the input vector for the given evidence into `out`,
+    /// reusing its allocation — the non-allocating form of
+    /// [`OpList::input_values`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
+    /// different number of variables.
+    pub fn input_values_into(&self, evidence: &Evidence, out: &mut Vec<f64>) -> Result<()> {
+        fill_input_values(&self.inputs, self.mode, self.num_vars, evidence, out)
     }
 
     /// Executes the program on a pre-materialised input vector.
     ///
     /// Convenience wrapper over [`OpList::run_into`] that allocates a fresh
-    /// result buffer; hot loops should reuse a buffer via `run_into`.
+    /// result buffer; hot loops should reuse a buffer via `run_into`,
+    /// [`OpList::run_with`] or a [`FlatEvaluator`].
     ///
     /// # Panics
     ///
@@ -386,6 +378,19 @@ impl OpList {
     pub fn run(&self, inputs: &[f64]) -> f64 {
         let mut results = vec![0.0f64; self.ops.len()];
         self.run_into(inputs, &mut results)
+    }
+
+    /// Executes the program on a pre-materialised input vector, sizing and
+    /// reusing the caller's `results` allocation — [`OpList::run`] without
+    /// the per-call buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is shorter than [`OpList::num_inputs`].
+    pub fn run_with(&self, inputs: &[f64], results: &mut Vec<f64>) -> f64 {
+        results.clear();
+        results.resize(self.ops.len(), 0.0);
+        self.run_into(inputs, results)
     }
 
     /// Executes the program on a pre-materialised input vector, writing
@@ -613,39 +618,49 @@ impl LoopProgram {
     /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
     /// different number of variables.
     pub fn input_values(&self, evidence: &Evidence) -> Result<Vec<f64>> {
-        if evidence.num_vars() != self.num_vars {
-            return Err(SpnError::EvidenceMismatch {
-                evidence_vars: evidence.num_vars(),
-                spn_vars: self.num_vars,
-            });
-        }
-        let log = self.mode == NumericMode::Log;
-        Ok(self
-            .inputs
-            .iter()
-            .map(|leaf| match leaf {
-                LeafSource::Indicator { var, value } => {
-                    let v = evidence.indicator(var.index(), *value);
-                    if log {
-                        v.ln()
-                    } else {
-                        v
-                    }
-                }
-                LeafSource::Param(p) => *p,
-            })
-            .collect())
+        let mut out = Vec::new();
+        self.input_values_into(evidence, &mut out)?;
+        Ok(out)
+    }
+
+    /// Materialises the input portion of the working array into `out`,
+    /// reusing its allocation — the non-allocating form of
+    /// [`LoopProgram::input_values`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
+    /// different number of variables.
+    pub fn input_values_into(&self, evidence: &Evidence, out: &mut Vec<f64>) -> Result<()> {
+        fill_input_values(&self.inputs, self.mode, self.num_vars, evidence, out)
     }
 
     /// Runs the loop on a pre-materialised input vector and returns the output.
+    ///
+    /// Convenience wrapper over [`LoopProgram::run_with`] that allocates a
+    /// fresh working array per call; hot loops should reuse one via
+    /// `run_with` or a [`FlatEvaluator`].
     ///
     /// # Panics
     ///
     /// Panics if `inputs` is shorter than [`LoopProgram::num_inputs`].
     pub fn run(&self, inputs: &[f64]) -> f64 {
+        self.run_with(inputs, &mut Vec::new())
+    }
+
+    /// Runs the loop on a pre-materialised input vector, sizing and reusing
+    /// the caller's working-array allocation (`A` in the paper's Algorithm
+    /// 2) — [`LoopProgram::run`] without the per-call buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is shorter than [`LoopProgram::num_inputs`].
+    pub fn run_with(&self, inputs: &[f64], work: &mut Vec<f64>) -> f64 {
         assert!(inputs.len() >= self.inputs.len(), "input vector too short");
         let m = self.inputs.len();
-        let mut a = vec![0.0f64; m + self.ops.len()];
+        work.clear();
+        work.resize(m + self.ops.len(), 0.0);
+        let a = work.as_mut_slice();
         a[..m].copy_from_slice(&inputs[..m]);
         // As in `OpList::run_into`: the f64 loops are untouched, reduced
         // precisions quantize every loop iteration's result.
@@ -700,6 +715,100 @@ impl LoopProgram {
     /// different number of variables.
     pub fn evaluate(&self, evidence: &Evidence) -> Result<f64> {
         Ok(self.run(&self.input_values(evidence)?))
+    }
+}
+
+/// Fills `out` with the input-slot values of a flattened program under
+/// `evidence` — the shared body of [`OpList::input_values_into`] and
+/// [`LoopProgram::input_values_into`].
+fn fill_input_values(
+    inputs: &[LeafSource],
+    mode: NumericMode,
+    num_vars: usize,
+    evidence: &Evidence,
+    out: &mut Vec<f64>,
+) -> Result<()> {
+    if evidence.num_vars() != num_vars {
+        return Err(SpnError::EvidenceMismatch {
+            evidence_vars: evidence.num_vars(),
+            spn_vars: num_vars,
+        });
+    }
+    let log = mode == NumericMode::Log;
+    out.clear();
+    out.reserve(inputs.len());
+    out.extend(inputs.iter().map(|leaf| match leaf {
+        // ln(1.0) = 0.0 and ln(0.0) = -inf exactly, so the log-domain
+        // indicator fill is just the natural log of the linear one.
+        LeafSource::Indicator { var, value } => {
+            let v = evidence.indicator(var.index(), *value);
+            if log {
+                v.ln()
+            } else {
+                v
+            }
+        }
+        LeafSource::Param(p) => *p,
+    }));
+    Ok(())
+}
+
+/// Reusable scratch for repeated evaluation of flattened programs.
+///
+/// [`OpList::run`] and [`OpList::evaluate`] (and their [`LoopProgram`]
+/// twins) allocate a fresh working buffer per call, which is fine for a
+/// one-off check and wrong for an inner loop.  A `FlatEvaluator` owns the
+/// input vector and the intermediate-result buffer and reuses them across
+/// calls — the flattened-program counterpart of the graph-walking
+/// [`crate::Evaluator`], and the entry point reference loops (oracle
+/// comparisons sweeping many evidences over one program) should use.
+///
+/// The values produced are bit-for-bit those of the allocating paths.
+#[derive(Debug, Clone, Default)]
+pub struct FlatEvaluator {
+    inputs: Vec<f64>,
+    results: Vec<f64>,
+}
+
+impl FlatEvaluator {
+    /// Creates an evaluator with empty buffers (they grow on first use and
+    /// are then reused).
+    pub fn new() -> FlatEvaluator {
+        FlatEvaluator::default()
+    }
+
+    /// Runs `ops` on a pre-materialised input vector, reusing this
+    /// evaluator's result buffer (the non-allocating [`OpList::run`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is shorter than [`OpList::num_inputs`].
+    pub fn run(&mut self, ops: &OpList, inputs: &[f64]) -> f64 {
+        ops.run_with(inputs, &mut self.results)
+    }
+
+    /// Evaluates `ops` under `evidence` without any per-call allocation (the
+    /// non-allocating [`OpList::evaluate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
+    /// different number of variables.
+    pub fn evaluate(&mut self, ops: &OpList, evidence: &Evidence) -> Result<f64> {
+        ops.input_values_into(evidence, &mut self.inputs)?;
+        Ok(ops.run_with(&self.inputs, &mut self.results))
+    }
+
+    /// Evaluates `program` under `evidence` without any per-call allocation
+    /// (the non-allocating [`LoopProgram::evaluate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpnError::EvidenceMismatch`] when the evidence covers a
+    /// different number of variables.
+    pub fn evaluate_loop(&mut self, program: &LoopProgram, evidence: &Evidence) -> Result<f64> {
+        program.input_values_into(evidence, &mut self.inputs)?;
+        Ok(program.run_with(&self.inputs, &mut self.results))
     }
 }
 

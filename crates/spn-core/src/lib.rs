@@ -84,12 +84,14 @@ pub mod query;
 pub mod random;
 pub mod stats;
 pub mod validate;
+pub mod vectorized;
 pub mod wire;
 
 pub use batch::{EvidenceBatch, InputRecipe, Obs};
 pub use error::SpnError;
 pub use eval::Evaluator;
 pub use evidence::Evidence;
+pub use flatten::FlatEvaluator;
 pub use graph::{Node, NodeId, Spn, SpnBuilder, VarId};
 pub use numeric::NumericMode;
 pub use precision::Precision;

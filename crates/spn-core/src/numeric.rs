@@ -85,6 +85,33 @@ pub fn log_sum_exp(a: f64, b: f64) -> f64 {
     }
 }
 
+/// Lane-blocked [`log_sum_exp`]: `out[l] = log_sum_exp(a[l], b[l])` for a
+/// fixed-width block of `L` independent lanes.
+///
+/// The hi/lo selection pass uses the same ordered-pair choice as the scalar
+/// kernel (`a >= b` picks `(a, b)`), written as value selects so the
+/// autovectorizer lowers it to vector compare + blend instead of a branch;
+/// the `exp`/`ln_1p` tail stays scalar per lane but the `L` chains are
+/// independent, so the core overlaps them.  Results are bit-for-bit those of
+/// the scalar [`log_sum_exp`] in every lane.
+#[inline]
+pub fn log_sum_exp_lanes<const L: usize>(a: &[f64; L], b: &[f64; L], out: &mut [f64; L]) {
+    let mut hi = [0.0f64; L];
+    let mut lo = [0.0f64; L];
+    for l in 0..L {
+        let swap = a[l] >= b[l];
+        hi[l] = if swap { a[l] } else { b[l] };
+        lo[l] = if swap { b[l] } else { a[l] };
+    }
+    for l in 0..L {
+        out[l] = if hi[l] == f64::NEG_INFINITY {
+            f64::NEG_INFINITY
+        } else {
+            hi[l] + (lo[l] - hi[l]).exp().ln_1p()
+        };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +152,43 @@ mod tests {
         );
         assert_eq!(log_sum_exp(f64::NEG_INFINITY, -3.0), -3.0);
         assert_eq!(log_sum_exp(-3.0, f64::NEG_INFINITY), -3.0);
+    }
+
+    #[test]
+    fn log_sum_exp_lanes_matches_scalar_bit_for_bit() {
+        // Tricky pairs: ±inf identities, equal values, signed zeros,
+        // denormal-scale logs, asymmetric magnitudes.
+        let a = [
+            f64::NEG_INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            -745.0,
+            -2000.0 * std::f64::consts::LN_2,
+            1.5,
+            -1e-308,
+        ];
+        let b = [
+            f64::NEG_INFINITY,
+            -3.0,
+            -0.0,
+            0.0,
+            -745.0,
+            -0.25,
+            -900.0,
+            1e3,
+        ];
+        let mut out = [0.0f64; 8];
+        log_sum_exp_lanes(&a, &b, &mut out);
+        for l in 0..8 {
+            assert_eq!(
+                out[l].to_bits(),
+                log_sum_exp(a[l], b[l]).to_bits(),
+                "lane {l}: a={} b={}",
+                a[l],
+                b[l]
+            );
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use serde::{Deserialize, Serialize};
 use spn_core::batch::{EvidenceBatch, InputRecipe};
 use spn_core::flatten::{OpList, OperandRef};
+use spn_core::vectorized;
 use spn_processor::PerfReport;
 
 use crate::backend::{Backend, BackendError, BatchResult, ExecBuffers};
@@ -79,20 +80,66 @@ impl Default for CpuConfig {
 }
 
 /// The CPU execution model.
-#[derive(Debug, Clone, Default)]
+///
+/// By default the execute-many path runs **lane-blocked**: full blocks of
+/// [`spn_core::vectorized::MAX_LANES`] queries go through the batch-major
+/// kernels of [`spn_core::vectorized`] (fixed-trip inner loops the
+/// autovectorizer turns into SIMD), and the ragged tail falls back to the
+/// scalar [`OpList::run_into`] oracle.  Lane blocking only regroups
+/// independent queries, so results are bit-for-bit those of the scalar
+/// path at every lane width; [`CpuModel::scalar`] selects the pure scalar
+/// loop (the oracle and benchmark baseline).
+#[derive(Debug, Clone)]
 pub struct CpuModel {
     config: CpuConfig,
+    lanes: usize,
+}
+
+impl Default for CpuModel {
+    /// Default parameters, lane-blocked at the widest supported width.
+    fn default() -> Self {
+        CpuModel {
+            config: CpuConfig::default(),
+            lanes: vectorized::MAX_LANES,
+        }
+    }
 }
 
 impl CpuModel {
-    /// Creates a model with default (i5-7200U class) parameters.
+    /// Creates a model with default (i5-7200U class) parameters and
+    /// lane-blocked execution.
     pub fn new() -> Self {
         CpuModel::default()
     }
 
-    /// Creates a model with explicit parameters.
+    /// Creates a model with explicit parameters (lane-blocked execution).
     pub fn with_config(config: CpuConfig) -> Self {
-        CpuModel { config }
+        CpuModel {
+            config,
+            lanes: vectorized::MAX_LANES,
+        }
+    }
+
+    /// A model that executes every query through the scalar
+    /// [`OpList::run_into`] loop — the bit-for-bit oracle the lane-blocked
+    /// path is checked against, and the baseline the benchmarks compare to.
+    pub fn scalar() -> Self {
+        CpuModel::new().with_lanes(1)
+    }
+
+    /// Sets the lane-block width of the execute-many path.
+    ///
+    /// `lanes` is normalised onto the supported widths
+    /// ([`spn_core::vectorized::normalize_lanes`]): `0`/`1` select the
+    /// scalar loop, larger values round down to `2`, `4` or `8`.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = vectorized::normalize_lanes(lanes);
+        self
+    }
+
+    /// The lane-block width of the execute-many path (`1` = scalar).
+    pub fn lanes(&self) -> usize {
+        self.lanes
     }
 
     /// The model parameters.
@@ -251,15 +298,59 @@ impl Backend for CpuModel {
         buffers: &mut ExecBuffers,
         _scratch: &mut (),
     ) -> Result<BatchResult, BackendError> {
-        crate::backend::execute_recipe_batch(
-            &compiled.recipe,
-            compiled.ops.num_ops(),
-            &compiled.perf_per_query,
-            &self.config.name,
-            batch,
-            buffers,
-            |inputs, scratch| compiled.ops.run_into(inputs, scratch),
-        )
+        let lanes = self.lanes;
+        if lanes <= 1 || batch.len() < lanes {
+            return crate::backend::execute_recipe_batch(
+                &compiled.recipe,
+                compiled.ops.num_ops(),
+                &compiled.perf_per_query,
+                &self.config.name,
+                batch,
+                buffers,
+                |inputs, scratch| compiled.ops.run_into(inputs, scratch),
+            );
+        }
+
+        // Lane-blocked path: the buffers hold one `[slots × lanes]` tile
+        // each; full blocks run the batch-major kernels, the ragged tail
+        // reuses the tiles' leading slots through the scalar oracle.
+        let recipe = &compiled.recipe;
+        recipe.check(batch)?;
+        let num_inputs = recipe.num_inputs();
+        let num_ops = compiled.ops.num_ops();
+        buffers.inputs.clear();
+        buffers.inputs.resize(num_inputs * lanes, 0.0);
+        buffers.scratch.clear();
+        buffers.scratch.resize(num_ops * lanes, 0.0);
+
+        let mut values = vec![0.0; batch.len()];
+        let mut perf = PerfReport::default();
+        let blocked = batch.len() - batch.len() % lanes;
+        for start in (0..blocked).step_by(lanes) {
+            recipe.fill_lane_block(batch, start, lanes, &mut buffers.inputs);
+            vectorized::run_lane_block(
+                &compiled.ops,
+                lanes,
+                &buffers.inputs,
+                &mut buffers.scratch,
+                &mut values[start..start + lanes],
+            );
+            for _ in 0..lanes {
+                perf.merge(&compiled.perf_per_query);
+            }
+        }
+        for (q, value) in values.iter_mut().enumerate().skip(blocked) {
+            recipe.fill_query(batch, q, &mut buffers.inputs[..num_inputs]);
+            *value = compiled.ops.run_into(
+                &buffers.inputs[..num_inputs],
+                &mut buffers.scratch[..num_ops],
+            );
+            perf.merge(&compiled.perf_per_query);
+        }
+        if perf.platform.is_empty() {
+            self.config.name.clone_into(&mut perf.platform);
+        }
+        Ok(BatchResult { values, perf })
     }
 }
 
@@ -326,6 +417,43 @@ mod tests {
                 &mut ()
             )
             .is_err());
+    }
+
+    #[test]
+    fn lane_blocked_path_matches_scalar_bit_for_bit_on_ragged_batches() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let spn = random_spn(&RandomSpnConfig::with_vars(11), &mut rng);
+        let ops = OpList::from_spn(&spn).to_log_domain();
+        let scalar = CpuModel::scalar();
+        let scalar_compiled = scalar.compile(&ops).unwrap();
+        for len in [0usize, 1, 7, 8, 9, 16, 23] {
+            let mut batch = EvidenceBatch::new(11);
+            for q in 0..len {
+                let mut e = spn_core::Evidence::marginal(11);
+                e.observe(q % 11, q % 3 == 0);
+                batch.push(&e).unwrap();
+            }
+            let want = scalar
+                .execute_batch(&scalar_compiled, &batch, &mut ExecBuffers::new(), &mut ())
+                .unwrap();
+            for lanes in [2usize, 4, 8] {
+                let cpu = CpuModel::new().with_lanes(lanes);
+                assert_eq!(cpu.lanes(), lanes);
+                let compiled = cpu.compile(&ops).unwrap();
+                let got = cpu
+                    .execute_batch(&compiled, &batch, &mut ExecBuffers::new(), &mut ())
+                    .unwrap();
+                assert_eq!(got.values.len(), len);
+                for (q, (g, w)) in got.values.iter().zip(&want.values).enumerate() {
+                    assert_eq!(
+                        g.to_bits(),
+                        w.to_bits(),
+                        "len {len} lanes {lanes} query {q}"
+                    );
+                }
+                assert_eq!(got.perf, want.perf, "len {len} lanes {lanes}");
+            }
+        }
     }
 
     #[test]

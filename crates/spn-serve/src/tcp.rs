@@ -44,18 +44,31 @@
 //! form, so a client parsing with standard `f64` semantics recovers them bit
 //! for bit.
 //!
-//! Each connection is handled by one thread that submits to the shared
-//! [`Service`]; concurrency across connections is what feeds the
-//! micro-batcher.  [`TcpServer::shutdown`] stops accepting, unblocks the
-//! accept loop, and joins every connection thread (connections poll a
-//! shutdown flag via a read timeout).
+//! # Connection handling
+//!
+//! The front-end is **readiness-driven**: one event-loop thread multiplexes
+//! the listener and every connection over non-blocking sockets polled
+//! through [`crate::poll`] (`poll(2)` on Unix).  Each connection owns a
+//! read buffer with line-framing state (a partial line survives across
+//! reads), a write buffer flushed as the socket drains, and a FIFO of
+//! in-flight requests submitted to the shared [`Service`] — responses are
+//! collected non-blockingly ([`ResponseHandle::try_wait`]) and written back
+//! in request order.  No thread is spawned per connection, so one process
+//! holds thousands of mostly-idle connections; the [`Service`]'s fixed
+//! worker fleet drains the micro-batcher, and concurrency across
+//! connections is what feeds it.
+//!
+//! [`TcpServer::shutdown`] stops accepting, discards buffered *partial*
+//! request lines, drains in-flight responses and flushes write buffers
+//! (bounded by a drain deadline), then joins the event loop.
 
-use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use spn_core::wire::{self, QueryRequest, QueryResponse};
 use spn_core::{Evidence, NumericMode, Precision, QueryMode};
@@ -64,10 +77,22 @@ use spn_platforms::Backend;
 use crate::error::ServeError;
 use crate::json::{self, Value};
 use crate::metrics::MetricsRecord;
-use crate::service::Service;
+use crate::poll::{self, PollFd, POLLIN, POLLOUT};
+use crate::service::{ResponseHandle, Service};
 
-/// How often blocked connection reads wake up to check the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// Poll timeout when every connection is idle: bounds shutdown-flag latency.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+/// Poll timeout while responses are in flight: bounds added response
+/// latency without spinning (the service answers on its own threads).
+const INFLIGHT_POLL: Duration = Duration::from_millis(1);
+/// Longest accepted request line; a peer exceeding it gets a protocol error
+/// and its connection closed (protects the buffer from unframed floods).
+const MAX_LINE_BYTES: usize = 4 * 1024 * 1024;
+/// How long shutdown keeps draining in-flight responses and unflushed
+/// write buffers before dropping the remaining connections.
+const SHUTDOWN_DRAIN: Duration = Duration::from_secs(5);
+/// Per-event-loop read scratch size (shared by all connections).
+const READ_CHUNK: usize = 64 * 1024;
 
 /// A running TCP front-end.  Dropping it shuts it down.
 pub struct TcpServer {
@@ -89,29 +114,12 @@ impl TcpServer {
         B::Compiled: Send + Sync + 'static,
     {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept_thread = std::thread::spawn(move || {
-            let connections: Mutex<Vec<JoinHandle<()>>> = Mutex::new(Vec::new());
-            for stream in listener.incoming() {
-                if accept_shutdown.load(Ordering::Acquire) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                let service = Arc::clone(&service);
-                let conn_shutdown = Arc::clone(&accept_shutdown);
-                let handle =
-                    std::thread::spawn(move || handle_connection(&service, stream, &conn_shutdown));
-                connections
-                    .lock()
-                    .expect("connection list lock")
-                    .push(handle);
-            }
-            for handle in connections.into_inner().expect("connection list lock") {
-                let _ = handle.join();
-            }
-        });
+        let loop_shutdown = Arc::clone(&shutdown);
+        let accept_thread =
+            std::thread::spawn(move || event_loop(&service, &listener, &loop_shutdown));
         Ok(TcpServer {
             addr,
             shutdown,
@@ -124,12 +132,14 @@ impl TcpServer {
         self.addr
     }
 
-    /// Stops accepting, closes every connection and joins all threads.
-    /// Idempotent; also runs on drop.  The underlying [`Service`] keeps
-    /// running — shut it down separately.
+    /// Stops accepting, drains in-flight responses, closes every connection
+    /// and joins the event loop.  Idempotent; also runs on drop.  The
+    /// underlying [`Service`] keeps running — shut it down separately.
     pub fn shutdown(&mut self) {
         self.shutdown.store(true, Ordering::Release);
-        // Unblock the accept loop with one last connection to ourselves.
+        // Nudge the event loop out of its poll wait with one last
+        // connection to ourselves (it would notice within `IDLE_POLL`
+        // anyway; this just makes shutdown prompt).
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
@@ -143,108 +153,348 @@ impl Drop for TcpServer {
     }
 }
 
-/// Serves one connection: read a line, answer a line, until EOF or shutdown.
-fn handle_connection<B>(service: &Service<B>, stream: TcpStream, shutdown: &AtomicBool)
-where
-    B: Backend + Clone + Send + Sync + 'static,
-    B::Compiled: Send + Sync + 'static,
-{
-    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
-        return;
+/// The raw descriptor handed to the poller.
+#[cfg(unix)]
+fn fd_of(socket: &impl std::os::unix::io::AsRawFd) -> i32 {
+    socket.as_raw_fd()
+}
+
+/// Non-Unix hosts use the degraded always-ready poller, which never looks
+/// at the descriptor.
+#[cfg(not(unix))]
+fn fd_of<T>(_socket: &T) -> i32 {
+    -1
+}
+
+/// One request whose response the connection still owes, in request order.
+enum InFlight {
+    /// The response line is already known (commands, protocol errors).
+    Ready(String),
+    /// Submitted to the service; polled via [`ResponseHandle::try_wait`].
+    Pending { id: u64, handle: ResponseHandle },
+}
+
+/// Per-connection state of the event loop.
+struct Connection {
+    stream: TcpStream,
+    /// Bytes read but not yet framed into a line (at most one partial line).
+    read_buf: Vec<u8>,
+    /// Encoded response lines not yet accepted by the socket.
+    write_buf: Vec<u8>,
+    /// How much of `write_buf` the socket has accepted.
+    write_pos: usize,
+    /// Requests whose responses are still owed, in request order.
+    inflight: VecDeque<InFlight>,
+    /// No more reads (peer EOF, read error, oversize line, or shutdown);
+    /// the connection closes once `inflight` and `write_buf` drain.
+    eof: bool,
+    /// The write side failed; drop the connection regardless of state.
+    dead: bool,
+}
+
+impl Connection {
+    fn new(stream: TcpStream) -> Connection {
+        Connection {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            inflight: VecDeque::new(),
+            eof: false,
+            dead: false,
+        }
     }
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
-    loop {
-        // `line` is cleared only after a complete line was handled: a read
-        // timeout can leave a partial line accumulated, and the next
-        // `read_line` call appends the rest.
-        match reader.read_line(&mut line) {
-            Ok(0) => return, // EOF
-            Ok(_) => {
-                let trimmed = line.trim();
-                if !trimmed.is_empty() {
-                    let reply = handle_line(service, trimmed);
-                    if writer.write_all(reply.as_bytes()).is_err()
-                        || writer.write_all(b"\n").is_err()
-                        || writer.flush().is_err()
-                    {
+
+    /// Whether any submitted request is still waiting on the service.
+    fn has_pending(&self) -> bool {
+        self.inflight
+            .iter()
+            .any(|f| matches!(f, InFlight::Pending { .. }))
+    }
+
+    /// Everything owed has been handed to the socket.
+    fn drained(&self) -> bool {
+        self.inflight.is_empty() && self.write_pos >= self.write_buf.len()
+    }
+
+    /// The connection has no further purpose and can be dropped.
+    fn finished(&self) -> bool {
+        self.dead || (self.eof && self.drained())
+    }
+
+    /// Drains the socket's receive buffer and frames complete lines.
+    fn read_ready<B>(&mut self, service: &Service<B>, scratch: &mut [u8])
+    where
+        B: Backend + Clone + Send + Sync + 'static,
+        B::Compiled: Send + Sync + 'static,
+    {
+        loop {
+            match self.stream.read(scratch) {
+                Ok(0) => {
+                    self.eof = true;
+                    // A trailing partial line can never complete; drop it.
+                    self.read_buf.clear();
+                    return;
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&scratch[..n]);
+                    self.frame_lines(service);
+                    if self.eof {
                         return;
                     }
+                    if n < scratch.len() {
+                        return; // receive buffer drained (next poll catches more)
+                    }
                 }
-                line.clear();
-            }
-            Err(err) if matches!(err.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if shutdown.load(Ordering::Acquire) {
+                Err(err) if err.kind() == ErrorKind::WouldBlock => return,
+                Err(err) if err.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.eof = true;
+                    self.read_buf.clear();
                     return;
                 }
             }
-            Err(_) => return,
         }
     }
-}
 
-/// Parses one request line, runs it, and encodes the response line.
-fn handle_line<B>(service: &Service<B>, line: &str) -> String
-where
-    B: Backend + Clone + Send + Sync + 'static,
-    B::Compiled: Send + Sync + 'static,
-{
-    match json::parse(line) {
-        Ok(doc) => {
-            let id = doc
-                .get("id")
-                .and_then(Value::as_f64)
-                .map(|n| n as u64)
-                .unwrap_or(0);
-            match handle_document(service, &doc) {
-                Ok(reply) => reply,
-                Err(err) => encode_error(id, &err),
+    /// Cuts every complete line out of `read_buf` and enqueues its request;
+    /// at most one partial line remains buffered.
+    fn frame_lines<B>(&mut self, service: &Service<B>)
+    where
+        B: Backend + Clone + Send + Sync + 'static,
+        B::Compiled: Send + Sync + 'static,
+    {
+        let mut start = 0usize;
+        while let Some(nl) = self.read_buf[start..].iter().position(|&b| b == b'\n') {
+            let line = &self.read_buf[start..start + nl];
+            start += nl + 1;
+            let Ok(text) = std::str::from_utf8(line) else {
+                self.inflight.push_back(InFlight::Ready(encode_error(
+                    0,
+                    &ServeError::Protocol("request line is not UTF-8".to_string()),
+                )));
+                continue;
+            };
+            let trimmed = text.trim();
+            if !trimmed.is_empty() {
+                self.inflight.push_back(process_line(service, trimmed));
             }
         }
-        Err(err) => encode_error(0, &ServeError::Protocol(err)),
+        self.read_buf.drain(..start);
+        if self.read_buf.len() > MAX_LINE_BYTES {
+            self.inflight.push_back(InFlight::Ready(encode_error(
+                0,
+                &ServeError::Protocol(format!("request line exceeds {MAX_LINE_BYTES} bytes")),
+            )));
+            self.read_buf.clear();
+            self.eof = true;
+        }
+    }
+
+    /// Moves every response that is ready — preserving request order, so a
+    /// still-pending head blocks later (even already-known) replies — into
+    /// the write buffer.
+    fn collect_responses(&mut self) {
+        loop {
+            let reply = match self.inflight.front() {
+                None => return,
+                Some(InFlight::Ready(_)) => {
+                    let Some(InFlight::Ready(reply)) = self.inflight.pop_front() else {
+                        unreachable!("front was just observed Ready");
+                    };
+                    reply
+                }
+                Some(InFlight::Pending { id, handle }) => match handle.try_wait() {
+                    None => return,
+                    Some(Ok(response)) => {
+                        self.inflight.pop_front();
+                        encode_response(&response)
+                    }
+                    Some(Err(err)) => {
+                        let reply = encode_error(*id, &err);
+                        self.inflight.pop_front();
+                        reply
+                    }
+                },
+            };
+            self.write_buf.extend_from_slice(reply.as_bytes());
+            self.write_buf.push(b'\n');
+        }
+    }
+
+    /// Writes as much of the write buffer as the socket accepts.
+    fn flush_ready(&mut self) {
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => self.write_pos += n,
+                Err(err) if err.kind() == ErrorKind::WouldBlock => return,
+                Err(err) if err.kind() == ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        self.write_buf.clear();
+        self.write_pos = 0;
     }
 }
 
-fn handle_document<B>(service: &Service<B>, doc: &Value) -> Result<String, ServeError>
+/// The readiness-driven front-end: one thread multiplexing the listener and
+/// every connection, submitting requests to `service` and writing responses
+/// back in request order.
+fn event_loop<B>(service: &Arc<Service<B>>, listener: &TcpListener, shutdown: &AtomicBool)
 where
     B: Backend + Clone + Send + Sync + 'static,
     B::Compiled: Send + Sync + 'static,
 {
-    if let Some(cmd) = doc.get("cmd").and_then(Value::as_str) {
-        return match cmd {
-            "models" => Ok(Value::Obj(vec![
-                ("ok".to_string(), Value::Bool(true)),
-                (
-                    "models".to_string(),
-                    Value::Arr(
-                        service
-                            .registry()
-                            .models()
-                            .into_iter()
-                            .map(Value::Str)
-                            .collect(),
-                    ),
-                ),
-            ])
-            .to_json()),
-            "metrics" => Ok(Value::Obj(vec![
-                ("ok".to_string(), Value::Bool(true)),
-                (
-                    "metrics".to_string(),
-                    Value::Arr(service.metrics().iter().map(metrics_value).collect()),
-                ),
-            ])
-            .to_json()),
-            other => Err(ServeError::Protocol(format!("unknown command {other:?}"))),
+    let mut connections: Vec<Connection> = Vec::new();
+    let mut scratch = vec![0u8; READ_CHUNK];
+    let mut fds: Vec<PollFd> = Vec::new();
+    let mut draining_since: Option<Instant> = None;
+
+    loop {
+        if shutdown.load(Ordering::Acquire) && draining_since.is_none() {
+            draining_since = Some(Instant::now());
+            // Stop reading; buffered partial lines can never complete now
+            // and are deliberately discarded, not panicked over.
+            for conn in &mut connections {
+                conn.eof = true;
+                conn.read_buf.clear();
+            }
+        }
+        let draining = draining_since.is_some();
+        if let Some(since) = draining_since {
+            let all_drained = connections.iter().all(Connection::drained);
+            if all_drained || since.elapsed() > SHUTDOWN_DRAIN {
+                return;
+            }
+        }
+
+        // One pollfd per live socket: the listener first (while accepting),
+        // then every connection with its current interest set.
+        fds.clear();
+        let conn_base = usize::from(!draining);
+        if !draining {
+            fds.push(PollFd::new(fd_of(listener), POLLIN));
+        }
+        for conn in &connections {
+            let mut events = 0i16;
+            if !conn.eof {
+                events |= POLLIN;
+            }
+            if conn.write_pos < conn.write_buf.len() {
+                events |= POLLOUT;
+            }
+            fds.push(PollFd::new(fd_of(&conn.stream), events));
+        }
+        let timeout = if connections.iter().any(Connection::has_pending) {
+            INFLIGHT_POLL
+        } else {
+            IDLE_POLL
         };
+        if poll::wait(&mut fds, timeout).is_err() {
+            // A failing poll would spin the loop; back off instead.
+            std::thread::sleep(IDLE_POLL);
+        }
+
+        // Service existing connections first — their indices line up with
+        // the pollfd set built above; connections accepted below are polled
+        // from the next tick on.
+        for (i, conn) in connections.iter_mut().enumerate() {
+            if fds[conn_base + i].readable() && !conn.eof {
+                conn.read_ready(service, &mut scratch);
+            }
+            conn.collect_responses();
+            conn.flush_ready();
+        }
+        connections.retain(|conn| !conn.finished());
+
+        if !draining && fds[0].readable() {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_ok() {
+                            connections.push(Connection::new(stream));
+                        }
+                    }
+                    Err(err) if err.kind() == ErrorKind::WouldBlock => break,
+                    Err(err) if err.kind() == ErrorKind::Interrupted => {}
+                    Err(_) => break,
+                }
+            }
+        }
     }
-    let request = decode_request(doc)?;
-    let response = service.query(request)?;
-    Ok(encode_response(&response))
+}
+
+/// Parses one request line and either answers it immediately (commands,
+/// malformed requests) or submits it to the service.
+fn process_line<B>(service: &Service<B>, line: &str) -> InFlight
+where
+    B: Backend + Clone + Send + Sync + 'static,
+    B::Compiled: Send + Sync + 'static,
+{
+    let doc = match json::parse(line) {
+        Ok(doc) => doc,
+        Err(err) => return InFlight::Ready(encode_error(0, &ServeError::Protocol(err))),
+    };
+    let id = doc
+        .get("id")
+        .and_then(Value::as_f64)
+        .map(|n| n as u64)
+        .unwrap_or(0);
+    if doc.get("cmd").is_some() {
+        return InFlight::Ready(match handle_command(service, &doc) {
+            Ok(reply) => reply,
+            Err(err) => encode_error(id, &err),
+        });
+    }
+    match decode_request(&doc).and_then(|request| service.submit(request)) {
+        Ok(handle) => InFlight::Pending { id, handle },
+        Err(err) => InFlight::Ready(encode_error(id, &err)),
+    }
+}
+
+/// Answers a `{"cmd": ...}` introspection line.
+fn handle_command<B>(service: &Service<B>, doc: &Value) -> Result<String, ServeError>
+where
+    B: Backend + Clone + Send + Sync + 'static,
+    B::Compiled: Send + Sync + 'static,
+{
+    let cmd = doc
+        .get("cmd")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ServeError::Protocol("field \"cmd\" must be a string".to_string()))?;
+    match cmd {
+        "models" => Ok(Value::Obj(vec![
+            ("ok".to_string(), Value::Bool(true)),
+            (
+                "models".to_string(),
+                Value::Arr(
+                    service
+                        .registry()
+                        .models()
+                        .into_iter()
+                        .map(Value::Str)
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_json()),
+        "metrics" => Ok(Value::Obj(vec![
+            ("ok".to_string(), Value::Bool(true)),
+            (
+                "metrics".to_string(),
+                Value::Arr(service.metrics().iter().map(metrics_value).collect()),
+            ),
+        ])
+        .to_json()),
+        other => Err(ServeError::Protocol(format!("unknown command {other:?}"))),
+    }
 }
 
 fn field<'a>(doc: &'a Value, key: &str) -> Result<&'a Value, ServeError> {

@@ -1,0 +1,186 @@
+//! Connection-scaling smoke test for the readiness-driven TCP front-end.
+//!
+//! One process must hold hundreds of mostly-idle connections without
+//! spawning per-connection threads: this test opens ≥ 512 concurrent
+//! connections, checks the process thread count stays flat (Linux), drives
+//! pipelined mixed-mode traffic over a subset while the rest sit idle, and
+//! finally shuts the server down while several connections hold buffered
+//! *partial* request lines — the drain must discard them gracefully, never
+//! panic, and still flush every complete in-flight response.
+
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use spn_accel::learn::Benchmark;
+use spn_accel::platforms::CpuModel;
+use spn_accel::serve::tcp::decode_response;
+use spn_accel::serve::{Service, ServiceConfig, TcpServer};
+
+/// Total concurrent connections held open at once.
+const CONNECTIONS: usize = 512;
+/// Connections that actually carry traffic; the rest stay idle.
+const ACTIVE: usize = 24;
+/// Pipelined requests per active connection.
+const PIPELINE: usize = 4;
+
+/// The process's thread count (Linux only; `None` elsewhere).
+fn thread_count() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+/// One request line of the traffic mix: cycles query modes, numeric modes
+/// and precisions.
+fn request_line(id: usize, num_vars: usize) -> String {
+    let marginal = "?".repeat(num_vars);
+    let all_true = "1".repeat(num_vars);
+    let mut partial: Vec<char> = vec!['?'; num_vars];
+    partial[id % num_vars] = if id.is_multiple_of(2) { '1' } else { '0' };
+    let partial: String = partial.into_iter().collect();
+    match id % 5 {
+        0 => format!(
+            r#"{{"id": {id}, "model": "banknote", "mode": "marginal", "rows": ["{marginal}"]}}"#
+        ),
+        1 => format!(
+            r#"{{"id": {id}, "model": "banknote", "mode": "joint", "rows": ["{all_true}"]}}"#
+        ),
+        2 => {
+            format!(r#"{{"id": {id}, "model": "banknote", "mode": "map", "rows": ["{partial}"]}}"#)
+        }
+        3 => format!(
+            r#"{{"id": {id}, "model": "banknote", "mode": "conditional", "targets": ["{partial}"], "givens": ["{marginal}"]}}"#
+        ),
+        _ => format!(
+            r#"{{"id": {id}, "model": "banknote", "mode": "marginal", "numeric": "log", "precision": "e8m10", "rows": ["{partial}"]}}"#
+        ),
+    }
+}
+
+#[test]
+fn holds_hundreds_of_idle_connections_and_drains_partial_lines_on_shutdown() {
+    let service = Arc::new(Service::new(CpuModel::new(), ServiceConfig::default()));
+    let spn = Benchmark::Banknote.spn();
+    let num_vars = spn.num_vars();
+    service.register("banknote", &spn);
+    let mut server = TcpServer::spawn(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    // Warm the stack (server threads all exist) before the baseline count.
+    {
+        let mut probe = TcpStream::connect(addr).unwrap();
+        probe.write_all(b"{\"cmd\": \"models\"}\n").unwrap();
+        let mut reply = String::new();
+        BufReader::new(&mut probe).read_line(&mut reply).unwrap();
+        assert!(reply.contains("banknote"), "{reply}");
+    }
+    let threads_before = thread_count();
+
+    let mut conns: Vec<TcpStream> = (0..CONNECTIONS)
+        .map(|i| {
+            // Brief pauses keep the listener backlog comfortable while the
+            // event loop drains it.
+            if i % 128 == 127 {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            let stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .unwrap();
+            stream
+        })
+        .collect();
+
+    // Every connection answers — including the last-accepted and a deep
+    // idle one — so all 512 are live on the server simultaneously.
+    for probe in [0, CONNECTIONS / 2, CONNECTIONS - 1] {
+        let stream = &mut conns[probe];
+        stream.write_all(b"{\"cmd\": \"models\"}\n").unwrap();
+        let mut reply = String::new();
+        BufReader::new(&mut *stream).read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"ok\":true"), "connection {probe}: {reply}");
+    }
+
+    // No per-connection threads: the count may wobble by a few service
+    // internals but must not scale with the connection count.
+    if let (Some(before), Some(after)) = (threads_before, thread_count()) {
+        assert!(
+            after <= before + 8,
+            "thread count scaled with connections: {before} -> {after}"
+        );
+    }
+
+    // Pipelined mixed-mode traffic on a subset: write every request first,
+    // then read every response — order within a connection must hold.
+    for (c, stream) in conns.iter_mut().take(ACTIVE).enumerate() {
+        let mut lines = String::new();
+        for k in 0..PIPELINE {
+            lines.push_str(&request_line(c * PIPELINE + k, num_vars));
+            lines.push('\n');
+        }
+        stream.write_all(lines.as_bytes()).unwrap();
+    }
+    for (c, stream) in conns.iter_mut().take(ACTIVE).enumerate() {
+        let mut reader = BufReader::new(&mut *stream);
+        for k in 0..PIPELINE {
+            let id = c * PIPELINE + k;
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            let response = decode_response(reply.trim())
+                .unwrap_or_else(|e| panic!("connection {c} reply {k}: {e:?}"));
+            assert_eq!(response.id as usize, id, "responses out of order");
+            assert!(!response.values.is_empty());
+        }
+    }
+
+    // Leave buffered partial lines (no trailing newline) on several idle
+    // connections, plus one complete in-flight request that must still be
+    // answered during the drain.
+    for stream in conns.iter_mut().skip(ACTIVE).take(8) {
+        stream
+            .write_all(br#"{"id": 999, "model": "bankno"#)
+            .unwrap();
+    }
+    let last = conns.len() - 1;
+    conns[last]
+        .write_all(request_line(7, num_vars).as_bytes())
+        .unwrap();
+    conns[last].write_all(b"\n").unwrap();
+    // Give the event loop a tick to pick the requests up before shutdown.
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Graceful shutdown: joins the event loop, discards the partial lines
+    // without panicking, flushes what is owed.
+    server.shutdown();
+
+    // The in-flight complete request got its answer before the close...
+    {
+        let mut reader = BufReader::new(&mut conns[last]);
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        let response = decode_response(reply.trim()).unwrap();
+        assert_eq!(response.id, 7);
+    }
+    // ...and the partial-line connections see a clean close with no bytes:
+    // the truncated request must never produce a response.
+    for stream in conns.iter_mut().skip(ACTIVE).take(8) {
+        let mut buf = [0u8; 64];
+        match stream.read(&mut buf) {
+            Ok(0) => {}
+            Ok(n) => panic!("partial line answered with {n} bytes: {:?}", &buf[..n]),
+            Err(err) => assert!(
+                matches!(
+                    err.kind(),
+                    ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted
+                ),
+                "unexpected read error: {err:?}"
+            ),
+        }
+    }
+
+    service.shutdown();
+}
