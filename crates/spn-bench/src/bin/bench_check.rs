@@ -17,12 +17,13 @@
 //!   numeric mode (`"linear"` / `"log"`), a `precision` field a valid
 //!   emulated PE format (`"f64"` / `"f32"` / `"e<exp>m<mant>"`), a
 //!   `max_rel_error` field must be a finite non-negative number, a
-//!   `host_cores` or `lanes` field must be a positive integer, and a
-//!   `connections` field a non-negative integer — and engine-bench files
-//!   (`*engine*.json`) must carry `numeric_mode`, `precision`,
-//!   `max_rel_error`, `host_cores` *and* `lanes`, while serve-bench files
-//!   (`*serve*.json`) must carry `connections`, so the numeric-mode,
-//!   precision-sweep, lane-width and connection-scaling annotations of the
+//!   `host_cores`, `lanes` or `cores` (simulated processor cores) field
+//!   must be a positive integer, and a `connections` field a non-negative
+//!   integer — and engine-bench files (`*engine*.json`) must carry
+//!   `numeric_mode`, `precision`, `max_rel_error`, `host_cores`, `lanes`
+//!   *and* `cores`, while serve-bench files (`*serve*.json`) must carry
+//!   `connections`, so the numeric-mode, precision-sweep, lane-width,
+//!   simulated-core-count and connection-scaling annotations of the
 //!   benchmark artifacts can never silently regress,
 //! * `--expect-lanes N[,M...]` additionally requires every engine-bench file
 //!   to contain at least one record per listed lane width (CI sweeps
@@ -106,7 +107,7 @@ fn check_file(path: &str, expect_lanes: &[u64]) -> Result<usize, String> {
                         ));
                     }
                 }
-                "host_cores" | "lanes" => {
+                "host_cores" | "lanes" | "cores" => {
                     let n = value.as_f64().ok_or_else(|| {
                         format!("{path}: record {i} field {key:?} is not a number")
                     })?;
@@ -144,6 +145,7 @@ fn check_file(path: &str, expect_lanes: &[u64]) -> Result<usize, String> {
                 "max_rel_error",
                 "host_cores",
                 "lanes",
+                "cores",
             ]
         } else if path.contains("serve") {
             &["connections"]

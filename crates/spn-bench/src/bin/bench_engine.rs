@@ -16,7 +16,10 @@
 //!    emulated PE format (`f64` / `f32` / the paper's `e8m10`), on a random
 //!    benchmark circuit and on the deep chain; every record reports
 //!    `max_rel_error` against the f64 oracle next to queries/sec, tracing
-//!    the paper's accuracy-vs-bit-width trade-off curve.
+//!    the paper's accuracy-vs-bit-width trade-off curve,
+//! 5. **simulated cores** — marginal batches sharded over 1/2/4 simulated
+//!    processor cores behind one shared parameter memory; every record
+//!    carries a `cores` column (1 for software platforms).
 //!
 //! Workload names are distinct from platform names (`uci-cpu-perf`, not
 //! `CPU`) so the two columns of `BENCH_engine.json` can never be confused,
@@ -41,6 +44,7 @@ use spn_core::random::deep_chain_spn;
 use spn_core::{Evidence, NumericMode, Precision, Spn};
 use spn_learn::Benchmark;
 use spn_platforms::{Backend, BackendError, CpuModel, Engine, Parallelism, ProcessorBackend};
+use spn_processor::ProcessorConfig;
 
 /// One measured configuration.
 struct Measurement {
@@ -52,6 +56,9 @@ struct Measurement {
     /// Lane-block width of the CPU execute-many path (1 = the scalar loop;
     /// non-CPU platforms always report 1).
     lanes: usize,
+    /// Simulated core count of the processor backend (1 for every software
+    /// platform and for the single-core simulator rows).
+    cores: usize,
     batch_size: usize,
     threads: usize,
     queries: usize,
@@ -290,6 +297,7 @@ fn record_precision(
         numeric,
         precision,
         lanes,
+        cores: 1,
         batch_size,
         threads,
         queries,
@@ -406,6 +414,54 @@ where
     Ok(())
 }
 
+/// Measures the multi-core simulator axis: the same marginal batches
+/// sharded over 1, 2 and 4 simulated Ptree cores behind one shared
+/// parameter memory.  Host wall-clock stays roughly flat (the host still
+/// simulates every cycle of every core), but each row's `cores` column and
+/// the merged perf report pin the simulated makespan scaling; the column is
+/// also what `bench_check` requires on every engine record.
+fn measure_processor_cores(
+    workload: &str,
+    spn: &Spn,
+    total_queries: usize,
+    results: &mut Vec<Measurement>,
+) -> Result<(), BackendError> {
+    let numeric = NumericMode::Linear;
+    let batch_size = 256usize;
+    let chunks = (total_queries / batch_size).max(1);
+    let queries = chunks * batch_size;
+    let batch = build_marginal_batch(spn.num_vars(), batch_size);
+    let reference = reference_query_with(spn, &QueryBatch::Marginal(batch.clone()), numeric)
+        .expect("reference");
+    let expected: f64 = reference.values.iter().sum::<f64>() * chunks as f64;
+    for cores in [1usize, 2, 4] {
+        let backend = ProcessorBackend::with_cores(ProcessorConfig::ptree(), cores)?;
+        let platform = backend.name();
+        let mut engine = Engine::from_spn(backend, spn)
+            .map_err(|err| format!("compiling {workload} for {platform}: {err}"))?;
+        let label = format!("{workload}/{platform} cores {cores}");
+        let best = best_of(expected, &label, || {
+            run_batched(&mut engine, &batch, chunks)
+        });
+        results.push(Measurement {
+            workload: workload.to_string(),
+            platform,
+            mode: QueryMode::Marginal,
+            numeric,
+            precision: Precision::F64,
+            lanes: 1,
+            cores,
+            batch_size,
+            threads: 1,
+            queries,
+            seconds: best,
+            queries_per_sec: queries as f64 / best.max(1e-12),
+            max_rel_error: 0.0,
+        });
+    }
+    Ok(())
+}
+
 /// Measures the numeric-mode axis on a deep chain whose probabilities
 /// underflow linear f64: marginal batches in linear mode (values flush to
 /// 0.0 — the cost baseline) against log mode (finite log-probabilities via
@@ -517,14 +573,15 @@ fn measure_precision_sweep(
 }
 
 fn to_json(results: &[Measurement]) -> String {
-    let cores = host_cores();
+    let host = host_cores();
     let mut out = String::from("[\n");
     for (i, m) in results.iter().enumerate() {
         out.push_str(&format!(
             concat!(
                 "  {{\"workload\": \"{}\", \"platform\": \"{}\", \"mode\": \"{}\", ",
                 "\"numeric_mode\": \"{}\", \"precision\": \"{}\", ",
-                "\"max_rel_error\": {}, \"lanes\": {}, \"batch_size\": {}, \"threads\": {}, ",
+                "\"max_rel_error\": {}, \"lanes\": {}, \"cores\": {}, ",
+                "\"batch_size\": {}, \"threads\": {}, ",
                 "\"host_cores\": {}, \"queries\": {}, ",
                 "\"seconds\": {}, \"queries_per_sec\": {}}}{}\n",
             ),
@@ -535,9 +592,10 @@ fn to_json(results: &[Measurement]) -> String {
             m.precision.name(),
             json_number(m.max_rel_error),
             m.lanes,
+            m.cores,
             m.batch_size,
             m.threads,
-            cores,
+            host,
             m.queries,
             json_number(m.seconds),
             json_number(m.queries_per_sec),
@@ -598,6 +656,10 @@ fn run(smoke: bool, out_path: &str) -> Result<(), BackendError> {
             sim_queries,
             &mut results,
         )?;
+        // Multi-core scaling: the same workload sharded over 1/2/4 simulated
+        // cores (distinct workload name keeps the cores=1 row from colliding
+        // with the full-axes Ptree rows above).
+        measure_processor_cores("uci-banknote-cores", &spn, sim_queries, &mut results)?;
     }
     // Numeric-mode axis: a 1.2k-level deep chain whose probabilities
     // underflow linear f64 — log mode pays the transcendental kernels but is
@@ -631,13 +693,13 @@ fn run(smoke: bool, out_path: &str) -> Result<(), BackendError> {
     println!("# Engine throughput: dispatch granularity, worker count, query mode\n");
     println!("host cores: {}\n", host_cores());
     println!(
-        "| workload | platform | mode | numeric | precision | max rel err | lanes | batch \
+        "| workload | platform | mode | numeric | precision | max rel err | lanes | cores | batch \
          | threads | queries | queries/sec |"
     );
-    println!("|---|---|---|---|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|");
     for m in &results {
         println!(
-            "| {} | {} | {} | {} | {} | {:.2e} | {} | {} | {} | {} | {:.0} |",
+            "| {} | {} | {} | {} | {} | {:.2e} | {} | {} | {} | {} | {} | {:.0} |",
             m.workload,
             m.platform,
             m.mode.name(),
@@ -645,6 +707,7 @@ fn run(smoke: bool, out_path: &str) -> Result<(), BackendError> {
             m.precision,
             m.max_rel_error,
             m.lanes,
+            m.cores,
             m.batch_size,
             m.threads,
             m.queries,

@@ -14,13 +14,17 @@
 //!   service, sweeping request rate × batching policy × worker count
 //!   (`BENCH_serve.json`, appended across runs),
 //! * `bench_check` — CI gate validating that the emitted `BENCH_*.json`
-//!   files are well-formed, non-empty and schema-consistent.
+//!   files are well-formed, non-empty and schema-consistent,
+//! * `record_traces` — regenerates (`--bless`) or verifies (`--check`, the
+//!   CI gate) the committed golden per-cycle traces of the multi-core
+//!   simulator under `tests/golden_traces/` (cases in [`traces`]).
 //!
 //! `bench_engine` and `bench_serve` accept `--smoke` for the fast CI sweep.
 //!
 //! The library part holds the shared plumbing: running one evidence batch on
 //! every platform through the two-phase [`Engine`], checking that every
-//! platform computes the same root values, and formatting result tables.
+//! platform computes the same root values, formatting result tables, and
+//! the golden-trace case definitions ([`traces`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,6 +37,8 @@ use spn_platforms::{
     Backend, BackendError, CpuModel, Engine, GpuConfig, GpuModel, PerfReport, ProcessorBackend,
 };
 use spn_processor::ProcessorConfig;
+
+pub mod traces;
 
 /// Throughput of one platform on one batched workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

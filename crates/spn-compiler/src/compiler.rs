@@ -1,14 +1,15 @@
 //! Public compiler driver.
 
 use spn_core::batch::{EvidenceBatch, InputRecipe};
-use spn_core::flatten::{FlattenOptions, OpList};
+use spn_core::flatten::{FlattenOptions, OpList, OperandRef, PartInput};
 use spn_core::{Evidence, Spn};
 use spn_processor::config::ProcessorConfig;
 use spn_processor::isa::Program;
+use spn_processor::multicore::{CoreProgram, PartitionedProgram, TransferSource};
 
 use crate::report::CompileReport;
-use crate::schedule::{schedule, ScheduleOptions};
-use crate::tile::extract_tiles;
+use crate::schedule::{schedule, schedule_with_exports, ScheduleOptions};
+use crate::tile::{extract_tiles, extract_tiles_with_exports};
 use crate::Result;
 
 /// Options controlling the whole compilation pipeline.
@@ -80,6 +81,58 @@ impl CompiledArtifact {
     }
 }
 
+/// The cacheable result of partitioning one program across pipeline stages:
+/// a [`PartitionedProgram`] ready for
+/// `spn_processor::MultiCoreProcessor::run_partitioned`, plus the recipe
+/// filling the *global* (unpartitioned) input vector — stage-to-stage
+/// operands travel over the modelled interconnect, not through evidence.
+#[derive(Debug, Clone)]
+pub struct PartitionedArtifact {
+    /// The compiled pipeline stages (stage `j` runs on core `j`).
+    pub parts: PartitionedProgram,
+    /// One compile report per stage, in stage order.
+    pub reports: Vec<CompileReport>,
+    /// The unpartitioned operation list the stages were cut from.
+    pub op_list: OpList,
+    /// Pre-resolved mapping from evidence to the global input vector.
+    recipe: InputRecipe,
+}
+
+impl PartitionedArtifact {
+    /// Number of pipeline stages (≤ the core count requested).
+    pub fn num_stages(&self) -> usize {
+        self.parts.stages.len()
+    }
+
+    /// Materialises the global input vector for `evidence`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the evidence covers a different number of
+    /// variables than the SPN the program was compiled from.
+    pub fn input_values(&self, evidence: &Evidence) -> Result<Vec<f64>> {
+        let mut out = Vec::new();
+        self.recipe.fill_evidence(evidence, &mut out)?;
+        Ok(out)
+    }
+
+    /// Fills `out` with the concatenated global input vectors of every
+    /// query in `batch` (query-major, ready for `run_partitioned`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the batch covers a different number of
+    /// variables than the SPN the program was compiled from.
+    pub fn fill_batch_inputs(&self, batch: &EvidenceBatch, out: &mut Vec<f64>) -> Result<()> {
+        Ok(self.recipe.fill_batch(batch, out)?)
+    }
+
+    /// The pre-resolved evidence-to-global-input-vector mapping.
+    pub fn input_recipe(&self) -> &InputRecipe {
+        &self.recipe
+    }
+}
+
 /// Compiler from SPNs to processor programs.
 ///
 /// See the crate-level documentation for an end-to-end example.
@@ -126,13 +179,7 @@ impl Compiler {
     /// Returns a [`crate::CompileError`] when the target configuration is
     /// invalid or the program cannot be made to fit it.
     pub fn compile_op_list(&self, op_list: OpList) -> Result<CompiledArtifact> {
-        let depth = self
-            .options
-            .max_tile_depth
-            .unwrap_or(self.config.tree_levels)
-            .min(self.config.tree_levels)
-            .max(1);
-        let tiles = extract_tiles(&op_list, depth);
+        let tiles = extract_tiles(&op_list, self.tile_depth());
         let (program, report) = schedule(&self.config, &op_list, &tiles, &self.options.schedule)?;
         let recipe = op_list.input_recipe();
         Ok(CompiledArtifact {
@@ -141,6 +188,67 @@ impl Compiler {
             op_list,
             recipe,
         })
+    }
+
+    /// Partitions an already-flattened operation list into at most `cores`
+    /// pipeline stages ([`OpList::partition`]) and compiles each stage for
+    /// this compiler's core configuration, wiring the stages' imports to
+    /// their producers' exported locations.
+    ///
+    /// The result executes on an N-core machine via
+    /// `spn_processor::MultiCoreProcessor::run_partitioned` and computes
+    /// bit-for-bit what the unpartitioned program computes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`crate::CompileError`] when the target configuration is
+    /// invalid or any stage cannot be made to fit it.
+    pub fn compile_partitioned(
+        &self,
+        op_list: OpList,
+        cores: usize,
+    ) -> Result<PartitionedArtifact> {
+        let parts = op_list.partition(cores);
+        let mut stages = Vec::with_capacity(parts.len());
+        let mut reports = Vec::with_capacity(parts.len());
+        for part in &parts {
+            let exports: Vec<OperandRef> =
+                part.exports.iter().map(|&i| OperandRef::Op(i)).collect();
+            let tiles = extract_tiles_with_exports(&part.ops, self.tile_depth(), &exports);
+            let (program, report) = schedule_with_exports(
+                &self.config,
+                &part.ops,
+                &tiles,
+                &self.options.schedule,
+                &exports,
+            )?;
+            let inputs = part
+                .inputs
+                .iter()
+                .map(|src| match *src {
+                    PartInput::Global(i) => TransferSource::Input(i),
+                    PartInput::Link { part, export } => TransferSource::Core { core: part, export },
+                })
+                .collect();
+            stages.push(CoreProgram { program, inputs });
+            reports.push(report);
+        }
+        let recipe = op_list.input_recipe();
+        let num_inputs = op_list.num_inputs();
+        Ok(PartitionedArtifact {
+            parts: PartitionedProgram { stages, num_inputs },
+            reports,
+            op_list,
+            recipe,
+        })
+    }
+
+    fn tile_depth(&self) -> usize {
+        self.options
+            .max_tile_depth
+            .unwrap_or(self.config.tree_levels)
+            .min(self.config.tree_levels)
+            .max(1)
     }
 }
 
@@ -221,6 +329,59 @@ mod tests {
                 mant_bits: 10
             }
         );
+    }
+
+    #[test]
+    fn partitioned_pipeline_matches_single_core_bit_for_bit() {
+        use spn_processor::{MultiCoreConfig, MultiCoreProcessor, Processor};
+
+        let mut rng = StdRng::seed_from_u64(21);
+        let spn = random_spn(&RandomSpnConfig::with_vars(12), &mut rng);
+        let compiler = Compiler::new(ProcessorConfig::ptree());
+        let single = compiler.compile(&spn).unwrap();
+        let processor = Processor::new(ProcessorConfig::ptree()).unwrap();
+
+        for ops in [
+            single.op_list.clone(),
+            single.op_list.to_log_domain(),
+            single
+                .op_list
+                .with_precision(spn_core::precision::Precision::E8M10),
+        ] {
+            let baseline = compiler.compile_op_list(ops.clone()).unwrap();
+            for cores in [2usize, 3] {
+                let parted = compiler.compile_partitioned(ops.clone(), cores).unwrap();
+                assert!(parted.num_stages() >= 2);
+                assert_eq!(parted.reports.len(), parted.num_stages());
+                let mc =
+                    MultiCoreProcessor::new(MultiCoreConfig::new(cores, ProcessorConfig::ptree()))
+                        .unwrap();
+                let mut states = Vec::new();
+                let mut flat = Vec::new();
+                let mut expected = Vec::new();
+                for assignment in [[false; 12], [true; 12]] {
+                    let e = Evidence::from_assignment(&assignment);
+                    flat.extend(parted.input_values(&e).unwrap());
+                    let inputs = baseline.input_values(&e).unwrap();
+                    let mut state = processor.state_for(&baseline.program);
+                    expected.push(
+                        processor
+                            .run_with(&baseline.program, &inputs, &mut state)
+                            .unwrap()
+                            .output,
+                    );
+                }
+                let batch = mc
+                    .run_partitioned(&parted.parts, &flat, 2, &mut states)
+                    .unwrap();
+                let got: Vec<f64> = batch.outputs.clone();
+                assert_eq!(got.len(), expected.len());
+                for (g, e) in got.iter().zip(&expected) {
+                    assert_eq!(g.to_bits(), e.to_bits(), "cores={cores}");
+                }
+                batch.cores.check_accounting().unwrap();
+            }
+        }
     }
 
     /// The `spn_core` and `spn_processor` quantizers are independent

@@ -49,7 +49,7 @@ pub mod report;
 pub mod schedule;
 pub mod tile;
 
-pub use compiler::{CompiledArtifact, Compiler, CompilerOptions};
+pub use compiler::{CompiledArtifact, Compiler, CompilerOptions, PartitionedArtifact};
 pub use error::CompileError;
 pub use report::CompileReport;
 

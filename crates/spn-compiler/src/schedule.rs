@@ -143,8 +143,28 @@ pub fn schedule(
     tiles: &[Tile],
     options: &ScheduleOptions,
 ) -> Result<(Program, CompileReport)> {
+    schedule_with_exports(config, ops, tiles, options, &[])
+}
+
+/// [`schedule`] with additional export obligations: every operand in
+/// `exports` is kept live to the end of the program and its final location
+/// is recorded in [`Program::exports`] (same order), so a runtime can peek
+/// the values after execution — the compiler-side half of pipelined
+/// multi-core execution, where a stage's exports feed later cores.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] under the same conditions as [`schedule`], or
+/// when an exported value cannot be materialised.
+pub fn schedule_with_exports(
+    config: &ProcessorConfig,
+    ops: &OpList,
+    tiles: &[Tile],
+    options: &ScheduleOptions,
+    exports: &[OperandRef],
+) -> Result<(Program, CompileReport)> {
     config.validate()?;
-    let mut scheduler = Scheduler::new(config, ops, options);
+    let mut scheduler = Scheduler::new(config, ops, options, exports);
     scheduler.init_values(tiles);
     for tile in tiles {
         scheduler.schedule_tile(tile)?;
@@ -156,6 +176,9 @@ struct Scheduler<'a> {
     config: &'a ProcessorConfig,
     ops: &'a OpList,
     options: &'a ScheduleOptions,
+    /// Operands whose final locations the program must expose (see
+    /// [`schedule_with_exports`]).
+    exports: &'a [OperandRef],
     values: ValueMap,
     alloc: RegAllocator,
     cycles: Vec<CycleInfo>,
@@ -180,11 +203,17 @@ struct Scheduler<'a> {
 }
 
 impl<'a> Scheduler<'a> {
-    fn new(config: &'a ProcessorConfig, ops: &'a OpList, options: &'a ScheduleOptions) -> Self {
+    fn new(
+        config: &'a ProcessorConfig,
+        ops: &'a OpList,
+        options: &'a ScheduleOptions,
+        exports: &'a [OperandRef],
+    ) -> Self {
         Scheduler {
             config,
             ops,
             options,
+            exports,
             values: ValueMap::new(ops.num_inputs(), ops.num_ops()),
             alloc: RegAllocator::new(config.regs_per_bank, config.total_banks()),
             cycles: Vec::new(),
@@ -208,6 +237,11 @@ impl<'a> Scheduler<'a> {
             }
         }
         self.values.add_uses(self.ops.output(), 1);
+        // Exported values get a phantom use each so the scheduler never
+        // frees their storage; `finish` resolves where they ended up.
+        for &export in self.exports {
+            self.values.add_uses(export, 1);
+        }
 
         // Lay out every program input in the data memory, row major.
         let banks = self.config.total_banks();
@@ -847,33 +881,42 @@ impl<'a> Scheduler<'a> {
         self.report.peak_live_offsets = self.report.peak_live_offsets.max(live);
     }
 
-    fn finish(mut self, _tiles: &[Tile]) -> Result<(Program, CompileReport)> {
-        let output = match self.ops.output() {
+    /// Where `operand` lives after the program has run (for the output and
+    /// export peeks).
+    fn final_location(&self, operand: OperandRef, role: &str) -> Result<ValueLocation> {
+        match operand {
             // Inputs always keep their copy in the data memory image.
             OperandRef::Input(i) => {
                 let slot = self.input_slots[i as usize];
-                ValueLocation::Memory {
+                Ok(ValueLocation::Memory {
                     row: slot.row,
                     lane: slot.lane,
-                }
+                })
             }
-            OperandRef::Op(_) => match self.values.loc(self.ops.output()) {
-                Loc::Reg { bank, reg, .. } => ValueLocation::Register {
+            OperandRef::Op(i) => match self.values.loc(operand) {
+                Loc::Reg { bank, reg, .. } => Ok(ValueLocation::Register {
                     bank: bank as u16,
                     reg: reg as u16,
-                },
-                Loc::Mem { row, lane } => ValueLocation::Memory {
+                }),
+                Loc::Mem { row, lane } => Ok(ValueLocation::Memory {
                     row: row as u32,
                     lane: lane as u16,
-                },
-                Loc::Unready | Loc::ConstZero | Loc::ConstOne => {
-                    return Err(CompileError::Unschedulable {
-                        op: 0,
-                        reason: "program output was never materialised".to_string(),
-                    })
-                }
+                }),
+                Loc::Unready | Loc::ConstZero | Loc::ConstOne => Err(CompileError::Unschedulable {
+                    op: i as usize,
+                    reason: format!("{role} was never materialised"),
+                }),
             },
-        };
+        }
+    }
+
+    fn finish(mut self, _tiles: &[Tile]) -> Result<(Program, CompileReport)> {
+        let output = self.final_location(self.ops.output(), "program output")?;
+        let exports = self
+            .exports
+            .iter()
+            .map(|&e| self.final_location(e, "exported value"))
+            .collect::<Result<Vec<_>>>()?;
 
         self.report.instructions = self.instructions.len();
         self.report.estimated_cycles = self.instructions.len() as u64;
@@ -885,6 +928,7 @@ impl<'a> Scheduler<'a> {
             input_layout: self.input_slots,
             memory_rows_used: self.mem_rows.len(),
             output,
+            exports,
             num_source_ops: self.ops.num_ops(),
             pe_precision: pe_precision(self.ops.precision()),
         };

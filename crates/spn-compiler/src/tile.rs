@@ -89,10 +89,28 @@ impl Tile {
 ///
 /// Panics if `max_depth` is zero.
 pub fn extract_tiles(ops: &OpList, max_depth: usize) -> Vec<Tile> {
+    extract_tiles_with_exports(ops, max_depth, &[])
+}
+
+/// [`extract_tiles`] with export obligations: every operand in `exports`
+/// gets an extra phantom use, so an exported operation is never absorbed
+/// into its consumer's tile — it becomes a tile root, and its result is
+/// committed to the register file where a multi-core runtime can peek it
+/// (tile-internal values only ever exist inside the PE datapath).
+///
+/// # Panics
+///
+/// Panics if `max_depth` is zero.
+pub fn extract_tiles_with_exports(
+    ops: &OpList,
+    max_depth: usize,
+    exports: &[OperandRef],
+) -> Vec<Tile> {
     assert!(max_depth >= 1, "tiles need at least one level");
     let n = ops.num_ops();
 
-    // Fanout of each op result: uses by later ops plus one if it is the output.
+    // Fanout of each op result: uses by later ops plus one if it is the
+    // output or an exported value.
     let mut fanout = vec![0usize; n];
     for op in ops.ops() {
         for operand in [op.lhs, op.rhs] {
@@ -103,6 +121,11 @@ pub fn extract_tiles(ops: &OpList, max_depth: usize) -> Vec<Tile> {
     }
     if let OperandRef::Op(i) = ops.output() {
         fanout[i as usize] += 1;
+    }
+    for &export in exports {
+        if let OperandRef::Op(i) = export {
+            fanout[i as usize] += 1;
+        }
     }
 
     let mut owner: Vec<Option<usize>> = vec![None; n]; // op -> tile root

@@ -344,6 +344,9 @@ impl InputRecipe {
                     indicators.push((slot as u32, var.0, value));
                     template.push(1.0); // overwritten per query
                 }
+                // Bound by the partitioned runtime after the recipe fills the
+                // vector; NaN makes a slot the runtime missed loudly visible.
+                LeafSource::External => template.push(f64::NAN),
             }
         }
         InputRecipe {

@@ -91,7 +91,7 @@ pub use batch::{EvidenceBatch, InputRecipe, Obs};
 pub use error::SpnError;
 pub use eval::Evaluator;
 pub use evidence::Evidence;
-pub use flatten::FlatEvaluator;
+pub use flatten::{FlatEvaluator, OpListPart, PartInput};
 pub use graph::{Node, NodeId, Spn, SpnBuilder, VarId};
 pub use numeric::NumericMode;
 pub use precision::Precision;

@@ -65,5 +65,5 @@ pub use backend::{Backend, BackendError, BatchResult, ExecBuffers, Parallelism, 
 pub use cpu::{CpuCompiled, CpuConfig, CpuModel};
 pub use engine::{Engine, MapArtifact, QueryOutput};
 pub use gpu::{GpuCompiled, GpuConfig, GpuModel};
-pub use processor::ProcessorBackend;
+pub use processor::{ProcessorBackend, ProcessorScratch};
 pub use spn_processor::PerfReport;

@@ -2,46 +2,83 @@
 //!
 //! Compilation runs the full `spn-compiler` pipeline (tiling, list
 //! scheduling, bank allocation) once and caches the resulting
-//! [`CompiledArtifact`]; execution streams evidence batches through one
-//! cycle-accurate simulator instance via [`Processor::run_batch`], so the
-//! VLIW program, schedule and input recipe are all amortised across queries
-//! — the paper's deployment model.
+//! [`CompiledArtifact`]; execution streams evidence batches through a
+//! cycle-accurate [`MultiCoreProcessor`] via
+//! [`MultiCoreProcessor::run_batch_sharded`], so the VLIW program, schedule
+//! and input recipe are all amortised across queries — the paper's
+//! deployment model.
+//!
+//! The backend defaults to one core, where sharded execution is bit-for-bit
+//! (values *and* perf counters) the plain single-core batch run.  With
+//! [`ProcessorBackend::with_cores`] the same compiled program is sharded
+//! over N simulated cores behind a shared parameter memory, and the
+//! reported perf takes the makespan (the busiest core) as its cycle count.
 
 use spn_compiler::{CompiledArtifact, Compiler};
 use spn_core::batch::EvidenceBatch;
 use spn_core::flatten::OpList;
-use spn_processor::{Processor, ProcessorConfig, SimState};
+use spn_processor::{MultiCoreConfig, MultiCoreProcessor, ProcessorConfig, SimState};
 
 use crate::backend::{Backend, BackendError, BatchResult, ExecBuffers};
 
-/// Compiler plus cycle-accurate simulator for one processor configuration.
+/// Compiler plus cycle-accurate simulator for one processor configuration
+/// (optionally replicated across N cores).
 #[derive(Debug, Clone)]
 pub struct ProcessorBackend {
     compiler: Compiler,
-    processor: Processor,
+    processor: MultiCoreProcessor,
+}
+
+/// Reusable simulator storage of a [`ProcessorBackend`]: one [`SimState`]
+/// per simulated core, grown on first use.
+#[derive(Debug, Clone, Default)]
+pub struct ProcessorScratch {
+    states: Vec<SimState>,
 }
 
 impl ProcessorBackend {
-    /// Creates a backend targeting `config`.
+    /// Creates a single-core backend targeting `config`.
     ///
     /// # Errors
     ///
     /// Returns an error when the configuration is structurally invalid.
     pub fn new(config: ProcessorConfig) -> Result<Self, BackendError> {
-        let processor = Processor::new(config.clone())?;
+        ProcessorBackend::with_cores(config, 1)
+    }
+
+    /// Creates a backend simulating `cores` copies of `config` behind a
+    /// default shared memory and interconnect.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is structurally invalid or
+    /// `cores` is zero.
+    pub fn with_cores(config: ProcessorConfig, cores: usize) -> Result<Self, BackendError> {
+        ProcessorBackend::with_multi_core_config(MultiCoreConfig::new(cores, config))
+    }
+
+    /// Creates a backend from a fully explicit multi-core configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the configuration is structurally invalid.
+    pub fn with_multi_core_config(config: MultiCoreConfig) -> Result<Self, BackendError> {
+        let processor = MultiCoreProcessor::new(config.clone())?;
         Ok(ProcessorBackend {
-            compiler: Compiler::new(config),
+            compiler: Compiler::new(config.core),
             processor,
         })
     }
 
-    /// Creates a backend with an explicit compiler (custom options).
+    /// Creates a single-core backend with an explicit compiler (custom
+    /// options).
     ///
     /// # Errors
     ///
     /// Returns an error when the compiler's target configuration is invalid.
     pub fn with_compiler(compiler: Compiler) -> Result<Self, BackendError> {
-        let processor = Processor::new(compiler.config().clone())?;
+        let processor =
+            MultiCoreProcessor::new(MultiCoreConfig::new(1, compiler.config().clone()))?;
         Ok(ProcessorBackend {
             compiler,
             processor,
@@ -66,19 +103,30 @@ impl ProcessorBackend {
         ProcessorBackend::new(ProcessorConfig::pvect()).expect("pvect preset is valid")
     }
 
-    /// The processor configuration this backend targets.
+    /// The per-core processor configuration this backend targets.
     pub fn config(&self) -> &ProcessorConfig {
         self.compiler.config()
+    }
+
+    /// The full multi-core configuration (core count, shared memory,
+    /// interconnect).
+    pub fn multi_core_config(&self) -> &MultiCoreConfig {
+        self.processor.config()
+    }
+
+    /// Number of simulated cores batches are sharded over.
+    pub fn cores(&self) -> usize {
+        self.processor.config().cores
     }
 }
 
 impl Backend for ProcessorBackend {
     type Compiled = CompiledArtifact;
-    /// The simulator's reusable storage; `None` until the first batch runs.
-    type Scratch = Option<SimState>;
+    /// The simulator's reusable storage; empty until the first batch runs.
+    type Scratch = ProcessorScratch;
 
     fn name(&self) -> String {
-        self.config().name.clone()
+        self.processor.config().name()
     }
 
     fn compile(&self, ops: &OpList) -> Result<CompiledArtifact, BackendError> {
@@ -90,18 +138,17 @@ impl Backend for ProcessorBackend {
         compiled: &CompiledArtifact,
         batch: &EvidenceBatch,
         buffers: &mut ExecBuffers,
-        scratch: &mut Option<SimState>,
+        scratch: &mut ProcessorScratch,
     ) -> Result<BatchResult, BackendError> {
         compiled.fill_batch_inputs(batch, &mut buffers.inputs)?;
         // Reuse the simulator storage (register file, data memory, image
-        // buffer) across batches; run_with transparently re-sizes it when
-        // this compiled program needs more than the cached state provides.
-        let state = scratch.get_or_insert_with(|| self.processor.state_for(&compiled.program));
-        let run = self.processor.run_batch_with(
+        // buffer) across batches; the runner transparently re-sizes it when
+        // this compiled program needs more than the cached states provide.
+        let run = self.processor.run_batch_sharded(
             &compiled.program,
             &buffers.inputs,
             batch.len(),
-            state,
+            &mut scratch.states,
         )?;
         Ok(BatchResult {
             values: run.outputs,
@@ -126,7 +173,7 @@ mod tests {
         let backend = ProcessorBackend::ptree();
         let compiled = backend.compile(&ops).unwrap();
         let mut buffers = ExecBuffers::new();
-        let mut scratch = None;
+        let mut scratch = ProcessorScratch::default();
 
         let mut batch = EvidenceBatch::new(11);
         batch.push_marginal();
@@ -152,7 +199,7 @@ mod tests {
     fn cached_sim_state_survives_batches_and_resizes_for_bigger_programs() {
         let backend = ProcessorBackend::ptree();
         let mut buffers = ExecBuffers::new();
-        let mut scratch = None;
+        let mut scratch = ProcessorScratch::default();
         let mut rng = StdRng::seed_from_u64(47);
         let small = random_spn(&RandomSpnConfig::with_vars(6), &mut rng);
         let large = random_spn(&RandomSpnConfig::with_vars(40), &mut rng);
@@ -178,5 +225,37 @@ mod tests {
         assert_eq!(ProcessorBackend::ptree().config().name, "Ptree");
         assert_eq!(ProcessorBackend::pvect().config().name, "Pvect");
         assert_eq!(Backend::name(&ProcessorBackend::ptree()), "Ptree");
+        assert_eq!(ProcessorBackend::ptree().cores(), 1);
+    }
+
+    #[test]
+    fn multi_core_backend_matches_single_core_values() {
+        let mut rng = StdRng::seed_from_u64(48);
+        let spn = random_spn(&RandomSpnConfig::with_vars(10), &mut rng);
+        let ops = spn_core::flatten::OpList::from_spn(&spn);
+        let single = ProcessorBackend::ptree();
+        let quad = ProcessorBackend::with_cores(ProcessorConfig::ptree(), 4).unwrap();
+        assert_eq!(quad.cores(), 4);
+        assert_eq!(Backend::name(&quad), "Ptreex4");
+
+        let compiled_s = single.compile(&ops).unwrap();
+        let compiled_q = quad.compile(&ops).unwrap();
+        let batch = EvidenceBatch::marginals(10, 9);
+        let mut buffers = ExecBuffers::new();
+        let (mut ss, mut sq) = (ProcessorScratch::default(), ProcessorScratch::default());
+        let rs = single
+            .execute_batch(&compiled_s, &batch, &mut buffers, &mut ss)
+            .unwrap();
+        let rq = quad
+            .execute_batch(&compiled_q, &batch, &mut buffers, &mut sq)
+            .unwrap();
+        assert_eq!(rs.values.len(), rq.values.len());
+        for (a, b) in rs.values.iter().zip(&rq.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Four cores split nine queries 3/2/2/2, so the makespan is roughly
+        // a third of the serial batch.
+        assert!(rq.perf.cycles < rs.perf.cycles);
+        assert_eq!(rq.perf.queries, 9);
     }
 }

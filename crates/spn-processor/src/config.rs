@@ -12,6 +12,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::ProcessorError;
+use crate::interconnect::{InterconnectConfig, SharedMemoryConfig};
 use crate::Result;
 
 /// Position of a processing element inside the datapath.
@@ -91,6 +92,9 @@ impl ProcessorConfig {
         }
         if self.tree_levels == 0 {
             return fail("at least one PE level is required");
+        }
+        if self.leaf_pes_per_tree == 0 {
+            return fail("at least one leaf PE per tree is required");
         }
         if !self.leaf_pes_per_tree.is_power_of_two() {
             return fail("leaf PEs per tree must be a power of two");
@@ -189,6 +193,72 @@ impl ProcessorConfig {
 impl Default for ProcessorConfig {
     fn default() -> Self {
         ProcessorConfig::ptree()
+    }
+}
+
+/// Geometry of an N-core SPN processor: `cores` identical single-core
+/// datapaths ([`MultiCoreConfig::core`]) behind a shared parameter memory
+/// and a linear inter-core interconnect.
+///
+/// The multi-core simulator ([`crate::multicore::MultiCoreProcessor`])
+/// executes compiled programs in two modes — batch-sharded (every core runs
+/// the full program on a slice of the evidence batch) and partitioned
+/// (the flattened op list is split across cores and intermediate operands
+/// travel over the interconnect) — and attributes cycles per core to
+/// compute, memory stalls and interconnect stalls.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiCoreConfig {
+    /// Number of cores (must be at least 1).
+    pub cores: usize,
+    /// The per-core datapath, shared by all cores.
+    pub core: ProcessorConfig,
+    /// Latency model of the inter-core interconnect.
+    pub interconnect: InterconnectConfig,
+    /// Port model of the shared parameter memory.
+    pub shared_memory: SharedMemoryConfig,
+}
+
+impl MultiCoreConfig {
+    /// A multi-core configuration with `cores` copies of `core` and the
+    /// default interconnect / shared-memory models.
+    pub fn new(cores: usize, core: ProcessorConfig) -> Self {
+        MultiCoreConfig {
+            cores,
+            core,
+            interconnect: InterconnectConfig::default(),
+            shared_memory: SharedMemoryConfig::default(),
+        }
+    }
+
+    /// Validates the configuration, including the per-core datapath.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessorError::InvalidConfig`] describing the first
+    /// inconsistency found (zero cores, zero shared-memory ports, or an
+    /// invalid per-core configuration).
+    pub fn validate(&self) -> Result<()> {
+        if self.cores == 0 {
+            return Err(ProcessorError::InvalidConfig {
+                reason: "at least one core is required".to_string(),
+            });
+        }
+        if self.shared_memory.ports == 0 {
+            return Err(ProcessorError::InvalidConfig {
+                reason: "shared memory needs at least one port".to_string(),
+            });
+        }
+        self.core.validate()
+    }
+
+    /// Report name of the configuration: the core name for one core,
+    /// `"<core>x<cores>"` otherwise (e.g. `Ptreex4`).
+    pub fn name(&self) -> String {
+        if self.cores == 1 {
+            self.core.name.clone()
+        } else {
+            format!("{}x{}", self.core.name, self.cores)
+        }
     }
 }
 
@@ -319,5 +389,45 @@ mod tests {
     #[test]
     fn default_is_ptree() {
         assert_eq!(ProcessorConfig::default(), ProcessorConfig::ptree());
+    }
+
+    #[test]
+    fn zero_pes_and_zero_cores_are_structured_errors() {
+        // A zero-PE core must be rejected with a clear reason instead of
+        // being mislabelled as "not a power of two" (or panicking later in
+        // tree construction).
+        let mut cfg = ProcessorConfig::ptree();
+        cfg.leaf_pes_per_tree = 0;
+        match cfg.validate() {
+            Err(ProcessorError::InvalidConfig { reason }) => {
+                assert!(reason.contains("leaf PE"), "unexpected reason: {reason}")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+
+        let mc = MultiCoreConfig::new(0, ProcessorConfig::ptree());
+        match mc.validate() {
+            Err(ProcessorError::InvalidConfig { reason }) => {
+                assert!(reason.contains("core"), "unexpected reason: {reason}")
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+
+        let mut mc = MultiCoreConfig::new(2, ProcessorConfig::ptree());
+        mc.shared_memory.ports = 0;
+        assert!(mc.validate().is_err());
+
+        // An invalid per-core config propagates through the multi-core check.
+        let mut bad_core = ProcessorConfig::ptree();
+        bad_core.leaf_pes_per_tree = 0;
+        assert!(MultiCoreConfig::new(2, bad_core).validate().is_err());
+    }
+
+    #[test]
+    fn multicore_name_appends_core_count() {
+        let cfg = MultiCoreConfig::new(1, ProcessorConfig::ptree());
+        assert_eq!(cfg.name(), "Ptree");
+        let cfg = MultiCoreConfig::new(4, ProcessorConfig::ptree());
+        assert_eq!(cfg.name(), "Ptreex4");
     }
 }

@@ -37,19 +37,27 @@ mod error;
 
 pub mod config;
 pub mod datamem;
+pub mod interconnect;
 pub mod isa;
+pub mod multicore;
 pub mod perf;
 pub mod precision;
 pub mod processor;
 pub mod regfile;
+pub mod trace;
 pub mod tree;
 
-pub use config::{PePosition, ProcessorConfig};
+pub use config::{MultiCoreConfig, PePosition, ProcessorConfig};
 pub use error::ProcessorError;
+pub use interconnect::{InterconnectConfig, SharedMemoryConfig};
 pub use isa::{Instruction, MemOp, PeOp, Program, ReadSel, TreeInstr, WriteCmd};
-pub use perf::PerfReport;
+pub use multicore::{
+    CoreProgram, MultiCoreBatch, MultiCoreProcessor, PartitionedProgram, TransferSource,
+};
+pub use perf::{CorePerf, MultiCorePerf, PerfReport};
 pub use precision::Precision;
 pub use processor::{BatchExecution, ExecutionResult, Processor, SimState};
+pub use trace::{diff_traces, NoTrace, TraceDivergence, TraceEvent, TraceHook, TraceRecorder};
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T, E = ProcessorError> = std::result::Result<T, E>;

@@ -1,0 +1,774 @@
+//! The N-core processor simulator.
+//!
+//! [`MultiCoreProcessor`] executes compiled programs on
+//! [`MultiCoreConfig::cores`] identical single-core datapaths behind a
+//! shared parameter memory and a linear interconnect
+//! (see [`crate::interconnect`]).  Two execution modes cover the paper's
+//! scaling story:
+//!
+//! * **Batch-sharded** ([`MultiCoreProcessor::run_batch_sharded`]): every
+//!   core runs the *full* program on a contiguous shard of the evidence
+//!   batch (the same shard split as `spn-platforms`' host-thread
+//!   parallelism, so outputs are bit-for-bit equal to the single-core batch
+//!   order).  Cores contend for the shared parameter memory: under lockstep
+//!   wave arbitration core `c` pays `c / ports` extra cycles per memory
+//!   transaction.  The makespan is the busiest core's cycle count.
+//! * **Pipelined / partitioned** ([`MultiCoreProcessor::run_partitioned`]):
+//!   the flattened op list is split into pipeline stages, one per core
+//!   ([`PartitionedProgram`], produced by
+//!   `spn_compiler::Compiler::compile_partitioned`), and intermediate
+//!   operands travel over the interconnect.  Stage `j` starts once the
+//!   last imported operand has arrived (`start_j = max_k(start_k +
+//!   cycles_k + latency(k→j))`); queries then stream at an initiation
+//!   interval of `max_j cycles_j`, so the batch makespan is
+//!   `finish(first query) + (Q-1) × II`.
+//!
+//! Both modes return a [`MultiCoreBatch`] whose [`MultiCorePerf`] attributes
+//! every makespan cycle of every core to compute, memory stalls,
+//! interconnect stalls or idle time — an exact partition that
+//! [`MultiCorePerf::check_accounting`] verifies.  Both modes also exist in
+//! `_traced` variants that record per-cycle golden traces on the global
+//! timeline (stage starts and steady-state offsets included), so a change
+//! to any latency model moves trace rows and is caught at the first
+//! divergent cycle by `crate::trace::diff_traces`.
+
+use crate::config::MultiCoreConfig;
+use crate::error::ProcessorError;
+use crate::isa::Program;
+use crate::perf::{CorePerf, MultiCorePerf, PerfReport};
+use crate::processor::{Processor, SimState};
+use crate::trace::{NoTrace, TraceHook, TraceRecorder};
+use crate::Result;
+
+/// Where one input slot of a pipeline stage's program gets its value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransferSource {
+    /// Global program input `index` (filled from the evidence batch).
+    Input(u32),
+    /// Export `export` of the stage running on `core` (an earlier stage),
+    /// delivered over the interconnect.
+    Core {
+        /// Producing core (must be an earlier stage).
+        core: u32,
+        /// Index into that stage's [`Program::exports`].
+        export: u32,
+    },
+}
+
+/// One pipeline stage of a partitioned program: the compiled sub-program a
+/// core runs plus the source of each of its input slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreProgram {
+    /// The stage's compiled program (its [`Program::exports`] are the
+    /// operands later stages import).
+    pub program: Program,
+    /// One entry per input slot of `program`, in input-layout order.
+    pub inputs: Vec<TransferSource>,
+}
+
+/// A program partitioned into pipeline stages, one per core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionedProgram {
+    /// The stages in pipeline order; stage `j` runs on core `j`.
+    pub stages: Vec<CoreProgram>,
+    /// Number of global program inputs ([`TransferSource::Input`] indices
+    /// range over `0..num_inputs`).
+    pub num_inputs: usize,
+}
+
+impl PartitionedProgram {
+    /// Validates the stage graph against a machine with `cores` cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessorError::InvalidConfig`] when there are no stages or
+    /// more stages than cores, when a transfer references a global input or
+    /// an export out of range or a non-earlier core, or when a non-final
+    /// stage feeds no later stage (its cycles could never overlap the
+    /// pipeline, breaking cycle accounting).
+    pub fn validate(&self, cores: usize) -> Result<()> {
+        let fail = |reason: String| Err(ProcessorError::InvalidConfig { reason });
+        if self.stages.is_empty() {
+            return fail("partitioned program has no stages".to_string());
+        }
+        if self.stages.len() > cores {
+            return fail(format!(
+                "partitioned program has {} stages but the machine has {} cores",
+                self.stages.len(),
+                cores
+            ));
+        }
+        let mut feeds_later = vec![false; self.stages.len()];
+        for (j, stage) in self.stages.iter().enumerate() {
+            if stage.inputs.len() != stage.program.input_layout.len() {
+                return fail(format!(
+                    "stage {j} declares {} transfer sources for {} program inputs",
+                    stage.inputs.len(),
+                    stage.program.input_layout.len()
+                ));
+            }
+            for src in &stage.inputs {
+                match *src {
+                    TransferSource::Input(i) => {
+                        if i as usize >= self.num_inputs {
+                            return fail(format!(
+                                "stage {j} reads global input {i} of {}",
+                                self.num_inputs
+                            ));
+                        }
+                    }
+                    TransferSource::Core { core, export } => {
+                        let k = core as usize;
+                        if k >= j {
+                            return fail(format!(
+                                "stage {j} imports from core {k}, which is not an earlier stage"
+                            ));
+                        }
+                        if export as usize >= self.stages[k].program.exports.len() {
+                            return fail(format!(
+                                "stage {j} imports export {export} of stage {k}, which has {}",
+                                self.stages[k].program.exports.len()
+                            ));
+                        }
+                        feeds_later[k] = true;
+                    }
+                }
+            }
+        }
+        for (j, feeds) in feeds_later.iter().enumerate().take(self.stages.len() - 1) {
+            if !feeds {
+                return fail(format!("stage {j} feeds no later stage"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of a multi-core batch execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiCoreBatch {
+    /// One SPN root value per query, in batch order.
+    pub outputs: Vec<f64>,
+    /// Batch-level report: summed work counters, makespan cycles
+    /// (see [`MultiCorePerf::merged`]).
+    pub perf: PerfReport,
+    /// Per-core cycle attribution.
+    pub cores: MultiCorePerf,
+}
+
+/// The N-core SPN processor simulator.
+#[derive(Debug, Clone)]
+pub struct MultiCoreProcessor {
+    config: MultiCoreConfig,
+    core: Processor,
+}
+
+impl MultiCoreProcessor {
+    /// Creates a multi-core processor for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProcessorError::InvalidConfig`] when the configuration is
+    /// inconsistent (zero cores, zero shared-memory ports, or an invalid
+    /// per-core datapath).
+    pub fn new(config: MultiCoreConfig) -> Result<Self> {
+        config.validate()?;
+        let core = Processor::new(config.core.clone())?;
+        Ok(MultiCoreProcessor { config, core })
+    }
+
+    /// The configuration this processor simulates.
+    pub fn config(&self) -> &MultiCoreConfig {
+        &self.config
+    }
+
+    /// The single-core simulator each core runs.
+    pub fn core(&self) -> &Processor {
+        &self.core
+    }
+
+    /// One reusable [`SimState`] per core, sized for `program`.
+    pub fn states_for(&self, program: &Program) -> Vec<SimState> {
+        (0..self.config.cores)
+            .map(|_| self.core.state_for(program))
+            .collect()
+    }
+
+    /// The contiguous shard ranges batch-sharded execution assigns to each
+    /// core: `queries / cores` queries per core, the first `queries % cores`
+    /// cores taking one extra.  This is the same split as host-thread
+    /// parallelism in `spn-platforms`, so shard outputs concatenate to the
+    /// exact serial batch order.
+    pub fn shard_ranges(cores: usize, queries: usize) -> Vec<std::ops::Range<usize>> {
+        let cores = cores.max(1);
+        let base = queries / cores;
+        let remainder = queries % cores;
+        let mut start = 0;
+        (0..cores)
+            .map(|i| {
+                let len = base + usize::from(i < remainder);
+                let range = start..start + len;
+                start += len;
+                range
+            })
+            .collect()
+    }
+
+    fn check_hooks(&self, hooks: usize, needed: usize) -> Result<()> {
+        if hooks < needed {
+            return Err(ProcessorError::InvalidConfig {
+                reason: format!("{hooks} trace recorders for {needed} cores"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Executes `program` over a batch, sharding the queries across cores.
+    ///
+    /// `flat_inputs` holds `queries` consecutive input vectors, exactly as
+    /// for [`Processor::run_batch_with`]; `states` is resized to one
+    /// [`SimState`] per core when it does not fit.  Outputs are in batch
+    /// order, bit-for-bit equal to a single-core run.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Processor::run_batch_with`].
+    pub fn run_batch_sharded(
+        &self,
+        program: &Program,
+        flat_inputs: &[f64],
+        queries: usize,
+        states: &mut Vec<SimState>,
+    ) -> Result<MultiCoreBatch> {
+        let mut hooks = vec![NoTrace; self.config.cores];
+        self.run_batch_sharded_with_hooks(program, flat_inputs, queries, states, &mut hooks)
+    }
+
+    /// [`MultiCoreProcessor::run_batch_sharded`] with one trace recorder per
+    /// core (`recorders[c]` collects core `c`'s per-cycle events, with a
+    /// query marker before each query).  Queries are rebased onto the
+    /// core's cumulative shard timeline — compute plus modeled
+    /// shared-memory stalls of the preceding queries — so both schedule and
+    /// contention changes move recorded cycles.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MultiCoreProcessor::run_batch_sharded`], plus
+    /// [`ProcessorError::InvalidConfig`] when fewer recorders than cores are
+    /// supplied.
+    pub fn run_batch_sharded_traced(
+        &self,
+        program: &Program,
+        flat_inputs: &[f64],
+        queries: usize,
+        states: &mut Vec<SimState>,
+        recorders: &mut [TraceRecorder],
+    ) -> Result<MultiCoreBatch> {
+        self.check_hooks(recorders.len(), self.config.cores)?;
+        self.run_batch_sharded_with_hooks(program, flat_inputs, queries, states, recorders)
+    }
+
+    fn run_batch_sharded_with_hooks<H: TraceHook>(
+        &self,
+        program: &Program,
+        flat_inputs: &[f64],
+        queries: usize,
+        states: &mut Vec<SimState>,
+        hooks: &mut [H],
+    ) -> Result<MultiCoreBatch> {
+        let per_query = program.input_layout.len();
+        if flat_inputs.len() != queries * per_query {
+            return Err(ProcessorError::InputMismatch {
+                expected: queries * per_query,
+                got: flat_inputs.len(),
+            });
+        }
+        if states.len() != self.config.cores {
+            *states = self.states_for(program);
+        }
+        let ranges = Self::shard_ranges(self.config.cores, queries);
+        let mut outputs = Vec::with_capacity(queries);
+        let mut per_core = Vec::with_capacity(self.config.cores);
+        for (c, range) in ranges.iter().enumerate() {
+            let hook = &mut hooks[c];
+            let mut work = PerfReport::default();
+            for q in range.clone() {
+                if H::ENABLED {
+                    hook.on_query(q as u64);
+                    // Place this query on the core's cumulative timeline:
+                    // compute cycles plus the modeled wave-arbitration
+                    // stalls of every earlier query in the shard, so a
+                    // contention-model change shifts recorded cycles.
+                    let transactions = work.memory_loads + work.memory_stores;
+                    hook.rebase(
+                        work.cycles + self.config.shared_memory.wave_penalty(c) * transactions,
+                    );
+                }
+                let inputs = &flat_inputs[q * per_query..(q + 1) * per_query];
+                let run = self
+                    .core
+                    .run_with_hook(program, inputs, &mut states[c], hook)?;
+                outputs.push(run.output);
+                work.merge(&run.perf);
+            }
+            if work.platform.is_empty() {
+                work.platform.clone_from(&self.config.core.name);
+            }
+            let transactions = work.memory_loads + work.memory_stores;
+            per_core.push(CorePerf {
+                core: c,
+                compute_cycles: work.cycles,
+                memory_stall_cycles: self.config.shared_memory.wave_penalty(c) * transactions,
+                interconnect_stall_cycles: 0,
+                idle_cycles: 0,
+                work,
+            });
+        }
+        let makespan = per_core
+            .iter()
+            .map(CorePerf::busy_cycles)
+            .max()
+            .unwrap_or(0);
+        for core in &mut per_core {
+            core.idle_cycles = makespan - core.busy_cycles();
+        }
+        let cores = MultiCorePerf {
+            makespan_cycles: makespan,
+            per_core,
+        };
+        let perf = cores.merged(&self.config.name(), queries as u64);
+        Ok(MultiCoreBatch {
+            outputs,
+            perf,
+            cores,
+        })
+    }
+
+    /// Executes a partitioned program over a batch, pipelining the stages
+    /// across cores.
+    ///
+    /// `flat_inputs` holds `queries` consecutive *global* input vectors
+    /// ([`PartitionedProgram::num_inputs`] values each); stage-to-stage
+    /// operands are forwarded in-process and their interconnect latency is
+    /// folded into the timing model.  Outputs are the final stage's root
+    /// values, bit-for-bit equal to running the unpartitioned program.
+    ///
+    /// # Errors
+    ///
+    /// Any [`PartitionedProgram::validate`] error, plus the single-core
+    /// errors of each stage's program.
+    pub fn run_partitioned(
+        &self,
+        parts: &PartitionedProgram,
+        flat_inputs: &[f64],
+        queries: usize,
+        states: &mut Vec<SimState>,
+    ) -> Result<MultiCoreBatch> {
+        let mut hooks = vec![NoTrace; self.config.cores];
+        self.run_partitioned_with_hooks(parts, flat_inputs, queries, states, &mut hooks)
+    }
+
+    /// [`MultiCoreProcessor::run_partitioned`] with one trace recorder per
+    /// core.  Each stage's events are rebased onto the global pipeline
+    /// timeline (`start_j + q × II`), so any change to stage cycles or
+    /// interconnect latency shifts the recorded cycles and is caught by the
+    /// trace differ.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MultiCoreProcessor::run_partitioned`], plus
+    /// [`ProcessorError::InvalidConfig`] when fewer recorders than stages
+    /// are supplied.
+    pub fn run_partitioned_traced(
+        &self,
+        parts: &PartitionedProgram,
+        flat_inputs: &[f64],
+        queries: usize,
+        states: &mut Vec<SimState>,
+        recorders: &mut [TraceRecorder],
+    ) -> Result<MultiCoreBatch> {
+        self.check_hooks(recorders.len(), parts.stages.len())?;
+        self.run_partitioned_with_hooks(parts, flat_inputs, queries, states, recorders)
+    }
+
+    fn run_partitioned_with_hooks<H: TraceHook>(
+        &self,
+        parts: &PartitionedProgram,
+        flat_inputs: &[f64],
+        queries: usize,
+        states: &mut Vec<SimState>,
+        hooks: &mut [H],
+    ) -> Result<MultiCoreBatch> {
+        parts.validate(self.config.cores)?;
+        let stages = &parts.stages;
+        let num_stages = stages.len();
+        if flat_inputs.len() != queries * parts.num_inputs {
+            return Err(ProcessorError::InputMismatch {
+                expected: queries * parts.num_inputs,
+                got: flat_inputs.len(),
+            });
+        }
+        if states.len() < num_stages {
+            *states = stages
+                .iter()
+                .map(|stage| self.core.state_for(&stage.program))
+                .collect();
+        }
+
+        // Calibration pass: one zero-input run per stage pins the
+        // data-independent per-query cycle count, from which the pipeline
+        // schedule (stage starts, initiation interval) is derived before
+        // any traced query executes.
+        let mut stage_cycles = vec![0u64; num_stages];
+        for (j, stage) in stages.iter().enumerate() {
+            let zeros = vec![0.0; stage.program.input_layout.len()];
+            let run = self.core.run_with(&stage.program, &zeros, &mut states[j])?;
+            let transactions = run.perf.memory_loads + run.perf.memory_stores;
+            stage_cycles[j] =
+                run.perf.cycles + self.config.shared_memory.wave_penalty(j) * transactions;
+        }
+        let mut starts = vec![0u64; num_stages];
+        let mut exposed_transfer = vec![0u64; num_stages];
+        for j in 0..num_stages {
+            let mut start = 0u64;
+            let mut producers_done = 0u64;
+            for src in &stages[j].inputs {
+                if let TransferSource::Core { core, .. } = *src {
+                    let k = core as usize;
+                    let finish = starts[k] + stage_cycles[k];
+                    start = start.max(finish + self.config.interconnect.latency(k, j));
+                    producers_done = producers_done.max(finish);
+                }
+            }
+            starts[j] = start;
+            // The wait beyond "all producers finished" is transfer latency
+            // exposed once at pipeline fill; steady-state transfers overlap
+            // with the previous query's compute.
+            exposed_transfer[j] = start - producers_done;
+        }
+        let ii = stage_cycles.iter().copied().max().unwrap_or(0);
+
+        let mut outputs = Vec::with_capacity(queries);
+        let mut work: Vec<PerfReport> = vec![PerfReport::default(); num_stages];
+        let mut exports: Vec<Vec<f64>> = vec![Vec::new(); num_stages];
+        let mut local_inputs: Vec<f64> = Vec::new();
+        for q in 0..queries {
+            let global = &flat_inputs[q * parts.num_inputs..(q + 1) * parts.num_inputs];
+            for (j, stage) in stages.iter().enumerate() {
+                local_inputs.clear();
+                for src in &stage.inputs {
+                    local_inputs.push(match *src {
+                        TransferSource::Input(i) => global[i as usize],
+                        TransferSource::Core { core, export } => {
+                            exports[core as usize][export as usize]
+                        }
+                    });
+                }
+                let hook = &mut hooks[j];
+                if H::ENABLED {
+                    hook.on_query(q as u64);
+                    hook.rebase(starts[j] + q as u64 * ii);
+                }
+                let run =
+                    self.core
+                        .run_with_hook(&stage.program, &local_inputs, &mut states[j], hook)?;
+                exports[j] = run.exports;
+                work[j].merge(&run.perf);
+                if j == num_stages - 1 {
+                    outputs.push(run.output);
+                }
+            }
+        }
+
+        let makespan = if queries == 0 {
+            0
+        } else {
+            starts[num_stages - 1] + stage_cycles[num_stages - 1] + (queries as u64 - 1) * ii
+        };
+        let mut per_core = Vec::with_capacity(self.config.cores);
+        for (j, mut work) in work.into_iter().enumerate() {
+            if work.platform.is_empty() {
+                work.platform.clone_from(&self.config.core.name);
+            }
+            let transactions = work.memory_loads + work.memory_stores;
+            let memory_stall = self.config.shared_memory.wave_penalty(j) * transactions;
+            let mut core = CorePerf {
+                core: j,
+                compute_cycles: work.cycles,
+                memory_stall_cycles: memory_stall,
+                interconnect_stall_cycles: if queries == 0 { 0 } else { exposed_transfer[j] },
+                idle_cycles: 0,
+                work,
+            };
+            core.idle_cycles = makespan.saturating_sub(core.busy_cycles());
+            per_core.push(core);
+        }
+        for j in num_stages..self.config.cores {
+            per_core.push(CorePerf {
+                core: j,
+                idle_cycles: makespan,
+                ..CorePerf::default()
+            });
+        }
+        let cores = MultiCorePerf {
+            makespan_cycles: makespan,
+            per_core,
+        };
+        let perf = cores.merged(&self.config.name(), queries as u64);
+        Ok(MultiCoreBatch {
+            outputs,
+            perf,
+            cores,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ProcessorConfig;
+    use crate::isa::{
+        InputSlot, Instruction, MemOp, PeOp, ReadSel, TreeInstr, ValueLocation, WriteCmd,
+    };
+    use crate::precision::Precision;
+
+    fn cfg() -> ProcessorConfig {
+        ProcessorConfig::ptree()
+    }
+
+    /// Loads (a, b, c, d) from row 0 and computes (a + b) × (c + d).
+    fn sum_of_products_program() -> Program {
+        let config = cfg();
+        let mut load = Instruction::nop(&config);
+        load.mem = MemOp::Load { row: 0, reg: 0 };
+        let mut compute = Instruction::nop(&config);
+        {
+            let tree = &mut compute.trees[0];
+            for (i, sel) in tree.reads.iter_mut().enumerate().take(4) {
+                *sel = ReadSel::Reg {
+                    bank: i as u16,
+                    reg: 0,
+                };
+            }
+            tree.pe_ops[TreeInstr::pe_flat_index(&config, 0, 0)] = PeOp::Add;
+            tree.pe_ops[TreeInstr::pe_flat_index(&config, 0, 1)] = PeOp::Add;
+            tree.pe_ops[TreeInstr::pe_flat_index(&config, 1, 0)] = PeOp::Mul;
+            tree.writes.push(WriteCmd {
+                level: 1,
+                pe: 0,
+                bank: 0,
+                reg: 1,
+            });
+        }
+        Program {
+            config,
+            instructions: vec![load, compute],
+            input_layout: (0..4).map(|lane| InputSlot { row: 0, lane }).collect(),
+            memory_rows_used: 1,
+            output: ValueLocation::Register { bank: 0, reg: 1 },
+            exports: Vec::new(),
+            num_source_ops: 3,
+            pe_precision: Precision::F64,
+        }
+    }
+
+    /// Two-stage pipeline computing (a + b) × c: stage 0 exports a + b,
+    /// stage 1 multiplies the import by global input c.
+    fn two_stage_pipeline() -> PartitionedProgram {
+        let config = cfg();
+        // Stage 0: load (a, b), add, export the sum.
+        let mut load = Instruction::nop(&config);
+        load.mem = MemOp::Load { row: 0, reg: 0 };
+        let mut compute = Instruction::nop(&config);
+        compute.trees[0].reads[0] = ReadSel::Reg { bank: 0, reg: 0 };
+        compute.trees[0].reads[1] = ReadSel::Reg { bank: 1, reg: 0 };
+        compute.trees[0].pe_ops[TreeInstr::pe_flat_index(&config, 0, 0)] = PeOp::Add;
+        compute.trees[0].writes.push(WriteCmd {
+            level: 0,
+            pe: 0,
+            bank: 0,
+            reg: 1,
+        });
+        let stage0 = CoreProgram {
+            program: Program {
+                config: config.clone(),
+                instructions: vec![load.clone(), compute],
+                input_layout: vec![InputSlot { row: 0, lane: 0 }, InputSlot { row: 0, lane: 1 }],
+                memory_rows_used: 1,
+                output: ValueLocation::Register { bank: 0, reg: 1 },
+                exports: vec![ValueLocation::Register { bank: 0, reg: 1 }],
+                num_source_ops: 1,
+                pe_precision: Precision::F64,
+            },
+            inputs: vec![TransferSource::Input(0), TransferSource::Input(1)],
+        };
+        // Stage 1: load (sum, c), multiply.
+        let mut compute = Instruction::nop(&config);
+        compute.trees[0].reads[0] = ReadSel::Reg { bank: 0, reg: 0 };
+        compute.trees[0].reads[1] = ReadSel::Reg { bank: 1, reg: 0 };
+        compute.trees[0].pe_ops[TreeInstr::pe_flat_index(&config, 0, 0)] = PeOp::Mul;
+        compute.trees[0].writes.push(WriteCmd {
+            level: 0,
+            pe: 0,
+            bank: 1,
+            reg: 1,
+        });
+        let stage1 = CoreProgram {
+            program: Program {
+                config: config.clone(),
+                instructions: vec![load, compute],
+                input_layout: vec![InputSlot { row: 0, lane: 0 }, InputSlot { row: 0, lane: 1 }],
+                memory_rows_used: 1,
+                output: ValueLocation::Register { bank: 1, reg: 1 },
+                exports: Vec::new(),
+                num_source_ops: 1,
+                pe_precision: Precision::F64,
+            },
+            inputs: vec![
+                TransferSource::Core { core: 0, export: 0 },
+                TransferSource::Input(2),
+            ],
+        };
+        PartitionedProgram {
+            stages: vec![stage0, stage1],
+            num_inputs: 3,
+        }
+    }
+
+    #[test]
+    fn sharded_outputs_match_single_core_batch() {
+        let program = sum_of_products_program();
+        let flat: Vec<f64> = (0..20).map(|i| i as f64 + 0.5).collect(); // 5 queries
+        let single = Processor::new(cfg()).unwrap();
+        let serial = single.run_batch(&program, &flat, 5).unwrap();
+        for cores in [1usize, 2, 3, 4] {
+            let mc = MultiCoreProcessor::new(MultiCoreConfig::new(cores, cfg())).unwrap();
+            let mut states = Vec::new();
+            let batch = mc
+                .run_batch_sharded(&program, &flat, 5, &mut states)
+                .unwrap();
+            assert_eq!(batch.outputs, serial.outputs, "{cores} cores");
+            assert_eq!(batch.perf.source_ops, serial.perf.source_ops);
+            assert_eq!(batch.perf.memory_loads, serial.perf.memory_loads);
+            assert_eq!(batch.perf.queries, 5);
+            batch.cores.check_accounting().unwrap();
+            assert!(batch.perf.cycles <= serial.perf.cycles);
+            if cores == 1 {
+                assert_eq!(batch.perf, serial.perf);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_memory_contention_scales_with_wave() {
+        let program = sum_of_products_program();
+        let flat: Vec<f64> = vec![1.0; 16]; // 4 queries
+        let mut config = MultiCoreConfig::new(4, cfg());
+        config.shared_memory.ports = 1;
+        let mc = MultiCoreProcessor::new(config).unwrap();
+        let mut states = Vec::new();
+        let batch = mc
+            .run_batch_sharded(&program, &flat, 4, &mut states)
+            .unwrap();
+        // One load per query, one query per core: core c stalls c cycles.
+        for (c, core) in batch.cores.per_core.iter().enumerate() {
+            assert_eq!(core.memory_stall_cycles, c as u64);
+        }
+        batch.cores.check_accounting().unwrap();
+        assert_eq!(
+            batch.cores.makespan_cycles,
+            batch.cores.per_core[3].busy_cycles()
+        );
+    }
+
+    #[test]
+    fn partitioned_pipeline_computes_and_accounts() {
+        let parts = two_stage_pipeline();
+        let mc = MultiCoreProcessor::new(MultiCoreConfig::new(2, cfg())).unwrap();
+        let mut states = Vec::new();
+        let flat: Vec<f64> = [[1.0, 2.0, 3.0], [0.5, 0.25, 4.0], [10.0, -1.0, 2.0]].concat();
+        let batch = mc.run_partitioned(&parts, &flat, 3, &mut states).unwrap();
+        assert_eq!(batch.outputs, vec![9.0, 3.0, 18.0]);
+        batch.cores.check_accounting().unwrap();
+        // Stage 0 takes 2 cycles (load, compute; leaf commits same cycle);
+        // stage 1 takes 3 (plus one shared-memory wave cycle on its load)
+        // and starts after stage 0 finishes plus the 0→1 transfer
+        // (2 setup + 1 hop).  The slowest stage sets the initiation
+        // interval.
+        let ii = 3;
+        let start1 = 2 + 3;
+        assert_eq!(batch.cores.makespan_cycles, start1 + 3 + (3 - 1) * ii);
+        assert_eq!(batch.cores.per_core[0].interconnect_stall_cycles, 0);
+        assert_eq!(batch.cores.per_core[1].interconnect_stall_cycles, 3);
+        assert_eq!(batch.perf.queries, 3);
+        assert_eq!(batch.perf.source_ops, 2 * 3);
+    }
+
+    #[test]
+    fn partitioned_traces_sit_on_the_global_timeline() {
+        let parts = two_stage_pipeline();
+        let mc = MultiCoreProcessor::new(MultiCoreConfig::new(2, cfg())).unwrap();
+        let mut states = Vec::new();
+        let mut recorders = vec![TraceRecorder::new(0), TraceRecorder::new(1)];
+        let flat = vec![1.0, 2.0, 3.0];
+        mc.run_partitioned_traced(&parts, &flat, 1, &mut states, &mut recorders)
+            .unwrap();
+        let stage1 = recorders[1].render();
+        // Stage 1 starts at global cycle 5 (stage 0 cycles + transfer).
+        assert!(stage1.contains("C00005 core=1 mem load"), "{stage1}");
+        // A slower interconnect shifts stage 1's rows — the divergence the
+        // golden-trace suite pins.
+        let mut config = MultiCoreConfig::new(2, cfg());
+        config.interconnect.hop_latency += 2;
+        let slow = MultiCoreProcessor::new(config).unwrap();
+        let mut slow_recorders = vec![TraceRecorder::new(0), TraceRecorder::new(1)];
+        slow.run_partitioned_traced(&parts, &flat, 1, &mut Vec::new(), &mut slow_recorders)
+            .unwrap();
+        let divergence = crate::trace::diff_traces(&stage1, &slow_recorders[1].render()).unwrap();
+        assert_eq!(divergence.line, 2); // query marker matches, first row moves
+        assert_eq!(divergence.cycle, Some(5));
+    }
+
+    #[test]
+    fn malformed_partitions_are_rejected() {
+        let mc = MultiCoreProcessor::new(MultiCoreConfig::new(2, cfg())).unwrap();
+        let parts = two_stage_pipeline();
+        // More stages than cores.
+        let single = MultiCoreProcessor::new(MultiCoreConfig::new(1, cfg())).unwrap();
+        assert!(matches!(
+            single.run_partitioned(&parts, &[0.0; 3], 1, &mut Vec::new()),
+            Err(ProcessorError::InvalidConfig { .. })
+        ));
+        // Import from a non-earlier core.
+        let mut bad = two_stage_pipeline();
+        bad.stages[1].inputs[0] = TransferSource::Core { core: 1, export: 0 };
+        assert!(bad.validate(2).is_err());
+        // Export index out of range.
+        let mut bad = two_stage_pipeline();
+        bad.stages[1].inputs[0] = TransferSource::Core { core: 0, export: 9 };
+        assert!(bad.validate(2).is_err());
+        // Global input out of range.
+        let mut bad = two_stage_pipeline();
+        bad.stages[0].inputs[0] = TransferSource::Input(7);
+        assert!(bad.validate(2).is_err());
+        // A dangling non-final stage breaks pipeline accounting.
+        let mut bad = two_stage_pipeline();
+        bad.stages[1].inputs[0] = TransferSource::Input(0);
+        assert!(bad.validate(2).is_err());
+        // The good pipeline passes on the 2-core machine.
+        let flat = vec![1.0, 2.0, 3.0];
+        assert!(mc
+            .run_partitioned(&parts, &flat, 1, &mut Vec::new())
+            .is_ok());
+    }
+
+    #[test]
+    fn shard_ranges_are_contiguous_and_balanced() {
+        let ranges = MultiCoreProcessor::shard_ranges(3, 8);
+        assert_eq!(ranges, vec![0..3, 3..6, 6..8]);
+        assert_eq!(
+            MultiCoreProcessor::shard_ranges(4, 2),
+            vec![0..1, 1..2, 2..2, 2..2]
+        );
+    }
+}

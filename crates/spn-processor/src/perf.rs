@@ -112,6 +112,130 @@ impl PerfReport {
     }
 }
 
+/// Cycle attribution of one core of a multi-core run.
+///
+/// The four cycle classes partition the makespan exactly:
+/// `compute + memory stall + interconnect stall + idle = makespan`
+/// ([`MultiCorePerf::check_accounting`] verifies this, and a property test
+/// pins it for random workloads).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct CorePerf {
+    /// Core index.
+    pub core: usize,
+    /// Cycles the core spent executing instructions (including the
+    /// program's own stall slots and pipeline drain).
+    pub compute_cycles: u64,
+    /// Cycles lost to shared-parameter-memory port contention.
+    pub memory_stall_cycles: u64,
+    /// Cycles exposed waiting on in-flight inter-core transfers (pipeline
+    /// fill; steady-state transfers overlap with compute).
+    pub interconnect_stall_cycles: u64,
+    /// Cycles the core sat idle (no shard left, or waiting for an upstream
+    /// pipeline stage beyond the exposed transfer latency).
+    pub idle_cycles: u64,
+    /// The core's ordinary work counters (its queries, issued ops, memory
+    /// traffic, ...); `work.cycles` equals `compute_cycles`.
+    pub work: PerfReport,
+}
+
+impl CorePerf {
+    /// Cycles the core was doing or waiting on something attributable:
+    /// compute + memory stalls + interconnect stalls.
+    pub fn busy_cycles(&self) -> u64 {
+        self.compute_cycles + self.memory_stall_cycles + self.interconnect_stall_cycles
+    }
+
+    /// Total cycles accounted for; equals the makespan in a consistent
+    /// multi-core report.
+    pub fn accounted_cycles(&self) -> u64 {
+        self.busy_cycles() + self.idle_cycles
+    }
+}
+
+/// Per-core cycle attribution of one multi-core execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MultiCorePerf {
+    /// End-to-end cycles of the run: the last cycle any core was busy.
+    pub makespan_cycles: u64,
+    /// One entry per core, in core order.
+    pub per_core: Vec<CorePerf>,
+}
+
+impl MultiCorePerf {
+    /// Folds the per-core attribution into one batch-level [`PerfReport`]:
+    /// work counters are summed across cores, `cycles` is the makespan (so
+    /// `cycles_per_query` reflects the parallel speedup), and modeled
+    /// memory/interconnect stalls are added to the summed stall count.
+    ///
+    /// `queries` is passed explicitly because the two execution modes count
+    /// differently: sharded runs spread the batch over cores (the sum of
+    /// per-core queries), pipelined runs push every query through every core.
+    pub fn merged(&self, platform: &str, queries: u64) -> PerfReport {
+        let mut merged = PerfReport {
+            platform: platform.to_string(),
+            queries,
+            cycles: self.makespan_cycles,
+            ..Default::default()
+        };
+        for core in &self.per_core {
+            merged.source_ops += core.work.source_ops;
+            merged.issued_ops += core.work.issued_ops;
+            merged.instructions += core.work.instructions;
+            merged.stall_cycles +=
+                core.work.stall_cycles + core.memory_stall_cycles + core.interconnect_stall_cycles;
+            merged.memory_loads += core.work.memory_loads;
+            merged.memory_stores += core.work.memory_stores;
+            merged.writebacks += core.work.writebacks;
+            merged.operand_reads += core.work.operand_reads;
+        }
+        merged
+    }
+
+    /// Verifies the cycle-accounting invariant: every core's
+    /// compute + memory stall + interconnect stall + idle cycles equal the
+    /// makespan.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first core whose attribution does not
+    /// sum to the makespan.
+    pub fn check_accounting(&self) -> Result<(), String> {
+        for core in &self.per_core {
+            if core.accounted_cycles() != self.makespan_cycles {
+                return Err(format!(
+                    "core {}: compute {} + mem {} + interconnect {} + idle {} = {} != makespan {}",
+                    core.core,
+                    core.compute_cycles,
+                    core.memory_stall_cycles,
+                    core.interconnect_stall_cycles,
+                    core.idle_cycles,
+                    core.accounted_cycles(),
+                    self.makespan_cycles
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for MultiCorePerf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "makespan {} cycles", self.makespan_cycles)?;
+        for core in &self.per_core {
+            write!(
+                f,
+                "; core {}: {}c/{}m/{}i/{}idle",
+                core.core,
+                core.compute_cycles,
+                core.memory_stall_cycles,
+                core.interconnect_stall_cycles,
+                core.idle_cycles
+            )?;
+        }
+        Ok(())
+    }
+}
+
 impl std::fmt::Display for PerfReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

@@ -18,9 +18,10 @@
 use crate::config::{PePosition, ProcessorConfig};
 use crate::datamem::DataMemory;
 use crate::error::ProcessorError;
-use crate::isa::{Instruction, MemOp, Program, ReadSel, ValueLocation};
+use crate::isa::{Instruction, MemOp, PeOp, Program, ReadSel, ValueLocation};
 use crate::perf::PerfReport;
 use crate::regfile::RegisterFile;
+use crate::trace::{NoTrace, TraceHook, TraceRecorder};
 use crate::tree::evaluate_tree;
 use crate::Result;
 
@@ -29,6 +30,9 @@ use crate::Result;
 pub struct ExecutionResult {
     /// The SPN root value computed by the program.
     pub output: f64,
+    /// The values of the program's export locations ([`Program::exports`]),
+    /// in declaration order; empty for ordinary single-output programs.
+    pub exports: Vec<f64>,
     /// Performance counters of the run.
     pub perf: PerfReport,
 }
@@ -144,6 +148,40 @@ impl Processor {
         inputs: &[f64],
         state: &mut SimState,
     ) -> Result<ExecutionResult> {
+        self.run_with_hook(program, inputs, state, &mut NoTrace)
+    }
+
+    /// [`Processor::run_with`] with a cycle-accurate trace recorder attached:
+    /// every PE operation (opcode, operands, result, instruction occupancy)
+    /// and memory row operation is appended to `recorder`.
+    ///
+    /// The untraced path is not affected by the existence of this method —
+    /// the run loop is generic over [`TraceHook`] and monomorphizes to the
+    /// hook-free code for [`NoTrace`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Processor::run_with`].
+    pub fn run_traced(
+        &self,
+        program: &Program,
+        inputs: &[f64],
+        state: &mut SimState,
+        recorder: &mut TraceRecorder,
+    ) -> Result<ExecutionResult> {
+        self.run_with_hook(program, inputs, state, recorder)
+    }
+
+    /// The generic run loop behind [`Processor::run_with`] and
+    /// [`Processor::run_traced`]: executes `program` on one input vector,
+    /// reporting every cycle's PE and memory activity to `hook`.
+    pub fn run_with_hook<H: TraceHook>(
+        &self,
+        program: &Program,
+        inputs: &[f64],
+        state: &mut SimState,
+        hook: &mut H,
+    ) -> Result<ExecutionResult> {
         if program.config != self.config {
             return Err(ProcessorError::InvalidConfig {
                 reason: format!(
@@ -197,6 +235,7 @@ impl Processor {
                 pending,
                 &mut perf,
                 &mut last_commit,
+                hook,
             )?;
         }
         // Drain the pipeline: commit everything that is still in flight.
@@ -207,14 +246,26 @@ impl Processor {
         perf.memory_loads = datamem.load_count();
         perf.memory_stores = datamem.store_count();
 
-        let output = match program.output {
-            ValueLocation::Register { bank, reg } => regfile.peek(bank as usize, reg as usize),
-            ValueLocation::Memory { row, lane } => {
-                Self::check_program_row(row as usize, rows_used)?;
-                datamem.peek(row as usize, lane as usize)
-            }
+        let peek = |loc: ValueLocation| -> Result<f64> {
+            Ok(match loc {
+                ValueLocation::Register { bank, reg } => regfile.peek(bank as usize, reg as usize),
+                ValueLocation::Memory { row, lane } => {
+                    Self::check_program_row(row as usize, rows_used)?;
+                    datamem.peek(row as usize, lane as usize)
+                }
+            })
         };
-        Ok(ExecutionResult { output, perf })
+        let output = peek(program.output)?;
+        let exports = program
+            .exports
+            .iter()
+            .map(|&loc| peek(loc))
+            .collect::<Result<Vec<f64>>>()?;
+        Ok(ExecutionResult {
+            output,
+            exports,
+            perf,
+        })
     }
 
     /// Executes `program` over a dense batch of input vectors through one
@@ -332,7 +383,7 @@ impl Processor {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn execute_instruction(
+    fn execute_instruction<H: TraceHook>(
         &self,
         instr: &Instruction,
         cycle: u64,
@@ -343,6 +394,7 @@ impl Processor {
         pending: &mut Vec<PendingWrite>,
         perf: &mut PerfReport,
         last_commit: &mut u64,
+        hook: &mut H,
     ) -> Result<()> {
         if instr.trees.len() != self.config.num_trees {
             return Err(ProcessorError::MalformedInstruction {
@@ -358,6 +410,9 @@ impl Processor {
         //    destination register in the same cycle are flagged as hazards.
         if let MemOp::Load { row, reg } = instr.mem {
             Self::check_program_row(row as usize, rows_used)?;
+            if H::ENABLED {
+                hook.on_mem(cycle, false, row, reg);
+            }
             let values = datamem.load_row(row as usize)?.to_vec();
             for (bank, value) in values.into_iter().enumerate() {
                 *last_commit = (*last_commit).max(cycle);
@@ -371,8 +426,18 @@ impl Processor {
         }
 
         // 2. Resolve crossbar reads and evaluate every tree.
+        let occupancy = if H::ENABLED {
+            instr
+                .trees
+                .iter()
+                .flat_map(|t| t.pe_ops.iter())
+                .filter(|&&op| op != PeOp::Nop)
+                .count() as u32
+        } else {
+            0
+        };
         let mut tree_outputs = Vec::with_capacity(instr.trees.len());
-        for tree_instr in &instr.trees {
+        for (tree_idx, tree_instr) in instr.trees.iter().enumerate() {
             let mut values = Vec::with_capacity(tree_instr.reads.len());
             if tree_instr.reads.len() != self.config.tree_inputs_per_tree() {
                 return Err(ProcessorError::MalformedInstruction {
@@ -397,13 +462,38 @@ impl Processor {
                 };
                 values.push(v);
             }
-            tree_outputs.push(evaluate_tree(
-                &self.config,
-                tree_instr,
-                &values,
-                cycle,
-                pe_precision,
-            )?);
+            let outputs = evaluate_tree(&self.config, tree_instr, &values, cycle, pe_precision)?;
+            if H::ENABLED {
+                // Reconstruct each active PE's operands: level 0 reads the
+                // crossbar values, level l > 0 reads the level below.
+                for level in 0..self.config.tree_levels {
+                    for pe in 0..self.config.pes_at_level(level) {
+                        let flat = crate::isa::TreeInstr::pe_flat_index(&self.config, level, pe);
+                        let op = tree_instr.pe_ops[flat];
+                        if op == PeOp::Nop {
+                            continue;
+                        }
+                        let (a, b) = if level == 0 {
+                            (values[2 * pe], values[2 * pe + 1])
+                        } else {
+                            let below = &outputs.levels[level - 1];
+                            (below[2 * pe], below[2 * pe + 1])
+                        };
+                        hook.on_pe(
+                            cycle,
+                            tree_idx,
+                            level,
+                            pe,
+                            op,
+                            a,
+                            b,
+                            outputs.value(level, pe),
+                            occupancy,
+                        );
+                    }
+                }
+            }
+            tree_outputs.push(outputs);
         }
 
         // 3. Queue PE write-backs with their pipeline latency.
@@ -471,6 +561,9 @@ impl Processor {
         //    cycle have been accounted for.
         if let MemOp::Store { row, reg } = instr.mem {
             Self::check_program_row(row as usize, rows_used)?;
+            if H::ENABLED {
+                hook.on_mem(cycle, true, row, reg);
+            }
             for bank in 0..self.config.total_banks() {
                 Self::check_no_inflight(pending, bank, reg as usize, cycle)?;
             }
@@ -526,6 +619,7 @@ mod tests {
             input_layout: (0..4).map(|lane| InputSlot { row: 0, lane }).collect(),
             memory_rows_used: 1,
             output: ValueLocation::Register { bank: 0, reg: 1 },
+            exports: Vec::new(),
             num_source_ops: 3,
             pe_precision: crate::precision::Precision::F64,
         }
@@ -695,6 +789,7 @@ mod tests {
             input_layout: vec![InputSlot { row: 0, lane: 2 }],
             memory_rows_used: 1,
             output: ValueLocation::Register { bank: 2, reg: 7 },
+            exports: Vec::new(),
             num_source_ops: 0,
             pe_precision: crate::precision::Precision::F64,
         };
@@ -716,6 +811,7 @@ mod tests {
             input_layout: vec![InputSlot { row: 0, lane: 9 }],
             memory_rows_used: 2,
             output: ValueLocation::Memory { row: 1, lane: 9 },
+            exports: Vec::new(),
             num_source_ops: 0,
             pe_precision: crate::precision::Precision::F64,
         };
@@ -746,6 +842,7 @@ mod tests {
             input_layout: vec![InputSlot { row: 0, lane: 0 }, InputSlot { row: 0, lane: 1 }],
             memory_rows_used: 1,
             output: ValueLocation::Register { bank: 1, reg: 3 },
+            exports: Vec::new(),
             num_source_ops: 1,
             pe_precision: crate::precision::Precision::F64,
         };

@@ -1,0 +1,310 @@
+//! Multi-core simulator invariants: N-core execution must be a pure
+//! performance model, never a numerics model.
+//!
+//! * **Parity** — sharding a batch over N simulated cores returns values,
+//!   MAP assignments and work-counter totals bit-for-bit identical to the
+//!   single-core run, across all four query modes, both numeric domains and
+//!   every emulated PE precision, under serial and host-sharded dispatch.
+//! * **Cycle accounting** — every core's compute + memory-stall +
+//!   interconnect-stall + idle cycles partition the makespan exactly, and
+//!   the merged batch report is the sum of the per-core reports, for both
+//!   batch-sharded and pipelined/partitioned execution.
+//! * **Validation** — structurally impossible machines (zero cores, zero PE
+//!   trees/levels/leaves, zero shared-memory ports) are rejected with a
+//!   structured configuration error instead of panicking mid-simulation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spn_accel::compiler::Compiler;
+use spn_accel::core::query::{ConditionalBatch, QueryBatch, QueryMode};
+use spn_accel::core::random::{random_spn, RandomSpnConfig};
+use spn_accel::core::{Evidence, EvidenceBatch, NumericMode, Precision, Spn};
+use spn_accel::platforms::{Engine, Parallelism, ProcessorBackend, QueryOutput};
+use spn_accel::processor::{
+    MultiCoreConfig, MultiCoreProcessor, PerfReport, ProcessorConfig, SharedMemoryConfig,
+};
+
+/// A deterministic mixed evidence batch: marginal, all-true, all-false and
+/// rotating single-observation rows.  Eleven queries so shards are uneven
+/// for every tested core count.
+fn mixed_batch(num_vars: usize) -> EvidenceBatch {
+    let mut batch = EvidenceBatch::new(num_vars);
+    for q in 0..11 {
+        match q % 4 {
+            0 => batch.push_marginal(),
+            1 => batch.push_assignment(&vec![true; num_vars]).expect("arity"),
+            2 => batch
+                .push_assignment(&vec![false; num_vars])
+                .expect("arity"),
+            _ => {
+                let mut e = Evidence::marginal(num_vars);
+                e.observe(q % num_vars, q % 2 == 0);
+                batch.push(&e).expect("arity");
+            }
+        }
+    }
+    batch
+}
+
+/// The query batch of `mode` over the mixed evidence above.
+fn query_batch(mode: QueryMode, num_vars: usize) -> QueryBatch {
+    match mode {
+        QueryMode::Marginal => QueryBatch::Marginal(mixed_batch(num_vars)),
+        QueryMode::Map => QueryBatch::Map(mixed_batch(num_vars)),
+        QueryMode::Joint => {
+            let mut batch = EvidenceBatch::new(num_vars);
+            for q in 0..11 {
+                let assignment: Vec<bool> = (0..num_vars).map(|v| (q + v) % 3 == 0).collect();
+                batch.push_assignment(&assignment).expect("arity");
+            }
+            QueryBatch::Joint(batch)
+        }
+        QueryMode::Conditional => {
+            let mut cond = ConditionalBatch::new(num_vars);
+            for q in 0..11 {
+                let mut target = Evidence::marginal(num_vars);
+                target.observe(q % num_vars, q % 2 == 0);
+                let mut given = Evidence::marginal(num_vars);
+                given.observe((q + 1) % num_vars, q % 3 == 0);
+                cond.push(&target, &given).expect("arity");
+            }
+            QueryBatch::Conditional(cond)
+        }
+    }
+}
+
+fn test_spn() -> Spn {
+    let mut rng = StdRng::seed_from_u64(907);
+    random_spn(&RandomSpnConfig::with_vars(10), &mut rng)
+}
+
+/// Asserts the *work* counters of two reports are identical.  Cycles and
+/// stalls legitimately differ (the N-core makespan is shorter and models
+/// shared-memory contention), but the work performed must not.
+fn assert_same_work(single: &PerfReport, multi: &PerfReport, context: &str) {
+    assert_eq!(single.queries, multi.queries, "{context}: queries");
+    assert_eq!(single.source_ops, multi.source_ops, "{context}: source_ops");
+    assert_eq!(single.issued_ops, multi.issued_ops, "{context}: issued_ops");
+    assert_eq!(
+        single.instructions, multi.instructions,
+        "{context}: instructions"
+    );
+    assert_eq!(
+        single.memory_loads, multi.memory_loads,
+        "{context}: memory_loads"
+    );
+    assert_eq!(
+        single.memory_stores, multi.memory_stores,
+        "{context}: memory_stores"
+    );
+    assert_eq!(single.writebacks, multi.writebacks, "{context}: writebacks");
+    assert_eq!(
+        single.operand_reads, multi.operand_reads,
+        "{context}: operand_reads"
+    );
+}
+
+fn assert_bit_equal(single: &QueryOutput, multi: &QueryOutput, context: &str) {
+    assert_eq!(single.values.len(), multi.values.len(), "{context}: length");
+    for (q, (a, b)) in single.values.iter().zip(&multi.values).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "{context}: query {q}: {a} vs {b}");
+    }
+    assert_eq!(
+        single.assignments, multi.assignments,
+        "{context}: MAP assignments"
+    );
+}
+
+#[test]
+fn n_core_parity_across_modes_numerics_and_precisions() {
+    let spn = test_spn();
+    for numeric in NumericMode::ALL {
+        for precision in Precision::SWEEP {
+            let mut single = Engine::from_spn_with_precision(
+                ProcessorBackend::ptree(),
+                &spn,
+                numeric,
+                precision,
+            )
+            .expect("single-core engine");
+            for cores in [2usize, 3] {
+                let backend = ProcessorBackend::with_cores(ProcessorConfig::ptree(), cores)
+                    .expect("multi-core backend");
+                let mut multi = Engine::from_spn_with_precision(backend, &spn, numeric, precision)
+                    .expect("multi-core engine");
+                for mode in [
+                    QueryMode::Joint,
+                    QueryMode::Marginal,
+                    QueryMode::Map,
+                    QueryMode::Conditional,
+                ] {
+                    let query = query_batch(mode, spn.num_vars());
+                    let context = format!("{numeric:?}/{precision}/{cores} cores/{mode:?}");
+                    let want = single.execute_query(&query).expect("single-core query");
+                    let got = multi.execute_query(&query).expect("multi-core query");
+                    assert_bit_equal(&want, &got, &context);
+                    assert_same_work(&want.perf, &got.perf, &context);
+                    // Host-sharded dispatch over the same multi-core backend
+                    // must stitch to the identical batch order.
+                    let sharded = multi
+                        .execute_query_parallel(&query, &Parallelism::workers(2))
+                        .expect("host-sharded query");
+                    assert_bit_equal(&want, &sharded, &format!("{context}/host-sharded"));
+                }
+            }
+        }
+    }
+}
+
+/// Sums the per-core work reports and checks them against the merged batch
+/// report (whose `cycles` is the makespan and whose `stall_cycles` add the
+/// modeled memory/interconnect stalls on top of the in-program stalls).
+fn assert_merged_is_sum(run: &spn_accel::processor::MultiCoreBatch, context: &str) {
+    let cores = &run.cores;
+    cores
+        .check_accounting()
+        .unwrap_or_else(|err| panic!("{context}: {err}"));
+    let mut work = PerfReport::default();
+    let mut modeled_stalls = 0;
+    for core in &cores.per_core {
+        assert_eq!(
+            core.busy_cycles() + core.idle_cycles,
+            cores.makespan_cycles,
+            "{context}: core {} attribution does not cover the makespan",
+            core.core
+        );
+        assert_eq!(
+            core.work.cycles, core.compute_cycles,
+            "{context}: core {} work cycles vs compute attribution",
+            core.core
+        );
+        work.merge(&core.work);
+        modeled_stalls += core.memory_stall_cycles + core.interconnect_stall_cycles;
+    }
+    assert_eq!(
+        run.perf.cycles, cores.makespan_cycles,
+        "{context}: makespan"
+    );
+    assert_eq!(
+        run.perf.source_ops, work.source_ops,
+        "{context}: source_ops total"
+    );
+    assert_eq!(
+        run.perf.issued_ops, work.issued_ops,
+        "{context}: issued_ops total"
+    );
+    assert_eq!(
+        run.perf.instructions, work.instructions,
+        "{context}: instruction total"
+    );
+    assert_eq!(
+        run.perf.stall_cycles,
+        work.stall_cycles + modeled_stalls,
+        "{context}: stall total"
+    );
+    assert_eq!(
+        run.perf.memory_loads, work.memory_loads,
+        "{context}: load total"
+    );
+    assert_eq!(
+        run.perf.memory_stores, work.memory_stores,
+        "{context}: store total"
+    );
+    assert_eq!(
+        run.perf.writebacks, work.writebacks,
+        "{context}: writeback total"
+    );
+    assert_eq!(
+        run.perf.operand_reads, work.operand_reads,
+        "{context}: operand-read total"
+    );
+}
+
+#[test]
+fn per_core_cycles_partition_the_makespan_for_sharded_runs() {
+    for seed in [11u64, 12, 13] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spn = random_spn(&RandomSpnConfig::with_vars(9), &mut rng);
+        let ops = spn_accel::core::flatten::OpList::from_spn(&spn);
+        let compiler = Compiler::new(ProcessorConfig::ptree());
+        let compiled = compiler.compile_op_list(ops).expect("compile");
+        let batch = mixed_batch(spn.num_vars());
+        let mut flat = Vec::new();
+        compiled.fill_batch_inputs(&batch, &mut flat).expect("fill");
+        for cores in [1usize, 2, 3, 5] {
+            let processor =
+                MultiCoreProcessor::new(MultiCoreConfig::new(cores, ProcessorConfig::ptree()))
+                    .expect("processor");
+            let mut states = Vec::new();
+            let run = processor
+                .run_batch_sharded(&compiled.program, &flat, batch.len(), &mut states)
+                .expect("sharded run");
+            assert_eq!(run.perf.queries as usize, batch.len());
+            assert_merged_is_sum(&run, &format!("seed {seed}, {cores} cores, sharded"));
+        }
+    }
+}
+
+#[test]
+fn per_core_cycles_partition_the_makespan_for_pipelined_runs() {
+    for seed in [21u64, 22] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spn = random_spn(&RandomSpnConfig::with_vars(9), &mut rng);
+        let ops = spn_accel::core::flatten::OpList::from_spn(&spn);
+        let compiler = Compiler::new(ProcessorConfig::ptree());
+        let batch = mixed_batch(spn.num_vars());
+        for cores in [2usize, 3] {
+            let parted = compiler
+                .compile_partitioned(ops.clone(), cores)
+                .expect("partition");
+            let mut flat = Vec::new();
+            parted.fill_batch_inputs(&batch, &mut flat).expect("fill");
+            let processor =
+                MultiCoreProcessor::new(MultiCoreConfig::new(cores, ProcessorConfig::ptree()))
+                    .expect("processor");
+            let mut states = Vec::new();
+            let run = processor
+                .run_partitioned(&parted.parts, &flat, batch.len(), &mut states)
+                .expect("pipelined run");
+            assert_merged_is_sum(&run, &format!("seed {seed}, {cores} cores, pipelined"));
+        }
+    }
+}
+
+#[test]
+fn impossible_machine_shapes_are_rejected() {
+    // Zero cores, at both API levels.
+    assert!(MultiCoreProcessor::new(MultiCoreConfig::new(0, ProcessorConfig::ptree())).is_err());
+    assert!(ProcessorBackend::with_cores(ProcessorConfig::ptree(), 0).is_err());
+
+    // Zero PEs in the per-core datapath: no trees, no levels, no leaves.
+    for broken in [
+        ProcessorConfig {
+            num_trees: 0,
+            ..ProcessorConfig::ptree()
+        },
+        ProcessorConfig {
+            tree_levels: 0,
+            ..ProcessorConfig::ptree()
+        },
+        ProcessorConfig {
+            leaf_pes_per_tree: 0,
+            ..ProcessorConfig::ptree()
+        },
+    ] {
+        assert!(broken.validate().is_err(), "{broken:?} must not validate");
+        assert!(
+            MultiCoreProcessor::new(MultiCoreConfig::new(2, broken.clone())).is_err(),
+            "{broken:?} must not build a processor"
+        );
+        assert!(
+            ProcessorBackend::with_cores(broken, 2).is_err(),
+            "zero-PE config must not build a backend"
+        );
+    }
+
+    // Zero shared-memory ports.
+    let mut config = MultiCoreConfig::new(2, ProcessorConfig::ptree());
+    config.shared_memory = SharedMemoryConfig { ports: 0 };
+    assert!(MultiCoreProcessor::new(config).is_err());
+}
