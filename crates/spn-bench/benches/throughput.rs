@@ -26,7 +26,7 @@ fn time<R>(f: impl FnOnce() -> R) -> (f64, R) {
 }
 
 fn bench_backend<B: Backend>(name: &str, workload: &str, backend: B, ops: &OpList, vars: usize) {
-    let (compile_s, mut engine) = time(|| Engine::new(backend, ops).expect("compile"));
+    let (compile_s, mut engine) = time(|| Engine::from_ops(backend, ops).expect("compile"));
     let batch = EvidenceBatch::marginals(vars, BATCH);
     // Warm-up, then timed run.
     engine.execute_batch(&batch).expect("warm-up");

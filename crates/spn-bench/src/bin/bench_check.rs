@@ -18,13 +18,19 @@
 //!   emulated PE format (`"f64"` / `"f32"` / `"e<exp>m<mant>"`), a
 //!   `max_rel_error` field must be a finite non-negative number, a
 //!   `host_cores`, `lanes` or `cores` (simulated processor cores) field
-//!   must be a positive integer, and a `connections` field a non-negative
-//!   integer — and engine-bench files (`*engine*.json`) must carry
-//!   `numeric_mode`, `precision`, `max_rel_error`, `host_cores`, `lanes`
-//!   *and* `cores`, while serve-bench files (`*serve*.json`) must carry
-//!   `connections`, so the numeric-mode, precision-sweep, lane-width,
-//!   simulated-core-count and connection-scaling annotations of the
-//!   benchmark artifacts can never silently regress,
+//!   must be a positive integer, a `connections` or `flips` field a
+//!   non-negative integer, and an `incremental` field 0 or 1 — and
+//!   engine-bench files (`*engine*.json`) must carry `numeric_mode`,
+//!   `precision`, `max_rel_error`, `host_cores`, `lanes`, `cores`, `flips`
+//!   *and* `incremental`, while serve-bench files (`*serve*.json`) must
+//!   carry `connections`, `flips` and `incremental`, so the numeric-mode,
+//!   precision-sweep, lane-width, simulated-core-count, connection-scaling
+//!   and session-sweep annotations of the benchmark artifacts can never
+//!   silently regress,
+//! * incremental session rows at sparse flip counts (`flips` ≤ 2,
+//!   `incremental` = 1) must report throughput at least matching their
+//!   full-pass baseline row — the speedup the incremental evaluator exists
+//!   to deliver is a checked property of the artifacts, not a hope,
 //! * `--expect-lanes N[,M...]` additionally requires every engine-bench file
 //!   to contain at least one record per listed lane width (CI sweeps
 //!   `--expect-lanes 1,8`: the scalar oracle and the lane-blocked path).
@@ -121,14 +127,24 @@ fn check_file(path: &str, expect_lanes: &[u64]) -> Result<usize, String> {
                         seen_lanes.push(n as u64);
                     }
                 }
-                "connections" => {
+                "connections" | "flips" => {
                     let n = value.as_f64().ok_or_else(|| {
-                        format!("{path}: record {i} field \"connections\" is not a number")
+                        format!("{path}: record {i} field {key:?} is not a number")
                     })?;
                     if n < 0.0 || n.fract() != 0.0 {
                         return Err(format!(
-                            "{path}: record {i} field \"connections\" is {n}, \
+                            "{path}: record {i} field {key:?} is {n}, \
                              expected a non-negative integer"
+                        ));
+                    }
+                }
+                "incremental" => {
+                    let n = value.as_f64().ok_or_else(|| {
+                        format!("{path}: record {i} field \"incremental\" is not a number")
+                    })?;
+                    if n != 0.0 && n != 1.0 {
+                        return Err(format!(
+                            "{path}: record {i} field \"incremental\" is {n}, expected 0 or 1"
                         ));
                     }
                 }
@@ -146,9 +162,11 @@ fn check_file(path: &str, expect_lanes: &[u64]) -> Result<usize, String> {
                 "host_cores",
                 "lanes",
                 "cores",
+                "flips",
+                "incremental",
             ]
         } else if path.contains("serve") {
-            &["connections"]
+            &["connections", "flips", "incremental"]
         } else {
             &[]
         };
@@ -170,7 +188,70 @@ fn check_file(path: &str, expect_lanes: &[u64]) -> Result<usize, String> {
             }
         }
     }
+    check_incremental_speedup(path, &records)?;
     Ok(records.len())
+}
+
+/// Every incremental session row at a sparse flip count (≤ 2 flipped
+/// variables per delta) must be at least as fast as its full-pass baseline
+/// row (`incremental: 0`, `flips: 0`) — on engine files the baseline with
+/// the same workload and platform (compared on `queries_per_sec`), on serve
+/// files the one with the same policy, worker count and connection count
+/// (compared on `achieved_rps`).  A sparse-delta slowdown means the
+/// incremental evaluator regressed below the full pass it exists to beat.
+fn check_incremental_speedup(path: &str, records: &[Value]) -> Result<(), String> {
+    let engine = path.contains("engine");
+    if !engine && !path.contains("serve") {
+        return Ok(());
+    }
+    let rate_key = if engine {
+        "queries_per_sec"
+    } else {
+        "achieved_rps"
+    };
+    let num = |record: &Value, key: &str| record.get(key).and_then(Value::as_f64);
+    for (i, record) in records.iter().enumerate() {
+        if num(record, "incremental") != Some(1.0) || num(record, "flips") > Some(2.0) {
+            continue;
+        }
+        let matches = |other: &&Value| {
+            num(other, "incremental") == Some(0.0)
+                && num(other, "flips") == Some(0.0)
+                && if engine {
+                    ["workload", "platform"].iter().all(|key| {
+                        other.get(key).and_then(Value::as_str)
+                            == record.get(key).and_then(Value::as_str)
+                    })
+                } else {
+                    ["max_wait_us", "max_batch", "workers", "connections"]
+                        .iter()
+                        .all(|key| num(other, key) == num(record, key))
+                }
+        };
+        let Some(baseline) = records.iter().find(matches) else {
+            return Err(format!(
+                "{path}: record {i} is an incremental session row with no \
+                 matching full-pass baseline row"
+            ));
+        };
+        let (fast, base) = match (num(record, rate_key), num(baseline, rate_key)) {
+            (Some(fast), Some(base)) if base > 0.0 => (fast, base),
+            _ => {
+                return Err(format!(
+                    "{path}: record {i} or its baseline lacks a positive {rate_key:?}"
+                ))
+            }
+        };
+        if fast < base {
+            return Err(format!(
+                "{path}: record {i} ({} flips, incremental) reports {fast:.0} \
+                 {rate_key} against a full-pass baseline of {base:.0} — the \
+                 sparse-delta path must not be slower than full re-evaluation",
+                num(record, "flips").unwrap_or(0.0)
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn main() {

@@ -19,7 +19,12 @@
 //!    the paper's accuracy-vs-bit-width trade-off curve,
 //! 5. **simulated cores** — marginal batches sharded over 1/2/4 simulated
 //!    processor cores behind one shared parameter memory; every record
-//!    carries a `cores` column (1 for software platforms).
+//!    carries a `cores` column (1 for software platforms),
+//! 6. **incremental sessions** — a long-lived evaluation session absorbing
+//!    evidence deltas of 1/2/8/all flipped variables per query on a ≥ 500-op
+//!    circuit, against the full-pass baseline re-executing the whole program
+//!    per delta; sweep rows carry `flips > 0` and `incremental: 1`, every
+//!    other record `flips: 0` / `incremental: 0`.
 //!
 //! Workload names are distinct from platform names (`uci-cpu-perf`, not
 //! `CPU`) so the two columns of `BENCH_engine.json` can never be confused,
@@ -37,13 +42,17 @@
 
 use std::time::Instant;
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use spn_bench::{json_escape, json_number};
 use spn_core::batch::EvidenceBatch;
 use spn_core::query::{reference_query_with, ConditionalBatch, QueryBatch, QueryMode};
-use spn_core::random::deep_chain_spn;
+use spn_core::random::{deep_chain_spn, random_spn, RandomSpnConfig};
 use spn_core::{Evidence, NumericMode, Precision, Spn};
 use spn_learn::Benchmark;
-use spn_platforms::{Backend, BackendError, CpuModel, Engine, Parallelism, ProcessorBackend};
+use spn_platforms::{
+    Backend, BackendError, CpuModel, Engine, EngineOptions, Parallelism, ProcessorBackend,
+};
 use spn_processor::ProcessorConfig;
 
 /// One measured configuration.
@@ -68,6 +77,12 @@ struct Measurement {
     /// probabilities in the linear domain, on log-probabilities in the log
     /// domain); exactly 0.0 for full-precision rows.
     max_rel_error: f64,
+    /// Variables flipped per delta on the session sweep (0 on every
+    /// non-session row and on the session full-pass baseline).
+    flips: usize,
+    /// Whether the row went through the incremental session-delta path
+    /// (serialised as 0/1 in the JSON).
+    incremental: bool,
 }
 
 /// Hardware threads of the host (1 when unknown): worker-count sweeps are
@@ -304,6 +319,8 @@ fn record_precision(
         seconds,
         queries_per_sec: queries as f64 / seconds.max(1e-12),
         max_rel_error,
+        flips: 0,
+        incremental: false,
     });
 }
 
@@ -320,7 +337,7 @@ where
 {
     let numeric = NumericMode::Linear;
     let platform = backend.name();
-    let mut engine = Engine::from_spn(backend, spn)
+    let mut engine = Engine::new(backend, spn, EngineOptions::default())
         .map_err(|err| format!("compiling {workload} for {platform}: {err}"))?;
     let num_vars = spn.num_vars();
 
@@ -437,7 +454,7 @@ fn measure_processor_cores(
     for cores in [1usize, 2, 4] {
         let backend = ProcessorBackend::with_cores(ProcessorConfig::ptree(), cores)?;
         let platform = backend.name();
-        let mut engine = Engine::from_spn(backend, spn)
+        let mut engine = Engine::new(backend, spn, EngineOptions::default())
             .map_err(|err| format!("compiling {workload} for {platform}: {err}"))?;
         let label = format!("{workload}/{platform} cores {cores}");
         let best = best_of(expected, &label, || {
@@ -457,6 +474,8 @@ fn measure_processor_cores(
             seconds: best,
             queries_per_sec: queries as f64 / best.max(1e-12),
             max_rel_error: 0.0,
+            flips: 0,
+            incremental: false,
         });
     }
     Ok(())
@@ -480,7 +499,7 @@ fn measure_numeric_modes(
     let queries = chunks * batch_size;
     let batch = build_marginal_batch(spn.num_vars(), batch_size);
     for numeric in NumericMode::ALL {
-        let mut engine = Engine::from_spn_with_mode(CpuModel::new(), spn, numeric)
+        let mut engine = Engine::new(CpuModel::new(), spn, EngineOptions::default().mode(numeric))
             .map_err(|err| format!("compiling {workload} ({numeric}) for {platform}: {err}"))?;
         let reference = reference_query_with(spn, &QueryBatch::Marginal(batch.clone()), numeric)
             .expect("reference");
@@ -529,8 +548,12 @@ fn measure_precision_sweep(
     let oracle = reference_query_with(spn, &QueryBatch::Marginal(batch.clone()), numeric)
         .expect("reference");
     for precision in Precision::SWEEP {
-        let mut engine = Engine::from_spn_with_precision(CpuModel::new(), spn, numeric, precision)
-            .map_err(|err| format!("compiling {workload} ({numeric}/{precision}): {err}"))?;
+        let mut engine = Engine::new(
+            CpuModel::new(),
+            spn,
+            EngineOptions::default().mode(numeric).precision(precision),
+        )
+        .map_err(|err| format!("compiling {workload} ({numeric}/{precision}): {err}"))?;
         // One untimed pass pins the accuracy (and the repeatability checksum
         // — a reduced-precision engine cannot be checked against the f64
         // oracle's sum).
@@ -572,6 +595,153 @@ fn measure_precision_sweep(
     Ok(())
 }
 
+/// The flip-count walk: delta `q` flips `flips` rotating variables through
+/// observed-true / observed-false / marginalised states, so consecutive
+/// deltas touch different cones and the walk revisits every variable.
+fn flip_schedule(
+    num_vars: usize,
+    flips: usize,
+    total_deltas: usize,
+) -> Vec<Vec<(usize, Option<bool>)>> {
+    (0..total_deltas)
+        .map(|q| {
+            (0..flips)
+                .map(|j| {
+                    let var = (q * flips + j) % num_vars;
+                    let observation = match (q + j) % 3 {
+                        0 => Some(true),
+                        1 => Some(false),
+                        _ => None,
+                    };
+                    (var, observation)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Replays `deltas` through a fresh evaluation session (the incremental
+/// path) and returns (seconds, checksum over the open value and every delta
+/// value).
+fn run_session_walk<B: Backend>(
+    engine: &mut Engine<B>,
+    num_vars: usize,
+    deltas: &[Vec<(usize, Option<bool>)>],
+) -> (f64, f64) {
+    let start = Instant::now();
+    let mut session = engine
+        .open_session(&Evidence::marginal(num_vars))
+        .expect("open_session");
+    let mut checksum = session.value();
+    for flips in deltas {
+        let outcome = engine.session_delta(&mut session, flips).expect("delta");
+        checksum += outcome.value;
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+/// Replays the same walk without a session: every delta mutates a local
+/// `Evidence` and pays a full `Engine::execute` pass — what a session-less
+/// client re-sending the whole row per update costs.  The checksum is
+/// bit-for-bit the session walk's (the incremental evaluator's parity
+/// contract), so `best_of` cross-checks the two paths against each other.
+fn run_full_walk<B: Backend>(
+    engine: &mut Engine<B>,
+    num_vars: usize,
+    deltas: &[Vec<(usize, Option<bool>)>],
+) -> (f64, f64) {
+    let start = Instant::now();
+    let mut evidence = Evidence::marginal(num_vars);
+    let (value, _perf) = engine.execute(&evidence).expect("execute");
+    let mut checksum = value;
+    for flips in deltas {
+        for &(var, observation) in flips {
+            match observation {
+                Some(value) => evidence.observe(var, value),
+                None => evidence.forget(var),
+            }
+        }
+        let (value, _perf) = engine.execute(&evidence).expect("execute");
+        checksum += value;
+    }
+    (start.elapsed().as_secs_f64(), checksum)
+}
+
+/// Measures the incremental-session axis: a long-lived session absorbing
+/// evidence deltas of 1/2/8/all flipped variables per query, against the
+/// full-pass baseline replaying the same walk through `Engine::execute`.
+/// Sweep rows carry their flip count and `incremental: 1`; the baseline row
+/// is `flips: 0` / `incremental: 0`, and `bench_check` pins the ratio.
+/// Returns the measured 1-flip speedup for the summary line.
+fn measure_session_sweep(
+    workload: &str,
+    spn: &Spn,
+    total_deltas: usize,
+    results: &mut Vec<Measurement>,
+) -> Result<f64, BackendError> {
+    let numeric = NumericMode::Linear;
+    let cpu = CpuModel::new();
+    let platform = cpu.name();
+    let lanes = cpu.lanes();
+    let mut engine = Engine::new(cpu, spn, EngineOptions::default())
+        .map_err(|err| format!("compiling {workload} for sessions: {err}"))?;
+    let num_vars = spn.num_vars();
+    let num_ops = engine.ops().num_ops();
+    assert!(
+        num_ops >= 500,
+        "{workload}: session sweep needs a ≥ 500-op circuit, got {num_ops}"
+    );
+    eprintln!("{workload}: {num_ops} ops, {num_vars} vars");
+    // Each walk answers one prime/open evaluation plus `total_deltas` deltas.
+    let queries = total_deltas + 1;
+    let mut push = |flips: usize, incremental: bool, seconds: f64| {
+        results.push(Measurement {
+            workload: workload.to_string(),
+            platform: platform.clone(),
+            mode: QueryMode::Marginal,
+            numeric,
+            precision: Precision::F64,
+            lanes,
+            cores: 1,
+            batch_size: 1,
+            threads: 1,
+            queries,
+            seconds,
+            queries_per_sec: queries as f64 / seconds.max(1e-12),
+            max_rel_error: 0.0,
+            flips,
+            incremental,
+        });
+    };
+
+    // Full-pass baseline on the sparsest walk (full-pass cost is independent
+    // of the flip count, so one baseline row serves every sweep row).
+    let deltas = flip_schedule(num_vars, 1, total_deltas);
+    let (_, expected) = run_full_walk(&mut engine, num_vars, &deltas);
+    let label = format!("{workload}/{platform} session baseline ({num_ops} ops)");
+    let baseline = best_of(expected, &label, || {
+        run_full_walk(&mut engine, num_vars, &deltas)
+    });
+    push(0, false, baseline);
+
+    let mut one_flip_speedup = 0.0;
+    for flips in [1usize, 2, 8, num_vars] {
+        let deltas = flip_schedule(num_vars, flips, total_deltas);
+        // The untimed full walk pins the expected checksum, so every timed
+        // session run is cross-checked against the full-pass oracle.
+        let (_, expected) = run_full_walk(&mut engine, num_vars, &deltas);
+        let label = format!("{workload}/{platform} session flips {flips}");
+        let best = best_of(expected, &label, || {
+            run_session_walk(&mut engine, num_vars, &deltas)
+        });
+        push(flips, true, best);
+        if flips == 1 {
+            one_flip_speedup = baseline / best.max(1e-12);
+        }
+    }
+    Ok(one_flip_speedup)
+}
+
 fn to_json(results: &[Measurement]) -> String {
     let host = host_cores();
     let mut out = String::from("[\n");
@@ -582,6 +752,7 @@ fn to_json(results: &[Measurement]) -> String {
                 "\"numeric_mode\": \"{}\", \"precision\": \"{}\", ",
                 "\"max_rel_error\": {}, \"lanes\": {}, \"cores\": {}, ",
                 "\"batch_size\": {}, \"threads\": {}, ",
+                "\"flips\": {}, \"incremental\": {}, ",
                 "\"host_cores\": {}, \"queries\": {}, ",
                 "\"seconds\": {}, \"queries_per_sec\": {}}}{}\n",
             ),
@@ -595,6 +766,8 @@ fn to_json(results: &[Measurement]) -> String {
             m.cores,
             m.batch_size,
             m.threads,
+            m.flips,
+            m.incremental as usize,
             host,
             m.queries,
             json_number(m.seconds),
@@ -689,17 +862,25 @@ fn run(smoke: bool, out_path: &str) -> Result<(), BackendError> {
             &mut results,
         )?;
     }
+    // Incremental-session axis: a wide random circuit (shallow per-leaf
+    // cones, ≥ 500 ops — the regime the per-session delta path is built
+    // for), flip counts 1/2/8/all against the full-pass baseline.
+    let session_speedup = {
+        let mut rng = StdRng::seed_from_u64(0x5e55);
+        let spn = random_spn(&RandomSpnConfig::with_vars(48), &mut rng);
+        measure_session_sweep("session-random-48", &spn, cpu_queries / 4, &mut results)?
+    };
 
     println!("# Engine throughput: dispatch granularity, worker count, query mode\n");
     println!("host cores: {}\n", host_cores());
     println!(
         "| workload | platform | mode | numeric | precision | max rel err | lanes | cores | batch \
-         | threads | queries | queries/sec |"
+         | threads | flips | inc | queries | queries/sec |"
     );
-    println!("|---|---|---|---|---|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|---|---|");
     for m in &results {
         println!(
-            "| {} | {} | {} | {} | {} | {:.2e} | {} | {} | {} | {} | {} | {:.0} |",
+            "| {} | {} | {} | {} | {} | {:.2e} | {} | {} | {} | {} | {} | {} | {} | {:.0} |",
             m.workload,
             m.platform,
             m.mode.name(),
@@ -710,6 +891,8 @@ fn run(smoke: bool, out_path: &str) -> Result<(), BackendError> {
             m.cores,
             m.batch_size,
             m.threads,
+            m.flips,
+            m.incremental as usize,
             m.queries,
             m.queries_per_sec
         );
@@ -766,6 +949,8 @@ fn run(smoke: bool, out_path: &str) -> Result<(), BackendError> {
             ),
         );
     }
+
+    println!("\nsession-random-48: 1-flip deltas vs full passes = {session_speedup:.2}x");
 
     std::fs::write(out_path, to_json(&results))
         .map_err(|err| format!("writing {out_path}: {err}"))?;

@@ -31,13 +31,18 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spn_core::random::{random_spn, RandomSpnConfig};
 use spn_core::wire::QueryRequest;
 use spn_core::{QueryMode, Spn};
 use spn_learn::Benchmark;
 use spn_platforms::{CpuModel, Parallelism};
 use spn_serve::json::{self, Value};
 use spn_serve::tcp::{decode_response, encode_request};
-use spn_serve::{BatchPolicy, ResponseHandle, ServeError, Service, ServiceConfig, TcpServer};
+use spn_serve::{
+    BatchPolicy, ModelVariant, ResponseHandle, ServeError, Service, ServiceConfig, TcpServer,
+};
 
 /// One measured serving configuration.
 struct Record {
@@ -48,6 +53,12 @@ struct Record {
     /// Concurrent TCP connections held open during the measurement
     /// (0 = in-process submission, no TCP front-end involved).
     connections: usize,
+    /// Variables flipped per delta on the session-replay sweep (0 on every
+    /// other row, including the sweep's full-row one-shot baseline).
+    flips: usize,
+    /// Whether the row's queries rode the per-session incremental delta path
+    /// (serialised as 0/1 in the JSON).
+    incremental: bool,
     requests: u64,
     errors: u64,
     seconds: f64,
@@ -103,6 +114,7 @@ fn run_config(
             policy,
             parallelism: Parallelism::serial(),
             artifact_capacity: models.len().max(1),
+            ..ServiceConfig::default()
         },
     ));
     for (name, spn) in models {
@@ -113,16 +125,11 @@ fn run_config(
     // sum-product artifact per model and publish the max-product plan the
     // MAP share of the stream will need.
     for (name, _) in models {
-        let (mut engine, version) = service.registry().engine(name)?;
+        let variant = ModelVariant::default();
+        let (mut engine, version) = service.registry().engine(name, variant)?;
         engine.prepare_map().map_err(ServeError::from_backend)?;
         let map = engine.shared_map().expect("map plan just prepared");
-        service.registry().store_map(
-            name,
-            version,
-            spn_core::NumericMode::Linear,
-            spn_core::Precision::F64,
-            map,
-        );
+        service.registry().store_map(name, version, variant, map);
     }
 
     let interval = Duration::from_secs_f64(1.0 / rate);
@@ -184,6 +191,8 @@ fn aggregate(
         max_batch: policy.max_batch_queries,
         workers,
         connections,
+        flips: 0,
+        incremental: false,
         requests: total_requests,
         errors,
         seconds,
@@ -224,6 +233,7 @@ fn run_tcp_config(
             policy,
             parallelism: Parallelism::serial(),
             artifact_capacity: models.len().max(1),
+            ..ServiceConfig::default()
         },
     ));
     for (name, spn) in models {
@@ -231,16 +241,11 @@ fn run_tcp_config(
     }
     // Warm the compile caches (as in `run_config`, including the MAP plan).
     for (name, _) in models {
-        let (mut engine, version) = service.registry().engine(name)?;
+        let variant = ModelVariant::default();
+        let (mut engine, version) = service.registry().engine(name, variant)?;
         engine.prepare_map().map_err(ServeError::from_backend)?;
         let map = engine.shared_map().expect("map plan just prepared");
-        service.registry().store_map(
-            name,
-            version,
-            spn_core::NumericMode::Linear,
-            spn_core::Precision::F64,
-            map,
-        );
+        service.registry().store_map(name, version, variant, map);
     }
     let mut server = TcpServer::spawn(Arc::clone(&service), "127.0.0.1:0")
         .map_err(|err| ServeError::Protocol(format!("spawning TCP server: {err}")))?;
@@ -328,6 +333,212 @@ fn run_tcp_config(
     ))
 }
 
+/// The session-replay walk: delta `q` flips `flips` rotating variables
+/// through observed-true / observed-false / marginalised states (the same
+/// walk `bench_engine`'s session sweep uses).
+fn flip_schedule(
+    num_vars: usize,
+    flips: usize,
+    total_deltas: usize,
+) -> Vec<Vec<(usize, Option<bool>)>> {
+    (0..total_deltas)
+        .map(|q| {
+            (0..flips)
+                .map(|j| {
+                    let var = (q * flips + j) % num_vars;
+                    let observation = match (q + j) % 3 {
+                        0 => Some(true),
+                        1 => Some(false),
+                        _ => None,
+                    };
+                    (var, observation)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn observation_char(observation: Option<bool>) -> char {
+    match observation {
+        Some(true) => '1',
+        Some(false) => '0',
+        None => '?',
+    }
+}
+
+/// Runs one session-replay configuration over a single pipelined TCP
+/// connection: a wire-v2 session absorbing one evidence delta of `flips`
+/// variables per query (`flips > 0`, the incremental path), or the same walk
+/// re-sent as full-row one-shot marginal queries (`flips == 0`, what a
+/// session-less client pays per update).  Returns the record plus a checksum
+/// over every response value, so the caller can cross-check the incremental
+/// and full-row replays of the same walk bit-for-bit.
+fn run_session_config(
+    model: &str,
+    spn: &Spn,
+    flips: usize,
+    deltas: usize,
+    policy: BatchPolicy,
+    workers: usize,
+) -> Result<(Record, f64), ServeError> {
+    let service = Arc::new(Service::new(
+        CpuModel::new(),
+        ServiceConfig {
+            workers,
+            policy,
+            parallelism: Parallelism::serial(),
+            artifact_capacity: 1,
+            ..ServiceConfig::default()
+        },
+    ));
+    service.register(model, spn);
+    // Warm the compile cache outside the measured window.
+    service.registry().engine(model, ModelVariant::default())?;
+    let mut server = TcpServer::spawn(Arc::clone(&service), "127.0.0.1:0")
+        .map_err(|err| ServeError::Protocol(format!("spawning TCP server: {err}")))?;
+
+    let num_vars = spn.num_vars();
+    let schedule = flip_schedule(num_vars, flips.max(1), deltas);
+    let stream = TcpStream::connect(server.local_addr())
+        .map_err(|err| ServeError::Protocol(format!("connecting: {err}")))?;
+    let _ = stream.set_nodelay(true);
+    let mut reader = BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|err| ServeError::Protocol(format!("cloning stream: {err}")))?,
+    );
+    let mut writer = stream;
+    let mut errors = 0u64;
+    let mut checksum = 0.0;
+    // Pipeline in bounded chunks (write `CHUNK` lines, read `CHUNK` replies)
+    // so neither side's socket buffer can fill up and deadlock the exchange.
+    const CHUNK: usize = 64;
+    let mut exchange = |lines: &[String], check: &mut f64, errors: &mut u64| {
+        for chunk in lines.chunks(CHUNK) {
+            let block: String = chunk.iter().map(|l| format!("{l}\n")).collect();
+            if writer.write_all(block.as_bytes()).is_err() {
+                *errors += chunk.len() as u64;
+                continue;
+            }
+            for _ in chunk {
+                let mut reply = String::new();
+                let value = match reader.read_line(&mut reply) {
+                    Ok(n) if n > 0 => json::parse(reply.trim()).ok().and_then(|doc| {
+                        let get = |key: &str| {
+                            if let Value::Obj(fields) = &doc {
+                                fields
+                                    .iter()
+                                    .find(|(k, _)| k == key)
+                                    .map(|(_, v)| v.clone())
+                            } else {
+                                None
+                            }
+                        };
+                        if !matches!(get("ok"), Some(Value::Bool(true))) {
+                            return None;
+                        }
+                        // Session responses carry a scalar `value`; one-shot
+                        // query responses a single-element `values` array.
+                        match (get("value"), get("values")) {
+                            (Some(Value::Num(v)), _) if v.is_finite() => Some(v),
+                            (_, Some(Value::Arr(vs))) => match vs.as_slice() {
+                                [Value::Num(v)] if v.is_finite() => Some(*v),
+                                _ => None,
+                            },
+                            _ => None,
+                        }
+                    }),
+                    _ => None,
+                };
+                match value {
+                    Some(v) => *check += v,
+                    None => *errors += 1,
+                }
+            }
+        }
+    };
+
+    let start;
+    if flips > 0 {
+        // Incremental replay: open the session outside the measured window,
+        // then time the deltas.
+        let open = format!(
+            r#"{{"v": 2, "type": "session_open", "id": 0, "session": 1, "model": "{model}", "row": "{}"}}"#,
+            "?".repeat(num_vars)
+        );
+        let mut open_value = 0.0;
+        exchange(std::slice::from_ref(&open), &mut open_value, &mut errors);
+        let lines: Vec<String> = schedule
+            .iter()
+            .enumerate()
+            .map(|(q, delta)| {
+                let pairs: Vec<String> = delta
+                    .iter()
+                    .map(|&(var, obs)| format!(r#"[{var}, "{}"]"#, observation_char(obs)))
+                    .collect();
+                format!(
+                    r#"{{"v": 2, "type": "delta", "id": {}, "session": 1, "flips": [{}]}}"#,
+                    q + 1,
+                    pairs.join(", ")
+                )
+            })
+            .collect();
+        start = Instant::now();
+        exchange(&lines, &mut checksum, &mut errors);
+    } else {
+        // Full-row baseline: the same walk, each update re-sent as a one-shot
+        // marginal query over the whole row.
+        let mut row: Vec<char> = vec!['?'; num_vars];
+        let lines: Vec<String> = schedule
+            .iter()
+            .enumerate()
+            .map(|(q, delta)| {
+                for &(var, obs) in delta {
+                    row[var] = observation_char(obs);
+                }
+                let row: String = row.iter().collect();
+                let request = QueryRequest::from_rows(
+                    q as u64 + 1,
+                    model,
+                    QueryMode::Marginal,
+                    &[&row],
+                    None,
+                )
+                .expect("deterministic replay row is well-formed");
+                encode_request(&request)
+            })
+            .collect();
+        start = Instant::now();
+        exchange(&lines, &mut checksum, &mut errors);
+    }
+    let seconds = start.elapsed().as_secs_f64();
+
+    server.shutdown();
+    service.shutdown();
+    Ok((
+        Record {
+            rate_target: 0.0, // closed loop
+            max_wait_us: policy.max_wait.as_micros() as u64,
+            max_batch: policy.max_batch_queries,
+            workers,
+            connections: 1,
+            flips,
+            incremental: flips > 0,
+            requests: deltas as u64,
+            errors,
+            seconds,
+            achieved_rps: deltas as f64 / seconds.max(1e-12),
+            mean_batch_queries: 1.0, // deltas ride the per-session FIFO, unbatched
+            batches: deltas as u64,
+            coalesced_batches: 0,
+            // Per-request latency is not measured under pipelining.
+            mean_latency_ms: 0.0,
+            max_latency_ms: 0.0,
+        },
+        checksum,
+    ))
+}
+
 fn record_value(r: &Record) -> Value {
     Value::Obj(vec![
         ("rate_target".to_string(), Value::Num(r.rate_target)),
@@ -335,6 +546,11 @@ fn record_value(r: &Record) -> Value {
         ("max_batch".to_string(), Value::Num(r.max_batch as f64)),
         ("workers".to_string(), Value::Num(r.workers as f64)),
         ("connections".to_string(), Value::Num(r.connections as f64)),
+        ("flips".to_string(), Value::Num(r.flips as f64)),
+        (
+            "incremental".to_string(),
+            Value::Num(r.incremental as usize as f64),
+        ),
         ("requests".to_string(), Value::Num(r.requests as f64)),
         ("errors".to_string(), Value::Num(r.errors as f64)),
         ("seconds".to_string(), Value::Num(r.seconds)),
@@ -354,9 +570,10 @@ fn record_value(r: &Record) -> Value {
 }
 
 /// The configuration key a record is deduplicated on when merging into an
-/// existing file: (rate, policy, workers, connections).  `connections`
-/// defaults to 0 for rows written before that field existed.
-fn config_key(record: &Value) -> Option<(u64, u64, u64, u64, u64)> {
+/// existing file: (rate, policy, workers, connections, flips, incremental).
+/// `connections`, `flips` and `incremental` default to 0 for rows written
+/// before those fields existed.
+fn config_key(record: &Value) -> Option<(u64, u64, u64, u64, u64, u64, u64)> {
     let Value::Obj(fields) = record else {
         return None;
     };
@@ -375,6 +592,8 @@ fn config_key(record: &Value) -> Option<(u64, u64, u64, u64, u64)> {
         get("max_batch")? as u64,
         get("workers")? as u64,
         get("connections").unwrap_or(0.0) as u64,
+        get("flips").unwrap_or(0.0) as u64,
+        get("incremental").unwrap_or(0.0) as u64,
     ))
 }
 
@@ -529,6 +748,66 @@ fn main() {
             }
             Err(err) => {
                 eprintln!("bench_serve TCP sweep failed ({connections} connections): {err}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // Session-replay sweep: a wire-v2 session on a wide ≥ 500-op random
+    // circuit absorbing per-delta evidence flips of 1/2/8/all variables, next
+    // to the full-row one-shot baseline replaying the same walk (flips = 0).
+    // The flips = 1 replay must agree with the baseline bit-for-bit — the
+    // incremental evaluator's parity contract, checked on the value sums.
+    let session_model = "session-random-96";
+    let session_spn = {
+        let mut rng = StdRng::seed_from_u64(0x5e55);
+        random_spn(&RandomSpnConfig::with_vars(96), &mut rng)
+    };
+    let session_deltas = if smoke { 512 } else { 4096 };
+    let flip_counts: Vec<usize> = vec![0, 1, 2, 8, session_spn.num_vars()];
+    println!("\n# Session replay: per-delta flip count over one wire-v2 TCP session (0 = full-row one-shot baseline)\n");
+    println!("| flips | incremental | deltas | deltas/sec |");
+    println!("|---|---|---|---|");
+    let mut baseline_checksum: Option<f64> = None;
+    for flips in flip_counts {
+        match run_session_config(
+            session_model,
+            &session_spn,
+            flips,
+            session_deltas,
+            wait_1ms,
+            1,
+        ) {
+            Ok((record, checksum)) => {
+                println!(
+                    "| {} | {} | {} | {:.0} |",
+                    record.flips, record.incremental as usize, record.requests, record.achieved_rps,
+                );
+                if record.errors > 0 {
+                    eprintln!(
+                        "bench_serve: {} session replies failed at {flips} flips",
+                        record.errors
+                    );
+                    std::process::exit(1);
+                }
+                match flips {
+                    0 => baseline_checksum = Some(checksum),
+                    1 => {
+                        let expected = baseline_checksum.expect("baseline runs first");
+                        if checksum.to_bits() != expected.to_bits() {
+                            eprintln!(
+                                "bench_serve: session replay diverged from the full-row \
+                                 baseline: {checksum} vs {expected}"
+                            );
+                            std::process::exit(1);
+                        }
+                    }
+                    _ => {}
+                }
+                values.push(record_value(&record));
+            }
+            Err(err) => {
+                eprintln!("bench_serve session sweep failed ({flips} flips): {err}");
                 std::process::exit(1);
             }
         }

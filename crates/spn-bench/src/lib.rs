@@ -99,7 +99,7 @@ pub fn run_backend<B: Backend>(
     ops: &OpList,
     batch: &EvidenceBatch,
 ) -> Result<PlatformRun, BackendError> {
-    let mut engine = Engine::new(backend, ops)?;
+    let mut engine = Engine::from_ops(backend, ops)?;
     let out = engine.execute_batch(batch)?;
     let first = out.values.first().copied().unwrap_or(0.0);
     Ok(PlatformRun {

@@ -21,6 +21,10 @@
 //! * flattening to the two scalar program forms used by the paper:
 //!   [`flatten::OpList`] (Algorithm 1, a list of binary operations) and
 //!   [`flatten::LoopProgram`] (Algorithm 2, index vectors `O`/`B`/`C`),
+//! * incremental re-evaluation for session workloads ([`incremental`]):
+//!   per-variable reachability cones computed once per program and a
+//!   retained-state delta path that re-executes only the flipped evidence
+//!   variables' cones, bit-for-bit with a full pass,
 //! * the emulated PE-precision layer ([`precision`]): a [`Precision`] names
 //!   a (possibly custom reduced-precision) floating-point format and every
 //!   execution backend quantizes each intermediate through
@@ -76,6 +80,7 @@ mod value;
 pub mod batch;
 pub mod eval;
 pub mod flatten;
+pub mod incremental;
 pub mod io;
 pub mod levelize;
 pub mod numeric;
@@ -93,6 +98,7 @@ pub use eval::Evaluator;
 pub use evidence::Evidence;
 pub use flatten::{FlatEvaluator, OpListPart, PartInput};
 pub use graph::{Node, NodeId, Spn, SpnBuilder, VarId};
+pub use incremental::{ConeAnalysis, DeltaOutcome, IncrementalState};
 pub use numeric::NumericMode;
 pub use precision::Precision;
 pub use query::{

@@ -23,9 +23,14 @@
 //! The [`crate::Engine`] wrapper owns a backend, its compiled artifact and
 //! the buffers, which is the API the benchmark harness and examples use.
 
+use std::sync::Arc;
+
 use spn_core::batch::{EvidenceBatch, InputRecipe};
 use spn_core::flatten::OpList;
+use spn_core::incremental::ConeAnalysis;
 use spn_processor::PerfReport;
+
+use crate::options::EngineOptions;
 
 /// Errors surfaced by backends (compile- or execute-time).
 pub type BackendError = Box<dyn std::error::Error + Send + Sync>;
@@ -200,6 +205,36 @@ pub trait Backend {
 
     /// Short name used in tables and figures (e.g. `"CPU"`).
     fn name(&self) -> String;
+
+    /// Applies the backend-tuning fields of `options` before compilation
+    /// (called by [`crate::Engine::new`]); the default implementation
+    /// ignores every knob.
+    ///
+    /// Each backend applies only the fields that concern it — the CPU model
+    /// takes [`EngineOptions::lanes`], the processor backend takes
+    /// [`EngineOptions::cores`] — and leaves its configuration untouched
+    /// when the field is `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when an option value is structurally invalid for
+    /// this backend (e.g. a zero core count).
+    fn configure(&mut self, _options: &EngineOptions) -> Result<(), BackendError> {
+        Ok(())
+    }
+
+    /// Per-variable reachability of `compiled`'s program, when this backend
+    /// supports incremental session evaluation; `None` (the default) makes
+    /// [`crate::Engine`] sessions fall back to full passes.
+    ///
+    /// Backends that return `Some` must execute single-query batches with
+    /// arithmetic bit-for-bit identical to
+    /// [`OpList::run_into`](spn_core::flatten::OpList::run_into), because
+    /// session deltas interleave incremental cone re-execution with full
+    /// passes and the two must agree exactly.
+    fn cone_analysis(&self, _compiled: &Self::Compiled) -> Option<Arc<ConeAnalysis>> {
+        None
+    }
 
     /// Compiles `ops` into this platform's executable artifact.
     ///

@@ -16,13 +16,17 @@
 //! The default parameters are calibrated so that large irregular SPNs land
 //! near the paper's measured peak of ≈ 0.55 effective operations per cycle.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 use spn_core::batch::{EvidenceBatch, InputRecipe};
 use spn_core::flatten::{OpList, OperandRef};
+use spn_core::incremental::ConeAnalysis;
 use spn_core::vectorized;
 use spn_processor::PerfReport;
 
 use crate::backend::{Backend, BackendError, BatchResult, ExecBuffers};
+use crate::options::EngineOptions;
 
 /// Microarchitectural parameters of the CPU model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -253,14 +257,16 @@ impl CpuModel {
 }
 
 /// The CPU model's compiled artifact: the program itself plus everything
-/// evidence-independent — the input recipe and the modelled per-query cost
+/// evidence-independent — the input recipe, the modelled per-query cost
 /// (straight-line code has the same cycle count for every query, so the
-/// whole microarchitectural model runs once at compile time).
+/// whole microarchitectural model runs once at compile time), and the
+/// per-variable reachability cones backing incremental session evaluation.
 #[derive(Debug, Clone)]
 pub struct CpuCompiled {
     ops: OpList,
     recipe: InputRecipe,
     perf_per_query: PerfReport,
+    cones: Arc<ConeAnalysis>,
 }
 
 impl CpuCompiled {
@@ -273,6 +279,12 @@ impl CpuCompiled {
     pub fn perf_per_query(&self) -> &PerfReport {
         &self.perf_per_query
     }
+
+    /// Per-variable reachability cones of the program (shared with every
+    /// session evaluating this artifact).
+    pub fn cone_analysis(&self) -> &ConeAnalysis {
+        &self.cones
+    }
 }
 
 impl Backend for CpuModel {
@@ -283,12 +295,29 @@ impl Backend for CpuModel {
         self.config.name.clone()
     }
 
+    /// Takes [`EngineOptions::lanes`] as the lane-block width (normalised
+    /// like [`CpuModel::with_lanes`]); other knobs are not the CPU model's.
+    fn configure(&mut self, options: &EngineOptions) -> Result<(), BackendError> {
+        if let Some(lanes) = options.lanes {
+            self.lanes = vectorized::normalize_lanes(lanes);
+        }
+        Ok(())
+    }
+
     fn compile(&self, ops: &OpList) -> Result<CpuCompiled, BackendError> {
         Ok(CpuCompiled {
             recipe: ops.input_recipe(),
             perf_per_query: self.model_cycles(ops),
+            cones: Arc::new(ConeAnalysis::from_op_list(ops)),
             ops: ops.clone(),
         })
+    }
+
+    /// The CPU model supports incremental sessions: its scalar single-query
+    /// path is exactly [`OpList::run_into`], so cone re-execution and full
+    /// passes agree bit-for-bit.
+    fn cone_analysis(&self, compiled: &CpuCompiled) -> Option<Arc<ConeAnalysis>> {
+        Some(Arc::clone(&compiled.cones))
     }
 
     fn execute_batch(

@@ -6,7 +6,8 @@
 //! artifact of MAP queries — so callers get the two-phase execution model
 //! through one handle:
 //!
-//! * construct once ([`Engine::new`] / [`Engine::from_spn`]; compilation
+//! * construct once ([`Engine::new`] with an [`EngineOptions`], or
+//!   [`Engine::from_ops`] for an already-lowered program; compilation
 //!   happens here),
 //! * stream [`EvidenceBatch`]es through [`Engine::execute_batch`] (serial)
 //!   or [`Engine::execute_batch_parallel`] (sharded across a worker pool)
@@ -23,11 +24,13 @@ use std::sync::Arc;
 
 use spn_core::batch::EvidenceBatch;
 use spn_core::flatten::OpList;
+use spn_core::incremental::{ConeAnalysis, DeltaOutcome, IncrementalState};
 use spn_core::query::{conditional_values, MaxProductProgram, QueryBatch};
-use spn_core::{Evidence, NumericMode, Precision, Spn};
+use spn_core::{Evidence, NumericMode, Precision, Spn, SpnError};
 use spn_processor::PerfReport;
 
 use crate::backend::{Backend, BackendError, BatchResult, ExecBuffers, Parallelism, WorkerState};
+use crate::options::EngineOptions;
 
 /// The MAP half of an engine, cheaply shareable between engines: the
 /// max-product program plus the backend's compiled artifact for it.
@@ -68,16 +71,66 @@ pub struct QueryOutput {
     pub perf: PerfReport,
 }
 
+/// One client's retained evaluation state over an [`Engine`]: the evidence
+/// as of the last query plus, on backends with cone support, the previous
+/// pass's input and per-op result buffers.
+///
+/// Created by [`Engine::open_session`], advanced by
+/// [`Engine::session_delta`].  Sessions are independent of each other and of
+/// the engine's batch paths — a serving layer keeps one per connected
+/// client; the per-program [`ConeAnalysis`] is shared, the buffers are not.
+pub struct EvalSession {
+    /// `Some` on backends that support incremental cone re-execution.
+    cones: Option<Arc<ConeAnalysis>>,
+    state: IncrementalState,
+    evidence: Evidence,
+    value: f64,
+}
+
+impl EvalSession {
+    /// The circuit value under the session's current evidence.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The session's current evidence (the seed evidence with every
+    /// successful delta applied).
+    pub fn evidence(&self) -> &Evidence {
+        &self.evidence
+    }
+
+    /// Whether deltas run incrementally (`false` means every delta is a
+    /// full pass on a backend without cone support).
+    pub fn is_incremental(&self) -> bool {
+        self.cones.is_some()
+    }
+
+    /// The reachability cones backing this session, when incremental.
+    pub fn cone_analysis(&self) -> Option<&ConeAnalysis> {
+        self.cones.as_deref()
+    }
+
+    /// Applies validated flips to the tracked evidence.
+    fn apply_to_evidence(&mut self, flips: &[(usize, Option<bool>)]) {
+        for &(var, observation) in flips {
+            match observation {
+                Some(value) => self.evidence.observe(var, value),
+                None => self.evidence.forget(var),
+            }
+        }
+    }
+}
+
 /// A backend bound to one compiled circuit, ready to serve queries.
 ///
 /// ```
 /// use spn_core::{random::{random_spn, RandomSpnConfig}, EvidenceBatch};
-/// use spn_platforms::{CpuModel, Engine};
+/// use spn_platforms::{CpuModel, Engine, EngineOptions};
 /// use rand::{rngs::StdRng, SeedableRng};
 ///
 /// # fn main() -> Result<(), spn_platforms::BackendError> {
 /// let spn = random_spn(&RandomSpnConfig::with_vars(8), &mut StdRng::seed_from_u64(1));
-/// let mut engine = Engine::from_spn(CpuModel::new(), &spn)?;
+/// let mut engine = Engine::new(CpuModel::new(), &spn, EngineOptions::default())?;
 ///
 /// let batch = EvidenceBatch::marginals(8, 64);
 /// let result = engine.execute_batch(&batch)?;
@@ -108,12 +161,31 @@ pub struct Engine<B: Backend> {
 }
 
 impl<B: Backend> Engine<B> {
-    /// Compiles `ops` for `backend` (the expensive, once-per-circuit phase).
+    /// Flattens `spn`, lowers it per `options` (numeric domain and emulated
+    /// PE precision), applies the backend-tuning knobs via
+    /// [`Backend::configure`] and compiles — the single canonical
+    /// construction path (and the expensive, once-per-circuit phase).
+    ///
+    /// With [`EngineOptions::default`] this is the plain linear-domain,
+    /// native-`f64` engine.  See [`EngineOptions`] for what each field
+    /// selects; an already-lowered [`OpList`] compiles through
+    /// [`Engine::from_ops`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when an option value is invalid for the backend or
+    /// the backend cannot compile the program.
+    pub fn new(mut backend: B, spn: &Spn, options: EngineOptions) -> Result<Self, BackendError> {
+        backend.configure(&options)?;
+        Engine::from_ops(backend, &options.lower(spn))
+    }
+
+    /// Compiles an already-lowered `ops` program for `backend`.
     ///
     /// # Errors
     ///
     /// Returns an error when the backend cannot compile the program.
-    pub fn new(backend: B, ops: &OpList) -> Result<Self, BackendError> {
+    pub fn from_ops(backend: B, ops: &OpList) -> Result<Self, BackendError> {
         let compiled = Arc::new(backend.compile(ops)?);
         Ok(Engine::from_artifact(backend, ops, compiled))
     }
@@ -123,40 +195,34 @@ impl<B: Backend> Engine<B> {
     /// # Errors
     ///
     /// Returns an error when the backend cannot compile the program.
+    #[deprecated(note = "use `Engine::new(backend, spn, EngineOptions::default())`")]
     pub fn from_spn(backend: B, spn: &Spn) -> Result<Self, BackendError> {
-        Engine::new(backend, &OpList::from_spn(spn))
+        Engine::new(backend, spn, EngineOptions::default())
     }
 
     /// Flattens `spn`, lowers it into `mode` and compiles it for `backend`.
     ///
-    /// In [`NumericMode::Log`] every value the engine returns is a natural
-    /// log: joint/marginal probabilities, MAP circuit values, and
-    /// conditionals (computed as a log-space subtraction instead of a
-    /// division, so deep circuits cannot fail by denominator underflow).
-    ///
     /// # Errors
     ///
     /// Returns an error when the backend cannot compile the program.
+    #[deprecated(note = "use `Engine::new` with `EngineOptions::default().mode(mode)`")]
     pub fn from_spn_with_mode(
         backend: B,
         spn: &Spn,
         mode: NumericMode,
     ) -> Result<Self, BackendError> {
-        Engine::new(backend, &OpList::from_spn(spn).with_mode(mode))
+        Engine::new(backend, spn, EngineOptions::default().mode(mode))
     }
 
     /// Flattens `spn`, lowers it into `mode`, stamps it with the emulated PE
     /// arithmetic `precision` and compiles it for `backend`.
     ///
-    /// With [`Precision::F64`] this is exactly [`Engine::from_spn_with_mode`]
-    /// (bit-for-bit, every backend).  Reduced precisions quantize every
-    /// intermediate of every kernel — the software model of the paper's
-    /// reduced-width PE datapath — trading a bounded relative error (see
-    /// [`Precision::unit_roundoff`]) for the narrower modelled hardware.
-    ///
     /// # Errors
     ///
     /// Returns an error when the backend cannot compile the program.
+    #[deprecated(
+        note = "use `Engine::new` with `EngineOptions::default().mode(mode).precision(precision)`"
+    )]
     pub fn from_spn_with_precision(
         backend: B,
         spn: &Spn,
@@ -165,9 +231,8 @@ impl<B: Backend> Engine<B> {
     ) -> Result<Self, BackendError> {
         Engine::new(
             backend,
-            &OpList::from_spn(spn)
-                .with_mode(mode)
-                .with_precision(precision),
+            spn,
+            EngineOptions::default().mode(mode).precision(precision),
         )
     }
 
@@ -288,6 +353,109 @@ impl<B: Backend> Engine<B> {
         Ok((value, result.perf))
     }
 
+    /// Opens an evaluation session seeded with one full pass under
+    /// `evidence`, ready for [`Engine::session_delta`] queries.
+    ///
+    /// On backends that expose reachability cones
+    /// ([`Backend::cone_analysis`] — the CPU model), the session retains the
+    /// pass's input and per-op result buffers, and subsequent deltas
+    /// re-execute only the flipped variables' cones.  On every other backend
+    /// the session still tracks the evidence, but each delta runs a full
+    /// single-query pass.
+    ///
+    /// ```
+    /// use spn_core::{random::{random_spn, RandomSpnConfig}, Evidence};
+    /// use spn_platforms::{CpuModel, Engine, EngineOptions};
+    /// use rand::{rngs::StdRng, SeedableRng};
+    ///
+    /// # fn main() -> Result<(), spn_platforms::BackendError> {
+    /// let spn = random_spn(&RandomSpnConfig::with_vars(8), &mut StdRng::seed_from_u64(3));
+    /// let mut engine = Engine::new(CpuModel::new(), &spn, EngineOptions::default())?;
+    ///
+    /// let mut session = engine.open_session(&Evidence::marginal(8))?;
+    /// let outcome = engine.session_delta(&mut session, &[(0, Some(true))])?;
+    ///
+    /// // Bit-for-bit the value of a full re-evaluation under the updated
+    /// // evidence.
+    /// let mut evidence = Evidence::marginal(8);
+    /// evidence.observe(0, true);
+    /// let (full, _) = engine.execute(&evidence)?;
+    /// assert_eq!(outcome.value.to_bits(), full.to_bits());
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the evidence does not match the compiled
+    /// program or the seeding pass fails.
+    pub fn open_session(&mut self, evidence: &Evidence) -> Result<EvalSession, BackendError> {
+        let cones = self.backend.cone_analysis(&self.compiled);
+        let mut state = IncrementalState::new();
+        let value = match &cones {
+            Some(cones) => cones.prime(&self.ops, evidence, &mut state)?,
+            None => self.execute(evidence)?.0,
+        };
+        Ok(EvalSession {
+            cones,
+            state,
+            evidence: evidence.clone(),
+            value,
+        })
+    }
+
+    /// Applies evidence flips to `session` and returns the new circuit
+    /// value, re-executing only the flipped variables' reachable cones when
+    /// the backend supports it (with automatic fallback to a full pass when
+    /// the dirty cone exceeds the
+    /// [`full-pass fraction`](ConeAnalysis::full_pass_fraction) of the
+    /// program, or always on backends without cone support).
+    ///
+    /// Each flip is `(variable index, new observation)`; `None`
+    /// marginalises the variable.  The value is **bit-for-bit** the value a
+    /// full re-evaluation under the session's updated evidence would
+    /// produce, in every numeric mode and precision — see
+    /// [`spn_core::incremental`] for why.  [`DeltaOutcome`] reports which
+    /// path ran and how many operations it re-executed.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on out-of-range variables (the session is untouched)
+    /// or when a fallback full pass fails.
+    pub fn session_delta(
+        &mut self,
+        session: &mut EvalSession,
+        flips: &[(usize, Option<bool>)],
+    ) -> Result<DeltaOutcome, BackendError> {
+        let num_vars = self.ops.num_vars();
+        for &(var, _) in flips {
+            if var >= num_vars {
+                return Err(Box::new(SpnError::UnknownVariable {
+                    var: var as u32,
+                    num_vars,
+                }));
+            }
+        }
+        let outcome = match &session.cones {
+            Some(cones) => {
+                let outcome = cones.apply_flips(&self.ops, flips, &mut session.state)?;
+                session.apply_to_evidence(flips);
+                outcome
+            }
+            None => {
+                session.apply_to_evidence(flips);
+                let (value, _) = self.execute(&session.evidence)?;
+                DeltaOutcome {
+                    value,
+                    recomputed_ops: self.ops.num_ops(),
+                    full_pass: true,
+                }
+            }
+        };
+        session.value = outcome.value;
+        Ok(outcome)
+    }
+
     /// Ensures the max-product artifact exists (compiling it on first use)
     /// and returns it.
     fn map_plan(&mut self) -> Result<&MapArtifact<B>, BackendError> {
@@ -387,12 +555,12 @@ impl<B: Backend> Engine<B> {
     /// ```
     /// use spn_core::{ConditionalBatch, Evidence, EvidenceBatch, QueryBatch};
     /// use spn_core::random::{random_spn, RandomSpnConfig};
-    /// use spn_platforms::{CpuModel, Engine};
+    /// use spn_platforms::{CpuModel, Engine, EngineOptions};
     /// use rand::{rngs::StdRng, SeedableRng};
     ///
     /// # fn main() -> Result<(), spn_platforms::BackendError> {
     /// let spn = random_spn(&RandomSpnConfig::with_vars(6), &mut StdRng::seed_from_u64(5));
-    /// let mut engine = Engine::from_spn(CpuModel::new(), &spn)?;
+    /// let mut engine = Engine::new(CpuModel::new(), &spn, EngineOptions::default())?;
     ///
     /// // Marginal: unobserved variables are summed out.
     /// let mut batch = EvidenceBatch::new(6);
@@ -451,12 +619,12 @@ where
     ///
     /// ```
     /// use spn_core::{random::{random_spn, RandomSpnConfig}, EvidenceBatch};
-    /// use spn_platforms::{CpuModel, Engine, Parallelism};
+    /// use spn_platforms::{CpuModel, Engine, EngineOptions, Parallelism};
     /// use rand::{rngs::StdRng, SeedableRng};
     ///
     /// # fn main() -> Result<(), spn_platforms::BackendError> {
     /// let spn = random_spn(&RandomSpnConfig::with_vars(8), &mut StdRng::seed_from_u64(2));
-    /// let mut engine = Engine::from_spn(CpuModel::new(), &spn)?;
+    /// let mut engine = Engine::new(CpuModel::new(), &spn, EngineOptions::default())?;
     /// let batch = EvidenceBatch::marginals(8, 256);
     ///
     /// let serial = engine.execute_batch(&batch)?;

@@ -18,8 +18,17 @@
 //!   query and reports batch-aware counters in [`BatchResult`].
 //!
 //! The [`Engine`] handle owns a backend, its compiled artifact and the
-//! buffers — construct it once, then call [`Engine::execute_batch`] for each
-//! batch (or [`Engine::execute`] for the occasional single query).
+//! buffers — construct it once with [`Engine::new`] and an
+//! [`EngineOptions`] (numeric domain, emulated PE precision, backend tuning
+//! knobs), then call [`Engine::execute_batch`] for each batch (or
+//! [`Engine::execute`] for the occasional single query).
+//!
+//! Session-shaped workloads — one client flipping a few evidence variables
+//! between consecutive queries — use [`Engine::open_session`] /
+//! [`Engine::session_delta`]: on the CPU model deltas re-execute only the
+//! flipped variables' reachable cones (bit-for-bit with a full pass, every
+//! numeric mode and precision; see [`spn_core::incremental`]), and other
+//! backends transparently fall back to full passes.
 //!
 //! # Scaling out and richer queries
 //!
@@ -59,11 +68,14 @@ pub mod backend;
 pub mod cpu;
 pub mod engine;
 pub mod gpu;
+pub mod options;
 pub mod processor;
 
 pub use backend::{Backend, BackendError, BatchResult, ExecBuffers, Parallelism, WorkerState};
 pub use cpu::{CpuCompiled, CpuConfig, CpuModel};
-pub use engine::{Engine, MapArtifact, QueryOutput};
+pub use engine::{Engine, EvalSession, MapArtifact, QueryOutput};
 pub use gpu::{GpuCompiled, GpuConfig, GpuModel};
+pub use options::EngineOptions;
 pub use processor::{ProcessorBackend, ProcessorScratch};
+pub use spn_core::incremental::DeltaOutcome;
 pub use spn_processor::PerfReport;

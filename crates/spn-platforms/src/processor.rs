@@ -20,6 +20,7 @@ use spn_core::flatten::OpList;
 use spn_processor::{MultiCoreConfig, MultiCoreProcessor, ProcessorConfig, SimState};
 
 use crate::backend::{Backend, BackendError, BatchResult, ExecBuffers};
+use crate::options::EngineOptions;
 
 /// Compiler plus cycle-accurate simulator for one processor configuration
 /// (optionally replicated across N cores).
@@ -127,6 +128,18 @@ impl Backend for ProcessorBackend {
 
     fn name(&self) -> String {
         self.processor.config().name()
+    }
+
+    /// Takes [`EngineOptions::cores`] as the simulated core count,
+    /// rebuilding the multi-core simulator around the same per-core
+    /// configuration; other knobs are not the processor's.
+    fn configure(&mut self, options: &EngineOptions) -> Result<(), BackendError> {
+        if let Some(cores) = options.cores {
+            if cores != self.cores() {
+                *self = ProcessorBackend::with_cores(self.config().clone(), cores)?;
+            }
+        }
+        Ok(())
     }
 
     fn compile(&self, ops: &OpList) -> Result<CompiledArtifact, BackendError> {

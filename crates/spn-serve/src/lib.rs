@@ -6,10 +6,11 @@
 //! `spn-platforms` [`Engine`](spn_platforms::Engine) into that long-running
 //! service, using only `std`:
 //!
-//! * [`ModelRegistry`] — named circuits compiled for one backend, with an
-//!   LRU cache of [`Arc`](std::sync::Arc)-shared compiled artifacts (worker
-//!   engines are built from reference-count bumps, not recompiles; evicted
-//!   models recompile transparently on next use),
+//! * [`ModelRegistry`] — named circuits compiled for one backend, keyed by
+//!   [`ModelVariant`] (numeric mode × precision), with an LRU cache of
+//!   [`Arc`](std::sync::Arc)-shared compiled artifacts (worker engines are
+//!   built from reference-count bumps, not recompiles; evicted models
+//!   recompile transparently on next use),
 //! * [`Service`] — the in-process API: a submit queue, a pool of batcher
 //!   workers, and a **dynamic micro-batcher** that coalesces concurrent
 //!   same-`(model, mode)` requests into dense batches under a
@@ -17,10 +18,15 @@
 //!   serial or sharded engine paths; all four query modes (joint, marginal,
 //!   MAP, conditional) are served, and coalescing is bit-for-bit invisible
 //!   in the answers,
+//! * [`session`] — per-connection evaluation sessions: open once under full
+//!   evidence, then send only *deltas* (flipped variables), answered through
+//!   the backend's incremental cone path where available (bit-for-bit with
+//!   a full pass) and never coalesced across sessions,
 //! * [`TcpServer`] — a line-delimited JSON front-end over `std::net` with
-//!   graceful shutdown (see [`tcp`] for the protocol),
+//!   graceful shutdown and versioned wire protocol (v1 one-shot lines, v2
+//!   envelopes adding session semantics; see [`tcp`]),
 //! * [`Metrics`] — per-model / per-mode throughput, batching and latency
-//!   counters,
+//!   counters plus global session counters,
 //! * [`json`] — the dependency-free JSON parser/writer backing the wire
 //!   protocol.
 //!
@@ -57,10 +63,12 @@ pub mod metrics;
 pub mod poll;
 pub mod registry;
 pub mod service;
+pub mod session;
 pub mod tcp;
 
 pub use error::ServeError;
-pub use metrics::{Metrics, MetricsRecord, ModeStats};
-pub use registry::{ModelPlan, ModelRegistry};
+pub use metrics::{Metrics, MetricsRecord, ModeStats, SessionStats};
+pub use registry::{ModelPlan, ModelRegistry, ModelVariant};
 pub use service::{BatchPolicy, ResponseHandle, Service, ServiceConfig};
+pub use session::{SessionHandle, SessionKey, SessionOpen, SessionResponse};
 pub use tcp::TcpServer;

@@ -11,6 +11,7 @@
 //! submit to response).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
@@ -80,10 +81,49 @@ pub struct MetricsRecord {
 /// allocating key strings on the per-request hot path.
 type StatsMap = BTreeMap<(String, QueryMode, NumericMode, Precision), ModeStats>;
 
+/// Global counters of the per-session delta path (wire v2 `session_open` /
+/// `delta` traffic).  Sessions are keyed per connection, so unlike the
+/// batched counters these aggregate across models: the operational
+/// questions they answer — *are deltas actually taking the incremental
+/// path* and *how much of the circuit do they re-execute* — are properties
+/// of the serving process, not of one model row.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Sessions opened (each pays one full priming pass).
+    pub opens: u64,
+    /// Delta requests answered (successfully or not).
+    pub deltas: u64,
+    /// Sessions closed by the client.
+    pub closes: u64,
+    /// Sessions evicted (capacity pressure or connection drop).
+    pub evictions: u64,
+    /// Session operations that answered with an error.
+    pub errors: u64,
+    /// Deltas that fell back to a full re-evaluation (dense flip sets or a
+    /// backend without cone support).
+    pub full_pass_deltas: u64,
+    /// Total operations re-executed by delta requests (full passes
+    /// included); divide by `deltas` for the mean incremental cone size.
+    pub recomputed_ops: u64,
+}
+
+/// Lock-free accumulator behind [`SessionStats`].
+#[derive(Debug, Default)]
+struct SessionCounters {
+    opens: AtomicU64,
+    deltas: AtomicU64,
+    closes: AtomicU64,
+    evictions: AtomicU64,
+    errors: AtomicU64,
+    full_pass_deltas: AtomicU64,
+    recomputed_ops: AtomicU64,
+}
+
 /// Thread-safe metrics sink shared by the batcher workers and front-ends.
 #[derive(Debug, Default)]
 pub struct Metrics {
     inner: Mutex<StatsMap>,
+    sessions: SessionCounters,
 }
 
 impl Metrics {
@@ -150,6 +190,57 @@ impl Metrics {
             stats.total_latency += latency;
             stats.max_latency = stats.max_latency.max(latency);
         });
+    }
+
+    /// Records one opened session.
+    pub fn record_session_open(&self) {
+        self.sessions.opens.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one answered delta: how many operations it re-executed,
+    /// whether it ran a full pass, and whether it failed.
+    pub fn record_session_delta(&self, recomputed_ops: u64, full_pass: bool, ok: bool) {
+        self.sessions.deltas.fetch_add(1, Ordering::Relaxed);
+        self.sessions
+            .recomputed_ops
+            .fetch_add(recomputed_ops, Ordering::Relaxed);
+        if full_pass {
+            self.sessions
+                .full_pass_deltas
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if !ok {
+            self.sessions.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one client-closed session.
+    pub fn record_session_close(&self) {
+        self.sessions.closes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one evicted session (capacity pressure or connection drop).
+    pub fn record_session_eviction(&self) {
+        self.sessions.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one failed session open (counted under both opens and
+    /// errors).
+    pub fn record_session_error(&self) {
+        self.sessions.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A copy of the global session counters.
+    pub fn session_stats(&self) -> SessionStats {
+        SessionStats {
+            opens: self.sessions.opens.load(Ordering::Relaxed),
+            deltas: self.sessions.deltas.load(Ordering::Relaxed),
+            closes: self.sessions.closes.load(Ordering::Relaxed),
+            evictions: self.sessions.evictions.load(Ordering::Relaxed),
+            errors: self.sessions.errors.load(Ordering::Relaxed),
+            full_pass_deltas: self.sessions.full_pass_deltas.load(Ordering::Relaxed),
+            recomputed_ops: self.sessions.recomputed_ops.load(Ordering::Relaxed),
+        }
     }
 
     /// A consistent copy of every `(model, query mode, numeric mode,

@@ -15,14 +15,14 @@
 //! the compiled max-product plan back via [`ModelRegistry::store_map`], and
 //! every later engine picks it up pre-compiled.
 //!
-//! Artifacts are held **per `(numeric mode, precision)`**: one model can
-//! serve linear- and log-domain traffic at several emulated PE precisions
-//! side by side, each `(model, mode, precision)` triple compiled once and
-//! cached independently.  The mode-lowered program is derived from the
-//! registered linear program on first use, then stamped with the requested
-//! precision — the same order as `Engine::from_spn_with_precision`, so a
+//! Artifacts are held **per [`ModelVariant`]** (numeric mode × emulated PE
+//! precision): one model can serve linear- and log-domain traffic at
+//! several precisions side by side, each `(model, variant)` pair compiled
+//! once and cached independently.  The mode-lowered program is derived from
+//! the registered linear program on first use, then stamped with the
+//! requested precision — the same order as `EngineOptions::lower`, so a
 //! registry-built engine and a directly-built one execute identical
-//! programs.  Cache keys carry the full triple, so variants can never
+//! programs.  Cache keys carry the full variant, so variants can never
 //! alias; a re-registration of a name replaces the whole entry, which
 //! invalidates **all** precision variants of the model at once.
 
@@ -35,8 +35,55 @@ use spn_platforms::{Backend, Engine, MapArtifact};
 
 use crate::error::ServeError;
 
+/// The execution variant of one model: the numeric domain its program is
+/// lowered into and the emulated PE precision its arithmetic is stamped
+/// with.
+///
+/// Every layer of the serving stack that used to thread a loose
+/// `(NumericMode, Precision)` pair — registry cache keys, worker engine
+/// caches, map publication — keys on this one struct instead, so a variant
+/// can never be half-specified or accidentally transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ModelVariant {
+    /// The numeric execution domain.
+    pub numeric: NumericMode,
+    /// The emulated PE arithmetic format.
+    pub precision: Precision,
+}
+
+impl ModelVariant {
+    /// A variant with an explicit numeric mode and precision.
+    pub fn new(numeric: NumericMode, precision: Precision) -> ModelVariant {
+        ModelVariant { numeric, precision }
+    }
+
+    /// The full-precision log-domain variant.
+    pub fn log() -> ModelVariant {
+        ModelVariant::new(NumericMode::Log, Precision::F64)
+    }
+
+    /// Returns the variant with `precision` substituted.
+    pub fn with_precision(self, precision: Precision) -> ModelVariant {
+        ModelVariant { precision, ..self }
+    }
+}
+
+impl Default for ModelVariant {
+    /// Linear domain at full (`f64`) precision — the variant models are
+    /// registered in.
+    fn default() -> Self {
+        ModelVariant::new(NumericMode::Linear, Precision::F64)
+    }
+}
+
+impl std::fmt::Display for ModelVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.numeric, self.precision)
+    }
+}
+
 /// Everything a worker needs to build an [`Engine`] for one model in one
-/// `(numeric mode, precision)` variant, shared cheaply out of the registry.
+/// [`ModelVariant`], shared cheaply out of the registry.
 pub struct ModelPlan<B: Backend> {
     /// The flattened program in the plan's numeric mode and precision
     /// (cloned per plan; engines keep their own copy).
@@ -48,14 +95,12 @@ pub struct ModelPlan<B: Backend> {
     /// Bumped on every (re-)registration of the name, so workers can detect
     /// stale cached engines.
     pub version: u64,
-    /// The numeric mode the plan was compiled for.
-    pub mode: NumericMode,
-    /// The emulated PE precision the plan was compiled for.
-    pub precision: Precision,
+    /// The variant the plan was compiled for.
+    pub variant: ModelVariant,
 }
 
 /// The cache key of one compiled variant of a model.
-type VariantKey = (NumericMode, Precision);
+type VariantKey = ModelVariant;
 
 /// Compiled state of one `(numeric mode, precision)` variant of a model.
 struct VariantSlot<B: Backend> {
@@ -100,19 +145,20 @@ impl<B: Backend> ModelEntry<B> {
             .count()
     }
 
-    /// The entry's program lowered into `mode` (memoising the log-domain
-    /// derivation) and stamped with `precision` — the same lowering order as
-    /// `Engine::from_spn_with_precision`, so programs (and therefore cached
-    /// artifacts) agree bit for bit with directly-built engines.
-    fn ops_for(&mut self, mode: NumericMode, precision: Precision) -> OpList {
-        let lowered = match mode {
+    /// The entry's program lowered into the variant's numeric mode
+    /// (memoising the log-domain derivation) and stamped with its precision
+    /// — the same lowering order as `EngineOptions::lower`, so programs (and
+    /// therefore cached artifacts) agree bit for bit with directly-built
+    /// engines.
+    fn ops_for(&mut self, variant: ModelVariant) -> OpList {
+        let lowered = match variant.numeric {
             NumericMode::Linear => &self.ops,
             NumericMode::Log => self.log_ops.get_or_insert_with(|| self.ops.to_log_domain()),
         };
-        if precision == Precision::F64 {
+        if variant.precision == Precision::F64 {
             lowered.clone()
         } else {
-            lowered.with_precision(precision)
+            lowered.with_precision(variant.precision)
         }
     }
 }
@@ -242,31 +288,11 @@ impl<B: Backend + Clone> ModelRegistry<B> {
             .sum()
     }
 
-    /// Returns the shared linear-domain, full-precision execution plan for
-    /// `name` — see [`ModelRegistry::plan_with`].
-    ///
-    /// # Errors
-    ///
-    /// As for [`ModelRegistry::plan_with`].
-    pub fn plan(&self, name: &str) -> Result<ModelPlan<B>, ServeError> {
-        self.plan_with(name, NumericMode::Linear, Precision::F64)
-    }
-
-    /// Returns the shared full-precision execution plan for `name` in `mode`
-    /// — see [`ModelRegistry::plan_with`].
-    ///
-    /// # Errors
-    ///
-    /// As for [`ModelRegistry::plan_with`].
-    pub fn plan_mode(&self, name: &str, mode: NumericMode) -> Result<ModelPlan<B>, ServeError> {
-        self.plan_with(name, mode, Precision::F64)
-    }
-
-    /// Returns the shared execution plan for `name` in `(mode, precision)`,
-    /// compiling (and caching) the artifact on a cache miss and evicting the
+    /// Returns the shared execution plan for `name` in `variant`, compiling
+    /// (and caching) the artifact on a cache miss and evicting the
     /// least-recently-used model's artifacts beyond the cache capacity.
-    /// Every `(mode, precision)` variant of one model lives side by side
-    /// under its own cache key.
+    /// Every variant of one model lives side by side under its own cache
+    /// key.
     ///
     /// Compilation happens outside the registry lock, so a slow compile
     /// stalls only the models that need it, not every worker.
@@ -275,13 +301,8 @@ impl<B: Backend + Clone> ModelRegistry<B> {
     ///
     /// Returns [`ServeError::UnknownModel`] when `name` is not registered and
     /// [`ServeError::Backend`] when compilation fails.
-    pub fn plan_with(
-        &self,
-        name: &str,
-        mode: NumericMode,
-        precision: Precision,
-    ) -> Result<ModelPlan<B>, ServeError> {
-        let key: VariantKey = (mode, precision);
+    pub fn plan(&self, name: &str, variant: ModelVariant) -> Result<ModelPlan<B>, ServeError> {
+        let key: VariantKey = variant;
         let (ops, version) = {
             let mut inner = self.inner.lock().expect("registry lock");
             inner.clock += 1;
@@ -300,15 +321,14 @@ impl<B: Backend + Clone> ModelRegistry<B> {
             if let Some((artifact, map)) = cached {
                 let version = entry.version;
                 return Ok(ModelPlan {
-                    ops: entry.ops_for(mode, precision),
+                    ops: entry.ops_for(variant),
                     artifact,
                     map,
                     version,
-                    mode,
-                    precision,
+                    variant,
                 });
             }
-            (entry.ops_for(mode, precision), entry.version)
+            (entry.ops_for(variant), entry.version)
         };
 
         let artifact = Arc::new(
@@ -342,28 +362,20 @@ impl<B: Backend + Clone> ModelRegistry<B> {
             artifact,
             map,
             version,
-            mode,
-            precision,
+            variant,
         })
     }
 
-    /// Publishes a compiled max-product artifact for `name`'s
-    /// `(mode, precision)` variant (ignored when the model was re-registered
-    /// since `version`, the slot already has one, or the variant's main
-    /// artifact is no longer cached — a map rides along with its artifact,
-    /// so map plans can never accumulate past the LRU capacity).
-    pub fn store_map(
-        &self,
-        name: &str,
-        version: u64,
-        mode: NumericMode,
-        precision: Precision,
-        map: MapArtifact<B>,
-    ) {
+    /// Publishes a compiled max-product artifact for `name`'s `variant`
+    /// (ignored when the model was re-registered since `version`, the slot
+    /// already has one, or the variant's main artifact is no longer cached —
+    /// a map rides along with its artifact, so map plans can never
+    /// accumulate past the LRU capacity).
+    pub fn store_map(&self, name: &str, version: u64, variant: ModelVariant, map: MapArtifact<B>) {
         let mut inner = self.inner.lock().expect("registry lock");
         if let Some(entry) = inner.models.get_mut(name) {
             if entry.version == version {
-                if let Some(slot) = entry.slots.get_mut(&(mode, precision)) {
+                if let Some(slot) = entry.slots.get_mut(&variant) {
                     if slot.artifact.is_some() && slot.map.is_none() {
                         slot.map = Some(map);
                     }
@@ -372,49 +384,79 @@ impl<B: Backend + Clone> ModelRegistry<B> {
         }
     }
 
-    /// Builds a fresh linear-domain, full-precision engine for `name` — see
-    /// [`ModelRegistry::engine_with`].
+    /// Builds a fresh engine for `name` in `variant` from the shared plan:
+    /// compilation is reused, only per-engine execution state is allocated.
     ///
     /// # Errors
     ///
-    /// As for [`ModelRegistry::plan_with`].
-    pub fn engine(&self, name: &str) -> Result<(Engine<B>, u64), ServeError> {
-        self.engine_with(name, NumericMode::Linear, Precision::F64)
+    /// As for [`ModelRegistry::plan`].
+    pub fn engine(
+        &self,
+        name: &str,
+        variant: ModelVariant,
+    ) -> Result<(Engine<B>, u64), ServeError> {
+        let plan = self.plan(name, variant)?;
+        let mut engine = Engine::from_artifact(self.backend.clone(), &plan.ops, plan.artifact);
+        if let Some(map) = plan.map {
+            engine.install_map(map);
+        }
+        Ok((engine, plan.version))
     }
 
-    /// Builds a fresh full-precision engine for `name` in `mode` — see
-    /// [`ModelRegistry::engine_with`].
+    /// Deprecated spelling of [`ModelRegistry::plan`] with a loose
+    /// mode/precision pair.
     ///
     /// # Errors
     ///
-    /// As for [`ModelRegistry::plan_with`].
-    pub fn engine_mode(
+    /// As for [`ModelRegistry::plan`].
+    #[deprecated(note = "use `plan(name, ModelVariant::new(mode, precision))`")]
+    pub fn plan_with(
         &self,
         name: &str,
         mode: NumericMode,
-    ) -> Result<(Engine<B>, u64), ServeError> {
-        self.engine_with(name, mode, Precision::F64)
+        precision: Precision,
+    ) -> Result<ModelPlan<B>, ServeError> {
+        self.plan(name, ModelVariant::new(mode, precision))
     }
 
-    /// Builds a fresh engine for `name` in `(mode, precision)` from the
-    /// shared plan: compilation is reused, only per-engine execution state
-    /// is allocated.
+    /// Deprecated spelling of [`ModelRegistry::plan`] at full precision.
     ///
     /// # Errors
     ///
-    /// As for [`ModelRegistry::plan_with`].
+    /// As for [`ModelRegistry::plan`].
+    #[deprecated(note = "use `plan(name, ModelVariant::new(mode, Precision::F64))`")]
+    pub fn plan_mode(&self, name: &str, mode: NumericMode) -> Result<ModelPlan<B>, ServeError> {
+        self.plan(name, ModelVariant::new(mode, Precision::F64))
+    }
+
+    /// Deprecated spelling of [`ModelRegistry::engine`] with a loose
+    /// mode/precision pair.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ModelRegistry::plan`].
+    #[deprecated(note = "use `engine(name, ModelVariant::new(mode, precision))`")]
     pub fn engine_with(
         &self,
         name: &str,
         mode: NumericMode,
         precision: Precision,
     ) -> Result<(Engine<B>, u64), ServeError> {
-        let plan = self.plan_with(name, mode, precision)?;
-        let mut engine = Engine::from_artifact(self.backend.clone(), &plan.ops, plan.artifact);
-        if let Some(map) = plan.map {
-            engine.install_map(map);
-        }
-        Ok((engine, plan.version))
+        self.engine(name, ModelVariant::new(mode, precision))
+    }
+
+    /// Deprecated spelling of [`ModelRegistry::engine`] at full precision.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ModelRegistry::plan`].
+    #[deprecated(note = "use `engine(name, ModelVariant::new(mode, Precision::F64))`")]
+    pub fn engine_mode(
+        &self,
+        name: &str,
+        mode: NumericMode,
+    ) -> Result<(Engine<B>, u64), ServeError> {
+        self.engine(name, ModelVariant::new(mode, Precision::F64))
     }
 }
 
@@ -472,31 +514,31 @@ mod tests {
     #[test]
     fn plans_share_one_artifact_per_model() {
         let registry = registry_with(&["a"], 4);
-        let first = registry.plan("a").unwrap();
-        let second = registry.plan("a").unwrap();
+        let first = registry.plan("a", ModelVariant::default()).unwrap();
+        let second = registry.plan("a", ModelVariant::default()).unwrap();
         assert!(Arc::ptr_eq(&first.artifact, &second.artifact));
         assert_eq!(registry.cached_artifacts(), 1);
-        assert!(registry.plan("missing").is_err());
+        assert!(registry.plan("missing", ModelVariant::default()).is_err());
     }
 
     #[test]
     fn lru_evicts_the_coldest_artifact_only() {
         let registry = registry_with(&["a", "b", "c"], 2);
-        registry.plan("a").unwrap();
-        registry.plan("b").unwrap();
-        registry.plan("a").unwrap(); // refresh a; b is now coldest
-        registry.plan("c").unwrap(); // evicts b's artifact
+        registry.plan("a", ModelVariant::default()).unwrap();
+        registry.plan("b", ModelVariant::default()).unwrap();
+        registry.plan("a", ModelVariant::default()).unwrap(); // refresh a; b is now coldest
+        registry.plan("c", ModelVariant::default()).unwrap(); // evicts b's artifact
         assert_eq!(registry.cached_artifacts(), 2);
         assert_eq!(registry.models().len(), 3); // models stay registered
                                                 // The evicted model recompiles transparently.
-        let plan = registry.plan("b").unwrap();
+        let plan = registry.plan("b", ModelVariant::default()).unwrap();
         assert_eq!(plan.ops.num_vars(), registry.num_vars("b").unwrap());
     }
 
     #[test]
     fn engines_from_shared_plans_execute() {
         let registry = registry_with(&["a"], 1);
-        let (mut engine, version) = registry.engine("a").unwrap();
+        let (mut engine, version) = registry.engine("a", ModelVariant::default()).unwrap();
         let vars = registry.num_vars("a").unwrap();
         let out = engine
             .execute_batch(&EvidenceBatch::marginals(vars, 3))
@@ -509,39 +551,41 @@ mod tests {
         registry.store_map(
             "a",
             version,
-            NumericMode::Linear,
-            Precision::F64,
+            ModelVariant::new(NumericMode::Linear, Precision::F64),
             engine.shared_map().unwrap(),
         );
-        let (second, _) = registry.engine("a").unwrap();
+        let (second, _) = registry.engine("a", ModelVariant::default()).unwrap();
         assert!(second.shared_map().is_some());
         // ...but only in the numeric mode it was published for.
-        let (log_engine, _) = registry.engine_mode("a", NumericMode::Log).unwrap();
+        let (log_engine, _) = registry.engine("a", ModelVariant::log()).unwrap();
         assert!(log_engine.shared_map().is_none());
     }
 
     #[test]
     fn linear_and_log_artifacts_live_side_by_side() {
         let registry = registry_with(&["a"], 4);
-        let linear = registry.plan_mode("a", NumericMode::Linear).unwrap();
-        let log = registry.plan_mode("a", NumericMode::Log).unwrap();
-        assert_eq!(linear.mode, NumericMode::Linear);
-        assert_eq!(log.mode, NumericMode::Log);
+        let linear = registry.plan("a", ModelVariant::default()).unwrap();
+        let log = registry.plan("a", ModelVariant::log()).unwrap();
+        assert_eq!(linear.variant.numeric, NumericMode::Linear);
+        assert_eq!(log.variant.numeric, NumericMode::Log);
         assert_eq!(log.ops.mode(), NumericMode::Log);
         assert!(!Arc::ptr_eq(&linear.artifact, &log.artifact));
         assert_eq!(registry.cached_artifacts(), 2);
         // Re-planning either mode reuses its cached artifact.
         assert!(Arc::ptr_eq(
-            &registry.plan_mode("a", NumericMode::Log).unwrap().artifact,
+            &registry.plan("a", ModelVariant::log()).unwrap().artifact,
             &log.artifact
         ));
         assert!(Arc::ptr_eq(
-            &registry.plan("a").unwrap().artifact,
+            &registry
+                .plan("a", ModelVariant::default())
+                .unwrap()
+                .artifact,
             &linear.artifact
         ));
 
         let vars = registry.num_vars("a").unwrap();
-        let (mut engine, _) = registry.engine_mode("a", NumericMode::Log).unwrap();
+        let (mut engine, _) = registry.engine("a", ModelVariant::log()).unwrap();
         let out = engine
             .execute_batch(&EvidenceBatch::marginals(vars, 2))
             .unwrap();
@@ -556,26 +600,38 @@ mod tests {
         // variant slot, never a warmer one (each model here holds a single
         // variant, so slot order and model order coincide).
         let registry = registry_with(&["a", "b", "c"], 2);
-        let a1 = registry.plan("a").unwrap();
-        registry.plan("b").unwrap();
+        let a1 = registry.plan("a", ModelVariant::default()).unwrap();
+        registry.plan("b", ModelVariant::default()).unwrap();
         // Use order is now [a, b]; touching "a" makes it [b, a].
-        registry.plan("a").unwrap();
+        registry.plan("a", ModelVariant::default()).unwrap();
         // "c" evicts "b" (coldest), not "a".
-        registry.plan("c").unwrap();
+        registry.plan("c", ModelVariant::default()).unwrap();
         assert_eq!(registry.cached_artifacts(), 2);
         assert!(
-            Arc::ptr_eq(&registry.plan("a").unwrap().artifact, &a1.artifact),
+            Arc::ptr_eq(
+                &registry
+                    .plan("a", ModelVariant::default())
+                    .unwrap()
+                    .artifact,
+                &a1.artifact
+            ),
             "a must have survived the eviction of b"
         );
         // Re-planning "b" recompiles (fresh Arc) and evicts the now-coldest
         // "c"; "a" — refreshed by the ptr_eq check above — survives again.
-        let b2 = registry.plan("b").unwrap();
+        let b2 = registry.plan("b", ModelVariant::default()).unwrap();
         assert!(Arc::ptr_eq(
-            &registry.plan("a").unwrap().artifact,
+            &registry
+                .plan("a", ModelVariant::default())
+                .unwrap()
+                .artifact,
             &a1.artifact
         ));
         assert!(Arc::ptr_eq(
-            &registry.plan("b").unwrap().artifact,
+            &registry
+                .plan("b", ModelVariant::default())
+                .unwrap()
+                .artifact,
             &b2.artifact
         ));
         assert_eq!(registry.cached_artifacts(), 2);
@@ -589,20 +645,23 @@ mod tests {
         // thrashing to zero.
         let registry = registry_with(&["a"], 2);
         let f64_plan = registry
-            .plan_with("a", NumericMode::Linear, Precision::F64)
+            .plan("a", ModelVariant::new(NumericMode::Linear, Precision::F64))
             .unwrap();
         let f32_plan = registry
-            .plan_with("a", NumericMode::Linear, Precision::F32)
+            .plan("a", ModelVariant::new(NumericMode::Linear, Precision::F32))
             .unwrap();
         // Third variant evicts the coldest slot (f64), nothing else.
         registry
-            .plan_with("a", NumericMode::Linear, Precision::E8M10)
+            .plan(
+                "a",
+                ModelVariant::new(NumericMode::Linear, Precision::E8M10),
+            )
             .unwrap();
         assert_eq!(registry.cached_artifacts(), 2);
         assert!(
             Arc::ptr_eq(
                 &registry
-                    .plan_with("a", NumericMode::Linear, Precision::F32)
+                    .plan("a", ModelVariant::new(NumericMode::Linear, Precision::F32))
                     .unwrap()
                     .artifact,
                 &f32_plan.artifact
@@ -611,7 +670,7 @@ mod tests {
         );
         // The f64 variant recompiles on demand (fresh Arc).
         let f64_again = registry
-            .plan_with("a", NumericMode::Linear, Precision::F64)
+            .plan("a", ModelVariant::new(NumericMode::Linear, Precision::F64))
             .unwrap();
         assert!(!Arc::ptr_eq(&f64_again.artifact, &f64_plan.artifact));
         assert_eq!(registry.cached_artifacts(), 2);
@@ -633,7 +692,11 @@ mod tests {
         ];
         let plans: Vec<_> = variants
             .iter()
-            .map(|&(mode, precision)| registry.plan_with("a", mode, precision).unwrap())
+            .map(|&(mode, precision)| {
+                registry
+                    .plan("a", ModelVariant::new(mode, precision))
+                    .unwrap()
+            })
             .collect();
         assert_eq!(registry.cached_artifacts(), variants.len());
         for (i, a) in plans.iter().enumerate() {
@@ -641,35 +704,40 @@ mod tests {
                 assert!(
                     !Arc::ptr_eq(&a.artifact, &b.artifact),
                     "({}, {}) aliases ({}, {})",
-                    a.mode,
-                    a.precision,
-                    b.mode,
-                    b.precision
+                    a.variant.numeric,
+                    a.variant.precision,
+                    b.variant.numeric,
+                    b.variant.precision
                 );
             }
             // The plan's program actually is the requested variant.
             assert_eq!(a.ops.mode(), variants[i].0);
             assert_eq!(a.ops.precision(), variants[i].1);
             let again = registry
-                .plan_with("a", variants[i].0, variants[i].1)
+                .plan("a", ModelVariant::new(variants[i].0, variants[i].1))
                 .unwrap();
             assert!(Arc::ptr_eq(&again.artifact, &a.artifact));
         }
 
         // A map artifact published for one variant is invisible to siblings.
         let (mut engine, version) = registry
-            .engine_with("a", NumericMode::Linear, Precision::E8M10)
+            .engine(
+                "a",
+                ModelVariant::new(NumericMode::Linear, Precision::E8M10),
+            )
             .unwrap();
         engine.prepare_map().unwrap();
         registry.store_map(
             "a",
             version,
-            NumericMode::Linear,
-            Precision::E8M10,
+            ModelVariant::new(NumericMode::Linear, Precision::E8M10),
             engine.shared_map().unwrap(),
         );
         assert!(registry
-            .engine_with("a", NumericMode::Linear, Precision::E8M10)
+            .engine(
+                "a",
+                ModelVariant::new(NumericMode::Linear, Precision::E8M10)
+            )
             .unwrap()
             .0
             .shared_map()
@@ -681,7 +749,7 @@ mod tests {
         ] {
             assert!(
                 registry
-                    .engine_with("a", mode, precision)
+                    .engine("a", ModelVariant::new(mode, precision))
                     .unwrap()
                     .0
                     .shared_map()
@@ -696,7 +764,11 @@ mod tests {
         let registry = registry_with(&["a"], 16);
         let old: Vec<_> = Precision::SWEEP
             .iter()
-            .map(|&p| registry.plan_with("a", NumericMode::Linear, p).unwrap())
+            .map(|&p| {
+                registry
+                    .plan("a", ModelVariant::new(NumericMode::Linear, p))
+                    .unwrap()
+            })
             .collect();
         assert_eq!(registry.cached_artifacts(), Precision::SWEEP.len());
 
@@ -706,25 +778,26 @@ mod tests {
         registry.register("a", &replacement);
         assert_eq!(registry.cached_artifacts(), 0, "stale variants survived");
         for (old_plan, &p) in old.iter().zip(&Precision::SWEEP) {
-            let fresh = registry.plan_with("a", NumericMode::Linear, p).unwrap();
+            let fresh = registry
+                .plan("a", ModelVariant::new(NumericMode::Linear, p))
+                .unwrap();
             assert!(fresh.version > old_plan.version);
             assert!(!Arc::ptr_eq(&fresh.artifact, &old_plan.artifact));
             assert_eq!(fresh.ops.num_vars(), 9);
         }
         // A stale map publication (old version) is silently dropped.
         let (mut engine, _) = registry
-            .engine_with("a", NumericMode::Linear, Precision::F64)
+            .engine("a", ModelVariant::new(NumericMode::Linear, Precision::F64))
             .unwrap();
         engine.prepare_map().unwrap();
         registry.store_map(
             "a",
             old[0].version,
-            NumericMode::Linear,
-            Precision::F64,
+            ModelVariant::new(NumericMode::Linear, Precision::F64),
             engine.shared_map().unwrap(),
         );
         assert!(registry
-            .engine_with("a", NumericMode::Linear, Precision::F64)
+            .engine("a", ModelVariant::new(NumericMode::Linear, Precision::F64))
             .unwrap()
             .0
             .shared_map()
@@ -734,11 +807,11 @@ mod tests {
     #[test]
     fn reregistration_bumps_the_version() {
         let registry = registry_with(&["a"], 2);
-        let before = registry.plan("a").unwrap();
+        let before = registry.plan("a", ModelVariant::default()).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let spn = random_spn(&RandomSpnConfig::with_vars(9), &mut rng);
         registry.register("a", &spn);
-        let after = registry.plan("a").unwrap();
+        let after = registry.plan("a", ModelVariant::default()).unwrap();
         assert!(after.version > before.version);
         assert_eq!(after.ops.num_vars(), 9);
         assert!(registry.unregister("a"));

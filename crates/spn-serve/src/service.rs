@@ -27,21 +27,36 @@
 //! (e.g. one request conditions on zero-probability evidence), the worker
 //! re-executes each request separately so errors stay with the request that
 //! caused them.
+//!
+//! # Sessions
+//!
+//! Alongside one-shot requests the service keeps per-connection
+//! *evaluation sessions* (see [`crate::session`]): [`Service::session_open`]
+//! primes a model variant under full evidence, and
+//! [`Service::session_delta`] then re-evaluates under a handful of flipped
+//! variables through the backend's incremental cone path.  Session
+//! operations ride the same worker queue as tokens but are dispatched one
+//! at a time under the session's own mutex — the micro-batcher never
+//! coalesces them with query batches or with deltas of other sessions.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use spn_core::wire::{QueryRequest, QueryResponse};
-use spn_core::{NumericMode, Precision, QueryBatch, QueryMode, Spn};
+use spn_core::{QueryBatch, QueryMode, Spn};
 use spn_platforms::{Backend, Engine, Parallelism, QueryOutput};
 
 use crate::error::ServeError;
-use crate::metrics::{Metrics, MetricsRecord};
-use crate::registry::ModelRegistry;
+use crate::metrics::{Metrics, MetricsRecord, SessionStats};
+use crate::registry::{ModelRegistry, ModelVariant};
+use crate::session::{
+    evict_entry, SessionEntry, SessionHandle, SessionInner, SessionKey, SessionOp, SessionOpen,
+    SessionPending, SessionResponse, SessionTable,
+};
 
 /// When and how hard the micro-batcher coalesces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,17 +101,21 @@ pub struct ServiceConfig {
     pub parallelism: Parallelism,
     /// LRU capacity of the registry's compiled-artifact cache.
     pub artifact_capacity: usize,
+    /// Maximum live evaluation sessions across all connections (clamped to
+    /// ≥ 1); the least-recently-used session is evicted beyond it.
+    pub session_capacity: usize,
 }
 
 impl Default for ServiceConfig {
     /// Two workers, default policy, serial intra-batch execution, room for
-    /// 16 compiled artifacts.
+    /// 16 compiled artifacts and 1024 evaluation sessions.
     fn default() -> Self {
         ServiceConfig {
             workers: 2,
             policy: BatchPolicy::default(),
             parallelism: Parallelism::serial(),
             artifact_capacity: 16,
+            session_capacity: 1024,
         }
     }
 }
@@ -108,9 +127,20 @@ struct Pending {
     submitted: Instant,
 }
 
+/// One unit of queued work.
+enum Item {
+    /// A one-shot query request, eligible for micro-batch coalescing.
+    Query(Pending),
+    /// A token for a session with queued operations: the claiming worker
+    /// locks the session and drains its private FIFO.  Tokens are opaque to
+    /// the coalescing scan, so session operations are never merged — not
+    /// with query batches and not across sessions.
+    Session(Arc<SessionEntry>),
+}
+
 /// State shared between submitters and workers.
 struct Shared {
-    queue: Mutex<VecDeque<Pending>>,
+    queue: Mutex<VecDeque<Item>>,
     available: Condvar,
     shutdown: AtomicBool,
 }
@@ -152,6 +182,8 @@ pub struct Service<B: Backend> {
     registry: Arc<ModelRegistry<B>>,
     shared: Arc<Shared>,
     metrics: Arc<Metrics>,
+    sessions: Arc<SessionTable>,
+    next_conn: AtomicU64,
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
@@ -169,15 +201,17 @@ where
             shutdown: AtomicBool::new(false),
         });
         let metrics = Arc::new(Metrics::new());
+        let sessions = Arc::new(SessionTable::new(config.session_capacity));
         let workers = (0..config.workers.max(1))
             .map(|_| {
                 let registry = Arc::clone(&registry);
                 let shared = Arc::clone(&shared);
                 let metrics = Arc::clone(&metrics);
+                let sessions = Arc::clone(&sessions);
                 let policy = config.policy;
                 let parallelism = config.parallelism;
                 std::thread::spawn(move || {
-                    worker_loop(&registry, &shared, &metrics, policy, parallelism)
+                    worker_loop(&registry, &shared, &metrics, &sessions, policy, parallelism)
                 })
             })
             .collect();
@@ -185,6 +219,8 @@ where
             registry,
             shared,
             metrics,
+            sessions,
+            next_conn: AtomicU64::new(1),
             workers: Mutex::new(workers),
         }
     }
@@ -241,11 +277,11 @@ where
             if self.shared.shutdown.load(Ordering::Acquire) {
                 return Err(ServeError::ShuttingDown);
             }
-            queue.push_back(Pending {
+            queue.push_back(Item::Query(Pending {
                 request,
                 tx,
                 submitted: Instant::now(),
-            });
+            }));
         }
         self.shared.available.notify_all();
         Ok(ResponseHandle { rx })
@@ -258,6 +294,174 @@ where
     /// As for [`Service::submit`], plus any execution error.
     pub fn query(&self, request: QueryRequest) -> Result<QueryResponse, ServeError> {
         self.submit(request)?.wait()
+    }
+
+    /// Allocates a connection id for session scoping.  Front-ends call this
+    /// once per accepted connection and [`Service::drop_connection`] when it
+    /// closes; in-process callers can treat the id as a client handle.
+    pub fn allocate_connection(&self) -> u64 {
+        self.next_conn.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Drops every session of `conn` (answering queued operations with an
+    /// eviction error).  A reconnecting client gets a fresh connection id,
+    /// so its old sessions — and their cached evaluation state — are gone.
+    pub fn drop_connection(&self, conn: u64) {
+        for entry in self.sessions.take_connection(conn) {
+            self.metrics.record_session_eviction();
+            evict_entry(&entry);
+        }
+    }
+
+    /// Opens an evaluation session: primes the model variant under the
+    /// request's full evidence and pins the resulting state server-side so
+    /// later [`Service::session_delta`] calls send only changed variables.
+    ///
+    /// Opening beyond [`ServiceConfig::session_capacity`] evicts the
+    /// least-recently-used session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::UnknownModel`], [`ServeError::Invalid`] (arity
+    /// mismatch, session id already open on `conn`) or
+    /// [`ServeError::ShuttingDown`] without enqueuing.
+    pub fn session_open(
+        &self,
+        conn: u64,
+        request: SessionOpen,
+    ) -> Result<SessionHandle, ServeError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let num_vars = self.registry.num_vars(&request.model)?;
+        if request.evidence.num_vars() != num_vars {
+            return Err(ServeError::Invalid(format!(
+                "model {:?} covers {} variables but the session evidence covers {}",
+                request.model,
+                num_vars,
+                request.evidence.num_vars()
+            )));
+        }
+        let key = SessionKey {
+            conn,
+            session: request.session,
+        };
+        let (tx, rx) = mpsc::channel();
+        let pending = SessionPending {
+            id: request.id,
+            op: SessionOp::Open(request.evidence),
+            tx,
+        };
+        let (entry, evicted) = self
+            .sessions
+            .open(key, request.model, request.variant, pending)?;
+        for victim in evicted {
+            self.metrics.record_session_eviction();
+            evict_entry(&victim);
+        }
+        self.enqueue_session(entry);
+        Ok(SessionHandle { rx })
+    }
+
+    /// Applies evidence flips to an open session and re-evaluates — through
+    /// the incremental cone path on backends that support it.  Each flip is
+    /// `(variable index, new observation)`; `None` marginalises the
+    /// variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Invalid`] (unknown session, out-of-range
+    /// variable) or [`ServeError::ShuttingDown`] without enqueuing.
+    pub fn session_delta(
+        &self,
+        conn: u64,
+        session: u64,
+        id: u64,
+        flips: Vec<(usize, Option<bool>)>,
+    ) -> Result<SessionHandle, ServeError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let key = SessionKey { conn, session };
+        let entry = self.sessions.lookup(key)?;
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut inner = entry.inner.lock().expect("session lock");
+            if inner.closed {
+                return Err(ServeError::Invalid(format!("unknown session {session}")));
+            }
+            let num_vars = self.registry.num_vars(&inner.model)?;
+            for &(var, _) in &flips {
+                if var >= num_vars {
+                    return Err(ServeError::Invalid(format!(
+                        "variable {var} is out of range for the session's {num_vars}-variable model"
+                    )));
+                }
+            }
+            inner.queue.push_back(SessionPending {
+                id,
+                op: SessionOp::Delta(flips),
+                tx,
+            });
+        }
+        self.enqueue_session(entry);
+        Ok(SessionHandle { rx })
+    }
+
+    /// Closes a session after its already queued operations have been
+    /// answered, freeing its server-side state and its id for reuse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Invalid`] for an unknown session or
+    /// [`ServeError::ShuttingDown`].
+    pub fn session_close(
+        &self,
+        conn: u64,
+        session: u64,
+        id: u64,
+    ) -> Result<SessionHandle, ServeError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let key = SessionKey { conn, session };
+        let entry = self.sessions.lookup(key)?;
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut inner = entry.inner.lock().expect("session lock");
+            if inner.closed {
+                return Err(ServeError::Invalid(format!("unknown session {session}")));
+            }
+            inner.queue.push_back(SessionPending {
+                id,
+                op: SessionOp::Close,
+                tx,
+            });
+        }
+        // Free the key immediately: ordering is preserved by the session's
+        // private FIFO, and a same-id re-open after close must not race the
+        // worker that will drain it.
+        self.sessions.remove(key, &entry);
+        self.enqueue_session(entry);
+        Ok(SessionHandle { rx })
+    }
+
+    /// Number of live evaluation sessions across all connections.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// A copy of the global session counters.
+    pub fn session_stats(&self) -> SessionStats {
+        self.metrics.session_stats()
+    }
+
+    /// Pushes a worker token for `entry` onto the main queue.
+    fn enqueue_session(&self, entry: Arc<SessionEntry>) {
+        let mut queue = self.shared.queue.lock().expect("service queue lock");
+        queue.push_back(Item::Session(entry));
+        drop(queue);
+        self.shared.available.notify_all();
     }
 
     /// Stops accepting requests, lets the workers drain what is queued, and
@@ -284,31 +488,35 @@ impl<B: Backend> Drop for Service<B> {
     }
 }
 
-/// Moves every queued request matching `(model, query mode, numeric mode,
-/// precision)` into `group`, as long as the batch stays within `max_queries`
-/// (requests that would overflow are left queued for the next batch).
-#[allow(clippy::too_many_arguments)]
+/// Moves every queued request matching `(model, query mode, variant)` into
+/// `group`, as long as the batch stays within `max_queries` (requests that
+/// would overflow are left queued for the next batch).  Session tokens are
+/// never candidates: deltas are stateful and strictly ordered per session,
+/// so coalescing them — least of all across sessions — would be unsound.
 fn take_matching(
-    queue: &mut VecDeque<Pending>,
+    queue: &mut VecDeque<Item>,
     model: &str,
     mode: QueryMode,
-    numeric: NumericMode,
-    precision: Precision,
+    variant: ModelVariant,
     max_queries: usize,
     total: &mut usize,
     group: &mut Vec<Pending>,
 ) {
     let mut i = 0;
     while i < queue.len() {
-        let candidate = &queue[i];
+        let Item::Query(candidate) = &queue[i] else {
+            i += 1;
+            continue;
+        };
         let len = candidate.request.query.len();
         if candidate.request.model == model
             && candidate.request.query.mode() == mode
-            && candidate.request.numeric == numeric
-            && candidate.request.precision == precision
+            && ModelVariant::new(candidate.request.numeric, candidate.request.precision) == variant
             && *total + len <= max_queries
         {
-            let pending = queue.remove(i).expect("index in range");
+            let Some(Item::Query(pending)) = queue.remove(i) else {
+                unreachable!("index was just observed to hold a query");
+            };
             *total += len;
             group.push(pending);
         } else {
@@ -317,28 +525,35 @@ fn take_matching(
     }
 }
 
+/// The work a worker claimed from the queue in one pop.
+enum Claimed {
+    /// A coalesced group of one-shot requests plus its total query count.
+    Group(Vec<Pending>, usize),
+    /// A session token: drain the session's private FIFO.
+    Session(Arc<SessionEntry>),
+}
+
 /// One batcher worker: pop → coalesce → execute → respond, until shutdown
 /// and the queue is drained.
 fn worker_loop<B>(
     registry: &ModelRegistry<B>,
     shared: &Shared,
     metrics: &Metrics,
+    sessions: &SessionTable,
     policy: BatchPolicy,
     parallelism: Parallelism,
 ) where
     B: Backend + Clone + Send + Sync,
     B::Compiled: Send + Sync,
 {
-    // Engines this worker has built, keyed by (model name, numeric mode,
-    // precision), tagged with the registry version they were built from
-    // (stale ones are rebuilt).  Every variant of one model lives side by
-    // side, LRU-bounded (the precision key is client-controlled).
+    // Engines this worker has built, keyed by (model name, variant), tagged
+    // with the registry version they were built from (stale ones are
+    // rebuilt).  Every variant of one model lives side by side, LRU-bounded
+    // (the precision key is client-controlled).
     let mut engines: WorkerEngines<B> = WorkerEngines::new();
 
     loop {
-        let mut group: Vec<Pending> = Vec::new();
-        let mut total;
-        {
+        let claimed = {
             let mut queue = shared.queue.lock().expect("service queue lock");
             let first = loop {
                 if let Some(first) = queue.pop_front() {
@@ -352,50 +567,186 @@ fn worker_loop<B>(
                     .wait(queue)
                     .expect("service queue lock poisoned");
             };
-            let model = first.request.model.clone();
-            let mode = first.request.query.mode();
-            let numeric = first.request.numeric;
-            let precision = first.request.precision;
-            total = first.request.query.len();
-            group.push(first);
+            match first {
+                Item::Session(entry) => Claimed::Session(entry),
+                Item::Query(first) => {
+                    let mut group: Vec<Pending> = Vec::new();
+                    let model = first.request.model.clone();
+                    let mode = first.request.query.mode();
+                    let variant = ModelVariant::new(first.request.numeric, first.request.precision);
+                    let mut total = first.request.query.len();
+                    group.push(first);
 
-            take_matching(
-                &mut queue,
-                &model,
-                mode,
-                numeric,
-                precision,
-                policy.max_batch_queries,
-                &mut total,
-                &mut group,
-            );
-            let deadline = Instant::now() + policy.max_wait;
-            while total < policy.max_batch_queries && !shared.shutdown.load(Ordering::Acquire) {
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
-                }
-                let (q, timeout) = shared
-                    .available
-                    .wait_timeout(queue, deadline - now)
-                    .expect("service queue lock poisoned");
-                queue = q;
-                take_matching(
-                    &mut queue,
-                    &model,
-                    mode,
-                    numeric,
-                    precision,
-                    policy.max_batch_queries,
-                    &mut total,
-                    &mut group,
-                );
-                if timeout.timed_out() {
-                    break;
+                    take_matching(
+                        &mut queue,
+                        &model,
+                        mode,
+                        variant,
+                        policy.max_batch_queries,
+                        &mut total,
+                        &mut group,
+                    );
+                    let deadline = Instant::now() + policy.max_wait;
+                    while total < policy.max_batch_queries
+                        && !shared.shutdown.load(Ordering::Acquire)
+                    {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            break;
+                        }
+                        let (q, timeout) = shared
+                            .available
+                            .wait_timeout(queue, deadline - now)
+                            .expect("service queue lock poisoned");
+                        queue = q;
+                        take_matching(
+                            &mut queue,
+                            &model,
+                            mode,
+                            variant,
+                            policy.max_batch_queries,
+                            &mut total,
+                            &mut group,
+                        );
+                        if timeout.timed_out() {
+                            break;
+                        }
+                    }
+                    Claimed::Group(group, total)
                 }
             }
+        };
+        match claimed {
+            Claimed::Group(group, total) => {
+                dispatch(registry, metrics, &mut engines, parallelism, group, total);
+            }
+            Claimed::Session(entry) => {
+                handle_session(registry, sessions, metrics, &mut engines, &entry);
+            }
         }
-        dispatch(registry, metrics, &mut engines, parallelism, group, total);
+    }
+}
+
+/// Drains one session's private FIFO in submission order, holding the
+/// session mutex throughout so its incremental state is never touched
+/// concurrently (a sibling worker claiming a later token for the same
+/// session blocks here and finds an empty queue).
+fn handle_session<B>(
+    registry: &ModelRegistry<B>,
+    sessions: &SessionTable,
+    metrics: &Metrics,
+    engines: &mut WorkerEngines<B>,
+    entry: &Arc<SessionEntry>,
+) where
+    B: Backend + Clone,
+{
+    let mut inner = entry.inner.lock().expect("session lock");
+    while let Some(pending) = inner.queue.pop_front() {
+        let SessionPending { id, op, tx, .. } = pending;
+        let result = run_session_op(registry, engines, &mut inner, id, &op);
+        match &op {
+            SessionOp::Open(_) => {
+                metrics.record_session_open();
+                if result.is_err() {
+                    metrics.record_session_error();
+                    // A session that never primed holds nothing worth
+                    // keeping; free its key so the client can retry.
+                    inner.closed = true;
+                }
+            }
+            SessionOp::Delta(_) => {
+                let (recomputed, full_pass) = match &result {
+                    Ok(response) => (response.recomputed_ops as u64, response.full_pass),
+                    Err(_) => (0, false),
+                };
+                metrics.record_session_delta(recomputed, full_pass, result.is_ok());
+            }
+            SessionOp::Close => metrics.record_session_close(),
+        }
+        let _ = tx.send(result);
+    }
+    let closed = inner.closed;
+    let key = inner.key;
+    drop(inner);
+    if closed {
+        sessions.remove(key, entry);
+    }
+}
+
+/// Executes one session operation against this worker's engine for the
+/// session's `(model, variant)`, transparently re-priming when the model
+/// was re-registered since the session last ran.
+fn run_session_op<B>(
+    registry: &ModelRegistry<B>,
+    engines: &mut WorkerEngines<B>,
+    inner: &mut SessionInner,
+    id: u64,
+    op: &SessionOp,
+) -> Result<SessionResponse, ServeError>
+where
+    B: Backend + Clone,
+{
+    let respond = |inner: &SessionInner, value: f64, recomputed_ops: usize, full_pass: bool| {
+        SessionResponse {
+            id,
+            session: inner.key.session,
+            model: inner.model.clone(),
+            variant: inner.variant,
+            value,
+            recomputed_ops,
+            full_pass,
+            incremental: inner
+                .eval
+                .as_ref()
+                .is_some_and(spn_platforms::EvalSession::is_incremental),
+            closed: inner.closed,
+        }
+    };
+    match op {
+        SessionOp::Open(evidence) => {
+            let (engine, version) = worker_engine(registry, engines, &inner.model, inner.variant)?;
+            let eval = engine
+                .open_session(evidence)
+                .map_err(ServeError::from_backend)?;
+            inner.version = version;
+            let (value, ops) = (eval.value(), engine.ops().num_ops());
+            inner.eval = Some(eval);
+            Ok(respond(inner, value, ops, true))
+        }
+        SessionOp::Delta(flips) => {
+            let (engine, version) = worker_engine(registry, engines, &inner.model, inner.variant)?;
+            let eval = inner.eval.as_mut().ok_or_else(|| {
+                ServeError::Invalid(format!("session {} was never opened", inner.key.session))
+            })?;
+            if version != inner.version {
+                // The model was hot-swapped: re-prime the new program under
+                // the session's current evidence, then apply the flips.
+                let evidence = eval.evidence().clone();
+                *eval = engine
+                    .open_session(&evidence)
+                    .map_err(ServeError::from_backend)?;
+                inner.version = version;
+            }
+            let outcome = engine
+                .session_delta(eval, flips)
+                .map_err(ServeError::from_backend)?;
+            Ok(respond(
+                inner,
+                outcome.value,
+                outcome.recomputed_ops,
+                outcome.full_pass,
+            ))
+        }
+        SessionOp::Close => {
+            let value = inner
+                .eval
+                .as_ref()
+                .map_or(f64::NAN, spn_platforms::EvalSession::value);
+            inner.closed = true;
+            let response = respond(inner, value, 0, false);
+            inner.eval = None;
+            Ok(response)
+        }
     }
 }
 
@@ -413,19 +764,18 @@ fn dispatch<B>(
 {
     let model = group[0].request.model.clone();
     let mode = group[0].request.query.mode();
-    let numeric = group[0].request.numeric;
-    let precision = group[0].request.precision;
+    let variant = ModelVariant::new(group[0].request.numeric, group[0].request.precision);
     metrics.record_batch(
         &model,
         mode,
-        numeric,
-        precision,
+        variant.numeric,
+        variant.precision,
         group.len() as u64,
         total as u64,
     );
 
-    let engine = match worker_engine(registry, engines, &model, numeric, precision) {
-        Ok(engine) => engine,
+    let engine = match worker_engine(registry, engines, &model, variant) {
+        Ok((engine, _)) => engine,
         Err(err) => {
             let message = err.message();
             for pending in group {
@@ -450,7 +800,7 @@ fn dispatch<B>(
 
     match output {
         Ok(output) => {
-            publish_map(registry, engines, &model, mode, numeric, precision);
+            publish_map(registry, engines, &model, mode, variant);
             let mut offset = 0;
             for pending in group {
                 let n = pending.request.query.len();
@@ -469,7 +819,7 @@ fn dispatch<B>(
                 });
                 respond(metrics, pending, result);
             }
-            publish_map(registry, engines, &model, mode, numeric, precision);
+            publish_map(registry, engines, &model, mode, variant);
         }
         Err(err) => {
             let pending = group.into_iter().next().expect("non-empty group");
@@ -488,7 +838,7 @@ fn dispatch<B>(
 const MAX_WORKER_ENGINES: usize = 32;
 
 /// The key of one cached worker engine: model name plus execution variant.
-type EngineKey = (String, NumericMode, Precision);
+type EngineKey = (String, ModelVariant);
 
 /// One cached worker engine: registry version, LRU timestamp, the engine.
 type EngineEntry<B> = (u64, u64, Engine<B>);
@@ -509,30 +859,29 @@ impl<B: Backend> WorkerEngines<B> {
     }
 }
 
-/// Looks up (or builds) this worker's engine for `(model, numeric,
-/// precision)`, rebuilding when the registry holds a newer version and
-/// evicting the worker's least-recently-used engine beyond
-/// [`MAX_WORKER_ENGINES`].
+/// Looks up (or builds) this worker's engine for `(model, variant)`,
+/// rebuilding when the registry holds a newer version and evicting the
+/// worker's least-recently-used engine beyond [`MAX_WORKER_ENGINES`].
+/// Returns the engine together with the registry version it was built from.
 fn worker_engine<'a, B>(
     registry: &ModelRegistry<B>,
     engines: &'a mut WorkerEngines<B>,
     model: &str,
-    numeric: NumericMode,
-    precision: Precision,
-) -> Result<&'a mut Engine<B>, ServeError>
+    variant: ModelVariant,
+) -> Result<(&'a mut Engine<B>, u64), ServeError>
 where
     B: Backend + Clone,
 {
     let current = registry.version(model)?;
     engines.clock += 1;
     let clock = engines.clock;
-    let key = (model.to_string(), numeric, precision);
+    let key = (model.to_string(), variant);
     let needs_build = match engines.map.get(&key) {
         Some((version, _, _)) => *version != current,
         None => true,
     };
     if needs_build {
-        let (engine, version) = registry.engine_with(model, numeric, precision)?;
+        let (engine, version) = registry.engine(model, variant)?;
         if !engines.map.contains_key(&key) && engines.map.len() >= MAX_WORKER_ENGINES {
             let victim = engines
                 .map
@@ -547,7 +896,7 @@ where
     }
     let entry = engines.map.get_mut(&key).expect("engine just ensured");
     entry.1 = clock;
-    Ok(&mut entry.2)
+    Ok((&mut entry.2, entry.0))
 }
 
 /// Runs one merged batch through the serial or sharded query path.
@@ -575,17 +924,16 @@ fn publish_map<B>(
     engines: &WorkerEngines<B>,
     model: &str,
     mode: QueryMode,
-    numeric: NumericMode,
-    precision: Precision,
+    variant: ModelVariant,
 ) where
     B: Backend + Clone,
 {
     if mode != QueryMode::Map {
         return;
     }
-    if let Some((version, _, engine)) = engines.map.get(&(model.to_string(), numeric, precision)) {
+    if let Some((version, _, engine)) = engines.map.get(&(model.to_string(), variant)) {
         if let Some(map) = engine.shared_map() {
-            registry.store_map(model, *version, numeric, precision, map);
+            registry.store_map(model, *version, variant, map);
         }
     }
 }

@@ -44,6 +44,39 @@
 //! form, so a client parsing with standard `f64` semantics recovers them bit
 //! for bit.
 //!
+//! # Protocol v2: sessions and deltas
+//!
+//! Lines carrying `"v": 2` use a typed envelope whose `"type"` field
+//! selects the message.  `"type": "query"` is the one-shot request above
+//! under the new envelope; the three session messages pin evidence
+//! server-side so consecutive queries send only the variables that changed:
+//!
+//! ```text
+//! → {"v": 2, "type": "session_open", "id": 1, "session": 7, "model": "weather", "row": "10?"}
+//! ← {"id": 1, "ok": true, "session": 7, ..., "value": 0.21, "incremental": true, ...}
+//!
+//! → {"v": 2, "type": "delta", "id": 2, "session": 7, "flips": [[0, "0"], [2, "1"]]}
+//! ← {"id": 2, "ok": true, "session": 7, "value": 0.08, "recomputed_ops": 11, "full_pass": false, ...}
+//!
+//! → {"v": 2, "type": "session_close", "id": 3, "session": 7}
+//! ← {"id": 3, "ok": true, "session": 7, "closed": true, ...}
+//! ```
+//!
+//! `session_open` takes one full evidence `"row"` plus the optional
+//! `"numeric"` / `"precision"` fields, which then apply to every delta of
+//! the session.  `"flips"` holds `[variable index, observation]` pairs with
+//! the observation in the same `"0"` / `"1"` / `"?"` alphabet as rows
+//! (`"?"` marginalises the variable).  Session ids are chosen by the client
+//! and scoped to the connection; a dropped connection discards its sessions,
+//! so a reconnecting client re-opens (and the server re-primes) rather than
+//! resuming stale state.  Delta values are **bit-for-bit** the values a
+//! full-evidence query under the session's current evidence would return —
+//! the incremental path is a latency optimisation, never an approximation.
+//!
+//! Lines without a `"v"` field remain protocol v1 and behave exactly as
+//! before; v1 clients need no changes.  A `"v"` other than 2 is a protocol
+//! error.
+//!
 //! # Connection handling
 //!
 //! The front-end is **readiness-driven**: one event-loop thread multiplexes
@@ -76,9 +109,11 @@ use spn_platforms::Backend;
 
 use crate::error::ServeError;
 use crate::json::{self, Value};
-use crate::metrics::MetricsRecord;
+use crate::metrics::{MetricsRecord, SessionStats};
 use crate::poll::{self, PollFd, POLLIN, POLLOUT};
+use crate::registry::ModelVariant;
 use crate::service::{ResponseHandle, Service};
+use crate::session::{SessionHandle, SessionOpen, SessionResponse};
 
 /// Poll timeout when every connection is idle: bounds shutdown-flag latency.
 const IDLE_POLL: Duration = Duration::from_millis(50);
@@ -172,11 +207,17 @@ enum InFlight {
     Ready(String),
     /// Submitted to the service; polled via [`ResponseHandle::try_wait`].
     Pending { id: u64, handle: ResponseHandle },
+    /// A submitted session operation; polled via
+    /// [`SessionHandle::try_wait`].
+    PendingSession { id: u64, handle: SessionHandle },
 }
 
 /// Per-connection state of the event loop.
 struct Connection {
     stream: TcpStream,
+    /// The service-allocated connection id scoping this connection's
+    /// sessions; dropped (with its sessions) when the connection closes.
+    conn: u64,
     /// Bytes read but not yet framed into a line (at most one partial line).
     read_buf: Vec<u8>,
     /// Encoded response lines not yet accepted by the socket.
@@ -193,9 +234,10 @@ struct Connection {
 }
 
 impl Connection {
-    fn new(stream: TcpStream) -> Connection {
+    fn new(stream: TcpStream, conn: u64) -> Connection {
         Connection {
             stream,
+            conn,
             read_buf: Vec::new(),
             write_buf: Vec::new(),
             write_pos: 0,
@@ -207,9 +249,12 @@ impl Connection {
 
     /// Whether any submitted request is still waiting on the service.
     fn has_pending(&self) -> bool {
-        self.inflight
-            .iter()
-            .any(|f| matches!(f, InFlight::Pending { .. }))
+        self.inflight.iter().any(|f| {
+            matches!(
+                f,
+                InFlight::Pending { .. } | InFlight::PendingSession { .. }
+            )
+        })
     }
 
     /// Everything owed has been handed to the socket.
@@ -277,7 +322,8 @@ impl Connection {
             };
             let trimmed = text.trim();
             if !trimmed.is_empty() {
-                self.inflight.push_back(process_line(service, trimmed));
+                self.inflight
+                    .push_back(process_line(service, trimmed, self.conn));
             }
         }
         self.read_buf.drain(..start);
@@ -309,6 +355,18 @@ impl Connection {
                     Some(Ok(response)) => {
                         self.inflight.pop_front();
                         encode_response(&response)
+                    }
+                    Some(Err(err)) => {
+                        let reply = encode_error(*id, &err);
+                        self.inflight.pop_front();
+                        reply
+                    }
+                },
+                Some(InFlight::PendingSession { id, handle }) => match handle.try_wait() {
+                    None => return,
+                    Some(Ok(response)) => {
+                        self.inflight.pop_front();
+                        encode_session_response(&response)
                     }
                     Some(Err(err)) => {
                         let reply = encode_error(*id, &err);
@@ -371,6 +429,9 @@ where
         if let Some(since) = draining_since {
             let all_drained = connections.iter().all(Connection::drained);
             if all_drained || since.elapsed() > SHUTDOWN_DRAIN {
+                for conn in &connections {
+                    service.drop_connection(conn.conn);
+                }
                 return;
             }
         }
@@ -412,14 +473,30 @@ where
             conn.collect_responses();
             conn.flush_ready();
         }
-        connections.retain(|conn| !conn.finished());
+        connections.retain(|conn| {
+            if conn.finished() {
+                // Closing a connection invalidates its sessions: a
+                // reconnecting client must re-open (and re-prime), never
+                // resume another connection's state.
+                service.drop_connection(conn.conn);
+                false
+            } else {
+                true
+            }
+        });
 
         if !draining && fds[0].readable() {
             loop {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         if stream.set_nonblocking(true).is_ok() {
-                            connections.push(Connection::new(stream));
+                            // Responses are written as soon as they are
+                            // collected, often in sub-MSS pieces; without
+                            // nodelay, Nagle + the client's delayed ACK can
+                            // stall every pipelined chunk by ~40 ms.
+                            let _ = stream.set_nodelay(true);
+                            connections
+                                .push(Connection::new(stream, service.allocate_connection()));
                         }
                     }
                     Err(err) if err.kind() == ErrorKind::WouldBlock => break,
@@ -432,8 +509,10 @@ where
 }
 
 /// Parses one request line and either answers it immediately (commands,
-/// malformed requests) or submits it to the service.
-fn process_line<B>(service: &Service<B>, line: &str) -> InFlight
+/// malformed requests) or submits it to the service.  Lines carrying
+/// `"v": 2` dispatch on their `"type"` envelope; lines without `"v"` are
+/// protocol v1 and take exactly the pre-session paths.
+fn process_line<B>(service: &Service<B>, line: &str, conn: u64) -> InFlight
 where
     B: Backend + Clone + Send + Sync + 'static,
     B::Compiled: Send + Sync + 'static,
@@ -453,10 +532,50 @@ where
             Err(err) => encode_error(id, &err),
         });
     }
-    match decode_request(&doc).and_then(|request| service.submit(request)) {
-        Ok(handle) => InFlight::Pending { id, handle },
-        Err(err) => InFlight::Ready(encode_error(id, &err)),
+    match doc.get("v") {
+        None => match decode_request(&doc).and_then(|request| service.submit(request)) {
+            Ok(handle) => InFlight::Pending { id, handle },
+            Err(err) => InFlight::Ready(encode_error(id, &err)),
+        },
+        Some(Value::Num(v)) if *v == 2.0 => process_v2(service, &doc, id, conn),
+        Some(_) => InFlight::Ready(encode_error(
+            id,
+            &ServeError::Protocol("field \"v\" must be the number 2".to_string()),
+        )),
     }
+}
+
+/// Dispatches one protocol-v2 envelope on its `"type"` field.
+fn process_v2<B>(service: &Service<B>, doc: &Value, id: u64, conn: u64) -> InFlight
+where
+    B: Backend + Clone + Send + Sync + 'static,
+    B::Compiled: Send + Sync + 'static,
+{
+    let submitted = match string_field(doc, "type").and_then(|kind| match kind.as_str() {
+        "query" => decode_request(doc)
+            .and_then(|request| service.submit(request))
+            .map(|handle| InFlight::Pending { id, handle }),
+        "session_open" => decode_session_open(doc)
+            .and_then(|request| service.session_open(conn, request))
+            .map(|handle| InFlight::PendingSession { id, handle }),
+        "delta" => decode_delta(doc).and_then(|(session, flips)| {
+            service
+                .session_delta(conn, session, id, flips)
+                .map(|handle| InFlight::PendingSession { id, handle })
+        }),
+        "session_close" => u64_field(doc, "session").and_then(|session| {
+            service
+                .session_close(conn, session, id)
+                .map(|handle| InFlight::PendingSession { id, handle })
+        }),
+        other => Err(ServeError::Protocol(format!(
+            "unknown message type {other:?}"
+        ))),
+    }) {
+        Ok(inflight) => inflight,
+        Err(err) => InFlight::Ready(encode_error(id, &err)),
+    };
+    submitted
 }
 
 /// Answers a `{"cmd": ...}` introspection line.
@@ -491,6 +610,10 @@ where
                 "metrics".to_string(),
                 Value::Arr(service.metrics().iter().map(metrics_value).collect()),
             ),
+            (
+                "sessions".to_string(),
+                session_stats_value(&service.session_stats()),
+            ),
         ])
         .to_json()),
         other => Err(ServeError::Protocol(format!("unknown command {other:?}"))),
@@ -507,6 +630,95 @@ fn string_field(doc: &Value, key: &str) -> Result<String, ServeError> {
         .as_str()
         .map(str::to_string)
         .ok_or_else(|| ServeError::Protocol(format!("field {key:?} must be a string")))
+}
+
+fn u64_field(doc: &Value, key: &str) -> Result<u64, ServeError> {
+    let n = field(doc, key)?
+        .as_f64()
+        .ok_or_else(|| ServeError::Protocol(format!("field {key:?} must be a number")))?;
+    if n < 0.0 || n.fract() != 0.0 {
+        return Err(ServeError::Protocol(format!(
+            "field {key:?} must be a non-negative integer"
+        )));
+    }
+    Ok(n as u64)
+}
+
+/// Decodes the optional `"numeric"` / `"precision"` fields into the model
+/// variant they select (defaults: linear, f64).
+fn variant_fields(doc: &Value) -> Result<ModelVariant, ServeError> {
+    let numeric = match doc.get("numeric") {
+        None => NumericMode::Linear,
+        Some(value) => {
+            let name = value.as_str().ok_or_else(|| {
+                ServeError::Protocol("field \"numeric\" must be a string".to_string())
+            })?;
+            NumericMode::from_name(name)?
+        }
+    };
+    let precision = match doc.get("precision") {
+        None => Precision::F64,
+        Some(value) => {
+            let name = value.as_str().ok_or_else(|| {
+                ServeError::Protocol("field \"precision\" must be a string".to_string())
+            })?;
+            Precision::from_name(name)?
+        }
+    };
+    Ok(ModelVariant::new(numeric, precision))
+}
+
+/// Decodes a v2 `session_open` envelope (see the module docs).
+fn decode_session_open(doc: &Value) -> Result<SessionOpen, ServeError> {
+    let id = u64_field(doc, "id")?;
+    let session = u64_field(doc, "session")?;
+    let model = string_field(doc, "model")?;
+    let variant = variant_fields(doc)?;
+    let evidence = wire::parse_row(&string_field(doc, "row")?)?;
+    Ok(SessionOpen {
+        id,
+        session,
+        model,
+        variant,
+        evidence,
+    })
+}
+
+/// Decodes a v2 `delta` envelope: the session id plus `[variable,
+/// observation]` flip pairs in the `'0'`/`'1'`/`'?'` row alphabet.
+#[allow(clippy::type_complexity)]
+fn decode_delta(doc: &Value) -> Result<(u64, Vec<(usize, Option<bool>)>), ServeError> {
+    let session = u64_field(doc, "session")?;
+    let items = field(doc, "flips")?
+        .as_arr()
+        .ok_or_else(|| ServeError::Protocol("field \"flips\" must be an array".to_string()))?;
+    let mut flips = Vec::with_capacity(items.len());
+    for item in items {
+        let pair = item
+            .as_arr()
+            .filter(|pair| pair.len() == 2)
+            .ok_or_else(|| {
+                ServeError::Protocol(
+                    "field \"flips\" must hold [variable, observation] pairs".to_string(),
+                )
+            })?;
+        let var = pair[0].as_f64().filter(|n| *n >= 0.0 && n.fract() == 0.0);
+        let var = var.ok_or_else(|| {
+            ServeError::Protocol("flip variable must be a non-negative integer".to_string())
+        })? as usize;
+        let obs = match pair[1].as_str() {
+            Some("0") => Some(false),
+            Some("1") => Some(true),
+            Some("?") => None,
+            _ => {
+                return Err(ServeError::Protocol(
+                    "flip observation must be \"0\", \"1\" or \"?\"".to_string(),
+                ))
+            }
+        };
+        flips.push((var, obs));
+    }
+    Ok((session, flips))
 }
 
 fn rows_field(doc: &Value, key: &str) -> Result<Vec<Evidence>, ServeError> {
@@ -662,6 +874,56 @@ pub fn encode_error(id: u64, err: &ServeError) -> String {
         ("error".to_string(), Value::Str(err.message())),
     ])
     .to_json()
+}
+
+/// Encodes a successful session-operation response line (open, delta or
+/// close — they share one shape; see the module docs).
+pub fn encode_session_response(response: &SessionResponse) -> String {
+    Value::Obj(vec![
+        ("id".to_string(), Value::Num(response.id as f64)),
+        ("ok".to_string(), Value::Bool(true)),
+        ("session".to_string(), Value::Num(response.session as f64)),
+        ("model".to_string(), Value::Str(response.model.clone())),
+        (
+            "numeric".to_string(),
+            Value::Str(response.variant.numeric.name().to_string()),
+        ),
+        (
+            "precision".to_string(),
+            Value::Str(response.variant.precision.name()),
+        ),
+        // Value::Num writes non-finite values as null — same convention as
+        // the v1 `values` array (log-domain -inf, or the NaN of closing a
+        // never-opened session).
+        ("value".to_string(), Value::Num(response.value)),
+        (
+            "recomputed_ops".to_string(),
+            Value::Num(response.recomputed_ops as f64),
+        ),
+        ("full_pass".to_string(), Value::Bool(response.full_pass)),
+        ("incremental".to_string(), Value::Bool(response.incremental)),
+        ("closed".to_string(), Value::Bool(response.closed)),
+    ])
+    .to_json()
+}
+
+/// Renders the global session counters for the `metrics` command reply.
+fn session_stats_value(stats: &SessionStats) -> Value {
+    Value::Obj(vec![
+        ("opens".to_string(), Value::Num(stats.opens as f64)),
+        ("deltas".to_string(), Value::Num(stats.deltas as f64)),
+        ("closes".to_string(), Value::Num(stats.closes as f64)),
+        ("evictions".to_string(), Value::Num(stats.evictions as f64)),
+        ("errors".to_string(), Value::Num(stats.errors as f64)),
+        (
+            "full_pass_deltas".to_string(),
+            Value::Num(stats.full_pass_deltas as f64),
+        ),
+        (
+            "recomputed_ops".to_string(),
+            Value::Num(stats.recomputed_ops as f64),
+        ),
+    ])
 }
 
 /// Decodes a response line back into a [`QueryResponse`] — the client-side

@@ -88,6 +88,7 @@ fn concurrent_load_coalesces_into_batches() {
             },
             parallelism: Parallelism::serial(),
             artifact_capacity: 4,
+            ..ServiceConfig::default()
         },
     ));
     service.register("pair", &spn);
@@ -144,6 +145,7 @@ fn batch_errors_stay_with_the_request_that_caused_them() {
             },
             parallelism: Parallelism::serial(),
             artifact_capacity: 4,
+            ..ServiceConfig::default()
         },
     ));
     service.register("zero", &spn);
@@ -282,6 +284,7 @@ fn hot_swap_while_batches_are_in_flight_is_atomic() {
             },
             parallelism: Parallelism::serial(),
             artifact_capacity: 4,
+            ..ServiceConfig::default()
         },
     ));
     service.register("m", &independent_pair()); // P(X0=1) = 0.2

@@ -18,7 +18,7 @@ fn throughput<B: Backend>(
     ops: &OpList,
     batch: &EvidenceBatch,
 ) -> Result<f64, spn_accel::platforms::BackendError> {
-    let mut engine = Engine::new(backend, ops)?;
+    let mut engine = Engine::from_ops(backend, ops)?;
     Ok(engine.execute_batch(batch)?.perf.ops_per_cycle())
 }
 

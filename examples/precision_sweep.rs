@@ -25,7 +25,7 @@ use rand::SeedableRng;
 use spn_accel::core::query::reference_query_with;
 use spn_accel::core::random::{deep_chain_spn, random_spn, RandomSpnConfig};
 use spn_accel::core::{Evidence, EvidenceBatch, NumericMode, Precision, QueryBatch, Spn};
-use spn_accel::platforms::{CpuModel, Engine};
+use spn_accel::platforms::{CpuModel, Engine, EngineOptions};
 
 /// A mixed batch of partial and complete observations.  (A fully
 /// marginalised batch would be a bad probe: a normalised SPN's partition
@@ -66,8 +66,12 @@ fn sweep(label: &str, spn: &Spn, numeric: NumericMode) {
         "precision", "queries/sec", "max rel error"
     );
     for precision in precisions {
-        let mut engine = Engine::from_spn_with_precision(CpuModel::new(), spn, numeric, precision)
-            .expect("compiles");
+        let mut engine = Engine::new(
+            CpuModel::new(),
+            spn,
+            EngineOptions::default().mode(numeric).precision(precision),
+        )
+        .expect("compiles");
         let out = engine.execute_batch(&batch).expect("executes");
         let max_rel_error = out
             .values

@@ -10,7 +10,7 @@
 use spn_accel::core::{
     ConditionalBatch, Evidence, EvidenceBatch, NumericMode, QueryBatch, SpnBuilder, VarId,
 };
-use spn_accel::platforms::{Engine, Parallelism, ProcessorBackend};
+use spn_accel::platforms::{Engine, EngineOptions, Parallelism, ProcessorBackend};
 
 const RAIN: usize = 0;
 const SPRINKLER: usize = 1;
@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let spn = weather_spn()?;
     // Compile once for the paper's processor; every query below reuses the
     // same artifact (MAP lazily adds a max-product variant on first use).
-    let mut engine = Engine::from_spn(ProcessorBackend::ptree(), &spn)?;
+    let mut engine = Engine::new(ProcessorBackend::ptree(), &spn, EngineOptions::default())?;
 
     // Joint: the probability of one fully observed day.
     let mut joint = EvidenceBatch::new(3);
@@ -105,9 +105,13 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     // keeps it finite.
     let chain = spn_accel::core::random::deep_chain_spn(1200, 1e-3);
     let x_true = Evidence::from_assignment(&[true]);
-    let mut linear_chain = Engine::from_spn(ProcessorBackend::ptree(), &chain)?;
-    let mut log_chain =
-        Engine::from_spn_with_mode(ProcessorBackend::ptree(), &chain, NumericMode::Log)?;
+    let mut linear_chain =
+        Engine::new(ProcessorBackend::ptree(), &chain, EngineOptions::default())?;
+    let mut log_chain = Engine::new(
+        ProcessorBackend::ptree(),
+        &chain,
+        EngineOptions::default().mode(NumericMode::Log),
+    )?;
     let (underflowed, _) = linear_chain.execute(&x_true)?;
     let (ln_p, _) = log_chain.execute(&x_true)?;
     assert_eq!(underflowed, 0.0);

@@ -4,7 +4,7 @@
 //! Run with `cargo run --example quickstart`.
 
 use spn_accel::core::{Evidence, SpnBuilder, VarId};
-use spn_accel::platforms::{Engine, ProcessorBackend};
+use spn_accel::platforms::{Engine, EngineOptions, ProcessorBackend};
 
 fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     // A two-variable mixture: P(rain, sprinkler).
@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
 
     // Phase 1: compile once for the Ptree configuration.  The engine caches
     // the VLIW program and reusable simulator buffers behind one handle.
-    let mut engine = Engine::from_spn(ProcessorBackend::ptree(), &spn)?;
+    let mut engine = Engine::new(ProcessorBackend::ptree(), &spn, EngineOptions::default())?;
     // Phase 2: execute as many queries as you like against the cached program.
     let (output, perf) = engine.execute(&evidence)?;
     println!("processor output               = {output:.4}");

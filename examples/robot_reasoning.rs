@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use spn_accel::core::{Evidence, EvidenceBatch};
 use spn_accel::learn::chow_liu::ChowLiuTree;
 use spn_accel::learn::dataset::Dataset;
-use spn_accel::platforms::{Engine, ProcessorBackend};
+use spn_accel::platforms::{Engine, EngineOptions, ProcessorBackend};
 
 // Variable indices of the model.
 const BLOCKED: usize = 0;
@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
 
     // The same query on the accelerator (this is what would run on-board):
     // compile the model once, then ship both sub-queries as one batch.
-    let mut engine = Engine::from_spn(ProcessorBackend::ptree(), &spn)?;
+    let mut engine = Engine::new(ProcessorBackend::ptree(), &spn, EngineOptions::default())?;
     let batch = EvidenceBatch::from_evidences(5, &[blocked_and_sensors, sensors])?;
     let result = engine.execute_batch(&batch)?;
     let hw_p_blocked = result.values[0] / result.values[1];

@@ -37,6 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
             },
             parallelism: Parallelism::serial(),
             artifact_capacity: 8,
+            ..ServiceConfig::default()
         },
     ));
     let banknote = Benchmark::Banknote.spn();

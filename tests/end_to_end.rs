@@ -7,13 +7,13 @@ use spn_accel::core::flatten::OpList;
 use spn_accel::core::random::{random_spn, RandomSpnConfig};
 use spn_accel::core::{validate, Evidence, EvidenceBatch, Spn};
 use spn_accel::learn::Benchmark;
-use spn_accel::platforms::{CpuModel, Engine, GpuModel, ProcessorBackend};
+use spn_accel::platforms::{CpuModel, Engine, EngineOptions, GpuModel, ProcessorBackend};
 use spn_accel::processor::ProcessorConfig;
 
 /// Compiles `spn` for `config`, runs one query, returns (value, cycles).
 fn run_on(config: &ProcessorConfig, spn: &Spn, evidence: &Evidence) -> (f64, u64) {
     let backend = ProcessorBackend::new(config.clone()).expect("backend");
-    let mut engine = Engine::from_spn(backend, spn).expect("compile");
+    let mut engine = Engine::new(backend, spn, EngineOptions::default()).expect("compile");
     let (value, perf) = engine.execute(evidence).expect("run");
     (value, perf.cycles)
 }
@@ -30,10 +30,10 @@ fn random_spns_agree_across_every_execution_path() {
         let ops = OpList::from_spn(&spn);
 
         // One engine per platform, compiled once, reused for every query.
-        let mut cpu = Engine::new(CpuModel::new(), &ops).expect("cpu compile");
-        let mut gpu = Engine::new(GpuModel::new(), &ops).expect("gpu compile");
-        let mut ptree = Engine::new(ProcessorBackend::ptree(), &ops).expect("ptree compile");
-        let mut pvect = Engine::new(ProcessorBackend::pvect(), &ops).expect("pvect compile");
+        let mut cpu = Engine::from_ops(CpuModel::new(), &ops).expect("cpu compile");
+        let mut gpu = Engine::from_ops(GpuModel::new(), &ops).expect("gpu compile");
+        let mut ptree = Engine::from_ops(ProcessorBackend::ptree(), &ops).expect("ptree compile");
+        let mut pvect = Engine::from_ops(ProcessorBackend::pvect(), &ops).expect("pvect compile");
 
         for evidence in [
             Evidence::marginal(vars),
@@ -84,7 +84,8 @@ fn learned_benchmark_circuits_run_on_the_processor() {
 fn conditional_queries_match_between_software_and_hardware() {
     let spn = Benchmark::Banknote.spn();
     let n = spn.num_vars();
-    let mut engine = Engine::from_spn(ProcessorBackend::ptree(), &spn).unwrap();
+    let mut engine =
+        Engine::new(ProcessorBackend::ptree(), &spn, EngineOptions::default()).unwrap();
 
     let mut evidence = Evidence::marginal(n);
     evidence.observe(1, true);
@@ -117,7 +118,8 @@ fn batched_execution_amortises_cycles_linearly_on_the_simulator() {
     // batched: N queries through one engine cost N × single-query cycles.
     let spn = Benchmark::Banknote.spn();
     let n = spn.num_vars();
-    let mut engine = Engine::from_spn(ProcessorBackend::ptree(), &spn).unwrap();
+    let mut engine =
+        Engine::new(ProcessorBackend::ptree(), &spn, EngineOptions::default()).unwrap();
     let single = engine.execute(&Evidence::marginal(n)).unwrap().1;
     let batch = EvidenceBatch::marginals(n, 5);
     let batched = engine.execute_batch(&batch).unwrap().perf;

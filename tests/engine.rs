@@ -8,7 +8,7 @@ use spn_accel::core::eval::Evaluator;
 use spn_accel::core::flatten::OpList;
 use spn_accel::core::random::{random_spn, RandomSpnConfig};
 use spn_accel::core::{Evidence, EvidenceBatch};
-use spn_accel::platforms::{CpuModel, Engine, GpuModel, ProcessorBackend};
+use spn_accel::platforms::{CpuModel, Engine, EngineOptions, GpuModel, ProcessorBackend};
 
 /// A deterministic batch mixing marginal, complete and partial queries.
 fn mixed_batch(num_vars: usize, queries: usize, seed: u64) -> EvidenceBatch {
@@ -53,10 +53,10 @@ fn all_backends_agree_on_a_shared_batch() {
             .evaluate_batch(&batch, &mut reference)
             .unwrap();
 
-        let mut cpu = Engine::new(CpuModel::new(), &ops).unwrap();
-        let mut gpu = Engine::new(GpuModel::new(), &ops).unwrap();
-        let mut ptree = Engine::new(ProcessorBackend::ptree(), &ops).unwrap();
-        let mut pvect = Engine::new(ProcessorBackend::pvect(), &ops).unwrap();
+        let mut cpu = Engine::from_ops(CpuModel::new(), &ops).unwrap();
+        let mut gpu = Engine::from_ops(GpuModel::new(), &ops).unwrap();
+        let mut ptree = Engine::from_ops(ProcessorBackend::ptree(), &ops).unwrap();
+        let mut pvect = Engine::from_ops(ProcessorBackend::pvect(), &ops).unwrap();
 
         let cpu_out = cpu.execute_batch(&batch).unwrap();
         let gpu_out = gpu.execute_batch(&batch).unwrap();
@@ -92,11 +92,11 @@ fn compiled_artifact_is_reusable_across_batches() {
         &mut StdRng::seed_from_u64(21),
     );
     let ops = OpList::from_spn(&spn);
-    let mut long_lived = Engine::new(CpuModel::new(), &ops).unwrap();
+    let mut long_lived = Engine::from_ops(CpuModel::new(), &ops).unwrap();
     for round in 0..5u64 {
         let batch = mixed_batch(10, 7, round);
         let reused = long_lived.execute_batch(&batch).unwrap();
-        let fresh = Engine::new(CpuModel::new(), &ops)
+        let fresh = Engine::from_ops(CpuModel::new(), &ops)
             .unwrap()
             .execute_batch(&batch)
             .unwrap();
@@ -112,7 +112,7 @@ fn execute_is_a_one_query_batch() {
         &RandomSpnConfig::with_vars(8),
         &mut StdRng::seed_from_u64(33),
     );
-    let mut engine = Engine::from_spn(GpuModel::new(), &spn).unwrap();
+    let mut engine = Engine::new(GpuModel::new(), &spn, EngineOptions::default()).unwrap();
     let mut e = Evidence::marginal(8);
     e.observe(2, true);
     let (single, perf) = engine.execute(&e).unwrap();
@@ -130,7 +130,7 @@ fn zero_variable_spn_executes() {
     let mut b = spn_accel::core::SpnBuilder::new(0);
     let c = b.constant(0.25);
     let spn = b.finish(c).unwrap();
-    let mut engine = Engine::from_spn(CpuModel::new(), &spn).unwrap();
+    let mut engine = Engine::new(CpuModel::new(), &spn, EngineOptions::default()).unwrap();
     let (value, perf) = engine.execute(&Evidence::marginal(0)).unwrap();
     assert_eq!(value, 0.25);
     assert_eq!(perf.queries, 1);
@@ -147,9 +147,9 @@ fn engines_reject_mismatched_batches() {
         &mut StdRng::seed_from_u64(55),
     );
     let wrong = EvidenceBatch::marginals(6, 2);
-    let mut cpu = Engine::from_spn(CpuModel::new(), &spn).unwrap();
-    let mut gpu = Engine::from_spn(GpuModel::new(), &spn).unwrap();
-    let mut hw = Engine::from_spn(ProcessorBackend::ptree(), &spn).unwrap();
+    let mut cpu = Engine::new(CpuModel::new(), &spn, EngineOptions::default()).unwrap();
+    let mut gpu = Engine::new(GpuModel::new(), &spn, EngineOptions::default()).unwrap();
+    let mut hw = Engine::new(ProcessorBackend::ptree(), &spn, EngineOptions::default()).unwrap();
     assert!(cpu.execute_batch(&wrong).is_err());
     assert!(gpu.execute_batch(&wrong).is_err());
     assert!(hw.execute_batch(&wrong).is_err());

@@ -13,7 +13,7 @@ use spn_accel::processor::ProcessorConfig;
 
 fn processor_throughput(config: &ProcessorConfig, ops: &OpList, evidence: &Evidence) -> f64 {
     let backend = ProcessorBackend::new(config.clone()).expect("backend");
-    let mut engine = Engine::new(backend, ops).expect("compile");
+    let mut engine = Engine::from_ops(backend, ops).expect("compile");
     let (_, perf) = engine.execute(evidence).expect("run");
     perf.ops_per_cycle()
 }

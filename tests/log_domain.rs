@@ -23,7 +23,9 @@ use spn_accel::core::{
     reference_query_with, ConditionalBatch, Evidence, EvidenceBatch, NumericMode, QueryBatch,
     QueryMode, Spn, SpnError,
 };
-use spn_accel::platforms::{Backend, CpuModel, Engine, GpuModel, Parallelism, ProcessorBackend};
+use spn_accel::platforms::{
+    Backend, CpuModel, Engine, EngineOptions, GpuModel, Parallelism, ProcessorBackend,
+};
 use spn_accel::serve::tcp::{decode_response, encode_request};
 use spn_accel::serve::{BatchPolicy, Service, ServiceConfig, TcpServer};
 
@@ -80,7 +82,12 @@ where
     let oracle = oracle_logs(&spn, &batch);
 
     // Linear mode: every probability in the batch underflows to exactly 0.0.
-    let mut linear = Engine::from_spn_with_mode(make(), &spn, NumericMode::Linear).unwrap();
+    let mut linear = Engine::new(
+        make(),
+        &spn,
+        EngineOptions::default().mode(NumericMode::Linear),
+    )
+    .unwrap();
     let out = linear.execute_batch(&batch).unwrap();
     assert!(
         out.values.iter().all(|&v| v == 0.0),
@@ -88,7 +95,12 @@ where
     );
 
     // Log mode, serial: finite and within 1e-9 of the oracle.
-    let mut log = Engine::from_spn_with_mode(make(), &spn, NumericMode::Log).unwrap();
+    let mut log = Engine::new(
+        make(),
+        &spn,
+        EngineOptions::default().mode(NumericMode::Log),
+    )
+    .unwrap();
     assert_eq!(log.mode(), NumericMode::Log);
     let serial = log.execute_batch(&batch).unwrap();
     for (q, (&got, &want)) in serial.values.iter().zip(&oracle).enumerate() {
@@ -132,7 +144,12 @@ fn deep_chain_underflow_parity_on_pvect() {
 #[test]
 fn all_query_modes_stay_finite_in_log_mode() {
     let spn = chain();
-    let mut engine = Engine::from_spn_with_mode(CpuModel::new(), &spn, NumericMode::Log).unwrap();
+    let mut engine = Engine::new(
+        CpuModel::new(),
+        &spn,
+        EngineOptions::default().mode(NumericMode::Log),
+    )
+    .unwrap();
 
     let mut joint_rows = EvidenceBatch::new(1);
     joint_rows.push_assignment(&[true]).unwrap();
@@ -178,8 +195,12 @@ fn all_query_modes_stay_finite_in_log_mode() {
 #[test]
 fn linear_conditionals_fail_with_the_underflow_carrying_error() {
     let spn = chain();
-    let mut engine =
-        Engine::from_spn_with_mode(CpuModel::new(), &spn, NumericMode::Linear).unwrap();
+    let mut engine = Engine::new(
+        CpuModel::new(),
+        &spn,
+        EngineOptions::default().mode(NumericMode::Linear),
+    )
+    .unwrap();
     let mut cond = ConditionalBatch::new(1);
     let mut target = Evidence::marginal(1);
     target.observe(0, true);
@@ -230,6 +251,7 @@ fn deep_chain_log_mode_round_trips_through_the_tcp_server() {
             },
             parallelism: Parallelism::serial(),
             artifact_capacity: 4,
+            ..ServiceConfig::default()
         },
     ));
     service.register("chain", &spn);

@@ -19,7 +19,7 @@ use spn_accel::compiler::Compiler;
 use spn_accel::core::query::{ConditionalBatch, QueryBatch, QueryMode};
 use spn_accel::core::random::{random_spn, RandomSpnConfig};
 use spn_accel::core::{Evidence, EvidenceBatch, NumericMode, Precision, Spn};
-use spn_accel::platforms::{Engine, Parallelism, ProcessorBackend, QueryOutput};
+use spn_accel::platforms::{Engine, EngineOptions, Parallelism, ProcessorBackend, QueryOutput};
 use spn_accel::processor::{
     MultiCoreConfig, MultiCoreProcessor, PerfReport, ProcessorConfig, SharedMemoryConfig,
 };
@@ -120,18 +120,21 @@ fn n_core_parity_across_modes_numerics_and_precisions() {
     let spn = test_spn();
     for numeric in NumericMode::ALL {
         for precision in Precision::SWEEP {
-            let mut single = Engine::from_spn_with_precision(
+            let mut single = Engine::new(
                 ProcessorBackend::ptree(),
                 &spn,
-                numeric,
-                precision,
+                EngineOptions::default().mode(numeric).precision(precision),
             )
             .expect("single-core engine");
             for cores in [2usize, 3] {
                 let backend = ProcessorBackend::with_cores(ProcessorConfig::ptree(), cores)
                     .expect("multi-core backend");
-                let mut multi = Engine::from_spn_with_precision(backend, &spn, numeric, precision)
-                    .expect("multi-core engine");
+                let mut multi = Engine::new(
+                    backend,
+                    &spn,
+                    EngineOptions::default().mode(numeric).precision(precision),
+                )
+                .expect("multi-core engine");
                 for mode in [
                     QueryMode::Joint,
                     QueryMode::Marginal,

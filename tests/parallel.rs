@@ -9,7 +9,7 @@ use spn_accel::core::query::QueryBatch;
 use spn_accel::core::random::{random_spn, RandomSpnConfig};
 use spn_accel::core::{Evidence, EvidenceBatch};
 use spn_accel::platforms::{
-    Backend, CpuModel, Engine, GpuModel, Parallelism, ProcessorBackend, WorkerState,
+    Backend, CpuModel, Engine, EngineOptions, GpuModel, Parallelism, ProcessorBackend, WorkerState,
 };
 
 /// A deterministic batch mixing marginal, complete and partial queries.
@@ -54,7 +54,7 @@ fn check_backend<B: Backend + Sync>(name: &str, backend: B, ops: &OpList, batch:
 where
     B::Compiled: Sync,
 {
-    let mut engine = Engine::new(backend, ops).unwrap();
+    let mut engine = Engine::from_ops(backend, ops).unwrap();
     let serial = engine.execute_batch(batch).unwrap();
     for workers in [1usize, 2, 3, 4, 8] {
         // min_shard 1 forces real sharding even on small batches, so the
@@ -95,7 +95,7 @@ fn parallel_handles_degenerate_batch_shapes() {
         &RandomSpnConfig::with_vars(7),
         &mut StdRng::seed_from_u64(31),
     );
-    let mut engine = Engine::from_spn(CpuModel::new(), &spn).unwrap();
+    let mut engine = Engine::new(CpuModel::new(), &spn, EngineOptions::default()).unwrap();
     let force = Parallelism {
         workers: 8,
         min_shard: 1,
@@ -117,7 +117,7 @@ fn parallel_propagates_shard_errors() {
         &RandomSpnConfig::with_vars(5),
         &mut StdRng::seed_from_u64(41),
     );
-    let mut engine = Engine::from_spn(GpuModel::new(), &spn).unwrap();
+    let mut engine = Engine::new(GpuModel::new(), &spn, EngineOptions::default()).unwrap();
     let wrong = EvidenceBatch::marginals(6, 64);
     let parallelism = Parallelism {
         workers: 4,
@@ -135,7 +135,7 @@ fn parallel_query_modes_match_serial_query_modes() {
         &RandomSpnConfig::with_vars(vars),
         &mut StdRng::seed_from_u64(51),
     );
-    let mut engine = Engine::from_spn(CpuModel::new(), &spn).unwrap();
+    let mut engine = Engine::new(CpuModel::new(), &spn, EngineOptions::default()).unwrap();
     let parallelism = Parallelism {
         workers: 4,
         min_shard: 1,
@@ -194,7 +194,7 @@ fn worker_pool_grows_and_is_reused() {
     assert_eq!(out_large.values.len(), 40);
     assert!(workers.len() >= grown, "pool never shrinks");
 
-    let mut engine = Engine::new(CpuModel::new(), &ops).unwrap();
+    let mut engine = Engine::from_ops(CpuModel::new(), &ops).unwrap();
     let serial = engine.execute_batch(&large).unwrap();
     assert_bits_equal(&serial.values, &out_large.values, "pool reuse");
 }

@@ -5,8 +5,9 @@
 //! For each combination the harness asserts:
 //!
 //! 1. **F64 is the pre-existing path, bit for bit** — an engine built with
-//!    `Engine::from_spn_with_precision(.., Precision::F64)` returns exactly
-//!    (`to_bits`-equal) the values of `Engine::from_spn_with_mode`.
+//!    `EngineOptions::default().precision(Precision::F64)` returns exactly
+//!    (`to_bits`-equal) the values of an engine built without any precision
+//!    override.
 //! 2. **Backends agree with the quantized reference** — the interpreted
 //!    `OpList` of the stamped program (the quantizer's defining semantics)
 //!    is recomputed here per query; the CPU and GPU models must reproduce
@@ -39,7 +40,9 @@ use spn_accel::core::random::{deep_chain_spn, random_spn, RandomSpnConfig};
 use spn_accel::core::{
     ConditionalBatch, Evidence, EvidenceBatch, NumericMode, Precision, QueryBatch, QueryMode, Spn,
 };
-use spn_accel::platforms::{Backend, CpuModel, Engine, GpuModel, Parallelism, ProcessorBackend};
+use spn_accel::platforms::{
+    Backend, CpuModel, Engine, EngineOptions, GpuModel, Parallelism, ProcessorBackend,
+};
 
 /// Builds the query batch of `mode` used by the sweep (small, deterministic,
 /// mixing marginal/partial/complete rows).
@@ -199,15 +202,19 @@ where
             let exact = reference_query_with(spn, &query, numeric).expect("reference oracle");
 
             // The pre-existing path (no precision anywhere in sight).
-            let mut baseline =
-                Engine::from_spn_with_mode(make(), spn, numeric).expect("baseline compiles");
+            let mut baseline = Engine::new(make(), spn, EngineOptions::default().mode(numeric))
+                .expect("baseline compiles");
             let baseline_out = baseline.execute_query(&query).expect("baseline executes");
 
             let base_ops = OpList::from_spn(spn).with_mode(numeric);
             for precision in Precision::SWEEP {
                 let context = format!("{label}/{numeric}/{mode}/{precision}");
-                let mut engine = Engine::from_spn_with_precision(make(), spn, numeric, precision)
-                    .unwrap_or_else(|e| panic!("{context}: compile failed: {e}"));
+                let mut engine = Engine::new(
+                    make(),
+                    spn,
+                    EngineOptions::default().mode(numeric).precision(precision),
+                )
+                .unwrap_or_else(|e| panic!("{context}: compile failed: {e}"));
                 assert_eq!(engine.precision(), precision);
                 let out = engine
                     .execute_query(&query)
@@ -348,12 +355,13 @@ fn reduced_precision_actually_quantizes() {
         }
     }
     // And the engines disagree with the f64 ones beyond bit noise.
-    let mut exact = Engine::from_spn(CpuModel::new(), &spn).unwrap();
-    let mut reduced = Engine::from_spn_with_precision(
+    let mut exact = Engine::new(CpuModel::new(), &spn, EngineOptions::default()).unwrap();
+    let mut reduced = Engine::new(
         CpuModel::new(),
         &spn,
-        NumericMode::Linear,
-        Precision::E8M10,
+        EngineOptions::default()
+            .mode(NumericMode::Linear)
+            .precision(Precision::E8M10),
     )
     .unwrap();
     // A fully observed row (a normalised SPN's *marginal* re-rounds to

@@ -16,7 +16,7 @@ use spn_accel::core::eval::Evaluator;
 use spn_accel::core::flatten::{LoopProgram, OpList};
 use spn_accel::core::random::{random_spn, RandomSpnConfig};
 use spn_accel::core::{io, validate, Evidence, EvidenceBatch, Spn};
-use spn_accel::platforms::{Engine, ProcessorBackend};
+use spn_accel::platforms::{Engine, EngineOptions, ProcessorBackend};
 use spn_accel::processor::ProcessorConfig;
 
 /// One generated case: an SPN and a random observation pattern over its
@@ -153,7 +153,7 @@ fn compiled_programs_match_reference() {
         let reference = spn.evaluate(&evidence).unwrap();
         for config in [ProcessorConfig::ptree(), ProcessorConfig::pvect()] {
             let backend = ProcessorBackend::new(config).unwrap();
-            let mut engine = Engine::from_spn(backend, &spn).unwrap();
+            let mut engine = Engine::new(backend, &spn, EngineOptions::default()).unwrap();
             let (value, perf) = engine.execute(&evidence).unwrap();
             assert!(
                 (value - reference).abs() <= 1e-9 * reference.abs().max(1e-12),

@@ -4,7 +4,9 @@
 
 use spn_accel::core::query::{reference_query, QueryBatch};
 use spn_accel::core::{ConditionalBatch, Evidence, EvidenceBatch, Spn, SpnBuilder, VarId};
-use spn_accel::platforms::{Backend, CpuModel, Engine, GpuModel, ProcessorBackend, QueryOutput};
+use spn_accel::platforms::{
+    Backend, CpuModel, Engine, EngineOptions, GpuModel, ProcessorBackend, QueryOutput,
+};
 
 /// Three independent Bernoullis: P(X0)=0.2, P(X1)=0.7, P(X2)=0.45.
 fn independent_triple() -> Spn {
@@ -86,7 +88,7 @@ fn assert_close(got: f64, want: f64, context: &str) {
 /// each output to `check`.
 fn for_all_backends(spn: &Spn, query: &QueryBatch, check: impl Fn(&str, &QueryOutput)) {
     fn output_of<B: Backend>(backend: B, spn: &Spn, query: &QueryBatch) -> QueryOutput {
-        Engine::from_spn(backend, spn)
+        Engine::new(backend, spn, EngineOptions::default())
             .unwrap()
             .execute_query(query)
             .unwrap()
@@ -239,7 +241,7 @@ fn joint_batches_with_unobserved_rows_are_rejected_by_every_backend() {
     batch.push_marginal();
     let query = QueryBatch::Joint(batch);
     assert!(reference_query(&spn, &query).is_err());
-    let mut engine = Engine::from_spn(CpuModel::new(), &spn).unwrap();
+    let mut engine = Engine::new(CpuModel::new(), &spn, EngineOptions::default()).unwrap();
     assert!(engine.execute_query(&query).is_err());
 }
 
@@ -255,6 +257,6 @@ fn conditional_on_zero_probability_evidence_errors_through_engines() {
     given.observe(0, false);
     cond.push(&Evidence::marginal(1), &given).unwrap();
     let query = QueryBatch::Conditional(cond);
-    let mut engine = Engine::from_spn(CpuModel::new(), &spn).unwrap();
+    let mut engine = Engine::new(CpuModel::new(), &spn, EngineOptions::default()).unwrap();
     assert!(engine.execute_query(&query).is_err());
 }

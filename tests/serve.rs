@@ -16,7 +16,7 @@ use std::time::Duration;
 use spn_accel::core::wire::QueryRequest;
 use spn_accel::core::{QueryMode, Spn};
 use spn_accel::learn::Benchmark;
-use spn_accel::platforms::{CpuModel, Engine, Parallelism};
+use spn_accel::platforms::{CpuModel, Engine, EngineOptions, Parallelism};
 use spn_accel::serve::tcp::{decode_response, encode_request};
 use spn_accel::serve::{BatchPolicy, Service, ServiceConfig, TcpServer};
 
@@ -69,6 +69,7 @@ fn tcp_server_serves_concurrent_mixed_mode_load_bit_for_bit() {
             },
             parallelism: Parallelism::workers(2),
             artifact_capacity: 8,
+            ..ServiceConfig::default()
         },
     ));
     for (name, spn) in &models {
@@ -107,7 +108,7 @@ fn tcp_server_serves_concurrent_mixed_mode_load_bit_for_bit() {
         .map(|(name, spn)| {
             (
                 name.to_string(),
-                Engine::from_spn(CpuModel::new(), spn).unwrap(),
+                Engine::new(CpuModel::new(), spn, EngineOptions::default()).unwrap(),
             )
         })
         .collect();

@@ -15,7 +15,7 @@ use spn_accel::core::vectorized::{LANE_WIDTHS, MAX_LANES};
 use spn_accel::core::{
     ConditionalBatch, Evidence, EvidenceBatch, NumericMode, Precision, QueryBatch, QueryMode, Spn,
 };
-use spn_accel::platforms::{CpuModel, Engine, Parallelism};
+use spn_accel::platforms::{CpuModel, Engine, EngineOptions, Parallelism};
 
 const NUM_VARS: usize = 10;
 
@@ -70,13 +70,21 @@ fn lane_blocked_execute_matches_scalar_across_modes_precisions_and_shapes() {
     let spn = test_spn();
     for mode in NumericMode::ALL {
         for precision in Precision::SWEEP {
-            let mut oracle =
-                Engine::from_spn_with_precision(CpuModel::scalar(), &spn, mode, precision).unwrap();
+            let mut oracle = Engine::new(
+                CpuModel::scalar(),
+                &spn,
+                EngineOptions::default().mode(mode).precision(precision),
+            )
+            .unwrap();
             for &lanes in &LANE_WIDTHS {
                 let backend = CpuModel::new().with_lanes(lanes);
                 assert_eq!(backend.lanes(), lanes);
-                let mut engine =
-                    Engine::from_spn_with_precision(backend, &spn, mode, precision).unwrap();
+                let mut engine = Engine::new(
+                    backend,
+                    &spn,
+                    EngineOptions::default().mode(mode).precision(precision),
+                )
+                .unwrap();
                 for len in BATCH_LENS {
                     let batch = build_batch(len);
                     let want = oracle.execute_batch(&batch).unwrap();
@@ -122,8 +130,14 @@ fn lane_blocked_query_modes_match_scalar_bit_for_bit() {
         ]
     };
     for mode in NumericMode::ALL {
-        let mut oracle = Engine::from_spn_with_mode(CpuModel::scalar(), &spn, mode).unwrap();
-        let mut engine = Engine::from_spn_with_mode(CpuModel::new(), &spn, mode).unwrap();
+        let mut oracle = Engine::new(
+            CpuModel::scalar(),
+            &spn,
+            EngineOptions::default().mode(mode),
+        )
+        .unwrap();
+        let mut engine =
+            Engine::new(CpuModel::new(), &spn, EngineOptions::default().mode(mode)).unwrap();
         for query in &queries {
             let want = oracle.execute_query(query).unwrap();
             let got = engine.execute_query(query).unwrap();
@@ -152,9 +166,14 @@ fn lane_blocked_parallel_sharding_composes_bit_for_bit() {
     // 331 is prime: every shard count yields ragged shards, and every shard
     // ends in a ragged lane tail.
     let batch = build_batch(331);
-    let mut oracle = Engine::from_spn(CpuModel::scalar(), &spn).unwrap();
+    let mut oracle = Engine::new(CpuModel::scalar(), &spn, EngineOptions::default()).unwrap();
     let want = oracle.execute_batch(&batch).unwrap();
-    let mut engine = Engine::from_spn(CpuModel::new().with_lanes(MAX_LANES), &spn).unwrap();
+    let mut engine = Engine::new(
+        CpuModel::new().with_lanes(MAX_LANES),
+        &spn,
+        EngineOptions::default(),
+    )
+    .unwrap();
     for workers in [1, 2, 3, 4] {
         let got = engine
             .execute_batch_parallel(&batch, &Parallelism::workers(workers))
