@@ -72,7 +72,7 @@ fn main() {
         let (eval_s, _) = time(|| {
             evaluator
                 .evaluate_batch(&batch, &mut roots)
-                .expect("evaluate")
+                .expect("evaluate");
         });
         println!(
             "{:>10} {:>6}: execute {:>8.3} us/query (reference evaluator)",

@@ -45,9 +45,8 @@ fn check_file(path: &str, expect_lanes: &[u64]) -> Result<usize, String> {
     let text =
         std::fs::read_to_string(path).map_err(|err| format!("{path}: cannot read: {err}"))?;
     let doc = json::parse(&text).map_err(|err| format!("{path}: malformed JSON: {err}"))?;
-    let records = match doc {
-        Value::Arr(items) => items,
-        _ => return Err(format!("{path}: top level is not a JSON array")),
+    let Value::Arr(records) = doc else {
+        return Err(format!("{path}: top level is not a JSON array"));
     };
     if records.is_empty() {
         return Err(format!("{path}: no records"));
@@ -55,9 +54,8 @@ fn check_file(path: &str, expect_lanes: &[u64]) -> Result<usize, String> {
     let mut reference_keys: Vec<String> = Vec::new();
     let mut seen_lanes: Vec<u64> = Vec::new();
     for (i, record) in records.iter().enumerate() {
-        let fields = match record {
-            Value::Obj(fields) => fields,
-            _ => return Err(format!("{path}: record {i} is not an object")),
+        let Value::Obj(fields) = record else {
+            return Err(format!("{path}: record {i} is not an object"));
         };
         if fields.is_empty() {
             return Err(format!("{path}: record {i} is empty"));

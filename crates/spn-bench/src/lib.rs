@@ -17,7 +17,12 @@
 //!   files are well-formed, non-empty and schema-consistent,
 //! * `record_traces` — regenerates (`--bless`) or verifies (`--check`, the
 //!   CI gate) the committed golden per-cycle traces of the multi-core
-//!   simulator under `tests/golden_traces/` (cases in [`traces`]).
+//!   simulator under `tests/golden_traces/` (cases in [`traces`]),
+//! * `spn_lint` — static-analysis gate: lints the shipped benchmark models
+//!   and the golden-trace workloads (structural lints, numeric range
+//!   analysis at every mode × precision, schedule verification of the
+//!   compiled artifacts) plus any SPN text files given as arguments;
+//!   `--deny warnings` (the CI mode) fails on any warn-level finding.
 //!
 //! `bench_engine` and `bench_serve` accept `--smoke` for the fast CI sweep.
 //!

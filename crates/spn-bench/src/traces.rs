@@ -81,6 +81,18 @@ impl TraceCase {
         }
     }
 
+    /// The lowered program the case compiles — exactly what
+    /// [`render_case`] hands to the compiler (linear or log domain per
+    /// [`TraceCase::mode`]).  This is the hook `spn_lint --golden` uses to
+    /// statically verify every committed golden workload.
+    pub fn op_list(&self) -> OpList {
+        let ops = OpList::from_spn(&self.spn());
+        match self.mode {
+            NumericMode::Linear => ops,
+            NumericMode::Log => ops.to_log_domain(),
+        }
+    }
+
     fn batch(&self, num_vars: usize) -> EvidenceBatch {
         // Five queries, so every shard of every tested core count holds at
         // least one query and multi-core shards hold at least two (later

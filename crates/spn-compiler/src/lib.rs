@@ -48,10 +48,14 @@ pub mod compiler;
 pub mod report;
 pub mod schedule;
 pub mod tile;
+pub mod verify;
 
 pub use compiler::{CompiledArtifact, Compiler, CompilerOptions, PartitionedArtifact};
 pub use error::CompileError;
 pub use report::CompileReport;
+pub use verify::{
+    verify_artifact, verify_partitioned, verify_program, verify_program_with_exports,
+};
 
 /// Convenience alias for results returned by this crate.
 pub type Result<T, E = CompileError> = std::result::Result<T, E>;

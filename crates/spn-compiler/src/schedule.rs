@@ -347,7 +347,7 @@ impl<'a> Scheduler<'a> {
                     return Ok(());
                 }
             }
-            if !self.spill_something(protected)? {
+            if !self.spill_something(protected) {
                 return Err(CompileError::ResourceExhausted {
                     reason: format!(
                         "cannot load input row {row}: register file full and nothing left to spill"
@@ -395,9 +395,9 @@ impl<'a> Scheduler<'a> {
     /// Frees one register offset, either by dropping a resident row (still
     /// backed by memory) or by storing a scalar offset to a fresh spill row.
     /// Returns `false` when nothing can be evicted.
-    fn spill_something(&mut self, protected: &[usize]) -> Result<bool> {
+    fn spill_something(&mut self, protected: &[usize]) -> bool {
         let Some((offset, is_row)) = self.alloc.pick_victim(protected) else {
-            return Ok(false);
+            return false;
         };
         if is_row {
             let row = self.alloc.drop_row(offset).expect("victim was a row");
@@ -410,7 +410,7 @@ impl<'a> Scheduler<'a> {
                     }
                 }
             }
-            return Ok(true);
+            return true;
         }
 
         // Scalar spill: store the whole offset row to a new data-memory row.
@@ -459,7 +459,7 @@ impl<'a> Scheduler<'a> {
             self.scalar_values.remove(&(bank, offset));
         }
         self.alloc.clear_scalar(offset, cycle);
-        Ok(true)
+        true
     }
 
     // ------------------------------------------------------------------
@@ -556,7 +556,7 @@ impl<'a> Scheduler<'a> {
                 // once the schedule passes their last booked read).
                 let mut protected = protected.to_vec();
                 protected.push(src_reg);
-                if !self.spill_something(&protected)? {
+                if !self.spill_something(&protected) {
                     return Err(CompileError::ResourceExhausted {
                         reason: "no register lane available for a forwarding copy".to_string(),
                     });
@@ -695,7 +695,7 @@ impl<'a> Scheduler<'a> {
             if let Some(p) = self.try_place_at(cycle, tile, slot_sources) {
                 return Ok(p);
             }
-            if !self.spill_something(protected)? {
+            if !self.spill_something(protected) {
                 return Err(CompileError::Unschedulable {
                     op: tile.root,
                     reason: "no destination register available even after spilling".to_string(),

@@ -1,0 +1,609 @@
+//! Static analysis of SPN structure and numeric behaviour.
+//!
+//! The paper's correctness story rests on properties this module checks
+//! *before a single query runs*: structural validity (completeness,
+//! decomposability, normalization — the preconditions of marginal and MAP
+//! semantics) and numeric well-behavedness at the stamped reduced precision
+//! (guaranteed underflow or saturation of the per-application datapath).
+//! Every check reports through one [`Diagnostic`] type with a stable code,
+//! so callers — [`Engine::new`](https://docs.rs/) in debug builds, the
+//! serving registry at model load/hot-swap, and the `spn_lint` CI binary —
+//! can gate on severity uniformly.
+//!
+//! Two analyses live here:
+//!
+//! * [`lint_spn`] — structural lints over the node graph (`SPN0xx` codes),
+//! * [`lint_ranges`] — interval propagation over a flattened
+//!   [`OpList`] per `(NumericMode, Precision)`,
+//!   statically bounding every op's magnitude through the same quantizer
+//!   the backends execute (`SPN1xx` codes).
+//!
+//! The third analysis of the subsystem — the VLIW schedule verifier
+//! (`SPN2xx`/`SPN3xx`) — lives in `spn_compiler::verify` because it needs
+//! the processor ISA; it reports through the same [`Diagnostic`] type.
+//!
+//! The full diagnostic-code table is documented in `docs/ARCHITECTURE.md`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::flatten::{LeafSource, OpKind, OpList, OperandRef};
+use crate::graph::Node;
+use crate::numeric::NumericMode;
+use crate::validate::NORMALIZATION_TOLERANCE;
+use crate::Spn;
+
+/// How bad a [`Diagnostic`] is.
+///
+/// `Error` means the artifact is wrong (invalid structure, miscompiled
+/// schedule) and must not be served; `Warn` means it will misbehave
+/// numerically (guaranteed underflow at the stamped precision) or carries
+/// dead weight; `Info` is advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory only.
+    Info,
+    /// Suspicious or numerically doomed, but executable.
+    Warn,
+    /// The artifact violates a correctness invariant.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warn => write!(f, "warn"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Where in an artifact a [`Diagnostic`] points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Location {
+    /// A node of the SPN graph (dense arena id).
+    Node(u32),
+    /// An operation of a flattened [`OpList`].
+    Op(u32),
+    /// An input slot of a flattened program.
+    Input(u32),
+    /// An instruction cycle of a compiled VLIW program.
+    Cycle(u64),
+    /// A pipeline stage of a partitioned program.
+    Stage(u32),
+    /// The artifact as a whole.
+    Artifact,
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::Node(id) => write!(f, "node {id}"),
+            Location::Op(i) => write!(f, "op {i}"),
+            Location::Input(i) => write!(f, "input {i}"),
+            Location::Cycle(c) => write!(f, "cycle {c}"),
+            Location::Stage(s) => write!(f, "stage {s}"),
+            Location::Artifact => write!(f, "artifact"),
+        }
+    }
+}
+
+/// One finding of a static analysis: a stable code, a severity, a location
+/// within the analysed artifact and a human-readable message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable machine-matchable code (`"SPN001"`, ...); the table lives in
+    /// `docs/ARCHITECTURE.md`.
+    pub code: &'static str,
+    /// How bad the finding is.
+    pub severity: Severity,
+    /// Where the finding points.
+    pub location: Location,
+    /// Human-readable description (lowercase start, no trailing period).
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(
+        code: &'static str,
+        severity: Severity,
+        location: Location,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            location,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} [{}]: {}",
+            self.severity, self.code, self.location, self.message
+        )
+    }
+}
+
+/// The highest severity present in `diagnostics`, if any.
+pub fn max_severity(diagnostics: &[Diagnostic]) -> Option<Severity> {
+    diagnostics.iter().map(|d| d.severity).max()
+}
+
+/// Whether `diagnostics` contains an [`Severity::Error`]-level finding.
+pub fn has_errors(diagnostics: &[Diagnostic]) -> bool {
+    max_severity(diagnostics) >= Some(Severity::Error)
+}
+
+/// Structural lints over the SPN graph (`SPN0xx`).
+///
+/// Checks, in node order:
+///
+/// * **SPN001** (error) — an incomplete sum: children with differing scopes
+///   break marginal semantics,
+/// * **SPN002** (error) — a non-decomposable product: children with
+///   overlapping scopes break the product-of-independents factorisation,
+/// * **SPN003** (warn) — sum weights not summing to one (within the
+///   validator's tolerance), so the partition function is not 1,
+/// * **SPN004** (warn) — a node unreachable from the root (dead weight that
+///   backends never execute but serialisation and memory still pay for),
+/// * **SPN005** (info) — a zero-weight sum edge (the child contributes
+///   nothing; usually a learning artefact).
+pub fn lint_spn(spn: &Spn) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let scopes = spn.scopes();
+    let order = spn.topological_order();
+    let mut reachable = vec![false; spn.num_nodes()];
+    for id in &order {
+        reachable[id.index()] = true;
+    }
+
+    for (id, node) in spn.iter() {
+        let idx = id.index();
+        match node {
+            Node::Sum { children, weights } => {
+                let first_scope: Option<&BTreeSet<_>> =
+                    children.first().map(|c| &scopes[c.index()]);
+                if let Some(first) = first_scope {
+                    if children.iter().any(|c| &scopes[c.index()] != first) {
+                        out.push(Diagnostic::new(
+                            "SPN001",
+                            Severity::Error,
+                            Location::Node(idx as u32),
+                            "incomplete sum: children have differing scopes",
+                        ));
+                    }
+                }
+                let sum: f64 = weights.iter().sum();
+                if (sum - 1.0).abs() > NORMALIZATION_TOLERANCE {
+                    out.push(Diagnostic::new(
+                        "SPN003",
+                        Severity::Warn,
+                        Location::Node(idx as u32),
+                        format!("sum weights sum to {sum}, expected 1"),
+                    ));
+                }
+                for (child, weight) in children.iter().zip(weights) {
+                    if *weight == 0.0 {
+                        out.push(Diagnostic::new(
+                            "SPN005",
+                            Severity::Info,
+                            Location::Node(idx as u32),
+                            format!("zero-weight edge to node {}", child.index()),
+                        ));
+                    }
+                }
+            }
+            Node::Product { children } => {
+                let mut seen: BTreeSet<crate::VarId> = BTreeSet::new();
+                let mut overlap = false;
+                for c in children {
+                    if !scopes[c.index()].is_disjoint(&seen) {
+                        overlap = true;
+                        break;
+                    }
+                    seen.extend(scopes[c.index()].iter().copied());
+                }
+                if overlap {
+                    out.push(Diagnostic::new(
+                        "SPN002",
+                        Severity::Error,
+                        Location::Node(idx as u32),
+                        "non-decomposable product: children share scope variables",
+                    ));
+                }
+            }
+            Node::Indicator { .. } | Node::Constant(_) => {}
+        }
+        if !reachable[idx] {
+            out.push(Diagnostic::new(
+                "SPN004",
+                Severity::Warn,
+                Location::Node(idx as u32),
+                "node is unreachable from the root",
+            ));
+        }
+    }
+    out
+}
+
+/// A closed interval `[lo, hi]` of possible values, tracked through the
+/// stamped quantizer.  `lo <= hi` always; both bounds may be infinite in
+/// the log domain (`-inf` is the log of a structural zero).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueRange {
+    /// Smallest possible value of the op's result.
+    pub lo: f64,
+    /// Largest possible value of the op's result.
+    pub hi: f64,
+}
+
+impl ValueRange {
+    fn point(x: f64) -> ValueRange {
+        ValueRange { lo: x, hi: x }
+    }
+}
+
+/// The result of [`lint_ranges`]: the diagnostics plus the per-op interval
+/// bounds the analysis derived (index-aligned with
+/// [`OpList::ops`](crate::flatten::OpList::ops), for tooling that wants to
+/// display them).
+#[derive(Debug, Clone)]
+pub struct RangeAnalysis {
+    /// The findings (`SPN1xx` codes).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Static `[lo, hi]` bound of every op's result at the stamped
+    /// precision.
+    pub ranges: Vec<ValueRange>,
+}
+
+/// Numeric range analysis over a flattened program (`SPN1xx`).
+///
+/// Propagates a `[lo, hi]` interval for every op of `ops` under *any*
+/// evidence (indicators range over `{0, 1}` linear, `{-inf, 0}` log;
+/// parameters are the exact stamped constants), applying the stamped
+/// [`Precision`](crate::Precision)'s quantizer abstractly at every step:
+/// results are rounded
+/// with an upward `1 + u` / downward `1 - u` relative slack, saturated to
+/// `±max_value` and flushed to zero below `min_positive` — the same
+/// semantics every backend executes through
+/// [`precision::round_to`](crate::precision::round_to).
+///
+/// Findings:
+///
+/// * **SPN101** (warn) — an op whose result is *guaranteed* to flush to
+///   zero at the stamped precision although its exact value can be
+///   positive: the canonical silent linear-domain underflow on deep
+///   circuits.  The message recommends log-domain execution or a wider
+///   exponent,
+/// * **SPN102** (warn) — an op whose result is guaranteed to saturate to
+///   the format's `max_value`,
+/// * **SPN103** (warn) — the program *output* is guaranteed zero under
+///   every evidence while the circuit is not structurally zero (the
+///   end-to-end consequence of SPN101 on the root).
+///
+/// Only guaranteed misbehaviour is reported — a bound that merely *allows*
+/// underflow stays silent, so shallow models lint clean at every precision.
+pub fn lint_ranges(ops: &OpList) -> RangeAnalysis {
+    let mode = ops.mode();
+    let precision = ops.precision();
+    let u = precision.unit_roundoff();
+    let max = precision.max_value();
+    let min_pos = precision.min_positive();
+    let mut diagnostics = Vec::new();
+
+    // Inputs: indicator leaves range over both observations; parameters are
+    // exact (already quantized by `with_precision`).
+    let inputs: Vec<ValueRange> = ops
+        .inputs()
+        .iter()
+        .map(|leaf| match leaf {
+            LeafSource::Indicator { .. } => match mode {
+                NumericMode::Linear => ValueRange { lo: 0.0, hi: 1.0 },
+                NumericMode::Log => ValueRange {
+                    lo: f64::NEG_INFINITY,
+                    hi: 0.0,
+                },
+            },
+            LeafSource::Param(p) => ValueRange::point(*p),
+            // Partition imports: unknown until link-time; assume anything
+            // the producing stage could have computed.  Partition stages
+            // are analysed through the unpartitioned program instead, so
+            // this stays maximally permissive.
+            LeafSource::External => ValueRange {
+                lo: f64::NEG_INFINITY,
+                hi: f64::INFINITY,
+            },
+        })
+        .collect();
+
+    // One abstract quantization step: relative slack, saturation, flush.
+    let quantize = |range: ValueRange, idx: usize, diagnostics: &mut Vec<Diagnostic>| {
+        let mut lo = range.lo;
+        let mut hi = range.hi;
+        if u > 0.0 {
+            // Widen by one rounding step so the interval stays a sound
+            // over-approximation of the rounded result.
+            lo = if lo >= 0.0 {
+                lo * (1.0 - u)
+            } else {
+                lo * (1.0 + u)
+            };
+            hi = if hi >= 0.0 {
+                hi * (1.0 + u)
+            } else {
+                hi * (1.0 - u)
+            };
+        }
+        // Saturation to ±max_value.
+        if lo > max {
+            diagnostics.push(Diagnostic::new(
+                "SPN102",
+                Severity::Warn,
+                Location::Op(idx as u32),
+                format!(
+                    "result is guaranteed to saturate to {precision}'s maximum ({max:e}); \
+                     bound [{:e}, {:e}]",
+                    range.lo, range.hi
+                ),
+            ));
+        }
+        lo = lo.clamp(-max, max);
+        hi = hi.clamp(-max, max);
+        // Flush-to-zero below min_positive (F64/F32 keep native subnormals,
+        // min_positive already reflects that).
+        if min_pos > 0.0 && hi > 0.0 && hi < min_pos && lo >= 0.0 {
+            diagnostics.push(Diagnostic::new(
+                "SPN101",
+                Severity::Warn,
+                Location::Op(idx as u32),
+                format!(
+                    "result is guaranteed to flush to zero at {precision} \
+                     (bound [{:e}, {:e}] below min positive {min_pos:e}); \
+                     run in the log domain or widen the exponent",
+                    range.lo, range.hi
+                ),
+            ));
+            lo = 0.0;
+            hi = 0.0;
+        } else {
+            if lo > 0.0 && lo < min_pos {
+                lo = 0.0;
+            }
+            if hi < 0.0 && -hi < min_pos {
+                hi = 0.0;
+            }
+        }
+        ValueRange { lo, hi }
+    };
+
+    let operand = |r: OperandRef, results: &[ValueRange]| match r {
+        OperandRef::Input(i) => inputs[i as usize],
+        OperandRef::Op(i) => results[i as usize],
+    };
+
+    let mut results: Vec<ValueRange> = Vec::with_capacity(ops.num_ops());
+    for (idx, op) in ops.ops().iter().enumerate() {
+        let a = operand(op.lhs, &results);
+        let b = operand(op.rhs, &results);
+        let exact = match op.kind {
+            OpKind::Add => ValueRange {
+                lo: a.lo + b.lo,
+                hi: a.hi + b.hi,
+            },
+            // Linear-domain products are non-negative (probabilities and
+            // non-negative weights); handle a possibly-unbounded External
+            // operand by falling back to the full product-corner interval.
+            OpKind::Mul => {
+                let corners = [a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi];
+                let lo = corners.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = corners.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                ValueRange {
+                    lo: if lo.is_nan() { f64::NEG_INFINITY } else { lo },
+                    hi: if hi.is_nan() { f64::INFINITY } else { hi },
+                }
+            }
+            OpKind::Max => ValueRange {
+                lo: a.lo.max(b.lo),
+                hi: a.hi.max(b.hi),
+            },
+            // log(e^a + e^b) is bounded below by max(lo_a, lo_b) and above
+            // by max(hi_a, hi_b) + ln 2.
+            OpKind::LogAdd => ValueRange {
+                lo: a.lo.max(b.lo),
+                hi: {
+                    let m = a.hi.max(b.hi);
+                    if m.is_finite() {
+                        m + std::f64::consts::LN_2
+                    } else {
+                        m
+                    }
+                },
+            },
+        };
+        results.push(quantize(exact, idx, &mut diagnostics));
+    }
+
+    // Output-level verdict: guaranteed zero in the linear domain while the
+    // circuit's exact value can be positive means every query silently
+    // underflows.
+    if mode == NumericMode::Linear {
+        let out = operand(ops.output(), &results);
+        if out.hi == 0.0 && out.lo >= 0.0 && ops.num_ops() > 0 {
+            diagnostics.push(Diagnostic::new(
+                "SPN103",
+                Severity::Warn,
+                Location::Artifact,
+                format!(
+                    "program output is guaranteed zero at {precision}: every query \
+                     underflows; run in the log domain or widen the exponent"
+                ),
+            ));
+        }
+    }
+
+    RangeAnalysis {
+        diagnostics,
+        ranges: results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::precision::Precision;
+    use crate::random::{deep_chain_spn, random_spn, RandomSpnConfig};
+    use crate::{SpnBuilder, VarId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn valid_spn_lints_clean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let spn = random_spn(&RandomSpnConfig::with_vars(8), &mut rng);
+        let diags = lint_spn(&spn);
+        assert!(
+            !has_errors(&diags),
+            "valid random SPN produced errors: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn incomplete_sum_is_spn001() {
+        let mut b = SpnBuilder::new(2);
+        let x0 = b.indicator(VarId(0), true);
+        let x1 = b.indicator(VarId(1), true);
+        let root = b.sum(vec![(x0, 0.5), (x1, 0.5)]).unwrap();
+        let spn = b.finish(root).unwrap();
+        let diags = lint_spn(&spn);
+        assert!(codes(&diags).contains(&"SPN001"), "{diags:?}");
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn overlapping_product_is_spn002() {
+        let mut b = SpnBuilder::new(1);
+        let x = b.indicator(VarId(0), true);
+        let nx = b.indicator(VarId(0), false);
+        let root = b.product(vec![x, nx]).unwrap();
+        let spn = b.finish(root).unwrap();
+        assert!(codes(&lint_spn(&spn)).contains(&"SPN002"));
+    }
+
+    #[test]
+    fn unnormalized_sum_is_spn003_and_zero_weight_is_spn005() {
+        let mut b = SpnBuilder::new(1);
+        let x = b.indicator(VarId(0), true);
+        let nx = b.indicator(VarId(0), false);
+        let root = b.sum(vec![(x, 0.4), (nx, 0.0)]).unwrap();
+        let spn = b.finish(root).unwrap();
+        let diags = lint_spn(&spn);
+        assert!(codes(&diags).contains(&"SPN003"), "{diags:?}");
+        assert!(codes(&diags).contains(&"SPN005"), "{diags:?}");
+        assert_eq!(max_severity(&diags), Some(Severity::Warn));
+    }
+
+    #[test]
+    fn unreachable_node_is_spn004() {
+        let mut b = SpnBuilder::new(1);
+        let x = b.indicator(VarId(0), true);
+        let nx = b.indicator(VarId(0), false);
+        let _orphan = b.sum(vec![(x, 0.5), (nx, 0.5)]).unwrap();
+        let root = b.sum(vec![(x, 0.3), (nx, 0.7)]).unwrap();
+        let spn = b.finish(root).unwrap();
+        let diags = lint_spn(&spn);
+        assert!(codes(&diags).contains(&"SPN004"), "{diags:?}");
+    }
+
+    #[test]
+    fn deep_chain_linear_is_flagged_but_log_is_clean() {
+        let spn = deep_chain_spn(1200, 1e-3);
+        let linear = OpList::from_spn(&spn).with_precision(Precision::F32);
+        let analysis = lint_ranges(&linear);
+        assert!(
+            codes(&analysis.diagnostics).contains(&"SPN101"),
+            "deep chain must be flagged for guaranteed flush-to-zero"
+        );
+        assert!(codes(&analysis.diagnostics).contains(&"SPN103"));
+
+        let log = OpList::from_spn(&spn)
+            .to_log_domain()
+            .with_precision(Precision::F32);
+        let log_analysis = lint_ranges(&log);
+        assert!(
+            log_analysis.diagnostics.is_empty(),
+            "log domain must lint clean: {:?}",
+            log_analysis.diagnostics
+        );
+    }
+
+    #[test]
+    fn shallow_models_lint_clean_at_every_precision_and_mode() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let spn = random_spn(&RandomSpnConfig::with_vars(10), &mut rng);
+        for &precision in &Precision::SWEEP {
+            for log in [false, true] {
+                let mut ops = OpList::from_spn(&spn);
+                if log {
+                    ops = ops.to_log_domain();
+                }
+                let ops = ops.with_precision(precision);
+                let analysis = lint_ranges(&ops);
+                assert!(
+                    analysis.diagnostics.is_empty(),
+                    "shallow model flagged at {precision} log={log}: {:?}",
+                    analysis.diagnostics
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_bounds_enclose_actual_evaluation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let spn = random_spn(&RandomSpnConfig::with_vars(6), &mut rng);
+        let ops = OpList::from_spn(&spn);
+        let analysis = lint_ranges(&ops);
+        // Evaluate under full marginals; every op result must fall inside
+        // its static bound.
+        let inputs = ops.input_values(&crate::Evidence::marginal(6)).unwrap();
+        let mut results = vec![0.0; ops.num_ops()];
+        for (i, op) in ops.ops().iter().enumerate() {
+            let read = |r: OperandRef| match r {
+                OperandRef::Input(k) => inputs[k as usize],
+                OperandRef::Op(k) => results[k as usize],
+            };
+            let (a, b) = (read(op.lhs), read(op.rhs));
+            results[i] = match op.kind {
+                OpKind::Add => a + b,
+                OpKind::Mul => a * b,
+                OpKind::Max => a.max(b),
+                OpKind::LogAdd => (a.exp() + b.exp()).ln(),
+            };
+            let bound = analysis.ranges[i];
+            assert!(
+                results[i] >= bound.lo - 1e-12 && results[i] <= bound.hi + 1e-12,
+                "op {i} value {} outside bound [{}, {}]",
+                results[i],
+                bound.lo,
+                bound.hi
+            );
+        }
+    }
+
+    #[test]
+    fn diagnostics_render_with_code_and_location() {
+        let d = Diagnostic::new("SPN001", Severity::Error, Location::Node(3), "broken");
+        assert_eq!(d.to_string(), "error SPN001 [node 3]: broken");
+    }
+}

@@ -1,7 +1,7 @@
 //! Incremental re-evaluation of flattened programs under evidence deltas.
 //!
 //! Session-shaped workloads flip one or two evidence variables between
-//! consecutive queries.  Re-running the whole [`OpList`](crate::flatten::OpList)
+//! consecutive queries.  Re-running the whole [`OpList`]
 //! then recomputes every operation even though only the *reachable cone* of
 //! the flipped indicators can change.  This module exploits that structure:
 //!

@@ -30,6 +30,11 @@
 //!   execution backend quantizes each intermediate through
 //!   [`precision::round_to`], reproducing the paper's accuracy-vs-bit-width
 //!   trade-off in software,
+//! * static analysis ([`analysis`]): structural lints (completeness,
+//!   decomposability, normalization, dead nodes) and interval-propagation
+//!   numeric range analysis per `(NumericMode, Precision)`, both reporting
+//!   stable-coded [`Diagnostic`]s shared by the compiler's schedule
+//!   verifier, the engine's verify pass and the `spn_lint` CI binary,
 //! * the query-mode layer ([`query`]): joint, marginal, MAP and conditional
 //!   queries ([`QueryBatch`]) lowered onto the same batched execution
 //!   primitive, including the max-product program rewrite with argmax
@@ -77,6 +82,7 @@ mod evidence;
 mod graph;
 mod value;
 
+pub mod analysis;
 pub mod batch;
 pub mod eval;
 pub mod flatten;
@@ -92,6 +98,7 @@ pub mod validate;
 pub mod vectorized;
 pub mod wire;
 
+pub use analysis::{Diagnostic, Location, Severity};
 pub use batch::{EvidenceBatch, InputRecipe, Obs};
 pub use error::SpnError;
 pub use eval::Evaluator;

@@ -136,7 +136,11 @@ impl ChowLiuTree {
         for &v in order.iter().rev() {
             let ind_true = builder.indicator(VarId(v as u32), true);
             let ind_false = builder.indicator(VarId(v as u32), false);
-            for pv in 0..2usize {
+            // The root has no parent, so only its pv = 0 slot is ever read;
+            // building the pv = 1 twin would leave unreachable nodes in the
+            // circuit (flagged as SPN004 by `spn_core::analysis::lint_spn`).
+            let parent_values = if v == self.root { 1 } else { 2 };
+            for pv in 0..parent_values {
                 let p_true = self.cpt[v][pv];
                 // Branch for v = true / false, each multiplied with the
                 // children conditioned on that value of v.

@@ -30,7 +30,7 @@ use spn_core::{Evidence, NumericMode, Precision, Spn, SpnError};
 use spn_processor::PerfReport;
 
 use crate::backend::{Backend, BackendError, BatchResult, ExecBuffers, Parallelism, WorkerState};
-use crate::options::EngineOptions;
+use crate::options::{EngineOptions, VerifyLevel};
 
 /// The MAP half of an engine, cheaply shareable between engines: the
 /// max-product program plus the backend's compiled artifact for it.
@@ -171,13 +171,39 @@ impl<B: Backend> Engine<B> {
     /// selects; an already-lowered [`OpList`] compiles through
     /// [`Engine::from_ops`] instead.
     ///
+    /// Per [`EngineOptions::verify`], the static analyses of
+    /// [`spn_core::analysis`] run over `spn` and the lowered program first:
+    /// [`VerifyLevel::Errors`] (the debug-build default) rejects structural
+    /// violations, [`VerifyLevel::Strict`] also rejects numeric-range
+    /// warnings such as guaranteed linear-domain underflow at the stamped
+    /// precision.
+    ///
     /// # Errors
     ///
-    /// Returns an error when an option value is invalid for the backend or
-    /// the backend cannot compile the program.
+    /// Returns [`SpnError::Verification`] (boxed) when verification is
+    /// enabled and finds a fatal diagnostic, or an error when an option
+    /// value is invalid for the backend or the backend cannot compile the
+    /// program.
     pub fn new(mut backend: B, spn: &Spn, options: EngineOptions) -> Result<Self, BackendError> {
         backend.configure(&options)?;
-        Engine::from_ops(backend, &options.lower(spn))
+        let ops = options.lower(spn);
+        if options.verify != VerifyLevel::Off {
+            let mut diagnostics = spn_core::analysis::lint_spn(spn);
+            diagnostics.extend(spn_core::analysis::lint_ranges(&ops).diagnostics);
+            let fatal = match options.verify {
+                VerifyLevel::Off => None,
+                VerifyLevel::Errors => Some(spn_core::Severity::Error),
+                VerifyLevel::Strict => Some(spn_core::Severity::Warn),
+            };
+            if let (Some(threshold), Some(worst)) =
+                (fatal, spn_core::analysis::max_severity(&diagnostics))
+            {
+                if worst >= threshold {
+                    return Err(Box::new(SpnError::Verification { diagnostics }));
+                }
+            }
+        }
+        Engine::from_ops(backend, &ops)
     }
 
     /// Compiles an already-lowered `ops` program for `backend`.
@@ -188,52 +214,6 @@ impl<B: Backend> Engine<B> {
     pub fn from_ops(backend: B, ops: &OpList) -> Result<Self, BackendError> {
         let compiled = Arc::new(backend.compile(ops)?);
         Ok(Engine::from_artifact(backend, ops, compiled))
-    }
-
-    /// Flattens `spn` and compiles it for `backend` (linear domain).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error when the backend cannot compile the program.
-    #[deprecated(note = "use `Engine::new(backend, spn, EngineOptions::default())`")]
-    pub fn from_spn(backend: B, spn: &Spn) -> Result<Self, BackendError> {
-        Engine::new(backend, spn, EngineOptions::default())
-    }
-
-    /// Flattens `spn`, lowers it into `mode` and compiles it for `backend`.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error when the backend cannot compile the program.
-    #[deprecated(note = "use `Engine::new` with `EngineOptions::default().mode(mode)`")]
-    pub fn from_spn_with_mode(
-        backend: B,
-        spn: &Spn,
-        mode: NumericMode,
-    ) -> Result<Self, BackendError> {
-        Engine::new(backend, spn, EngineOptions::default().mode(mode))
-    }
-
-    /// Flattens `spn`, lowers it into `mode`, stamps it with the emulated PE
-    /// arithmetic `precision` and compiles it for `backend`.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error when the backend cannot compile the program.
-    #[deprecated(
-        note = "use `Engine::new` with `EngineOptions::default().mode(mode).precision(precision)`"
-    )]
-    pub fn from_spn_with_precision(
-        backend: B,
-        spn: &Spn,
-        mode: NumericMode,
-        precision: Precision,
-    ) -> Result<Self, BackendError> {
-        Engine::new(
-            backend,
-            spn,
-            EngineOptions::default().mode(mode).precision(precision),
-        )
     }
 
     /// Wraps an already compiled artifact without recompiling.

@@ -75,7 +75,7 @@ pub use backend::{Backend, BackendError, BatchResult, ExecBuffers, Parallelism, 
 pub use cpu::{CpuCompiled, CpuConfig, CpuModel};
 pub use engine::{Engine, EvalSession, MapArtifact, QueryOutput};
 pub use gpu::{GpuCompiled, GpuConfig, GpuModel};
-pub use options::EngineOptions;
+pub use options::{EngineOptions, VerifyLevel};
 pub use processor::{ProcessorBackend, ProcessorScratch};
 pub use spn_core::incremental::DeltaOutcome;
 pub use spn_processor::PerfReport;

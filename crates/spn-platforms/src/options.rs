@@ -11,6 +11,40 @@
 use spn_core::flatten::OpList;
 use spn_core::{NumericMode, Precision, Spn};
 
+/// How much static analysis [`Engine::new`](crate::Engine::new) runs before
+/// compiling (see [`spn_core::analysis`]).
+///
+/// The default is build-dependent: [`VerifyLevel::Errors`] in debug builds,
+/// [`VerifyLevel::Off`] in release builds — debug and test runs catch broken
+/// structures at construction for free, while release serving paths that
+/// validated their models at load time pay nothing per engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum VerifyLevel {
+    /// Skip verification entirely.
+    Off,
+    /// Run the structural lints and fail construction with
+    /// [`SpnError::Verification`](spn_core::SpnError::Verification) when any
+    /// [`Severity::Error`](spn_core::Severity::Error) diagnostic is found.
+    /// Warnings (unnormalized weights, predicted underflow) are tolerated.
+    Errors,
+    /// Like [`VerifyLevel::Errors`], but additionally treat every `Warn`
+    /// diagnostic — including numeric range findings such as guaranteed
+    /// linear-domain underflow — as fatal.
+    Strict,
+}
+
+impl Default for VerifyLevel {
+    /// [`VerifyLevel::Errors`] in debug builds, [`VerifyLevel::Off`] in
+    /// release builds.
+    fn default() -> Self {
+        if cfg!(debug_assertions) {
+            VerifyLevel::Errors
+        } else {
+            VerifyLevel::Off
+        }
+    }
+}
+
 /// How to lower and execute a circuit: numeric domain, emulated PE
 /// precision, and backend tuning knobs.
 ///
@@ -51,6 +85,10 @@ pub struct EngineOptions {
     /// [`ProcessorBackend::with_cores`](crate::ProcessorBackend::with_cores)).
     /// Ignored by other backends.
     pub cores: Option<usize>,
+    /// Static-analysis level run by [`Engine::new`](crate::Engine::new)
+    /// before compilation.  Defaults to [`VerifyLevel::Errors`] in debug
+    /// builds and [`VerifyLevel::Off`] in release builds.
+    pub verify: VerifyLevel,
 }
 
 impl Default for EngineOptions {
@@ -61,6 +99,7 @@ impl Default for EngineOptions {
             precision: Precision::F64,
             lanes: None,
             cores: None,
+            verify: VerifyLevel::default(),
         }
     }
 }
@@ -92,6 +131,13 @@ impl EngineOptions {
     /// Sets the processor backend's simulated core count.
     pub fn cores(mut self, cores: usize) -> EngineOptions {
         self.cores = Some(cores);
+        self
+    }
+
+    /// Selects how much static analysis [`Engine::new`](crate::Engine::new)
+    /// runs before compiling.
+    pub fn verify(mut self, verify: VerifyLevel) -> EngineOptions {
+        self.verify = verify;
         self
     }
 

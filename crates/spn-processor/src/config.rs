@@ -400,7 +400,7 @@ mod tests {
         cfg.leaf_pes_per_tree = 0;
         match cfg.validate() {
             Err(ProcessorError::InvalidConfig { reason }) => {
-                assert!(reason.contains("leaf PE"), "unexpected reason: {reason}")
+                assert!(reason.contains("leaf PE"), "unexpected reason: {reason}");
             }
             other => panic!("expected InvalidConfig, got {other:?}"),
         }
@@ -408,7 +408,7 @@ mod tests {
         let mc = MultiCoreConfig::new(0, ProcessorConfig::ptree());
         match mc.validate() {
             Err(ProcessorError::InvalidConfig { reason }) => {
-                assert!(reason.contains("core"), "unexpected reason: {reason}")
+                assert!(reason.contains("core"), "unexpected reason: {reason}");
             }
             other => panic!("expected InvalidConfig, got {other:?}"),
         }

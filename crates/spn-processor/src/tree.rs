@@ -204,7 +204,7 @@ mod tests {
         // Sum of 16 inputs through a 4-level adder tree.
         let cfg = ProcessorConfig::ptree();
         let mut instr = tree_instr(&cfg);
-        for op in instr.pe_ops.iter_mut() {
+        for op in &mut instr.pe_ops {
             *op = PeOp::Add;
         }
         let inputs: Vec<f64> = (1..=16).map(f64::from).collect();

@@ -1,5 +1,6 @@
 //! Error type of the serving layer.
 
+use spn_core::analysis::Diagnostic;
 use spn_core::SpnError;
 use spn_platforms::BackendError;
 
@@ -22,6 +23,11 @@ pub enum ServeError {
     /// An error reported by a remote server (client-side decoding of an
     /// `ok: false` response).
     Remote(String),
+    /// Static verification rejected a model at registration / hot-swap time
+    /// ([`ModelRegistry::try_register`](crate::registry::ModelRegistry::try_register)).
+    /// Carries the full diagnostic report; [`ServeError::message`] renders
+    /// every stable code so clients see the findings over the wire.
+    Verification(Vec<Diagnostic>),
 }
 
 impl ServeError {
@@ -39,6 +45,10 @@ impl ServeError {
             ServeError::ShuttingDown => "service is shutting down".to_string(),
             ServeError::Protocol(msg) => format!("protocol error: {msg}"),
             ServeError::Remote(msg) => msg.clone(),
+            ServeError::Verification(diagnostics) => {
+                let rendered: Vec<String> = diagnostics.iter().map(|d| d.to_string()).collect();
+                format!("model verification failed: {}", rendered.join("; "))
+            }
         }
     }
 }

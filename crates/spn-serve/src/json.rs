@@ -335,6 +335,9 @@ impl Parser<'_> {
         loop {
             self.skip_whitespace();
             let key = self.parse_string()?;
+            if fields.iter().any(|(k, _)| k == &key) {
+                return Err(self.error(&format!("duplicate object key {key:?}")));
+            }
             self.skip_whitespace();
             self.expect(b':')?;
             self.skip_whitespace();

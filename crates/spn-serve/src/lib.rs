@@ -55,6 +55,7 @@
 // one foreign call (`poll(2)`, see [`poll`]), which that module opts into
 // with a narrowly scoped `allow`.  Everything else stays unsafe-free.
 #![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod error;

@@ -29,6 +29,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use spn_core::analysis;
 use spn_core::flatten::OpList;
 use spn_core::{NumericMode, Precision, Spn};
 use spn_platforms::{Backend, Engine, MapArtifact};
@@ -202,8 +203,37 @@ impl<B: Backend + Clone> ModelRegistry<B> {
 
     /// Registers (or replaces) `name` with the flattened form of `spn`.
     /// Compilation is deferred to the first [`ModelRegistry::plan`] call.
+    ///
+    /// The model is **not** statically verified; use
+    /// [`ModelRegistry::try_register`] on untrusted load / hot-swap paths.
     pub fn register(&self, name: impl Into<String>, spn: &Spn) {
         self.register_ops(name, OpList::from_spn(spn));
+    }
+
+    /// Statically verifies `spn` ([`analysis::lint_spn`] plus linear-domain
+    /// [`analysis::lint_ranges`]), then registers (or replaces) `name` like
+    /// [`ModelRegistry::register`].
+    ///
+    /// This is the load / hot-swap entry point of an untrusted-model fleet:
+    /// a structurally broken model is rejected *before* it replaces a good
+    /// registration, and the full diagnostic report travels to the client as
+    /// a structured [`ServeError::Verification`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Verification`] with every finding when any
+    /// [`Severity::Error`](spn_core::Severity)-level diagnostic is present
+    /// (warnings — e.g. predicted linear-domain underflow, reported so
+    /// clients can opt into the log domain — do not block registration).
+    pub fn try_register(&self, name: impl Into<String>, spn: &Spn) -> Result<(), ServeError> {
+        let ops = OpList::from_spn(spn);
+        let mut diagnostics = analysis::lint_spn(spn);
+        diagnostics.extend(analysis::lint_ranges(&ops).diagnostics);
+        if analysis::has_errors(&diagnostics) {
+            return Err(ServeError::Verification(diagnostics));
+        }
+        self.register_ops(name, ops);
+        Ok(())
     }
 
     /// Registers (or replaces) `name` with an already flattened program

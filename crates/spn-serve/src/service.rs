@@ -211,7 +211,7 @@ where
                 let policy = config.policy;
                 let parallelism = config.parallelism;
                 std::thread::spawn(move || {
-                    worker_loop(&registry, &shared, &metrics, &sessions, policy, parallelism)
+                    worker_loop(&registry, &shared, &metrics, &sessions, policy, parallelism);
                 })
             })
             .collect();
@@ -231,9 +231,21 @@ where
         &self.registry
     }
 
-    /// Registers (or replaces) a named model.
+    /// Registers (or replaces) a named model without static verification.
     pub fn register(&self, name: impl Into<String>, spn: &Spn) {
         self.registry.register(name, spn);
+    }
+
+    /// Statically verifies and then registers (or replaces) a named model —
+    /// see [`ModelRegistry::try_register`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Verification`] with the full diagnostic report
+    /// when the model has error-level findings; the existing registration
+    /// (if any) is left untouched.
+    pub fn try_register(&self, name: impl Into<String>, spn: &Spn) -> Result<(), ServeError> {
+        self.registry.try_register(name, spn)
     }
 
     /// A snapshot of the per-model / per-mode counters.
@@ -985,5 +997,6 @@ fn clone_error(err: &ServeError, message: &str) -> ServeError {
         ServeError::Protocol(_) => ServeError::Protocol(message.to_string()),
         ServeError::Remote(_) => ServeError::Remote(message.to_string()),
         ServeError::Backend(_) => ServeError::Backend(message.to_string()),
+        ServeError::Verification(diagnostics) => ServeError::Verification(diagnostics.clone()),
     }
 }
