@@ -18,15 +18,23 @@
 //!   emulated PE format (`"f64"` / `"f32"` / `"e<exp>m<mant>"`), a
 //!   `max_rel_error` field must be a finite non-negative number, a
 //!   `host_cores`, `lanes` or `cores` (simulated processor cores) field
-//!   must be a positive integer, a `connections` or `flips` field a
-//!   non-negative integer, and an `incremental` field 0 or 1 — and
+//!   must be a positive integer, a `connections`, `flips` or `n_samples`
+//!   field a non-negative integer, an `abs_err` or `ci99` field a finite
+//!   non-negative number, and an `incremental` field 0 or 1 — and
 //!   engine-bench files (`*engine*.json`) must carry `numeric_mode`,
-//!   `precision`, `max_rel_error`, `host_cores`, `lanes`, `cores`, `flips`
-//!   *and* `incremental`, while serve-bench files (`*serve*.json`) must
-//!   carry `connections`, `flips` and `incremental`, so the numeric-mode,
-//!   precision-sweep, lane-width, simulated-core-count, connection-scaling
-//!   and session-sweep annotations of the benchmark artifacts can never
-//!   silently regress,
+//!   `precision`, `max_rel_error`, `host_cores`, `lanes`, `cores`, `flips`,
+//!   `incremental`, `n_samples`, `abs_err` *and* `ci99`, while serve-bench
+//!   files (`*serve*.json`) must carry `connections`, `flips` and
+//!   `incremental`, so the numeric-mode, precision-sweep, lane-width,
+//!   simulated-core-count, connection-scaling, session-sweep and sampling
+//!   annotations of the benchmark artifacts can never silently regress,
+//! * engine-bench files must contain at least one *sampling* row
+//!   (`n_samples` > 0), and on every sampling row the observed absolute
+//!   error against the exact oracle must sit inside the reported 99%
+//!   confidence radius (`abs_err` ≤ `ci99`, `ci99` > 0).  Draws are a pure
+//!   function of `(model, row, seed, n)`, so this is a deterministic
+//!   property of the artifact, not a flaky statistical one: a violation
+//!   means the estimator or its reported variance regressed,
 //! * incremental session rows at sparse flip counts (`flips` ≤ 2,
 //!   `incremental` = 1) must report throughput at least matching their
 //!   full-pass baseline row — the speedup the incremental evaluator exists
@@ -125,7 +133,7 @@ fn check_file(path: &str, expect_lanes: &[u64]) -> Result<usize, String> {
                         seen_lanes.push(n as u64);
                     }
                 }
-                "connections" | "flips" => {
+                "connections" | "flips" | "n_samples" => {
                     let n = value.as_f64().ok_or_else(|| {
                         format!("{path}: record {i} field {key:?} is not a number")
                     })?;
@@ -133,6 +141,17 @@ fn check_file(path: &str, expect_lanes: &[u64]) -> Result<usize, String> {
                         return Err(format!(
                             "{path}: record {i} field {key:?} is {n}, \
                              expected a non-negative integer"
+                        ));
+                    }
+                }
+                "abs_err" | "ci99" => {
+                    let n = value.as_f64().ok_or_else(|| {
+                        format!("{path}: record {i} field {key:?} is not a number")
+                    })?;
+                    if !(n.is_finite() && n >= 0.0) {
+                        return Err(format!(
+                            "{path}: record {i} field {key:?} is {n}, \
+                             expected a finite non-negative number"
                         ));
                     }
                 }
@@ -162,6 +181,9 @@ fn check_file(path: &str, expect_lanes: &[u64]) -> Result<usize, String> {
                 "cores",
                 "flips",
                 "incremental",
+                "n_samples",
+                "abs_err",
+                "ci99",
             ]
         } else if path.contains("serve") {
             &["connections", "flips", "incremental"]
@@ -187,7 +209,53 @@ fn check_file(path: &str, expect_lanes: &[u64]) -> Result<usize, String> {
         }
     }
     check_incremental_speedup(path, &records)?;
+    check_sampling_accuracy(path, &records)?;
     Ok(records.len())
+}
+
+/// Engine-bench artifacts must include the sampling axis, and every
+/// sampling row (`n_samples` > 0) must report an observed absolute error
+/// inside its reported 99% confidence radius.  The draws behind these rows
+/// are seeded and deterministic, so a violation is a real estimator or
+/// variance-reporting regression — never sampling noise.
+fn check_sampling_accuracy(path: &str, records: &[Value]) -> Result<(), String> {
+    if !path.contains("engine") {
+        return Ok(());
+    }
+    let num = |record: &Value, key: &str| record.get(key).and_then(Value::as_f64);
+    let mut sampling_rows = 0usize;
+    for (i, record) in records.iter().enumerate() {
+        let n_samples = num(record, "n_samples").unwrap_or(0.0);
+        if n_samples <= 0.0 {
+            continue;
+        }
+        sampling_rows += 1;
+        let (Some(abs_err), Some(ci99)) = (num(record, "abs_err"), num(record, "ci99")) else {
+            return Err(format!(
+                "{path}: record {i} is a sampling row without abs_err / ci99"
+            ));
+        };
+        if ci99 <= 0.0 {
+            return Err(format!(
+                "{path}: record {i} is a sampling row with ci99 = {ci99}, \
+                 expected a positive confidence radius"
+            ));
+        }
+        if abs_err > ci99 {
+            return Err(format!(
+                "{path}: record {i} ({n_samples} samples) reports abs_err \
+                 {abs_err:.3e} outside its 99% confidence radius {ci99:.3e} — \
+                 the estimator or its reported variance regressed"
+            ));
+        }
+    }
+    if sampling_rows == 0 {
+        return Err(format!(
+            "{path}: no sampling rows (n_samples > 0) — the approximate-query \
+             benchmark axis is missing"
+        ));
+    }
+    Ok(())
 }
 
 /// Every incremental session row at a sparse flip count (≤ 2 flipped

@@ -24,7 +24,13 @@
 //!    evidence deltas of 1/2/8/all flipped variables per query on a ≥ 500-op
 //!    circuit, against the full-pass baseline re-executing the whole program
 //!    per delta; sweep rows carry `flips > 0` and `incremental: 1`, every
-//!    other record `flips: 0` / `incremental: 0`.
+//!    other record `flips: 0` / `incremental: 0`,
+//! 7. **sampling** — likelihood-weighted `expectation` queries at 1e3 and
+//!    1e5 draws per row through the alias-table sampler, reporting
+//!    samples/sec plus the observed |estimate − exact| against the exact
+//!    oracle and the reported 99% CI half-width (`abs_err` / `ci99`
+//!    columns; `bench_check` pins `abs_err <= ci99` — sound because draws
+//!    are deterministic per `(model, row, seed, n)`).
 //!
 //! Workload names are distinct from platform names (`uci-cpu-perf`, not
 //! `CPU`) so the two columns of `BENCH_engine.json` can never be confused,
@@ -48,7 +54,7 @@ use spn_bench::{json_escape, json_number};
 use spn_core::batch::EvidenceBatch;
 use spn_core::query::{reference_query_with, ConditionalBatch, QueryBatch, QueryMode};
 use spn_core::random::{deep_chain_spn, random_spn, RandomSpnConfig};
-use spn_core::{Evidence, NumericMode, Precision, Spn};
+use spn_core::{Evidence, NumericMode, Precision, SampleBatch, SampleMethod, SampleSpec, Spn};
 use spn_learn::Benchmark;
 use spn_platforms::{
     Backend, BackendError, CpuModel, Engine, EngineOptions, Parallelism, ProcessorBackend,
@@ -83,7 +89,22 @@ struct Measurement {
     /// Whether the row went through the incremental session-delta path
     /// (serialised as 0/1 in the JSON).
     incremental: bool,
+    /// Monte-Carlo draws per query row on the sampling sweep (0 on exact
+    /// rows; sampling rows report *samples* per second in
+    /// `queries_per_sec`).
+    n_samples: u32,
+    /// Largest per-row |estimate − exact| on the sampling sweep (0.0
+    /// elsewhere).
+    abs_err: f64,
+    /// Largest per-row reported 99% CI half-width (`2.576 × std_err`, plus
+    /// a `1e-12`-relative rounding floor) on the sampling sweep (0.0
+    /// elsewhere); `bench_check` pins `abs_err <= ci99`.
+    ci99: f64,
 }
+
+/// Two-sided 99% normal quantile: the CI half-width factor the sampling
+/// sweep reports and `bench_check` gates on.
+const CI99_Z: f64 = 2.5758293035489004;
 
 /// Hardware threads of the host (1 when unknown): worker-count sweeps are
 /// capped here, and every JSON record carries it so a <1.0x parallel row on
@@ -139,13 +160,22 @@ fn build_conditional_batch(num_vars: usize, n: usize) -> ConditionalBatch {
     cond
 }
 
-/// Builds the query batch of `mode` with `n` queries.
+/// Builds the query batch of `mode` with `n` queries (approximate modes at
+/// the default spec; the sampling sweep builds its own specs).
 fn build_query_batch(mode: QueryMode, num_vars: usize, n: usize) -> QueryBatch {
     match mode {
         QueryMode::Joint => QueryBatch::Joint(build_joint_batch(num_vars, n)),
         QueryMode::Marginal => QueryBatch::Marginal(build_marginal_batch(num_vars, n)),
         QueryMode::Map => QueryBatch::Map(build_marginal_batch(num_vars, n)),
         QueryMode::Conditional => QueryBatch::Conditional(build_conditional_batch(num_vars, n)),
+        QueryMode::Sample | QueryMode::Expectation => {
+            let batch = SampleBatch::new(build_marginal_batch(num_vars, n), SampleSpec::default());
+            if mode == QueryMode::Sample {
+                QueryBatch::Sample(batch)
+            } else {
+                QueryBatch::Expectation(batch)
+            }
+        }
     }
 }
 
@@ -321,6 +351,9 @@ fn record_precision(
         max_rel_error,
         flips: 0,
         incremental: false,
+        n_samples: 0,
+        abs_err: 0.0,
+        ci99: 0.0,
     });
 }
 
@@ -476,6 +509,9 @@ fn measure_processor_cores(
             max_rel_error: 0.0,
             flips: 0,
             incremental: false,
+            n_samples: 0,
+            abs_err: 0.0,
+            ci99: 0.0,
         });
     }
     Ok(())
@@ -591,6 +627,111 @@ fn measure_precision_sweep(
             queries,
             best,
         );
+    }
+    Ok(())
+}
+
+/// Measures the sampling axis: likelihood-weighted `expectation` queries at
+/// 1e3 and 1e5 draws per row through the engine's sampler, against the
+/// exact oracle.  Each record reports *samples* per second in
+/// `queries_per_sec`, the largest per-row |estimate − exact| in `abs_err`,
+/// and the largest reported 99% CI half-width in `ci99`.  Every row's error
+/// is checked against its own interval here at generation time — the draws
+/// are a pure function of `(model, row, seed, n)`, so a pass is a pass on
+/// every re-run — which is what lets `bench_check` gate on the recorded
+/// `abs_err <= ci99` without statistical flake.
+fn measure_sampling_sweep(
+    workload: &str,
+    spn: &Spn,
+    smoke: bool,
+    results: &mut Vec<Measurement>,
+) -> Result<(), BackendError> {
+    let numeric = NumericMode::Linear;
+    let cpu = CpuModel::new();
+    let platform = cpu.name();
+    let lanes = cpu.lanes();
+    let mut engine = Engine::new(cpu, spn, EngineOptions::default())
+        .map_err(|err| format!("compiling {workload} for sampling: {err}"))?;
+    let num_vars = spn.num_vars();
+    let exact_of = |rows: &EvidenceBatch| {
+        reference_query_with(spn, &QueryBatch::Marginal(rows.clone()), numeric)
+            .expect("reference")
+            .values
+    };
+    for n_samples in [1_000u32, 100_000] {
+        // Fewer rows at the heavy draw count keep the sweep's wall-clock
+        // bounded; each row still draws the full n.
+        let batch_size = if n_samples > 10_000 { 4 } else { 16 };
+        let rows = build_marginal_batch(num_vars, batch_size);
+        let exact = exact_of(&rows);
+        let spec = SampleSpec {
+            seed: 0x5a17,
+            n_samples,
+            method: SampleMethod::LikelihoodWeighted,
+        };
+        let query = QueryBatch::Expectation(SampleBatch::new(rows, spec));
+        // One untimed pass pins the estimates and their intervals.
+        let once = engine
+            .execute_query(&query)
+            .map_err(|err| err.to_string())?;
+        let std_err = once.std_err.as_ref().expect("expectation carries std_err");
+        let mut abs_err = 0.0f64;
+        let mut ci99 = 0.0f64;
+        for ((got, want), se) in once.values.iter().zip(&exact).zip(std_err) {
+            let err = (got - want).abs();
+            // The relative floor keeps the bound meaningful when the
+            // importance weights are near-constant: the reported spread can
+            // sit below f64 summation noise, and the estimate-vs-oracle gap
+            // is then rounding, not estimator error.
+            let bound = CI99_Z * se + 1e-12 * want.abs().max(1e-300);
+            if err > bound {
+                return Err(format!(
+                    "{workload}: sampling estimate {got} missed exact {want} beyond \
+                     its reported 99% CI ({err:.3e} > {bound:.3e}) at n = {n_samples}"
+                )
+                .into());
+            }
+            abs_err = abs_err.max(err);
+            ci99 = ci99.max(bound);
+        }
+        let expected: f64 = once.values.iter().sum();
+        // Draws are deterministic per spec: the timed repeats are
+        // checksum-verified against the untimed pass bit for bit.
+        let label = format!("{workload}/{platform} sampling n {n_samples}");
+        let timed_repeats = if smoke && n_samples > 10_000 { 1 } else { 2 };
+        let mut best = f64::INFINITY;
+        for _ in 0..timed_repeats {
+            let start = Instant::now();
+            let out = engine.execute_query(&query).expect("execute_query");
+            let seconds = start.elapsed().as_secs_f64();
+            let checksum: f64 = out.values.iter().sum();
+            assert!(
+                checksum.to_bits() == expected.to_bits(),
+                "{label}: non-deterministic sampling checksum {checksum} vs {expected}"
+            );
+            best = best.min(seconds);
+        }
+        let samples = batch_size * n_samples as usize;
+        results.push(Measurement {
+            workload: workload.to_string(),
+            platform: platform.clone(),
+            mode: QueryMode::Expectation,
+            numeric,
+            precision: Precision::F64,
+            lanes,
+            cores: 1,
+            batch_size,
+            threads: 1,
+            queries: samples,
+            seconds: best,
+            queries_per_sec: samples as f64 / best.max(1e-12),
+            max_rel_error: 0.0,
+            flips: 0,
+            incremental: false,
+            n_samples,
+            abs_err,
+            ci99,
+        });
     }
     Ok(())
 }
@@ -711,6 +852,9 @@ fn measure_session_sweep(
             max_rel_error: 0.0,
             flips,
             incremental,
+            n_samples: 0,
+            abs_err: 0.0,
+            ci99: 0.0,
         });
     };
 
@@ -753,6 +897,7 @@ fn to_json(results: &[Measurement]) -> String {
                 "\"max_rel_error\": {}, \"lanes\": {}, \"cores\": {}, ",
                 "\"batch_size\": {}, \"threads\": {}, ",
                 "\"flips\": {}, \"incremental\": {}, ",
+                "\"n_samples\": {}, \"abs_err\": {}, \"ci99\": {}, ",
                 "\"host_cores\": {}, \"queries\": {}, ",
                 "\"seconds\": {}, \"queries_per_sec\": {}}}{}\n",
             ),
@@ -768,6 +913,9 @@ fn to_json(results: &[Measurement]) -> String {
             m.threads,
             m.flips,
             m.incremental as usize,
+            m.n_samples,
+            json_number(m.abs_err),
+            json_number(m.ci99),
             host,
             m.queries,
             json_number(m.seconds),
@@ -870,6 +1018,12 @@ fn run(smoke: bool, out_path: &str) -> Result<(), BackendError> {
         let spn = random_spn(&RandomSpnConfig::with_vars(48), &mut rng);
         measure_session_sweep("session-random-48", &spn, cpu_queries / 4, &mut results)?
     };
+    // Sampling axis: approximate expectation queries at 1e3 / 1e5 draws per
+    // row, samples/sec next to observed error vs the exact oracle.
+    {
+        let spn = Benchmark::Banknote.spn();
+        measure_sampling_sweep("uci-banknote-sampling", &spn, smoke, &mut results)?;
+    }
 
     println!("# Engine throughput: dispatch granularity, worker count, query mode\n");
     println!("host cores: {}\n", host_cores());
@@ -951,6 +1105,12 @@ fn run(smoke: bool, out_path: &str) -> Result<(), BackendError> {
     }
 
     println!("\nsession-random-48: 1-flip deltas vs full passes = {session_speedup:.2}x");
+    for m in results.iter().filter(|m| m.n_samples > 0) {
+        println!(
+            "{}: n = {} -> {:.0} samples/sec, max |err| = {:.3e} (reported 99% CI <= {:.3e})",
+            m.workload, m.n_samples, m.queries_per_sec, m.abs_err, m.ci99
+        );
+    }
 
     std::fs::write(out_path, to_json(&results))
         .map_err(|err| format!("writing {out_path}: {err}"))?;

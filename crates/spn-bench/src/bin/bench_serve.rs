@@ -35,7 +35,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spn_core::random::{random_spn, RandomSpnConfig};
 use spn_core::wire::QueryRequest;
-use spn_core::{QueryMode, Spn};
+use spn_core::{QueryMode, SampleMethod, SampleSpec, Spn};
 use spn_learn::Benchmark;
 use spn_platforms::{CpuModel, Parallelism};
 use spn_serve::json::{self, Value};
@@ -95,6 +95,21 @@ fn build_request(id: u64, model: &str, num_vars: usize) -> QueryRequest {
         QueryMode::Conditional => {
             QueryRequest::from_rows(id, model, mode, &[&partial], Some(&[&marginal]))
         }
+        // A small fixed draw count keeps the approximate share of the
+        // stream comparable in cost to the exact modes; the seed cycles so
+        // the batcher still coalesces only same-spec requests.
+        QueryMode::Sample | QueryMode::Expectation => QueryRequest::from_rows_with_spec(
+            id,
+            model,
+            mode,
+            &[&partial],
+            None,
+            SampleSpec {
+                seed: id % 4,
+                n_samples: 32,
+                method: SampleMethod::Ancestral,
+            },
+        ),
     };
     result.expect("deterministic request stream is well-formed")
 }

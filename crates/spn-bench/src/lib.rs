@@ -43,6 +43,7 @@ use spn_platforms::{
 };
 use spn_processor::ProcessorConfig;
 
+pub mod stats;
 pub mod traces;
 
 /// Throughput of one platform on one batched workload.

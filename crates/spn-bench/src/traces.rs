@@ -51,7 +51,27 @@ enum TraceCircuit {
     Mixture,
     /// A weighted sum/product chain of the given depth over one variable.
     Chain(usize),
+    /// The diagnostic sampler kernel ([`OpList::sampler_kernel`]): uniform
+    /// draws compared against CDF thresholds on the sampler comparator PE
+    /// op, acceptances summed — the processor's sampling datapath in
+    /// golden-trace form.
+    Sampler,
 }
+
+/// The fixed `(uniform draw, CDF threshold)` pairs of the sampler trace
+/// case — eight comparisons, four of which accept (`u < t` strictly; the
+/// tied pair rejects), so both comparator outcomes and the
+/// acceptance-count reduction appear in the trace.
+const SAMPLER_DRAWS: &[(f64, f64)] = &[
+    (0.125, 0.5),
+    (0.875, 0.5),
+    (0.0625, 0.25),
+    (0.75, 0.25),
+    (0.375, 0.625),
+    (0.96875, 0.875),
+    (0.015625, 0.03125),
+    (0.5, 0.5),
+];
 
 /// One golden-trace workload.
 #[derive(Debug, Clone)]
@@ -74,19 +94,18 @@ impl TraceCase {
         MultiCoreConfig::new(self.cores, ProcessorConfig::ptree())
     }
 
-    fn spn(&self) -> Spn {
-        match self.circuit {
-            TraceCircuit::Mixture => mixture_spn(),
-            TraceCircuit::Chain(levels) => deep_chain_spn(levels, 0.8),
-        }
-    }
-
     /// The lowered program the case compiles — exactly what
     /// [`render_case`] hands to the compiler (linear or log domain per
     /// [`TraceCase::mode`]).  This is the hook `spn_lint --golden` uses to
     /// statically verify every committed golden workload.
     pub fn op_list(&self) -> OpList {
-        let ops = OpList::from_spn(&self.spn());
+        let ops = match self.circuit {
+            TraceCircuit::Mixture => OpList::from_spn(&mixture_spn()),
+            TraceCircuit::Chain(levels) => OpList::from_spn(&deep_chain_spn(levels, 0.8)),
+            // Sampler kernels are linear-domain by construction: the
+            // comparator's 0/1 indicators have no log-domain reading.
+            TraceCircuit::Sampler => return OpList::sampler_kernel(SAMPLER_DRAWS),
+        };
         match self.mode {
             NumericMode::Linear => ops,
             NumericMode::Log => ops.to_log_domain(),
@@ -94,6 +113,16 @@ impl TraceCase {
     }
 
     fn batch(&self, num_vars: usize) -> EvidenceBatch {
+        if num_vars == 0 {
+            // Sampler kernels take no evidence: five empty rows re-run the
+            // kernel, putting later queries on each core's cumulative
+            // timeline exactly like the evidence-driven cases.
+            let mut batch = EvidenceBatch::new(0);
+            for _ in 0..5 {
+                batch.push_marginal();
+            }
+            return batch;
+        }
         // Five queries, so every shard of every tested core count holds at
         // least one query and multi-core shards hold at least two (later
         // queries sit on the core's cumulative timeline, where the
@@ -126,7 +155,8 @@ fn mixture_spn() -> Spn {
 }
 
 /// The committed golden-trace workloads: linear and log domain, one, two
-/// and three cores, sharded and pipelined dispatch.
+/// and three cores, sharded and pipelined dispatch, plus the sampler-kernel
+/// datapath.
 pub fn trace_cases() -> Vec<TraceCase> {
     vec![
         TraceCase {
@@ -163,6 +193,13 @@ pub fn trace_cases() -> Vec<TraceCase> {
             cores: 3,
             dispatch: TraceDispatch::Pipelined,
             circuit: TraceCircuit::Chain(6),
+        },
+        TraceCase {
+            name: "sampler_2core_sharded",
+            mode: NumericMode::Linear,
+            cores: 2,
+            dispatch: TraceDispatch::Sharded,
+            circuit: TraceCircuit::Sampler,
         },
     ]
 }
@@ -202,14 +239,10 @@ pub fn render_case_with_config(
     case: &TraceCase,
     config: &MultiCoreConfig,
 ) -> Result<String, BackendError> {
-    let spn = case.spn();
-    let mut ops = OpList::from_spn(&spn);
-    if case.mode == NumericMode::Log {
-        ops = ops.to_log_domain();
-    }
+    let ops = case.op_list();
     let compiler = Compiler::new(config.core.clone());
     let processor = MultiCoreProcessor::new(config.clone())?;
-    let batch = case.batch(spn.num_vars());
+    let batch = case.batch(ops.num_vars());
     let mut recorders: Vec<TraceRecorder> = (0..config.cores)
         .map(|c| TraceRecorder::new(c as u32))
         .collect();

@@ -828,6 +828,7 @@ impl<'a> Scheduler<'a> {
                 spn_core::flatten::OpKind::Mul => PeOp::Mul,
                 spn_core::flatten::OpKind::Max => PeOp::Max,
                 spn_core::flatten::OpKind::LogAdd => PeOp::Lse,
+                spn_core::flatten::OpKind::Sam => PeOp::Sam,
             };
         }
         for pass in &tile.passes {

@@ -19,7 +19,8 @@
 //!   span, instruction geometry must match the configuration,
 //! * **dataflow correctness**: every arithmetic PE result must correspond
 //!   to an operation of the source [`OpList`] (matched structurally up to
-//!   operand order — the PE kernels are commutative), and at the end of the
+//!   operand order for the commutative PE kernels; the sampler comparator
+//!   [`PeOp::Sam`] is order-sensitive and matched exactly), and at the end of the
 //!   program the output location and every export hold exactly the value
 //!   the op list says they should,
 //! * **partition consistency**: the transfer sources of a
@@ -106,7 +107,7 @@ impl OpIndex {
         for (i, op) in ops.ops().iter().enumerate() {
             let a = operand_sym(op.lhs, &input_sym, &rep);
             let b = operand_sym(op.rhs, &input_sym, &rep);
-            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            let (lo, hi) = canonical_operands(op.kind, a, b);
             let canonical = *by_expr.entry((op.kind, lo, hi)).or_insert(i as u32);
             rep.push(canonical);
         }
@@ -127,8 +128,19 @@ impl OpIndex {
         if a == Sym::Unknown || b == Sym::Unknown {
             return None;
         }
-        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (lo, hi) = canonical_operands(kind, a, b);
         self.by_expr.get(&(kind, lo, hi)).map(|&i| Sym::Op(i))
+    }
+}
+
+/// Canonical operand order for structural matching: commutative kinds sort
+/// their operands; the sampler comparator is non-commutative, so its
+/// operand order is semantic and preserved.
+fn canonical_operands(kind: OpKind, a: Sym, b: Sym) -> (Sym, Sym) {
+    if kind == OpKind::Sam || a <= b {
+        (a, b)
+    } else {
+        (b, a)
     }
 }
 
@@ -148,6 +160,7 @@ fn pe_op_kind(op: PeOp) -> Option<OpKind> {
         PeOp::Mul => Some(OpKind::Mul),
         PeOp::Max => Some(OpKind::Max),
         PeOp::Lse => Some(OpKind::LogAdd),
+        PeOp::Sam => Some(OpKind::Sam),
         PeOp::Nop | PeOp::PassA | PeOp::PassB => None,
     }
 }

@@ -33,6 +33,15 @@ use crate::numeric::NumericMode;
 use crate::validate::NORMALIZATION_TOLERANCE;
 use crate::Spn;
 
+/// SPN006 fires when one sum edge holds more than this share of the weight
+/// mass: the remaining branches are sampled with probability below `2^-40`,
+/// less than once in a trillion draws.
+const SKEW_THRESHOLD: f64 = 1.0 - SKEW_TAIL;
+
+/// The tail mass (`2^-40`) below which sampling a sum's minor branches is
+/// considered degenerate.
+const SKEW_TAIL: f64 = 1.0 / (1u64 << 40) as f64;
+
 /// How bad a [`Diagnostic`] is.
 ///
 /// `Error` means the artifact is wrong (invalid structure, miscompiled
@@ -154,7 +163,12 @@ pub fn has_errors(diagnostics: &[Diagnostic]) -> bool {
 /// * **SPN004** (warn) — a node unreachable from the root (dead weight that
 ///   backends never execute but serialisation and memory still pay for),
 /// * **SPN005** (info) — a zero-weight sum edge (the child contributes
-///   nothing; usually a learning artefact).
+///   nothing; usually a learning artefact),
+/// * **SPN006** (warn) — a degenerate sum for sampling: one edge holds more
+///   than `1 - 2^-40` of the weight mass, so an ancestral sampler follows
+///   the other branches with probability below `2^-40` — they are
+///   effectively dead to any realistic number of draws, and estimates of
+///   quantities that depend on them will look converged while being wrong.
 pub fn lint_spn(spn: &Spn) -> Vec<Diagnostic> {
     let mut out = Vec::new();
     let scopes = spn.scopes();
@@ -198,6 +212,20 @@ pub fn lint_spn(spn: &Spn) -> Vec<Diagnostic> {
                             format!("zero-weight edge to node {}", child.index()),
                         ));
                     }
+                }
+                let max_weight = weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                if children.len() >= 2 && sum > 0.0 && max_weight / sum > SKEW_THRESHOLD {
+                    out.push(Diagnostic::new(
+                        "SPN006",
+                        Severity::Warn,
+                        Location::Node(idx as u32),
+                        format!(
+                            "sum is degenerate for sampling: one edge holds {} of the \
+                             weight mass, the other branches are drawn with probability \
+                             below 2^-40",
+                            max_weight / sum
+                        ),
+                    ));
                 }
             }
             Node::Product { children } => {
@@ -426,6 +454,17 @@ pub fn lint_ranges(ops: &OpList) -> RangeAnalysis {
                     }
                 },
             },
+            // The sampler comparator is exactly 0/1; it collapses to a
+            // point when the operand intervals are disjoint.
+            OpKind::Sam => {
+                if a.hi < b.lo {
+                    ValueRange { lo: 1.0, hi: 1.0 }
+                } else if a.lo >= b.hi {
+                    ValueRange { lo: 0.0, hi: 0.0 }
+                } else {
+                    ValueRange { lo: 0.0, hi: 1.0 }
+                }
+            }
         };
         results.push(quantize(exact, idx, &mut diagnostics));
     }
@@ -514,6 +553,35 @@ mod tests {
     }
 
     #[test]
+    fn sampling_degenerate_sum_is_spn006() {
+        let mut b = SpnBuilder::new(1);
+        let x = b.indicator(VarId(0), true);
+        let nx = b.indicator(VarId(0), false);
+        let tail = 2.0f64.powi(-41);
+        let root = b.sum(vec![(x, 1.0 - tail), (nx, tail)]).unwrap();
+        let spn = b.finish(root).unwrap();
+        let diags = lint_spn(&spn);
+        assert!(codes(&diags).contains(&"SPN006"), "{diags:?}");
+        assert_eq!(max_severity(&diags), Some(Severity::Warn));
+
+        // A merely unbalanced sum is fine...
+        let mut b = SpnBuilder::new(1);
+        let x = b.indicator(VarId(0), true);
+        let nx = b.indicator(VarId(0), false);
+        let root = b.sum(vec![(x, 0.999), (nx, 0.001)]).unwrap();
+        let spn = b.finish(root).unwrap();
+        assert!(!codes(&lint_spn(&spn)).contains(&"SPN006"));
+
+        // ...and a single-child sum trivially holds all the mass without
+        // being degenerate: there is no minor branch to starve.
+        let mut b = SpnBuilder::new(1);
+        let x = b.indicator(VarId(0), true);
+        let root = b.sum(vec![(x, 1.0)]).unwrap();
+        let spn = b.finish(root).unwrap();
+        assert!(!codes(&lint_spn(&spn)).contains(&"SPN006"));
+    }
+
+    #[test]
     fn unreachable_node_is_spn004() {
         let mut b = SpnBuilder::new(1);
         let x = b.indicator(VarId(0), true);
@@ -589,6 +657,7 @@ mod tests {
                 OpKind::Mul => a * b,
                 OpKind::Max => a.max(b),
                 OpKind::LogAdd => (a.exp() + b.exp()).ln(),
+                OpKind::Sam => f64::from(u8::from(a < b)),
             };
             let bound = analysis.ranges[i];
             assert!(

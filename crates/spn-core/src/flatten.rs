@@ -80,6 +80,12 @@ pub enum OpKind {
     /// log-domain programs (produced by [`OpList::to_log_domain`], never by
     /// flattening itself).
     LogAdd,
+    /// Threshold comparison: `1.0` when `a < b`, else `0.0` — the core
+    /// operation of a Knuth-Yao-style discrete sampler PE (a uniform draw
+    /// compared against a CDF threshold).  Non-commutative.  Produced only
+    /// by [`OpList::sampler_kernel`], never by flattening; sampler kernels
+    /// are diagnostic programs exercising the processor's sampler datapath.
+    Sam,
 }
 
 /// One binary operation of an [`OpList`].
@@ -213,6 +219,53 @@ impl OpList {
         }
     }
 
+    /// A diagnostic sampler kernel exercising the sampler comparator op.
+    ///
+    /// For each `(u, t)` pair in `draws` the kernel emits `u < t` via
+    /// [`OpKind::Sam`] — a uniform draw compared against a CDF threshold,
+    /// the core comparison of a Knuth-Yao-style discrete sampler — and sums
+    /// the acceptance indicators into a single acceptance count.  All
+    /// inputs are baked parameters, so the kernel needs no evidence
+    /// (`num_vars == 0`) and is fully deterministic: the golden-trace form
+    /// of the processor's sampling datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `draws` is empty.
+    pub fn sampler_kernel(draws: &[(f64, f64)]) -> OpList {
+        assert!(!draws.is_empty(), "sampler kernel needs at least one draw");
+        let mut inputs: Vec<LeafSource> = Vec::with_capacity(draws.len() * 2);
+        let mut ops: Vec<Op> = Vec::new();
+        let mut terms: Vec<OperandRef> = Vec::with_capacity(draws.len());
+        for &(u, t) in draws {
+            let ui = inputs.len() as u32;
+            inputs.push(LeafSource::Param(u));
+            let ti = inputs.len() as u32;
+            inputs.push(LeafSource::Param(t));
+            ops.push(Op {
+                kind: OpKind::Sam,
+                lhs: OperandRef::Input(ui),
+                rhs: OperandRef::Input(ti),
+            });
+            terms.push(OperandRef::Op((ops.len() - 1) as u32));
+        }
+        let push_op =
+            |ops: &mut Vec<Op>, kind: OpKind, lhs: OperandRef, rhs: OperandRef| -> OperandRef {
+                let idx = ops.len() as u32;
+                ops.push(Op { kind, lhs, rhs });
+                OperandRef::Op(idx)
+            };
+        let output = reduce_balanced(&mut ops, OpKind::Add, terms, &push_op);
+        OpList {
+            inputs,
+            ops,
+            output,
+            num_vars: 0,
+            mode: NumericMode::Linear,
+            precision: Precision::F64,
+        }
+    }
+
     /// The numeric domain this program computes in.
     pub fn mode(&self) -> NumericMode {
         self.mode
@@ -292,6 +345,11 @@ impl OpList {
                         OpKind::Add => OpKind::LogAdd,
                         OpKind::Mul => OpKind::Add,
                         OpKind::Max => OpKind::Max,
+                        // The logarithm is monotone, so the comparison is
+                        // unchanged.  Sampler kernels are diagnostic (their
+                        // inputs are uniforms and thresholds, not
+                        // probabilities), so the 0/1 outputs stay 0/1.
+                        OpKind::Sam => OpKind::Sam,
                         OpKind::LogAdd => unreachable!("linear programs have no LogAdd ops"),
                     },
                     ..*op
@@ -429,6 +487,7 @@ impl OpList {
                     OpKind::Mul => a * b,
                     OpKind::Max => a.max(b),
                     OpKind::LogAdd => log_sum_exp(a, b),
+                    OpKind::Sam => f64::from(u8::from(a < b)),
                 };
             }
         } else {
@@ -442,6 +501,7 @@ impl OpList {
                         OpKind::Mul => a * b,
                         OpKind::Max => a.max(b),
                         OpKind::LogAdd => log_sum_exp(a, b),
+                        OpKind::Sam => f64::from(u8::from(a < b)),
                     },
                 );
             }
@@ -512,8 +572,10 @@ impl OpList {
     /// came from [`OpList::to_max_product`]).
     pub fn to_loop_program(&self) -> LoopProgram {
         assert!(
-            self.ops.iter().all(|op| op.kind != OpKind::Max),
-            "loop programs cannot represent max-product operations"
+            self.ops
+                .iter()
+                .all(|op| op.kind != OpKind::Max && op.kind != OpKind::Sam),
+            "loop programs cannot represent max-product or sampler operations"
         );
         let sum_kind = match self.mode {
             NumericMode::Linear => OpKind::Add,
@@ -1183,6 +1245,30 @@ mod tests {
         }
         let log_value = log_q.evaluate(&e).unwrap();
         assert!((log_value.exp() - exact).abs() <= 0.01 * exact.abs());
+    }
+
+    #[test]
+    fn sampler_kernel_counts_acceptances() {
+        // Draws strictly below their threshold accept; ties and larger
+        // draws reject (the comparator is strict).
+        let draws = [(0.1, 0.5), (0.7, 0.5), (0.5, 0.5), (0.2, 0.9)];
+        let ops = OpList::sampler_kernel(&draws);
+        assert_eq!(ops.num_vars(), 0);
+        assert_eq!(ops.mode(), NumericMode::Linear);
+        let e = Evidence::marginal(0);
+        assert_eq!(ops.evaluate(&e).unwrap(), 2.0);
+        // The comparator survives the log-domain rewrite unchanged (ln is
+        // monotone; the kernel is diagnostic, so 0/1 outputs stay 0/1) —
+        // but the acceptance *sum* becomes a log-sum-exp, so only the
+        // per-draw comparisons are preserved, not the count.
+        let log_ops = ops.to_log_domain();
+        assert!(log_ops.ops().iter().any(|op| op.kind == OpKind::Sam));
+    }
+
+    #[test]
+    #[should_panic(expected = "sampler operations")]
+    fn sampler_kernels_cannot_become_loop_programs() {
+        OpList::sampler_kernel(&[(0.3, 0.6)]).to_loop_program();
     }
 
     #[test]

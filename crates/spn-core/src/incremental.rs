@@ -353,6 +353,7 @@ impl ConeAnalysis {
                     OpKind::Mul => a * b,
                     OpKind::Max => a.max(b),
                     OpKind::LogAdd => log_sum_exp(a, b),
+                    OpKind::Sam => f64::from(u8::from(a < b)),
                 };
             }
         } else {
@@ -367,6 +368,7 @@ impl ConeAnalysis {
                         OpKind::Mul => a * b,
                         OpKind::Max => a.max(b),
                         OpKind::LogAdd => log_sum_exp(a, b),
+                        OpKind::Sam => f64::from(u8::from(a < b)),
                     },
                 );
             }

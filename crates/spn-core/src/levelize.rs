@@ -148,6 +148,7 @@ mod tests {
                     crate::flatten::OpKind::LogAdd => {
                         crate::numeric::log_sum_exp(val(op.lhs), val(op.rhs))
                     }
+                    crate::flatten::OpKind::Sam => f64::from(u8::from(val(op.lhs) < val(op.rhs))),
                 };
             }
         }

@@ -39,6 +39,11 @@
 //!   queries ([`QueryBatch`]) lowered onto the same batched execution
 //!   primitive, including the max-product program rewrite with argmax
 //!   traceback ([`query::MaxProductProgram`]),
+//! * approximate inference by sampling ([`sample`]): alias-table ancestral
+//!   sampling, exact conditional draws, likelihood weighting and Gibbs
+//!   resampling behind the `sample` / `expectation` query modes, every
+//!   estimate paired with its standard error and every draw tied to a
+//!   per-row PRNG stream for bit-for-bit reproducibility,
 //! * the serving wire contract ([`wire`]): compact evidence rows and the
 //!   framing-agnostic [`QueryRequest`] / [`QueryResponse`] pair used by the
 //!   `spn-serve` front-ends,
@@ -93,6 +98,7 @@ pub mod numeric;
 pub mod precision;
 pub mod query;
 pub mod random;
+pub mod sample;
 pub mod stats;
 pub mod validate;
 pub mod vectorized;
@@ -111,6 +117,7 @@ pub use precision::Precision;
 pub use query::{
     reference_query, reference_query_with, ConditionalBatch, QueryBatch, QueryMode, QueryResult,
 };
+pub use sample::{AliasTable, SampleBatch, SampleMethod, SampleRun, SampleSpec, SamplerProgram};
 pub use value::LogProb;
 pub use wire::{QueryRequest, QueryResponse};
 

@@ -21,10 +21,18 @@
 //!   Exact for selective/deterministic SPNs; the circuit MPE in general.
 //! * **Conditional** — `P(target | given)` as the ratio of two joint/marginal
 //!   passes: `P(target, given) / P(given)`.  Two circuit passes per query.
+//! * **Sample** — `n_samples` draws from `P(x | e)` per row via the
+//!   [`crate::sample`] engine (ancestral / likelihood-weighted / Gibbs),
+//!   each answer carrying its per-sample weights and standard error.
+//! * **Expectation** — a Monte-Carlo estimate of `P(e)` per row with its
+//!   standard error; the exact backends answer the same query exactly, which
+//!   is what the statistical cross-checks exploit.
 //!
-//! Every mode lowers to [`EvidenceBatch`]es executed through the existing
-//! [`InputRecipe`] machinery, so the platform backends (and their parallel
-//! sharded execution path) serve all four modes unchanged.
+//! Every exact mode lowers to [`EvidenceBatch`]es executed through the
+//! existing [`InputRecipe`] machinery, so the platform backends (and their
+//! parallel sharded execution path) serve all four exact modes unchanged;
+//! the approximate modes run the model's [`crate::SamplerProgram`] over the
+//! same evidence rows.
 //! `spn_platforms::Engine::execute_query` is the high-level entry point;
 //! [`reference_query`] is the evaluator-backed oracle used by tests and the
 //! benchmark checksums.
@@ -35,6 +43,7 @@ use crate::evidence::Evidence;
 use crate::flatten::{LeafSource, OpKind, OpList, OperandRef};
 use crate::graph::Spn;
 use crate::numeric::NumericMode;
+use crate::sample::SampleBatch;
 use crate::{Result, SpnError};
 
 /// The inference workload a batch of queries asks for.
@@ -54,15 +63,23 @@ pub enum QueryMode {
     Map,
     /// `P(target | given)` as a ratio of two passes.
     Conditional,
+    /// `n_samples` conditional draws per row from the sampling engine, with
+    /// per-sample weights and a standard error per row (approximate).
+    Sample,
+    /// Monte-Carlo estimate of `P(e)` per row with its standard error
+    /// (approximate; the exact counterpart of one marginal query).
+    Expectation,
 }
 
 impl QueryMode {
     /// Every mode, in presentation order.
-    pub const ALL: [QueryMode; 4] = [
+    pub const ALL: [QueryMode; 6] = [
         QueryMode::Joint,
         QueryMode::Marginal,
         QueryMode::Map,
         QueryMode::Conditional,
+        QueryMode::Sample,
+        QueryMode::Expectation,
     ];
 
     /// Lower-case display name (used in benchmark records and tables).
@@ -72,6 +89,8 @@ impl QueryMode {
             QueryMode::Marginal => "marginal",
             QueryMode::Map => "map",
             QueryMode::Conditional => "conditional",
+            QueryMode::Sample => "sample",
+            QueryMode::Expectation => "expectation",
         }
     }
 
@@ -86,9 +105,16 @@ impl QueryMode {
             .find(|mode| mode.name() == name)
             .ok_or_else(|| {
                 SpnError::invalid(format!(
-                    "unknown query mode {name:?} (expected joint, marginal, map or conditional)"
+                    "unknown query mode {name:?} (expected joint, marginal, map, conditional, \
+                     sample or expectation)"
                 ))
             })
+    }
+
+    /// Returns `true` for the sampling-backed modes whose answers are
+    /// estimates with a standard error rather than exact values.
+    pub fn is_approximate(self) -> bool {
+        matches!(self, QueryMode::Sample | QueryMode::Expectation)
     }
 
     /// Circuit passes one query of this mode costs.
@@ -211,6 +237,10 @@ pub enum QueryBatch {
     Map(EvidenceBatch),
     /// `(target, given)` pairs evaluated as a ratio of two passes.
     Conditional(ConditionalBatch),
+    /// Partial rows answered with conditional draws from the sampler.
+    Sample(SampleBatch),
+    /// Partial rows answered with a Monte-Carlo estimate of `P(e)`.
+    Expectation(SampleBatch),
 }
 
 impl QueryBatch {
@@ -221,6 +251,8 @@ impl QueryBatch {
             QueryBatch::Marginal(_) => QueryMode::Marginal,
             QueryBatch::Map(_) => QueryMode::Map,
             QueryBatch::Conditional(_) => QueryMode::Conditional,
+            QueryBatch::Sample(_) => QueryMode::Sample,
+            QueryBatch::Expectation(_) => QueryMode::Expectation,
         }
     }
 
@@ -229,6 +261,7 @@ impl QueryBatch {
         match self {
             QueryBatch::Joint(b) | QueryBatch::Marginal(b) | QueryBatch::Map(b) => b.len(),
             QueryBatch::Conditional(c) => c.len(),
+            QueryBatch::Sample(s) | QueryBatch::Expectation(s) => s.len(),
         }
     }
 
@@ -242,6 +275,7 @@ impl QueryBatch {
         match self {
             QueryBatch::Joint(b) | QueryBatch::Marginal(b) | QueryBatch::Map(b) => b.num_vars(),
             QueryBatch::Conditional(c) => c.num_vars(),
+            QueryBatch::Sample(s) | QueryBatch::Expectation(s) => s.num_vars(),
         }
     }
 
@@ -255,14 +289,17 @@ impl QueryBatch {
     ///
     /// # Errors
     ///
-    /// Returns [`SpnError::Invalid`] on a mode mismatch and
-    /// [`SpnError::EvidenceMismatch`] when the variable counts differ.
+    /// Returns [`SpnError::Invalid`] on a mode or [`crate::SampleSpec`]
+    /// mismatch and [`SpnError::EvidenceMismatch`] when the variable counts
+    /// differ.
     pub fn try_extend(&mut self, other: &QueryBatch) -> Result<()> {
         match (self, other) {
             (QueryBatch::Joint(a), QueryBatch::Joint(b))
             | (QueryBatch::Marginal(a), QueryBatch::Marginal(b))
             | (QueryBatch::Map(a), QueryBatch::Map(b)) => a.extend_from(b),
             (QueryBatch::Conditional(a), QueryBatch::Conditional(b)) => a.extend_from(b),
+            (QueryBatch::Sample(a), QueryBatch::Sample(b))
+            | (QueryBatch::Expectation(a), QueryBatch::Expectation(b)) => a.try_extend(b),
             (a, b) => Err(SpnError::invalid(format!(
                 "cannot coalesce a {} batch into a {} batch",
                 b.mode(),
@@ -272,24 +309,29 @@ impl QueryBatch {
     }
 
     /// Checks mode-specific well-formedness: joint rows must observe every
-    /// variable.
+    /// variable; sampling batches need at least one sample per row.
     ///
     /// # Errors
     ///
     /// Returns [`SpnError::Invalid`] naming the offending query when a joint
-    /// row leaves a variable unobserved.
+    /// row leaves a variable unobserved, or when a sampling batch asks for
+    /// zero samples.
     pub fn validate(&self) -> Result<()> {
-        if let QueryBatch::Joint(batch) = self {
-            for q in 0..batch.len() {
-                if !batch.is_row_complete(q) {
-                    return Err(SpnError::invalid(format!(
-                        "joint query {q} leaves variables unobserved; \
-                         use QueryBatch::Marginal to sum them out"
-                    )));
+        match self {
+            QueryBatch::Joint(batch) => {
+                for q in 0..batch.len() {
+                    if !batch.is_row_complete(q) {
+                        return Err(SpnError::invalid(format!(
+                            "joint query {q} leaves variables unobserved; \
+                             use QueryBatch::Marginal to sum them out"
+                        )));
+                    }
                 }
+                Ok(())
             }
+            QueryBatch::Sample(s) | QueryBatch::Expectation(s) => s.validate(),
+            _ => Ok(()),
         }
-        Ok(())
     }
 }
 
@@ -409,7 +451,7 @@ impl MaxProductProgram {
                                 stack.push(op.rhs);
                             }
                         }
-                        OpKind::Mul | OpKind::Add | OpKind::LogAdd => {
+                        OpKind::Mul | OpKind::Add | OpKind::LogAdd | OpKind::Sam => {
                             stack.push(op.lhs);
                             stack.push(op.rhs);
                         }
@@ -503,6 +545,14 @@ pub fn reference_query_with(
                 assignments: None,
             })
         }
+        // The oracle answers the approximate modes *exactly*: one evidence
+        // probability per row — the quantity an expectation query estimates
+        // and the normaliser a sample query's weights integrate to.  The
+        // statistical cross-checks compare estimator output against this.
+        QueryBatch::Sample(s) | QueryBatch::Expectation(s) => Ok(QueryResult {
+            values: run_batch(s.rows())?,
+            assignments: None,
+        }),
     }
 }
 
@@ -590,7 +640,18 @@ mod tests {
         assert_eq!(QueryMode::Joint.to_string(), "joint");
         assert_eq!(QueryMode::Conditional.passes_per_query(), 2);
         assert_eq!(QueryMode::Map.passes_per_query(), 1);
-        assert_eq!(QueryMode::ALL.len(), 4);
+        assert_eq!(QueryMode::ALL.len(), 6);
+        assert_eq!(QueryMode::from_name("sample").unwrap(), QueryMode::Sample);
+        assert_eq!(
+            QueryMode::from_name("expectation").unwrap(),
+            QueryMode::Expectation
+        );
+        assert!(QueryMode::Sample.is_approximate());
+        assert!(QueryMode::Expectation.is_approximate());
+        assert!(!QueryMode::Marginal.is_approximate());
+        for mode in QueryMode::ALL {
+            assert_eq!(QueryMode::from_name(mode.name()).unwrap(), mode);
+        }
     }
 
     #[test]

@@ -179,6 +179,11 @@ fn run_lanes_body<const L: usize, const QUANTIZE: bool>(
                 }
             }
             OpKind::LogAdd => log_sum_exp_lanes(a, b, dst),
+            OpKind::Sam => {
+                for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+                    *d = f64::from(u8::from(x < y));
+                }
+            }
         }
         if QUANTIZE {
             for d in dst.iter_mut() {

@@ -18,6 +18,7 @@ use crate::evidence::Evidence;
 use crate::numeric::NumericMode;
 use crate::precision::Precision;
 use crate::query::{QueryBatch, QueryMode};
+use crate::sample::{SampleBatch, SampleSpec};
 use crate::{ConditionalBatch, EvidenceBatch, Result, SpnError};
 
 /// Parses a compact evidence row (`'1'` true, `'0'` false, `'?'` marginal;
@@ -89,6 +90,21 @@ pub fn build_query(
     rows: &[Evidence],
     givens: Option<&[Evidence]>,
 ) -> Result<QueryBatch> {
+    build_query_with_spec(mode, rows, givens, SampleSpec::default())
+}
+
+/// [`build_query`] with an explicit [`SampleSpec`] for the approximate modes
+/// (`sample` / `expectation`); the spec is ignored for exact modes.
+///
+/// # Errors
+///
+/// As for [`build_query`].
+pub fn build_query_with_spec(
+    mode: QueryMode,
+    rows: &[Evidence],
+    givens: Option<&[Evidence]>,
+    spec: SampleSpec,
+) -> Result<QueryBatch> {
     let first = rows
         .first()
         .ok_or_else(|| SpnError::invalid("a query needs at least one evidence row"))?;
@@ -122,6 +138,8 @@ pub fn build_query(
                 QueryMode::Joint => QueryBatch::Joint(batch),
                 QueryMode::Marginal => QueryBatch::Marginal(batch),
                 QueryMode::Map => QueryBatch::Map(batch),
+                QueryMode::Sample => QueryBatch::Sample(SampleBatch::new(batch, spec)),
+                QueryMode::Expectation => QueryBatch::Expectation(SampleBatch::new(batch, spec)),
                 QueryMode::Conditional => unreachable!("handled above"),
             };
             query.validate()?;
@@ -170,6 +188,23 @@ impl QueryRequest {
         rows: &[&str],
         givens: Option<&[&str]>,
     ) -> Result<QueryRequest> {
+        QueryRequest::from_rows_with_spec(id, model, mode, rows, givens, SampleSpec::default())
+    }
+
+    /// [`QueryRequest::from_rows`] with an explicit [`SampleSpec`] for the
+    /// approximate modes (ignored for exact modes).
+    ///
+    /// # Errors
+    ///
+    /// As for [`QueryRequest::from_rows`].
+    pub fn from_rows_with_spec(
+        id: u64,
+        model: impl Into<String>,
+        mode: QueryMode,
+        rows: &[&str],
+        givens: Option<&[&str]>,
+        spec: SampleSpec,
+    ) -> Result<QueryRequest> {
         let rows: Vec<Evidence> = rows.iter().map(|r| parse_row(r)).collect::<Result<_>>()?;
         let givens: Option<Vec<Evidence>> = givens
             .map(|g| g.iter().map(|r| parse_row(r)).collect::<Result<_>>())
@@ -177,7 +212,7 @@ impl QueryRequest {
         Ok(QueryRequest {
             id,
             model: model.into(),
-            query: build_query(mode, &rows, givens.as_deref())?,
+            query: build_query_with_spec(mode, &rows, givens.as_deref(), spec)?,
             numeric: NumericMode::Linear,
             precision: Precision::F64,
         })
@@ -210,11 +245,21 @@ pub struct QueryResponse {
     /// The emulated PE arithmetic format the values were computed in.
     pub precision: Precision,
     /// One value per query, in request order: a probability for joint /
-    /// marginal / conditional queries, the max-product circuit value for MAP
-    /// — or the natural logs of all of those under [`NumericMode::Log`].
+    /// marginal / conditional queries, the max-product circuit value for MAP,
+    /// the estimated `P(e)` for expectation queries, the per-sample weights
+    /// (`n_samples` per query) for sample queries — or the natural logs of
+    /// all of those under [`NumericMode::Log`].
     pub values: Vec<f64>,
-    /// The maximising assignment per query; `Some` for MAP requests only.
+    /// The maximising assignment per MAP query, or the drawn assignments
+    /// (`n_samples` per query, row-major) for sample requests; `None` for
+    /// every other mode.
     pub assignments: Option<Vec<Vec<bool>>>,
+    /// Standard error per query for the approximate modes (always on the
+    /// linear probability scale, even under [`NumericMode::Log`]); `None`
+    /// for exact modes.
+    pub std_err: Option<Vec<f64>>,
+    /// Total samples drawn answering the request (zero for exact modes).
+    pub samples: u64,
 }
 
 #[cfg(test)]
@@ -251,6 +296,36 @@ mod tests {
         assert!(build_query(QueryMode::Conditional, &rows, Some(&givens[..1])).is_err());
         assert!(build_query(QueryMode::Marginal, &rows, Some(&givens)).is_err());
         assert!(build_query(QueryMode::Marginal, &[], None).is_err());
+    }
+
+    #[test]
+    fn build_sample_queries() {
+        let rows = [parse_row("1?").unwrap(), parse_row("?0").unwrap()];
+        let spec = SampleSpec {
+            seed: 42,
+            n_samples: 16,
+            method: crate::SampleMethod::LikelihoodWeighted,
+        };
+        let query = build_query_with_spec(QueryMode::Sample, &rows, None, spec).unwrap();
+        assert_eq!(query.mode(), QueryMode::Sample);
+        assert_eq!(query.len(), 2);
+        match &query {
+            QueryBatch::Sample(s) => {
+                assert_eq!(s.spec(), spec);
+                assert_eq!(s.streams(), &[0, 1]);
+            }
+            other => panic!("unexpected batch {other:?}"),
+        }
+        // The default spec rides along on the plain builder, and zero
+        // samples are rejected at build time.
+        let query = build_query(QueryMode::Expectation, &rows, None).unwrap();
+        assert_eq!(query.mode(), QueryMode::Expectation);
+        let zero = SampleSpec {
+            n_samples: 0,
+            ..SampleSpec::default()
+        };
+        assert!(build_query_with_spec(QueryMode::Expectation, &rows, None, zero).is_err());
+        assert!(build_query(QueryMode::Sample, &rows, Some(&rows)).is_err());
     }
 
     #[test]

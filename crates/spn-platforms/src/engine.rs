@@ -25,7 +25,9 @@ use std::sync::Arc;
 use spn_core::batch::EvidenceBatch;
 use spn_core::flatten::OpList;
 use spn_core::incremental::{ConeAnalysis, DeltaOutcome, IncrementalState};
+use spn_core::precision::round_to;
 use spn_core::query::{conditional_values, MaxProductProgram, QueryBatch};
+use spn_core::sample::{SampleBatch, SampleRun, SamplerProgram};
 use spn_core::{Evidence, NumericMode, Precision, Spn, SpnError};
 use spn_processor::PerfReport;
 
@@ -60,11 +62,20 @@ impl<B: Backend> Clone for MapArtifact<B> {
 pub struct QueryOutput {
     /// One value per query, in batch order: a probability for joint /
     /// marginal / conditional queries, the max-product circuit value for MAP
-    /// queries.
+    /// queries, the estimated `P(e)` for expectation queries, and the
+    /// per-sample weights (`n_samples` per query) for sample queries — in
+    /// the engine's numeric domain, quantized to its emulated precision.
     pub values: Vec<f64>,
-    /// The maximising complete assignment per query; `Some` for MAP batches
-    /// only.
+    /// The maximising complete assignment per MAP query, or the drawn
+    /// assignments (`n_samples` per query, row-major) for sample batches;
+    /// `None` otherwise.
     pub assignments: Option<Vec<Vec<bool>>>,
+    /// Standard error per query for the approximate (sample / expectation)
+    /// modes — always on the linear probability scale, never quantized;
+    /// `None` for exact modes.
+    pub std_err: Option<Vec<f64>>,
+    /// Total samples drawn answering the batch (zero for exact modes).
+    pub samples: u64,
     /// Accumulated performance counters.  [`PerfReport::queries`] counts
     /// *circuit passes*, so a conditional batch reports two passes per
     /// logical query.
@@ -156,6 +167,12 @@ pub struct Engine<B: Backend> {
     /// Max-product artifact for MAP queries; compiled on first use (or
     /// installed pre-compiled via [`Engine::install_map`]).
     map: Option<MapArtifact<B>>,
+    /// Compiled sampler for the approximate (sample / expectation) query
+    /// modes.  Built by [`Engine::new`] (it needs the graph, which
+    /// [`Engine::from_ops`] does not have) or installed via
+    /// [`Engine::install_sampler`]; shared across sibling engines like the
+    /// compiled artifact.
+    sampler: Option<Arc<SamplerProgram>>,
     /// Scratch one-query batch backing [`Engine::execute`].
     single: EvidenceBatch,
 }
@@ -203,7 +220,9 @@ impl<B: Backend> Engine<B> {
                 }
             }
         }
-        Engine::from_ops(backend, &ops)
+        let mut engine = Engine::from_ops(backend, &ops)?;
+        engine.sampler = Some(Arc::new(SamplerProgram::new(spn)));
+        Ok(engine)
     }
 
     /// Compiles an already-lowered `ops` program for `backend`.
@@ -232,6 +251,7 @@ impl<B: Backend> Engine<B> {
             scratch: B::Scratch::default(),
             workers: Vec::new(),
             map: None,
+            sampler: None,
             single: EvidenceBatch::new(ops.num_vars()),
         }
     }
@@ -270,6 +290,20 @@ impl<B: Backend> Engine<B> {
     /// backend configuration.
     pub fn install_map(&mut self, map: MapArtifact<B>) {
         self.map = Some(map);
+    }
+
+    /// The compiled sampler, if the engine has one ([`Engine::new`] builds
+    /// it from the graph; [`Engine::from_ops`] cannot).
+    pub fn shared_sampler(&self) -> Option<Arc<SamplerProgram>> {
+        self.sampler.clone()
+    }
+
+    /// Installs a compiled sampler (e.g. one lifted from a sibling engine
+    /// via [`Engine::shared_sampler`], or built directly with
+    /// [`SamplerProgram::new`]), replacing any existing one.  The sampler
+    /// must come from the same graph the engine's program was lowered from.
+    pub fn install_sampler(&mut self, sampler: Arc<SamplerProgram>) {
+        self.sampler = Some(sampler);
     }
 
     /// Ensures the max-product artifact exists, compiling it if needed — the
@@ -474,11 +508,13 @@ impl<B: Backend> Engine<B> {
     /// The per-mode lowering shared by [`Engine::execute_query`] and
     /// [`Engine::execute_query_parallel`]: `exec` runs a batch against the
     /// engine's main artifact, `exec_map` against the (already ensured)
-    /// max-product artifact.  A single lowering guarantees the serial and
-    /// parallel query paths can never diverge in policy.
+    /// max-product artifact; the approximate modes run the installed
+    /// sampler, sharded per `parallelism`.  A single lowering guarantees
+    /// the serial and parallel query paths can never diverge in policy.
     fn lower_query(
         &mut self,
         query: &QueryBatch,
+        parallelism: Option<&Parallelism>,
         exec: impl Fn(&mut Self, &EvidenceBatch) -> Result<BatchResult, BackendError>,
         exec_map: impl Fn(&mut Self, &EvidenceBatch) -> Result<BatchResult, BackendError>,
     ) -> Result<QueryOutput, BackendError> {
@@ -489,6 +525,8 @@ impl<B: Backend> Engine<B> {
                 Ok(QueryOutput {
                     values: result.values,
                     assignments: None,
+                    std_err: None,
+                    samples: 0,
                     perf: result.perf,
                 })
             }
@@ -500,6 +538,8 @@ impl<B: Backend> Engine<B> {
                 Ok(QueryOutput {
                     values: result.values,
                     assignments: Some(assignments),
+                    std_err: None,
+                    samples: 0,
                     perf: result.perf,
                 })
             }
@@ -513,10 +553,105 @@ impl<B: Backend> Engine<B> {
                 Ok(QueryOutput {
                     values,
                     assignments: None,
+                    std_err: None,
+                    samples: 0,
                     perf,
                 })
             }
+            QueryBatch::Sample(batch) => self.run_sampler(batch, true, parallelism),
+            QueryBatch::Expectation(batch) => self.run_sampler(batch, false, parallelism),
         }
+    }
+
+    /// Runs the approximate modes over the installed sampler: rows are
+    /// sharded across scoped threads per `parallelism` (per-row results are
+    /// a pure function of `(row, spec, stream)`, so any sharding
+    /// concatenates to the serial result bit for bit), then reported in the
+    /// engine's numeric domain with values quantized to its emulated
+    /// precision.  Standard errors stay on the linear scale, unquantized —
+    /// they describe the estimator, not the datapath.
+    fn run_sampler(
+        &self,
+        batch: &SampleBatch,
+        sample_mode: bool,
+        parallelism: Option<&Parallelism>,
+    ) -> Result<QueryOutput, BackendError> {
+        let sampler = self.sampler.as_deref().ok_or_else(|| {
+            Box::new(SpnError::invalid(
+                "engine has no sampler: approximate queries need an engine built from the \
+                 graph (Engine::new) or an installed sampler (Engine::install_sampler)"
+                    .to_string(),
+            ))
+        })?;
+        let run_range = |start: usize, count: usize| -> Result<SampleRun, SpnError> {
+            if sample_mode {
+                sampler.run_sample_range(batch, start, count)
+            } else {
+                sampler.run_expectation_range(batch, start, count)
+            }
+        };
+        let shards = parallelism.map_or(1, |p| p.shards_for(batch.len()));
+        let run = if shards <= 1 {
+            run_range(0, batch.len())?
+        } else {
+            let base = batch.len() / shards;
+            let extra = batch.len() % shards;
+            let mut ranges = Vec::with_capacity(shards);
+            let mut start = 0;
+            for s in 0..shards {
+                let count = base + usize::from(s < extra);
+                ranges.push((start, count));
+                start += count;
+            }
+            let parts: Vec<Result<SampleRun, SpnError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = ranges
+                    .iter()
+                    .map(|&(start, count)| scope.spawn(move || run_range(start, count)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("sampler worker panicked"))
+                    .collect()
+            });
+            let mut merged = SampleRun::default();
+            for part in parts {
+                let part = part?;
+                merged.values.extend(part.values);
+                merged.std_err.extend(part.std_err);
+                if let Some(assignments) = part.assignments {
+                    merged
+                        .assignments
+                        .get_or_insert_with(Vec::new)
+                        .extend(assignments);
+                }
+                merged.samples_drawn += part.samples_drawn;
+            }
+            merged
+        };
+        let mode = self.ops.mode();
+        let precision = self.ops.precision();
+        let values = run
+            .values
+            .into_iter()
+            .map(|v| {
+                let domain = match mode {
+                    NumericMode::Linear => v,
+                    NumericMode::Log => v.ln(),
+                };
+                round_to(precision, domain)
+            })
+            .collect();
+        Ok(QueryOutput {
+            values,
+            assignments: run.assignments,
+            std_err: Some(run.std_err),
+            samples: run.samples_drawn,
+            perf: PerfReport {
+                platform: format!("{} sampler", self.backend.name()),
+                queries: batch.len() as u64,
+                ..PerfReport::default()
+            },
+        })
     }
 
     /// Answers a [`QueryBatch`] against the compiled circuit.
@@ -573,6 +708,7 @@ impl<B: Backend> Engine<B> {
     pub fn execute_query(&mut self, query: &QueryBatch) -> Result<QueryOutput, BackendError> {
         self.lower_query(
             query,
+            None,
             |engine, batch| engine.execute_batch(batch),
             |engine, batch| {
                 let plan = engine.map.as_ref().expect("map plan ensured");
@@ -645,6 +781,7 @@ where
     ) -> Result<QueryOutput, BackendError> {
         self.lower_query(
             query,
+            Some(parallelism),
             |engine, batch| engine.execute_batch_parallel(batch, parallelism),
             |engine, batch| {
                 let plan = engine.map.as_ref().expect("map plan ensured");

@@ -205,7 +205,10 @@ impl GpuModel {
                             // transcendental cost is modelled through
                             // instructions_per_op, not divergence.)
                             OpKind::Add | OpKind::Max | OpKind::LogAdd => has_sum = true,
-                            OpKind::Mul => has_product = true,
+                            // The sampler comparator is a one-instruction
+                            // select: cost-model it with the product side
+                            // (no transcendental, no extra divergence).
+                            OpKind::Mul | OpKind::Sam => has_product = true,
                         }
                         shared_accesses += 3;
                     }
@@ -329,6 +332,9 @@ impl Backend for GpuModel {
                                 value(op.lhs, results),
                                 value(op.rhs, results),
                             ),
+                            OpKind::Sam => {
+                                f64::from(u8::from(value(op.lhs, results) < value(op.rhs, results)))
+                            }
                         };
                         results[i] = spn_core::precision::round_to(precision, raw);
                     }

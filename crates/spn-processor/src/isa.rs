@@ -52,6 +52,11 @@ pub enum PeOp {
     /// log-domain programs, where products are executed as `Add` and
     /// probability zero is `-inf`.
     Lse,
+    /// Output = `1.0` when left input < right input, else `0.0` — the
+    /// sampler comparator (a uniform draw against a CDF threshold, the core
+    /// step of a Knuth-Yao-style discrete sampler PE).  Non-commutative:
+    /// the left input is the draw, the right the threshold.
+    Sam,
     /// Output = left input (forwarding).
     PassA,
     /// Output = right input (forwarding).
@@ -59,10 +64,13 @@ pub enum PeOp {
 }
 
 impl PeOp {
-    /// Returns `true` for `Add`/`Mul`/`Max`/`Lse`, the operations counted as
-    /// SPN work.
+    /// Returns `true` for `Add`/`Mul`/`Max`/`Lse`/`Sam`, the operations
+    /// counted as SPN work.
     pub fn is_arithmetic(self) -> bool {
-        matches!(self, PeOp::Add | PeOp::Mul | PeOp::Max | PeOp::Lse)
+        matches!(
+            self,
+            PeOp::Add | PeOp::Mul | PeOp::Max | PeOp::Lse | PeOp::Sam
+        )
     }
 }
 

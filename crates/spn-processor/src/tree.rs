@@ -63,6 +63,10 @@ pub fn apply_pe(op: PeOp, a: f64, b: f64, precision: Precision) -> f64 {
         PeOp::Mul => round_to(precision, a * b),
         PeOp::Max => round_to(precision, a.max(b)),
         PeOp::Lse => round_to(precision, log_sum_exp(a, b)),
+        // 0.0 and 1.0 are exact in every emulated format, but the result is
+        // still rounded so the comparator behaves like the other datapath
+        // ops under a hypothetical format that cannot represent them.
+        PeOp::Sam => round_to(precision, f64::from(u8::from(a < b))),
         PeOp::PassA => a,
         PeOp::PassB => b,
     }
@@ -148,6 +152,11 @@ mod tests {
         assert_eq!(apply_pe(PeOp::Add, 2.0, 3.0, Precision::F64), 5.0);
         assert_eq!(apply_pe(PeOp::Mul, 2.0, 3.0, Precision::F64), 6.0);
         assert_eq!(apply_pe(PeOp::Max, 2.0, 3.0, Precision::F64), 3.0);
+        // The sampler comparator is strict and non-commutative.
+        assert_eq!(apply_pe(PeOp::Sam, 2.0, 3.0, Precision::F64), 1.0);
+        assert_eq!(apply_pe(PeOp::Sam, 3.0, 2.0, Precision::F64), 0.0);
+        assert_eq!(apply_pe(PeOp::Sam, 2.0, 2.0, Precision::F64), 0.0);
+        assert!(PeOp::Sam.is_arithmetic());
         assert_eq!(apply_pe(PeOp::PassA, 2.0, 3.0, Precision::F64), 2.0);
         assert_eq!(apply_pe(PeOp::PassB, 2.0, 3.0, Precision::F64), 3.0);
         assert_eq!(apply_pe(PeOp::Nop, 2.0, 3.0, Precision::F64), 0.0);

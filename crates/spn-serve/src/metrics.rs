@@ -26,6 +26,9 @@ pub struct ModeStats {
     pub errors: u64,
     /// Individual queries answered (a request may carry many rows).
     pub queries: u64,
+    /// Monte-Carlo samples drawn answering approximate-mode requests
+    /// (`sample` / `expectation`); zero on exact-mode rows.
+    pub samples: u64,
     /// Micro-batches dispatched to an engine.
     pub batches: u64,
     /// Micro-batches that coalesced more than one request.
@@ -168,7 +171,8 @@ impl Metrics {
         });
     }
 
-    /// Records one answered request: its query count, submit-to-response
+    /// Records one answered request: its query count, how many Monte-Carlo
+    /// samples answering it drew (zero for exact modes), submit-to-response
     /// latency, and whether it failed.
     #[allow(clippy::too_many_arguments)]
     pub fn record_request(
@@ -178,12 +182,14 @@ impl Metrics {
         numeric: NumericMode,
         precision: Precision,
         queries: u64,
+        samples: u64,
         latency: Duration,
         ok: bool,
     ) {
         self.with_stats(model, mode, numeric, precision, |stats| {
             stats.requests += 1;
             stats.queries += queries;
+            stats.samples += samples;
             if !ok {
                 stats.errors += 1;
             }
@@ -278,6 +284,7 @@ mod tests {
             lin,
             f64p,
             12,
+            0,
             Duration::from_millis(2),
             true,
         );
@@ -287,10 +294,22 @@ mod tests {
             lin,
             f64p,
             4,
+            0,
             Duration::from_millis(6),
             false,
         );
         metrics.record_batch("m", QueryMode::Map, lin, f64p, 1, 1);
+        // Approximate-mode rows accumulate their drawn sample counts.
+        metrics.record_request(
+            "m",
+            QueryMode::Expectation,
+            lin,
+            f64p,
+            2,
+            2000,
+            Duration::from_millis(1),
+            true,
+        );
         // Log-domain traffic of the same (model, query mode) gets its own row.
         metrics.record_batch("m", QueryMode::Marginal, NumericMode::Log, f64p, 1, 2);
         // Reduced-precision traffic of the same (model, mode, numeric) does
@@ -298,7 +317,13 @@ mod tests {
         metrics.record_batch("m", QueryMode::Marginal, lin, Precision::E8M10, 1, 5);
 
         let snapshot = metrics.snapshot();
-        assert_eq!(snapshot.len(), 4);
+        assert_eq!(snapshot.len(), 5);
+        let approximate = snapshot
+            .iter()
+            .find(|r| r.mode == QueryMode::Expectation)
+            .unwrap();
+        assert_eq!(approximate.stats.samples, 2000);
+        assert_eq!(approximate.stats.queries, 2);
         let reduced = snapshot
             .iter()
             .find(|r| r.precision == Precision::E8M10)

@@ -31,7 +31,7 @@ use std::sync::{Arc, Mutex};
 
 use spn_core::analysis;
 use spn_core::flatten::OpList;
-use spn_core::{NumericMode, Precision, Spn};
+use spn_core::{NumericMode, Precision, SamplerProgram, Spn};
 use spn_platforms::{Backend, Engine, MapArtifact};
 
 use crate::error::ServeError;
@@ -93,6 +93,13 @@ pub struct ModelPlan<B: Backend> {
     pub artifact: Arc<B::Compiled>,
     /// The shared max-product artifact, once some engine has compiled it.
     pub map: Option<MapArtifact<B>>,
+    /// The shared sampler for approximate (`sample` / `expectation`)
+    /// queries, built once at registration from the graph.  `None` when the
+    /// model was registered from a flattened program
+    /// ([`ModelRegistry::register_ops`]) — the graph structure a sampler
+    /// needs is gone by then — in which case approximate queries against the
+    /// model are rejected by the engine.
+    pub sampler: Option<Arc<SamplerProgram>>,
     /// Bumped on every (re-)registration of the name, so workers can detect
     /// stale cached engines.
     pub version: u64,
@@ -134,6 +141,11 @@ struct ModelEntry<B: Backend> {
     log_ops: Option<OpList>,
     /// One artifact slot per requested `(mode, precision)` variant.
     slots: HashMap<VariantKey, VariantSlot<B>>,
+    /// The sampler shared by every variant: sampling runs over the graph's
+    /// own alias tables in its private log domain, so one program serves
+    /// linear and log traffic at every precision (numeric / precision
+    /// transforms are applied by the engine to the *reported* values only).
+    sampler: Option<Arc<SamplerProgram>>,
     version: u64,
     last_used: u64,
 }
@@ -207,7 +219,11 @@ impl<B: Backend + Clone> ModelRegistry<B> {
     /// The model is **not** statically verified; use
     /// [`ModelRegistry::try_register`] on untrusted load / hot-swap paths.
     pub fn register(&self, name: impl Into<String>, spn: &Spn) {
-        self.register_ops(name, OpList::from_spn(spn));
+        self.insert(
+            name.into(),
+            OpList::from_spn(spn),
+            Some(Arc::new(SamplerProgram::new(spn))),
+        );
     }
 
     /// Statically verifies `spn` ([`analysis::lint_spn`] plus linear-domain
@@ -232,7 +248,7 @@ impl<B: Backend + Clone> ModelRegistry<B> {
         if analysis::has_errors(&diagnostics) {
             return Err(ServeError::Verification(diagnostics));
         }
-        self.register_ops(name, ops);
+        self.insert(name.into(), ops, Some(Arc::new(SamplerProgram::new(spn))));
         Ok(())
     }
 
@@ -241,7 +257,16 @@ impl<B: Backend + Clone> ModelRegistry<B> {
     /// precision-specific artifacts are derived per variant on first use).
     /// Replacing a name drops every cached variant of the old registration —
     /// a hot swap can never leave a stale precision variant behind.
+    ///
+    /// A flattened program carries no graph structure, so the model gets no
+    /// sampler: approximate (`sample` / `expectation`) queries against it
+    /// are rejected by the engine.  Register from the [`Spn`] to serve them.
     pub fn register_ops(&self, name: impl Into<String>, ops: OpList) {
+        self.insert(name.into(), ops, None);
+    }
+
+    /// The shared insertion path behind every `register*` flavour.
+    fn insert(&self, name: String, ops: OpList, sampler: Option<Arc<SamplerProgram>>) {
         assert!(
             ops.mode() == NumericMode::Linear,
             "register the linear-domain program; log artifacts are derived per mode"
@@ -258,10 +283,11 @@ impl<B: Backend + Clone> ModelRegistry<B> {
             ops,
             log_ops: None,
             slots: HashMap::new(),
+            sampler,
             version: inner.next_version,
             last_used: inner.clock,
         };
-        inner.models.insert(name.into(), entry);
+        inner.models.insert(name, entry);
     }
 
     /// Removes `name`; in-flight engines keep their shared artifacts alive.
@@ -333,7 +359,7 @@ impl<B: Backend + Clone> ModelRegistry<B> {
     /// [`ServeError::Backend`] when compilation fails.
     pub fn plan(&self, name: &str, variant: ModelVariant) -> Result<ModelPlan<B>, ServeError> {
         let key: VariantKey = variant;
-        let (ops, version) = {
+        let (ops, version, sampler) = {
             let mut inner = self.inner.lock().expect("registry lock");
             inner.clock += 1;
             let clock = inner.clock;
@@ -350,15 +376,17 @@ impl<B: Backend + Clone> ModelRegistry<B> {
             });
             if let Some((artifact, map)) = cached {
                 let version = entry.version;
+                let sampler = entry.sampler.clone();
                 return Ok(ModelPlan {
                     ops: entry.ops_for(variant),
                     artifact,
                     map,
+                    sampler,
                     version,
                     variant,
                 });
             }
-            (entry.ops_for(variant), entry.version)
+            (entry.ops_for(variant), entry.version, entry.sampler.clone())
         };
 
         let artifact = Arc::new(
@@ -391,6 +419,7 @@ impl<B: Backend + Clone> ModelRegistry<B> {
             ops,
             artifact,
             map,
+            sampler,
             version,
             variant,
         })
@@ -429,6 +458,9 @@ impl<B: Backend + Clone> ModelRegistry<B> {
         let mut engine = Engine::from_artifact(self.backend.clone(), &plan.ops, plan.artifact);
         if let Some(map) = plan.map {
             engine.install_map(map);
+        }
+        if let Some(sampler) = plan.sampler {
+            engine.install_sampler(sampler);
         }
         Ok((engine, plan.version))
     }
@@ -589,6 +621,24 @@ mod tests {
         // ...but only in the numeric mode it was published for.
         let (log_engine, _) = registry.engine("a", ModelVariant::log()).unwrap();
         assert!(log_engine.shared_map().is_none());
+    }
+
+    #[test]
+    fn graph_registrations_carry_a_sampler_but_ops_registrations_do_not() {
+        let registry = registry_with(&["a"], 4);
+        // Registered from the graph: every variant's engine shares one
+        // sampler program.
+        let linear = registry.engine("a", ModelVariant::default()).unwrap().0;
+        let log = registry.engine("a", ModelVariant::log()).unwrap().0;
+        let first = linear.shared_sampler().expect("sampler from graph");
+        let second = log.shared_sampler().expect("sampler shared per model");
+        assert!(Arc::ptr_eq(&first, &second));
+
+        // Registered from a flattened program: no graph, no sampler.
+        let plan = registry.plan("a", ModelVariant::default()).unwrap();
+        registry.register_ops("flat", plan.ops.clone());
+        let flat = registry.engine("flat", ModelVariant::default()).unwrap().0;
+        assert!(flat.shared_sampler().is_none());
     }
 
     #[test]

@@ -47,7 +47,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use spn_core::wire::{QueryRequest, QueryResponse};
-use spn_core::{QueryBatch, QueryMode, Spn};
+use spn_core::{QueryBatch, QueryMode, SampleSpec, Spn};
 use spn_platforms::{Backend, Engine, Parallelism, QueryOutput};
 
 use crate::error::ServeError;
@@ -500,16 +500,52 @@ impl<B: Backend> Drop for Service<B> {
     }
 }
 
-/// Moves every queued request matching `(model, query mode, variant)` into
-/// `group`, as long as the batch stays within `max_queries` (requests that
-/// would overflow are left queued for the next batch).  Session tokens are
-/// never candidates: deltas are stateful and strictly ordered per session,
-/// so coalescing them — least of all across sessions — would be unsound.
-fn take_matching(
-    queue: &mut VecDeque<Item>,
-    model: &str,
+/// The sampling spec of an approximate-mode query (`None` for exact modes).
+fn sample_spec(query: &QueryBatch) -> Option<SampleSpec> {
+    match query {
+        QueryBatch::Sample(batch) | QueryBatch::Expectation(batch) => Some(batch.spec()),
+        _ => None,
+    }
+}
+
+/// Everything that must agree for two one-shot requests to share a batch:
+/// the model, the query mode, the `(numeric, precision)` variant and — for
+/// approximate modes — the exact sampling spec, since merging rows drawn
+/// with different seeds or sample counts is rejected by
+/// `SampleBatch::try_extend`.
+struct GroupKey {
+    model: String,
     mode: QueryMode,
     variant: ModelVariant,
+    spec: Option<SampleSpec>,
+}
+
+impl GroupKey {
+    fn of(request: &QueryRequest) -> Self {
+        GroupKey {
+            model: request.model.clone(),
+            mode: request.query.mode(),
+            variant: ModelVariant::new(request.numeric, request.precision),
+            spec: sample_spec(&request.query),
+        }
+    }
+
+    fn matches(&self, request: &QueryRequest) -> bool {
+        request.model == self.model
+            && request.query.mode() == self.mode
+            && ModelVariant::new(request.numeric, request.precision) == self.variant
+            && sample_spec(&request.query) == self.spec
+    }
+}
+
+/// Moves every queued request matching `key` into `group`, as long as the
+/// batch stays within `max_queries` (requests that would overflow are left
+/// queued for the next batch).  Session tokens are never candidates: deltas
+/// are stateful and strictly ordered per session, so coalescing them —
+/// least of all across sessions — would be unsound.
+fn take_matching(
+    queue: &mut VecDeque<Item>,
+    key: &GroupKey,
     max_queries: usize,
     total: &mut usize,
     group: &mut Vec<Pending>,
@@ -521,11 +557,7 @@ fn take_matching(
             continue;
         };
         let len = candidate.request.query.len();
-        if candidate.request.model == model
-            && candidate.request.query.mode() == mode
-            && ModelVariant::new(candidate.request.numeric, candidate.request.precision) == variant
-            && *total + len <= max_queries
-        {
+        if key.matches(&candidate.request) && *total + len <= max_queries {
             let Some(Item::Query(pending)) = queue.remove(i) else {
                 unreachable!("index was just observed to hold a query");
             };
@@ -583,17 +615,13 @@ fn worker_loop<B>(
                 Item::Session(entry) => Claimed::Session(entry),
                 Item::Query(first) => {
                     let mut group: Vec<Pending> = Vec::new();
-                    let model = first.request.model.clone();
-                    let mode = first.request.query.mode();
-                    let variant = ModelVariant::new(first.request.numeric, first.request.precision);
+                    let key = GroupKey::of(&first.request);
                     let mut total = first.request.query.len();
                     group.push(first);
 
                     take_matching(
                         &mut queue,
-                        &model,
-                        mode,
-                        variant,
+                        &key,
                         policy.max_batch_queries,
                         &mut total,
                         &mut group,
@@ -613,9 +641,7 @@ fn worker_loop<B>(
                         queue = q;
                         take_matching(
                             &mut queue,
-                            &model,
-                            mode,
-                            variant,
+                            &key,
                             policy.max_batch_queries,
                             &mut total,
                             &mut group,
@@ -950,36 +976,56 @@ fn publish_map<B>(
     }
 }
 
-/// Cuts one request's window out of a batch output.
+/// Cuts one request's window out of a batch output.  `offset` and `len`
+/// count *queries*: sample-mode outputs carry `n_samples` values (and
+/// assignments) per query, so their slices scale by the per-query width —
+/// which is uniform across a coalesced group because [`take_matching`] only
+/// merges requests sharing one [`SampleSpec`].  Standard errors are always
+/// one per query.
 fn slice_output(
     output: &QueryOutput,
     request: &QueryRequest,
     offset: usize,
     len: usize,
 ) -> QueryResponse {
+    let spec = sample_spec(&request.query);
+    let width = match &request.query {
+        QueryBatch::Sample(batch) => batch.spec().n_samples as usize,
+        _ => 1,
+    };
     QueryResponse {
         id: request.id,
         model: request.model.clone(),
         mode: request.query.mode(),
         numeric: request.numeric,
         precision: request.precision,
-        values: output.values[offset..offset + len].to_vec(),
+        values: output.values[offset * width..(offset + len) * width].to_vec(),
         assignments: output
             .assignments
             .as_ref()
-            .map(|a| a[offset..offset + len].to_vec()),
+            .map(|a| a[offset * width..(offset + len) * width].to_vec()),
+        std_err: output
+            .std_err
+            .as_ref()
+            .map(|s| s[offset..offset + len].to_vec()),
+        samples: spec.map_or(0, |spec| u64::from(spec.n_samples) * len as u64),
     }
 }
 
 /// Sends the result and records request-level metrics.
 fn respond(metrics: &Metrics, pending: Pending, result: Result<QueryResponse, ServeError>) {
     let mode = pending.request.query.mode();
+    let samples = match &result {
+        Ok(response) => response.samples,
+        Err(_) => 0,
+    };
     metrics.record_request(
         &pending.request.model,
         mode,
         pending.request.numeric,
         pending.request.precision,
         pending.request.query.len() as u64,
+        samples,
         pending.submitted.elapsed(),
         result.is_ok(),
     );

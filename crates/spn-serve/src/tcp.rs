@@ -19,6 +19,12 @@
 //! → {"id": 4, "model": "weather", "mode": "joint", "numeric": "log", "rows": ["101"]}
 //! ← {"id": 4, "ok": true, ..., "numeric": "log", "values": [-1.89...]}
 //!
+//! → {"id": 5, "model": "weather", "mode": "expectation", "rows": ["1??"], "seed": 7, "n_samples": 4096, "method": "likelihood"}
+//! ← {"id": 5, "ok": true, ..., "values": [0.2993], "std_err": [0.0071], "ci95": [0.0139], "samples": 4096}
+//!
+//! → {"id": 6, "model": "weather", "mode": "sample", "rows": ["?1?"], "seed": 1, "n_samples": 2}
+//! ← {"id": 6, "ok": true, ..., "values": [1, 1], "assignments": ["011", "110"], "std_err": [0], "samples": 2}
+//!
 //! → {"cmd": "models"}
 //! ← {"ok": true, "models": ["weather"]}
 //!
@@ -34,7 +40,20 @@
 //! a custom `"e<exp>m<mant>"` format such as the paper's `"e8m10"`; the
 //! response echoes the precision its values were computed in.  Both fields
 //! must be strings — a number or other type is a protocol error, as is an
-//! unknown name.  JSON has no `-Infinity` literal, so a log-domain
+//! unknown name.
+//!
+//! The approximate modes `"sample"` and `"expectation"` accept three more
+//! optional fields: `"seed"` (base PRNG seed, default 0; exact as a JSON
+//! number up to 2^53), `"n_samples"` (draws per query row, default 1000)
+//! and `"method"` (`"ancestral"`, `"likelihood"` or `"gibbs"`, default
+//! ancestral).  Their responses carry a per-query `"std_err"` array (the
+//! estimator's standard error, always linear-scale), the derived `"ci95"`
+//! half-widths (1.96 standard errors), and the total `"samples"` drawn;
+//! `"sample"` responses hold `n_samples` values (the per-draw importance
+//! weights) and `n_samples` assignments per query row.  Determinism is
+//! bit-for-bit per `(model, row, seed, n_samples, method)`: coalescing,
+//! worker count and engine parallelism never change the draws.  JSON has no
+//! `-Infinity` literal, so a log-domain
 //! value of exactly `-inf` (a structural probability of zero) is encoded as
 //! `null` in the `values` array and decoded back to `-inf` by
 //! [`decode_response`].
@@ -104,7 +123,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use spn_core::wire::{self, QueryRequest, QueryResponse};
-use spn_core::{Evidence, NumericMode, Precision, QueryMode};
+use spn_core::{Evidence, NumericMode, Precision, QueryMode, SampleMethod, SampleSpec};
 use spn_platforms::Backend;
 
 use crate::error::ServeError;
@@ -776,7 +795,20 @@ pub fn decode_request(doc: &Value) -> Result<QueryRequest, ServeError> {
             Precision::from_name(name)?
         }
     };
-    let query = wire::build_query(mode, &rows, givens.as_deref())?;
+    let mut spec = SampleSpec::default();
+    if doc.get("seed").is_some() {
+        spec.seed = u64_field(doc, "seed")?;
+    }
+    if doc.get("n_samples").is_some() {
+        let n = u64_field(doc, "n_samples")?;
+        spec.n_samples = u32::try_from(n).map_err(|_| {
+            ServeError::Protocol("field \"n_samples\" must fit in 32 bits".to_string())
+        })?;
+    }
+    if doc.get("method").is_some() {
+        spec.method = SampleMethod::from_name(&string_field(doc, "method")?)?;
+    }
+    let query = wire::build_query_with_spec(mode, &rows, givens.as_deref(), spec)?;
     Ok(QueryRequest {
         id,
         model,
@@ -823,6 +855,20 @@ pub fn encode_request(request: &QueryRequest) -> String {
             fields.push(("targets".to_string(), row_strings(c.numerator())));
             fields.push(("givens".to_string(), row_strings(c.denominator())));
         }
+        spn_core::QueryBatch::Sample(s) | spn_core::QueryBatch::Expectation(s) => {
+            fields.push(("rows".to_string(), row_strings(s.rows())));
+            let spec = s.spec();
+            // Seeds travel as JSON numbers, exact up to 2^53 (like ids).
+            fields.push(("seed".to_string(), Value::Num(spec.seed as f64)));
+            fields.push((
+                "n_samples".to_string(),
+                Value::Num(f64::from(spec.n_samples)),
+            ));
+            fields.push((
+                "method".to_string(),
+                Value::Str(spec.method.name().to_string()),
+            ));
+        }
     }
     Value::Obj(fields).to_json()
 }
@@ -862,6 +908,19 @@ pub fn encode_response(response: &QueryResponse) -> String {
                     .collect(),
             ),
         ));
+    }
+    if let Some(std_err) = &response.std_err {
+        // Standard errors (and the derived 95% interval half-widths) are
+        // always linear-scale, one per query — even under log numerics.
+        fields.push((
+            "std_err".to_string(),
+            Value::Arr(std_err.iter().map(|&se| Value::Num(se)).collect()),
+        ));
+        fields.push((
+            "ci95".to_string(),
+            Value::Arr(std_err.iter().map(|&se| Value::Num(1.96 * se)).collect()),
+        ));
+        fields.push(("samples".to_string(), Value::Num(response.samples as f64)));
     }
     Value::Obj(fields).to_json()
 }
@@ -1003,6 +1062,33 @@ pub fn decode_response(line: &str) -> Result<QueryResponse, ServeError> {
             )
         }
     };
+    let std_err = match doc.get("std_err") {
+        None => None,
+        Some(value) => Some(
+            value
+                .as_arr()
+                .ok_or_else(|| {
+                    ServeError::Protocol("field \"std_err\" must be an array".to_string())
+                })?
+                .iter()
+                .map(|v| {
+                    v.as_f64().ok_or_else(|| {
+                        ServeError::Protocol("non-numeric standard error".to_string())
+                    })
+                })
+                .collect::<Result<Vec<f64>, ServeError>>()?,
+        ),
+    };
+    let samples = match doc.get("samples") {
+        None => 0,
+        Some(value) => value
+            .as_f64()
+            .filter(|n| *n >= 0.0 && n.fract() == 0.0)
+            .map(|n| n as u64)
+            .ok_or_else(|| {
+                ServeError::Protocol("field \"samples\" must be a non-negative integer".to_string())
+            })?,
+    };
     Ok(QueryResponse {
         id,
         model,
@@ -1011,6 +1097,8 @@ pub fn decode_response(line: &str) -> Result<QueryResponse, ServeError> {
         precision,
         values,
         assignments,
+        std_err,
+        samples,
     })
 }
 
@@ -1031,6 +1119,7 @@ fn metrics_value(record: &MetricsRecord) -> Value {
         ("requests".to_string(), Value::Num(s.requests as f64)),
         ("errors".to_string(), Value::Num(s.errors as f64)),
         ("queries".to_string(), Value::Num(s.queries as f64)),
+        ("samples".to_string(), Value::Num(s.samples as f64)),
         ("batches".to_string(), Value::Num(s.batches as f64)),
         (
             "coalesced_batches".to_string(),

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use spn_accel::core::wire::QueryRequest;
-use spn_accel::core::QueryMode;
+use spn_accel::core::{QueryMode, SampleMethod, SampleSpec};
 use spn_accel::learn::Benchmark;
 use spn_accel::platforms::{CpuModel, Parallelism};
 use spn_accel::serve::tcp::{decode_response, encode_request};
@@ -63,7 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let addr = server.local_addr();
     println!("serving on {addr}\n");
 
-    // 24 concurrent clients, cycling models and all four query modes.
+    // 24 concurrent clients, cycling models and all six query modes.
     let models = [
         ("banknote", banknote.num_vars()),
         ("cpu-perf", cpu_perf.num_vars()),
@@ -93,6 +93,20 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
                             &[&partial],
                             Some(&[&marginal]),
                         )?,
+                        QueryMode::Sample | QueryMode::Expectation => {
+                            QueryRequest::from_rows_with_spec(
+                                id,
+                                model,
+                                mode,
+                                &[&partial],
+                                None,
+                                SampleSpec {
+                                    seed: id,
+                                    n_samples: 64,
+                                    method: SampleMethod::LikelihoodWeighted,
+                                },
+                            )?
+                        }
                         _ => QueryRequest::from_rows(id, model, mode, &[&partial], None)?,
                     };
                     let mut stream = TcpStream::connect(addr)?;
@@ -101,16 +115,27 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
                     let mut reply = String::new();
                     BufReader::new(stream).read_line(&mut reply)?;
                     let response = decode_response(reply.trim())?;
+                    let spread = response
+                        .std_err
+                        .as_ref()
+                        .map(|s| format!(" ± {:.4} ({} samples)", s[0], response.samples))
+                        .unwrap_or_default();
                     Ok(format!(
-                        "request {:>2} {:<10} {:<12} -> {:.6}{}",
+                        "request {:>2} {:<10} {:<12} -> {:.6}{}{}",
                         id,
                         model,
                         mode.name(),
                         response.values[0],
+                        spread,
                         response
                             .assignments
                             .map(|a| format!(
-                                "  (MAP: {})",
+                                "  ({}: {})",
+                                if mode == QueryMode::Map {
+                                    "MAP"
+                                } else {
+                                    "draw 0"
+                                },
                                 a[0].iter()
                                     .map(|&b| if b { '1' } else { '0' })
                                     .collect::<String>()

@@ -329,6 +329,8 @@ fn negative_infinity_round_trips_as_null_on_the_wire() {
         precision: spn_accel::core::Precision::F64,
         values: vec![f64::NEG_INFINITY, -1.5],
         assignments: None,
+        std_err: None,
+        samples: 0,
     };
     let line = encode_response(&response);
     assert!(

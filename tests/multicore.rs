@@ -70,6 +70,9 @@ fn query_batch(mode: QueryMode, num_vars: usize) -> QueryBatch {
             }
             QueryBatch::Conditional(cond)
         }
+        QueryMode::Sample | QueryMode::Expectation => {
+            unreachable!("approximate modes bypass the simulated cores; see tests/sampling.rs")
+        }
     }
 }
 

@@ -44,6 +44,17 @@ use spn_accel::platforms::{
     Backend, CpuModel, Engine, EngineOptions, GpuModel, Parallelism, ProcessorBackend,
 };
 
+/// The exact query modes this harness sweeps.  The approximate modes
+/// (`sample` / `expectation`) answer with Monte-Carlo estimates, so
+/// bit-for-bit parity against a quantized oracle is the wrong contract for
+/// them; their determinism and accuracy checks live in `tests/sampling.rs`.
+const EXACT_MODES: [QueryMode; 4] = [
+    QueryMode::Joint,
+    QueryMode::Marginal,
+    QueryMode::Map,
+    QueryMode::Conditional,
+];
+
 /// Builds the query batch of `mode` used by the sweep (small, deterministic,
 /// mixing marginal/partial/complete rows).
 fn build_query(mode: QueryMode, num_vars: usize) -> QueryBatch {
@@ -80,6 +91,9 @@ fn build_query(mode: QueryMode, num_vars: usize) -> QueryBatch {
             cond.push(&Evidence::marginal(num_vars), &given).unwrap();
             QueryBatch::Conditional(cond)
         }
+        QueryMode::Sample | QueryMode::Expectation => {
+            unreachable!("approximate modes are covered by tests/sampling.rs")
+        }
     }
 }
 
@@ -107,6 +121,9 @@ fn quantized_oracle(ops: &OpList, query: &QueryBatch) -> Vec<f64> {
             let denominator = run_batch(ops, cond.denominator());
             spn_accel::core::query::conditional_values(ops.mode(), numerator, &denominator)
                 .expect("oracle conditional defined")
+        }
+        QueryBatch::Sample(_) | QueryBatch::Expectation(_) => {
+            unreachable!("approximate modes are covered by tests/sampling.rs")
         }
     }
 }
@@ -142,6 +159,9 @@ fn max_intermediate(ops: &OpList, query: &QueryBatch) -> f64 {
         QueryBatch::Conditional(cond) => {
             scan(ops, cond.numerator());
             scan(ops, cond.denominator());
+        }
+        QueryBatch::Sample(_) | QueryBatch::Expectation(_) => {
+            unreachable!("approximate modes are covered by tests/sampling.rs")
         }
     }
     m
@@ -303,22 +323,10 @@ fn random_spns_all_backends_modes_and_precisions() {
             &RandomSpnConfig::with_vars(8),
             &mut StdRng::seed_from_u64(seed),
         );
-        check_backend("CPU", CpuModel::new, &spn, &QueryMode::ALL, true);
-        check_backend("GPU", GpuModel::new, &spn, &QueryMode::ALL, true);
-        check_backend(
-            "Ptree",
-            ProcessorBackend::ptree,
-            &spn,
-            &QueryMode::ALL,
-            false,
-        );
-        check_backend(
-            "Pvect",
-            ProcessorBackend::pvect,
-            &spn,
-            &QueryMode::ALL,
-            false,
-        );
+        check_backend("CPU", CpuModel::new, &spn, &EXACT_MODES, true);
+        check_backend("GPU", GpuModel::new, &spn, &EXACT_MODES, true);
+        check_backend("Ptree", ProcessorBackend::ptree, &spn, &EXACT_MODES, false);
+        check_backend("Pvect", ProcessorBackend::pvect, &spn, &EXACT_MODES, false);
     }
 }
 

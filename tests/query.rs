@@ -103,6 +103,8 @@ fn for_all_backends(spn: &Spn, query: &QueryBatch, check: impl Fn(&str, &QueryOu
         &QueryOutput {
             values: reference.values,
             assignments: reference.assignments,
+            std_err: None,
+            samples: 0,
             perf: Default::default(),
         },
     );

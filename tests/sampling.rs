@@ -1,0 +1,543 @@
+//! Acceptance tests for the approximate-inference sampling engine, checked
+//! against the exact `reference_query` oracle with the pre-registered
+//! statistical thresholds of [`spn_bench::stats`].
+//!
+//! What is pinned here:
+//!
+//! * **Goodness of fit** — ancestral draws (prior and conditional) on ten
+//!   seeded random SPNs must pass a chi-square test against the exact joint
+//!   distribution at `p >= 1e-12`; sample sizes are chosen so a biased
+//!   sampler fails with overwhelming probability while a correct one fails
+//!   with probability < 1e-9 per CI run (union-bounded over every check in
+//!   this file).
+//! * **Estimator accuracy** — ancestral and likelihood-weighted
+//!   `expectation` answers must sit within seven reported standard errors
+//!   of the exact probability, and the reported 95% intervals must cover
+//!   the truth at a rate statistically consistent with nominal.
+//! * **Seeded determinism** — the same `(model, rows, spec)` produces
+//!   bit-identical values, standard errors and assignments across every
+//!   CPU dispatch path (serial, host-sharded with several worker counts,
+//!   scalar and lane-blocked CPU configurations) and every other backend,
+//!   and per-row PRNG streams make coalescing and sharding invisible.
+//! * **Domain transforms** — log-domain and reduced-precision engines
+//!   transform only the reported values; standard errors stay linear and
+//!   untransformed.
+//!
+//! Everything is seeded: a pass is reproducible, and a failure is a real
+//! regression, not a fluke.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spn_accel::core::query::reference_query;
+use spn_accel::core::random::{random_spn, RandomSpnConfig};
+use spn_accel::core::{
+    Evidence, EvidenceBatch, NumericMode, Precision, QueryBatch, SampleBatch, SampleMethod,
+    SampleSpec, SamplerProgram, Spn,
+};
+use spn_accel::platforms::{
+    CpuModel, Engine, EngineOptions, GpuModel, Parallelism, ProcessorBackend, QueryOutput,
+};
+use spn_bench::stats;
+
+const NUM_VARS: usize = 5;
+const MODEL_SEEDS: [u64; 10] = [3, 7, 11, 19, 23, 31, 43, 59, 71, 83];
+
+fn model(seed: u64) -> Spn {
+    random_spn(
+        &RandomSpnConfig::with_vars(NUM_VARS),
+        &mut StdRng::seed_from_u64(seed),
+    )
+}
+
+/// All `2^n` complete assignments in index order (bit v of `i` is var v).
+fn all_assignments(num_vars: usize) -> Vec<Vec<bool>> {
+    (0..1usize << num_vars)
+        .map(|i| (0..num_vars).map(|v| (i >> v) & 1 == 1).collect())
+        .collect()
+}
+
+/// The exact joint probability of every complete assignment, via the
+/// reference oracle.
+fn exact_joint(spn: &Spn) -> Vec<f64> {
+    let mut batch = EvidenceBatch::new(spn.num_vars());
+    for assignment in all_assignments(spn.num_vars()) {
+        batch.push_assignment(&assignment).expect("arity");
+    }
+    reference_query(spn, &QueryBatch::Joint(batch))
+        .expect("exact joint")
+        .values
+}
+
+/// The exact probability of one (possibly partial) evidence row.
+fn exact_marginal(spn: &Spn, row: &Evidence) -> f64 {
+    let mut batch = EvidenceBatch::new(spn.num_vars());
+    batch.push(row).expect("arity");
+    reference_query(spn, &QueryBatch::Marginal(batch))
+        .expect("exact marginal")
+        .values[0]
+}
+
+/// Cell index of a complete assignment (bit v is var v).
+fn cell_of(assignment: &[bool]) -> usize {
+    assignment
+        .iter()
+        .enumerate()
+        .map(|(v, &b)| usize::from(b) << v)
+        .sum()
+}
+
+fn sample_query(rows: &[Evidence], num_vars: usize, spec: SampleSpec) -> QueryBatch {
+    let mut batch = EvidenceBatch::new(num_vars);
+    for row in rows {
+        batch.push(row).expect("arity");
+    }
+    QueryBatch::Sample(SampleBatch::new(batch, spec))
+}
+
+fn expectation_query(rows: &[Evidence], num_vars: usize, spec: SampleSpec) -> QueryBatch {
+    let mut batch = EvidenceBatch::new(num_vars);
+    for row in rows {
+        batch.push(row).expect("arity");
+    }
+    QueryBatch::Expectation(SampleBatch::new(batch, spec))
+}
+
+fn cpu_engine(spn: &Spn) -> Engine<CpuModel> {
+    Engine::new(CpuModel::new(), spn, EngineOptions::default()).expect("engine")
+}
+
+/// Chi-square goodness of fit of ancestral prior draws against the exact
+/// joint distribution, on ten seeded random models.
+#[test]
+fn ancestral_prior_draws_pass_chi_square_gof_on_ten_random_models() {
+    for seed in MODEL_SEEDS {
+        let spn = model(seed);
+        let probs = exact_joint(&spn);
+        let spec = SampleSpec {
+            seed: 0xA5A5 + seed,
+            n_samples: 20_000,
+            method: SampleMethod::Ancestral,
+        };
+        let query = sample_query(&[Evidence::marginal(NUM_VARS)], NUM_VARS, spec);
+        let out = cpu_engine(&spn).execute_query(&query).expect("sample");
+        let assignments = out.assignments.expect("sample mode draws assignments");
+        assert_eq!(assignments.len(), 20_000);
+        let mut counts = vec![0u64; 1 << NUM_VARS];
+        for draw in &assignments {
+            counts[cell_of(draw)] += 1;
+        }
+        stats::check_goodness_of_fit(&counts, &probs)
+            .unwrap_or_else(|err| panic!("model seed {seed}: {err}"));
+        // Prior draws are exact: unit weights, zero spread.
+        assert!(out.values.iter().all(|&w| w == 1.0));
+        assert!(out.std_err.expect("spread").iter().all(|&se| se == 0.0));
+        assert_eq!(out.samples, 20_000);
+    }
+}
+
+/// Conditional ancestral draws respect the evidence and follow the exact
+/// conditional distribution.
+#[test]
+fn conditional_draws_pass_chi_square_gof_against_the_conditional() {
+    for seed in [3u64, 19, 43] {
+        let spn = model(seed);
+        let joint = exact_joint(&spn);
+        let mut row = Evidence::marginal(NUM_VARS);
+        row.observe(0, true);
+        row.observe(2, false);
+        let p_evidence = exact_marginal(&spn, &row);
+        assert!(p_evidence > 1e-6, "seed {seed}: degenerate evidence");
+
+        let spec = SampleSpec {
+            seed: 0xC0 + seed,
+            n_samples: 20_000,
+            method: SampleMethod::Ancestral,
+        };
+        let query = sample_query(&[row], NUM_VARS, spec);
+        let out = cpu_engine(&spn).execute_query(&query).expect("sample");
+        let assignments = out.assignments.expect("assignments");
+
+        // Keep only cells consistent with the evidence; every draw must
+        // land in one, and their renormalised masses are the expectation.
+        let consistent: Vec<usize> = (0..1usize << NUM_VARS)
+            .filter(|i| i & 1 == 1 && (i >> 2) & 1 == 0)
+            .collect();
+        let probs: Vec<f64> = consistent.iter().map(|&i| joint[i] / p_evidence).collect();
+        let mut counts = vec![0u64; consistent.len()];
+        for draw in &assignments {
+            assert!(draw[0] && !draw[2], "seed {seed}: draw violates evidence");
+            let cell = cell_of(draw);
+            let slot = consistent
+                .iter()
+                .position(|&i| i == cell)
+                .expect("consistent cell");
+            counts[slot] += 1;
+        }
+        stats::check_goodness_of_fit(&counts, &probs)
+            .unwrap_or_else(|err| panic!("model seed {seed}: {err}"));
+    }
+}
+
+/// Ancestral and likelihood-weighted expectation estimates sit within the
+/// pre-registered confidence band of the exact answer on all ten models.
+#[test]
+fn expectation_estimates_sit_within_the_pre_registered_ci() {
+    for seed in MODEL_SEEDS {
+        let spn = model(seed);
+        let mut one_obs = Evidence::marginal(NUM_VARS);
+        one_obs.observe(1, true);
+        let mut two_obs = Evidence::marginal(NUM_VARS);
+        two_obs.observe(0, false);
+        two_obs.observe(3, true);
+        let rows = [Evidence::marginal(NUM_VARS), one_obs, two_obs];
+        for method in [SampleMethod::Ancestral, SampleMethod::LikelihoodWeighted] {
+            let spec = SampleSpec {
+                seed: 0xE0 + seed,
+                n_samples: 10_000,
+                method,
+            };
+            let query = expectation_query(&rows, NUM_VARS, spec);
+            let out = cpu_engine(&spn).execute_query(&query).expect("expectation");
+            let std_err = out.std_err.expect("estimator spread");
+            assert_eq!(out.values.len(), rows.len());
+            assert_eq!(std_err.len(), rows.len());
+            assert_eq!(out.samples, 30_000);
+            for (q, row) in rows.iter().enumerate() {
+                let exact = exact_marginal(&spn, row);
+                stats::check_within_ci(out.values[q], exact, std_err[q]).unwrap_or_else(|err| {
+                    panic!("model seed {seed}, {}, row {q}: {err}", method.name())
+                });
+                // A non-degenerate probability must report real spread.
+                if exact > 1e-3 && exact < 1.0 - 1e-3 {
+                    assert!(
+                        std_err[q] > 0.0,
+                        "model seed {seed}, {}, row {q}: zero spread at p = {exact}",
+                        method.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Reported 95% intervals cover the exact answer at a rate consistent with
+/// nominal, over 100 independent seeded trials.
+#[test]
+fn lw_confidence_intervals_cover_at_the_nominal_rate() {
+    let spn = model(7);
+    let mut row = Evidence::marginal(NUM_VARS);
+    row.observe(0, true);
+    row.observe(4, false);
+    let exact = exact_marginal(&spn, &row);
+    let mut engine = cpu_engine(&spn);
+    let mut hits = 0u64;
+    const TRIALS: u64 = 100;
+    for trial in 0..TRIALS {
+        let spec = SampleSpec {
+            seed: 0x515_0000 + trial,
+            n_samples: 2_000,
+            method: SampleMethod::LikelihoodWeighted,
+        };
+        let query = expectation_query(std::slice::from_ref(&row), NUM_VARS, spec);
+        let out = engine.execute_query(&query).expect("expectation");
+        let se = out.std_err.expect("spread")[0];
+        if (out.values[0] - exact).abs() <= 1.96 * se {
+            hits += 1;
+        }
+    }
+    stats::check_ci_coverage(hits, TRIALS, 0.95).expect("CI coverage");
+}
+
+/// The evidence rows shared by the determinism checks: a mixed batch of
+/// seven rows (marginal, single- and double-observation).
+fn determinism_rows() -> Vec<Evidence> {
+    let mut rows = vec![Evidence::marginal(NUM_VARS)];
+    for q in 0..6usize {
+        let mut row = Evidence::marginal(NUM_VARS);
+        row.observe(q % NUM_VARS, q % 2 == 0);
+        if q >= 3 {
+            row.observe((q + 2) % NUM_VARS, q % 3 == 0);
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+fn assert_runs_identical(label: &str, a: &QueryOutput, b: &QueryOutput) {
+    stats::check_deterministic(label, &a.values, &b.values).unwrap();
+    match (&a.std_err, &b.std_err) {
+        (Some(x), Some(y)) => stats::check_deterministic(label, x, y).unwrap(),
+        (x, y) => assert_eq!(x, y, "{label}: spread presence"),
+    }
+    assert_eq!(a.assignments, b.assignments, "{label}: assignments");
+    assert_eq!(a.samples, b.samples, "{label}: sample count");
+}
+
+/// The same `(model, rows, spec)` yields bit-identical draws on every CPU
+/// dispatch path and every backend: serial, host-sharded at several worker
+/// counts, scalar CPU, lane-blocked CPU, the GPU model and the processor
+/// simulator.
+#[test]
+fn same_spec_is_bit_identical_across_all_dispatch_paths() {
+    let spn = model(11);
+    let rows = determinism_rows();
+    for (mode_name, query) in [
+        (
+            "sample",
+            sample_query(
+                &rows,
+                NUM_VARS,
+                SampleSpec {
+                    seed: 99,
+                    n_samples: 64,
+                    method: SampleMethod::Ancestral,
+                },
+            ),
+        ),
+        (
+            "expectation",
+            expectation_query(
+                &rows,
+                NUM_VARS,
+                SampleSpec {
+                    seed: 99,
+                    n_samples: 256,
+                    method: SampleMethod::LikelihoodWeighted,
+                },
+            ),
+        ),
+    ] {
+        let baseline = cpu_engine(&spn).execute_query(&query).expect("serial");
+
+        // Host-sharded dispatch at several worker counts, including more
+        // workers than rows.
+        let mut engine = cpu_engine(&spn);
+        for workers in [2usize, 3, 7, 16] {
+            let sharded = engine
+                .execute_query_parallel(&query, &Parallelism::workers(workers))
+                .expect("sharded");
+            assert_runs_identical(
+                &format!("{mode_name}/{workers} workers"),
+                &baseline,
+                &sharded,
+            );
+        }
+
+        // Scalar and lane-blocked CPU configurations, the GPU model and
+        // the cycle-accurate processor: the sampler is backend-independent
+        // by construction, and must stay so.
+        let scalar = Engine::new(CpuModel::scalar(), &spn, EngineOptions::default())
+            .expect("scalar engine")
+            .execute_query(&query)
+            .expect("scalar");
+        assert_runs_identical(&format!("{mode_name}/scalar"), &baseline, &scalar);
+        let lanes = Engine::new(
+            CpuModel::new().with_lanes(8),
+            &spn,
+            EngineOptions::default(),
+        )
+        .expect("lane-blocked engine")
+        .execute_query(&query)
+        .expect("lane-blocked");
+        assert_runs_identical(&format!("{mode_name}/8 lanes"), &baseline, &lanes);
+        let gpu = Engine::new(GpuModel::new(), &spn, EngineOptions::default())
+            .expect("gpu engine")
+            .execute_query(&query)
+            .expect("gpu");
+        assert_runs_identical(&format!("{mode_name}/gpu"), &baseline, &gpu);
+        let ptree = Engine::new(ProcessorBackend::ptree(), &spn, EngineOptions::default())
+            .expect("ptree engine")
+            .execute_query(&query)
+            .expect("ptree");
+        assert_runs_identical(&format!("{mode_name}/ptree"), &baseline, &ptree);
+    }
+}
+
+/// Per-row PRNG streams travel with the rows: coalescing two batches and
+/// sharding a batch both reproduce the rows' stand-alone results exactly.
+#[test]
+fn coalescing_and_sharding_preserve_per_row_results() {
+    let spn = model(23);
+    let sampler = SamplerProgram::new(&spn);
+    let spec = SampleSpec {
+        seed: 7,
+        n_samples: 128,
+        method: SampleMethod::LikelihoodWeighted,
+    };
+    let rows = determinism_rows();
+    let build = |slice: &[Evidence]| {
+        let mut batch = EvidenceBatch::new(NUM_VARS);
+        for row in slice {
+            batch.push(row).expect("arity");
+        }
+        SampleBatch::new(batch, spec)
+    };
+    let first = build(&rows[..4]);
+    let second = build(&rows[4..]);
+
+    // Coalesce: the second request's rows keep their own streams, so the
+    // merged run reproduces each stand-alone run bit for bit.
+    let mut merged = first.clone();
+    merged.try_extend(&second).expect("same spec coalesces");
+    let merged_run = sampler
+        .run_expectation_range(&merged, 0, merged.len())
+        .expect("merged");
+    let first_run = sampler
+        .run_expectation_range(&first, 0, first.len())
+        .expect("first");
+    let second_run = sampler
+        .run_expectation_range(&second, 0, second.len())
+        .expect("second");
+    stats::check_deterministic(
+        "coalesced values",
+        &merged_run.values,
+        &[first_run.values.clone(), second_run.values.clone()].concat(),
+    )
+    .unwrap();
+    stats::check_deterministic(
+        "coalesced spread",
+        &merged_run.std_err,
+        &[first_run.std_err.clone(), second_run.std_err.clone()].concat(),
+    )
+    .unwrap();
+
+    // Shard: a sub-batch runs exactly the slice of the full run.
+    let shard = merged.sub_batch(2, 3);
+    let shard_run = sampler.run_expectation_range(&shard, 0, 3).expect("shard");
+    stats::check_deterministic(
+        "sharded values",
+        &shard_run.values,
+        &merged_run.values[2..5],
+    )
+    .unwrap();
+
+    // Mismatched specs refuse to coalesce.
+    let mut other_spec = first.clone();
+    let different = SampleBatch::new(
+        build(&rows[4..]).rows().clone(),
+        SampleSpec { seed: 8, ..spec },
+    );
+    assert!(other_spec.try_extend(&different).is_err());
+}
+
+/// Gibbs conditional resampling stays inside the evidence support and its
+/// per-variable frequencies approach the exact conditional marginals.
+#[test]
+fn gibbs_draws_respect_evidence_and_match_conditional_marginals() {
+    let spn = model(31);
+    let joint = exact_joint(&spn);
+    let mut row = Evidence::marginal(NUM_VARS);
+    row.observe(1, false);
+    let p_evidence = exact_marginal(&spn, &row);
+    assert!(p_evidence > 1e-6, "degenerate evidence");
+
+    let spec = SampleSpec {
+        seed: 0x61BB5,
+        n_samples: 20_000,
+        method: SampleMethod::Gibbs,
+    };
+    let query = sample_query(std::slice::from_ref(&row), NUM_VARS, spec);
+    let out = cpu_engine(&spn).execute_query(&query).expect("gibbs");
+    let assignments = out.assignments.expect("assignments");
+    assert_eq!(assignments.len(), 20_000);
+
+    // Exact conditional marginal of every unobserved variable.
+    for var in [0usize, 2, 3, 4] {
+        let exact: f64 = (0..1usize << NUM_VARS)
+            .filter(|i| (i >> 1) & 1 == 0 && (i >> var) & 1 == 1)
+            .map(|i| joint[i])
+            .sum::<f64>()
+            / p_evidence;
+        let hits = assignments.iter().filter(|draw| draw[var]).count();
+        let freq = hits as f64 / assignments.len() as f64;
+        // Gibbs draws are autocorrelated, so the binomial standard error
+        // understates the spread; a 0.05 absolute band at 20k sweeps is
+        // orders of magnitude beyond any plausible mixing penalty while a
+        // wrong conditional kernel misses by the conditional-vs-prior gap.
+        assert!(
+            (freq - exact).abs() < 0.05,
+            "var {var}: gibbs frequency {freq} vs exact conditional {exact}"
+        );
+    }
+    for draw in &assignments {
+        assert!(!draw[1], "gibbs draw violates evidence");
+    }
+
+    // Gibbs cannot estimate a normaliser: the expectation mode rejects it.
+    let bad = expectation_query(std::slice::from_ref(&row), NUM_VARS, spec);
+    assert!(cpu_engine(&spn).execute_query(&bad).is_err());
+}
+
+/// Log-domain and reduced-precision engines transform the reported values
+/// only; the estimator spread stays linear and untouched, and the draws
+/// are the same draws.
+#[test]
+fn numeric_and_precision_transforms_apply_to_reported_values_only() {
+    let spn = model(43);
+    let rows = determinism_rows();
+    let spec = SampleSpec {
+        seed: 1234,
+        n_samples: 512,
+        method: SampleMethod::LikelihoodWeighted,
+    };
+    let query = expectation_query(&rows, NUM_VARS, spec);
+    let linear = cpu_engine(&spn).execute_query(&query).expect("linear");
+
+    let mut log_engine = Engine::new(
+        CpuModel::new(),
+        &spn,
+        EngineOptions::default().mode(NumericMode::Log),
+    )
+    .expect("log engine");
+    let log = log_engine.execute_query(&query).expect("log");
+    for (q, (lin, lg)) in linear.values.iter().zip(&log.values).enumerate() {
+        assert_eq!(lin.ln().to_bits(), lg.to_bits(), "row {q}: log transform");
+    }
+    stats::check_deterministic(
+        "log-domain spread stays linear",
+        linear.std_err.as_ref().expect("spread"),
+        log.std_err.as_ref().expect("spread"),
+    )
+    .unwrap();
+
+    let mut reduced_engine = Engine::new(
+        CpuModel::new(),
+        &spn,
+        EngineOptions::default().precision(Precision::E8M10),
+    )
+    .expect("reduced engine");
+    let reduced = reduced_engine.execute_query(&query).expect("reduced");
+    for (q, (lin, red)) in linear.values.iter().zip(&reduced.values).enumerate() {
+        use spn_accel::core::precision::round_to;
+        assert_eq!(
+            round_to(Precision::E8M10, *lin).to_bits(),
+            red.to_bits(),
+            "row {q}: precision transform"
+        );
+    }
+    stats::check_deterministic(
+        "reduced-precision spread stays f64",
+        linear.std_err.as_ref().expect("spread"),
+        reduced.std_err.as_ref().expect("spread"),
+    )
+    .unwrap();
+}
+
+/// Engines without a graph (built from a flat op list) reject approximate
+/// queries with a structured error instead of guessing.
+#[test]
+fn engines_without_a_sampler_reject_approximate_queries() {
+    let spn = model(59);
+    let ops = spn_accel::core::flatten::OpList::from_spn(&spn);
+    let mut engine = Engine::from_ops(CpuModel::new(), &ops).expect("ops engine");
+    let query = expectation_query(
+        &[Evidence::marginal(NUM_VARS)],
+        NUM_VARS,
+        SampleSpec::default(),
+    );
+    let err = engine.execute_query(&query).expect_err("no sampler");
+    assert!(
+        err.to_string().contains("no sampler"),
+        "unexpected error: {err}"
+    );
+}

@@ -3,10 +3,12 @@
 //! engine.
 //!
 //! This is the acceptance test of the serving stack: an ephemeral-port
-//! server, ≥ 100 concurrent requests mixing all four query modes across two
-//! registered models, every response byte-decoded back to `f64`s that must
-//! equal `Engine::execute_query`'s answers bit for bit, and the micro-batch
-//! counters must show actual coalescing.
+//! server, ≥ 100 concurrent requests mixing all six query modes (the four
+//! exact ones plus `sample` / `expectation`) across two registered models,
+//! every response byte-decoded back to `f64`s that must equal
+//! `Engine::execute_query`'s answers bit for bit — approximate answers
+//! included, since sampling is a pure function of `(model, row, spec)` —
+//! and the micro-batch counters must show actual coalescing.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -14,7 +16,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use spn_accel::core::wire::QueryRequest;
-use spn_accel::core::{QueryMode, Spn};
+use spn_accel::core::{QueryMode, SampleMethod, SampleSpec, Spn};
 use spn_accel::learn::Benchmark;
 use spn_accel::platforms::{CpuModel, Engine, EngineOptions, Parallelism};
 use spn_accel::serve::tcp::{decode_response, encode_request};
@@ -47,6 +49,25 @@ fn build_request(id: u64, model: &str, num_vars: usize) -> QueryRequest {
         QueryMode::Conditional => {
             QueryRequest::from_rows(id, model, mode, &[&partial], Some(&[&marginal])).unwrap()
         }
+        // Approximate modes: a couple of distinct specs so the batcher both
+        // coalesces same-spec requests and keeps different-spec ones apart.
+        QueryMode::Sample | QueryMode::Expectation => QueryRequest::from_rows_with_spec(
+            id,
+            model,
+            mode,
+            &[&partial],
+            None,
+            SampleSpec {
+                seed: id % 2,
+                n_samples: 8,
+                method: if mode == QueryMode::Sample {
+                    SampleMethod::Ancestral
+                } else {
+                    SampleMethod::LikelihoodWeighted
+                },
+            },
+        )
+        .unwrap(),
     }
 }
 
@@ -136,10 +157,22 @@ fn tcp_server_serves_concurrent_mixed_mode_load_bit_for_bit() {
             );
         }
         match request.query.mode() {
-            QueryMode::Map => {
+            QueryMode::Map | QueryMode::Sample => {
                 assert_eq!(response.assignments, expected.assignments);
             }
             _ => assert!(response.assignments.is_none()),
+        }
+        // Approximate answers carry their estimator spread, bit for bit.
+        assert_eq!(
+            response.std_err.is_some(),
+            request.query.mode().is_approximate()
+        );
+        if let (Some(got), Some(want)) = (&response.std_err, &expected.std_err) {
+            assert_eq!(got.len(), want.len());
+            for (a, b) in got.iter().zip(want) {
+                assert_eq!(a.to_bits(), b.to_bits(), "request {} std_err", request.id);
+            }
+            assert_eq!(response.samples, expected.samples, "request {}", request.id);
         }
     }
 
@@ -159,7 +192,7 @@ fn tcp_server_serves_concurrent_mixed_mode_load_bit_for_bit() {
     let errors: u64 = metrics.iter().map(|r| r.stats.errors).sum();
     assert_eq!(errors, 0);
 
-    // Both models and all four modes were exercised.
+    // Both models and all six modes were exercised.
     for (name, _) in &models {
         assert!(metrics.iter().any(|r| r.model == *name));
     }

@@ -211,7 +211,9 @@ fn mutate(program: &mut Program, rng: &mut StdRng) -> &'static str {
                     PeOp::Lse => PeOp::Mul,
                     PeOp::PassA => PeOp::PassB,
                     PeOp::PassB => PeOp::PassA,
-                    PeOp::Nop => continue,
+                    // A sampler PE op has no exact-mode sibling to swap with
+                    // that the schedule verifier is contracted to reject.
+                    PeOp::Sam | PeOp::Nop => continue,
                 };
                 tree.pe_ops[pe] = new;
                 return "pe-op swap";

@@ -7,6 +7,9 @@
 //! * [`Rng`] with `gen_bool` and `gen_range` over integer and float ranges,
 //! * [`SeedableRng::seed_from_u64`],
 //! * [`rngs::StdRng`] — here a deterministic xoshiro256++ generator,
+//! * [`rngs::Pcg64`] with [`StreamableRng::with_stream`] — a splittable
+//!   PCG-XSL-RR 128/64 generator whose independent per-stream sequences make
+//!   sharded sampling reproducible bit-for-bit regardless of worker count,
 //! * [`seq::SliceRandom`] with `choose` and `shuffle`.
 //!
 //! The generator is deterministic per seed (all tests and benchmarks seed it
@@ -113,9 +116,21 @@ pub trait SeedableRng: Sized {
     fn seed_from_u64(seed: u64) -> Self;
 }
 
+/// Construction of a generator bound to one of many independent streams,
+/// the splittable form parallel samplers need: every `(seed, stream)` pair
+/// yields a statistically independent sequence, so work sharded across any
+/// number of workers stays bit-for-bit reproducible as long as each shard
+/// keeps its logical stream id.
+pub trait StreamableRng: SeedableRng {
+    /// Builds the generator for stream `stream` of seed `seed`.
+    ///
+    /// `seed_from_u64(seed)` must equal `with_stream(seed, 0)`.
+    fn with_stream(seed: u64, stream: u64) -> Self;
+}
+
 /// Named generators, mirroring `rand::rngs`.
 pub mod rngs {
-    use super::{RngCore, SeedableRng};
+    use super::{RngCore, SeedableRng, StreamableRng};
 
     /// Deterministic xoshiro256++ generator (stand-in for `rand::rngs::StdRng`).
     #[derive(Debug, Clone, PartialEq, Eq)]
@@ -123,7 +138,7 @@ pub mod rngs {
         s: [u64; 4],
     }
 
-    fn splitmix64(state: &mut u64) -> u64 {
+    pub(crate) fn splitmix64(state: &mut u64) -> u64 {
         *state = state.wrapping_add(0x9E3779B97F4A7C15);
         let mut z = *state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
@@ -158,6 +173,69 @@ pub mod rngs {
             self.s[2] ^= t;
             self.s[3] = self.s[3].rotate_left(45);
             result
+        }
+    }
+
+    /// Splittable PCG-XSL-RR 128/64 generator with per-stream sequences.
+    ///
+    /// The 128-bit LCG state advances as `state * MULT + inc`, where `inc` is
+    /// an odd constant derived from the stream id: distinct streams walk
+    /// distinct full-period sequences, so a parallel sampler can hand stream
+    /// `i` to logical shard `i` and reproduce results bit for bit regardless
+    /// of how shards map onto worker threads.  Output is the xor-folded state
+    /// rotated by the top state bits (XSL-RR), the standard `pcg64` output
+    /// function.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Pcg64 {
+        state: u128,
+        inc: u128,
+    }
+
+    /// The default 128-bit PCG multiplier.
+    const PCG_MULT: u128 = 0x2360_ED05_1FC6_5DA4_4385_DF64_9FCC_F645;
+
+    impl Pcg64 {
+        #[inline]
+        fn step(&mut self) {
+            self.state = self.state.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        }
+    }
+
+    impl SeedableRng for Pcg64 {
+        fn seed_from_u64(seed: u64) -> Self {
+            Pcg64::with_stream(seed, 0)
+        }
+    }
+
+    impl StreamableRng for Pcg64 {
+        fn with_stream(seed: u64, stream: u64) -> Self {
+            // Expand both halves through splitmix64 so nearby seeds and
+            // stream ids land on unrelated 128-bit values.
+            let mut s = seed;
+            let state_lo = splitmix64(&mut s);
+            let state_hi = splitmix64(&mut s);
+            let mut t = stream.wrapping_add(0xDA3E_39CB_94B9_5BDB);
+            let inc_lo = splitmix64(&mut t);
+            let inc_hi = splitmix64(&mut t);
+            // The increment must be odd; the canonical pcg seeding
+            // (step, add seed, step) decorrelates state from increment.
+            let inc = (((u128::from(inc_hi) << 64) | u128::from(inc_lo)) << 1) | 1;
+            let mut rng = Pcg64 { state: 0, inc };
+            rng.step();
+            rng.state = rng
+                .state
+                .wrapping_add((u128::from(state_hi) << 64) | u128::from(state_lo));
+            rng.step();
+            rng
+        }
+    }
+
+    impl RngCore for Pcg64 {
+        fn next_u64(&mut self) -> u64 {
+            let s = self.state;
+            self.step();
+            let folded = ((s >> 64) as u64) ^ (s as u64);
+            folded.rotate_right((s >> 122) as u32)
         }
     }
 }
@@ -199,9 +277,9 @@ pub mod seq {
 
 #[cfg(test)]
 mod tests {
-    use super::rngs::StdRng;
+    use super::rngs::{Pcg64, StdRng};
     use super::seq::SliceRandom;
-    use super::{Rng, SeedableRng};
+    use super::{Rng, RngCore, SeedableRng, StreamableRng};
 
     #[test]
     fn deterministic_per_seed() {
@@ -235,6 +313,40 @@ mod tests {
         assert!((2_700..3_300).contains(&hits), "got {hits}");
         assert!((0..100).all(|_| !rng.gen_bool(0.0)));
         assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn pcg64_streams_are_deterministic_and_independent() {
+        // Same (seed, stream) → identical sequence; stream 0 is the plain
+        // seeded generator.
+        let mut a = Pcg64::with_stream(42, 3);
+        let mut b = Pcg64::with_stream(42, 3);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_eq!(Pcg64::seed_from_u64(42), Pcg64::with_stream(42, 0));
+
+        // Different streams (and different seeds) diverge immediately.
+        let mut c = Pcg64::with_stream(42, 4);
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_ne!(xs, zs);
+        let mut d = Pcg64::with_stream(43, 3);
+        let ws: Vec<u64> = (0..16).map(|_| d.next_u64()).collect();
+        assert_ne!(xs, ws);
+
+        // Streams don't just offset each other: no common window.
+        for w in zs.windows(4) {
+            assert!(!xs.windows(4).any(|v| v == w));
+        }
+    }
+
+    #[test]
+    fn pcg64_is_roughly_uniform() {
+        let mut rng = Pcg64::with_stream(7, 11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_700..5_300).contains(&hits), "got {hits}");
+        let mean: f64 = (0..10_000).map(|_| rng.next_f64()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }
 
     #[test]
